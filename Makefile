@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build test race bench comparison examples outputs clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables and figures with probe verification.
+comparison:
+	go run ./cmd/comparison -verify
+	go run ./cmd/comparison -extension -verify
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/mediation
+	go run ./examples/gridmonitor
+	go run ./examples/legacybridge
+	go run ./examples/evolution
+
+# Refresh the committed run transcripts.
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Refresh the golden wire-format files after an intentional format change.
+goldens:
+	go test ./internal/probes -run Golden -update
+
+clean:
+	go clean ./...

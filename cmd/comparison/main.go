@@ -1,0 +1,80 @@
+// Command comparison regenerates the paper's evaluation artefacts —
+// Tables 1, 2 and 3 and Figures 1 and 2 — from this repository's live
+// implementations.
+//
+// Usage:
+//
+//	comparison                 # everything
+//	comparison -table 1        # one table
+//	comparison -figure 2       # one figure
+//	comparison -verify         # also print the live probe check lists
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/probes"
+	"repro/internal/report"
+	"repro/internal/spec"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1, 2 or 3); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate one figure (1 or 2); 0 = all")
+	verify := flag.Bool("verify", false, "print the live probe check lists")
+	extension := flag.Bool("extension", false, "also compare the WS-EventNotification prototype (the §VIII forecast)")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*extension
+	failed := false
+
+	emitChecks := func(title string, checks []spec.Check) {
+		if *verify {
+			fmt.Println(report.RenderChecks(title, checks))
+		}
+		for _, c := range checks {
+			if !c.Pass {
+				failed = true
+			}
+		}
+	}
+
+	if all || *table == 1 {
+		fmt.Println(report.RenderTable("Table 1 — spec versions", probes.Table1Columns, probes.Table1()))
+		emitChecks("Table 1 live probes", probes.VerifyTable1())
+	}
+	if all || *table == 2 {
+		fmt.Println(report.RenderTable("Table 2 — functions", probes.Table2Columns, probes.Table2()))
+		emitChecks("Table 2 live probes", probes.VerifyTable2())
+	}
+	if all || *table == 3 {
+		fmt.Println(report.RenderTable("Table 3 — systems", probes.Table3Columns, probes.Table3()))
+		emitChecks("Table 3 live probes", probes.VerifyTable3())
+	}
+	if all || *figure == 1 {
+		f, err := probes.Figure1()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 1: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.RenderFigure(f))
+	}
+	if all || *figure == 2 {
+		f, err := probes.Figure2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 2: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.RenderFigure(f))
+	}
+	if *extension {
+		fmt.Println(report.RenderTable("Extension — converged spec", probes.ConvergedColumns, probes.TableConverged()))
+		emitChecks("WS-EventNotification prototype probes", probes.VerifyConverged())
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "comparison: some live probes FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command wsmessenger runs the WS-Messenger broker as an HTTP daemon.
+//
+// The broker front door accepts, at one endpoint, subscribe requests and
+// published notifications in both WS-Eventing (1/2004 and 8/2004) and
+// WS-Notification (1.0 and 1.3); subscription management lives at a
+// second endpoint. Responses and deliveries follow the specification each
+// party used — the mediation behaviour of §VII of the paper.
+//
+// Usage:
+//
+//	wsmessenger -listen :8891
+//
+// Endpoints:
+//
+//	POST /           — Subscribe (either spec), Notify / raw publishes,
+//	                   GetCurrentMessage
+//	POST /manage     — Renew, GetStatus, Unsubscribe, Pull,
+//	                   Pause/ResumeSubscription, WSRF operations
+//	GET  /healthz    — liveness + stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wsdl"
+)
+
+func main() {
+	listen := flag.String("listen", ":8891", "HTTP listen address")
+	external := flag.String("external", "", "externally visible base URL (default http://<listen>)")
+	scavenge := flag.Duration("scavenge", 30*time.Second, "subscription scavenge interval")
+	queueDepth := flag.Int("queue", 256, "per-subscriber delivery queue depth")
+	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
+	flag.Parse()
+
+	base := *external
+	if base == "" {
+		base = "http://localhost" + *listen
+		if (*listen)[0] != ':' {
+			base = "http://" + *listen
+		}
+	}
+
+	broker, err := core.New(core.Config{
+		Address:        base + "/",
+		ManagerAddress: base + "/manage",
+		Client:         &transport.HTTPClient{HC: &http.Client{Timeout: 15 * time.Second}},
+		QueueDepth:     *queueDepth,
+	})
+	if err != nil {
+		log.Fatalf("wsmessenger: %v", err)
+	}
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			n, rerr := broker.RestoreSubscriptions(f)
+			f.Close()
+			if rerr != nil {
+				log.Fatalf("wsmessenger: restore %s: %v", *stateFile, rerr)
+			}
+			log.Printf("wsmessenger: restored %d subscriptions from %s", n, *stateFile)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("wsmessenger: %v", err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	front := transport.NewHTTPHandler(broker.FrontHandler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.RawQuery == "wsdl" {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			fmt.Fprint(w, wsdl.ForBroker(base+"/").Document())
+			return
+		}
+		front.ServeHTTP(w, r)
+	})
+	mux.Handle("/manage", transport.NewHTTPHandler(broker.ManagerHandler()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := broker.Stats()
+		fmt.Fprintf(w, "ok\nsubscriptions=%d published=%d delivered=%d dropped=%d failures=%d mediations=%d\n",
+			broker.SubscriptionCount(), st.Published, st.Delivered, st.Dropped, st.Failures, st.Mediations)
+	})
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go broker.Store().Run(ctx, *scavenge)
+	go func() {
+		<-ctx.Done()
+		if *stateFile != "" {
+			if f, err := os.Create(*stateFile); err == nil {
+				if err := broker.SaveSubscriptions(f); err != nil {
+					log.Printf("wsmessenger: snapshot: %v", err)
+				}
+				f.Close()
+				log.Printf("wsmessenger: subscriptions snapshotted to %s", *stateFile)
+			} else {
+				log.Printf("wsmessenger: snapshot: %v", err)
+			}
+			// With a snapshot, subscriptions survive the restart, so no
+			// end notices are sent.
+		} else {
+			log.Println("wsmessenger: shutting down, sending end notices")
+			broker.Shutdown()
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("wsmessenger: broker front door at %s (manage at %s/manage)", base, base)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("wsmessenger: %v", err)
+	}
+}

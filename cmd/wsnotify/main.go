@@ -1,0 +1,309 @@
+// Command wsnotify is a command-line client for WS-based notification
+// services: it can subscribe (in either specification), run an event sink
+// that prints incoming notifications, publish events, and manage
+// subscriptions — the hand tooling a WS-Messenger deployment needs.
+//
+// Usage:
+//
+//	wsnotify subscribe -broker URL -spec wse|wsn -sink URL [-topic t] [-filter xpath] [-expires PT5M]
+//	wsnotify listen    -listen :8892 [-spec wse|wsn]
+//	wsnotify publish   -broker URL [-topic t] [-payload '<e>..</e>'] [-spec wse|wsn]
+//	wsnotify unsubscribe -manager URL -id ID -spec wse|wsn
+//	wsnotify current   -broker URL -topic t
+//
+// Topics use the form {namespace}root/child.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	client := &transport.HTTPClient{HC: &http.Client{Timeout: 15 * time.Second}}
+	ctx := context.Background()
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "subscribe":
+		cmdSubscribe(ctx, client, args)
+	case "listen":
+		cmdListen(args)
+	case "publish":
+		cmdPublish(ctx, client, args)
+	case "unsubscribe":
+		cmdUnsubscribe(ctx, client, args)
+	case "current":
+		cmdCurrent(ctx, client, args)
+	case "pull":
+		cmdPull(ctx, client, args)
+	case "status":
+		cmdStatus(ctx, client, args)
+	case "renew":
+		cmdRenew(ctx, client, args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wsnotify subscribe|listen|publish|unsubscribe|renew|current|pull|status [flags]")
+	os.Exit(2)
+}
+
+// wseHandle reconstructs a WS-Eventing handle from manager URL + id.
+func wseHandle(manager, id string) *wse.Handle {
+	mgr := wsa.NewEPR(wsa.V200408, manager)
+	mgr.AddReferenceParameter(xmldom.Elem(wse.NS200408, "Identifier", id))
+	return &wse.Handle{Version: wse.V200408, Manager: mgr, ID: id}
+}
+
+func cmdPull(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	manager := fs.String("manager", "http://localhost:8891/manage", "subscription manager URL")
+	id := fs.String("id", "", "subscription id (WSE pull-mode subscription)")
+	max := fs.Int("max", 0, "maximum messages to pull (0 = all)")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("pull: -id required")
+	}
+	s := &wse.Subscriber{Client: client, Version: wse.V200408}
+	msgs, err := s.Pull(ctx, wseHandle(*manager, *id), *max)
+	if err != nil {
+		log.Fatalf("pull: %v", err)
+	}
+	for _, m := range msgs {
+		fmt.Println(xmldom.Marshal(m))
+	}
+	fmt.Fprintf(os.Stderr, "pulled %d message(s)\n", len(msgs))
+}
+
+func cmdRenew(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("renew", flag.ExitOnError)
+	manager := fs.String("manager", "http://localhost:8891/manage", "subscription manager URL")
+	id := fs.String("id", "", "subscription id")
+	expires := fs.String("expires", "PT1H", "new expiration (duration or dateTime; empty = indefinite)")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("renew: -id required")
+	}
+	s := &wse.Subscriber{Client: client, Version: wse.V200408}
+	granted, err := s.Renew(ctx, wseHandle(*manager, *id), *expires)
+	if err != nil {
+		log.Fatalf("renew: %v", err)
+	}
+	if granted.IsZero() {
+		fmt.Println("renewed, never expires")
+		return
+	}
+	fmt.Printf("renewed until %s\n", granted.Format(time.RFC3339))
+}
+
+func cmdStatus(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	manager := fs.String("manager", "http://localhost:8891/manage", "subscription manager URL")
+	id := fs.String("id", "", "subscription id")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("status: -id required")
+	}
+	s := &wse.Subscriber{Client: client, Version: wse.V200408}
+	expires, err := s.GetStatus(ctx, wseHandle(*manager, *id))
+	if err != nil {
+		log.Fatalf("status: %v", err)
+	}
+	if expires.IsZero() {
+		fmt.Println("active, never expires")
+		return
+	}
+	fmt.Printf("active, expires %s\n", expires.Format(time.RFC3339))
+}
+
+func parseTopic(s string) topics.Path {
+	if s == "" {
+		return topics.Path{}
+	}
+	ns := ""
+	if strings.HasPrefix(s, "{") {
+		if i := strings.Index(s, "}"); i > 0 {
+			ns, s = s[1:i], s[i+1:]
+		}
+	}
+	return topics.Path{Namespace: ns, Segments: strings.Split(s, "/")}
+}
+
+func cmdSubscribe(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	broker := fs.String("broker", "http://localhost:8891/", "broker front door URL")
+	specName := fs.String("spec", "wse", "specification to speak: wse or wsn")
+	sink := fs.String("sink", "http://localhost:8892/", "consumer endpoint URL")
+	topic := fs.String("topic", "", "topic expression, {ns}path form (wsn only)")
+	filterExpr := fs.String("filter", "", "XPath content filter")
+	expires := fs.String("expires", "", "expiration (PT5M or dateTime)")
+	fs.Parse(args)
+
+	switch *specName {
+	case "wse":
+		s := &wse.Subscriber{Client: client, Version: wse.V200408}
+		h, err := s.Subscribe(ctx, *broker, &wse.SubscribeRequest{
+			NotifyTo:   wsa.NewEPR(wsa.V200408, *sink),
+			Expires:    *expires,
+			FilterExpr: *filterExpr,
+		})
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		fmt.Printf("subscribed: id=%s manager=%s expires=%s\n", h.ID, h.Manager.Address, h.Expires)
+	case "wsn":
+		s := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+		req := &wsnt.SubscribeRequest{
+			ConsumerReference:      wsa.NewEPR(wsa.V200508, *sink),
+			InitialTerminationTime: *expires,
+			ContentExpr:            *filterExpr,
+		}
+		if tp := parseTopic(*topic); !tp.IsZero() {
+			req.TopicExpression = "tns:" + strings.Join(tp.Segments, "/")
+			req.TopicDialect = topics.DialectConcrete
+			req.TopicNS = map[string]string{"tns": tp.Namespace}
+		}
+		h, err := s.Subscribe(ctx, *broker, req)
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		fmt.Printf("subscribed: id=%s manager=%s expires=%s\n",
+			h.ID, h.SubscriptionReference.Address, h.TerminationTime)
+	default:
+		log.Fatalf("unknown -spec %q", *specName)
+	}
+}
+
+func cmdListen(args []string) {
+	fs := flag.NewFlagSet("listen", flag.ExitOnError)
+	listen := fs.String("listen", ":8892", "listen address for the sink endpoint")
+	fs.Parse(args)
+
+	// One handler understands both spec families' deliveries.
+	wseSink := &wse.Sink{OnNotify: func(n wse.Notification) {
+		fmt.Printf("[notification] topic=%s payload=%s", n.Topic, xmldom.Marshal(n.Payload))
+		fmt.Println()
+	}, OnEnd: func(end *wse.SubscriptionEnd) {
+		fmt.Printf("[subscription-end] id=%s status=%s reason=%s\n", end.ID, end.Status, end.Reason)
+	}}
+	wsnSink := &wsnt.Consumer{OnNotify: func(r wsnt.Received) {
+		fmt.Printf("[notify] topic=%s wrapped=%v payload=%s", r.Topic, r.Wrapped, xmldom.Marshal(r.Payload))
+		fmt.Println()
+	}, OnTermination: func(reason string) {
+		fmt.Printf("[termination] reason=%s\n", reason)
+	}}
+	both := transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body != nil && (body.Name.Space == wsnt.NS1_0 || body.Name.Space == wsnt.NS1_3 ||
+			strings.Contains(body.Name.Space, "wsrf")) {
+			return wsnSink.ServeSOAP(ctx, env)
+		}
+		return wseSink.ServeSOAP(ctx, env)
+	})
+	log.Printf("wsnotify: sink listening on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, transport.NewHTTPHandler(both)))
+}
+
+func cmdPublish(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("publish", flag.ExitOnError)
+	broker := fs.String("broker", "http://localhost:8891/", "broker front door URL")
+	specName := fs.String("spec", "wsn", "publish as: wse (raw) or wsn (wrapped Notify)")
+	topic := fs.String("topic", "", "topic, {ns}path form")
+	payload := fs.String("payload", `<event xmlns="urn:demo"><at>now</at></event>`, "payload XML")
+	fs.Parse(args)
+
+	doc, err := xmldom.ParseString(*payload)
+	if err != nil {
+		log.Fatalf("payload: %v", err)
+	}
+	tp := parseTopic(*topic)
+	env := soap.New(soap.V11)
+	switch *specName {
+	case "wsn":
+		h := &wsa.MessageHeaders{Version: wsa.V200508, To: *broker, Action: wsnt.V1_3.ActionNotify()}
+		h.Apply(env)
+		env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+			{Topic: tp, Payload: doc},
+		}))
+	case "wse":
+		h := &wsa.MessageHeaders{Version: wsa.V200408, To: *broker, Action: "urn:wsnotify:publish"}
+		h.Apply(env)
+		if !tp.IsZero() {
+			env.AddHeader(xmldom.Elem(wse.TopicHeaderName.Space, wse.TopicHeaderName.Local, tp.String()))
+		}
+		env.AddBody(doc)
+	default:
+		log.Fatalf("unknown -spec %q", *specName)
+	}
+	if err := client.Send(ctx, *broker, env); err != nil {
+		log.Fatalf("publish: %v", err)
+	}
+	fmt.Println("published")
+}
+
+func cmdUnsubscribe(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("unsubscribe", flag.ExitOnError)
+	manager := fs.String("manager", "http://localhost:8891/manage", "subscription manager URL")
+	id := fs.String("id", "", "subscription id")
+	specName := fs.String("spec", "wse", "wse or wsn")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("unsubscribe: -id required")
+	}
+	switch *specName {
+	case "wse":
+		s := &wse.Subscriber{Client: client, Version: wse.V200408}
+		mgr := wsa.NewEPR(wsa.V200408, *manager)
+		mgr.AddReferenceParameter(xmldom.Elem(wse.NS200408, "Identifier", *id))
+		if err := s.Unsubscribe(ctx, &wse.Handle{Version: wse.V200408, Manager: mgr, ID: *id}); err != nil {
+			log.Fatalf("unsubscribe: %v", err)
+		}
+	case "wsn":
+		s := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+		ref := wsa.NewEPR(wsa.V200508, *manager)
+		ref.AddReferenceParameter(xmldom.Elem(wsnt.NS1_3, "SubscriptionId", *id))
+		if err := s.Unsubscribe(ctx, &wsnt.Handle{Version: wsnt.V1_3, SubscriptionReference: ref, ID: *id}); err != nil {
+			log.Fatalf("unsubscribe: %v", err)
+		}
+	default:
+		log.Fatalf("unknown -spec %q", *specName)
+	}
+	fmt.Println("unsubscribed")
+}
+
+func cmdCurrent(ctx context.Context, client transport.Client, args []string) {
+	fs := flag.NewFlagSet("current", flag.ExitOnError)
+	broker := fs.String("broker", "http://localhost:8891/", "broker front door URL")
+	topic := fs.String("topic", "", "concrete topic, {ns}path form")
+	fs.Parse(args)
+	tp := parseTopic(*topic)
+	if tp.IsZero() {
+		log.Fatal("current: -topic required")
+	}
+	s := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	msg, err := s.GetCurrentMessage(ctx, *broker, "tns:"+strings.Join(tp.Segments, "/"),
+		topics.DialectConcrete, map[string]string{"tns": tp.Namespace})
+	if err != nil {
+		log.Fatalf("current: %v", err)
+	}
+	fmt.Println(xmldom.MarshalIndent(msg))
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseTopic(t *testing.T) {
+	cases := []struct {
+		in     string
+		ns     string
+		segs   int
+		isZero bool
+	}{
+		{"", "", 0, true},
+		{"{urn:demo}alerts", "urn:demo", 1, false},
+		{"{urn:demo}cluster/jobs/failed", "urn:demo", 3, false},
+		{"bare", "", 1, false},
+		{"a/b", "", 2, false},
+	}
+	for _, tc := range cases {
+		got := parseTopic(tc.in)
+		if got.IsZero() != tc.isZero {
+			t.Errorf("parseTopic(%q).IsZero() = %v", tc.in, got.IsZero())
+			continue
+		}
+		if tc.isZero {
+			continue
+		}
+		if got.Namespace != tc.ns || len(got.Segments) != tc.segs {
+			t.Errorf("parseTopic(%q) = %+v", tc.in, got)
+		}
+	}
+}
+
+func TestParseTopicRoundTripsPathString(t *testing.T) {
+	p := parseTopic("{urn:x}a/b/c")
+	if !parseTopic(p.String()).Equal(p) {
+		t.Errorf("round trip = %v", parseTopic(p.String()))
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a Go reproduction of "A Comparative Study of Web
+// Services-based Event Notification Specifications" (Huang & Gannon,
+// ICPP 2006): full implementations of WS-Eventing (1/2004, 8/2004) and
+// WS-Notification (1.0, 1.3) with their substrates, the four pre-WS
+// baseline systems of the paper's Table 3, and the WS-Messenger mediating
+// broker that is the paper's contribution. See README.md for the tour and
+// EXPERIMENTS.md for the regenerated tables and figures.
+package repro

@@ -1,0 +1,142 @@
+// Gridmonitor: the Grid-computing scenario that motivates the paper's
+// introduction. A compute cluster's notification producer advertises a
+// hierarchical topic tree (WS-Topics); a dashboard subscribes to a Full-
+// dialect wildcard expression; a consumer behind a firewall cannot accept
+// inbound connections and therefore drains a PullPoint instead (§V.3's
+// pull-delivery scenario).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+const gridNS = "urn:example:grid"
+
+func jobEvent(job, state string) *xmldom.Element {
+	return xmldom.Elem(gridNS, "JobStatus",
+		xmldom.Elem(gridNS, "job", job),
+		xmldom.Elem(gridNS, "state", state))
+}
+
+func main() {
+	ctx := context.Background()
+	net := transport.NewLoopback()
+
+	// The cluster's notification producer with a fixed topic tree.
+	space := topics.NewSpace()
+	for _, segs := range [][]string{
+		{"cluster", "jobs", "submitted"},
+		{"cluster", "jobs", "running"},
+		{"cluster", "jobs", "completed"},
+		{"cluster", "jobs", "failed"},
+		{"cluster", "nodes", "down"},
+	} {
+		space.Add(topics.NewPath(gridNS, segs...))
+	}
+	producer := wsnt.NewProducer(wsnt.ProducerConfig{
+		Version:        wsnt.V1_3,
+		Address:        "svc://cluster",
+		ManagerAddress: "svc://cluster/subs",
+		Client:         net,
+		Topics:         space,
+		FixedTopicSet:  true,
+	})
+	net.Register("svc://cluster", producer.ProducerHandler())
+	net.Register("svc://cluster/subs", producer.ManagerHandler())
+	fmt.Println("advertised topic set:")
+	for _, tp := range space.Topics() {
+		fmt.Printf("  %s\n", tp)
+	}
+
+	sub := &wsnt.Subscriber{Client: net, Version: wsnt.V1_3}
+
+	// Dashboard: push consumer on every jobs subtopic (Full dialect).
+	dashboard := &wsnt.Consumer{OnNotify: func(r wsnt.Received) {
+		fmt.Printf("  [dashboard] %s: job=%s state=%s\n", r.Topic,
+			r.Payload.ChildText(xmldom.N(gridNS, "job")),
+			r.Payload.ChildText(xmldom.N(gridNS, "state")))
+	}}
+	net.Register("svc://dashboard", dashboard)
+	if _, err := sub.Subscribe(ctx, "svc://cluster", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://dashboard"),
+		TopicExpression:   "g:cluster/jobs//.",
+		TopicDialect:      topics.DialectFull,
+		TopicNS:           map[string]string{"g": gridNS},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Firewalled analyst: a PullPoint receives on their behalf.
+	pullSvc := wsnt.NewPullPointService("svc://pullpoints")
+	net.Register("svc://pullpoints", pullSvc)
+	pp, err := wsnt.CreatePullPoint(ctx, net, "svc://pullpoints")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sub.Subscribe(ctx, "svc://cluster", &wsnt.SubscribeRequest{
+		ConsumerReference: pp,
+		TopicExpression:   "g:cluster/jobs/failed",
+		TopicDialect:      topics.DialectConcrete,
+		TopicNS:           map[string]string{"g": gridNS},
+		ContentExpr:       "//g:job", // any failure with a job id
+		ContentNS:         map[string]string{"g": gridNS},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirewalled consumer subscribed via a PullPoint")
+
+	// The cluster runs some jobs.
+	fmt.Println("\ncluster activity:")
+	events := []struct {
+		topic []string
+		job   string
+		state string
+	}{
+		{[]string{"cluster", "jobs", "submitted"}, "j-1", "submitted"},
+		{[]string{"cluster", "jobs", "running"}, "j-1", "running"},
+		{[]string{"cluster", "jobs", "completed"}, "j-1", "done"},
+		{[]string{"cluster", "jobs", "submitted"}, "j-2", "submitted"},
+		{[]string{"cluster", "jobs", "failed"}, "j-2", "segfault"},
+		{[]string{"cluster", "nodes", "down"}, "", "node-14 offline"},
+	}
+	for _, e := range events {
+		producer.Publish(ctx, topics.NewPath(gridNS, e.topic...), jobEvent(e.job, e.state))
+	}
+
+	// The analyst dials out through the firewall and drains the queue.
+	fmt.Println("\nfirewalled analyst pulls failures:")
+	msgs, err := wsnt.GetMessages(ctx, net, pp, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range msgs {
+		fmt.Printf("  [pulled] %s: job=%s state=%s\n", m.Topic,
+			m.Payload.ChildText(xmldom.N(gridNS, "job")),
+			m.Payload.ChildText(xmldom.N(gridNS, "state")))
+	}
+
+	// The cluster's last status on a topic stays queryable.
+	last, err := sub.GetCurrentMessage(ctx, "svc://cluster", "g:cluster/jobs/completed",
+		topics.DialectConcrete, map[string]string{"g": gridNS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGetCurrentMessage(cluster/jobs/completed) = %s\n", xmldom.Marshal(last))
+
+	// Subscribing to an unsupported topic faults with TopicNotSupported.
+	_, err = sub.Subscribe(ctx, "svc://cluster", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://dashboard"),
+		TopicExpression:   "g:accounting",
+		TopicDialect:      topics.DialectSimple,
+		TopicNS:           map[string]string{"g": gridNS},
+	})
+	fmt.Printf("subscribe to unadvertised topic -> %v\n", err)
+}

@@ -1,0 +1,95 @@
+// Legacybridge: WS-Messenger wrapping an existing messaging system, the
+// deployment §VII closes with — "WS-Messenger provides Web service
+// interfaces to existing messaging systems".
+//
+// Here the underlying fabric is the JMS baseline. A legacy in-process JMS
+// consumer and a modern WS-Notification consumer both see every event:
+// the WS side publishes and subscribes through SOAP at the broker, while
+// the legacy side keeps using the JMS topic directly.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/jms"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+func main() {
+	ctx := context.Background()
+	net := transport.NewLoopback()
+
+	// The pre-existing JMS deployment.
+	provider := jms.NewProvider()
+	legacyTopic := provider.Topic("enterprise.events")
+
+	// A legacy JMS consumer with an SQL92 selector, knowing nothing of
+	// Web services.
+	legacyTopic.Subscribe(jms.MustSelector("wsmTopic IS NOT NULL"), func(m jms.Message) {
+		fmt.Printf("  [legacy JMS consumer] %s selector-matched: topic=%v\n",
+			m.TypeName(), m.Properties()["wsmTopic"])
+	})
+
+	// WS-Messenger in front, with the JMS topic as its backend fabric.
+	broker, err := core.New(core.Config{
+		Address:      "svc://bridge",
+		Client:       net,
+		Backend:      backend.NewJMS(provider, "enterprise.events"),
+		SyncDelivery: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Register("svc://bridge", broker.FrontHandler())
+
+	// A modern WS-Notification consumer subscribes through SOAP.
+	consumer := &wsnt.Consumer{OnNotify: func(r wsnt.Received) {
+		fmt.Printf("  [WS consumer] wrapped Notify: topic=%s payload=%s\n",
+			r.Topic, xmldom.Marshal(r.Payload))
+	}}
+	net.Register("svc://ws-consumer", consumer)
+	sub := &wsnt.Subscriber{Client: net, Version: wsnt.V1_3}
+	if _, err := sub.Subscribe(ctx, "svc://bridge", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://ws-consumer"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A WS publisher sends a Notify to the bridge: both worlds see it.
+	fmt.Println("WS publisher -> broker -> JMS fabric -> both consumers:")
+	topic := topics.NewPath("urn:enterprise", "orders", "created")
+	env := soap.New(soap.V11)
+	(&wsa.MessageHeaders{Version: wsa.V200508, To: "svc://bridge",
+		Action: wsnt.V1_3.ActionNotify()}).Apply(env)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+		{Topic: topic, Payload: xmldom.Elem("urn:enterprise", "Order",
+			xmldom.Elem("urn:enterprise", "id", "ord-1001"))},
+	}))
+	if err := net.Send(ctx, "svc://bridge", env); err != nil {
+		log.Fatal(err)
+	}
+
+	// A legacy publisher drops a message straight onto the JMS topic: the
+	// WS consumer still receives it, as a mediated wrapped Notify.
+	fmt.Println("\nlegacy JMS publisher -> fabric -> WS consumer too:")
+	legacy := jms.NewTextMessage(xmldom.Marshal(
+		xmldom.Elem("urn:enterprise", "Order",
+			xmldom.Elem("urn:enterprise", "id", "ord-1002"))))
+	legacy.Properties()["wsmTopic"] = topic.String()
+	if err := legacyTopic.Publish(legacy); err != nil {
+		log.Fatal(err)
+	}
+
+	st := broker.Stats()
+	fmt.Printf("\nbridge stats: published=%d delivered=%d (backend: JMS topic %q, journal=%d)\n",
+		st.Published, st.Delivered, "enterprise.events", provider.JournalLen())
+}

@@ -1,0 +1,145 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corbanotify"
+	"repro/internal/jms"
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+// JMS wraps a JMS topic as a WS-Messenger backend: notifications travel as
+// TextMessages whose body is the serialised payload and whose properties
+// carry the topic and origin — the "Web service interfaces to existing
+// messaging systems" deployment of §VII.
+type JMS struct {
+	provider *jms.Provider
+	topic    *jms.Topic
+}
+
+// NewJMS builds the adapter over the named JMS topic.
+func NewJMS(p *jms.Provider, topicName string) *JMS {
+	return &JMS{provider: p, topic: p.Topic(topicName)}
+}
+
+// Name implements Backend.
+func (j *JMS) Name() string { return "jms:" + j.topic.Name() }
+
+// Publish implements Backend.
+func (j *JMS) Publish(msg Message) error {
+	m := jms.NewTextMessage(xmldom.Marshal(msg.Payload))
+	if !msg.Topic.IsZero() {
+		m.Properties()["wsmTopic"] = msg.Topic.String()
+	}
+	if msg.Origin != "" {
+		m.Properties()["wsmOrigin"] = msg.Origin
+	}
+	return j.topic.Publish(m)
+}
+
+// Subscribe implements Backend.
+func (j *JMS) Subscribe(fn func(Message)) (func(), error) {
+	cancel := j.topic.Subscribe(nil, func(m jms.Message) {
+		tm, ok := m.(*jms.TextMessage)
+		if !ok {
+			return
+		}
+		payload, err := xmldom.ParseString(tm.Text)
+		if err != nil {
+			return
+		}
+		out := Message{Payload: payload}
+		if tp, ok := m.Properties()["wsmTopic"].(string); ok {
+			out.Topic = parseClarkTopic(tp)
+		}
+		if or, ok := m.Properties()["wsmOrigin"].(string); ok {
+			out.Origin = or
+		}
+		fn(out)
+	})
+	return cancel, nil
+}
+
+// Close implements Backend.
+func (j *JMS) Close() error {
+	j.provider.Close()
+	return nil
+}
+
+// CORBANotify wraps a CORBA Notification Service channel as a backend:
+// notifications become structured events (domain "WS-Messenger"), with the
+// serialised payload as the body and the topic in FilterableData.
+type CORBANotify struct {
+	channel *corbanotify.Channel
+}
+
+// NewCORBANotify builds the adapter.
+func NewCORBANotify(ch *corbanotify.Channel) *CORBANotify {
+	return &CORBANotify{channel: ch}
+}
+
+// Name implements Backend.
+func (c *CORBANotify) Name() string { return "corba-notification" }
+
+// Publish implements Backend.
+func (c *CORBANotify) Publish(msg Message) error {
+	ev := corbanotify.NewStructuredEvent("WS-Messenger", "Notification", msg.Payload.Name.Local)
+	if !msg.Topic.IsZero() {
+		ev.FilterableData["wsmTopic"] = msg.Topic.String()
+	}
+	if msg.Origin != "" {
+		ev.FilterableData["wsmOrigin"] = msg.Origin
+	}
+	ev.Body = xmldom.Marshal(msg.Payload)
+	c.channel.Push(ev)
+	return nil
+}
+
+// Subscribe implements Backend.
+func (c *CORBANotify) Subscribe(fn func(Message)) (func(), error) {
+	proxy, err := c.channel.ConnectPushConsumer(nil, nil, func(evs []*corbanotify.StructuredEvent) {
+		for _, ev := range evs {
+			body, ok := ev.Body.(string)
+			if !ok {
+				continue
+			}
+			payload, err := xmldom.ParseString(body)
+			if err != nil {
+				continue
+			}
+			out := Message{Payload: payload}
+			if tp, ok := ev.FilterableData["wsmTopic"].(string); ok {
+				out.Topic = parseClarkTopic(tp)
+			}
+			if or, ok := ev.FilterableData["wsmOrigin"].(string); ok {
+				out.Origin = or
+			}
+			fn(out)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backend: corba connect: %w", err)
+	}
+	return proxy.Disconnect, nil
+}
+
+// Close implements Backend.
+func (c *CORBANotify) Close() error { return nil }
+
+func parseClarkTopic(s string) topics.Path {
+	if s == "" {
+		return topics.Path{}
+	}
+	ns := ""
+	if strings.HasPrefix(s, "{") {
+		if i := strings.Index(s, "}"); i > 0 {
+			ns, s = s[1:i], s[i+1:]
+		}
+	}
+	if s == "" {
+		return topics.Path{}
+	}
+	return topics.Path{Namespace: ns, Segments: strings.Split(s, "/")}
+}

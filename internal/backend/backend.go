@@ -1,0 +1,118 @@
+// Package backend defines the pluggable message-system interface behind
+// the WS-Messenger broker.
+//
+// §VII of the paper: "WS-Messenger provides a generic interface that can
+// use existing publish/subscribe systems as the underlying message
+// systems. In this way, WS-Messenger provides Web service interfaces to
+// existing messaging systems." The broker publishes every accepted
+// notification into a Backend and receives the fan-in back through the
+// subscription callback; swapping the backend changes the transport
+// fabric without touching the WS front doors. Adapters exist for the
+// in-memory fabric (this file), the JMS baseline and the CORBA
+// notification baseline.
+package backend
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+// Message is the canonical unit the backend moves. Origin is an opaque
+// producer tag (e.g. the spec family a SOAP publish arrived in) carried as
+// message metadata, the way JMS properties or CORBA structured-event
+// headers would carry it.
+type Message struct {
+	Topic   topics.Path
+	Payload *xmldom.Element
+	Origin  string
+}
+
+// Backend is an underlying publish/subscribe fabric.
+type Backend interface {
+	// Name identifies the backend in logs and probe output.
+	Name() string
+	// Publish injects a message into the fabric.
+	Publish(msg Message) error
+	// Subscribe registers a fan-in callback for every published message;
+	// the returned function cancels the registration.
+	Subscribe(fn func(Message)) (cancel func(), err error)
+	// Close shuts the fabric down; Publish afterwards errors.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed backend.
+var ErrClosed = errors.New("backend: closed")
+
+// Memory is the default in-process fabric: synchronous dispatch to every
+// subscriber in registration order.
+type Memory struct {
+	mu     sync.RWMutex
+	nextID int
+	subs   map[int]func(Message)
+	closed bool
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory {
+	return &Memory{subs: map[int]func(Message){}}
+}
+
+// Name implements Backend.
+func (m *Memory) Name() string { return "memory" }
+
+// Publish implements Backend.
+func (m *Memory) Publish(msg Message) error {
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return ErrClosed
+	}
+	ids := make([]int, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	// Deterministic order for tests: registration order == id order.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	fns := make([]func(Message), len(ids))
+	for i, id := range ids {
+		fns[i] = m.subs[id]
+	}
+	m.mu.RUnlock()
+	for _, fn := range fns {
+		fn(msg)
+	}
+	return nil
+}
+
+// Subscribe implements Backend.
+func (m *Memory) Subscribe(fn func(Message)) (func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.nextID++
+	id := m.nextID
+	m.subs[id] = fn
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.subs, id)
+	}, nil
+}
+
+// Close implements Backend.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.subs = map[int]func(Message){}
+	return nil
+}

@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"testing"
+
+	"repro/internal/corbanotify"
+	"repro/internal/jms"
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+var testTopic = topics.NewPath("urn:grid", "jobs")
+
+func testMsg() Message {
+	return Message{
+		Topic:   testTopic,
+		Payload: xmldom.Elem("urn:grid", "Ev", xmldom.Elem("urn:grid", "v", "42")),
+		Origin:  "WS-Eventing",
+	}
+}
+
+func checkRoundTrip(t *testing.T, b Backend) {
+	t.Helper()
+	var got []Message
+	cancel, err := b.Subscribe(func(m Message) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(testMsg()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%s: got %d messages", b.Name(), len(got))
+	}
+	m := got[0]
+	if !m.Topic.Equal(testTopic) {
+		t.Errorf("%s: topic = %v", b.Name(), m.Topic)
+	}
+	if m.Origin != "WS-Eventing" {
+		t.Errorf("%s: origin = %q", b.Name(), m.Origin)
+	}
+	if m.Payload.ChildText(xmldom.N("urn:grid", "v")) != "42" {
+		t.Errorf("%s: payload lost", b.Name())
+	}
+	cancel()
+	b.Publish(testMsg())
+	if len(got) != 1 {
+		t.Errorf("%s: cancelled subscriber still delivered", b.Name())
+	}
+}
+
+func TestMemoryBackend(t *testing.T) {
+	checkRoundTrip(t, NewMemory())
+}
+
+func TestJMSBackend(t *testing.T) {
+	checkRoundTrip(t, NewJMS(jms.NewProvider(), "wsm"))
+}
+
+func TestCORBANotifyBackend(t *testing.T) {
+	ch, err := corbanotify.NewChannel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, NewCORBANotify(ch))
+}
+
+func TestMemoryClose(t *testing.T) {
+	m := NewMemory()
+	m.Close()
+	if err := m.Publish(testMsg()); err != ErrClosed {
+		t.Errorf("publish after close = %v", err)
+	}
+	if _, err := m.Subscribe(func(Message) {}); err != ErrClosed {
+		t.Errorf("subscribe after close = %v", err)
+	}
+}
+
+func TestMemoryMultipleSubscribersOrdered(t *testing.T) {
+	m := NewMemory()
+	var order []int
+	m.Subscribe(func(Message) { order = append(order, 1) })
+	m.Subscribe(func(Message) { order = append(order, 2) })
+	m.Subscribe(func(Message) { order = append(order, 3) })
+	m.Publish(testMsg())
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTopiclessMessageThroughAdapters(t *testing.T) {
+	for _, b := range []Backend{NewMemory(), NewJMS(jms.NewProvider(), "x")} {
+		var got []Message
+		b.Subscribe(func(m Message) { got = append(got, m) })
+		b.Publish(Message{Payload: xmldom.Elem("", "bare")})
+		if len(got) != 1 || !got[0].Topic.IsZero() {
+			t.Errorf("%s: topicless round trip = %+v", b.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package corbaevent implements a CORBA Event Service-style channel: the
+// oldest baseline in the paper's Table 3 (first introduced 3/1995).
+//
+// The Event Service decouples suppliers and consumers through an
+// EventChannel object and supports push, pull and mixed models — but, as
+// the paper notes (§VI.A), it has no event filtering and no QoS: "a
+// consumer receives all events on a channel". Events are untyped ("Anys").
+// In-process function calls stand in for the ORB's RPC, matching the
+// "RPC, intranet-scale" row of Table 3.
+package corbaevent
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Event is the untyped CORBA "Any".
+type Event any
+
+// ErrDisconnected is returned by operations on a disconnected proxy.
+var ErrDisconnected = errors.New("corbaevent: disconnected")
+
+// Channel is an EventChannel: every event pushed (or pulled in from pull
+// suppliers) reaches every connected consumer, unfiltered.
+type Channel struct {
+	mu            sync.Mutex
+	nextID        int
+	pushConsumers map[int]func(Event)
+	pullProxies   map[int]*PullConsumer
+	pullSuppliers map[int]func() (Event, bool)
+}
+
+// NewChannel builds an empty channel.
+func NewChannel() *Channel {
+	return &Channel{
+		pushConsumers: map[int]func(Event){},
+		pullProxies:   map[int]*PullConsumer{},
+		pullSuppliers: map[int]func() (Event, bool){},
+	}
+}
+
+// ConnectPushConsumer attaches a push-model consumer; the returned
+// function disconnects it.
+func (c *Channel) ConnectPushConsumer(fn func(Event)) (disconnect func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	c.pushConsumers[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.pushConsumers, id)
+	}
+}
+
+// PullConsumer is a pull-model consumer proxy: events buffer here until
+// pulled.
+type PullConsumer struct {
+	ch           *Channel
+	id           int
+	mu           sync.Mutex
+	queue        []Event
+	disconnected bool
+}
+
+// ConnectPullConsumer attaches a pull-model consumer proxy.
+func (c *Channel) ConnectPullConsumer() *PullConsumer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	p := &PullConsumer{ch: c, id: c.nextID}
+	c.pullProxies[p.id] = p
+	return p
+}
+
+// TryPull returns the next buffered event without blocking.
+func (p *PullConsumer) TryPull() (Event, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.disconnected {
+		return nil, false, ErrDisconnected
+	}
+	if len(p.queue) == 0 {
+		return nil, false, nil
+	}
+	ev := p.queue[0]
+	p.queue = p.queue[1:]
+	return ev, true, nil
+}
+
+// Disconnect detaches the proxy.
+func (p *PullConsumer) Disconnect() {
+	p.mu.Lock()
+	p.disconnected = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.ch.mu.Lock()
+	delete(p.ch.pullProxies, p.id)
+	p.ch.mu.Unlock()
+}
+
+// ConnectPullSupplier attaches a pull-model supplier: the channel polls it
+// via PollSuppliers.
+func (c *Channel) ConnectPullSupplier(fn func() (Event, bool)) (disconnect func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	c.pullSuppliers[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.pullSuppliers, id)
+	}
+}
+
+// Push delivers one event from a push supplier to every consumer — no
+// filter ever applies.
+func (c *Channel) Push(ev Event) {
+	c.mu.Lock()
+	fns := make([]func(Event), 0, len(c.pushConsumers))
+	ids := make([]int, 0, len(c.pushConsumers))
+	for id := range c.pushConsumers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fns = append(fns, c.pushConsumers[id])
+	}
+	proxies := make([]*PullConsumer, 0, len(c.pullProxies))
+	for _, p := range c.pullProxies {
+		proxies = append(proxies, p)
+	}
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+	for _, p := range proxies {
+		p.mu.Lock()
+		if !p.disconnected {
+			p.queue = append(p.queue, ev)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// PollSuppliers drains every pull supplier once, pushing whatever they
+// offer into the channel; it reports how many events moved. This is the
+// channel-mediated pull→push bridging the Event Service allows ("push,
+// pull & both", Table 3).
+func (c *Channel) PollSuppliers() int {
+	c.mu.Lock()
+	fns := make([]func() (Event, bool), 0, len(c.pullSuppliers))
+	for _, fn := range c.pullSuppliers {
+		fns = append(fns, fn)
+	}
+	c.mu.Unlock()
+	moved := 0
+	for _, fn := range fns {
+		for {
+			ev, ok := fn()
+			if !ok {
+				break
+			}
+			c.Push(ev)
+			moved++
+		}
+	}
+	return moved
+}
+
+// ConsumerCount reports connected consumers of both models.
+func (c *Channel) ConsumerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pushConsumers) + len(c.pullProxies)
+}

@@ -1,0 +1,128 @@
+package corbaevent
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPushModelNoFiltering(t *testing.T) {
+	ch := NewChannel()
+	var a, b []Event
+	ch.ConnectPushConsumer(func(e Event) { a = append(a, e) })
+	ch.ConnectPushConsumer(func(e Event) { b = append(b, e) })
+	ch.Push("one")
+	ch.Push(2)
+	// §VI.A: "A consumer receives all events on a channel" — no filters.
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("a=%d b=%d, want 2/2", len(a), len(b))
+	}
+	if a[0] != "one" || a[1] != 2 {
+		t.Errorf("order/content: %v", a)
+	}
+}
+
+func TestDisconnectPushConsumer(t *testing.T) {
+	ch := NewChannel()
+	var got int
+	disconnect := ch.ConnectPushConsumer(func(Event) { got++ })
+	ch.Push("x")
+	disconnect()
+	ch.Push("y")
+	if got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+	if ch.ConsumerCount() != 0 {
+		t.Error("consumer count after disconnect")
+	}
+}
+
+func TestPullModel(t *testing.T) {
+	ch := NewChannel()
+	p := ch.ConnectPullConsumer()
+	ch.Push("a")
+	ch.Push("b")
+	ev, ok, err := p.TryPull()
+	if err != nil || !ok || ev != "a" {
+		t.Fatalf("pull 1 = %v %v %v", ev, ok, err)
+	}
+	ev, ok, _ = p.TryPull()
+	if !ok || ev != "b" {
+		t.Fatalf("pull 2 = %v %v", ev, ok)
+	}
+	if _, ok, _ := p.TryPull(); ok {
+		t.Error("empty queue returned event")
+	}
+	p.Disconnect()
+	if _, _, err := p.TryPull(); err != ErrDisconnected {
+		t.Errorf("pull after disconnect = %v", err)
+	}
+	ch.Push("c") // must not panic or deliver
+}
+
+func TestMixedModels(t *testing.T) {
+	// Table 3: the Event Service supports "push, pull & both".
+	ch := NewChannel()
+	var pushed []Event
+	ch.ConnectPushConsumer(func(e Event) { pushed = append(pushed, e) })
+	pull := ch.ConnectPullConsumer()
+	ch.Push("ev")
+	if len(pushed) != 1 {
+		t.Error("push consumer missed event")
+	}
+	if ev, ok, _ := pull.TryPull(); !ok || ev != "ev" {
+		t.Error("pull consumer missed event")
+	}
+}
+
+func TestPullSupplierBridging(t *testing.T) {
+	ch := NewChannel()
+	var got []Event
+	ch.ConnectPushConsumer(func(e Event) { got = append(got, e) })
+	pending := []Event{"s1", "s2"}
+	disconnect := ch.ConnectPullSupplier(func() (Event, bool) {
+		if len(pending) == 0 {
+			return nil, false
+		}
+		ev := pending[0]
+		pending = pending[1:]
+		return ev, true
+	})
+	if moved := ch.PollSuppliers(); moved != 2 {
+		t.Fatalf("moved %d, want 2", moved)
+	}
+	if len(got) != 2 {
+		t.Fatalf("push consumer got %d", len(got))
+	}
+	disconnect()
+	pending = []Event{"s3"}
+	if moved := ch.PollSuppliers(); moved != 0 {
+		t.Error("disconnected supplier polled")
+	}
+}
+
+func TestConcurrentPush(t *testing.T) {
+	ch := NewChannel()
+	var mu sync.Mutex
+	count := 0
+	ch.ConnectPushConsumer(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ch.Push(j)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 400 {
+		t.Errorf("count = %d", count)
+	}
+}

@@ -1,0 +1,455 @@
+package corbanotify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The 13 QoS properties the CORBA Notification Service specification
+// defines — the paper's Table 3 notes all implementations must understand
+// them even when they do not implement them, and that others can be added.
+const (
+	QoSEventReliability      = "EventReliability"
+	QoSConnectionReliability = "ConnectionReliability"
+	QoSPriority              = "Priority"
+	QoSStartTime             = "StartTime"
+	QoSStopTime              = "StopTime"
+	QoSTimeout               = "Timeout"
+	QoSStartTimeSupported    = "StartTimeSupported"
+	QoSStopTimeSupported     = "StopTimeSupported"
+	QoSMaxEventsPerConsumer  = "MaxEventsPerConsumer"
+	QoSOrderPolicy           = "OrderPolicy"
+	QoSDiscardPolicy         = "DiscardPolicy"
+	QoSMaximumBatchSize      = "MaximumBatchSize"
+	QoSPacingInterval        = "PacingInterval"
+)
+
+// StandardQoSProperties lists the 13 spec-defined property names.
+var StandardQoSProperties = []string{
+	QoSEventReliability, QoSConnectionReliability, QoSPriority,
+	QoSStartTime, QoSStopTime, QoSTimeout,
+	QoSStartTimeSupported, QoSStopTimeSupported, QoSMaxEventsPerConsumer,
+	QoSOrderPolicy, QoSDiscardPolicy, QoSMaximumBatchSize, QoSPacingInterval,
+}
+
+// Order and discard policy values.
+const (
+	OrderFifo     = "FifoOrder"
+	OrderPriority = "PriorityOrder"
+	DiscardFifo   = "FifoDiscard" // drop oldest on overflow
+	DiscardLifo   = "LifoDiscard" // drop newest on overflow
+)
+
+// QoS is a property map. Implemented semantics: Priority (delivery order
+// under PriorityOrder), Timeout (event expiry), MaxEventsPerConsumer +
+// DiscardPolicy (bounded queues), OrderPolicy, MaximumBatchSize (sequence
+// delivery). The remaining properties are understood (validated, stored,
+// queryable) without further behaviour, matching the spec's
+// "must be understood ... even though they are not required to be
+// implemented".
+type QoS map[string]any
+
+// ValidateQoS checks property names: the 13 standard ones pass, names
+// prefixed "X-" are accepted as extensions, anything else errors.
+func ValidateQoS(q QoS) error {
+	std := map[string]bool{}
+	for _, n := range StandardQoSProperties {
+		std[n] = true
+	}
+	for name := range q {
+		if std[name] {
+			continue
+		}
+		if len(name) > 2 && name[:2] == "X-" {
+			continue // extended property, permitted by the spec
+		}
+		return fmt.Errorf("corbanotify: unknown QoS property %q", name)
+	}
+	return nil
+}
+
+func (q QoS) int(name string, def int) int {
+	if v, ok := q[name]; ok {
+		switch t := v.(type) {
+		case int:
+			return t
+		case int64:
+			return int(t)
+		case float64:
+			return int(t)
+		}
+	}
+	return def
+}
+
+func (q QoS) str(name, def string) string {
+	if v, ok := q[name].(string); ok {
+		return v
+	}
+	return def
+}
+
+// ErrDisconnected is returned by operations on disconnected proxies.
+var ErrDisconnected = errors.New("corbanotify: disconnected")
+
+// Channel is a notification channel with per-channel default QoS.
+type Channel struct {
+	mu     sync.Mutex
+	qos    QoS
+	nextID int
+	push   map[int]*PushProxy
+	pull   map[int]*PullProxy
+	clock  func() time.Time
+}
+
+// NewChannel builds a channel after validating its QoS.
+func NewChannel(qos QoS) (*Channel, error) {
+	if err := ValidateQoS(qos); err != nil {
+		return nil, err
+	}
+	if qos == nil {
+		qos = QoS{}
+	}
+	return &Channel{
+		qos:   qos,
+		push:  map[int]*PushProxy{},
+		pull:  map[int]*PullProxy{},
+		clock: time.Now,
+	}, nil
+}
+
+// WithClock injects a time source (tests).
+func (c *Channel) WithClock(clock func() time.Time) *Channel {
+	c.clock = clock
+	return c
+}
+
+// QoSValue reads an effective channel QoS property.
+func (c *Channel) QoSValue(name string) (any, bool) {
+	v, ok := c.qos[name]
+	return v, ok
+}
+
+// PushProxy is a push-model consumer connection with an optional filter
+// and per-connection QoS overrides. Batch delivery (MaximumBatchSize > 1)
+// buffers events and hands the consumer slices. SuspendConnection /
+// ResumeConnection implement the demand-side flow control the paper's
+// Table 3 lists for the Notification Service: while suspended, matching
+// events buffer (bounded by MaxEventsPerConsumer) and flush on resume.
+type PushProxy struct {
+	id        int
+	ch        *Channel
+	filter    *Filter
+	qos       QoS
+	handler   func([]*StructuredEvent)
+	mu        sync.Mutex
+	batch     []*StructuredEvent
+	suspended bool
+	pending   []*StructuredEvent
+	closed    bool
+	// Discarded counts suspension-buffer overflow drops.
+	Discarded int
+}
+
+// SuspendConnection pauses delivery; events buffer until resume.
+func (p *PushProxy) SuspendConnection() {
+	p.mu.Lock()
+	p.suspended = true
+	p.mu.Unlock()
+}
+
+// ResumeConnection re-enables delivery and flushes the buffered events in
+// arrival order.
+func (p *PushProxy) ResumeConnection() {
+	p.mu.Lock()
+	p.suspended = false
+	pending := p.pending
+	p.pending = nil
+	h := p.handler
+	closed := p.closed
+	p.mu.Unlock()
+	if closed || h == nil {
+		return
+	}
+	for _, ev := range pending {
+		h([]*StructuredEvent{ev})
+	}
+}
+
+// Suspended reports the connection state.
+func (p *PushProxy) Suspended() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.suspended
+}
+
+// ConnectPushConsumer attaches a push consumer. With MaximumBatchSize <= 1
+// each delivery is a single-event slice (the StructuredPushConsumer
+// model); larger values reproduce SequencePushConsumer batching.
+func (c *Channel) ConnectPushConsumer(f *Filter, qos QoS, fn func([]*StructuredEvent)) (*PushProxy, error) {
+	if err := ValidateQoS(qos); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	p := &PushProxy{id: c.nextID, ch: c, filter: f, qos: qos, handler: fn}
+	c.push[p.id] = p
+	return p, nil
+}
+
+// Disconnect detaches the proxy, flushing any partial batch.
+func (p *PushProxy) Disconnect() {
+	p.Flush()
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ch.mu.Lock()
+	delete(p.ch.push, p.id)
+	p.ch.mu.Unlock()
+}
+
+// Flush delivers a partially filled batch immediately (pacing-interval
+// expiry in the real service).
+func (p *PushProxy) Flush() {
+	p.mu.Lock()
+	batch := p.batch
+	p.batch = nil
+	closed := p.closed
+	handler := p.handler
+	p.mu.Unlock()
+	if !closed && len(batch) > 0 && handler != nil {
+		handler(batch)
+	}
+}
+
+func (p *PushProxy) effective(name string, def int) int {
+	if v, ok := p.qos[name]; ok {
+		q := QoS{name: v}
+		return q.int(name, def)
+	}
+	return p.ch.qos.int(name, def)
+}
+
+// PullProxy is a pull-model consumer connection: events queue under the
+// MaxEventsPerConsumer / DiscardPolicy / OrderPolicy QoS until pulled.
+type PullProxy struct {
+	id     int
+	ch     *Channel
+	filter *Filter
+	qos    QoS
+	mu     sync.Mutex
+	queue  []*StructuredEvent
+	closed bool
+	// Discarded counts events dropped by the discard policy.
+	Discarded int
+}
+
+// ConnectPullConsumer attaches a pull consumer proxy.
+func (c *Channel) ConnectPullConsumer(f *Filter, qos QoS) (*PullProxy, error) {
+	if err := ValidateQoS(qos); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	p := &PullProxy{id: c.nextID, ch: c, filter: f, qos: qos}
+	c.pull[p.id] = p
+	return p, nil
+}
+
+// Disconnect detaches the proxy.
+func (p *PullProxy) Disconnect() {
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.ch.mu.Lock()
+	delete(p.ch.pull, p.id)
+	p.ch.mu.Unlock()
+}
+
+func (p *PullProxy) effective(name string, def int) int {
+	if v, ok := p.qos[name]; ok {
+		q := QoS{name: v}
+		return q.int(name, def)
+	}
+	return p.ch.qos.int(name, def)
+}
+
+func (p *PullProxy) effectiveStr(name, def string) string {
+	if v, ok := p.qos[name].(string); ok {
+		return v
+	}
+	return p.ch.qos.str(name, def)
+}
+
+// TryPull returns the next queued unexpired event, honouring OrderPolicy.
+func (p *PullProxy) TryPull() (*StructuredEvent, bool, error) {
+	now := p.ch.clock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false, ErrDisconnected
+	}
+	// Drop expired events (per-event Timeout variable header, millis).
+	kept := p.queue[:0]
+	for _, ev := range p.queue {
+		if timedOut(ev, now) {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	p.queue = kept
+	if len(p.queue) == 0 {
+		return nil, false, nil
+	}
+	idx := 0
+	if p.effectiveStr(QoSOrderPolicy, OrderFifo) == OrderPriority {
+		for i, ev := range p.queue {
+			if ev.Priority() > p.queue[idx].Priority() {
+				_ = i
+				idx = i
+			}
+		}
+	}
+	ev := p.queue[idx]
+	p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
+	return ev, true, nil
+}
+
+// QueueLen reports queued events.
+func (p *PullProxy) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// timedOut evaluates the per-event Timeout header: the event's age since
+// its StartTime/attach time exceeds Timeout milliseconds. For simplicity
+// the timestamp rides in the VariableHeader under "X-AttachedAt".
+func timedOut(ev *StructuredEvent, now time.Time) bool {
+	tMillis, ok := ev.VariableHeader[QoSTimeout]
+	if !ok {
+		return false
+	}
+	at, ok2 := ev.VariableHeader["X-AttachedAt"].(int64)
+	if !ok2 {
+		return false
+	}
+	var millis int64
+	switch t := tMillis.(type) {
+	case int:
+		millis = int64(t)
+	case int64:
+		millis = t
+	case float64:
+		millis = int64(t)
+	default:
+		return false
+	}
+	return now.UnixMilli()-at > millis
+}
+
+// Push delivers a structured event through every proxy whose filter
+// matches. It returns how many proxies accepted it.
+func (c *Channel) Push(ev *StructuredEvent) int {
+	c.mu.Lock()
+	pushes := make([]*PushProxy, 0, len(c.push))
+	ids := make([]int, 0, len(c.push))
+	for id := range c.push {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pushes = append(pushes, c.push[id])
+	}
+	pulls := make([]*PullProxy, 0, len(c.pull))
+	for _, p := range c.pull {
+		pulls = append(pulls, p)
+	}
+	now := c.clock()
+	c.mu.Unlock()
+
+	accepted := 0
+	for _, p := range pushes {
+		if !p.filter.Matches(ev) {
+			continue
+		}
+		accepted++
+		cp := ev.clone()
+		// Suspended connections buffer instead of delivering.
+		p.mu.Lock()
+		if p.suspended && !p.closed {
+			maxQ := p.effective(QoSMaxEventsPerConsumer, 0)
+			if maxQ > 0 && len(p.pending) >= maxQ {
+				p.pending = p.pending[1:]
+				p.Discarded++
+			}
+			p.pending = append(p.pending, cp)
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Unlock()
+		batchSize := p.effective(QoSMaximumBatchSize, 1)
+		if batchSize <= 1 {
+			p.mu.Lock()
+			h := p.handler
+			closed := p.closed
+			p.mu.Unlock()
+			if !closed && h != nil {
+				h([]*StructuredEvent{cp})
+			}
+			continue
+		}
+		p.mu.Lock()
+		p.batch = append(p.batch, cp)
+		var full []*StructuredEvent
+		if len(p.batch) >= batchSize {
+			full = p.batch
+			p.batch = nil
+		}
+		h := p.handler
+		closed := p.closed
+		p.mu.Unlock()
+		if !closed && full != nil && h != nil {
+			h(full)
+		}
+	}
+	for _, p := range pulls {
+		if !p.filter.Matches(ev) {
+			continue
+		}
+		accepted++
+		cp := ev.clone()
+		cp.VariableHeader["X-AttachedAt"] = now.UnixMilli()
+		maxQ := p.effective(QoSMaxEventsPerConsumer, 0)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			continue
+		}
+		if maxQ > 0 && len(p.queue) >= maxQ {
+			if p.effectiveStr(QoSDiscardPolicy, DiscardFifo) == DiscardLifo {
+				p.Discarded++
+				p.mu.Unlock()
+				continue // drop the newest (this one)
+			}
+			p.queue = p.queue[1:] // drop the oldest
+			p.Discarded++
+		}
+		p.queue = append(p.queue, cp)
+		p.mu.Unlock()
+	}
+	return accepted
+}
+
+// ConsumerCount reports connected proxies of both models.
+func (c *Channel) ConsumerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.push) + len(c.pull)
+}

@@ -1,0 +1,445 @@
+package corbanotify
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func alarm(severity float64, source string) *StructuredEvent {
+	ev := NewStructuredEvent("Telecom", "CommunicationsAlarm", "lost_packet")
+	ev.FilterableData["severity"] = severity
+	ev.FilterableData["source"] = source
+	return ev
+}
+
+// --- ETCL tests ---
+
+func TestETCLConstraints(t *testing.T) {
+	ev := alarm(3, "router-7")
+	ev.VariableHeader["Priority"] = 5
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"$type_name == 'CommunicationsAlarm'", true},
+		{"$type_name == 'Other'", false},
+		{"$domain_name == 'Telecom'", true},
+		{"$event_name != 'lost_packet'", false},
+		{"$severity >= 3", true},
+		{"$severity > 3", false},
+		{"$severity >= 2 and $source == 'router-7'", true},
+		{"$severity >= 5 or $source == 'router-7'", true},
+		{"not ($severity >= 5)", true},
+		{"exist $severity", true},
+		{"exist $missing", false},
+		{"not exist $missing", true},
+		{"$source ~ 'router'", true},
+		{"$source ~ 'switch'", false},
+		{"$severity + 1 == 4", true},
+		{"$severity * 2 >= 6", true},
+		{"-$severity < 0", true},
+		{"$missing > 1", false},      // missing var: no match
+		{"not ($missing > 1)", true}, // strict negation of failure
+		{"$Priority == 5", true},     // variable header lookup
+		{"TRUE", true},
+		{"FALSE", false},
+		{"$severity == 3 and TRUE", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			c, err := ParseConstraint(tc.expr)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := c.Matches(ev); got != tc.want {
+				t.Errorf("%q = %v, want %v", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestETCLParseErrors(t *testing.T) {
+	bad := []string{"", "$", "$a =", "$a = 3", "$a == ", "($a == 1", "$a !! 1", "'unterminated", "exist 5", "$a == 'x' trailing"}
+	for _, s := range bad {
+		if _, err := ParseConstraint(s); err == nil {
+			t.Errorf("ParseConstraint(%q) succeeded", s)
+		}
+	}
+}
+
+func TestFilterAnyConstraintMatches(t *testing.T) {
+	f := NewFilter(
+		MustConstraint("$severity >= 5"),
+		MustConstraint("$source == 'router-7'"),
+	)
+	if !f.Matches(alarm(1, "router-7")) {
+		t.Error("second constraint should match")
+	}
+	if f.Matches(alarm(1, "other")) {
+		t.Error("no constraint matches")
+	}
+	var nilFilter *Filter
+	if !nilFilter.Matches(alarm(1, "x")) {
+		t.Error("nil filter should match everything")
+	}
+	empty := NewFilter()
+	if empty.Matches(alarm(1, "x")) {
+		t.Error("empty filter should match nothing")
+	}
+}
+
+// --- QoS tests ---
+
+func TestValidateQoS(t *testing.T) {
+	ok := QoS{}
+	for _, n := range StandardQoSProperties {
+		ok[n] = 1
+	}
+	ok["X-Custom"] = "extended"
+	if err := ValidateQoS(ok); err != nil {
+		t.Errorf("standard+extended rejected: %v", err)
+	}
+	if len(StandardQoSProperties) != 13 {
+		t.Errorf("spec defines 13 QoS properties, have %d", len(StandardQoSProperties))
+	}
+	if err := ValidateQoS(QoS{"Bogus": 1}); err == nil {
+		t.Error("unknown property accepted")
+	}
+	if _, err := NewChannel(QoS{"Nope": 1}); err == nil {
+		t.Error("channel with bad QoS accepted")
+	}
+}
+
+// --- Channel tests ---
+
+func TestStructuredPushWithFilter(t *testing.T) {
+	ch, err := NewChannel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*StructuredEvent
+	_, err = ch.ConnectPushConsumer(
+		NewFilter(MustConstraint("$severity >= 3")), nil,
+		func(evs []*StructuredEvent) { got = append(got, evs...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Push(alarm(5, "a"))
+	ch.Push(alarm(1, "b"))
+	if len(got) != 1 || got[0].FilterableData["severity"] != 5.0 {
+		t.Errorf("got %d events", len(got))
+	}
+}
+
+func TestSequenceBatchDelivery(t *testing.T) {
+	ch, _ := NewChannel(nil)
+	var batches [][]*StructuredEvent
+	p, _ := ch.ConnectPushConsumer(nil, QoS{QoSMaximumBatchSize: 3},
+		func(evs []*StructuredEvent) { batches = append(batches, evs) })
+	for i := 0; i < 7; i++ {
+		ch.Push(alarm(float64(i), "s"))
+	}
+	if len(batches) != 2 || len(batches[0]) != 3 || len(batches[1]) != 3 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	p.Flush()
+	if len(batches) != 3 || len(batches[2]) != 1 {
+		t.Errorf("flush delivered %d batches", len(batches))
+	}
+}
+
+func TestPullQueueBoundsAndDiscardPolicy(t *testing.T) {
+	ch, _ := NewChannel(QoS{QoSMaxEventsPerConsumer: 2})
+	fifo, _ := ch.ConnectPullConsumer(nil, QoS{QoSDiscardPolicy: DiscardFifo})
+	lifo, _ := ch.ConnectPullConsumer(nil, QoS{QoSDiscardPolicy: DiscardLifo})
+	for _, s := range []string{"1", "2", "3"} {
+		ev := alarm(1, s)
+		ch.Push(ev)
+	}
+	// FifoDiscard drops the oldest: queue holds 2,3.
+	ev, _, _ := fifo.TryPull()
+	if ev.FilterableData["source"] != "2" {
+		t.Errorf("fifo head = %v", ev.FilterableData["source"])
+	}
+	if fifo.Discarded != 1 {
+		t.Errorf("fifo discarded = %d", fifo.Discarded)
+	}
+	// LifoDiscard drops the newest: queue holds 1,2.
+	ev, _, _ = lifo.TryPull()
+	if ev.FilterableData["source"] != "1" {
+		t.Errorf("lifo head = %v", ev.FilterableData["source"])
+	}
+	if lifo.Discarded != 1 {
+		t.Errorf("lifo discarded = %d", lifo.Discarded)
+	}
+}
+
+func TestPriorityOrderPolicy(t *testing.T) {
+	ch, _ := NewChannel(nil)
+	p, _ := ch.ConnectPullConsumer(nil, QoS{QoSOrderPolicy: OrderPriority})
+	for _, prio := range []int{1, 9, 5} {
+		ev := alarm(1, "s")
+		ev.VariableHeader[QoSPriority] = prio
+		ch.Push(ev)
+	}
+	var prios []int
+	for {
+		ev, ok, _ := p.TryPull()
+		if !ok {
+			break
+		}
+		prios = append(prios, ev.Priority())
+	}
+	if len(prios) != 3 || prios[0] != 9 || prios[1] != 5 || prios[2] != 1 {
+		t.Errorf("priority order = %v", prios)
+	}
+}
+
+func TestTimeoutExpiry(t *testing.T) {
+	now := time.Date(2006, 2, 1, 0, 0, 0, 0, time.UTC)
+	ch, _ := NewChannel(nil)
+	ch.WithClock(func() time.Time { return now })
+	p, _ := ch.ConnectPullConsumer(nil, nil)
+	ev := alarm(1, "s")
+	ev.VariableHeader[QoSTimeout] = 1000 // one second
+	ch.Push(ev)
+	now = now.Add(2 * time.Second)
+	if _, ok, _ := p.TryPull(); ok {
+		t.Error("expired event delivered")
+	}
+}
+
+func TestPushProxyDisconnectFlushes(t *testing.T) {
+	ch, _ := NewChannel(nil)
+	var batches int
+	p, _ := ch.ConnectPushConsumer(nil, QoS{QoSMaximumBatchSize: 10},
+		func([]*StructuredEvent) { batches++ })
+	ch.Push(alarm(1, "x"))
+	p.Disconnect()
+	if batches != 1 {
+		t.Error("disconnect did not flush partial batch")
+	}
+	ch.Push(alarm(1, "y"))
+	if batches != 1 {
+		t.Error("disconnected proxy still delivered")
+	}
+	if ch.ConsumerCount() != 0 {
+		t.Error("count after disconnect")
+	}
+}
+
+func TestFanOutClonesEvents(t *testing.T) {
+	ch, _ := NewChannel(nil)
+	var e1, e2 *StructuredEvent
+	ch.ConnectPushConsumer(nil, nil, func(evs []*StructuredEvent) { e1 = evs[0] })
+	ch.ConnectPushConsumer(nil, nil, func(evs []*StructuredEvent) { e2 = evs[0] })
+	ch.Push(alarm(1, "orig"))
+	if e1 == e2 {
+		t.Fatal("consumers share the event instance")
+	}
+	e1.FilterableData["source"] = "mutated"
+	if e2.FilterableData["source"] != "orig" {
+		t.Error("clones share FilterableData")
+	}
+}
+
+// --- Codec tests ---
+
+func TestCodecRoundTrip(t *testing.T) {
+	ev := NewStructuredEvent("Finance", "Quote", "tick")
+	ev.FilterableData["symbol"] = "IBM"
+	ev.FilterableData["price"] = 83.5
+	ev.FilterableData["volume"] = int64(1200)
+	ev.FilterableData["active"] = true
+	ev.FilterableData["note"] = nil
+	ev.VariableHeader["Priority"] = int64(4)
+	ev.Body = "payload-bytes"
+
+	data := Encode(ev)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != ev.Type || back.EventName != ev.EventName {
+		t.Errorf("header = %+v", back.Type)
+	}
+	if back.FilterableData["symbol"] != "IBM" || back.FilterableData["price"] != 83.5 ||
+		back.FilterableData["volume"] != int64(1200) || back.FilterableData["active"] != true {
+		t.Errorf("filterable = %+v", back.FilterableData)
+	}
+	if back.Body != "payload-bytes" {
+		t.Errorf("body = %v", back.Body)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, data := range [][]byte{{}, {1, 2, 3}, {255, 255, 255, 255}} {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%v) succeeded", data)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary filterable data.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(domain, typ, name, key, sval string, ival int64, fval float64, b bool) bool {
+		ev := NewStructuredEvent(domain, typ, name)
+		ev.FilterableData[key+"_s"] = sval
+		ev.FilterableData[key+"_i"] = ival
+		ev.FilterableData[key+"_f"] = fval
+		ev.FilterableData[key+"_b"] = b
+		back, err := Decode(Encode(ev))
+		if err != nil {
+			return false
+		}
+		return back.Type == ev.Type && back.EventName == name &&
+			back.FilterableData[key+"_s"] == sval &&
+			back.FilterableData[key+"_i"] == ival &&
+			back.FilterableData[key+"_b"] == b &&
+			(back.FilterableData[key+"_f"] == fval || fval != fval)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuspendResumeConnection(t *testing.T) {
+	ch, _ := NewChannel(nil)
+	var got []string
+	p, _ := ch.ConnectPushConsumer(nil, QoS{QoSMaxEventsPerConsumer: 2}, func(evs []*StructuredEvent) {
+		for _, e := range evs {
+			got = append(got, e.FilterableData["source"].(string))
+		}
+	})
+	ch.Push(alarm(1, "before"))
+	p.SuspendConnection()
+	if !p.Suspended() {
+		t.Fatal("not suspended")
+	}
+	for _, s := range []string{"s1", "s2", "s3"} { // overflows the 2-slot buffer
+		ch.Push(alarm(1, s))
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered while suspended: %v", got)
+	}
+	p.ResumeConnection()
+	if len(got) != 3 || got[1] != "s2" || got[2] != "s3" {
+		t.Errorf("after resume: %v (oldest should be discarded)", got)
+	}
+	if p.Discarded != 1 {
+		t.Errorf("discarded = %d", p.Discarded)
+	}
+	// Resume is idempotent and delivery continues.
+	p.ResumeConnection()
+	ch.Push(alarm(1, "after"))
+	if len(got) != 4 || got[3] != "after" {
+		t.Errorf("post-resume delivery: %v", got)
+	}
+}
+
+func TestETCLArithmeticAndStringOrdering(t *testing.T) {
+	ev := alarm(4, "beta")
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"$severity - 1 == 3", true},
+		{"$severity / 2 == 2", true},
+		{"$severity * $severity == 16", true},
+		{"$source < 'gamma'", true},
+		{"$source <= 'beta'", true},
+		{"$source > 'alpha'", true},
+		{"$source >= 'gamma'", false},
+		{"TRUE == TRUE", true},
+		{"TRUE != FALSE", true},
+		{"not FALSE", true},
+		{"-(0 - $severity) == 4", true},
+		{"$source + 1 == 2", false}, // string arithmetic fails -> no match
+		{"$source == 4", false},     // type mismatch -> no match
+		{"-$source < 0", false},     // negating a string fails
+		{"$severity ~ 'x'", false},  // substring on non-strings fails
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			if got := MustConstraint(tc.expr).Matches(ev); got != tc.want {
+				t.Errorf("%q = %v, want %v", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConstraintAndFilterAccessors(t *testing.T) {
+	c := MustConstraint("$a == 1")
+	if c.String() != "$a == 1" {
+		t.Errorf("String = %q", c.String())
+	}
+	f := NewFilter()
+	f.AddConstraint(c)
+	ev := NewStructuredEvent("D", "T", "e")
+	ev.FilterableData["a"] = 1.0
+	if !f.Matches(ev) {
+		t.Error("added constraint not applied")
+	}
+}
+
+func TestMustConstraintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustConstraint should panic on bad input")
+		}
+	}()
+	MustConstraint("((")
+}
+
+func TestChannelQoSValueAndPullProxyHelpers(t *testing.T) {
+	ch, _ := NewChannel(QoS{QoSPriority: 7})
+	if v, ok := ch.QoSValue(QoSPriority); !ok || v != 7 {
+		t.Errorf("QoSValue = %v %v", v, ok)
+	}
+	if _, ok := ch.QoSValue(QoSTimeout); ok {
+		t.Error("unset property reported")
+	}
+	p, _ := ch.ConnectPullConsumer(nil, nil)
+	ch.Push(alarm(1, "x"))
+	if p.QueueLen() != 1 {
+		t.Errorf("QueueLen = %d", p.QueueLen())
+	}
+	p.Disconnect()
+	if ch.ConsumerCount() != 0 {
+		t.Error("pull proxy not removed")
+	}
+	ch.Push(alarm(1, "y")) // must not panic or deliver
+	if _, _, err := p.TryPull(); err != ErrDisconnected {
+		t.Errorf("TryPull after disconnect = %v", err)
+	}
+}
+
+func TestTimeoutHeaderVariants(t *testing.T) {
+	now := time.Date(2006, 2, 1, 0, 0, 0, 0, time.UTC)
+	ch, _ := NewChannel(nil)
+	ch.WithClock(func() time.Time { return now })
+	p, _ := ch.ConnectPullConsumer(nil, nil)
+	// int and float64 Timeout values both work; bogus types never expire.
+	evInt := alarm(1, "int")
+	evInt.VariableHeader[QoSTimeout] = 500
+	evFloat := alarm(1, "float")
+	evFloat.VariableHeader[QoSTimeout] = 500.0
+	evBogus := alarm(1, "bogus")
+	evBogus.VariableHeader[QoSTimeout] = "soon"
+	ch.Push(evInt)
+	ch.Push(evFloat)
+	ch.Push(evBogus)
+	now = now.Add(2 * time.Second)
+	var got []string
+	for {
+		ev, ok, _ := p.TryPull()
+		if !ok {
+			break
+		}
+		got = append(got, ev.FilterableData["source"].(string))
+	}
+	if len(got) != 1 || got[0] != "bogus" {
+		t.Errorf("survivors = %v, want only bogus", got)
+	}
+}

@@ -1,0 +1,579 @@
+package corbanotify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Constraint is a compiled constraint in the extended Trader Constraint
+// Language (ETCL) subset — the filter grammar the paper's Table 3 records
+// for the Notification Service. Supported forms:
+//
+//	$type_name == 'CommunicationsAlarm' and $severity >= 3
+//	exist $priority
+//	$symbol ~ 'IBM'            (substring match)
+//	not ($price < 10 or $price > 90)
+//
+// $domain_name, $type_name and $event_name read the fixed event header;
+// any other $name reads FilterableData.
+type Constraint struct {
+	src  string
+	root etclNode
+}
+
+// ParseConstraint compiles one constraint expression.
+func ParseConstraint(src string) (*Constraint, error) {
+	toks, err := etclLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &etclParser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != etclEOF {
+		return nil, fmt.Errorf("corbanotify: etcl: trailing input %q", p.cur().text)
+	}
+	return &Constraint{src: src, root: root}, nil
+}
+
+// MustConstraint compiles or panics (tests/fixtures).
+func MustConstraint(src string) *Constraint {
+	c, err := ParseConstraint(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String returns the constraint source.
+func (c *Constraint) String() string { return c.src }
+
+// Matches evaluates the constraint; any evaluation failure (missing
+// variable in a comparison, type mismatch) makes the constraint not match.
+func (c *Constraint) Matches(ev *StructuredEvent) bool {
+	v, ok := c.root.eval(ev)
+	if !ok {
+		return false
+	}
+	b, isB := v.(bool)
+	return isB && b
+}
+
+// Filter is a Notification Service filter object: a set of constraints,
+// matching when ANY constraint matches.
+type Filter struct {
+	constraints []*Constraint
+}
+
+// NewFilter builds an empty filter (which matches nothing — attach
+// constraints, or use a nil *Filter for "no filtering").
+func NewFilter(constraints ...*Constraint) *Filter {
+	return &Filter{constraints: constraints}
+}
+
+// AddConstraint appends a constraint.
+func (f *Filter) AddConstraint(c *Constraint) { f.constraints = append(f.constraints, c) }
+
+// Matches implements the CORBA match semantics: true if any constraint
+// matches. A nil filter matches everything.
+func (f *Filter) Matches(ev *StructuredEvent) bool {
+	if f == nil {
+		return true
+	}
+	for _, c := range f.constraints {
+		if c.Matches(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- lexer ---
+
+type etclTokKind int
+
+const (
+	etclEOF etclTokKind = iota
+	etclVar             // $name
+	etclString
+	etclNumber
+	etclOp   // == != < <= > >= ~ + - * / ( )
+	etclWord // and or not exist TRUE FALSE
+)
+
+type etclTok struct {
+	kind etclTokKind
+	text string
+}
+
+func etclLex(src string) ([]etclTok, error) {
+	var toks []etclTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '$':
+			j := i + 1
+			for j < len(src) && (src[j] == '_' || src[j] == '.' ||
+				unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("corbanotify: etcl: bare '$' at %d", i)
+			}
+			toks = append(toks, etclTok{etclVar, src[i+1 : j]})
+			i = j
+		case c == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("corbanotify: etcl: unterminated string at %d", i)
+			}
+			toks = append(toks, etclTok{etclString, src[i+1 : i+1+j]})
+			i += j + 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, etclTok{etclNumber, src[i:j]})
+			i = j
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, etclTok{etclOp, "=="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("corbanotify: etcl: single '=' at %d (use ==)", i)
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, etclTok{etclOp, "!="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("corbanotify: etcl: unexpected '!' at %d", i)
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, etclTok{etclOp, "<="})
+				i += 2
+			} else {
+				toks = append(toks, etclTok{etclOp, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, etclTok{etclOp, ">="})
+				i += 2
+			} else {
+				toks = append(toks, etclTok{etclOp, ">"})
+				i++
+			}
+		case strings.IndexByte("~+-*/()", c) >= 0:
+			toks = append(toks, etclTok{etclOp, string(c)})
+			i++
+		case unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, etclTok{etclWord, src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("corbanotify: etcl: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, etclTok{etclEOF, ""})
+	return toks, nil
+}
+
+// --- parser ---
+
+type etclParser struct {
+	toks []etclTok
+	pos  int
+}
+
+func (p *etclParser) cur() etclTok { return p.toks[p.pos] }
+
+func (p *etclParser) advance() etclTok {
+	t := p.toks[p.pos]
+	if t.kind != etclEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *etclParser) acceptWord(w string) bool {
+	if p.cur().kind == etclWord && strings.EqualFold(p.cur().text, w) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *etclParser) acceptOp(op string) bool {
+	if p.cur().kind == etclOp && p.cur().text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *etclParser) parseOr() (etclNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptWord("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &etclBool{op: "or", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *etclParser) parseAnd() (etclNode, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptWord("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &etclBool{op: "and", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *etclParser) parseNot() (etclNode, error) {
+	if p.acceptWord("not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &etclNot{inner}, nil
+	}
+	if p.acceptWord("exist") {
+		if p.cur().kind != etclVar {
+			return nil, fmt.Errorf("corbanotify: etcl: exist needs a $variable")
+		}
+		return &etclExist{p.advance().text}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *etclParser) parseComparison() (etclNode, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">", "~"} {
+		if p.acceptOp(op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &etclCompare{op: op, l: left, r: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *etclParser) parseAdditive() (etclNode, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &etclArith{op: "+", l: left, r: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &etclArith{op: "-", l: left, r: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *etclParser) parseMultiplicative() (etclNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &etclArith{op: "*", l: left, r: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &etclArith{op: "/", l: left, r: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *etclParser) parseUnary() (etclNode, error) {
+	if p.acceptOp("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &etclNeg{inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *etclParser) parsePrimary() (etclNode, error) {
+	t := p.cur()
+	switch t.kind {
+	case etclVar:
+		p.advance()
+		return etclVarNode{t.text}, nil
+	case etclString:
+		p.advance()
+		return etclLit{t.text}, nil
+	case etclNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corbanotify: etcl: bad number %q", t.text)
+		}
+		p.advance()
+		return etclLit{f}, nil
+	case etclWord:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			p.advance()
+			return etclLit{true}, nil
+		case "FALSE":
+			p.advance()
+			return etclLit{false}, nil
+		}
+	case etclOp:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp(")") {
+				return nil, fmt.Errorf("corbanotify: etcl: expected ')'")
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("corbanotify: etcl: unexpected token %q", t.text)
+}
+
+// --- evaluation (strict: missing variables fail the subexpression) ---
+
+type etclNode interface {
+	eval(ev *StructuredEvent) (any, bool)
+}
+
+type etclLit struct{ v any }
+
+func (l etclLit) eval(*StructuredEvent) (any, bool) { return l.v, true }
+
+type etclVarNode struct{ name string }
+
+func (v etclVarNode) eval(ev *StructuredEvent) (any, bool) {
+	switch v.name {
+	case "domain_name":
+		return ev.Type.Domain, true
+	case "type_name":
+		return ev.Type.Type, true
+	case "event_name":
+		return ev.EventName, true
+	}
+	val, ok := ev.FilterableData[v.name]
+	if !ok {
+		if val, ok = ev.VariableHeader[v.name]; !ok {
+			return nil, false
+		}
+	}
+	switch t := val.(type) {
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	default:
+		return val, true
+	}
+}
+
+type etclBool struct {
+	op   string
+	l, r etclNode
+}
+
+func (n *etclBool) eval(ev *StructuredEvent) (any, bool) {
+	lv, lok := n.l.eval(ev)
+	rv, rok := n.r.eval(ev)
+	lb, _ := lv.(bool)
+	rb, _ := rv.(bool)
+	lb = lok && lb
+	rb = rok && rb
+	if n.op == "and" {
+		return lb && rb, true
+	}
+	return lb || rb, true
+}
+
+type etclNot struct{ inner etclNode }
+
+func (n *etclNot) eval(ev *StructuredEvent) (any, bool) {
+	v, ok := n.inner.eval(ev)
+	b, isB := v.(bool)
+	return !(ok && isB && b), true
+}
+
+type etclExist struct{ name string }
+
+func (n *etclExist) eval(ev *StructuredEvent) (any, bool) {
+	_, ok := etclVarNode{n.name}.eval(ev)
+	return ok, true
+}
+
+type etclCompare struct {
+	op   string
+	l, r etclNode
+}
+
+func (n *etclCompare) eval(ev *StructuredEvent) (any, bool) {
+	lv, lok := n.l.eval(ev)
+	rv, rok := n.r.eval(ev)
+	if !lok || !rok {
+		return nil, false
+	}
+	if n.op == "~" { // substring match: left contains right
+		ls, lsok := lv.(string)
+		rs, rsok := rv.(string)
+		if !lsok || !rsok {
+			return nil, false
+		}
+		return strings.Contains(ls, rs), true
+	}
+	if ls, ok := lv.(string); ok {
+		rs, ok2 := rv.(string)
+		if !ok2 {
+			return nil, false
+		}
+		switch n.op {
+		case "==":
+			return ls == rs, true
+		case "!=":
+			return ls != rs, true
+		case "<":
+			return ls < rs, true
+		case "<=":
+			return ls <= rs, true
+		case ">":
+			return ls > rs, true
+		case ">=":
+			return ls >= rs, true
+		}
+		return nil, false
+	}
+	if lb, ok := lv.(bool); ok {
+		rb, ok2 := rv.(bool)
+		if !ok2 {
+			return nil, false
+		}
+		switch n.op {
+		case "==":
+			return lb == rb, true
+		case "!=":
+			return lb != rb, true
+		}
+		return nil, false
+	}
+	lf, lok2 := lv.(float64)
+	rf, rok2 := rv.(float64)
+	if !lok2 || !rok2 {
+		return nil, false
+	}
+	switch n.op {
+	case "==":
+		return lf == rf, true
+	case "!=":
+		return lf != rf, true
+	case "<":
+		return lf < rf, true
+	case "<=":
+		return lf <= rf, true
+	case ">":
+		return lf > rf, true
+	case ">=":
+		return lf >= rf, true
+	}
+	return nil, false
+}
+
+type etclArith struct {
+	op   string
+	l, r etclNode
+}
+
+func (n *etclArith) eval(ev *StructuredEvent) (any, bool) {
+	lv, lok := n.l.eval(ev)
+	rv, rok := n.r.eval(ev)
+	if !lok || !rok {
+		return nil, false
+	}
+	lf, ok1 := lv.(float64)
+	rf, ok2 := rv.(float64)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	switch n.op {
+	case "+":
+		return lf + rf, true
+	case "-":
+		return lf - rf, true
+	case "*":
+		return lf * rf, true
+	case "/":
+		return lf / rf, true
+	}
+	return nil, false
+}
+
+type etclNeg struct{ inner etclNode }
+
+func (n *etclNeg) eval(ev *StructuredEvent) (any, bool) {
+	v, ok := n.inner.eval(ev)
+	if !ok {
+		return nil, false
+	}
+	f, isF := v.(float64)
+	if !isF {
+		return nil, false
+	}
+	return -f, true
+}

@@ -1,0 +1,563 @@
+// Package core implements WS-Messenger, the paper's contribution (§VII):
+// a message broker that supports WS-Eventing and WS-Notification
+// simultaneously and mediates between them.
+//
+// One front door accepts subscribe requests and published notifications in
+// either specification (at any of the four versions this repository
+// implements). The broker auto-detects the specification of each incoming
+// SOAP message, answers in the same specification, and — the crux — when
+// delivering, renders every notification in the specification *the
+// subscriber used to subscribe*, so "an event producer can publish event
+// notifications using either the WS-Eventing specification or the
+// WS-Notification specification [and] it makes no difference to the event
+// consumers" (§VII).
+//
+// Accepted notifications flow through a pluggable backend
+// (repro/internal/backend), so existing publish/subscribe systems can be
+// wrapped behind the WS front doors. Delivery runs through per-subscriber
+// ordered queues drained by dedicated workers, keeping one slow consumer
+// from stalling the rest.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/filter"
+	"repro/internal/mediation"
+	"repro/internal/soap"
+	"repro/internal/sublease"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/wsrf"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// Config configures a WS-Messenger broker.
+type Config struct {
+	// Address is the broker front door (subscribes, publishes and, unless
+	// ManagerAddress is set, subscription management).
+	Address string
+	// ManagerAddress optionally separates subscription management.
+	ManagerAddress string
+	// Client delivers notifications and end notices.
+	Client transport.Client
+	// Clock is injectable for tests.
+	Clock func() time.Time
+	// Backend is the underlying pub/sub fabric; in-memory when nil.
+	Backend backend.Backend
+	// DefaultExpiry / MaxExpiry govern granted subscription lifetimes.
+	DefaultExpiry time.Duration
+	MaxExpiry     time.Duration
+	// Properties is the broker's producer-properties document.
+	Properties *xmldom.Element
+	// SyncDelivery delivers inline on the publisher's call instead of
+	// through per-subscriber queues — deterministic for tests, and the
+	// baseline arm of the delivery-pipeline ablation bench.
+	SyncDelivery bool
+	// QueueDepth bounds each subscriber's delivery queue (default 256);
+	// overflow drops the newest message and counts it.
+	QueueDepth int
+	// PullQueueCap bounds WSE pull queues (default 1024).
+	PullQueueCap int
+	// WrapBatchSize is the WSE wrapped-mode batch size (default 10).
+	WrapBatchSize int
+	// FailureLimit drops a subscriber after this many consecutive
+	// delivery failures (default 3).
+	FailureLimit int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ManagerAddress == "" {
+		out.ManagerAddress = out.Address
+	}
+	if out.Clock == nil {
+		out.Clock = time.Now
+	}
+	if out.Backend == nil {
+		out.Backend = backend.NewMemory()
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 256
+	}
+	if out.PullQueueCap <= 0 {
+		out.PullQueueCap = 1024
+	}
+	if out.WrapBatchSize <= 0 {
+		out.WrapBatchSize = 10
+	}
+	if out.FailureLimit <= 0 {
+		out.FailureLimit = 3
+	}
+	return out
+}
+
+// Stats are the broker's monotonic counters.
+type Stats struct {
+	Published  uint64 // notifications accepted from publishers
+	Delivered  uint64 // notifications handed to the transport successfully
+	Dropped    uint64 // queue-overflow drops
+	Failures   uint64 // transport delivery failures
+	Mediations uint64 // deliveries whose outgoing spec differed from the incoming one
+}
+
+// subState is the broker-side record of one subscription.
+type subState struct {
+	canon *mediation.Subscribe
+	flt   filter.All
+	plan  mediation.DeliveryPlan
+
+	mu        sync.Mutex
+	closed    bool
+	failures  int
+	pullQueue []*xmldom.Element
+	wrapBuf   []mediation.Notification
+
+	ch chan queued
+}
+
+type queued struct {
+	n      mediation.Notification
+	origin mediation.Dialect
+}
+
+// Broker is the WS-Messenger broker.
+type Broker struct {
+	cfg   Config
+	store *sublease.Store
+
+	mu      sync.Mutex
+	current map[string]*xmldom.Element // last message per topic
+	space   *topics.Space              // topics observed, advertised as a TopicSet
+	msgID   uint64
+
+	published  atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	failures   atomic.Uint64
+	mediations atomic.Uint64
+
+	inflight sync.WaitGroup
+
+	cancelBackend func()
+	wsrfSvc       *wsrf.Service
+}
+
+// New builds a broker and wires it to its backend.
+func New(cfg Config) (*Broker, error) {
+	b := &Broker{cfg: cfg.withDefaults(), current: map[string]*xmldom.Element{}, space: topics.NewSpace()}
+	b.store = sublease.NewStore(
+		sublease.WithClock(b.cfg.Clock),
+		sublease.WithIDPrefix("wsm"),
+		sublease.WithEndObserver(b.onLeaseEnd),
+	)
+	b.wsrfSvc = &wsrf.Service{
+		Provider:    brokerResources{b},
+		Clock:       b.cfg.Clock,
+		IDExtractor: b.subscriptionIDFromHeaders,
+	}
+	cancel, err := b.cfg.Backend.Subscribe(b.fanOut)
+	if err != nil {
+		return nil, fmt.Errorf("core: backend subscribe: %w", err)
+	}
+	b.cancelBackend = cancel
+	return b, nil
+}
+
+// Address returns the front-door address.
+func (b *Broker) Address() string { return b.cfg.Address }
+
+// ManagerAddress returns the subscription-management address.
+func (b *Broker) ManagerAddress() string { return b.cfg.ManagerAddress }
+
+// SubscriptionCount reports live subscriptions.
+func (b *Broker) SubscriptionCount() int { return len(b.store.Active()) }
+
+// Store exposes the lease store for scavenger wiring.
+func (b *Broker) Store() *sublease.Store { return b.store }
+
+// Stats snapshots the counters.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Published:  b.published.Load(),
+		Delivered:  b.delivered.Load(),
+		Dropped:    b.dropped.Load(),
+		Failures:   b.failures.Load(),
+		Mediations: b.mediations.Load(),
+	}
+}
+
+func (b *Broker) nextMessageID() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.msgID++
+	return fmt.Sprintf("urn:uuid:wsm-%d", b.msgID)
+}
+
+// Publish is the broker's local (non-SOAP) publishing API, used by
+// embedded deployments, examples and benchmarks. SOAP publishers arrive
+// through the front door instead.
+func (b *Broker) Publish(topic topics.Path, payload *xmldom.Element) error {
+	return b.publish(topic, payload, "")
+}
+
+func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin string) error {
+	b.published.Add(1)
+	if !topic.IsZero() {
+		b.mu.Lock()
+		b.current[topic.String()] = payload.Clone()
+		b.mu.Unlock()
+		b.space.Add(topic)
+	}
+	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin})
+}
+
+// fanOut is the backend fan-in: route one message to every matching
+// subscriber in its own specification.
+func (b *Broker) fanOut(msg backend.Message) {
+	n := mediation.Notification{Topic: msg.Topic, Payload: msg.Payload}
+	fm := filter.Message{Topic: msg.Topic, Payload: msg.Payload, ProducerProperties: b.cfg.Properties}
+	for _, sn := range b.store.Deliverable() {
+		st := sn.Data.(*subState)
+		ok, err := st.flt.Accepts(fm)
+		if err != nil || !ok {
+			continue
+		}
+		if msg.Origin != "" && msg.Origin != st.canon.Origin.Family.String() {
+			b.mediations.Add(1)
+		}
+		if st.canon.PullMode {
+			st.mu.Lock()
+			if len(st.pullQueue) >= b.cfg.PullQueueCap {
+				st.pullQueue = st.pullQueue[1:]
+				b.dropped.Add(1)
+			}
+			st.pullQueue = append(st.pullQueue, msg.Payload.Clone())
+			st.mu.Unlock()
+			b.delivered.Add(1)
+			continue
+		}
+		if st.canon.WrapMode {
+			st.mu.Lock()
+			st.wrapBuf = append(st.wrapBuf, mediation.Notification{Topic: n.Topic, Payload: n.Payload.Clone()})
+			var batch []mediation.Notification
+			if len(st.wrapBuf) >= b.cfg.WrapBatchSize {
+				batch = st.wrapBuf
+				st.wrapBuf = nil
+			}
+			st.mu.Unlock()
+			if batch != nil {
+				b.deliverWrapped(sn.ID, st, batch)
+			}
+			continue
+		}
+		if b.cfg.SyncDelivery {
+			b.deliverOne(sn.ID, st, queued{n: n})
+			continue
+		}
+		b.inflight.Add(1)
+		if !st.enqueue(queued{n: n}) {
+			b.inflight.Done()
+			b.dropped.Add(1)
+		}
+	}
+}
+
+func (st *subState) enqueue(q queued) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	select {
+	case st.ch <- q:
+		return true
+	default:
+		return false
+	}
+}
+
+func (st *subState) closeQueue() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.closed {
+		st.closed = true
+		if st.ch != nil {
+			close(st.ch)
+		}
+	}
+}
+
+// worker drains one subscriber's queue in order.
+func (b *Broker) worker(id string, st *subState) {
+	for q := range st.ch {
+		b.deliverOne(id, st, q)
+		b.inflight.Done()
+	}
+}
+
+func (b *Broker) deliverOne(id string, st *subState, q queued) {
+	env := mediation.Render(q.n, st.canon.Consumer, st.plan, b.nextMessageID())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	cancel()
+	st.mu.Lock()
+	if err == nil {
+		st.failures = 0
+		st.mu.Unlock()
+		b.delivered.Add(1)
+		return
+	}
+	st.failures++
+	drop := st.failures >= b.cfg.FailureLimit
+	st.mu.Unlock()
+	b.failures.Add(1)
+	if drop {
+		b.store.Cancel(id, sublease.EndDeliveryFailure)
+	}
+}
+
+// deliverWrapped sends one batched envelope to a WSE wrapped-mode
+// subscriber, with the same failure accounting as single deliveries.
+func (b *Broker) deliverWrapped(id string, st *subState, batch []mediation.Notification) {
+	env := mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	cancel()
+	st.mu.Lock()
+	if err == nil {
+		st.failures = 0
+		st.mu.Unlock()
+		b.delivered.Add(uint64(len(batch)))
+		return
+	}
+	st.failures++
+	drop := st.failures >= b.cfg.FailureLimit
+	st.mu.Unlock()
+	b.failures.Add(1)
+	if drop {
+		b.store.Cancel(id, sublease.EndDeliveryFailure)
+	}
+}
+
+// FlushWrapped forces out every partially filled wrapped-mode batch.
+func (b *Broker) FlushWrapped() {
+	for _, sn := range b.store.Deliverable() {
+		st := sn.Data.(*subState)
+		if !st.canon.WrapMode {
+			continue
+		}
+		st.mu.Lock()
+		batch := st.wrapBuf
+		st.wrapBuf = nil
+		st.mu.Unlock()
+		if len(batch) > 0 {
+			b.deliverWrapped(sn.ID, st, batch)
+		}
+	}
+}
+
+// Flush forces out partial wrapped batches and blocks until every queued
+// delivery has been attempted. Callers must not publish concurrently with
+// Flush.
+func (b *Broker) Flush() {
+	b.FlushWrapped()
+	b.inflight.Wait()
+}
+
+// Scavenge expires lapsed subscriptions.
+func (b *Broker) Scavenge() int { return b.store.Scavenge() }
+
+// Shutdown terminates every subscription (emitting end notices per the
+// subscriber's spec) and closes the backend.
+func (b *Broker) Shutdown() {
+	b.store.Shutdown()
+	if b.cancelBackend != nil {
+		b.cancelBackend()
+	}
+	b.cfg.Backend.Close()
+}
+
+// register creates the broker-side state for a canonical subscription.
+// The subState is completed inside the store's creation lock so no
+// concurrent fan-out can observe a half-initialised subscription.
+func (b *Broker) register(canon *mediation.Subscribe, flt filter.All, expires time.Time) *sublease.Lease {
+	st := &subState{canon: canon, flt: flt}
+	st.plan = mediation.DeliveryPlan{
+		Dialect:         canon.Origin,
+		UseRaw:          canon.UseRaw,
+		ManagerAddress:  b.cfg.ManagerAddress,
+		ProducerAddress: b.cfg.Address,
+	}
+	return b.store.CreateFunc(func(id string) any {
+		st.plan.SubscriptionID = id
+		if !b.cfg.SyncDelivery && !canon.PullMode {
+			st.ch = make(chan queued, b.cfg.QueueDepth)
+			go b.worker(id, st)
+		}
+		return st
+	}, expires)
+}
+
+// grantExpiry resolves a raw expiration per the origin dialect's rules:
+// WSN 1.0 rejects durations, everyone rejects garbage.
+func (b *Broker) grantExpiry(raw string, origin mediation.Dialect) (time.Time, error) {
+	now := b.cfg.Clock()
+	if raw != "" && xsdt.LooksLikeDuration(raw) &&
+		origin.Family == mediation.FamilyWSN && !origin.WSN.SupportsDurationExpiry() {
+		return time.Time{}, fmt.Errorf("duration expirations require WS-Notification 1.3")
+	}
+	t, err := wse.ResolveExpires(raw, now)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if t.IsZero() && b.cfg.DefaultExpiry > 0 {
+		t = now.Add(b.cfg.DefaultExpiry)
+	}
+	if !t.IsZero() && b.cfg.MaxExpiry > 0 {
+		if limit := now.Add(b.cfg.MaxExpiry); t.After(limit) {
+			t = limit
+		}
+	}
+	return t, nil
+}
+
+// onLeaseEnd mediates the end-of-subscription notice into the
+// subscriber's spec: SubscriptionEnd for WS-Eventing subscribers with an
+// EndTo, WSRF TerminationNotification for WS-Notification 1.0 consumers,
+// silence for 1.3 (Table 2).
+func (b *Broker) onLeaseEnd(sn sublease.Snapshot, reason sublease.EndReason) {
+	st, ok := sn.Data.(*subState)
+	if !ok {
+		return
+	}
+	st.closeQueue()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	switch st.canon.Origin.Family {
+	case mediation.FamilyWSE:
+		if st.canon.EndTo == nil {
+			return
+		}
+		v := st.canon.Origin.WSE
+		status := wse.EndSourceCanceling
+		switch reason {
+		case sublease.EndSourceShutdown:
+			status = wse.EndSourceShuttingDown
+		case sublease.EndDeliveryFailure:
+			status = wse.EndDeliveryFailure
+		}
+		end := &wse.SubscriptionEnd{
+			Manager: wsa.NewEPR(v.WSAVersion(), b.cfg.ManagerAddress),
+			ID:      sn.ID,
+			Status:  status,
+			Reason:  string(reason),
+		}
+		env := soap.New(soap.V11)
+		h := wsa.DestinationEPR(st.canon.EndTo, v.ActionSubscriptionEnd(), b.nextMessageID())
+		h.Apply(env)
+		env.AddBody(end.Element(v))
+		_ = b.cfg.Client.Send(ctx, st.canon.EndTo.Address, env)
+	case mediation.FamilyWSN:
+		if st.canon.Origin.WSN != wsnt.V1_0 {
+			return
+		}
+		env := soap.New(soap.V11)
+		h := wsa.DestinationEPR(st.canon.Consumer, wsrf.ActionTerminationNotice, b.nextMessageID())
+		h.Apply(env)
+		env.AddBody(wsrf.NewTerminationNotification(b.cfg.Clock(), string(reason)))
+		_ = b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	}
+}
+
+// TopicSpace returns the topics the broker has observed.
+func (b *Broker) TopicSpace() *topics.Space { return b.space }
+
+// --- WSRF resources (WSN 1.0 subscription management, plus the broker
+// itself as a resource advertising its WS-Topics TopicSet) ---
+
+type brokerResources struct{ b *Broker }
+
+func (br brokerResources) Resource(id string) (wsrf.Resource, error) {
+	if id == "" {
+		// No subscription id: the request addresses the broker itself,
+		// whose resource properties advertise the observed topic set —
+		// how WS-Topics says producers publish what can be subscribed to.
+		return brokerSelfResource{br.b}, nil
+	}
+	if _, err := br.b.store.Get(id); err != nil {
+		return nil, err
+	}
+	return &brokerSubResource{b: br.b, id: id}, nil
+}
+
+// brokerSelfResource exposes broker-level resource properties.
+type brokerSelfResource struct{ b *Broker }
+
+// PropertyDocument returns the TopicSet and live statistics.
+func (r brokerSelfResource) PropertyDocument() (*xmldom.Element, error) {
+	ns := "urn:ws-messenger"
+	doc := xmldom.NewElement(xmldom.N(ns, "BrokerProperties"))
+	doc.Append(r.b.space.TopicSetElement())
+	st := r.b.Stats()
+	doc.Append(xmldom.Elem(ns, "Subscriptions", fmt.Sprint(r.b.SubscriptionCount())))
+	doc.Append(xmldom.Elem(ns, "Published", fmt.Sprint(st.Published)))
+	doc.Append(xmldom.Elem(ns, "Delivered", fmt.Sprint(st.Delivered)))
+	doc.Append(xmldom.Elem(ns, "Mediations", fmt.Sprint(st.Mediations)))
+	return doc, nil
+}
+
+// SetTerminationTime is not meaningful for the broker resource.
+func (brokerSelfResource) SetTerminationTime(time.Time) (time.Time, error) {
+	return time.Time{}, soap.Faultf(soap.FaultSender, "the broker's lifetime cannot be scheduled")
+}
+
+// Destroy is not meaningful for the broker resource.
+func (brokerSelfResource) Destroy() error {
+	return soap.Faultf(soap.FaultSender, "the broker cannot be destroyed through WSRF")
+}
+
+type brokerSubResource struct {
+	b  *Broker
+	id string
+}
+
+func (r *brokerSubResource) PropertyDocument() (*xmldom.Element, error) {
+	sn, err := r.b.store.Get(r.id)
+	if err != nil {
+		return nil, err
+	}
+	st := sn.Data.(*subState)
+	ns := wsnt.NS1_0
+	doc := xmldom.NewElement(xmldom.N(ns, "SubscriptionProperties"))
+	doc.Append(xmldom.Elem(ns, "CreationTime", xsdt.FormatDateTime(sn.CreatedAt)))
+	if !sn.Expires.IsZero() {
+		doc.Append(xmldom.Elem(ns, "TerminationTime", xsdt.FormatDateTime(sn.Expires)))
+	}
+	if st.canon.TopicExpr != "" {
+		doc.Append(xmldom.Elem(ns, "TopicExpression", st.canon.TopicExpr))
+	}
+	status := "Active"
+	if sn.Paused {
+		status = "Paused"
+	}
+	doc.Append(xmldom.Elem(ns, "Status", status))
+	return doc, nil
+}
+
+func (r *brokerSubResource) SetTerminationTime(t time.Time) (time.Time, error) {
+	return r.b.store.Renew(r.id, t)
+}
+
+func (r *brokerSubResource) Destroy() error {
+	return r.b.store.Cancel(r.id, sublease.EndCancelled)
+}

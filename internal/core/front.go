@@ -1,0 +1,390 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/mediation"
+	"repro/internal/soap"
+	"repro/internal/sublease"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/wsrf"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// FrontHandler returns the broker's front door: Subscribe in either
+// specification, published notifications in either specification, and
+// GetCurrentMessage. When no separate manager address is configured it
+// also accepts subscription management.
+func (b *Broker) FrontHandler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body == nil {
+			return nil, soap.Faultf(soap.FaultSender, "ws-messenger: empty body")
+		}
+		if d, ok := mediation.DetectBody(body); ok {
+			switch body.Name.Local {
+			case "Subscribe":
+				return b.handleSubscribe(env, d)
+			case "GetCurrentMessage":
+				return b.handleGetCurrentMessage(env, d)
+			case "Notify":
+				return nil, b.handlePublish(env)
+			case "Renew", "GetStatus", "Unsubscribe", "Pull",
+				"PauseSubscription", "ResumeSubscription":
+				if b.cfg.ManagerAddress == b.cfg.Address {
+					return b.handleManagement(ctx, env, d)
+				}
+				return nil, soap.Faultf(soap.FaultSender,
+					"ws-messenger: %s must be sent to the subscription manager at %s",
+					body.Name.Local, b.cfg.ManagerAddress)
+			}
+		}
+		if wsrf.Handles(env) {
+			if b.cfg.ManagerAddress == b.cfg.Address {
+				return b.wsrfSvc.ServeSOAP(ctx, env)
+			}
+			return nil, soap.Faultf(soap.FaultSender,
+				"ws-messenger: WSRF management belongs at %s", b.cfg.ManagerAddress)
+		}
+		// Anything else is treated as a raw published notification — the
+		// WS-Eventing publishing style.
+		return nil, b.handlePublish(env)
+	})
+}
+
+// ManagerHandler returns the subscription-management endpoint, accepting
+// the management vocabulary of every supported spec version.
+func (b *Broker) ManagerHandler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body == nil {
+			return nil, soap.Faultf(soap.FaultSender, "ws-messenger: empty body")
+		}
+		if wsrf.Handles(env) {
+			return b.wsrfSvc.ServeSOAP(ctx, env)
+		}
+		d, ok := mediation.DetectBody(body)
+		if !ok {
+			return nil, soap.Faultf(soap.FaultSender, "ws-messenger: unknown management request %v", body.Name)
+		}
+		return b.handleManagement(ctx, env, d)
+	})
+}
+
+// handlePublish accepts a published notification in either family and
+// routes it through the backend.
+func (b *Broker) handlePublish(env *soap.Envelope) error {
+	ns, d, err := mediation.ParseIncoming(env)
+	if err != nil {
+		return soap.Faultf(soap.FaultSender, "ws-messenger: %v", err)
+	}
+	for _, n := range ns {
+		if err := b.publish(n.Topic, n.Payload, d.Family.String()); err != nil {
+			return soap.Faultf(soap.FaultReceiver, "ws-messenger: backend: %v", err)
+		}
+	}
+	return nil
+}
+
+// handleSubscribe accepts a subscribe of either family, creates the
+// canonical subscription and answers in the requester's dialect.
+func (b *Broker) handleSubscribe(env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
+	var canon *mediation.Subscribe
+	switch d.Family {
+	case mediation.FamilyWSE:
+		req, v, err := wse.ParseSubscribe(env.FirstBody())
+		if err != nil {
+			return nil, wse.FaultInvalidMessage(d.WSE, err.Error())
+		}
+		if req.NotifyTo == nil {
+			return nil, wse.FaultInvalidMessage(v, "Subscribe has no NotifyTo")
+		}
+		mode := req.Mode
+		switch mode {
+		case "", v.DeliveryModePush():
+		case v.DeliveryModePull():
+			if !v.SupportsPull() {
+				return nil, wse.FaultDeliveryModeUnavailable(v, mode)
+			}
+		case v.DeliveryModeWrap():
+			if !v.SupportsWrapped() {
+				return nil, wse.FaultDeliveryModeUnavailable(v, mode)
+			}
+		default:
+			return nil, wse.FaultDeliveryModeUnavailable(v, mode)
+		}
+		canon = mediation.FromWSE(req, v)
+	case mediation.FamilyWSN:
+		req, v, err := wsnt.ParseSubscribe(env.FirstBody())
+		if err != nil {
+			return nil, wsnt.FaultSubscribeCreationFailed(d.WSN, err.Error())
+		}
+		if req.ConsumerReference == nil {
+			return nil, wsnt.FaultSubscribeCreationFailed(v, "missing ConsumerReference")
+		}
+		if v.RequiresTopic() && req.TopicExpression == "" {
+			return nil, wsnt.FaultSubscribeCreationFailed(v, "version 1.0 requires a TopicExpression")
+		}
+		canon = mediation.FromWSN(req, v)
+	default:
+		return nil, soap.Faultf(soap.FaultSender, "ws-messenger: unsupported subscribe dialect")
+	}
+
+	flt, err := canon.BuildFilter()
+	if err != nil {
+		if d.Family == mediation.FamilyWSE {
+			return nil, wse.FaultFilteringNotSupported(d.WSE, err.Error())
+		}
+		return nil, wsnt.FaultInvalidFilter(d.WSN, err.Error())
+	}
+	expires, err := b.grantExpiry(canon.Expires, d)
+	if err != nil {
+		if d.Family == mediation.FamilyWSE {
+			return nil, wse.FaultUnsupportedExpirationType(d.WSE)
+		}
+		return nil, wsnt.FaultUnacceptableTerminationTime(d.WSN, err.Error())
+	}
+	lease := b.register(canon, flt, expires)
+
+	out := soap.New(env.Version)
+	switch d.Family {
+	case mediation.FamilyWSE:
+		v := d.WSE
+		b.applyReply(out, env, v.WSAVersion(), v.ActionSubscribeResponse())
+		resp := &wse.SubscribeResponse{
+			Manager: wsa.NewEPR(v.WSAVersion(), b.cfg.ManagerAddress),
+			ID:      lease.ID,
+		}
+		if !expires.IsZero() {
+			resp.Expires = xsdt.FormatDateTime(expires)
+		}
+		out.AddBody(resp.Element(v))
+	case mediation.FamilyWSN:
+		v := d.WSN
+		b.applyReply(out, env, v.WSAVersion(), v.ActionSubscribeResponse())
+		resp := &wsnt.SubscribeResponse{
+			SubscriptionReference: wsa.NewEPR(v.WSAVersion(), b.cfg.ManagerAddress),
+			ID:                    lease.ID,
+			CurrentTime:           xsdt.FormatDateTime(b.cfg.Clock()),
+		}
+		if !expires.IsZero() {
+			resp.TerminationTime = xsdt.FormatDateTime(expires)
+		}
+		out.AddBody(resp.Element(v))
+	}
+	return out, nil
+}
+
+func (b *Broker) applyReply(out, in *soap.Envelope, wv wsa.Version, action string) {
+	h := &wsa.MessageHeaders{Version: wv, Action: action, MessageID: b.nextMessageID()}
+	if ih, ok := wsa.ParseHeaders(in); ok {
+		h.RelatesTo = ih.MessageID
+	}
+	h.Apply(out)
+}
+
+func (b *Broker) handleGetCurrentMessage(env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
+	v := d.WSN
+	if d.Family != mediation.FamilyWSN {
+		return nil, soap.Faultf(soap.FaultSender, "ws-messenger: GetCurrentMessage is a WS-Notification operation")
+	}
+	ns := v.NS()
+	te := env.FirstBody().Child(xmldom.N(ns, "Topic"))
+	if te == nil {
+		return nil, wsnt.FaultInvalidFilter(v, "GetCurrentMessage requires a Topic")
+	}
+	dialect := te.AttrValue(xmldom.N("", "Dialect"))
+	if dialect == "" {
+		dialect = topics.DialectConcrete
+	}
+	expr, err := topics.ParseExpression(dialect, strings.TrimSpace(te.Text()), te.ScopeBindings())
+	if err != nil {
+		return nil, wsnt.FaultInvalidFilter(v, err.Error())
+	}
+	cp, ok := expr.ConcretePath()
+	if !ok {
+		return nil, wsnt.FaultInvalidFilter(v, "GetCurrentMessage requires a concrete topic")
+	}
+	b.mu.Lock()
+	msg := b.current[cp.String()]
+	b.mu.Unlock()
+	if msg == nil {
+		return nil, wsnt.FaultNoCurrentMessage(v, cp.String())
+	}
+	out := soap.New(env.Version)
+	b.applyReply(out, env, v.WSAVersion(), v.NS()+"/GetCurrentMessageResponse")
+	out.AddBody(xmldom.Elem(ns, "GetCurrentMessageResponse", msg.Clone()))
+	return out, nil
+}
+
+// subscriptionIDFromHeaders recovers the subscription id from whichever
+// reference parameter the requester's spec uses: wse:Identifier (8/2004),
+// wsnt SubscriptionId (both WSN versions) or wsrl:ResourceID.
+func (b *Broker) subscriptionIDFromHeaders(env *soap.Envelope) string {
+	for _, name := range []xmldom.Name{
+		wse.V200408.IdentifierName(),
+		wsnt.V1_0.SubscriptionIDName(),
+		wsnt.V1_3.SubscriptionIDName(),
+		wsrf.ResourceIDHeader,
+	} {
+		if h := env.Header(name); h != nil {
+			return strings.TrimSpace(h.Text())
+		}
+	}
+	return ""
+}
+
+// subscriptionID also checks the 1/2004 body form.
+func (b *Broker) subscriptionID(env *soap.Envelope, d mediation.Dialect) string {
+	if id := b.subscriptionIDFromHeaders(env); id != "" {
+		return id
+	}
+	if d.Family == mediation.FamilyWSE && d.WSE == wse.V200401 {
+		if body := env.FirstBody(); body != nil {
+			if el := body.Child(wse.V200401.IdentifierName()); el != nil {
+				return strings.TrimSpace(el.Text())
+			}
+		}
+	}
+	return ""
+}
+
+func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	id := b.subscriptionID(env, d)
+	out := soap.New(env.Version)
+
+	switch d.Family {
+	case mediation.FamilyWSE:
+		v := d.WSE
+		ns := v.NS()
+		switch body.Name.Local {
+		case "Renew":
+			expires, err := b.grantExpiry(body.ChildText(xmldom.N(ns, "Expires")), d)
+			if err != nil {
+				return nil, wse.FaultUnsupportedExpirationType(v)
+			}
+			granted, err := b.store.Renew(id, expires)
+			if err != nil {
+				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), v.ActionRenewResponse())
+			expText := ""
+			if !granted.IsZero() {
+				expText = xsdt.FormatDateTime(granted)
+			}
+			out.AddBody(xmldom.Elem(ns, "RenewResponse", xmldom.Elem(ns, "Expires", expText)))
+			return out, nil
+		case "GetStatus":
+			if !v.SupportsGetStatus() {
+				return nil, wse.FaultInvalidMessage(v, "GetStatus is not defined in "+v.String())
+			}
+			sn, err := b.store.Get(id)
+			if err != nil {
+				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), v.ActionGetStatusResponse())
+			expText := ""
+			if !sn.Expires.IsZero() {
+				expText = xsdt.FormatDateTime(sn.Expires)
+			}
+			out.AddBody(xmldom.Elem(ns, "GetStatusResponse", xmldom.Elem(ns, "Expires", expText)))
+			return out, nil
+		case "Unsubscribe":
+			if err := b.store.Cancel(id, sublease.EndCancelled); err != nil {
+				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), v.ActionUnsubscribeResponse())
+			out.AddBody(xmldom.NewElement(xmldom.N(ns, "UnsubscribeResponse")))
+			return out, nil
+		case "Pull":
+			if !v.SupportsPull() {
+				return nil, wse.FaultInvalidMessage(v, "Pull is not defined in "+v.String())
+			}
+			sn, err := b.store.Get(id)
+			if err != nil {
+				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
+			}
+			st := sn.Data.(*subState)
+			max := 0
+			if m := body.ChildText(xmldom.N(ns, "MaxElements")); m != "" {
+				fmt.Sscanf(m, "%d", &max)
+			}
+			st.mu.Lock()
+			n := len(st.pullQueue)
+			if max > 0 && max < n {
+				n = max
+			}
+			batch := st.pullQueue[:n:n]
+			st.pullQueue = append([]*xmldom.Element(nil), st.pullQueue[n:]...)
+			st.mu.Unlock()
+			b.applyReply(out, env, v.WSAVersion(), v.ActionPullResponse())
+			resp := xmldom.NewElement(xmldom.N(ns, "PullResponse"))
+			for _, m := range batch {
+				resp.Append(xmldom.Elem(ns, "Message", m))
+			}
+			out.AddBody(resp)
+			return out, nil
+		}
+		return nil, wse.FaultInvalidMessage(v, "unknown operation "+body.Name.Local)
+
+	case mediation.FamilyWSN:
+		v := d.WSN
+		ns := v.NS()
+		switch body.Name.Local {
+		case "PauseSubscription":
+			if err := b.store.Pause(id); err != nil {
+				return nil, wsnt.FaultUnknownSubscription(v, id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), ns+"/PauseSubscriptionResponse")
+			out.AddBody(xmldom.NewElement(xmldom.N(ns, "PauseSubscriptionResponse")))
+			return out, nil
+		case "ResumeSubscription":
+			if err := b.store.Resume(id); err != nil {
+				return nil, wsnt.FaultUnknownSubscription(v, id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), ns+"/ResumeSubscriptionResponse")
+			out.AddBody(xmldom.NewElement(xmldom.N(ns, "ResumeSubscriptionResponse")))
+			return out, nil
+		case "Renew":
+			if !v.SupportsNativeManagement() {
+				return nil, wsnt.FaultUnsupportedOperation(v, "Renew")
+			}
+			expires, err := b.grantExpiry(body.ChildText(xmldom.N(ns, "TerminationTime")), d)
+			if err != nil {
+				return nil, wsnt.FaultUnacceptableTerminationTime(v, err.Error())
+			}
+			granted, err := b.store.Renew(id, expires)
+			if err != nil {
+				return nil, wsnt.FaultUnknownSubscription(v, id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), ns+"/RenewResponse")
+			resp := xmldom.NewElement(xmldom.N(ns, "RenewResponse"))
+			if !granted.IsZero() {
+				resp.Append(xmldom.Elem(ns, "TerminationTime", xsdt.FormatDateTime(granted)))
+			}
+			resp.Append(xmldom.Elem(ns, "CurrentTime", xsdt.FormatDateTime(b.cfg.Clock())))
+			out.AddBody(resp)
+			return out, nil
+		case "Unsubscribe":
+			if !v.SupportsNativeManagement() {
+				return nil, wsnt.FaultUnsupportedOperation(v, "Unsubscribe")
+			}
+			if err := b.store.Cancel(id, sublease.EndCancelled); err != nil {
+				return nil, wsnt.FaultUnknownSubscription(v, id)
+			}
+			b.applyReply(out, env, v.WSAVersion(), ns+"/UnsubscribeResponse")
+			out.AddBody(xmldom.NewElement(xmldom.N(ns, "UnsubscribeResponse")))
+			return out, nil
+		}
+		return nil, wsnt.FaultUnsupportedOperation(v, body.Name.Local)
+	}
+	return nil, soap.Faultf(soap.FaultSender, "ws-messenger: unknown management dialect")
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// TestHTTPEndToEnd runs the whole WS-Messenger deployment over real HTTP:
+// broker, a WSE sink and a WSN consumer each on their own httptest
+// server, subscribers speaking both specs, publishers in both specs —
+// the daemon configuration of cmd/wsmessenger, minus only the process
+// boundary.
+func TestHTTPEndToEnd(t *testing.T) {
+	client := &transport.HTTPClient{HC: &http.Client{Timeout: 10 * time.Second}}
+
+	// Consumer endpoints first (the broker needs their URLs).
+	wseSink := &wse.Sink{}
+	wseSrv := httptest.NewServer(transport.NewHTTPHandler(wseSink))
+	defer wseSrv.Close()
+	wsnConsumer := &wsnt.Consumer{}
+	wsnSrv := httptest.NewServer(transport.NewHTTPHandler(wsnConsumer))
+	defer wsnSrv.Close()
+
+	// Broker with front door and manager on separate HTTP paths.
+	mux := http.NewServeMux()
+	brokerSrv := httptest.NewServer(mux)
+	defer brokerSrv.Close()
+	broker, err := New(Config{
+		Address:        brokerSrv.URL + "/",
+		ManagerAddress: brokerSrv.URL + "/manage",
+		Client:         client,
+		SyncDelivery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Handle("/", transport.NewHTTPHandler(broker.FrontHandler()))
+	mux.Handle("/manage", transport.NewHTTPHandler(broker.ManagerHandler()))
+
+	ctx := context.Background()
+	topic := topics.NewPath("urn:grid", "jobs")
+	payload := xmldom.Elem("urn:grid", "Ev", xmldom.Elem("urn:grid", "v", "http"))
+
+	// Subscribe over HTTP in both specs.
+	ws := &wse.Subscriber{Client: client, Version: wse.V200408}
+	wseHandle, err := ws.Subscribe(ctx, brokerSrv.URL+"/", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, wseSrv.URL),
+		Expires:  "PT1H",
+	})
+	if err != nil {
+		t.Fatalf("wse subscribe over http: %v", err)
+	}
+	if wseHandle.Manager.Address != brokerSrv.URL+"/manage" {
+		t.Errorf("manager EPR = %q", wseHandle.Manager.Address)
+	}
+	ns := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	wsnHandle, err := ns.Subscribe(ctx, brokerSrv.URL+"/", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, wsnSrv.URL),
+	})
+	if err != nil {
+		t.Fatalf("wsn subscribe over http: %v", err)
+	}
+
+	// Publish over HTTP as a WSN Notify.
+	env := soap.New(soap.V11)
+	(&wsa.MessageHeaders{Version: wsa.V200508, To: brokerSrv.URL + "/",
+		Action: wsnt.V1_3.ActionNotify()}).Apply(env)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+		{Topic: topic, Payload: payload},
+	}))
+	if err := client.Send(ctx, brokerSrv.URL+"/", env); err != nil {
+		t.Fatalf("publish over http: %v", err)
+	}
+
+	if wseSink.Count() != 1 {
+		t.Errorf("wse sink over http received %d", wseSink.Count())
+	}
+	if wsnConsumer.Count() != 1 {
+		t.Errorf("wsn consumer over http received %d", wsnConsumer.Count())
+	}
+	got := wseSink.Received()
+	if len(got) == 1 && !got[0].Topic.Equal(topic) {
+		t.Errorf("topic over http = %v", got[0].Topic)
+	}
+
+	// Manage over HTTP.
+	if _, err := ws.Renew(ctx, wseHandle, "PT2H"); err != nil {
+		t.Fatalf("renew over http: %v", err)
+	}
+	if _, err := ws.GetStatus(ctx, wseHandle); err != nil {
+		t.Fatalf("getstatus over http: %v", err)
+	}
+	if err := ns.Pause(ctx, wsnHandle); err != nil {
+		t.Fatalf("pause over http: %v", err)
+	}
+	if err := ns.Resume(ctx, wsnHandle); err != nil {
+		t.Fatalf("resume over http: %v", err)
+	}
+	if err := ws.Unsubscribe(ctx, wseHandle); err != nil {
+		t.Fatalf("unsubscribe over http: %v", err)
+	}
+	if err := ns.Unsubscribe(ctx, wsnHandle); err != nil {
+		t.Fatalf("wsn unsubscribe over http: %v", err)
+	}
+	if broker.SubscriptionCount() != 0 {
+		t.Errorf("subscriptions remaining: %d", broker.SubscriptionCount())
+	}
+
+	// GetCurrentMessage over HTTP.
+	cur, err := ns.GetCurrentMessage(ctx, brokerSrv.URL+"/", "g:jobs",
+		topics.DialectConcrete, map[string]string{"g": "urn:grid"})
+	if err != nil {
+		t.Fatalf("getcurrentmessage over http: %v", err)
+	}
+	if cur.ChildText(xmldom.N("urn:grid", "v")) != "http" {
+		t.Errorf("current = %s", xmldom.Marshal(cur))
+	}
+}
+
+// TestHTTPSubscriptionEndDelivery verifies end notices travel over real
+// HTTP on broker shutdown.
+func TestHTTPSubscriptionEndDelivery(t *testing.T) {
+	client := &transport.HTTPClient{HC: &http.Client{Timeout: 10 * time.Second}}
+	wseSink := &wse.Sink{}
+	sinkSrv := httptest.NewServer(transport.NewHTTPHandler(wseSink))
+	defer sinkSrv.Close()
+
+	mux := http.NewServeMux()
+	brokerSrv := httptest.NewServer(mux)
+	defer brokerSrv.Close()
+	broker, err := New(Config{Address: brokerSrv.URL + "/", Client: client, SyncDelivery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Handle("/", transport.NewHTTPHandler(broker.FrontHandler()))
+
+	ws := &wse.Subscriber{Client: client, Version: wse.V200408}
+	if _, err := ws.Subscribe(context.Background(), brokerSrv.URL+"/", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, sinkSrv.URL),
+		EndTo:    wsa.NewEPR(wsa.V200408, sinkSrv.URL),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	broker.Shutdown()
+	ends := wseSink.Ends()
+	if len(ends) != 1 || ends[0].Status != wse.EndSourceShuttingDown {
+		t.Errorf("ends over http = %+v", ends)
+	}
+}

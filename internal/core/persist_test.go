@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+)
+
+// TestPersistenceRoundTrip saves a populated broker and restores it into a
+// fresh one: the same subscription ids keep working, filters still apply,
+// and cross-spec delivery resumes.
+func TestPersistenceRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	wseHandle := f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{
+		Expires:    "PT1H",
+		FilterExpr: "//g:val != 'drop'",
+		FilterNS:   map[string]string{"g": "urn:grid"},
+	})
+	f.subscribeWSN(t, wsnt.V1_3, &wsnt.SubscribeRequest{
+		TopicExpression: "tns:jobs",
+		TopicDialect:    topics.DialectSimple,
+		TopicNS:         map[string]string{"tns": "urn:grid"},
+	})
+	// Pause the WSN subscription so the flag round-trips too.
+	s3 := &wsnt.Subscriber{Client: f.lb, Version: wsnt.V1_3}
+	hs := f.subscribeWSN(t, wsnt.V1_3, &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://wsn-consumer"),
+	})
+	if err := s3.Pause(context.Background(), hs); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := f.broker.SaveSubscriptions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.String()
+	if !strings.Contains(snapshot, wseHandle.ID) {
+		t.Error("snapshot missing subscription id")
+	}
+
+	// A brand-new broker on the same network restores the snapshot.
+	b2, err := New(Config{
+		Address:        "svc://wsm",
+		ManagerAddress: "svc://wsm-subs",
+		Client:         f.lb,
+		Clock:          f.clock.now,
+		SyncDelivery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b2.RestoreSubscriptions(strings.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || b2.SubscriptionCount() != 3 {
+		t.Fatalf("restored %d, count %d", n, b2.SubscriptionCount())
+	}
+	f.lb.Register("svc://wsm", b2.FrontHandler())
+	f.lb.Register("svc://wsm-subs", b2.ManagerHandler())
+
+	// Filters still apply; paused stays paused; spec of each subscriber
+	// is preserved (WSE gets raw, WSN gets wrapped).
+	f.publishWSN(t, grid, event("keep"))
+	f.publishWSN(t, grid, event("drop"))
+	if f.wseSink.Count() != 1 {
+		t.Errorf("restored WSE filter delivered %d", f.wseSink.Count())
+	}
+	if f.wsnSink.Count() != 2 { // two 'jobs' publishes pass the topic filter; paused sub silent
+		t.Errorf("restored WSN delivered %d", f.wsnSink.Count())
+	}
+	if got := f.wsnSink.Received()[0]; !got.Wrapped {
+		t.Error("restored WSN subscriber lost its wrapped format")
+	}
+
+	// The pre-restart handle still manages the subscription (same id).
+	ws := &wse.Subscriber{Client: f.lb, Version: wse.V200408}
+	if _, err := ws.Renew(context.Background(), wseHandle, "PT2H"); err != nil {
+		t.Fatalf("renew with pre-restart handle: %v", err)
+	}
+	if err := ws.Unsubscribe(context.Background(), wseHandle); err != nil {
+		t.Fatalf("unsubscribe with pre-restart handle: %v", err)
+	}
+	// Resuming the paused one works too.
+	if err := s3.Resume(context.Background(), hs); err != nil {
+		t.Fatalf("resume after restore: %v", err)
+	}
+}
+
+func TestRestoreRejectsDuplicatesAndGarbage(t *testing.T) {
+	f := newFixture(t)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	var buf bytes.Buffer
+	if err := f.broker.SaveSubscriptions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring into the SAME broker collides on ids.
+	if _, err := f.broker.RestoreSubscriptions(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("duplicate restore accepted")
+	}
+	// Garbage input.
+	b2, _ := New(Config{Address: "svc://y", Client: transport.NewLoopback(), SyncDelivery: true})
+	if _, err := b2.RestoreSubscriptions(strings.NewReader("not json")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	if _, err := b2.RestoreSubscriptions(strings.NewReader(`{"format":99}`)); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRestoredIDsDoNotCollideWithNewOnes(t *testing.T) {
+	f := newFixture(t)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	var buf bytes.Buffer
+	f.broker.SaveSubscriptions(&buf)
+
+	b2, err := New(Config{Address: "svc://wsm", ManagerAddress: "svc://wsm-subs",
+		Client: f.lb, Clock: f.clock.now, SyncDelivery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.RestoreSubscriptions(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	f.lb.Register("svc://wsm", b2.FrontHandler())
+	// New subscriptions after restore must get fresh ids.
+	h := f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	if h.ID == "wsm-1" || h.ID == "wsm-2" {
+		t.Errorf("new id %q collides with restored ids", h.ID)
+	}
+	if b2.SubscriptionCount() != 3 {
+		t.Errorf("count = %d", b2.SubscriptionCount())
+	}
+}
+
+func TestSaveSkipsExpired(t *testing.T) {
+	f := newFixture(t)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{Expires: "PT5M"})
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{Expires: "PT5H"})
+	f.clock.advance(10 * time.Minute)
+	var buf bytes.Buffer
+	if err := f.broker.SaveSubscriptions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := New(Config{Address: "svc://z", Client: f.lb, Clock: f.clock.now, SyncDelivery: true})
+	n, err := b2.RestoreSubscriptions(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("restored %d, want only the live one", n)
+	}
+}
+
+func TestPersistenceKeepsWrapAndPullModes(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.WrapBatchSize = 2 })
+	s := &wse.Subscriber{Client: f.lb, Version: wse.V200408}
+	if _, err := s.Subscribe(context.Background(), "svc://wsm", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://wse-sink"),
+		Mode:     wse.V200408.DeliveryModeWrap(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hPull, err := s.Subscribe(context.Background(), "svc://wsm", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://wse-sink"),
+		Mode:     wse.V200408.DeliveryModePull(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	f.broker.SaveSubscriptions(&buf)
+
+	b2, err := New(Config{Address: "svc://wsm", ManagerAddress: "svc://wsm-subs",
+		Client: f.lb, Clock: f.clock.now, SyncDelivery: true, WrapBatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.RestoreSubscriptions(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	f.lb.Register("svc://wsm", b2.FrontHandler())
+	f.lb.Register("svc://wsm-subs", b2.ManagerHandler())
+
+	// Wrap mode still batches after restore; pull mode still queues.
+	f.publishWSN(t, grid, event("1"))
+	if f.wseSink.Count() != 0 {
+		t.Error("wrap batch flushed early after restore")
+	}
+	f.publishWSN(t, grid, event("2"))
+	if f.wseSink.Count() != 2 {
+		t.Errorf("restored wrap mode delivered %d, want batch of 2", f.wseSink.Count())
+	}
+	msgs, err := s.Pull(context.Background(), hPull, 0)
+	if err != nil || len(msgs) != 2 {
+		t.Errorf("restored pull mode: %d %v", len(msgs), err)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/workload"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// TestSoakConcurrentChurn drives the async broker with concurrent
+// subscribers (both specs), publishers (both specs), unsubscribers, a
+// running scavenger and short-lived subscriptions, then checks the
+// system-level invariants: no panic, no deadlock, accounting consistent,
+// and a quiescent final state.
+func TestSoakConcurrentChurn(t *testing.T) {
+	lb := transport.NewLoopback()
+	broker, err := New(Config{
+		Address:        "svc://wsm",
+		ManagerAddress: "svc://wsm-subs",
+		Client:         lb,
+		QueueDepth:     512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register("svc://wsm", broker.FrontHandler())
+	lb.Register("svc://wsm-subs", broker.ManagerHandler())
+
+	var received atomic.Int64
+	counter := transport.HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		received.Add(1)
+		return nil, nil
+	})
+	for i := 0; i < 8; i++ {
+		lb.Register(fmt.Sprintf("svc://sink%d", i), counter)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go broker.Store().Run(ctx, 5*time.Millisecond)
+
+	gen := workload.New(workload.Config{Seed: 99, Size: workload.Small})
+	events := gen.Batch(64)
+
+	var wg sync.WaitGroup
+	const workers = 4
+	const iters = 60
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ws := &wse.Subscriber{Client: lb, Version: wse.V200408}
+			ns := &wsnt.Subscriber{Client: lb, Version: wsnt.V1_3}
+			var wseHandles []*wse.Handle
+			var wsnHandles []*wsnt.Handle
+			for i := 0; i < iters; i++ {
+				sink := fmt.Sprintf("svc://sink%d", rng.Intn(8))
+				switch rng.Intn(6) {
+				case 0:
+					h, err := ws.Subscribe(ctx, "svc://wsm", &wse.SubscribeRequest{
+						NotifyTo: wsa.NewEPR(wsa.V200408, sink),
+						Expires:  "PT0.05S", // lapses quickly: scavenger food
+					})
+					if err == nil {
+						wseHandles = append(wseHandles, h)
+					}
+				case 1:
+					h, err := ns.Subscribe(ctx, "svc://wsm", &wsnt.SubscribeRequest{
+						ConsumerReference: wsa.NewEPR(wsa.V200508, sink),
+					})
+					if err == nil {
+						wsnHandles = append(wsnHandles, h)
+					}
+				case 2, 3:
+					ev := events[rng.Intn(len(events))]
+					broker.Publish(ev.Topic, ev.Payload)
+				case 4:
+					if len(wseHandles) > 0 {
+						h := wseHandles[len(wseHandles)-1]
+						wseHandles = wseHandles[:len(wseHandles)-1]
+						ws.Unsubscribe(ctx, h) // may already be expired: fine
+					}
+				case 5:
+					if len(wsnHandles) > 0 {
+						h := wsnHandles[len(wsnHandles)-1]
+						wsnHandles = wsnHandles[:len(wsnHandles)-1]
+						ns.Renew(ctx, h, "PT1H")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	broker.Flush()
+	cancel()
+
+	st := broker.Stats()
+	if st.Published == 0 {
+		t.Fatal("soak published nothing")
+	}
+	// Accounting: every delivery attempt is either delivered or failed;
+	// drops are counted separately and no sink ever errors here.
+	if st.Failures != 0 {
+		t.Errorf("unexpected delivery failures: %d", st.Failures)
+	}
+	if int64(st.Delivered) != received.Load() {
+		t.Errorf("delivered counter %d != sink receipts %d", st.Delivered, received.Load())
+	}
+	// Final publish to whoever is left must still work.
+	if err := broker.Publish(topics.NewPath("urn:t", "final"), xmldom.Elem("urn:t", "bye")); err != nil {
+		t.Fatal(err)
+	}
+	broker.Flush()
+	broker.Shutdown()
+	if broker.SubscriptionCount() != 0 {
+		t.Errorf("subscriptions after shutdown: %d", broker.SubscriptionCount())
+	}
+}

@@ -1,0 +1,182 @@
+package filter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+var tns = map[string]string{"t": "urn:topics", "m": "urn:msg"}
+
+func msg(t *testing.T, topic string, payload string) Message {
+	t.Helper()
+	m := Message{}
+	if topic != "" {
+		p, err := topics.ParsePath(topic, tns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Topic = p
+	}
+	if payload != "" {
+		m.Payload = xmldom.MustParse(payload)
+	}
+	return m
+}
+
+func TestTopicFilter(t *testing.T) {
+	f, err := NewTopic(topics.DialectFull, "t:grid//.", tns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := f.Accepts(msg(t, "t:grid/jobs", "<x/>"))
+	if !ok {
+		t.Error("descendant topic should pass")
+	}
+	ok, _ = f.Accepts(msg(t, "t:weather", "<x/>"))
+	if ok {
+		t.Error("unrelated topic should fail")
+	}
+	// Messages without a topic never match a topic filter.
+	ok, _ = f.Accepts(msg(t, "", "<x/>"))
+	if ok {
+		t.Error("topicless message should fail a topic filter")
+	}
+	if !strings.Contains(f.Describe(), "t:grid//.") {
+		t.Errorf("Describe = %q", f.Describe())
+	}
+}
+
+func TestContentFilter(t *testing.T) {
+	f, err := NewContent(DialectXPath10, "//m:price > 50", map[string]string{"m": "urn:msg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := f.Accepts(msg(t, "", `<q xmlns="urn:msg"><price>83</price></q>`))
+	if !ok {
+		t.Error("matching payload should pass")
+	}
+	ok, _ = f.Accepts(msg(t, "", `<q xmlns="urn:msg"><price>10</price></q>`))
+	if ok {
+		t.Error("non-matching payload should fail")
+	}
+	// Nil payload fails without error.
+	ok, err = f.Accepts(Message{})
+	if ok || err != nil {
+		t.Errorf("nil payload: %v %v", ok, err)
+	}
+}
+
+func TestContentFilterEmptyDialectDefaultsToXPath(t *testing.T) {
+	f, err := NewContent("", "//ok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := f.Accepts(msg(t, "", `<r><ok/></r>`))
+	if !ok {
+		t.Error("default dialect should be XPath")
+	}
+}
+
+func TestProducerPropertiesFilter(t *testing.T) {
+	f, err := NewProducerProperties(DialectXPath10, "//Status = 'active'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := msg(t, "", "<x/>")
+	m.ProducerProperties = xmldom.MustParse(`<props><Status>active</Status></props>`)
+	ok, _ := f.Accepts(m)
+	if !ok {
+		t.Error("matching properties should pass")
+	}
+	m.ProducerProperties = xmldom.MustParse(`<props><Status>down</Status></props>`)
+	ok, _ = f.Accepts(m)
+	if ok {
+		t.Error("non-matching properties should fail")
+	}
+	// No properties document: fail (producer has no properties to match).
+	ok, _ = f.Accepts(msg(t, "", "<x/>"))
+	if ok {
+		t.Error("message without producer properties should fail")
+	}
+}
+
+func TestAllConjunction(t *testing.T) {
+	tf, _ := NewTopic(topics.DialectConcrete, "t:grid/jobs", tns)
+	cf, _ := NewContent(DialectXPath10, "//state = 'done'", nil)
+	both := All{tf, cf}
+
+	match := msg(t, "t:grid/jobs", `<j><state>done</state></j>`)
+	ok, err := both.Accepts(match)
+	if err != nil || !ok {
+		t.Errorf("both filters should pass: %v %v", ok, err)
+	}
+	wrongTopic := msg(t, "t:grid/other", `<j><state>done</state></j>`)
+	if ok, _ := both.Accepts(wrongTopic); ok {
+		t.Error("wrong topic should fail conjunction")
+	}
+	wrongContent := msg(t, "t:grid/jobs", `<j><state>running</state></j>`)
+	if ok, _ := both.Accepts(wrongContent); ok {
+		t.Error("wrong content should fail conjunction")
+	}
+	if !strings.Contains(both.Describe(), " AND ") {
+		t.Errorf("Describe = %q", both.Describe())
+	}
+}
+
+func TestAcceptAll(t *testing.T) {
+	ok, err := AcceptAll.Accepts(Message{})
+	if err != nil || !ok {
+		t.Errorf("AcceptAll = %v %v", ok, err)
+	}
+	if AcceptAll.Describe() != "accept-all" {
+		t.Errorf("Describe = %q", AcceptAll.Describe())
+	}
+}
+
+func TestUnknownDialects(t *testing.T) {
+	_, err := NewContent("urn:bogus", "x", nil)
+	var ude *UnknownDialectError
+	if !errors.As(err, &ude) || ude.Dialect != "urn:bogus" {
+		t.Errorf("err = %v", err)
+	}
+	_, err = NewTopic("urn:bogus", "t:a", tns)
+	if !errors.As(err, &ude) {
+		t.Errorf("topic err = %v", err)
+	}
+	_, err = NewProducerProperties("urn:bogus", "x", nil)
+	if !errors.As(err, &ude) {
+		t.Errorf("props err = %v", err)
+	}
+}
+
+func TestInvalidExpressions(t *testing.T) {
+	_, err := NewContent(DialectXPath10, "///bad[", nil)
+	var iee *InvalidExpressionError
+	if !errors.As(err, &iee) {
+		t.Errorf("err = %v", err)
+	}
+	if iee.Unwrap() == nil {
+		t.Error("InvalidExpressionError should wrap the cause")
+	}
+	_, err = NewTopic(topics.DialectFull, "t:", tns)
+	if !errors.As(err, &iee) {
+		t.Errorf("topic err = %v", err)
+	}
+}
+
+func TestFilterEvaluationErrorAbortsAll(t *testing.T) {
+	// count(1) faults at eval time: All must surface the error.
+	bad, err := NewContent(DialectXPath10, "count(1) > 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := All{bad}
+	_, err = conj.Accepts(msg(t, "", "<x/>"))
+	if err == nil {
+		t.Error("evaluation error should propagate through All")
+	}
+}

@@ -1,0 +1,409 @@
+package jms
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func textWith(props map[string]any, prio int) *TextMessage {
+	m := NewTextMessage("body")
+	for k, v := range props {
+		m.Properties()[k] = v
+	}
+	m.Headers().Priority = prio
+	return m
+}
+
+// --- Selector tests ---
+
+func TestSelectorBasics(t *testing.T) {
+	m := textWith(map[string]any{
+		"symbol": "IBM", "price": 83.5, "volume": int64(1200), "active": true,
+	}, 4)
+	m.Headers().Type = "quote"
+	cases := []struct {
+		sel  string
+		want bool
+	}{
+		{"", true},
+		{"symbol = 'IBM'", true},
+		{"symbol = 'MSFT'", false},
+		{"symbol <> 'MSFT'", true},
+		{"price > 80", true},
+		{"price > 80 AND volume > 1000", true},
+		{"price > 80 AND volume > 2000", false},
+		{"price > 100 OR volume > 1000", true},
+		{"NOT (price > 100)", true},
+		{"price BETWEEN 80 AND 90", true},
+		{"price BETWEEN 90 AND 100", false},
+		{"price NOT BETWEEN 90 AND 100", true},
+		{"symbol IN ('IBM', 'MSFT')", true},
+		{"symbol IN ('SUNW')", false},
+		{"symbol NOT IN ('SUNW')", true},
+		{"symbol LIKE 'I%'", true},
+		{"symbol LIKE '_BM'", true},
+		{"symbol LIKE 'X%'", false},
+		{"symbol NOT LIKE 'X%'", true},
+		{"missing IS NULL", true},
+		{"missing IS NOT NULL", false},
+		{"symbol IS NOT NULL", true},
+		{"active = TRUE", true},
+		{"active = FALSE", false},
+		{"price * 2 > 160", true},
+		{"price + 10 <= 95", true},
+		{"-price < 0", true},
+		{"price / 2 = 41.75", true},
+		{"JMSPriority = 4", true},
+		{"JMSPriority >= 5", false},
+		{"JMSType = 'quote'", true},
+		{"JMSDeliveryMode = 'NON_PERSISTENT'", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sel, func(t *testing.T) {
+			sel, err := ParseSelector(tc.sel)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := sel.Matches(m); got != tc.want {
+				t.Errorf("%q = %v, want %v", tc.sel, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSelectorThreeValuedLogic(t *testing.T) {
+	m := textWith(map[string]any{"a": 1.0}, 4)
+	// Unknown (missing property) propagates; NOT unknown = unknown; a
+	// selector only matches on definite TRUE.
+	for _, sel := range []string{
+		"missing > 5",
+		"NOT (missing > 5)",
+		"missing = 'x' AND a = 1",
+		"missing LIKE 'x%'",
+		"missing BETWEEN 1 AND 2",
+	} {
+		if MustSelector(sel).Matches(m) {
+			t.Errorf("%q matched despite unknown", sel)
+		}
+	}
+	// But OR with a true arm matches.
+	if !MustSelector("missing > 5 OR a = 1").Matches(m) {
+		t.Error("OR with true arm should match")
+	}
+}
+
+func TestSelectorStringEscapes(t *testing.T) {
+	m := textWith(map[string]any{"note": "it's 100%"}, 4)
+	if !MustSelector("note = 'it''s 100%'").Matches(m) {
+		t.Error("quoted '' escape failed")
+	}
+	if !MustSelector(`note LIKE 'it''s 100x%' ESCAPE 'x'`).Matches(m) {
+		t.Error("LIKE escape failed")
+	}
+}
+
+func TestSelectorTypeMismatchIsUnknown(t *testing.T) {
+	m := textWith(map[string]any{"s": "abc"}, 4)
+	if MustSelector("s > 5").Matches(m) {
+		t.Error("string/number comparison should be unknown")
+	}
+	if MustSelector("s < 5").Matches(m) {
+		t.Error("string/number comparison should be unknown")
+	}
+}
+
+func TestSelectorParseErrors(t *testing.T) {
+	bad := []string{
+		"price >", "AND price", "price BETWEEN 1", "symbol IN (5)",
+		"symbol LIKE 5", "symbol IN ()", "(price > 5", "price !! 5",
+		"'unterminated", "price IS 5", "x LIKE 'a' ESCAPE 'ab'",
+	}
+	for _, s := range bad {
+		if _, err := ParseSelector(s); err == nil {
+			t.Errorf("ParseSelector(%q) succeeded", s)
+		}
+	}
+}
+
+// --- Message type tests ---
+
+func TestFiveMessageTypes(t *testing.T) {
+	msgs := []Message{
+		NewTextMessage("t"),
+		NewBytesMessage([]byte{1, 2}),
+		NewMapMessage(),
+		NewStreamMessage(),
+		NewObjectMessage(42),
+	}
+	wantTypes := []string{"TextMessage", "BytesMessage", "MapMessage", "StreamMessage", "ObjectMessage"}
+	for i, m := range msgs {
+		if m.TypeName() != wantTypes[i] {
+			t.Errorf("type[%d] = %s, want %s", i, m.TypeName(), wantTypes[i])
+		}
+	}
+}
+
+func TestStreamMessageReadWrite(t *testing.T) {
+	m := NewStreamMessage()
+	m.Write("a")
+	m.Write(1.5)
+	if v, ok := m.Read(); !ok || v != "a" {
+		t.Errorf("read 1 = %v %v", v, ok)
+	}
+	if v, ok := m.Read(); !ok || v != 1.5 {
+		t.Errorf("read 2 = %v %v", v, ok)
+	}
+	if _, ok := m.Read(); ok {
+		t.Error("exhausted stream returned value")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMapMessage()
+	m.Body["k"] = "v"
+	m.Properties()["p"] = int64(1)
+	cp := m.clone().(*MapMessage)
+	cp.Body["k"] = "changed"
+	cp.Properties()["p"] = int64(2)
+	if m.Body["k"] != "v" || m.Properties()["p"] != int64(1) {
+		t.Error("clone shares state with original")
+	}
+}
+
+// --- Queue tests ---
+
+func TestQueuePointToPoint(t *testing.T) {
+	p := NewProvider()
+	q := p.Queue("orders")
+	q.Send(NewTextMessage("first"))
+	q.Send(NewTextMessage("second"))
+	// Competing consumers: each message to exactly one receiver.
+	m1, ok1 := q.Receive(nil)
+	m2, ok2 := q.Receive(nil)
+	_, ok3 := q.Receive(nil)
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("receives = %v %v %v", ok1, ok2, ok3)
+	}
+	if m1.(*TextMessage).Text != "first" || m2.(*TextMessage).Text != "second" {
+		t.Error("FIFO order violated")
+	}
+	if m1.Headers().MessageID == "" || m1.Headers().Destination != "queue://orders" {
+		t.Errorf("headers not stamped: %+v", m1.Headers())
+	}
+}
+
+func TestQueuePriorityOrdering(t *testing.T) {
+	p := NewProvider()
+	q := p.Queue("q")
+	q.Send(textWith(nil, 1))
+	q.Send(textWith(nil, 9))
+	q.Send(textWith(nil, 5))
+	var prios []int
+	for {
+		m, ok := q.Receive(nil)
+		if !ok {
+			break
+		}
+		prios = append(prios, m.Headers().Priority)
+	}
+	if len(prios) != 3 || prios[0] != 9 || prios[1] != 5 || prios[2] != 1 {
+		t.Errorf("priority order = %v", prios)
+	}
+}
+
+func TestQueueSelectiveReceive(t *testing.T) {
+	p := NewProvider()
+	q := p.Queue("q")
+	q.Send(textWith(map[string]any{"region": "US"}, 4))
+	q.Send(textWith(map[string]any{"region": "EU"}, 4))
+	m, ok := q.Receive(MustSelector("region = 'EU'"))
+	if !ok || m.Properties()["region"] != "EU" {
+		t.Fatalf("selective receive = %v %v", m, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("non-matching message should remain queued")
+	}
+}
+
+func TestQueueExpiration(t *testing.T) {
+	now := time.Date(2006, 2, 1, 0, 0, 0, 0, time.UTC)
+	p := NewProvider().WithClock(func() time.Time { return now })
+	q := p.Queue("q")
+	m := NewTextMessage("stale")
+	m.Headers().Expiration = now.Add(time.Minute)
+	q.Send(m)
+	now = now.Add(2 * time.Minute)
+	if _, ok := q.Receive(nil); ok {
+		t.Error("expired message delivered")
+	}
+	if q.Len() != 0 {
+		t.Error("expired message not discarded")
+	}
+}
+
+// --- Topic tests ---
+
+func TestTopicPubSub(t *testing.T) {
+	p := NewProvider()
+	tp := p.Topic("quotes")
+	var got []string
+	cancel := tp.Subscribe(MustSelector("price > 50"), func(m Message) {
+		got = append(got, m.(*TextMessage).Text)
+	})
+	hi := NewTextMessage("high")
+	hi.Properties()["price"] = 80.0
+	lo := NewTextMessage("low")
+	lo.Properties()["price"] = 10.0
+	tp.Publish(hi)
+	tp.Publish(lo)
+	if len(got) != 1 || got[0] != "high" {
+		t.Errorf("got %v", got)
+	}
+	cancel()
+	tp.Publish(hi)
+	if len(got) != 1 {
+		t.Error("cancelled subscriber still delivered")
+	}
+}
+
+func TestTopicFanOutIsolation(t *testing.T) {
+	p := NewProvider()
+	tp := p.Topic("t")
+	var m1, m2 Message
+	tp.Subscribe(nil, func(m Message) { m1 = m })
+	tp.Subscribe(nil, func(m Message) { m2 = m })
+	orig := NewMapMessage()
+	orig.Body["k"] = "v"
+	tp.Publish(orig)
+	if m1 == m2 {
+		t.Error("subscribers share one message instance")
+	}
+	m1.(*MapMessage).Body["k"] = "mutated"
+	if m2.(*MapMessage).Body["k"] != "v" {
+		t.Error("fan-out clones share state")
+	}
+}
+
+func TestDurableSubscriberBuffersOffline(t *testing.T) {
+	p := NewProvider()
+	tp := p.Topic("t")
+	var got []string
+	rec := func(m Message) { got = append(got, m.(*TextMessage).Text) }
+	if err := tp.SubscribeDurable("audit", nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	tp.Publish(NewTextMessage("one"))
+	if err := tp.Deactivate("audit"); err != nil {
+		t.Fatal(err)
+	}
+	tp.Publish(NewTextMessage("two"))   // buffered
+	tp.Publish(NewTextMessage("three")) // buffered
+	if len(got) != 1 {
+		t.Fatalf("offline delivery happened: %v", got)
+	}
+	if err := tp.SubscribeDurable("audit", nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != "two" || got[2] != "three" {
+		t.Errorf("replay = %v", got)
+	}
+	// Double activation errors.
+	if err := tp.SubscribeDurable("audit", nil, rec); err == nil {
+		t.Error("double activation accepted")
+	}
+	if err := tp.UnsubscribeDurable("audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.UnsubscribeDurable("audit"); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+}
+
+func TestTransactedSession(t *testing.T) {
+	p := NewProvider()
+	tp := p.Topic("t")
+	var got int
+	tp.Subscribe(nil, func(Message) { got++ })
+	s := p.NewSession(true)
+	s.Publish("t", NewTextMessage("a"))
+	s.Publish("t", NewTextMessage("b"))
+	s.SendQueue("q", NewTextMessage("c"))
+	if got != 0 || p.Queue("q").Len() != 0 {
+		t.Fatal("transacted sends leaked before commit")
+	}
+	if s.PendingLen() != 3 {
+		t.Errorf("pending = %d", s.PendingLen())
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 || p.Queue("q").Len() != 1 {
+		t.Errorf("after commit: topic=%d queue=%d", got, p.Queue("q").Len())
+	}
+	// Rollback discards.
+	s2 := p.NewSession(true)
+	s2.Publish("t", NewTextMessage("x"))
+	s2.Rollback()
+	s2.Commit()
+	if got != 2 {
+		t.Error("rollback leaked")
+	}
+	// Non-transacted session sends immediately.
+	s3 := p.NewSession(false)
+	s3.Publish("t", NewTextMessage("now"))
+	if got != 3 {
+		t.Error("non-transacted send deferred")
+	}
+}
+
+func TestPersistenceJournal(t *testing.T) {
+	p := NewProvider()
+	q := p.Queue("q")
+	m := NewTextMessage("durable")
+	m.Headers().DeliveryMode = Persistent
+	q.Send(m)
+	q.Send(NewTextMessage("volatile"))
+	if p.JournalLen() != 1 {
+		t.Errorf("journal = %d, want 1", p.JournalLen())
+	}
+}
+
+func TestProviderClose(t *testing.T) {
+	p := NewProvider()
+	p.Close()
+	if err := p.Queue("q").Send(NewTextMessage("x")); err != ErrClosed {
+		t.Errorf("send after close = %v", err)
+	}
+	if err := p.Topic("t").Publish(NewTextMessage("x")); err != ErrClosed {
+		t.Errorf("publish after close = %v", err)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	p := NewProvider()
+	tp := p.Topic("t")
+	var mu sync.Mutex
+	count := 0
+	tp.Subscribe(nil, func(Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tp.Publish(NewTextMessage("m"))
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 400 {
+		t.Errorf("count = %d", count)
+	}
+}

@@ -1,0 +1,194 @@
+// Package jms implements a Java Message Service-style in-process
+// messaging system: the 1998-era baseline in the paper's Table 3.
+//
+// It reproduces the JMS traits the paper compares: the two messaging
+// styles (point-to-point queues and publish/subscribe topics), the five
+// message types (Text/Bytes/Map/Stream/Object), header-field-plus-property
+// selectors in the SQL92 conditional-expression subset, and the QoS
+// vocabulary (priority, persistence, durable subscriptions, transactions,
+// message order). Its platform-boundness — "only works on Java platforms"
+// — is mirrored by the fact that this fabric only moves in-process Go
+// values, not wire messages; the backend adapter wraps it behind the
+// WS-Messenger front doors exactly as §VII describes.
+package jms
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DeliveryMode is the JMS persistence flag.
+type DeliveryMode int
+
+const (
+	// NonPersistent messages may be lost on provider failure.
+	NonPersistent DeliveryMode = iota
+	// Persistent messages are journalled before acknowledgement.
+	Persistent
+)
+
+// Headers are the JMS-defined header fields carried by every message.
+type Headers struct {
+	MessageID     string
+	Destination   string
+	Timestamp     time.Time
+	CorrelationID string
+	ReplyTo       string
+	Type          string
+	Priority      int // 0..9, 4 is normal
+	DeliveryMode  DeliveryMode
+	Expiration    time.Time // zero = never expires
+	Redelivered   bool
+}
+
+// Message is the interface of all five JMS message types.
+type Message interface {
+	// Headers returns the mutable header block.
+	Headers() *Headers
+	// Properties returns the application property map consulted by
+	// selectors. Values are string, bool, int64 or float64.
+	Properties() map[string]any
+	// TypeName returns the JMS type name (e.g. "TextMessage").
+	TypeName() string
+	// clone returns an independent copy for fan-out.
+	clone() Message
+}
+
+// base carries the common implementation.
+type base struct {
+	hdr   Headers
+	props map[string]any
+}
+
+func newBase() base { return base{props: map[string]any{}} }
+
+func (b *base) Headers() *Headers          { return &b.hdr }
+func (b *base) Properties() map[string]any { return b.props }
+
+func (b base) cloneBase() base {
+	cp := b
+	cp.props = make(map[string]any, len(b.props))
+	for k, v := range b.props {
+		cp.props[k] = v
+	}
+	return cp
+}
+
+// TextMessage carries a string payload.
+type TextMessage struct {
+	base
+	Text string
+}
+
+// NewTextMessage builds a text message.
+func NewTextMessage(text string) *TextMessage {
+	return &TextMessage{base: newBase(), Text: text}
+}
+
+// TypeName implements Message.
+func (m *TextMessage) TypeName() string { return "TextMessage" }
+
+func (m *TextMessage) clone() Message {
+	return &TextMessage{base: m.cloneBase(), Text: m.Text}
+}
+
+// BytesMessage carries raw bytes.
+type BytesMessage struct {
+	base
+	Data []byte
+}
+
+// NewBytesMessage builds a bytes message.
+func NewBytesMessage(data []byte) *BytesMessage {
+	return &BytesMessage{base: newBase(), Data: data}
+}
+
+// TypeName implements Message.
+func (m *BytesMessage) TypeName() string { return "BytesMessage" }
+
+func (m *BytesMessage) clone() Message {
+	cp := make([]byte, len(m.Data))
+	copy(cp, m.Data)
+	return &BytesMessage{base: m.cloneBase(), Data: cp}
+}
+
+// MapMessage carries name/value pairs.
+type MapMessage struct {
+	base
+	Body map[string]any
+}
+
+// NewMapMessage builds a map message.
+func NewMapMessage() *MapMessage {
+	return &MapMessage{base: newBase(), Body: map[string]any{}}
+}
+
+// TypeName implements Message.
+func (m *MapMessage) TypeName() string { return "MapMessage" }
+
+func (m *MapMessage) clone() Message {
+	body := make(map[string]any, len(m.Body))
+	for k, v := range m.Body {
+		body[k] = v
+	}
+	return &MapMessage{base: m.cloneBase(), Body: body}
+}
+
+// StreamMessage carries an ordered sequence of primitive values.
+type StreamMessage struct {
+	base
+	Items []any
+	pos   int
+}
+
+// NewStreamMessage builds a stream message.
+func NewStreamMessage() *StreamMessage {
+	return &StreamMessage{base: newBase()}
+}
+
+// TypeName implements Message.
+func (m *StreamMessage) TypeName() string { return "StreamMessage" }
+
+// Write appends a value to the stream.
+func (m *StreamMessage) Write(v any) { m.Items = append(m.Items, v) }
+
+// Read returns the next value, or false when exhausted.
+func (m *StreamMessage) Read() (any, bool) {
+	if m.pos >= len(m.Items) {
+		return nil, false
+	}
+	v := m.Items[m.pos]
+	m.pos++
+	return v, true
+}
+
+func (m *StreamMessage) clone() Message {
+	items := make([]any, len(m.Items))
+	copy(items, m.Items)
+	return &StreamMessage{base: m.cloneBase(), Items: items}
+}
+
+// ObjectMessage carries an arbitrary (serialisable) object.
+type ObjectMessage struct {
+	base
+	Object any
+}
+
+// NewObjectMessage builds an object message.
+func NewObjectMessage(obj any) *ObjectMessage {
+	return &ObjectMessage{base: newBase(), Object: obj}
+}
+
+// TypeName implements Message.
+func (m *ObjectMessage) TypeName() string { return "ObjectMessage" }
+
+func (m *ObjectMessage) clone() Message {
+	return &ObjectMessage{base: m.cloneBase(), Object: m.Object}
+}
+
+var msgCounter atomic.Uint64
+
+func nextMessageID() string {
+	return fmt.Sprintf("ID:jms-%d", msgCounter.Add(1))
+}

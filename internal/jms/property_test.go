@@ -1,0 +1,151 @@
+package jms
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refLike compiles a LIKE pattern to a regexp, as an independent
+// reference implementation.
+func refLike(s, pattern string, escape byte) bool {
+	var sb strings.Builder
+	sb.WriteString("^")
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		if escape != 0 && c == escape && i+1 < len(pattern) {
+			sb.WriteString(regexp.QuoteMeta(string(pattern[i+1])))
+			i++
+			continue
+		}
+		switch c {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile("(?s)" + sb.String())
+	if err != nil {
+		return false
+	}
+	return re.MatchString(s)
+}
+
+// Property: likeMatch agrees with the regexp reference on ASCII inputs.
+func TestPropertyLikeAgreesWithRegexp(t *testing.T) {
+	alphabet := []byte("ab%_c")
+	f := func(sIdx, pIdx []uint8) bool {
+		if len(sIdx) > 12 || len(pIdx) > 8 {
+			return true
+		}
+		var s, p strings.Builder
+		for _, i := range sIdx {
+			c := alphabet[int(i)%len(alphabet)]
+			if c == '%' || c == '_' {
+				c = 'x'
+			}
+			s.WriteByte(c)
+		}
+		for _, i := range pIdx {
+			p.WriteByte(alphabet[int(i)%len(alphabet)])
+		}
+		return likeMatch(s.String(), p.String(), 0) == refLike(s.String(), p.String(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every parsed selector evaluates without panicking on
+// arbitrary property sets, and an empty selector accepts everything.
+func TestPropertySelectorTotality(t *testing.T) {
+	selectors := []string{
+		"a = 1", "a > b", "a LIKE 'x%'", "a BETWEEN 1 AND 10",
+		"a IN ('p','q') OR b IS NULL", "NOT (a = 1 AND b = 2)",
+		"a + b * 2 >= c - 1", "JMSPriority > 3 AND a <> 'z'",
+	}
+	f := func(selIdx uint8, propKind []uint8) bool {
+		m := NewTextMessage("t")
+		for i, k := range propKind {
+			name := string(rune('a' + i%3))
+			switch k % 4 {
+			case 0:
+				m.Properties()[name] = float64(k)
+			case 1:
+				m.Properties()[name] = fmt.Sprint(k)
+			case 2:
+				m.Properties()[name] = k%2 == 0
+			case 3:
+				// leave absent
+			}
+		}
+		sel := MustSelector(selectors[int(selIdx)%len(selectors)])
+		_ = sel.Matches(m) // must not panic
+		return MustSelector("").Matches(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NOT inverts definite selectors (those whose identifiers are
+// all present), per three-valued logic.
+func TestPropertyNotInvertsDefinite(t *testing.T) {
+	f := func(price float64, symIdx uint8) bool {
+		m := NewTextMessage("t")
+		m.Properties()["price"] = price
+		m.Properties()["symbol"] = []string{"IBM", "MSFT", "SUNW"}[int(symIdx)%3]
+		pos := MustSelector("price > 50 AND symbol = 'IBM'")
+		neg := MustSelector("NOT (price > 50 AND symbol = 'IBM')")
+		return pos.Matches(m) == !neg.Matches(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: queue drains in priority-then-FIFO order for arbitrary
+// priority sequences.
+func TestPropertyQueuePriorityOrder(t *testing.T) {
+	f := func(prios []uint8) bool {
+		if len(prios) > 30 {
+			prios = prios[:30]
+		}
+		p := NewProvider()
+		q := p.Queue("q")
+		for i, pr := range prios {
+			m := NewTextMessage(fmt.Sprint(i))
+			m.Headers().Priority = int(pr % 10)
+			q.Send(m)
+		}
+		lastPrio := 10
+		seen := map[int]int{} // priority -> last seq seen
+		for {
+			m, ok := q.Receive(nil)
+			if !ok {
+				break
+			}
+			pr := m.Headers().Priority
+			if pr > lastPrio {
+				return false // priority order violated
+			}
+			lastPrio = pr
+			var seq int
+			fmt.Sscan(m.(*TextMessage).Text, &seq)
+			if prev, ok := seen[pr]; ok && seq < prev {
+				return false // FIFO within priority violated
+			}
+			seen[pr] = seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

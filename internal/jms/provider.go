@@ -1,0 +1,401 @@
+package jms
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Provider is the in-process JMS-style provider: a registry of queues
+// (point-to-point) and topics (publish/subscribe), with an append-only
+// journal standing in for the persistent store behind Persistent-mode
+// deliveries.
+type Provider struct {
+	mu      sync.Mutex
+	queues  map[string]*Queue
+	topics  map[string]*Topic
+	journal []string // message ids journalled for persistence
+	clock   func() time.Time
+	closed  bool
+}
+
+// NewProvider builds an empty provider.
+func NewProvider() *Provider {
+	return &Provider{
+		queues: map[string]*Queue{},
+		topics: map[string]*Topic{},
+		clock:  time.Now,
+	}
+}
+
+// WithClock injects a time source (tests).
+func (p *Provider) WithClock(clock func() time.Time) *Provider {
+	p.clock = clock
+	return p
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("jms: provider closed")
+
+// Close shuts the provider down.
+func (p *Provider) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+}
+
+// JournalLen reports how many persistent messages were journalled — the
+// observable half of the persistence QoS.
+func (p *Provider) JournalLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.journal)
+}
+
+func (p *Provider) journalIfPersistent(m Message) {
+	if m.Headers().DeliveryMode != Persistent {
+		return
+	}
+	p.mu.Lock()
+	p.journal = append(p.journal, m.Headers().MessageID)
+	p.mu.Unlock()
+}
+
+// stamp finalises the JMS-defined headers on send.
+func (p *Provider) stamp(m Message, destination string) {
+	h := m.Headers()
+	if h.MessageID == "" {
+		h.MessageID = nextMessageID()
+	}
+	h.Destination = destination
+	h.Timestamp = p.clock()
+}
+
+// Queue returns (creating on demand) the named queue.
+func (p *Provider) Queue(name string) *Queue {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q, ok := p.queues[name]
+	if !ok {
+		q = &Queue{name: name, provider: p}
+		p.queues[name] = q
+	}
+	return q
+}
+
+// Topic returns (creating on demand) the named topic.
+func (p *Provider) Topic(name string) *Topic {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.topics[name]
+	if !ok {
+		t = &Topic{name: name, provider: p, durable: map[string]*TopicSub{}, subs: map[int]*TopicSub{}}
+		p.topics[name] = t
+	}
+	return t
+}
+
+// --- Point-to-point queues ---
+
+// Queue is a point-to-point destination: each message is received by at
+// most one consumer; messages wait until someone receives them.
+type Queue struct {
+	name     string
+	provider *Provider
+	mu       sync.Mutex
+	messages []Message
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Send enqueues a message, honouring the priority QoS: higher priority
+// messages are received first; equal priorities keep FIFO order (the
+// message-order QoS).
+func (q *Queue) Send(m Message) error {
+	q.provider.mu.Lock()
+	closed := q.provider.closed
+	q.provider.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	q.provider.stamp(m, "queue://"+q.name)
+	q.provider.journalIfPersistent(m)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.messages = append(q.messages, m)
+	sort.SliceStable(q.messages, func(i, j int) bool {
+		return q.messages[i].Headers().Priority > q.messages[j].Headers().Priority
+	})
+	return nil
+}
+
+// Receive removes and returns the first message matching the selector
+// (nil selector matches everything). Expired messages are discarded in
+// passing. The boolean reports whether a message was available.
+func (q *Queue) Receive(sel *Selector) (Message, bool) {
+	now := q.provider.clock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	kept := q.messages[:0]
+	var found Message
+	for i, m := range q.messages {
+		h := m.Headers()
+		if !h.Expiration.IsZero() && now.After(h.Expiration) {
+			continue // expired: discard
+		}
+		if found == nil && (sel == nil || sel.Matches(m)) {
+			found = m
+			continue
+		}
+		_ = i
+		kept = append(kept, m)
+	}
+	q.messages = kept
+	return found, found != nil
+}
+
+// Len reports queued message count.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.messages)
+}
+
+// --- Publish/subscribe topics ---
+
+// Topic is a publish/subscribe destination.
+type Topic struct {
+	name     string
+	provider *Provider
+	mu       sync.Mutex
+	nextID   int
+	subs     map[int]*TopicSub
+	durable  map[string]*TopicSub
+}
+
+// TopicSub is one subscription on a topic.
+type TopicSub struct {
+	id       int
+	name     string // durable name, "" for non-durable
+	selector *Selector
+	handler  func(Message)
+	active   bool
+	buffer   []Message // durable offline buffer
+	maxBuf   int
+	dropped  int
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Subscribe registers a non-durable subscriber; cancel removes it.
+func (t *Topic) Subscribe(sel *Selector, fn func(Message)) (cancel func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.subs[id] = &TopicSub{id: id, selector: sel, handler: fn, active: true}
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		delete(t.subs, id)
+	}
+}
+
+// SubscribeDurable registers (or reactivates) a named durable subscriber:
+// messages published while it is disconnected buffer and are replayed on
+// reactivation — the durability QoS of Table 3.
+func (t *Topic) SubscribeDurable(name string, sel *Selector, fn func(Message)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sub, ok := t.durable[name]
+	if !ok {
+		t.nextID++
+		sub = &TopicSub{id: t.nextID, name: name, maxBuf: 4096}
+		t.durable[name] = sub
+	}
+	if sub.active {
+		return fmt.Errorf("jms: durable subscriber %q already active", name)
+	}
+	sub.selector = sel
+	sub.handler = fn
+	sub.active = true
+	// Replay the offline buffer in order.
+	buf := sub.buffer
+	sub.buffer = nil
+	for _, m := range buf {
+		fn(m)
+	}
+	return nil
+}
+
+// Deactivate disconnects a durable subscriber; publishes buffer until it
+// returns.
+func (t *Topic) Deactivate(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sub, ok := t.durable[name]
+	if !ok {
+		return fmt.Errorf("jms: no durable subscriber %q", name)
+	}
+	sub.active = false
+	sub.handler = nil
+	return nil
+}
+
+// UnsubscribeDurable removes a durable subscription entirely.
+func (t *Topic) UnsubscribeDurable(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.durable[name]; !ok {
+		return fmt.Errorf("jms: no durable subscriber %q", name)
+	}
+	delete(t.durable, name)
+	return nil
+}
+
+// Publish delivers a message to every matching subscriber (buffering for
+// inactive durable ones). Expired messages are dropped at publish time.
+func (t *Topic) Publish(m Message) error {
+	t.provider.mu.Lock()
+	closed := t.provider.closed
+	t.provider.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	t.provider.stamp(m, "topic://"+t.name)
+	t.provider.journalIfPersistent(m)
+	now := t.provider.clock()
+	h := m.Headers()
+	if !h.Expiration.IsZero() && now.After(h.Expiration) {
+		return nil
+	}
+	t.mu.Lock()
+	type target struct {
+		fn func(Message)
+		m  Message
+	}
+	var targets []target
+	deliver := func(sub *TopicSub) {
+		if sub.selector != nil && !sub.selector.Matches(m) {
+			return
+		}
+		cp := m.clone()
+		if sub.active && sub.handler != nil {
+			targets = append(targets, target{sub.handler, cp})
+			return
+		}
+		if sub.name != "" { // durable, offline: buffer
+			if len(sub.buffer) >= sub.maxBuf {
+				sub.buffer = sub.buffer[1:]
+				sub.dropped++
+			}
+			sub.buffer = append(sub.buffer, cp)
+		}
+	}
+	ids := make([]int, 0, len(t.subs))
+	for id := range t.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		deliver(t.subs[id])
+	}
+	names := make([]string, 0, len(t.durable))
+	for n := range t.durable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		deliver(t.durable[n])
+	}
+	t.mu.Unlock()
+	for _, tg := range targets {
+		tg.fn(tg.m)
+	}
+	return nil
+}
+
+// SubscriberCount reports active (non-durable + durable) subscribers.
+func (t *Topic) SubscriberCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.subs)
+	for _, d := range t.durable {
+		if d.active {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Transacted sessions ---
+
+// Session groups sends; in transacted mode nothing reaches a destination
+// until Commit, and Rollback discards the batch — the transaction QoS.
+type Session struct {
+	provider   *Provider
+	transacted bool
+	mu         sync.Mutex
+	pending    []func() error
+}
+
+// NewSession opens a session.
+func (p *Provider) NewSession(transacted bool) *Session {
+	return &Session{provider: p, transacted: transacted}
+}
+
+// SendQueue sends to a queue through the session.
+func (s *Session) SendQueue(queue string, m Message) error {
+	q := s.provider.Queue(queue)
+	if !s.transacted {
+		return q.Send(m)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, func() error { return q.Send(m) })
+	return nil
+}
+
+// Publish sends to a topic through the session.
+func (s *Session) Publish(topic string, m Message) error {
+	t := s.provider.Topic(topic)
+	if !s.transacted {
+		return t.Publish(m)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, func() error { return t.Publish(m) })
+	return nil
+}
+
+// Commit flushes the pending batch in order.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, send := range batch {
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollback discards the pending batch.
+func (s *Session) Rollback() {
+	s.mu.Lock()
+	s.pending = nil
+	s.mu.Unlock()
+}
+
+// PendingLen reports buffered sends (probe/test hook).
+func (s *Session) PendingLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}

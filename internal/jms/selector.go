@@ -1,0 +1,727 @@
+package jms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Selector is a compiled JMS message selector: a conditional expression in
+// the SQL92 subset JMS defines, evaluated over a message's header fields
+// and properties. Table 3's "Filter language" row for JMS is exactly this.
+type Selector struct {
+	src  string
+	root selNode
+}
+
+// ParseSelector compiles a selector expression. The empty string selects
+// everything.
+func ParseSelector(src string) (*Selector, error) {
+	if strings.TrimSpace(src) == "" {
+		return &Selector{src: src}, nil
+	}
+	toks, err := selLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &selParser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != selEOF {
+		return nil, fmt.Errorf("jms: selector: trailing input %q", p.cur().text)
+	}
+	return &Selector{src: src, root: root}, nil
+}
+
+// MustSelector compiles or panics; for fixed selectors in tests.
+func MustSelector(src string) *Selector {
+	s, err := ParseSelector(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String returns the selector source.
+func (s *Selector) String() string { return s.src }
+
+// Matches evaluates the selector against a message using SQL
+// three-valued logic; only a definite TRUE selects the message.
+func (s *Selector) Matches(m Message) bool {
+	if s.root == nil {
+		return true
+	}
+	v := s.root.eval(m)
+	b, ok := v.(bool)
+	return ok && b
+}
+
+// --- lexer ---
+
+type selTokKind int
+
+const (
+	selEOF selTokKind = iota
+	selIdent
+	selString
+	selNumber
+	selOp      // = <> < <= > >= + - * / ( ) ,
+	selKeyword // AND OR NOT BETWEEN IN LIKE IS NULL ESCAPE TRUE FALSE
+)
+
+type selTok struct {
+	kind selTokKind
+	text string
+}
+
+var selKeywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "IS": true, "NULL": true, "ESCAPE": true,
+	"TRUE": true, "FALSE": true,
+}
+
+func selLex(src string) ([]selTok, error) {
+	var toks []selTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("jms: selector: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, selTok{selString, sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E') {
+				j++
+			}
+			toks = append(toks, selTok{selNumber, src[i:j]})
+			i = j
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, selTok{selOp, "<>"})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, selTok{selOp, "<="})
+				i += 2
+			} else {
+				toks = append(toks, selTok{selOp, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, selTok{selOp, ">="})
+				i += 2
+			} else {
+				toks = append(toks, selTok{selOp, ">"})
+				i++
+			}
+		case strings.IndexByte("=+-*/(),", c) >= 0:
+			toks = append(toks, selTok{selOp, string(c)})
+			i++
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] == '.' || src[j] == '$' ||
+				unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			word := src[i:j]
+			if selKeywords[strings.ToUpper(word)] {
+				toks = append(toks, selTok{selKeyword, strings.ToUpper(word)})
+			} else {
+				toks = append(toks, selTok{selIdent, word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("jms: selector: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, selTok{selEOF, ""})
+	return toks, nil
+}
+
+// --- parser / AST ---
+
+type selNode interface{ eval(m Message) any }
+
+type selParser struct {
+	toks []selTok
+	pos  int
+}
+
+func (p *selParser) cur() selTok { return p.toks[p.pos] }
+
+func (p *selParser) advance() selTok {
+	t := p.toks[p.pos]
+	if t.kind != selEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *selParser) accept(kind selTokKind, text string) bool {
+	if p.cur().kind == kind && p.cur().text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *selParser) parseOr() (selNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(selKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &selLogic{op: "OR", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *selParser) parseAnd() (selNode, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(selKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &selLogic{op: "AND", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *selParser) parseNot() (selNode, error) {
+	if p.accept(selKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &selNot{inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *selParser) parseComparison() (selNode, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(selKeyword, "IS") {
+		negate := p.accept(selKeyword, "NOT")
+		if !p.accept(selKeyword, "NULL") {
+			return nil, fmt.Errorf("jms: selector: expected NULL after IS")
+		}
+		return &selIsNull{operand: left, negate: negate}, nil
+	}
+	negate := false
+	if p.cur().kind == selKeyword && p.cur().text == "NOT" {
+		// lookahead for BETWEEN / IN / LIKE
+		switch p.toks[p.pos+1].text {
+		case "BETWEEN", "IN", "LIKE":
+			p.advance()
+			negate = true
+		}
+	}
+	switch {
+	case p.accept(selKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(selKeyword, "AND") {
+			return nil, fmt.Errorf("jms: selector: expected AND in BETWEEN")
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &selBetween{v: left, lo: lo, hi: hi, negate: negate}, nil
+	case p.accept(selKeyword, "IN"):
+		if !p.accept(selOp, "(") {
+			return nil, fmt.Errorf("jms: selector: expected '(' after IN")
+		}
+		var set []string
+		for {
+			if p.cur().kind != selString {
+				return nil, fmt.Errorf("jms: selector: IN list must hold string literals")
+			}
+			set = append(set, p.advance().text)
+			if !p.accept(selOp, ",") {
+				break
+			}
+		}
+		if !p.accept(selOp, ")") {
+			return nil, fmt.Errorf("jms: selector: expected ')' after IN list")
+		}
+		return &selIn{v: left, set: set, negate: negate}, nil
+	case p.accept(selKeyword, "LIKE"):
+		if p.cur().kind != selString {
+			return nil, fmt.Errorf("jms: selector: LIKE needs a string pattern")
+		}
+		pattern := p.advance().text
+		escape := byte(0)
+		if p.accept(selKeyword, "ESCAPE") {
+			if p.cur().kind != selString || len(p.cur().text) != 1 {
+				return nil, fmt.Errorf("jms: selector: ESCAPE needs a single-character string")
+			}
+			escape = p.advance().text[0]
+		}
+		return &selLike{v: left, pattern: pattern, escape: escape, negate: negate}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(selOp, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &selCompare{op: op, l: left, r: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *selParser) parseAdditive() (selNode, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(selOp, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &selArith{op: "+", l: left, r: r}
+		case p.accept(selOp, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &selArith{op: "-", l: left, r: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *selParser) parseMultiplicative() (selNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(selOp, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &selArith{op: "*", l: left, r: r}
+		case p.accept(selOp, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &selArith{op: "/", l: left, r: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *selParser) parseUnary() (selNode, error) {
+	if p.accept(selOp, "-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &selNeg{inner}, nil
+	}
+	p.accept(selOp, "+")
+	return p.parsePrimary()
+}
+
+func (p *selParser) parsePrimary() (selNode, error) {
+	t := p.cur()
+	switch t.kind {
+	case selString:
+		p.advance()
+		return selLit{t.text}, nil
+	case selNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("jms: selector: bad number %q", t.text)
+		}
+		p.advance()
+		return selLit{f}, nil
+	case selKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return selLit{true}, nil
+		case "FALSE":
+			p.advance()
+			return selLit{false}, nil
+		}
+	case selIdent:
+		p.advance()
+		return selIdentNode{t.text}, nil
+	case selOp:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(selOp, ")") {
+				return nil, fmt.Errorf("jms: selector: expected ')'")
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("jms: selector: unexpected token %q", t.text)
+}
+
+// --- evaluation (SQL three-valued logic; nil = unknown) ---
+
+type selLit struct{ v any }
+
+func (l selLit) eval(Message) any { return l.v }
+
+type selIdentNode struct{ name string }
+
+func (id selIdentNode) eval(m Message) any {
+	h := m.Headers()
+	switch id.name {
+	case "JMSPriority":
+		return float64(h.Priority)
+	case "JMSMessageID":
+		return h.MessageID
+	case "JMSCorrelationID":
+		return h.CorrelationID
+	case "JMSType":
+		return h.Type
+	case "JMSTimestamp":
+		return float64(h.Timestamp.UnixMilli())
+	case "JMSDeliveryMode":
+		if h.DeliveryMode == Persistent {
+			return "PERSISTENT"
+		}
+		return "NON_PERSISTENT"
+	case "JMSRedelivered":
+		return h.Redelivered
+	}
+	v, ok := m.Properties()[id.name]
+	if !ok {
+		return nil
+	}
+	switch t := v.(type) {
+	case int:
+		return float64(t)
+	case int64:
+		return float64(t)
+	case float64, string, bool:
+		return t
+	}
+	return nil
+}
+
+type selLogic struct {
+	op   string
+	l, r selNode
+}
+
+func (n *selLogic) eval(m Message) any {
+	l := toTri(n.l.eval(m))
+	r := toTri(n.r.eval(m))
+	if n.op == "AND" {
+		switch {
+		case l == triFalse || r == triFalse:
+			return false
+		case l == triTrue && r == triTrue:
+			return true
+		}
+		return nil
+	}
+	switch {
+	case l == triTrue || r == triTrue:
+		return true
+	case l == triFalse && r == triFalse:
+		return false
+	}
+	return nil
+}
+
+type tri int
+
+const (
+	triUnknown tri = iota
+	triTrue
+	triFalse
+)
+
+func toTri(v any) tri {
+	if b, ok := v.(bool); ok {
+		if b {
+			return triTrue
+		}
+		return triFalse
+	}
+	return triUnknown
+}
+
+type selNot struct{ inner selNode }
+
+func (n *selNot) eval(m Message) any {
+	switch toTri(n.inner.eval(m)) {
+	case triTrue:
+		return false
+	case triFalse:
+		return true
+	}
+	return nil
+}
+
+type selCompare struct {
+	op   string
+	l, r selNode
+}
+
+func (n *selCompare) eval(m Message) any {
+	l, r := n.l.eval(m), n.r.eval(m)
+	if l == nil || r == nil {
+		return nil
+	}
+	// String comparison only supports = and <>.
+	ls, lok := l.(string)
+	rs, rok := r.(string)
+	if lok && rok {
+		switch n.op {
+		case "=":
+			return ls == rs
+		case "<>":
+			return ls != rs
+		}
+		return nil
+	}
+	lb, lbok := l.(bool)
+	rb, rbok := r.(bool)
+	if lbok && rbok {
+		switch n.op {
+		case "=":
+			return lb == rb
+		case "<>":
+			return lb != rb
+		}
+		return nil
+	}
+	lf, lok2 := toNum(l)
+	rf, rok2 := toNum(r)
+	if !lok2 || !rok2 {
+		return nil // type mismatch is unknown
+	}
+	switch n.op {
+	case "=":
+		return lf == rf
+	case "<>":
+		return lf != rf
+	case "<":
+		return lf < rf
+	case "<=":
+		return lf <= rf
+	case ">":
+		return lf > rf
+	case ">=":
+		return lf >= rf
+	}
+	return nil
+}
+
+func toNum(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+type selArith struct {
+	op   string
+	l, r selNode
+}
+
+func (n *selArith) eval(m Message) any {
+	lf, lok := toNum(n.l.eval(m))
+	rf, rok := toNum(n.r.eval(m))
+	if !lok || !rok {
+		return nil
+	}
+	switch n.op {
+	case "+":
+		return lf + rf
+	case "-":
+		return lf - rf
+	case "*":
+		return lf * rf
+	case "/":
+		return lf / rf
+	}
+	return nil
+}
+
+type selNeg struct{ inner selNode }
+
+func (n *selNeg) eval(m Message) any {
+	if f, ok := toNum(n.inner.eval(m)); ok {
+		return -f
+	}
+	return nil
+}
+
+type selIsNull struct {
+	operand selNode
+	negate  bool
+}
+
+func (n *selIsNull) eval(m Message) any {
+	isNull := n.operand.eval(m) == nil
+	if n.negate {
+		return !isNull
+	}
+	return isNull
+}
+
+type selBetween struct {
+	v, lo, hi selNode
+	negate    bool
+}
+
+func (n *selBetween) eval(m Message) any {
+	vf, vok := toNum(n.v.eval(m))
+	lf, lok := toNum(n.lo.eval(m))
+	hf, hok := toNum(n.hi.eval(m))
+	if !vok || !lok || !hok {
+		return nil
+	}
+	in := vf >= lf && vf <= hf
+	if n.negate {
+		return !in
+	}
+	return in
+}
+
+type selIn struct {
+	v      selNode
+	set    []string
+	negate bool
+}
+
+func (n *selIn) eval(m Message) any {
+	s, ok := n.v.eval(m).(string)
+	if !ok {
+		return nil
+	}
+	in := false
+	for _, c := range n.set {
+		if c == s {
+			in = true
+			break
+		}
+	}
+	if n.negate {
+		return !in
+	}
+	return in
+}
+
+type selLike struct {
+	v       selNode
+	pattern string
+	escape  byte
+	negate  bool
+}
+
+func (n *selLike) eval(m Message) any {
+	s, ok := n.v.eval(m).(string)
+	if !ok {
+		return nil
+	}
+	match := likeMatch(s, n.pattern, n.escape)
+	if n.negate {
+		return !match
+	}
+	return match
+}
+
+// likeMatch implements SQL LIKE: '%' any sequence, '_' single character,
+// with an optional escape character.
+func likeMatch(s, pattern string, escape byte) bool {
+	return likeRec([]rune(s), []rune(pattern), rune(escape))
+}
+
+func likeRec(s, p []rune, esc rune) bool {
+	for len(p) > 0 {
+		c := p[0]
+		if esc != 0 && c == esc && len(p) > 1 {
+			if len(s) == 0 || s[0] != p[1] {
+				return false
+			}
+			s, p = s[1:], p[2:]
+			continue
+		}
+		switch c {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p, esc) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != c {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}

@@ -1,0 +1,367 @@
+package mediation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+var grid = topics.NewPath("urn:grid", "jobs")
+
+func payload() *xmldom.Element {
+	return xmldom.Elem("urn:grid", "Ev", xmldom.Elem("urn:grid", "v", "1"))
+}
+
+func TestDetectBody(t *testing.T) {
+	cases := []struct {
+		el     *xmldom.Element
+		family Family
+		name   string
+	}{
+		{xmldom.NewElement(xmldom.N(wse.NS200401, "Subscribe")), FamilyWSE, "WS-Eventing 1/2004"},
+		{xmldom.NewElement(xmldom.N(wse.NS200408, "Subscribe")), FamilyWSE, "WS-Eventing 8/2004"},
+		{xmldom.NewElement(xmldom.N(wsnt.NS1_0, "Subscribe")), FamilyWSN, "WS-Notification 1.0"},
+		{xmldom.NewElement(xmldom.N(wsnt.NS1_3, "Notify")), FamilyWSN, "WS-Notification 1.3"},
+	}
+	for _, tc := range cases {
+		d, ok := DetectBody(tc.el)
+		if !ok || d.Family != tc.family || d.String() != tc.name {
+			t.Errorf("DetectBody(%v) = %v %v, want %s", tc.el.Name, d, ok, tc.name)
+		}
+	}
+	if _, ok := DetectBody(xmldom.Elem("urn:other", "Thing")); ok {
+		t.Error("foreign body detected")
+	}
+	if _, ok := DetectBody(nil); ok {
+		t.Error("nil body detected")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyWSE.String() != "WS-Eventing" || FamilyWSN.String() != "WS-Notification" ||
+		FamilyUnknown.String() != "unknown" {
+		t.Error("family names wrong")
+	}
+}
+
+func TestFromWSECanonical(t *testing.T) {
+	req := &wse.SubscribeRequest{
+		NotifyTo:   wsa.NewEPR(wsa.V200408, "svc://sink"),
+		EndTo:      wsa.NewEPR(wsa.V200408, "svc://end"),
+		Expires:    "PT5M",
+		FilterExpr: "//x > 1",
+		FilterNS:   map[string]string{"g": "urn:grid"},
+		Mode:       wse.V200408.DeliveryModePull(),
+	}
+	c := FromWSE(req, wse.V200408)
+	if c.Origin.Family != FamilyWSE || c.Origin.WSE != wse.V200408 {
+		t.Errorf("origin = %v", c.Origin)
+	}
+	if !c.UseRaw {
+		t.Error("WSE subscriptions deliver raw")
+	}
+	if !c.PullMode {
+		t.Error("pull mode lost")
+	}
+	if c.ContentExpr != "//x > 1" || c.EndTo == nil {
+		t.Errorf("canonical = %+v", c)
+	}
+}
+
+func TestFromWSNCanonical(t *testing.T) {
+	req := &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://c"),
+		TopicExpression:   "t:jobs",
+		TopicDialect:      topics.DialectSimple,
+		TopicNS:           map[string]string{"t": "urn:grid"},
+		ContentExpr:       "//v = '1'",
+		ProducerPropsExpr: "//Region='EU'",
+		UseRaw:            true,
+	}
+	c := FromWSN(req, wsnt.V1_3)
+	if c.Origin.Family != FamilyWSN || c.Origin.WSN != wsnt.V1_3 {
+		t.Errorf("origin = %v", c.Origin)
+	}
+	if c.TopicExpr != "t:jobs" || c.ContentExpr != "//v = '1'" || c.ProducerPropsExpr == "" {
+		t.Errorf("canonical = %+v", c)
+	}
+	if !c.UseRaw {
+		t.Error("raw flag lost")
+	}
+}
+
+func TestRoundTripWSESubscribeThroughCanonical(t *testing.T) {
+	// WSE → canonical → WSE preserves everything WSE can express.
+	orig := &wse.SubscribeRequest{
+		NotifyTo:   wsa.NewEPR(wsa.V200408, "svc://sink"),
+		Expires:    "PT10M",
+		FilterExpr: "//a",
+	}
+	back := FromWSE(orig, wse.V200408).ToWSE(wse.V200408)
+	if back.NotifyTo.Address != orig.NotifyTo.Address ||
+		back.Expires != orig.Expires || back.FilterExpr != orig.FilterExpr {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestRoundTripWSNSubscribeThroughCanonical(t *testing.T) {
+	orig := &wsnt.SubscribeRequest{
+		ConsumerReference:      wsa.NewEPR(wsa.V200508, "svc://c"),
+		TopicExpression:        "t:a/b",
+		TopicDialect:           topics.DialectConcrete,
+		TopicNS:                map[string]string{"t": "urn:x"},
+		ContentExpr:            "//p > 2",
+		InitialTerminationTime: "PT1H",
+		UseRaw:                 true,
+	}
+	back := FromWSN(orig, wsnt.V1_3).ToWSN(wsnt.V1_3)
+	if back.TopicExpression != orig.TopicExpression || back.ContentExpr != orig.ContentExpr ||
+		back.InitialTerminationTime != orig.InitialTerminationTime || back.UseRaw != orig.UseRaw {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+// Property: WSN→canonical→WSN round trip preserves the filter triple for
+// arbitrary expressions.
+func TestPropertyWSNRoundTrip(t *testing.T) {
+	f := func(topic, content, props string, raw bool) bool {
+		orig := &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://c"),
+			TopicExpression:   topic,
+			ContentExpr:       content,
+			ProducerPropsExpr: props,
+			UseRaw:            raw,
+		}
+		back := FromWSN(orig, wsnt.V1_3).ToWSN(wsnt.V1_3)
+		return back.TopicExpression == topic && back.ContentExpr == content &&
+			back.ProducerPropsExpr == props && back.UseRaw == raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFilterConjunction(t *testing.T) {
+	c := &Subscribe{
+		TopicExpr:    "t:jobs",
+		TopicDialect: topics.DialectSimple,
+		TopicNS:      map[string]string{"t": "urn:grid"},
+		ContentExpr:  "//g:v = '1'",
+		ContentNS:    map[string]string{"g": "urn:grid"},
+	}
+	flt, err := c.BuildFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flt) != 2 {
+		t.Fatalf("filters = %d", len(flt))
+	}
+	// Bad expressions error.
+	bad := &Subscribe{ContentExpr: "///["}
+	if _, err := bad.BuildFilter(); err == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func TestParseIncomingWSNNotify(t *testing.T) {
+	env := soap.New(soap.V11)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+		{Topic: grid, Payload: payload()},
+		{Topic: grid, Payload: payload()},
+	}))
+	ns, d, err := ParseIncoming(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyWSN || len(ns) != 2 {
+		t.Fatalf("parsed %d notifications, family %v", len(ns), d.Family)
+	}
+	if !ns[0].Topic.Equal(grid) {
+		t.Errorf("topic = %v", ns[0].Topic)
+	}
+}
+
+func TestParseIncomingRawWithTopicHeader(t *testing.T) {
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200408, To: "svc://b", Action: "urn:pub"}
+	h.Apply(env)
+	env.AddHeader(xmldom.Elem(wse.TopicHeaderName.Space, wse.TopicHeaderName.Local, grid.String()))
+	env.AddBody(payload())
+	ns, d, err := ParseIncoming(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyWSE || len(ns) != 1 {
+		t.Fatalf("family %v count %d", d.Family, len(ns))
+	}
+	if !ns[0].Topic.Equal(grid) {
+		t.Errorf("topic from header = %v", ns[0].Topic)
+	}
+	// WSA 2003/03 headers imply the 1/2004 dialect.
+	env03 := soap.New(soap.V11)
+	h03 := &wsa.MessageHeaders{Version: wsa.V200303, To: "svc://b", Action: "urn:pub"}
+	h03.Apply(env03)
+	env03.AddBody(payload())
+	_, d03, _ := ParseIncoming(env03)
+	if d03.WSE != wse.V200401 {
+		t.Errorf("old-WSA dialect = %v", d03)
+	}
+}
+
+func TestParseIncomingEmptyEnvelope(t *testing.T) {
+	if _, _, err := ParseIncoming(soap.New(soap.V11)); err == nil {
+		t.Error("empty envelope accepted")
+	}
+}
+
+func TestRenderWSNWrappedCarriesReferences(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	plan := DeliveryPlan{
+		Dialect:         Dialect{Family: FamilyWSN, WSN: wsnt.V1_3},
+		SubscriptionID:  "wsm-9",
+		ManagerAddress:  "svc://mgr",
+		ProducerAddress: "svc://broker",
+	}
+	env := Render(n, wsa.NewEPR(wsa.V200508, "svc://c"), plan, "uuid:1")
+	body := env.FirstBody()
+	msgs, v, err := wsnt.ParseNotify(body)
+	if err != nil || v != wsnt.V1_3 || len(msgs) != 1 {
+		t.Fatalf("%v %v %d", err, v, len(msgs))
+	}
+	m := msgs[0]
+	if m.SubscriptionReference == nil || m.SubscriptionReference.Address != "svc://mgr" {
+		t.Errorf("subscription reference = %+v", m.SubscriptionReference)
+	}
+	if m.ProducerReference == nil || m.ProducerReference.Address != "svc://broker" {
+		t.Errorf("producer reference = %+v", m.ProducerReference)
+	}
+	if !m.Topic.Equal(grid) {
+		t.Errorf("topic = %v", m.Topic)
+	}
+}
+
+func TestRenderWSERelocatesTopicToHeader(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: wse.V200408}, UseRaw: true}
+	env := Render(n, wsa.NewEPR(wsa.V200408, "svc://sink"), plan, "uuid:2")
+	// Topic must be in the header, not the body (§V.4 item 6).
+	if env.Header(wse.TopicHeaderName) == nil {
+		t.Error("topic header missing")
+	}
+	if env.FirstBody().Name.Local != "Ev" {
+		t.Errorf("body = %v, want raw payload", env.FirstBody().Name)
+	}
+}
+
+func TestRenderWSNRaw(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSN, WSN: wsnt.V1_3}, UseRaw: true}
+	env := Render(n, wsa.NewEPR(wsa.V200508, "svc://c"), plan, "uuid:3")
+	if env.FirstBody().Name.Local != "Ev" {
+		t.Errorf("raw WSN body = %v", env.FirstBody().Name)
+	}
+}
+
+func TestRenderConvertsWSAVersions(t *testing.T) {
+	// A consumer EPR parsed from a 2005/08 subscribe must be addressed
+	// with 2003/03 headers when the plan is a 1/2004 WSE subscriber.
+	n := Notification{Payload: payload()}
+	plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: wse.V200401}, UseRaw: true}
+	env := Render(n, wsa.NewEPR(wsa.V200508, "svc://sink"), plan, "uuid:4")
+	h, ok := wsa.ParseHeaders(env)
+	if !ok || h.Version != wsa.V200303 {
+		t.Errorf("rendered WSA version = %v %v", h, ok)
+	}
+}
+
+// TestEndToEndFormatDifferences regenerates the full §V.4 catalogue: the
+// same logical subscription/notification rendered in both specs differs
+// in exactly the six documented categories.
+func TestEndToEndFormatDifferences(t *testing.T) {
+	canon := &Subscribe{
+		Consumer:    wsa.NewEPR(wsa.V200508, "svc://c"),
+		Expires:     "PT5M",
+		ContentExpr: "//v",
+	}
+	wseEl := canon.ToWSE(wse.V200408).Element(wse.V200408)
+	wsnEl := canon.ToWSN(wsnt.V1_3).Element(wsnt.V1_3)
+
+	// (1) Element/attribute name differences for the same content:
+	// Expires vs InitialTerminationTime, and (per §V.4's own example) the
+	// subscription id container: ReferenceParameters vs — for WSN 1.0 —
+	// ReferenceProperties.
+	if wseEl.Child(xmldom.N(wse.NS200408, "Expires")) == nil {
+		t.Error("WSE Expires missing")
+	}
+	if wsnEl.Child(xmldom.N(wsnt.NS1_3, "InitialTerminationTime")) == nil {
+		t.Error("WSN InitialTerminationTime missing")
+	}
+	respWSE := (&wse.SubscribeResponse{Manager: wsa.NewEPR(wsa.V200408, "svc://m"), ID: "s1"}).Element(wse.V200408)
+	respWSN10 := (&wsnt.SubscribeResponse{SubscriptionReference: wsa.NewEPR(wsa.V200303, "svc://m"), ID: "s1"}).Element(wsnt.V1_0)
+	if respWSE.Find(xmldom.N(wsa.NS200408, "ReferenceParameters")) == nil {
+		t.Error("WSE id should ride in ReferenceParameters")
+	}
+	if respWSN10.Find(xmldom.N(wsa.NS200303, "ReferenceProperties")) == nil {
+		t.Error("WSN 1.0 id should ride in ReferenceProperties")
+	}
+
+	// (2) Namespace differences.
+	if wseEl.Name.Space == wsnEl.Name.Space {
+		t.Error("namespaces should differ")
+	}
+
+	// (3) Underlying WS-Addressing version differences: the same consumer
+	// EPR renders under different WSA namespaces per spec.
+	wseNotify := canon.ToWSE(wse.V200408)
+	if got := wseNotify.NotifyTo.Convert(wse.V200408.WSAVersion()).Version; got != wsa.V200408 {
+		t.Errorf("WSE WSA version = %v", got)
+	}
+	if wse.V200408.WSAVersion() == wsnt.V1_3.WSAVersion() {
+		t.Error("WSA versions should differ between the specs")
+	}
+
+	// (4) Required action values differ.
+	if wse.V200408.ActionSubscribe() == wsnt.V1_3.ActionSubscribe() {
+		t.Error("action URIs should differ")
+	}
+
+	// (5) SOAP message structure differences: WSE Delivery wrapper vs WSN
+	// Filter wrapper on subscribe; Notify/NotificationMessage nesting vs
+	// bare payload on delivery.
+	if wseEl.Child(xmldom.N(wse.NS200408, "Delivery")) == nil {
+		t.Error("WSE Delivery wrapper missing")
+	}
+	if wsnEl.Child(xmldom.N(wsnt.NS1_3, "Filter")) == nil {
+		t.Error("WSN Filter wrapper missing")
+	}
+	n := Notification{Topic: grid, Payload: payload()}
+	wsnDelivery := Render(n, wsa.NewEPR(wsa.V200508, "svc://c"),
+		DeliveryPlan{Dialect: Dialect{Family: FamilyWSN, WSN: wsnt.V1_3}}, "id")
+	wseDelivery := Render(n, wsa.NewEPR(wsa.V200408, "svc://c"),
+		DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: wse.V200408}, UseRaw: true}, "id")
+	if wsnDelivery.FirstBody().Name.Local != "Notify" ||
+		wsnDelivery.FirstBody().Find(xmldom.N(wsnt.NS1_3, "NotificationMessage")) == nil {
+		t.Error("WSN delivery should nest payload in Notify/NotificationMessage")
+	}
+	if wseDelivery.FirstBody().Name.Local != "Ev" {
+		t.Error("WSE delivery should be the bare payload")
+	}
+
+	// (6) Content location differences: the topic is in the WSN body but
+	// in the WSE SOAP header.
+	if wsnDelivery.FirstBody().Find(xmldom.N(wsnt.NS1_3, "Topic")) == nil {
+		t.Error("WSN topic should be in the body")
+	}
+	if wseDelivery.Header(wse.TopicHeaderName) == nil {
+		t.Error("WSE topic should be a SOAP header")
+	}
+	if wseDelivery.FirstBody().Find(xmldom.N(wsnt.NS1_3, "Topic")) != nil {
+		t.Error("WSE body must not carry a WSN Topic element")
+	}
+}

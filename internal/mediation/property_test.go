@@ -1,0 +1,136 @@
+package mediation
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// genNotification produces random canonical notifications with namespaced
+// payloads and optional topics.
+type genNotification struct{ N Notification }
+
+func (genNotification) Generate(r *rand.Rand, _ int) reflect.Value {
+	payload := xmldom.Elem("urn:gen", "Event",
+		xmldom.Elem("urn:gen", "id", fmt.Sprint(r.Intn(10000))),
+		xmldom.Elem("urn:gen", "kind", []string{"alpha", "beta", "gamma"}[r.Intn(3)]),
+	)
+	if r.Intn(2) == 0 {
+		payload.Append(xmldom.Elem("urn:other", "extra", "deep <chars> & entities"))
+	}
+	n := Notification{Payload: payload}
+	if r.Intn(3) > 0 {
+		segs := make([]string, 1+r.Intn(3))
+		for i := range segs {
+			segs[i] = []string{"jobs", "alerts", "nodes", "misc"}[r.Intn(4)]
+		}
+		n.Topic = topics.Path{Namespace: "urn:topics", Segments: segs}
+	}
+	return reflect.ValueOf(genNotification{N: n})
+}
+
+// Property: Render to a WSE subscriber, parse with a real WSE sink via a
+// serialising wire trip — payload and topic survive.
+func TestPropertyRenderWSERoundTrip(t *testing.T) {
+	consumer := wsa.NewEPR(wsa.V200408, "svc://sink")
+	plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: wse.V200408}, UseRaw: true}
+	f := func(gn genNotification) bool {
+		env := Render(gn.N, consumer, plan, "urn:uuid:x")
+		wire, err := soap.ParseBytes(env.Marshal())
+		if err != nil {
+			return false
+		}
+		sink := &wse.Sink{}
+		if _, err := sink.ServeSOAP(context.Background(), wire); err != nil {
+			return false
+		}
+		got := sink.Received()
+		if len(got) != 1 {
+			return false
+		}
+		return got[0].Payload.Equal(gn.N.Payload) && got[0].Topic.Equal(gn.N.Topic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Render to a WSN 1.3 subscriber (wrapped), parse with a real
+// consumer — payload, topic and subscription id survive.
+func TestPropertyRenderWSNRoundTrip(t *testing.T) {
+	consumer := wsa.NewEPR(wsa.V200508, "svc://c")
+	plan := DeliveryPlan{
+		Dialect:        Dialect{Family: FamilyWSN, WSN: wsnt.V1_3},
+		SubscriptionID: "wsm-7", ManagerAddress: "svc://m", ProducerAddress: "svc://p",
+	}
+	f := func(gn genNotification) bool {
+		env := Render(gn.N, consumer, plan, "urn:uuid:x")
+		wire, err := soap.ParseBytes(env.Marshal())
+		if err != nil {
+			return false
+		}
+		c := &wsnt.Consumer{}
+		if _, err := c.ServeSOAP(context.Background(), wire); err != nil {
+			return false
+		}
+		got := c.Received()
+		if len(got) != 1 || !got[0].Wrapped {
+			return false
+		}
+		if got[0].SubscriptionID != "wsm-7" {
+			return false
+		}
+		return got[0].Payload.Equal(gn.N.Payload) && got[0].Topic.Equal(gn.N.Topic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a notification published in either family and parsed by
+// ParseIncoming yields the same canonical content regardless of which
+// family carried it (the mediation invariant of §VII).
+func TestPropertyPublishFamiliesEquivalent(t *testing.T) {
+	f := func(gn genNotification) bool {
+		// Via WSN Notify.
+		wsnEnv := soap.New(soap.V11)
+		wsnEnv.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+			{Topic: gn.N.Topic, Payload: gn.N.Payload},
+		}))
+		// Via raw WSE body + topic header.
+		wseEnv := soap.New(soap.V11)
+		(&wsa.MessageHeaders{Version: wsa.V200408, To: "svc://b", Action: "urn:p"}).Apply(wseEnv)
+		if !gn.N.Topic.IsZero() {
+			wseEnv.AddHeader(xmldom.Elem(wse.TopicHeaderName.Space, wse.TopicHeaderName.Local, gn.N.Topic.String()))
+		}
+		wseEnv.AddBody(gn.N.Payload.Clone())
+
+		for _, env := range []*soap.Envelope{wsnEnv, wseEnv} {
+			wire, err := soap.ParseBytes(env.Marshal())
+			if err != nil {
+				return false
+			}
+			ns, _, err := ParseIncoming(wire)
+			if err != nil || len(ns) != 1 {
+				return false
+			}
+			if !ns[0].Payload.Equal(gn.N.Payload) || !ns[0].Topic.Equal(gn.N.Topic) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

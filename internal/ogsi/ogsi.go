@@ -1,0 +1,255 @@
+// Package ogsi implements the Open Grid Services Infrastructure
+// notification model: the paper's "intermediary step towards WS-based
+// event notification" (§VI.C).
+//
+// OGSI notification is deliberately simple: a NotificationSink subscribes
+// to a NotificationSource naming a *service data element* (a string); the
+// source pushes the new XML value of that element to the sink whenever it
+// changes. Payloads are XML over HTTP/SOAP (reusing this repository's
+// transport), subscriptions carry soft-state termination times managed by
+// requestTerminationAfter/Before and destroy — the operation vocabulary
+// Table 3 lists.
+package ogsi
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/sublease"
+	"repro/internal/transport"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// NS is the namespace used by this OGSI notification rendering.
+const NS = "http://www.gridforum.org/namespaces/2003/03/OGSI"
+
+func init() { xmldom.RegisterPrefix(NS, "ogsi") }
+
+// Source is an OGSI Grid service with service data elements (SDEs) and the
+// NotificationSource port type.
+type Source struct {
+	// Address is the service endpoint.
+	Address string
+	// Client pushes notifications to sinks.
+	Client transport.Client
+	// Clock is injectable for tests.
+	Clock func() time.Time
+
+	mu    sync.Mutex
+	sdes  map[string]*xmldom.Element
+	store *sublease.Store
+}
+
+type ogsiSub struct {
+	serviceDataName string
+	sinkAddr        string
+}
+
+// NewSource builds a source.
+func NewSource(address string, client transport.Client, clock func() time.Time) *Source {
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Source{Address: address, Client: client, Clock: clock, sdes: map[string]*xmldom.Element{}}
+	s.store = sublease.NewStore(sublease.WithClock(clock), sublease.WithIDPrefix("ogsi"))
+	return s
+}
+
+// SubscriptionCount reports live subscriptions.
+func (s *Source) SubscriptionCount() int { return len(s.store.Active()) }
+
+// SetServiceData updates a service data element and pushes its new value
+// to every live subscriber of that name — the OGSI change-notification
+// contract.
+func (s *Source) SetServiceData(ctx context.Context, name string, value *xmldom.Element) int {
+	s.mu.Lock()
+	s.sdes[name] = value.Clone()
+	s.mu.Unlock()
+	pushed := 0
+	for _, sn := range s.store.Deliverable() {
+		sub := sn.Data.(*ogsiSub)
+		if sub.serviceDataName != name {
+			continue
+		}
+		env := soap.New(soap.V11)
+		env.AddBody(xmldom.Elem(NS, "deliverNotification",
+			xmldom.Elem(NS, "serviceDataName", name),
+			xmldom.Elem(NS, "value", value.Clone()),
+		))
+		if err := s.Client.Send(ctx, sub.sinkAddr, env); err == nil {
+			pushed++
+		}
+	}
+	return pushed
+}
+
+// ServiceData reads the current value of an SDE.
+func (s *Source) ServiceData(name string) (*xmldom.Element, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.sdes[name]
+	if !ok {
+		return nil, false
+	}
+	return v.Clone(), true
+}
+
+// Scavenge expires lapsed subscriptions (soft state).
+func (s *Source) Scavenge() int { return s.store.Scavenge() }
+
+// ServeSOAP handles subscribe / requestTerminationAfter /
+// requestTerminationBefore / destroy / findServiceData requests.
+func (s *Source) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil {
+		return nil, soap.Faultf(soap.FaultSender, "ogsi: empty body")
+	}
+	switch body.Name {
+	case xmldom.N(NS, "subscribe"):
+		name := body.ChildText(xmldom.N(NS, "serviceDataName"))
+		sink := body.ChildText(xmldom.N(NS, "sink"))
+		if name == "" || sink == "" {
+			return nil, soap.Faultf(soap.FaultSender, "ogsi: subscribe needs serviceDataName and sink")
+		}
+		var expires time.Time
+		if raw := body.ChildText(xmldom.N(NS, "expirationTime")); raw != "" {
+			t, err := xsdt.ParseDateTime(raw)
+			if err != nil {
+				return nil, soap.Faultf(soap.FaultSender, "ogsi: bad expirationTime: %v", err)
+			}
+			expires = t
+		}
+		lease := s.store.Create(&ogsiSub{serviceDataName: name, sinkAddr: sink}, expires)
+		out := soap.New(env.Version)
+		out.AddBody(xmldom.Elem(NS, "subscribeResponse",
+			xmldom.Elem(NS, "subscriptionHandle", lease.ID)))
+		return out, nil
+
+	case xmldom.N(NS, "requestTerminationAfter"), xmldom.N(NS, "requestTerminationBefore"):
+		id := body.ChildText(xmldom.N(NS, "subscriptionHandle"))
+		raw := body.ChildText(xmldom.N(NS, "terminationTime"))
+		t, err := xsdt.ParseDateTime(raw)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "ogsi: bad terminationTime: %v", err)
+		}
+		granted, err := s.store.Renew(id, t)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "ogsi: unknown subscription %q", id)
+		}
+		out := soap.New(env.Version)
+		out.AddBody(xmldom.Elem(NS, "terminationTimeSet",
+			xmldom.Elem(NS, "terminationTime", xsdt.FormatDateTime(granted))))
+		return out, nil
+
+	case xmldom.N(NS, "destroy"):
+		id := body.ChildText(xmldom.N(NS, "subscriptionHandle"))
+		if err := s.store.Cancel(id, sublease.EndCancelled); err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "ogsi: unknown subscription %q", id)
+		}
+		out := soap.New(env.Version)
+		out.AddBody(xmldom.NewElement(xmldom.N(NS, "destroyResponse")))
+		return out, nil
+
+	case xmldom.N(NS, "findServiceData"):
+		name := strings.TrimSpace(body.Text())
+		v, ok := s.ServiceData(name)
+		if !ok {
+			return nil, soap.Faultf(soap.FaultSender, "ogsi: no service data %q", name)
+		}
+		out := soap.New(env.Version)
+		out.AddBody(xmldom.Elem(NS, "findServiceDataResponse", v))
+		return out, nil
+	}
+	return nil, soap.Faultf(soap.FaultSender, "ogsi: unknown operation %v", body.Name)
+}
+
+var _ transport.Handler = (*Source)(nil)
+
+// Sink is a NotificationSink: it records deliverNotification messages.
+type Sink struct {
+	// OnChange is called with each (serviceDataName, value).
+	OnChange func(name string, value *xmldom.Element)
+
+	mu       sync.Mutex
+	received []SinkEntry
+}
+
+// SinkEntry is one recorded delivery.
+type SinkEntry struct {
+	Name  string
+	Value *xmldom.Element
+}
+
+// ServeSOAP implements transport.Handler.
+func (k *Sink) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil || body.Name != xmldom.N(NS, "deliverNotification") {
+		return nil, nil
+	}
+	name := body.ChildText(xmldom.N(NS, "serviceDataName"))
+	var value *xmldom.Element
+	if v := body.Child(xmldom.N(NS, "value")); v != nil && len(v.ChildElements()) > 0 {
+		value = v.ChildElements()[0]
+	}
+	k.mu.Lock()
+	k.received = append(k.received, SinkEntry{Name: name, Value: value})
+	cb := k.OnChange
+	k.mu.Unlock()
+	if cb != nil {
+		cb(name, value)
+	}
+	return nil, nil
+}
+
+// Received snapshots deliveries.
+func (k *Sink) Received() []SinkEntry {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]SinkEntry, len(k.received))
+	copy(out, k.received)
+	return out
+}
+
+// Count reports deliveries.
+func (k *Sink) Count() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.received)
+}
+
+var _ transport.Handler = (*Sink)(nil)
+
+// Subscribe is the client helper for the subscribe operation.
+func Subscribe(ctx context.Context, client transport.Client, sourceAddr, serviceDataName, sinkAddr string, expires time.Time) (string, error) {
+	env := soap.New(soap.V11)
+	sub := xmldom.Elem(NS, "subscribe",
+		xmldom.Elem(NS, "serviceDataName", serviceDataName),
+		xmldom.Elem(NS, "sink", sinkAddr),
+	)
+	if !expires.IsZero() {
+		sub.Append(xmldom.Elem(NS, "expirationTime", xsdt.FormatDateTime(expires)))
+	}
+	env.AddBody(sub)
+	resp, err := client.Call(ctx, sourceAddr, env)
+	if err != nil {
+		return "", err
+	}
+	handle := resp.FirstBody().ChildText(xmldom.N(NS, "subscriptionHandle"))
+	if handle == "" {
+		return "", fmt.Errorf("ogsi: no subscription handle in response")
+	}
+	return handle, nil
+}
+
+// Destroy is the client helper for the destroy operation.
+func Destroy(ctx context.Context, client transport.Client, sourceAddr, handle string) error {
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem(NS, "destroy", xmldom.Elem(NS, "subscriptionHandle", handle)))
+	_, err := client.Call(ctx, sourceAddr, env)
+	return err
+}

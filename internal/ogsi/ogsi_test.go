@@ -1,0 +1,178 @@
+package ogsi
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/xmldom"
+)
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func fixture(t *testing.T) (*transport.Loopback, *Source, *Sink, *clock) {
+	t.Helper()
+	lb := transport.NewLoopback()
+	clk := &clock{t: time.Date(2003, 6, 27, 0, 0, 0, 0, time.UTC)} // OGSI era
+	src := NewSource("svc://grid-service", lb, clk.now)
+	lb.Register("svc://grid-service", src)
+	sink := &Sink{}
+	lb.Register("svc://sink", sink)
+	return lb, src, sink, clk
+}
+
+func status(s string) *xmldom.Element {
+	return xmldom.Elem("urn:grid", "jobStatus", s)
+}
+
+func TestSubscribeAndNotifyOnChange(t *testing.T) {
+	lb, src, sink, _ := fixture(t)
+	handle, err := Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handle == "" || src.SubscriptionCount() != 1 {
+		t.Fatal("subscription not created")
+	}
+	pushed := src.SetServiceData(context.Background(), "jobStatus", status("RUNNING"))
+	if pushed != 1 || sink.Count() != 1 {
+		t.Fatalf("pushed=%d received=%d", pushed, sink.Count())
+	}
+	got := sink.Received()[0]
+	if got.Name != "jobStatus" || got.Value.Text() != "RUNNING" {
+		t.Errorf("entry = %+v", got)
+	}
+	// Changing other service data does not notify.
+	src.SetServiceData(context.Background(), "cpuLoad", status("0.5"))
+	if sink.Count() != 1 {
+		t.Error("unsubscribed SDE change delivered")
+	}
+}
+
+func TestDestroyStopsNotifications(t *testing.T) {
+	lb, src, sink, _ := fixture(t)
+	handle, _ := Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink", time.Time{})
+	if err := Destroy(context.Background(), lb, "svc://grid-service", handle); err != nil {
+		t.Fatal(err)
+	}
+	src.SetServiceData(context.Background(), "jobStatus", status("DONE"))
+	if sink.Count() != 0 {
+		t.Error("destroyed subscription delivered")
+	}
+	if err := Destroy(context.Background(), lb, "svc://grid-service", handle); err == nil {
+		t.Error("double destroy accepted")
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	lb, src, sink, clk := fixture(t)
+	Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink",
+		clk.now().Add(10*time.Minute))
+	clk.advance(11 * time.Minute)
+	if n := src.Scavenge(); n != 1 {
+		t.Fatalf("scavenged %d", n)
+	}
+	src.SetServiceData(context.Background(), "jobStatus", status("LATE"))
+	if sink.Count() != 0 {
+		t.Error("expired subscription delivered")
+	}
+}
+
+func TestRequestTermination(t *testing.T) {
+	lb, src, _, clk := fixture(t)
+	handle, _ := Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink",
+		clk.now().Add(10*time.Minute))
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem(NS, "requestTerminationAfter",
+		xmldom.Elem(NS, "subscriptionHandle", handle),
+		xmldom.Elem(NS, "terminationTime", "2003-06-27T02:00:00Z"),
+	))
+	resp, err := lb.Call(context.Background(), "svc://grid-service", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := resp.FirstBody().ChildText(xmldom.N(NS, "terminationTime"))
+	if granted != "2003-06-27T02:00:00Z" {
+		t.Errorf("granted = %q", granted)
+	}
+	clk.advance(90 * time.Minute)
+	if src.Scavenge() != 0 {
+		t.Error("renewed subscription scavenged early")
+	}
+}
+
+func TestFindServiceData(t *testing.T) {
+	lb, src, _, _ := fixture(t)
+	src.SetServiceData(context.Background(), "jobStatus", status("QUEUED"))
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem(NS, "findServiceData", "jobStatus"))
+	resp, err := lb.Call(context.Background(), "svc://grid-service", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := resp.FirstBody().ChildElements()[0]
+	if v.Text() != "QUEUED" {
+		t.Errorf("value = %q", v.Text())
+	}
+	// Unknown SDE faults.
+	env2 := soap.New(soap.V11)
+	env2.AddBody(xmldom.Elem(NS, "findServiceData", "missing"))
+	if _, err := lb.Call(context.Background(), "svc://grid-service", env2); err == nil {
+		t.Error("missing SDE accepted")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	lb, _, _, _ := fixture(t)
+	// Subscribe without sink.
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem(NS, "subscribe", xmldom.Elem(NS, "serviceDataName", "x")))
+	if _, err := lb.Call(context.Background(), "svc://grid-service", env); err == nil {
+		t.Error("sinkless subscribe accepted")
+	}
+	// Unknown operation.
+	env2 := soap.New(soap.V11)
+	env2.AddBody(xmldom.Elem(NS, "frobnicate"))
+	if _, err := lb.Call(context.Background(), "svc://grid-service", env2); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// Bad expiration time.
+	env3 := soap.New(soap.V11)
+	env3.AddBody(xmldom.Elem(NS, "subscribe",
+		xmldom.Elem(NS, "serviceDataName", "x"),
+		xmldom.Elem(NS, "sink", "svc://sink"),
+		xmldom.Elem(NS, "expirationTime", "not-a-time")))
+	if _, err := lb.Call(context.Background(), "svc://grid-service", env3); err == nil {
+		t.Error("bad expiration accepted")
+	}
+}
+
+func TestMultipleSinksSameSDE(t *testing.T) {
+	lb, src, sink, _ := fixture(t)
+	sink2 := &Sink{}
+	lb.Register("svc://sink2", sink2)
+	Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink", time.Time{})
+	Subscribe(context.Background(), lb, "svc://grid-service", "jobStatus", "svc://sink2", time.Time{})
+	pushed := src.SetServiceData(context.Background(), "jobStatus", status("ACTIVE"))
+	if pushed != 2 || sink.Count() != 1 || sink2.Count() != 1 {
+		t.Errorf("pushed=%d counts=%d/%d", pushed, sink.Count(), sink2.Count())
+	}
+}

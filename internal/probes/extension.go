@@ -1,0 +1,111 @@
+package probes
+
+import (
+	"repro/internal/spec"
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsen"
+	"repro/internal/wsnt"
+)
+
+// ConvergedColumns compares the two surviving parents with the
+// WS-EventNotification prototype (the paper's §VIII forecast,
+// internal/wsen).
+var ConvergedColumns = []string{"WSE 8/2004", "WSN 1.3", "WS-EventNotification (prototype)"}
+
+// TableConverged renders the Table 1 capability rows for the parents and
+// the converged prototype. The "paper" value for the prototype column is
+// the union of the parents — what the whitepaper the paper cites promises
+// — so a mismatch means the prototype failed to converge a capability.
+func TableConverged() []spec.Cell {
+	caps := []spec.Capabilities{
+		wse.V200408.Capabilities(),
+		wsnt.V1_3.Capabilities(),
+		wsen.Capabilities(),
+	}
+	type boolRow struct {
+		label string
+		get   func(spec.Capabilities) bool
+		// union means "parents' OR is expected"; otherwise both-false is
+		// expected (restrictions must not be inherited).
+		union bool
+	}
+	rows := []boolRow{
+		{"GetStatus operation", func(c spec.Capabilities) bool { return c.GetStatusOperation }, true},
+		{"Return subscriptionId in WSA", func(c spec.Capabilities) bool { return c.SubscriptionIDInWSA }, true},
+		{"Support Wrapped delivery mode", func(c spec.Capabilities) bool { return c.WrappedDelivery }, true},
+		{"Define Wrapped message format", func(c spec.Capabilities) bool { return c.DefinesWrappedFormat }, true},
+		{"Support Pull delivery mode", func(c spec.Capabilities) bool { return c.PullDelivery }, true},
+		{"Specify pull delivery mode in subscription", func(c spec.Capabilities) bool { return c.PullModeInSubscription }, true},
+		{"Duration expirations", func(c spec.Capabilities) bool { return c.DurationExpiry }, true},
+		{"XPath dialect", func(c spec.Capabilities) bool { return c.XPathDialect }, true},
+		{"Filter element", func(c spec.Capabilities) bool { return c.FilterElement }, true},
+		{"Pause/Resume", func(c spec.Capabilities) bool { return c.PauseResume }, true},
+		{"GetCurrentMessage", func(c spec.Capabilities) bool { return c.GetCurrentMessage }, true},
+		{"SubscriptionEnd", func(c spec.Capabilities) bool { return c.SubscriptionEnd }, true},
+		{"Require WSRF", func(c spec.Capabilities) bool { return c.RequiresWSRF }, false},
+		{"Require a topic", func(c spec.Capabilities) bool { return c.RequiresTopic }, false},
+	}
+	var out []spec.Cell
+	for _, r := range rows {
+		parentUnion := r.get(caps[0]) || r.get(caps[1])
+		for i, col := range ConvergedColumns {
+			expected := r.get(caps[i])
+			if i == 2 {
+				if r.union {
+					expected = parentUnion
+				} else {
+					expected = false
+				}
+			}
+			out = append(out, spec.Cell{
+				Row: r.label, Col: col,
+				Paper:    spec.YesNo(expected),
+				Measured: spec.YesNo(r.get(caps[i])),
+				Probed:   i == 2,
+			})
+		}
+	}
+	return out
+}
+
+// VerifyConverged exercises the converged prototype's headline union:
+// one subscription combining WSE's delivery modes and duration expiry
+// with WSN's topics and pause/resume.
+func VerifyConverged() []spec.Check {
+	var checks []spec.Check
+	add := func(name string, pass bool, err error) {
+		checks = append(checks, spec.Check{Name: name, Pass: pass, Err: err})
+	}
+	lb := newWSEEnv(wse.V200408).lb // reuse a loopback
+	p := wsen.NewProducer("svc://conv", "", lb, nil)
+	lb.Register("svc://conv", p.Handler())
+	sink := &wsen.Sink{}
+	lb.Register("svc://conv-sink", sink)
+	sub := &wsen.Subscriber{Client: lb}
+
+	h, err := sub.Subscribe(ctx(), "svc://conv", &wsen.SubscribeRequest{
+		NotifyTo:  wsa.NewEPR(wsa.V200508, "svc://conv-sink"),
+		Expires:   "PT30M",
+		TopicExpr: "g:a//.", TopicDialect: topics.DialectFull,
+		TopicNS:     map[string]string{"g": "urn:t"},
+		ContentExpr: "//g:v", ContentNS: map[string]string{"g": "urn:t"},
+	})
+	add("converged: duration expiry + topic + content filter in one subscribe",
+		err == nil && h != nil && !h.Expires.IsZero(), err)
+	if err == nil {
+		p.Publish(ctx(), gridTopic(), gridEvent("x"))
+		add("converged: wrapped format delivery with topic in body",
+			sink.Count() == 1 && sink.Received()[0].Topic.Equal(gridTopic()), nil)
+		perr := sub.Pause(ctx(), h)
+		p.Publish(ctx(), gridTopic(), gridEvent("y"))
+		rerr := sub.Resume(ctx(), h)
+		add("converged: pause/resume from WSN", perr == nil && rerr == nil && sink.Count() == 1, perr)
+		_, status, serr := sub.GetStatus(ctx(), h)
+		add("converged: GetStatus from WSE", serr == nil && status == "Active", serr)
+		_, gerr := sub.GetCurrentMessage(ctx(), "svc://conv", gridTopic())
+		add("converged: GetCurrentMessage from WSN", gerr == nil, gerr)
+	}
+	return checks
+}

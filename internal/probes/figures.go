@@ -1,0 +1,143 @@
+package probes
+
+import (
+	"fmt"
+
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+)
+
+// Interaction is one verified arrow of an architecture figure: an
+// operation that was actually executed between two entities during the
+// figure's scenario run.
+type Interaction struct {
+	From, To, Op string
+}
+
+// Figure is a regenerated architecture/operations figure: the entities
+// (boxes) and the executed interactions (arrows), in order.
+type Figure struct {
+	Title    string
+	Entities []string
+	Steps    []Interaction
+}
+
+// Figure1 regenerates the paper's Fig. 1 (WS-Eventing architecture and
+// operations) by running the complete 8/2004 lifecycle and recording each
+// exchange. Every arrow in the output corresponds to a successful live
+// call.
+func Figure1() (*Figure, error) {
+	f := &Figure{
+		Title:    "Fig. 1 — WS-Eventing architecture and operations (8/2004)",
+		Entities: []string{"Subscriber", "Event Source", "Subscription Manager", "Event Sink"},
+	}
+	e := newWSEEnv(wse.V200408)
+
+	h, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"),
+		EndTo:    wsa.NewEPR(wsa.V200408, "svc://sink"),
+		Expires:  "PT1H",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure1: subscribe: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Event Source", "Subscribe"},
+		Interaction{"Event Source", "Subscriber", "SubscribeResponse (SubscriptionManager EPR + Identifier)"},
+	)
+
+	if _, err := e.source.Publish(ctx(), gridEvent("1"), wse.PublishOptions{}); err != nil {
+		return nil, fmt.Errorf("figure1: publish: %w", err)
+	}
+	if e.sink.Count() != 1 {
+		return nil, fmt.Errorf("figure1: sink received %d", e.sink.Count())
+	}
+	f.Steps = append(f.Steps, Interaction{"Event Source", "Event Sink", "Notification (raw message)"})
+
+	if _, err := e.sub.Renew(ctx(), h, "PT2H"); err != nil {
+		return nil, fmt.Errorf("figure1: renew: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Subscription Manager", "Renew"},
+		Interaction{"Subscription Manager", "Subscriber", "RenewResponse"},
+	)
+
+	if _, err := e.sub.GetStatus(ctx(), h); err != nil {
+		return nil, fmt.Errorf("figure1: getstatus: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Subscription Manager", "GetStatus"},
+		Interaction{"Subscription Manager", "Subscriber", "GetStatusResponse"},
+	)
+
+	e.source.Shutdown()
+	if len(e.sink.Ends()) != 1 {
+		return nil, fmt.Errorf("figure1: no SubscriptionEnd")
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Event Source", "Event Sink", "SubscriptionEnd (SourceShuttingDown)"})
+	return f, nil
+}
+
+// Figure2 regenerates Fig. 2 (WS-BaseNotification architecture and
+// operations) with the 1.3 lifecycle, including the WSN-only operations.
+func Figure2() (*Figure, error) {
+	f := &Figure{
+		Title: "Fig. 2 — WS-BaseNotification architecture and operations (1.3)",
+		Entities: []string{"Subscriber", "Notification Producer (+ Publisher)",
+			"Subscription Manager", "Notification Consumer"},
+	}
+	e := newWSNEnv(wsnt.V1_3)
+
+	h, err := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, "PT1H"))
+	if err != nil {
+		return nil, fmt.Errorf("figure2: subscribe: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Notification Producer (+ Publisher)", "Subscribe"},
+		Interaction{"Notification Producer (+ Publisher)", "Subscriber", "SubscribeResponse (SubscriptionReference)"},
+	)
+
+	if _, err := e.producer.Publish(ctx(), gridTopic(), gridEvent("1")); err != nil {
+		return nil, fmt.Errorf("figure2: publish: %w", err)
+	}
+	if e.consumer.Count() != 1 {
+		return nil, fmt.Errorf("figure2: consumer received %d", e.consumer.Count())
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Notification Producer (+ Publisher)", "Notification Consumer", "Notify (wrapped NotificationMessage)"})
+
+	if err := e.sub.Pause(ctx(), h); err != nil {
+		return nil, fmt.Errorf("figure2: pause: %w", err)
+	}
+	if err := e.sub.Resume(ctx(), h); err != nil {
+		return nil, fmt.Errorf("figure2: resume: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Subscription Manager", "PauseSubscription"},
+		Interaction{"Subscriber", "Subscription Manager", "ResumeSubscription"},
+	)
+
+	if _, err := e.sub.Renew(ctx(), h, "PT2H"); err != nil {
+		return nil, fmt.Errorf("figure2: renew: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Subscription Manager", "Renew"},
+		Interaction{"Subscription Manager", "Subscriber", "RenewResponse"},
+	)
+
+	if _, err := e.sub.GetCurrentMessage(ctx(), "svc://producer", "t:a", "",
+		map[string]string{"t": "urn:t"}); err != nil {
+		return nil, fmt.Errorf("figure2: getcurrentmessage: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Notification Producer (+ Publisher)", "GetCurrentMessage"})
+
+	if err := e.sub.Unsubscribe(ctx(), h); err != nil {
+		return nil, fmt.Errorf("figure2: unsubscribe: %w", err)
+	}
+	f.Steps = append(f.Steps,
+		Interaction{"Subscriber", "Subscription Manager", "Unsubscribe"})
+	return f, nil
+}

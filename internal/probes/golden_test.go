@@ -1,0 +1,149 @@
+package probes
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mediation"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// goldenDocs builds one fixed exemplar message per spec version and kind.
+// These pin the wire formats: any unintended change to namespaces, element
+// names, WSA versions or message structure — the §V.4 categories — breaks
+// a golden.
+func goldenDocs() map[string]string {
+	mkSubscribe := func(v wse.Version) string {
+		req := &wse.SubscribeRequest{
+			NotifyTo:   wsa.NewEPR(v.WSAVersion(), "http://consumer.example.org/sink"),
+			EndTo:      wsa.NewEPR(v.WSAVersion(), "http://consumer.example.org/end"),
+			Expires:    "PT10M",
+			FilterExpr: "//m:price > 50",
+			FilterNS:   map[string]string{"m": "urn:market"},
+		}
+		env := soap.New(soap.V11)
+		h := &wsa.MessageHeaders{Version: v.WSAVersion(), To: "http://source.example.org/",
+			Action: v.ActionSubscribe(), MessageID: "urn:uuid:fixed-1"}
+		h.Apply(env)
+		env.AddBody(req.Element(v))
+		return env.MarshalIndent()
+	}
+	mkWSNSubscribe := func(v wsnt.Version) string {
+		req := &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(v.WSAVersion(), "http://consumer.example.org/"),
+			TopicExpression:   "t:grid/jobs",
+			TopicDialect:      "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Concrete",
+			TopicNS:           map[string]string{"t": "urn:grid"},
+			ContentExpr:       "//m:price > 50",
+			ContentNS:         map[string]string{"m": "urn:market"},
+		}
+		if v == wsnt.V1_0 {
+			req.InitialTerminationTime = "2006-03-01T00:00:00Z"
+		} else {
+			req.InitialTerminationTime = "PT10M"
+		}
+		env := soap.New(soap.V11)
+		h := &wsa.MessageHeaders{Version: v.WSAVersion(), To: "http://producer.example.org/",
+			Action: v.ActionSubscribe(), MessageID: "urn:uuid:fixed-2"}
+		h.Apply(env)
+		env.AddBody(req.Element(v))
+		return env.MarshalIndent()
+	}
+	payload := xmldom.Elem("urn:market", "quote",
+		xmldom.Elem("urn:market", "symbol", "IBM"),
+		xmldom.Elem("urn:market", "price", "83.5"))
+	topic := gridTopic()
+
+	wsnNotify := mediation.Render(
+		mediation.Notification{Topic: topic, Payload: payload},
+		wsa.NewEPR(wsa.V200508, "http://consumer.example.org/"),
+		mediation.DeliveryPlan{
+			Dialect:        mediation.Dialect{Family: mediation.FamilyWSN, WSN: wsnt.V1_3},
+			SubscriptionID: "wsm-1", ManagerAddress: "http://broker.example.org/manage",
+			ProducerAddress: "http://broker.example.org/",
+		}, "urn:uuid:fixed-3")
+	wseNotify := mediation.Render(
+		mediation.Notification{Topic: topic, Payload: payload},
+		wsa.NewEPR(wsa.V200408, "http://consumer.example.org/"),
+		mediation.DeliveryPlan{
+			Dialect: mediation.Dialect{Family: mediation.FamilyWSE, WSE: wse.V200408},
+			UseRaw:  true,
+		}, "urn:uuid:fixed-4")
+
+	subEnd := soap.New(soap.V11)
+	(&wsa.MessageHeaders{Version: wsa.V200408, To: "http://consumer.example.org/end",
+		Action: wse.V200408.ActionSubscriptionEnd(), MessageID: "urn:uuid:fixed-5"}).Apply(subEnd)
+	end := &wse.SubscriptionEnd{
+		Manager: wsa.NewEPR(wsa.V200408, "http://source.example.org/manage"),
+		ID:      "wse-1",
+		Status:  wse.EndSourceShuttingDown,
+		Reason:  "source maintenance",
+	}
+	subEnd.AddBody(end.Element(wse.V200408))
+
+	return map[string]string{
+		"wse01_subscribe.xml":        mkSubscribe(wse.V200401),
+		"wse08_subscribe.xml":        mkSubscribe(wse.V200408),
+		"wsn10_subscribe.xml":        mkWSNSubscribe(wsnt.V1_0),
+		"wsn13_subscribe.xml":        mkWSNSubscribe(wsnt.V1_3),
+		"wsn13_notify.xml":           wsnNotify.MarshalIndent(),
+		"wse08_notification.xml":     wseNotify.MarshalIndent(),
+		"wse08_subscription_end.xml": subEnd.MarshalIndent(),
+	}
+}
+
+// TestGoldenWireFormats compares every exemplar against its checked-in
+// golden, and verifies each golden still parses as the message kind it
+// claims to be. Regenerate with: go test ./internal/probes -run Golden -update
+func TestGoldenWireFormats(t *testing.T) {
+	docs := goldenDocs()
+	for name, got := range docs {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create goldens)", name, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s: wire format changed.\n--- golden ---\n%s\n--- current ---\n%s", name, want, got)
+		}
+		// Every golden re-parses to a structurally valid message.
+		env, err := soap.ParseBytes([]byte(got))
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", name, err)
+		}
+		if env.FirstBody() == nil {
+			t.Errorf("%s has no body", name)
+		}
+	}
+}
+
+// TestGoldenStability serialises each exemplar repeatedly: the output must
+// be byte-for-byte deterministic or the goldens would flap.
+func TestGoldenStability(t *testing.T) {
+	first := goldenDocs()
+	for i := 0; i < 5; i++ {
+		again := goldenDocs()
+		for name := range first {
+			if first[name] != again[name] {
+				t.Fatalf("%s serialisation is nondeterministic", name)
+			}
+		}
+	}
+}

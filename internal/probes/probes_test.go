@@ -1,0 +1,134 @@
+package probes
+
+import (
+	"testing"
+)
+
+// TestTable1MeasuredMatchesPaper asserts every Table 1 cell agrees with
+// the paper, except the single row the paper prints inconsistently (which
+// carries an explanatory note).
+func TestTable1MeasuredMatchesPaper(t *testing.T) {
+	cells := Table1()
+	if len(cells) != 21*4 {
+		t.Fatalf("cells = %d, want %d", len(cells), 21*4)
+	}
+	for _, c := range cells {
+		if !c.Match() {
+			if c.Note != "" {
+				t.Logf("documented discrepancy: %s / %s: paper=%q measured=%q (%s)",
+					c.Row, c.Col, c.Paper, c.Measured, c.Note)
+				continue
+			}
+			t.Errorf("%s / %s: paper=%q measured=%q", c.Row, c.Col, c.Paper, c.Measured)
+		}
+	}
+}
+
+func TestTable1MismatchesAllAnnotated(t *testing.T) {
+	for _, c := range Table1Mismatches() {
+		if c.Note == "" {
+			t.Errorf("unannotated mismatch: %s / %s", c.Row, c.Col)
+		}
+	}
+}
+
+func TestVerifyTable1AllChecksPass(t *testing.T) {
+	checks := VerifyTable1()
+	if len(checks) < 20 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("FAIL %s: %v", c.Name, c.Err)
+		}
+	}
+}
+
+func TestVerifyTable2AllChecksPass(t *testing.T) {
+	checks := VerifyTable2()
+	if len(checks) < 14 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("FAIL %s: %v", c.Name, c.Err)
+		}
+	}
+}
+
+func TestVerifyTable3AllChecksPass(t *testing.T) {
+	checks := VerifyTable3()
+	if len(checks) < 12 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("FAIL %s: %v", c.Name, c.Err)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cells := Table2()
+	if len(cells) != 7*2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Probed {
+			t.Errorf("unprobed Table 2 cell %s/%s", c.Row, c.Col)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	cells := Table3()
+	if len(cells) != 13*6 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+func TestFigure1ExecutesFullLifecycle(t *testing.T) {
+	f, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entities) != 4 {
+		t.Errorf("entities = %v", f.Entities)
+	}
+	// The figure must include the five WSE operations plus the delivery.
+	ops := map[string]bool{}
+	for _, s := range f.Steps {
+		ops[s.Op] = true
+	}
+	for _, want := range []string{"Subscribe", "Renew", "GetStatus"} {
+		if !ops[want] {
+			t.Errorf("missing operation %s in figure", want)
+		}
+	}
+	found := false
+	for op := range ops {
+		if len(op) >= 15 && op[:15] == "SubscriptionEnd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing SubscriptionEnd arrow")
+	}
+}
+
+func TestFigure2ExecutesFullLifecycle(t *testing.T) {
+	f, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]bool{}
+	for _, s := range f.Steps {
+		ops[s.Op] = true
+	}
+	for _, want := range []string{"Subscribe", "PauseSubscription", "ResumeSubscription",
+		"Renew", "GetCurrentMessage", "Unsubscribe"} {
+		if !ops[want] {
+			t.Errorf("missing operation %s in figure", want)
+		}
+	}
+}

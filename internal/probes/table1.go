@@ -1,0 +1,406 @@
+package probes
+
+import (
+	"errors"
+
+	"repro/internal/soap"
+	"repro/internal/spec"
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// Table1Columns are the four specification versions the paper compares, in
+// the paper's column order.
+var Table1Columns = []string{"WSE 1/2004", "WSN 1.0", "WSE 8/2004", "WSN 1.3"}
+
+// table1Row defines one Table 1 row: the label, how to read the measured
+// value from a Capabilities declaration, and the paper's printed cells.
+type table1Row struct {
+	label string
+	get   func(spec.Capabilities) string
+	paper [4]string
+	note  string
+}
+
+func yn(get func(spec.Capabilities) bool) func(spec.Capabilities) string {
+	return func(c spec.Capabilities) string { return spec.YesNo(get(c)) }
+}
+
+var table1Rows = []table1Row{
+	{"Version date", func(c spec.Capabilities) string { return c.ReleaseTag },
+		[4]string{"1/2004", "3/2004", "8/2004", "2/2006"}, ""},
+	{"Separate Subscription Manager & Event Source",
+		yn(func(c spec.Capabilities) bool { return c.SeparateSubscriptionManager }),
+		[4]string{"No", "Yes", "Yes", "Yes"}, ""},
+	{"Separate subscriber & Event Sink",
+		yn(func(c spec.Capabilities) bool { return c.SeparateSubscriberAndSink }),
+		[4]string{"No", "Yes", "Yes", "Yes"}, ""},
+	{"GetStatus operation",
+		yn(func(c spec.Capabilities) bool { return c.GetStatusOperation }),
+		[4]string{"No", "Yes", "Yes", "Yes"}, ""},
+	{"Return subscriptionId in WSA of Subscription Manager",
+		yn(func(c spec.Capabilities) bool { return c.SubscriptionIDInWSA }),
+		[4]string{"No", "Yes", "Yes", "Yes"}, ""},
+	{"Support Wrapped delivery mode",
+		yn(func(c spec.Capabilities) bool { return c.WrappedDelivery }),
+		[4]string{"No", "Yes", "Yes", "Yes"}, ""},
+	{"Support Pull delivery mode",
+		yn(func(c spec.Capabilities) bool { return c.PullDelivery }),
+		[4]string{"No", "No", "Yes", "Yes"}, ""},
+	{"Specify subscription expiration using duration",
+		yn(func(c spec.Capabilities) bool { return c.DurationExpiry }),
+		[4]string{"Yes", "No", "Yes", "Yes"}, ""},
+	{"Specify XPath dialect",
+		yn(func(c spec.Capabilities) bool { return c.XPathDialect }),
+		[4]string{"Yes", "No", "Yes", "Yes"}, ""},
+	{"Filter element in Subscription message",
+		yn(func(c spec.Capabilities) bool { return c.FilterElement }),
+		[4]string{"Yes", "No", "Yes", "Yes"}, ""},
+	{"Require WSRF",
+		yn(func(c spec.Capabilities) bool { return c.RequiresWSRF }),
+		[4]string{"No", "Yes", "No", "No"}, ""},
+	{"Require a topic in subscription",
+		yn(func(c spec.Capabilities) bool { return c.RequiresTopic }),
+		[4]string{"No", "Yes", "No", "No"}, ""},
+	{"Require Pause/Resume subscriptions",
+		yn(func(c spec.Capabilities) bool { return c.PauseResumeRequired }),
+		[4]string{"No", "Yes", "No", "No"}, ""},
+	{"GetCurrentMessage operation",
+		yn(func(c spec.Capabilities) bool { return c.GetCurrentMessage }),
+		[4]string{"No", "Yes", "No", "Yes"}, ""},
+	{"Define Wrapped message format",
+		yn(func(c spec.Capabilities) bool { return c.DefinesWrappedFormat }),
+		[4]string{"No", "Yes", "No", "Yes"}, ""},
+	{"Separate EventProducer & Publisher",
+		yn(func(c spec.Capabilities) bool { return c.SeparatePublisher }),
+		[4]string{"No", "Yes", "No", "Yes"}, ""},
+	{"Define PullPoint interface",
+		yn(func(c spec.Capabilities) bool { return c.PullPointInterface }),
+		[4]string{"No", "No", "No", "Yes"}, ""},
+	{"Specify pull delivery mode in subscription",
+		yn(func(c spec.Capabilities) bool { return c.PullModeInSubscription }),
+		[4]string{"No", "No", "Yes", "No"}, ""},
+	{"Require GetStatus",
+		yn(func(c spec.Capabilities) bool { return c.GetStatusRequired }),
+		[4]string{"Yes", "Yes", "Yes", "No"},
+		"paper's printed row conflicts with its own 'GetStatus operation' row for WSE 1/2004 (§IV says GetStatus was ADDED in 8/2004); we report the executable truth"},
+	{"Require SubscriptionEnd",
+		yn(func(c spec.Capabilities) bool { return c.SubscriptionEnd }),
+		[4]string{"Yes", "Yes", "Yes", "No"}, ""},
+	{"WS-Addressing version",
+		func(c spec.Capabilities) string { return c.WSAVersion },
+		[4]string{"2003/03", "2003/03", "2004/08", "2005/08"}, ""},
+}
+
+// table1Caps returns the Capabilities declarations in column order.
+func table1Caps() [4]spec.Capabilities {
+	return [4]spec.Capabilities{
+		wse.V200401.Capabilities(),
+		wsnt.V1_0.Capabilities(),
+		wse.V200408.Capabilities(),
+		wsnt.V1_3.Capabilities(),
+	}
+}
+
+// Table1 regenerates Table 1. Cells whose rows are covered by
+// VerifyTable1's live checks are marked Probed.
+func Table1() []spec.Cell {
+	caps := table1Caps()
+	probed := probedTable1Rows()
+	var out []spec.Cell
+	for _, row := range table1Rows {
+		for i, col := range Table1Columns {
+			out = append(out, spec.Cell{
+				Row:      row.label,
+				Col:      col,
+				Paper:    row.paper[i],
+				Measured: row.get(caps[i]),
+				Probed:   probed[row.label],
+				Note:     row.note,
+			})
+		}
+	}
+	return out
+}
+
+func probedTable1Rows() map[string]bool {
+	return map[string]bool{
+		"GetStatus operation": true,
+		"Return subscriptionId in WSA of Subscription Manager": true,
+		"Support Wrapped delivery mode":                        true,
+		"Support Pull delivery mode":                           true,
+		"Specify subscription expiration using duration":       true,
+		"Require WSRF":                                 true,
+		"Require a topic in subscription":              true,
+		"GetCurrentMessage operation":                  true,
+		"Define PullPoint interface":                   true,
+		"Specify pull delivery mode in subscription":   true,
+		"Require SubscriptionEnd":                      true,
+		"Separate Subscription Manager & Event Source": true,
+		"WS-Addressing version":                        true,
+	}
+}
+
+// VerifyTable1 executes the live checks behind the probed rows.
+func VerifyTable1() []spec.Check {
+	var checks []spec.Check
+	add := func(name string, pass bool, err error) {
+		checks = append(checks, spec.Check{Name: name, Pass: pass, Err: err})
+	}
+	isFaultWithSubcode := func(err error, local string) bool {
+		var f *soap.Fault
+		return errors.As(err, &f) && f.Subcode.Local == local
+	}
+
+	// --- Duration expirations (row: "Specify ... using duration") ---
+	{
+		e := newWSEEnv(wse.V200401)
+		_, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200303, "svc://sink"), Expires: "PT5M"})
+		add("WSE 1/2004 accepts duration expiry", err == nil, err)
+	}
+	{
+		e := newWSEEnv(wse.V200408)
+		_, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"), Expires: "PT5M"})
+		add("WSE 8/2004 accepts duration expiry", err == nil, err)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		_, err := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, "PT5M"))
+		add("WSN 1.0 rejects duration expiry",
+			isFaultWithSubcode(err, "UnacceptableInitialTerminationTimeFault"), nil)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		_, err := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, "PT5M"))
+		add("WSN 1.3 accepts duration expiry", err == nil, err)
+	}
+
+	// --- GetStatus (rows: "GetStatus operation", "Require GetStatus") ---
+	{
+		e := newWSEEnv(wse.V200401)
+		h, _ := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200303, "svc://sink")})
+		env := soap.New(soap.V11)
+		env.AddBody(xmldom.Elem(wse.NS200401, "GetStatus", xmldom.Elem(wse.NS200401, "Id", h.ID)))
+		_, err := e.lb.Call(ctx(), "svc://source", env)
+		add("WSE 1/2004 has no GetStatus", err != nil, nil)
+	}
+	{
+		e := newWSEEnv(wse.V200408)
+		h, _ := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink")})
+		_, err := e.sub.GetStatus(ctx(), h)
+		add("WSE 8/2004 answers GetStatus", err == nil, err)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		h, _ := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, ""))
+		doc, err := e.sub.Status(ctx(), h)
+		add("WSN 1.0 answers status via WSRF GetResourceProperties",
+			err == nil && doc != nil, err)
+	}
+
+	// --- Subscription id placement (row: "Return subscriptionId in WSA") ---
+	{
+		e := newWSEEnv(wse.V200401)
+		env := soap.New(soap.V11)
+		req := &wse.SubscribeRequest{NotifyTo: wsa.NewEPR(wsa.V200303, "svc://sink")}
+		env.AddBody(req.Element(wse.V200401))
+		resp, err := e.lb.Call(ctx(), "svc://source", env)
+		pass := err == nil && resp != nil &&
+			resp.FirstBody().Child(xmldom.N(wse.NS200401, "Id")) != nil
+		add("WSE 1/2004 returns id as a separate element", pass, err)
+	}
+	{
+		e := newWSEEnv(wse.V200408)
+		h, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink")})
+		pass := err == nil && h.Manager != nil && len(h.Manager.ReferenceParameters) > 0
+		add("WSE 8/2004 returns id as a WSA reference parameter", pass, err)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		h, err := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, ""))
+		pass := err == nil && len(h.SubscriptionReference.ReferenceProperties) > 0
+		add("WSN 1.0 returns id in WSA ReferenceProperties", pass, err)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		h, err := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, ""))
+		pass := err == nil && len(h.SubscriptionReference.ReferenceParameters) > 0
+		add("WSN 1.3 returns id in WSA ReferenceParameters", pass, err)
+	}
+
+	// --- Pull delivery (rows: pull mode / PullPoint / pull-in-subscription) ---
+	{
+		e := newWSEEnv(wse.V200401)
+		_, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200303, "svc://sink"),
+			Mode:     wse.V200401.DeliveryModePull()})
+		add("WSE 1/2004 cannot express pull mode", err != nil, nil)
+	}
+	{
+		e := newWSEEnv(wse.V200408)
+		h, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"),
+			Mode:     wse.V200408.DeliveryModePull()})
+		if err != nil {
+			add("WSE 8/2004 pull mode in subscription", false, err)
+		} else {
+			e.source.Publish(ctx(), xmldom.Elem("urn:t", "E"), wse.PublishOptions{})
+			msgs, perr := e.sub.Pull(ctx(), h, 0)
+			add("WSE 8/2004 pull mode in subscription", perr == nil && len(msgs) == 1, perr)
+		}
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		pp, err := wsnt.CreatePullPoint(ctx(), e.lb, "svc://pullpoints")
+		if err != nil {
+			add("WSN 1.3 PullPoint interface", false, err)
+		} else {
+			_, serr := e.sub.Subscribe(ctx(), "svc://producer", &wsnt.SubscribeRequest{
+				ConsumerReference: pp})
+			e.producer.Publish(ctx(), topics.NewPath("urn:t", "a"), xmldom.Elem("urn:t", "E"))
+			msgs, gerr := wsnt.GetMessages(ctx(), e.lb, pp, 0)
+			add("WSN 1.3 PullPoint interface",
+				serr == nil && gerr == nil && len(msgs) == 1, gerr)
+		}
+	}
+
+	// --- Topic requirement / WSRF requirement ---
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		_, err := e.sub.Subscribe(ctx(), "svc://producer", &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200303, "svc://consumer")})
+		add("WSN 1.0 requires a topic in subscription", err != nil, nil)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		_, err := e.sub.Subscribe(ctx(), "svc://producer", &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://consumer")})
+		add("WSN 1.3 accepts topicless subscription", err == nil, err)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		h, _ := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, ""))
+		env := soap.New(soap.V11)
+		hd := wsa.DestinationEPR(h.SubscriptionReference, wsnt.V1_0.ActionRenew(), "")
+		hd.Apply(env)
+		env.AddBody(xmldom.Elem(wsnt.NS1_0, "Renew"))
+		_, nativeErr := e.lb.Call(ctx(), h.SubscriptionReference.Address, env)
+		_, wsrfErr := e.sub.Renew(ctx(), h, "2006-02-01T05:00:00Z")
+		add("WSN 1.0 requires WSRF for renew",
+			nativeErr != nil && wsrfErr == nil, wsrfErr)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		h, _ := e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, ""))
+		_, err := e.sub.Renew(ctx(), h, "PT1H")
+		add("WSN 1.3 renews natively without WSRF", err == nil, err)
+	}
+
+	// --- Wrapped delivery ---
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, ""))
+		e.producer.Publish(ctx(), topics.NewPath("urn:t", "a"), xmldom.Elem("urn:t", "E"))
+		recv := e.consumer.Received()
+		add("WSN delivers the wrapped Notify format",
+			len(recv) == 1 && recv[0].Wrapped, nil)
+	}
+	{
+		e := newWSEEnv(wse.V200408)
+		_, err := e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"),
+			Mode:     wse.V200408.DeliveryModeWrap()})
+		add("WSE 8/2004 accepts the wrapped delivery mode", err == nil, err)
+	}
+
+	// --- GetCurrentMessage ---
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		e.producer.Publish(ctx(), topics.NewPath("urn:t", "a"), xmldom.Elem("urn:t", "E"))
+		_, err := e.sub.GetCurrentMessage(ctx(), "svc://producer", "t:a",
+			topics.DialectConcrete, map[string]string{"t": "urn:t"})
+		add("WSN answers GetCurrentMessage", err == nil, err)
+	}
+
+	// --- SubscriptionEnd mediation of end notices ---
+	{
+		e := newWSEEnv(wse.V200408)
+		e.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"),
+			EndTo:    wsa.NewEPR(wsa.V200408, "svc://sink")})
+		e.source.Shutdown()
+		add("WSE sends SubscriptionEnd on source shutdown", len(e.sink.Ends()) == 1, nil)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_0)
+		e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, ""))
+		e.producer.Shutdown()
+		add("WSN 1.0 sends WSRF TerminationNotification on shutdown",
+			len(e.consumer.Terminations()) == 1, nil)
+	}
+	{
+		e := newWSNEnv(wsnt.V1_3)
+		e.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, ""))
+		e.producer.Shutdown()
+		add("WSN 1.3 ends silently (no built-in end notice)",
+			len(e.consumer.Terminations()) == 0, nil)
+	}
+
+	// --- Manager separation & WS-Addressing versions ---
+	{
+		e01 := newWSEEnv(wse.V200401)
+		h01, _ := e01.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200303, "svc://sink")})
+		e08 := newWSEEnv(wse.V200408)
+		h08, _ := e08.sub.Subscribe(ctx(), "svc://source", &wse.SubscribeRequest{
+			NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink")})
+		add("WSE 1/2004 source is its own manager; 8/2004 manager is separate",
+			h01.Manager.Address == "svc://source" && h08.Manager.Address == "svc://manager", nil)
+		add("WSE 1/2004 speaks WSA 2003/03 and 8/2004 speaks WSA 2004/08",
+			h01.Manager.Version == wsa.V200303 && h08.Manager.Version == wsa.V200408, nil)
+	}
+	{
+		e0 := newWSNEnv(wsnt.V1_0)
+		h0, _ := e0.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_0, ""))
+		e3 := newWSNEnv(wsnt.V1_3)
+		h3, _ := e3.sub.Subscribe(ctx(), "svc://producer", wsnReq(wsnt.V1_3, ""))
+		add("WSN 1.0 speaks WSA 2003/03 and 1.3 speaks WSA 2005/08",
+			h0.SubscriptionReference.Version == wsa.V200303 &&
+				h3.SubscriptionReference.Version == wsa.V200508, nil)
+	}
+
+	return checks
+}
+
+func wsnReq(v wsnt.Version, expires string) *wsnt.SubscribeRequest {
+	req := &wsnt.SubscribeRequest{
+		ConsumerReference:      wsa.NewEPR(v.WSAVersion(), "svc://consumer"),
+		InitialTerminationTime: expires,
+	}
+	if v.RequiresTopic() {
+		req.TopicExpression = "t:a"
+		req.TopicDialect = topics.DialectSimple
+		req.TopicNS = map[string]string{"t": "urn:t"}
+	}
+	return req
+}
+
+// Table1Mismatches lists cells where measured differs from the paper, with
+// their notes — EXPERIMENTS.md reports these.
+func Table1Mismatches() []spec.Cell {
+	var out []spec.Cell
+	for _, c := range Table1() {
+		if !c.Match() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

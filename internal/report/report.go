@@ -1,0 +1,135 @@
+// Package report renders regenerated tables, probe check lists and
+// architecture figures as text, for cmd/comparison and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/probes"
+	"repro/internal/spec"
+)
+
+// RenderTable lays out cells as a grid: one row per distinct Row label (in
+// first-appearance order), one column per entry of cols. Cells that were
+// verified by live probes are suffixed with '*'; cells that disagree with
+// the paper show "measured (paper: printed)".
+func RenderTable(title string, cols []string, cells []spec.Cell) string {
+	// Index cells.
+	type key struct{ row, col string }
+	byKey := map[key]spec.Cell{}
+	var rowOrder []string
+	seenRow := map[string]bool{}
+	for _, c := range cells {
+		byKey[key{c.Row, c.Col}] = c
+		if !seenRow[c.Row] {
+			seenRow[c.Row] = true
+			rowOrder = append(rowOrder, c.Row)
+		}
+	}
+	render := func(c spec.Cell) string {
+		s := c.Measured
+		if !c.Match() {
+			s = fmt.Sprintf("%s (paper: %s)", c.Measured, c.Paper)
+		}
+		if c.Probed {
+			s += "*"
+		}
+		return s
+	}
+	// Column widths.
+	labelW := len(title)
+	for _, r := range rowOrder {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	colW := make([]int, len(cols))
+	for i, col := range cols {
+		colW[i] = len(col)
+		for _, r := range rowOrder {
+			if c, ok := byKey[key{r, col}]; ok {
+				if w := len(render(c)); w > colW[i] {
+					colW[i] = w
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(label string, vals []string) {
+		fmt.Fprintf(&sb, "| %-*s ", labelW, label)
+		for i, v := range vals {
+			fmt.Fprintf(&sb, "| %-*s ", colW[i], v)
+		}
+		sb.WriteString("|\n")
+	}
+	rule := func() {
+		sb.WriteString("+" + strings.Repeat("-", labelW+2))
+		for i := range cols {
+			sb.WriteString("+" + strings.Repeat("-", colW[i]+2))
+		}
+		sb.WriteString("+\n")
+	}
+	rule()
+	writeRow(title, cols)
+	rule()
+	for _, r := range rowOrder {
+		vals := make([]string, len(cols))
+		for i, col := range cols {
+			if c, ok := byKey[key{r, col}]; ok {
+				vals[i] = render(c)
+			}
+		}
+		writeRow(r, vals)
+	}
+	rule()
+	sb.WriteString("cells marked * are verified by live probes; run with -verify for the check list\n")
+	// Notes.
+	noted := map[string]bool{}
+	for _, c := range cells {
+		if c.Note != "" && !noted[c.Note] {
+			noted[c.Note] = true
+			fmt.Fprintf(&sb, "note: %s\n", c.Note)
+		}
+	}
+	return sb.String()
+}
+
+// RenderChecks lists executed probes with pass/fail markers and a summary.
+func RenderChecks(title string, checks []spec.Check) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	passed := 0
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		} else {
+			passed++
+		}
+		fmt.Fprintf(&sb, "  [%s] %s", mark, c.Name)
+		if c.Err != nil && !c.Pass {
+			fmt.Fprintf(&sb, " — %v", c.Err)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%d/%d checks passed\n", passed, len(checks))
+	return sb.String()
+}
+
+// RenderFigure draws the entity boxes and the executed interaction arrows
+// as a numbered sequence — the textual equivalent of the paper's
+// architecture figures, with every arrow backed by a live exchange.
+func RenderFigure(f *probes.Figure) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n\n", f.Title, strings.Repeat("=", len(f.Title)))
+	sb.WriteString("Entities (Web service interfaces in the paper's bold boxes):\n")
+	for _, e := range f.Entities {
+		fmt.Fprintf(&sb, "  [%s]\n", e)
+	}
+	sb.WriteString("\nExecuted interactions (every arrow is a verified live exchange):\n")
+	for i, s := range f.Steps {
+		fmt.Fprintf(&sb, "  %2d. %-38s --%s--> %s\n", i+1, s.From, s.Op, s.To)
+	}
+	return sb.String()
+}

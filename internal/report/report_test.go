@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/probes"
+	"repro/internal/spec"
+)
+
+func TestRenderTableLayout(t *testing.T) {
+	cells := []spec.Cell{
+		{Row: "Feature A", Col: "X", Paper: "Yes", Measured: "Yes", Probed: true},
+		{Row: "Feature A", Col: "Y", Paper: "No", Measured: "No"},
+		{Row: "Feature B", Col: "X", Paper: "Yes", Measured: "No", Note: "known difference"},
+		{Row: "Feature B", Col: "Y", Paper: "No", Measured: "No"},
+	}
+	out := RenderTable("Test", []string{"X", "Y"}, cells)
+	if !strings.Contains(out, "Feature A") || !strings.Contains(out, "Feature B") {
+		t.Error("row labels missing")
+	}
+	if !strings.Contains(out, "Yes*") {
+		t.Error("probe marker missing")
+	}
+	if !strings.Contains(out, "No (paper: Yes)") {
+		t.Error("mismatch annotation missing")
+	}
+	if !strings.Contains(out, "note: known difference") {
+		t.Error("note missing")
+	}
+	// Grid lines align: every row line has the same length.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[0])
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") || strings.HasPrefix(l, "+") {
+			if len(l) != width {
+				t.Errorf("misaligned line (%d != %d): %q", len(l), width, l)
+			}
+		}
+	}
+}
+
+func TestRenderChecks(t *testing.T) {
+	out := RenderChecks("Checks", []spec.Check{
+		{Name: "works", Pass: true},
+		{Name: "broken", Pass: false, Err: errTest("boom")},
+	})
+	if !strings.Contains(out, "[PASS] works") {
+		t.Error("pass line missing")
+	}
+	if !strings.Contains(out, "[FAIL] broken") || !strings.Contains(out, "boom") {
+		t.Error("fail line missing error")
+	}
+	if !strings.Contains(out, "1/2 checks passed") {
+		t.Error("summary wrong")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestRenderFigure(t *testing.T) {
+	f := &probes.Figure{
+		Title:    "Fig. T",
+		Entities: []string{"A", "B"},
+		Steps: []probes.Interaction{
+			{From: "A", To: "B", Op: "Ping"},
+			{From: "B", To: "A", Op: "Pong"},
+		},
+	}
+	out := RenderFigure(f)
+	if !strings.Contains(out, "[A]") || !strings.Contains(out, "[B]") {
+		t.Error("entities missing")
+	}
+	if !strings.Contains(out, "--Ping-->") || !strings.Contains(out, "--Pong-->") {
+		t.Error("arrows missing")
+	}
+	if strings.Index(out, "Ping") > strings.Index(out, "Pong") {
+		t.Error("steps out of order")
+	}
+}
+
+// TestRegeneratedArtifactsRender smoke-tests the real tables/figures
+// through the renderer.
+func TestRegeneratedArtifactsRender(t *testing.T) {
+	out := RenderTable("Table 1", probes.Table1Columns, probes.Table1())
+	if !strings.Contains(out, "WS-Addressing version") {
+		t.Error("table 1 render incomplete")
+	}
+	f1, err := probes.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderFigure(f1), "Subscribe") {
+		t.Error("figure 1 render incomplete")
+	}
+}

@@ -1,0 +1,200 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// FaultCode is the version-independent classification of a SOAP fault.
+type FaultCode int
+
+const (
+	// FaultSender indicates a malformed or unacceptable request
+	// (soap:Client in 1.1, soap:Sender in 1.2).
+	FaultSender FaultCode = iota
+	// FaultReceiver indicates a processing failure at the receiver
+	// (soap:Server in 1.1, soap:Receiver in 1.2).
+	FaultReceiver
+	// FaultMustUnderstand indicates an unprocessed mandatory header.
+	FaultMustUnderstand
+	// FaultVersionMismatch indicates an unsupported envelope version.
+	FaultVersionMismatch
+)
+
+func (c FaultCode) local(v Version) string {
+	switch c {
+	case FaultSender:
+		if v == V12 {
+			return "Sender"
+		}
+		return "Client"
+	case FaultReceiver:
+		if v == V12 {
+			return "Receiver"
+		}
+		return "Server"
+	case FaultMustUnderstand:
+		return "MustUnderstand"
+	case FaultVersionMismatch:
+		return "VersionMismatch"
+	}
+	return "Server"
+}
+
+// Fault is a SOAP fault, usable as a Go error. Subcode carries the spec-
+// defined fault subcodes (e.g. WS-Eventing's UnsupportedExpirationType).
+type Fault struct {
+	Code    FaultCode
+	Subcode xmldom.Name // optional, qualified subcode
+	Reason  string
+	Detail  *xmldom.Element // optional
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Subcode.Local != "" {
+		return fmt.Sprintf("soap fault [%s]: %s", f.Subcode.Local, f.Reason)
+	}
+	return "soap fault: " + f.Reason
+}
+
+// Faultf builds a sender fault with a formatted reason.
+func Faultf(code FaultCode, format string, args ...any) *Fault {
+	return &Fault{Code: code, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Envelope renders the fault as a complete envelope of the given version.
+// The two versions structure faults differently (faultcode/faultstring
+// children vs Code/Reason with nested Value elements); receivers written
+// against either spec family parse both through AsFault.
+func (f *Fault) Envelope(v Version) *Envelope {
+	ns := v.NS()
+	env := New(v)
+	var fault *xmldom.Element
+	if v == V12 {
+		code := xmldom.Elem(ns, "Code",
+			xmldom.Elem(ns, "Value", "soap12:"+f.Code.local(v)))
+		if f.Subcode.Local != "" {
+			code.Append(xmldom.Elem(ns, "Subcode",
+				xmldom.Elem(ns, "Value", qnameText(f.Subcode))))
+		}
+		fault = xmldom.Elem(ns, "Fault",
+			code,
+			xmldom.Elem(ns, "Reason", xmldom.Elem(ns, "Text", f.Reason)),
+		)
+		if f.Detail != nil {
+			fault.Append(xmldom.Elem(ns, "Detail", f.Detail))
+		}
+	} else {
+		// SOAP 1.1 has no subcode slot; carry the spec-defined subcode as
+		// an extra child so it survives the round trip while faultcode
+		// keeps the standard classification.
+		fault = xmldom.Elem("", "Fault",
+			xmldom.Elem("", "faultcode", "soap:"+f.Code.local(v)),
+			xmldom.Elem("", "faultstring", f.Reason),
+		)
+		fault.Name = xmldom.N(ns, "Fault")
+		if f.Subcode.Local != "" {
+			fault.Append(xmldom.Elem("", "faultsubcode", qnameText(f.Subcode)))
+		}
+		if f.Detail != nil {
+			fault.Append(xmldom.Elem("", "detail", f.Detail))
+		}
+	}
+	env.AddBody(fault)
+	return env
+}
+
+// qnameText renders a subcode QName. The namespace is carried in an
+// xmlns-independent "Clark text" form the parser below understands; real
+// interop stacks would declare a prefix, which our serialiser would need
+// prefix-in-content awareness to do. The subcode local name is what the
+// comparison probes assert on.
+func qnameText(n xmldom.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+func parseQNameText(s string) xmldom.Name {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "{") {
+		if i := strings.Index(s, "}"); i > 0 {
+			return xmldom.N(s[1:i], s[i+1:])
+		}
+	}
+	if i := strings.Index(s, ":"); i >= 0 {
+		return xmldom.N("", s[i+1:]) // prefix unresolvable post-parse; keep local
+	}
+	return xmldom.N("", s)
+}
+
+// AsFault inspects an envelope and, if its body is a fault of either SOAP
+// version, returns it as a *Fault.
+func AsFault(env *Envelope) (*Fault, bool) {
+	b := env.FirstBody()
+	if b == nil {
+		return nil, false
+	}
+	switch b.Name {
+	case xmldom.N(NS11, "Fault"):
+		f := &Fault{Reason: b.ChildText(xmldom.N("", "faultstring"))}
+		f.Code = codeFromLocal(afterColon(b.ChildText(xmldom.N("", "faultcode"))))
+		if sub := b.ChildText(xmldom.N("", "faultsubcode")); sub != "" {
+			f.Subcode = parseQNameText(sub)
+		}
+		if d := b.Child(xmldom.N("", "detail")); d != nil && len(d.ChildElements()) > 0 {
+			f.Detail = d.ChildElements()[0]
+		}
+		return f, true
+	case xmldom.N(NS12, "Fault"):
+		f := &Fault{}
+		if code := b.Child(xmldom.N(NS12, "Code")); code != nil {
+			f.Code = codeFromLocal(afterColon(code.ChildText(xmldom.N(NS12, "Value"))))
+			if sub := code.Child(xmldom.N(NS12, "Subcode")); sub != nil {
+				f.Subcode = parseQNameText(sub.ChildText(xmldom.N(NS12, "Value")))
+			}
+		}
+		if reason := b.Child(xmldom.N(NS12, "Reason")); reason != nil {
+			f.Reason = reason.ChildText(xmldom.N(NS12, "Text"))
+		}
+		if d := b.Child(xmldom.N(NS12, "Detail")); d != nil && len(d.ChildElements()) > 0 {
+			f.Detail = d.ChildElements()[0]
+		}
+		return f, true
+	}
+	return nil, false
+}
+
+func afterColon(s string) string {
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func codeFromLocal(local string) FaultCode {
+	switch local {
+	case "Client", "Sender":
+		return FaultSender
+	case "MustUnderstand":
+		return FaultMustUnderstand
+	case "VersionMismatch":
+		return FaultVersionMismatch
+	default:
+		return FaultReceiver
+	}
+}
+
+// ErrFault lets errors.As recover a *Fault from wrapped errors.
+func ErrFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}

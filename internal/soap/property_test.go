@@ -1,0 +1,98 @@
+package soap
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldom"
+)
+
+// genEnvelope builds random envelopes with 0-3 headers and 0-3 body
+// elements across both SOAP versions.
+type genEnvelope struct{ E *Envelope }
+
+func (genEnvelope) Generate(r *rand.Rand, _ int) reflect.Value {
+	v := V11
+	if r.Intn(2) == 1 {
+		v = V12
+	}
+	env := New(v)
+	for i := 0; i < r.Intn(4); i++ {
+		h := xmldom.Elem("urn:h", fmt.Sprintf("Header%d", i), fmt.Sprint(r.Intn(100)))
+		if r.Intn(3) == 0 {
+			MarkMustUnderstand(h, v)
+		}
+		env.AddHeader(h)
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		env.AddBody(xmldom.Elem("urn:b", fmt.Sprintf("Op%d", i),
+			xmldom.Elem("urn:b", "arg", "v<&>"+fmt.Sprint(r.Intn(100)))))
+	}
+	return reflect.ValueOf(genEnvelope{E: env})
+}
+
+// Property: Marshal/Parse preserves version, header and body structure.
+func TestPropertyEnvelopeRoundTrip(t *testing.T) {
+	f := func(ge genEnvelope) bool {
+		back, err := ParseBytes(ge.E.Marshal())
+		if err != nil {
+			return false
+		}
+		if back.Version != ge.E.Version {
+			return false
+		}
+		if len(back.Headers) != len(ge.E.Headers) || len(back.Body) != len(ge.E.Body) {
+			return false
+		}
+		for i := range ge.E.Headers {
+			if !back.Headers[i].Equal(ge.E.Headers[i]) {
+				return false
+			}
+		}
+		for i := range ge.E.Body {
+			if !back.Body[i].Equal(ge.E.Body[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: faults round-trip for every code/version combination with
+// arbitrary reasons.
+func TestPropertyFaultRoundTrip(t *testing.T) {
+	f := func(codeN uint8, reason string, vBit bool) bool {
+		if reason == "" {
+			reason = "r"
+		}
+		code := FaultCode(int(codeN) % 4)
+		v := V11
+		if vBit {
+			v = V12
+		}
+		fault := &Fault{Code: code, Reason: reason}
+		back, err := ParseBytes(fault.Envelope(v).Marshal())
+		if err != nil {
+			return false
+		}
+		got, ok := AsFault(back)
+		// Characters XML 1.0 cannot carry are replaced on the wire, XML
+		// parsers normalise CR/CRLF to LF, and the reader trims; the
+		// round trip is exact up to those wire rules.
+		want := xmldom.CleanText(reason)
+		want = strings.ReplaceAll(want, "\r\n", "\n")
+		want = strings.ReplaceAll(want, "\r", "\n")
+		want = strings.TrimSpace(want)
+		return ok && got.Code == code && got.Reason == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

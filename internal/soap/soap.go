@@ -1,0 +1,209 @@
+// Package soap implements SOAP 1.1 and 1.2 envelope construction, parsing
+// and fault handling over xmldom trees.
+//
+// Both WS-Eventing and WS-Notification exchange SOAP envelopes whose
+// headers carry WS-Addressing information and whose bodies carry the
+// operation payloads; the paper's message-format comparison (§V.4) is
+// entirely about the contents of these envelopes. The package is
+// deliberately schema-free: bodies and headers are xmldom elements, so the
+// spec packages compose messages directly and the mediation layer can
+// rewrite them without a binding step.
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// Version selects the SOAP envelope version.
+type Version int
+
+const (
+	// V11 is SOAP 1.1 (http://schemas.xmlsoap.org/soap/envelope/), the
+	// version the 2004-06 WS-* interop stacks used.
+	V11 Version = iota
+	// V12 is SOAP 1.2 (http://www.w3.org/2003/05/soap-envelope).
+	V12
+)
+
+// Namespace URIs for the two envelope versions.
+const (
+	NS11 = "http://schemas.xmlsoap.org/soap/envelope/"
+	NS12 = "http://www.w3.org/2003/05/soap-envelope"
+)
+
+func init() {
+	xmldom.RegisterPrefix(NS11, "soap")
+	xmldom.RegisterPrefix(NS12, "soap12")
+}
+
+// NS returns the envelope namespace for the version.
+func (v Version) NS() string {
+	if v == V12 {
+		return NS12
+	}
+	return NS11
+}
+
+// String names the version for logs and probe output.
+func (v Version) String() string {
+	if v == V12 {
+		return "SOAP 1.2"
+	}
+	return "SOAP 1.1"
+}
+
+// ContentType returns the MIME type the HTTP binding must use.
+func (v Version) ContentType() string {
+	if v == V12 {
+		return "application/soap+xml; charset=utf-8"
+	}
+	return "text/xml; charset=utf-8"
+}
+
+// Envelope is a decomposed SOAP message: ordered header blocks and body
+// elements. The zero value is an empty SOAP 1.1 envelope.
+type Envelope struct {
+	Version Version
+	Headers []*xmldom.Element
+	Body    []*xmldom.Element
+}
+
+// New returns an empty envelope of the given version.
+func New(v Version) *Envelope { return &Envelope{Version: v} }
+
+// AddHeader appends a header block.
+func (e *Envelope) AddHeader(h *xmldom.Element) *Envelope {
+	e.Headers = append(e.Headers, h)
+	return e
+}
+
+// AddBody appends a body element.
+func (e *Envelope) AddBody(b *xmldom.Element) *Envelope {
+	e.Body = append(e.Body, b)
+	return e
+}
+
+// Header returns the first header block with the given name, or nil.
+func (e *Envelope) Header(name xmldom.Name) *xmldom.Element {
+	for _, h := range e.Headers {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// HeaderText returns the trimmed text of the named header, or "".
+func (e *Envelope) HeaderText(name xmldom.Name) string {
+	if h := e.Header(name); h != nil {
+		return strings.TrimSpace(h.Text())
+	}
+	return ""
+}
+
+// FirstBody returns the first body element, or nil for an empty body.
+func (e *Envelope) FirstBody() *xmldom.Element {
+	if len(e.Body) == 0 {
+		return nil
+	}
+	return e.Body[0]
+}
+
+// Element assembles the envelope into a single xmldom tree.
+func (e *Envelope) Element() *xmldom.Element {
+	ns := e.Version.NS()
+	env := xmldom.NewElement(xmldom.N(ns, "Envelope"))
+	if len(e.Headers) > 0 {
+		hdr := xmldom.NewElement(xmldom.N(ns, "Header"))
+		for _, h := range e.Headers {
+			hdr.Append(h)
+		}
+		env.Append(hdr)
+	}
+	body := xmldom.NewElement(xmldom.N(ns, "Body"))
+	for _, b := range e.Body {
+		body.Append(b)
+	}
+	env.Append(body)
+	return env
+}
+
+// Marshal serialises the envelope with an XML declaration.
+func (e *Envelope) Marshal() []byte {
+	return []byte(`<?xml version="1.0" encoding="utf-8"?>` + xmldom.Marshal(e.Element()))
+}
+
+// MarshalIndent pretty-prints the envelope for logs and examples.
+func (e *Envelope) MarshalIndent() string {
+	return xmldom.MarshalIndent(e.Element())
+}
+
+// ErrNotEnvelope reports that the document root is not a SOAP envelope of
+// either version.
+var ErrNotEnvelope = errors.New("soap: document is not a SOAP envelope")
+
+// Parse reads a SOAP envelope, auto-detecting the version from the root
+// namespace — the property the WS-Messenger front door relies on, since it
+// must accept messages from either spec family without prior negotiation.
+func Parse(r io.Reader) (*Envelope, error) {
+	root, err := xmldom.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	return FromElement(root)
+}
+
+// ParseBytes parses an envelope held in memory.
+func ParseBytes(b []byte) (*Envelope, error) { return Parse(strings.NewReader(string(b))) }
+
+// FromElement decomposes an already-parsed document into an Envelope.
+func FromElement(root *xmldom.Element) (*Envelope, error) {
+	var v Version
+	switch root.Name {
+	case xmldom.N(NS11, "Envelope"):
+		v = V11
+	case xmldom.N(NS12, "Envelope"):
+		v = V12
+	default:
+		return nil, fmt.Errorf("%w: root is %v", ErrNotEnvelope, root.Name)
+	}
+	env := New(v)
+	ns := v.NS()
+	if hdr := root.Child(xmldom.N(ns, "Header")); hdr != nil {
+		env.Headers = hdr.ChildElements()
+	}
+	body := root.Child(xmldom.N(ns, "Body"))
+	if body == nil {
+		return nil, fmt.Errorf("soap: envelope has no Body")
+	}
+	env.Body = body.ChildElements()
+	return env, nil
+}
+
+// MustUnderstandName returns the per-version mustUnderstand attribute name.
+func (v Version) MustUnderstandName() xmldom.Name {
+	return xmldom.N(v.NS(), "mustUnderstand")
+}
+
+// MarkMustUnderstand flags a header block as mandatory for the receiver.
+func MarkMustUnderstand(h *xmldom.Element, v Version) {
+	val := "1"
+	if v == V12 {
+		val = "true"
+	}
+	h.SetAttr(v.MustUnderstandName(), val)
+}
+
+// IsMustUnderstand reports whether a header block carries the flag.
+func IsMustUnderstand(h *xmldom.Element, v Version) bool {
+	val, ok := h.Attr(v.MustUnderstandName())
+	if !ok {
+		return false
+	}
+	return val == "1" || val == "true"
+}

@@ -1,0 +1,217 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+func TestVersionProperties(t *testing.T) {
+	if V11.NS() != NS11 || V12.NS() != NS12 {
+		t.Error("namespace mapping wrong")
+	}
+	if !strings.Contains(V11.ContentType(), "text/xml") {
+		t.Errorf("1.1 content type = %q", V11.ContentType())
+	}
+	if !strings.Contains(V12.ContentType(), "application/soap+xml") {
+		t.Errorf("1.2 content type = %q", V12.ContentType())
+	}
+	if V11.String() == V12.String() {
+		t.Error("version strings should differ")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, v := range []Version{V11, V12} {
+		env := New(v)
+		env.AddHeader(xmldom.Elem("urn:h", "Action", "urn:do-it"))
+		env.AddHeader(xmldom.Elem("urn:h", "MessageID", "uuid:1"))
+		env.AddBody(xmldom.Elem("urn:b", "Payload", xmldom.Elem("urn:b", "Inner", "42")))
+
+		data := env.Marshal()
+		if !strings.HasPrefix(string(data), `<?xml`) {
+			t.Error("missing XML declaration")
+		}
+		back, err := ParseBytes(data)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", v, err)
+		}
+		if back.Version != v {
+			t.Errorf("version detect = %v, want %v", back.Version, v)
+		}
+		if len(back.Headers) != 2 || len(back.Body) != 1 {
+			t.Fatalf("%v: headers=%d body=%d", v, len(back.Headers), len(back.Body))
+		}
+		if got := back.HeaderText(xmldom.N("urn:h", "Action")); got != "urn:do-it" {
+			t.Errorf("header text = %q", got)
+		}
+		if back.FirstBody().ChildText(xmldom.N("urn:b", "Inner")) != "42" {
+			t.Error("body content lost")
+		}
+	}
+}
+
+func TestEnvelopeNoHeaders(t *testing.T) {
+	env := New(V11)
+	env.AddBody(xmldom.Elem("urn:b", "X"))
+	el := env.Element()
+	if el.Child(xmldom.N(NS11, "Header")) != nil {
+		t.Error("empty Header element should be omitted")
+	}
+	back, err := ParseBytes(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Headers) != 0 {
+		t.Error("headers should be empty")
+	}
+}
+
+func TestEmptyBodyAllowed(t *testing.T) {
+	env := New(V11)
+	back, err := ParseBytes(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FirstBody() != nil {
+		t.Error("FirstBody of empty body should be nil")
+	}
+}
+
+func TestParseRejectsNonEnvelope(t *testing.T) {
+	if _, err := ParseBytes([]byte(`<NotAnEnvelope/>`)); err == nil {
+		t.Error("expected error for non-envelope root")
+	}
+	if _, err := ParseBytes([]byte(`<Envelope xmlns="urn:wrong"><Body/></Envelope>`)); err == nil {
+		t.Error("expected error for wrong namespace")
+	}
+	// Envelope without a Body is invalid.
+	if _, err := ParseBytes([]byte(`<Envelope xmlns="` + NS11 + `"/>`)); err == nil {
+		t.Error("expected error for missing Body")
+	}
+	if _, err := ParseBytes([]byte(`garbage`)); err == nil {
+		t.Error("expected error for non-XML input")
+	}
+}
+
+func TestHeaderLookupMissing(t *testing.T) {
+	env := New(V11)
+	if env.Header(xmldom.N("urn:h", "X")) != nil {
+		t.Error("missing header should be nil")
+	}
+	if env.HeaderText(xmldom.N("urn:h", "X")) != "" {
+		t.Error("missing header text should be empty")
+	}
+}
+
+func TestMustUnderstand(t *testing.T) {
+	for _, v := range []Version{V11, V12} {
+		h := xmldom.Elem("urn:h", "Critical")
+		if IsMustUnderstand(h, v) {
+			t.Errorf("%v: unmarked header reported mustUnderstand", v)
+		}
+		MarkMustUnderstand(h, v)
+		if !IsMustUnderstand(h, v) {
+			t.Errorf("%v: marked header not detected", v)
+		}
+		// Round-trips through serialisation.
+		env := New(v)
+		env.AddHeader(h)
+		env.AddBody(xmldom.Elem("urn:b", "X"))
+		back, err := ParseBytes(env.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsMustUnderstand(back.Headers[0], v) {
+			t.Errorf("%v: mustUnderstand lost in round trip", v)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	sub := xmldom.N("urn:spec", "UnsupportedExpirationType")
+	for _, v := range []Version{V11, V12} {
+		f := &Fault{
+			Code:    FaultSender,
+			Subcode: sub,
+			Reason:  "expiration type not supported",
+			Detail:  xmldom.Elem("urn:spec", "Hint", "use duration"),
+		}
+		env := f.Envelope(v)
+		back, err := ParseBytes(env.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		got, ok := AsFault(back)
+		if !ok {
+			t.Fatalf("%v: AsFault did not detect fault", v)
+		}
+		if got.Code != FaultSender {
+			t.Errorf("%v: code = %v", v, got.Code)
+		}
+		if got.Reason != f.Reason {
+			t.Errorf("%v: reason = %q", v, got.Reason)
+		}
+		if got.Subcode.Local != sub.Local {
+			t.Errorf("%v: subcode = %v", v, got.Subcode)
+		}
+		if got.Detail == nil || got.Detail.Text() != "use duration" {
+			t.Errorf("%v: detail = %v", v, got.Detail)
+		}
+	}
+}
+
+func TestFaultCodes(t *testing.T) {
+	cases := []struct {
+		code  FaultCode
+		local string
+		v     Version
+	}{
+		{FaultSender, "Client", V11},
+		{FaultSender, "Sender", V12},
+		{FaultReceiver, "Server", V11},
+		{FaultReceiver, "Receiver", V12},
+		{FaultMustUnderstand, "MustUnderstand", V11},
+		{FaultVersionMismatch, "VersionMismatch", V12},
+	}
+	for _, tc := range cases {
+		f := &Fault{Code: tc.code, Reason: "r"}
+		env := f.Envelope(tc.v)
+		out := string(env.Marshal())
+		if !strings.Contains(out, tc.local) {
+			t.Errorf("fault %v on %v missing %q:\n%s", tc.code, tc.v, tc.local, out)
+		}
+		back, _ := ParseBytes(env.Marshal())
+		got, ok := AsFault(back)
+		if !ok || got.Code != tc.code {
+			t.Errorf("round trip of %v/%v gave %v", tc.code, tc.v, got)
+		}
+	}
+}
+
+func TestAsFaultOnNonFault(t *testing.T) {
+	env := New(V11)
+	env.AddBody(xmldom.Elem("urn:b", "Regular"))
+	if _, ok := AsFault(env); ok {
+		t.Error("regular body misdetected as fault")
+	}
+	if _, ok := AsFault(New(V12)); ok {
+		t.Error("empty body misdetected as fault")
+	}
+}
+
+func TestFaultAsError(t *testing.T) {
+	f := Faultf(FaultSender, "bad filter dialect %q", "urn:x")
+	if !strings.Contains(f.Error(), "bad filter dialect") {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	var err error = f
+	got, ok := ErrFault(err)
+	if !ok || got != f {
+		t.Error("ErrFault failed to recover fault")
+	}
+	if _, ok := ErrFault(nil); ok {
+		t.Error("ErrFault(nil) should be false")
+	}
+}

@@ -1,0 +1,43 @@
+// Package spec defines the capability vocabulary that the comparison
+// harness probes. Each specification implementation (WS-Eventing at both
+// versions, WS-BaseNotification at both versions, and the pre-WS baselines)
+// declares a Capabilities value; the probe framework in this package then
+// verifies every machine-checkable capability by exercising the
+// implementation and reports Table 1/2/3 cells from the outcome.
+package spec
+
+// Capabilities enumerates the feature axes of the paper's Table 1 (the
+// version-evolution matrix). Field order follows the table's rows.
+type Capabilities struct {
+	Name       string // e.g. "WSE 08/2004"
+	ReleaseTag string // e.g. "8/2004"
+
+	// Architecture rows.
+	SeparateSubscriptionManager bool // subscription manager distinct from event source
+	SeparateSubscriberAndSink   bool // subscriber role distinct from event sink/consumer
+
+	// Operation rows.
+	GetStatusOperation  bool // a status query exists (natively or via WSRF)
+	GetStatusRequired   bool // conformant implementations must provide it
+	SubscriptionIDInWSA bool // subscription id returned as WSA reference parameter/property
+	WrappedDelivery     bool // wrapped (batched) delivery mode supported
+	PullDelivery        bool // pull delivery supported in any form
+	DurationExpiry      bool // expiration may be an xsd:duration
+	XPathDialect        bool // XPath content-filter dialect specified
+	FilterElement       bool // generic Filter element in the subscribe message
+
+	// Dependency / requirement rows.
+	RequiresWSRF        bool // subscriptions must be managed through WSRF
+	RequiresTopic       bool // subscribe must carry a topic expression
+	PauseResume         bool // pause/resume subscription operations defined
+	PauseResumeRequired bool // pause/resume mandatory for conformance (WSN 1.0 only)
+
+	// Lower-table rows.
+	GetCurrentMessage      bool   // GetCurrentMessage operation
+	DefinesWrappedFormat   bool   // wrapped notification message format is defined
+	SeparatePublisher      bool   // publisher role distinct from notification producer
+	PullPointInterface     bool   // dedicated PullPoint interface
+	PullModeInSubscription bool   // pull mode selectable inside the subscribe message
+	SubscriptionEnd        bool   // end-of-subscription notice defined
+	WSAVersion             string // WS-Addressing version, e.g. "2004/08"
+}

@@ -1,0 +1,25 @@
+package spec
+
+import "testing"
+
+func TestYesNo(t *testing.T) {
+	if YesNo(true) != "Yes" || YesNo(false) != "No" {
+		t.Error("YesNo wrong")
+	}
+}
+
+func TestCellMatch(t *testing.T) {
+	if !(Cell{Paper: "Yes", Measured: "Yes"}).Match() {
+		t.Error("equal cells should match")
+	}
+	if (Cell{Paper: "Yes", Measured: "No"}).Match() {
+		t.Error("different cells should not match")
+	}
+}
+
+func TestCapabilitiesZeroValueIsAllNo(t *testing.T) {
+	var c Capabilities
+	if c.GetStatusOperation || c.PullDelivery || c.RequiresWSRF || c.PauseResume {
+		t.Error("zero capabilities should deny everything")
+	}
+}

@@ -1,0 +1,34 @@
+package spec
+
+// Cell is one table cell of a regenerated comparison table: the value the
+// paper prints, the value measured from this repository's implementations,
+// and whether a live probe (not just declared capability metadata) backs
+// the measurement.
+type Cell struct {
+	Row      string
+	Col      string
+	Paper    string // the cell as printed in the paper
+	Measured string // what our implementation exhibits
+	Probed   bool   // true when a live probe verified the measurement
+	Note     string // discrepancy commentary, if any
+}
+
+// Match reports whether measured agrees with the paper.
+func (c Cell) Match() bool { return c.Paper == c.Measured }
+
+// Check is one executed probe: a named assertion against a running
+// implementation.
+type Check struct {
+	Name   string
+	Detail string
+	Pass   bool
+	Err    error
+}
+
+// YesNo renders a boolean the way the paper's tables do.
+func YesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}

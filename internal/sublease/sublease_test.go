@@ -1,0 +1,302 @@
+package sublease
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2006, 2, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestCreateGetCancel(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore(WithClock(clk.Now), WithIDPrefix("wse"))
+	l := s.Create("payload", time.Time{})
+	if l.ID != "wse-1" {
+		t.Errorf("id = %q", l.ID)
+	}
+	sn, err := s.Get(l.ID)
+	if err != nil || sn.Data != "payload" {
+		t.Fatalf("Get = %+v, %v", sn, err)
+	}
+	if sn.Paused {
+		t.Error("new lease should not be paused")
+	}
+	if err := s.Cancel(l.ID, EndCancelled); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(l.ID); err != ErrNotFound {
+		t.Errorf("Get after cancel = %v, want ErrNotFound", err)
+	}
+	if err := s.Cancel(l.ID, EndCancelled); err != ErrNotFound {
+		t.Errorf("double cancel = %v", err)
+	}
+}
+
+func TestExpiryAndRenew(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore(WithClock(clk.Now))
+	l := s.Create(nil, clk.Now().Add(10*time.Minute))
+
+	clk.Advance(5 * time.Minute)
+	if _, err := s.Get(l.ID); err != nil {
+		t.Fatalf("lease should be live at t+5m: %v", err)
+	}
+	// Renew pushes expiry out.
+	granted, err := s.Renew(l.ID, clk.Now().Add(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(20 * time.Minute)
+	if _, err := s.Get(l.ID); err != nil {
+		t.Fatalf("renewed lease should be live: %v (granted %v)", err, granted)
+	}
+	clk.Advance(11 * time.Minute)
+	if _, err := s.Get(l.ID); err != ErrExpired {
+		t.Errorf("lapsed lease Get = %v, want ErrExpired", err)
+	}
+	if _, err := s.Renew(l.ID, clk.Now().Add(time.Hour)); err != ErrExpired {
+		t.Errorf("renew of lapsed lease = %v, want ErrExpired", err)
+	}
+}
+
+func TestZeroExpiryNeverLapses(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore(WithClock(clk.Now))
+	l := s.Create(nil, time.Time{})
+	clk.Advance(1000 * time.Hour)
+	if _, err := s.Get(l.ID); err != nil {
+		t.Errorf("indefinite lease lapsed: %v", err)
+	}
+	if n := s.Scavenge(); n != 0 {
+		t.Errorf("scavenged %d indefinite leases", n)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	s := NewStore()
+	l := s.Create("x", time.Time{})
+	if err := s.Pause(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := s.Get(l.ID)
+	if !sn.Paused {
+		t.Error("lease should be paused")
+	}
+	// Paused leases are active but not deliverable.
+	if len(s.Active()) != 1 {
+		t.Error("paused lease should still be active")
+	}
+	if len(s.Deliverable()) != 0 {
+		t.Error("paused lease should not be deliverable")
+	}
+	if err := s.Resume(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Deliverable()) != 1 {
+		t.Error("resumed lease should be deliverable")
+	}
+	if err := s.Pause("nope"); err != ErrNotFound {
+		t.Errorf("pause missing = %v", err)
+	}
+}
+
+func TestScavengeFiresEndObserver(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var ends []EndReason
+	var ids []string
+	s := NewStore(WithClock(clk.Now), WithEndObserver(func(sn Snapshot, r EndReason) {
+		mu.Lock()
+		defer mu.Unlock()
+		ends = append(ends, r)
+		ids = append(ids, sn.ID)
+	}))
+	l1 := s.Create(nil, clk.Now().Add(time.Minute))
+	s.Create(nil, clk.Now().Add(time.Hour))
+	clk.Advance(2 * time.Minute)
+	if n := s.Scavenge(); n != 1 {
+		t.Fatalf("scavenged %d, want 1", n)
+	}
+	if len(ends) != 1 || ends[0] != EndExpired || ids[0] != l1.ID {
+		t.Errorf("observer calls = %v %v", ends, ids)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestCancelReasonControlsObserver(t *testing.T) {
+	var calls int
+	s := NewStore(WithEndObserver(func(Snapshot, EndReason) { calls++ }))
+	a := s.Create(nil, time.Time{})
+	b := s.Create(nil, time.Time{})
+	s.Cancel(a.ID, EndCancelled) // explicit unsubscribe: silent
+	if calls != 0 {
+		t.Error("explicit cancel should not notify")
+	}
+	s.Cancel(b.ID, EndDeliveryFailure) // unexpected: notifies
+	if calls != 1 {
+		t.Error("unexpected cancel should notify")
+	}
+}
+
+func TestShutdownNotifiesAll(t *testing.T) {
+	var reasons []EndReason
+	s := NewStore(WithEndObserver(func(_ Snapshot, r EndReason) { reasons = append(reasons, r) }))
+	s.Create(nil, time.Time{})
+	s.Create(nil, time.Time{})
+	s.Create(nil, time.Time{})
+	if n := s.Shutdown(); n != 3 {
+		t.Fatalf("shutdown ended %d", n)
+	}
+	if len(reasons) != 3 {
+		t.Fatalf("observer calls = %d", len(reasons))
+	}
+	for _, r := range reasons {
+		if r != EndSourceShutdown {
+			t.Errorf("reason = %v", r)
+		}
+	}
+	if s.Len() != 0 {
+		t.Error("store not empty after shutdown")
+	}
+}
+
+func TestActiveOrderIsCreationOrder(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore(WithClock(clk.Now))
+	var want []string
+	for i := 0; i < 5; i++ {
+		l := s.Create(i, time.Time{})
+		want = append(want, l.ID)
+		clk.Advance(time.Second)
+	}
+	got := s.Active()
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, got[i].ID, want[i])
+		}
+	}
+}
+
+func TestRunScavengesInBackground(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	ended := 0
+	s := NewStore(WithClock(clk.Now), WithEndObserver(func(Snapshot, EndReason) {
+		mu.Lock()
+		ended++
+		mu.Unlock()
+	}))
+	s.Create(nil, clk.Now().Add(time.Millisecond))
+	clk.Advance(time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.Run(ctx, 5*time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := ended
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background scavenger never fired")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l := s.Create(i, time.Now().Add(time.Hour))
+				s.Get(l.ID)
+				s.Pause(l.ID)
+				s.Resume(l.ID)
+				s.Renew(l.ID, time.Now().Add(2*time.Hour))
+				if i%2 == 0 {
+					s.Cancel(l.ID, EndCancelled)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 8*50 {
+		t.Errorf("len = %d, want %d", s.Len(), 8*50)
+	}
+}
+
+// Property: after any sequence of create/cancel/scavenge operations, every
+// lease reported Active is unexpired, and Deliverable ⊆ Active.
+func TestPropertyStoreInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clk := newFakeClock()
+		s := NewStore(WithClock(clk.Now))
+		var ids []string
+		for _, op := range ops {
+			switch op % 6 {
+			case 0, 1:
+				l := s.Create(nil, clk.Now().Add(time.Duration(op)*time.Minute))
+				ids = append(ids, l.ID)
+			case 2:
+				if len(ids) > 0 {
+					s.Cancel(ids[int(op)%len(ids)], EndCancelled)
+				}
+			case 3:
+				clk.Advance(time.Duration(op) * time.Minute)
+			case 4:
+				s.Scavenge()
+			case 5:
+				if len(ids) > 0 {
+					s.Pause(ids[int(op)%len(ids)])
+				}
+			}
+		}
+		now := clk.Now()
+		active := s.Active()
+		for _, sn := range active {
+			if !sn.Expires.IsZero() && !now.Before(sn.Expires) {
+				return false // expired lease reported active
+			}
+		}
+		if len(s.Deliverable()) > len(active) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

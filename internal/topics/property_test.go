@@ -1,0 +1,177 @@
+package topics
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refMatch is a naive reference matcher for full-dialect expressions,
+// implemented as regexp-free backtracking over string segments built
+// independently of the production matcher.
+func refMatch(exprNS string, segs []exprSeg, p Path) bool {
+	if len(p.Segments) == 0 {
+		return false
+	}
+	if exprNS != "" && exprNS != p.Namespace {
+		return false
+	}
+	var rec func(ei, pi int) bool
+	rec = func(ei, pi int) bool {
+		if ei == len(segs) {
+			return pi == len(p.Segments)
+		}
+		switch segs[ei].kind {
+		case segSelf:
+			return rec(ei+1, pi)
+		case segName:
+			return pi < len(p.Segments) && p.Segments[pi] == segs[ei].name && rec(ei+1, pi+1)
+		case segWild:
+			return pi < len(p.Segments) && rec(ei+1, pi+1)
+		case segDeep:
+			for skip := 0; pi+skip <= len(p.Segments); skip++ {
+				if rec(ei+1, pi+skip) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+type genExprAndPath struct {
+	expr string
+	path Path
+}
+
+func (genExprAndPath) Generate(r *rand.Rand, _ int) reflect.Value {
+	names := []string{"a", "b", "c"}
+	// Random expression: root (name or *), then 0-3 steps of /name, /*,
+	// //name, optionally ending //. .
+	var sb strings.Builder
+	sb.WriteString("t:")
+	if r.Intn(4) == 0 {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(names[r.Intn(len(names))])
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		switch r.Intn(3) {
+		case 0:
+			sb.WriteString("/" + names[r.Intn(len(names))])
+		case 1:
+			sb.WriteString("/*")
+		case 2:
+			sb.WriteString("//" + names[r.Intn(len(names))])
+		}
+	}
+	if r.Intn(4) == 0 {
+		sb.WriteString("//.")
+	}
+	segs := make([]string, 1+r.Intn(5))
+	for i := range segs {
+		segs[i] = names[r.Intn(len(names))]
+	}
+	return reflect.ValueOf(genExprAndPath{
+		expr: sb.String(),
+		path: Path{Namespace: "urn:gen", Segments: segs},
+	})
+}
+
+// Property: the production matcher agrees with the reference matcher on
+// random full-dialect expressions and paths.
+func TestPropertyMatcherAgreesWithReference(t *testing.T) {
+	ns := map[string]string{"t": "urn:gen"}
+	f := func(g genExprAndPath) bool {
+		e, err := ParseExpression(DialectFull, g.expr, ns)
+		if err != nil {
+			// Generated expressions are always syntactically valid; a
+			// parse failure is itself a bug.
+			t.Logf("parse %q: %v", g.expr, err)
+			return false
+		}
+		return e.Matches(g.path) == refMatch(e.Namespace, e.segs, g.path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every concrete expression matches exactly the path it names.
+func TestPropertyConcreteMatchesItself(t *testing.T) {
+	names := []string{"x", "y", "z"}
+	f := func(idxs []uint8) bool {
+		if len(idxs) == 0 || len(idxs) > 6 {
+			return true
+		}
+		segs := make([]string, len(idxs))
+		for i, ix := range idxs {
+			segs[i] = names[int(ix)%len(names)]
+		}
+		expr := "t:" + strings.Join(segs, "/")
+		e, err := ParseExpression(DialectConcrete, expr, map[string]string{"t": "urn:p"})
+		if err != nil {
+			return false
+		}
+		self := Path{Namespace: "urn:p", Segments: segs}
+		if !e.Matches(self) {
+			return false
+		}
+		// Dropping or adding a segment breaks the match.
+		if len(segs) > 1 && e.Matches(Path{Namespace: "urn:p", Segments: segs[:len(segs)-1]}) {
+			return false
+		}
+		return !e.Matches(self.Child("extra"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Space.Expand returns exactly the registered topics the
+// expression matches.
+func TestPropertyExpandConsistent(t *testing.T) {
+	f := func(g genExprAndPath, extra []uint8) bool {
+		s := NewSpace()
+		var all []Path
+		add := func(p Path) {
+			s.Add(p)
+			all = append(all, p)
+		}
+		add(g.path)
+		names := []string{"a", "b", "c"}
+		for i := 0; i < len(extra)%5; i++ {
+			segs := make([]string, 1+int(extra[i])%3)
+			for j := range segs {
+				segs[j] = names[int(extra[i]+uint8(j))%3]
+			}
+			add(Path{Namespace: "urn:gen", Segments: segs})
+		}
+		e, err := ParseExpression(DialectFull, g.expr, map[string]string{"t": "urn:gen"})
+		if err != nil {
+			return false
+		}
+		got := s.Expand(e)
+		want := 0
+		for _, p := range s.Topics() {
+			if e.Matches(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, p := range got {
+			if !e.Matches(p) {
+				return false
+			}
+		}
+		return s.Supports(e) == (want > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,532 @@
+// Package topics implements the WS-Topics specification: hierarchical
+// topic spaces and the three topic-expression dialects (Simple, Concrete,
+// Full) that WS-Notification subscriptions use as their topic filter.
+//
+// WS-Eventing has no topic concept — the paper notes (§V.4 item 6) that an
+// equivalent topic marker must travel in the SOAP header of a WSE message —
+// so this package is also what the mediation layer consults when it
+// relocates topic information between the two spec families.
+package topics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/xmldom"
+)
+
+// Dialect URIs from WS-Topics 1.3.
+const (
+	// DialectSimple permits only a root topic name.
+	DialectSimple = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Simple"
+	// DialectConcrete permits a fixed path of topic names.
+	DialectConcrete = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Concrete"
+	// DialectFull adds the * wildcard, // descendant paths and the
+	// trailing "." self marker.
+	DialectFull = "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Full"
+)
+
+// NS is the WS-Topics namespace.
+const NS = "http://docs.oasis-open.org/wsn/t-1"
+
+func init() { xmldom.RegisterPrefix(NS, "wstop") }
+
+// Path is a concrete topic: a topic namespace plus the path of topic names
+// from the root topic down. Child topic names live implicitly in the root
+// topic's namespace, per WS-Topics.
+type Path struct {
+	Namespace string
+	Segments  []string
+}
+
+// NewPath builds a concrete topic path.
+func NewPath(namespace string, segments ...string) Path {
+	return Path{Namespace: namespace, Segments: segments}
+}
+
+// String renders the path in Clark-rooted form for logs and map keys.
+func (p Path) String() string {
+	if p.Namespace == "" {
+		return strings.Join(p.Segments, "/")
+	}
+	return "{" + p.Namespace + "}" + strings.Join(p.Segments, "/")
+}
+
+// IsZero reports an empty path.
+func (p Path) IsZero() bool { return len(p.Segments) == 0 }
+
+// Root returns the root topic name.
+func (p Path) Root() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	return p.Segments[0]
+}
+
+// Parent returns the path one level up, or a zero Path at the root.
+func (p Path) Parent() Path {
+	if len(p.Segments) <= 1 {
+		return Path{}
+	}
+	return Path{Namespace: p.Namespace, Segments: p.Segments[:len(p.Segments)-1]}
+}
+
+// Child returns the path extended by one segment.
+func (p Path) Child(name string) Path {
+	seg := make([]string, 0, len(p.Segments)+1)
+	seg = append(seg, p.Segments...)
+	seg = append(seg, name)
+	return Path{Namespace: p.Namespace, Segments: seg}
+}
+
+// Equal compares two paths.
+func (p Path) Equal(q Path) bool {
+	if p.Namespace != q.Namespace || len(p.Segments) != len(q.Segments) {
+		return false
+	}
+	for i := range p.Segments {
+		if p.Segments[i] != q.Segments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DescendantOf reports whether p is strictly below q in the topic tree.
+func (p Path) DescendantOf(q Path) bool {
+	if p.Namespace != q.Namespace || len(p.Segments) <= len(q.Segments) {
+		return false
+	}
+	for i := range q.Segments {
+		if p.Segments[i] != q.Segments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePath parses a concrete topic path "pfx:root/child/..." resolving
+// the root prefix via ns. An unprefixed root yields an empty namespace.
+func ParsePath(s string, ns map[string]string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Path{}, fmt.Errorf("topics: empty topic path")
+	}
+	segs := strings.Split(s, "/")
+	var space string
+	if i := strings.Index(segs[0], ":"); i >= 0 {
+		prefix := segs[0][:i]
+		uri, ok := ns[prefix]
+		if !ok {
+			return Path{}, fmt.Errorf("topics: undeclared prefix %q in topic %q", prefix, s)
+		}
+		space = uri
+		segs[0] = segs[0][i+1:]
+	}
+	for i, seg := range segs {
+		if !validNCName(seg) {
+			return Path{}, fmt.Errorf("topics: invalid topic segment %q (position %d) in %q", seg, i, s)
+		}
+	}
+	return Path{Namespace: space, Segments: segs}, nil
+}
+
+func validNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !(r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')) {
+				return false
+			}
+			continue
+		}
+		if !(r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// segKind is one element of a compiled full-dialect expression.
+type segKind int
+
+const (
+	segName segKind = iota // exact NCName
+	segWild                // * — any single topic name
+	segDeep                // // — zero or more intermediate topics
+	segSelf                // . — the node reached so far (only meaningful last)
+)
+
+type exprSeg struct {
+	kind segKind
+	name string
+}
+
+// Expression is a compiled topic expression of a given dialect.
+type Expression struct {
+	Dialect   string
+	Namespace string // resolved root namespace ("" = any/no namespace)
+	raw       string
+	segs      []exprSeg
+}
+
+// Raw returns the original expression text.
+func (e *Expression) Raw() string { return e.raw }
+
+// String renders the expression with its dialect for logs.
+func (e *Expression) String() string {
+	return fmt.Sprintf("%s [%s]", e.raw, dialectShort(e.Dialect))
+}
+
+func dialectShort(d string) string {
+	switch d {
+	case DialectSimple:
+		return "Simple"
+	case DialectConcrete:
+		return "Concrete"
+	case DialectFull:
+		return "Full"
+	}
+	return d
+}
+
+// ParseExpression compiles a topic expression of the given dialect with the
+// given prefix bindings.
+func ParseExpression(dialect, expr string, ns map[string]string) (*Expression, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return nil, fmt.Errorf("topics: empty topic expression")
+	}
+	switch dialect {
+	case DialectSimple:
+		p, err := ParsePath(expr, ns)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Segments) != 1 {
+			return nil, fmt.Errorf("topics: Simple dialect allows only a root topic, got %q", expr)
+		}
+		return &Expression{Dialect: dialect, Namespace: p.Namespace, raw: expr,
+			segs: []exprSeg{{kind: segName, name: p.Segments[0]}}}, nil
+	case DialectConcrete:
+		p, err := ParsePath(expr, ns)
+		if err != nil {
+			return nil, err
+		}
+		segs := make([]exprSeg, len(p.Segments))
+		for i, s := range p.Segments {
+			segs[i] = exprSeg{kind: segName, name: s}
+		}
+		return &Expression{Dialect: dialect, Namespace: p.Namespace, raw: expr, segs: segs}, nil
+	case DialectFull:
+		return parseFull(expr, ns)
+	default:
+		return nil, &UnknownDialectError{Dialect: dialect}
+	}
+}
+
+// UnknownDialectError reports an unsupported topic-expression dialect; the
+// subscription layer converts it into the spec's InvalidFilterFault.
+type UnknownDialectError struct{ Dialect string }
+
+func (e *UnknownDialectError) Error() string {
+	return fmt.Sprintf("topics: unknown topic expression dialect %q", e.Dialect)
+}
+
+func parseFull(expr string, ns map[string]string) (*Expression, error) {
+	out := &Expression{Dialect: DialectFull, raw: expr}
+	rest := expr
+	// Leading "//" means "descend from the (virtual) namespace root".
+	if strings.HasPrefix(rest, "//") {
+		out.segs = append(out.segs, exprSeg{kind: segDeep})
+		rest = rest[2:]
+	}
+	first := true
+	for {
+		var tok string
+		if i := strings.Index(rest, "/"); i >= 0 {
+			tok, rest = rest[:i], rest[i:]
+		} else {
+			tok, rest = rest, ""
+		}
+		if tok == "" {
+			return nil, fmt.Errorf("topics: empty segment in %q", expr)
+		}
+		seg, err := fullSeg(tok, first, ns, out)
+		if err != nil {
+			return nil, err
+		}
+		out.segs = append(out.segs, seg)
+		first = false
+		switch {
+		case rest == "":
+			// done
+		case strings.HasPrefix(rest, "//"):
+			out.segs = append(out.segs, exprSeg{kind: segDeep})
+			rest = rest[2:]
+		default: // single '/'
+			rest = rest[1:]
+		}
+		if rest == "" {
+			break
+		}
+	}
+	// "." is only meaningful as the final segment.
+	for i, s := range out.segs[:len(out.segs)-1] {
+		if s.kind == segSelf {
+			return nil, fmt.Errorf("topics: '.' must be the last segment in %q (position %d)", expr, i)
+		}
+	}
+	return out, nil
+}
+
+func fullSeg(tok string, first bool, ns map[string]string, out *Expression) (exprSeg, error) {
+	switch tok {
+	case "*":
+		return exprSeg{kind: segWild}, nil
+	case ".":
+		return exprSeg{kind: segSelf}, nil
+	}
+	name := tok
+	if i := strings.Index(tok, ":"); i >= 0 {
+		if !first {
+			return exprSeg{}, fmt.Errorf("topics: prefixed name %q allowed only at the root", tok)
+		}
+		uri, ok := ns[tok[:i]]
+		if !ok {
+			return exprSeg{}, fmt.Errorf("topics: undeclared prefix %q", tok[:i])
+		}
+		out.Namespace = uri
+		name = tok[i+1:]
+		if name == "*" { // prefixed wildcard: any root topic in the namespace
+			return exprSeg{kind: segWild}, nil
+		}
+	}
+	if name == "" || !validNCName(name) {
+		return exprSeg{}, fmt.Errorf("topics: invalid topic name %q", tok)
+	}
+	return exprSeg{kind: segName, name: name}, nil
+}
+
+// Matches reports whether the expression selects the concrete topic path.
+func (e *Expression) Matches(p Path) bool {
+	if p.IsZero() {
+		return false
+	}
+	if e.Namespace != "" && e.Namespace != p.Namespace {
+		return false
+	}
+	return matchSegs(e.segs, p.Segments)
+}
+
+// matchSegs matches expression segments against path segments with
+// backtracking for segDeep. segSelf consumes no path segments and matches
+// if the path is exhausted or not: "a/." matches exactly "a"; "a//." has
+// segDeep before it and so matches "a" and every descendant.
+func matchSegs(es []exprSeg, ps []string) bool {
+	if len(es) == 0 {
+		return len(ps) == 0
+	}
+	switch es[0].kind {
+	case segSelf:
+		return matchSegs(es[1:], ps)
+	case segName:
+		if len(ps) == 0 || ps[0] != es[0].name {
+			return false
+		}
+		return matchSegs(es[1:], ps[1:])
+	case segWild:
+		if len(ps) == 0 {
+			return false
+		}
+		return matchSegs(es[1:], ps[1:])
+	case segDeep:
+		// Try consuming 0..len(ps) segments.
+		for skip := 0; skip <= len(ps); skip++ {
+			if matchSegs(es[1:], ps[skip:]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// IsConcrete reports whether the expression names exactly one topic (no
+// wildcards), in which case ConcretePath returns it. Brokers use this for
+// GetCurrentMessage, which requires a single topic.
+func (e *Expression) IsConcrete() bool {
+	for _, s := range e.segs {
+		if s.kind != segName {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcretePath returns the single topic a concrete expression names.
+func (e *Expression) ConcretePath() (Path, bool) {
+	if !e.IsConcrete() {
+		return Path{}, false
+	}
+	segs := make([]string, len(e.segs))
+	for i, s := range e.segs {
+		segs[i] = s.name
+	}
+	return Path{Namespace: e.Namespace, Segments: segs}, true
+}
+
+// Space is a topic space: the set of topics a producer supports, organised
+// as a forest per namespace. It is safe for concurrent use. Producers
+// advertise it as a WS-Topics TopicSet resource document; brokers use it to
+// validate subscriptions against supported topics.
+type Space struct {
+	mu    sync.RWMutex
+	roots map[string]*treeNode // keyed by namespace
+}
+
+type treeNode struct {
+	children map[string]*treeNode
+	present  bool // true if the topic itself was added (not just an ancestor path)
+}
+
+// NewSpace returns an empty topic space.
+func NewSpace() *Space { return &Space{roots: map[string]*treeNode{}} }
+
+// Add registers a topic (and implicitly its ancestor path).
+func (s *Space) Add(p Path) {
+	if p.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, ok := s.roots[p.Namespace]
+	if !ok {
+		root = &treeNode{children: map[string]*treeNode{}}
+		s.roots[p.Namespace] = root
+	}
+	cur := root
+	for _, seg := range p.Segments {
+		next, ok := cur.children[seg]
+		if !ok {
+			next = &treeNode{children: map[string]*treeNode{}}
+			cur.children[seg] = next
+		}
+		cur = next
+	}
+	cur.present = true
+}
+
+// Contains reports whether the exact topic was added.
+func (s *Space) Contains(p Path) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.lookup(p)
+	return n != nil && n.present
+}
+
+func (s *Space) lookup(p Path) *treeNode {
+	cur, ok := s.roots[p.Namespace]
+	if !ok {
+		return nil
+	}
+	for _, seg := range p.Segments {
+		cur, ok = cur.children[seg]
+		if !ok {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Topics returns every registered topic in deterministic order.
+func (s *Space) Topics() []Path {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Path
+	nss := make([]string, 0, len(s.roots))
+	for ns := range s.roots {
+		nss = append(nss, ns)
+	}
+	sort.Strings(nss)
+	for _, ns := range nss {
+		collectTopics(s.roots[ns], Path{Namespace: ns}, &out)
+	}
+	return out
+}
+
+func collectTopics(n *treeNode, at Path, out *[]Path) {
+	if n.present {
+		*out = append(*out, at)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		collectTopics(n.children[name], at.Child(name), out)
+	}
+}
+
+// Expand returns the registered topics an expression selects.
+func (s *Space) Expand(e *Expression) []Path {
+	var out []Path
+	for _, p := range s.Topics() {
+		if e.Matches(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Supports reports whether at least one registered topic matches the
+// expression — the check behind WS-Notification's TopicNotSupported fault.
+func (s *Space) Supports(e *Expression) bool {
+	for _, p := range s.Topics() {
+		if e.Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// TopicSetElement renders the space as a WS-Topics TopicSet resource
+// document fragment: one child tree per namespace, each topic node flagged
+// with wstop:topic="true".
+func (s *Space) TopicSetElement() *xmldom.Element {
+	set := xmldom.NewElement(xmldom.N(NS, "TopicSet"))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nss := make([]string, 0, len(s.roots))
+	for ns := range s.roots {
+		nss = append(nss, ns)
+	}
+	sort.Strings(nss)
+	for _, ns := range nss {
+		renderTopicNodes(s.roots[ns], ns, set)
+	}
+	return set
+}
+
+func renderTopicNodes(n *treeNode, ns string, parent *xmldom.Element) {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		child := n.children[name]
+		el := xmldom.NewElement(xmldom.N(ns, name))
+		if child.present {
+			el.SetAttr(xmldom.N(NS, "topic"), "true")
+		}
+		parent.Append(el)
+		renderTopicNodes(child, ns, el)
+	}
+}

@@ -1,0 +1,300 @@
+package topics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+var tns = map[string]string{"t": "urn:topics:test", "o": "urn:other"}
+
+func mustExpr(t *testing.T, dialect, expr string) *Expression {
+	t.Helper()
+	e, err := ParseExpression(dialect, expr, tns)
+	if err != nil {
+		t.Fatalf("ParseExpression(%s, %q): %v", dialectShort(dialect), expr, err)
+	}
+	return e
+}
+
+func path(segs ...string) Path { return NewPath("urn:topics:test", segs...) }
+
+func TestParsePath(t *testing.T) {
+	p, err := ParsePath("t:grid/jobs/completed", tns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Namespace != "urn:topics:test" {
+		t.Errorf("namespace = %q", p.Namespace)
+	}
+	if len(p.Segments) != 3 || p.Root() != "grid" || p.Segments[2] != "completed" {
+		t.Errorf("segments = %v", p.Segments)
+	}
+	if p.String() != "{urn:topics:test}grid/jobs/completed" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "x:abc", "t:a//b", "t:a/", "t:9bad", "t:a/b c"} {
+		if _, err := ParsePath(bad, tns); err == nil {
+			t.Errorf("ParsePath(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPathRelations(t *testing.T) {
+	p := path("a", "b", "c")
+	if !p.DescendantOf(path("a")) || !p.DescendantOf(path("a", "b")) {
+		t.Error("descendant relation failed")
+	}
+	if p.DescendantOf(p) {
+		t.Error("a path is not its own descendant")
+	}
+	if p.DescendantOf(path("x")) {
+		t.Error("unrelated path misdetected as ancestor")
+	}
+	if p.DescendantOf(NewPath("urn:other", "a", "b")) {
+		t.Error("cross-namespace descendant")
+	}
+	if !p.Parent().Equal(path("a", "b")) {
+		t.Errorf("parent = %v", p.Parent())
+	}
+	if !path("a").Parent().IsZero() {
+		t.Error("root parent should be zero")
+	}
+	if !p.Equal(path("a", "b").Child("c")) {
+		t.Error("Child failed")
+	}
+}
+
+func TestSimpleDialect(t *testing.T) {
+	e := mustExpr(t, DialectSimple, "t:grid")
+	if !e.Matches(path("grid")) {
+		t.Error("simple expression should match its root")
+	}
+	if e.Matches(path("grid", "jobs")) {
+		t.Error("simple dialect must not match descendants")
+	}
+	if e.Matches(NewPath("urn:other", "grid")) {
+		t.Error("namespace must be honoured")
+	}
+	if _, err := ParseExpression(DialectSimple, "t:grid/jobs", tns); err == nil {
+		t.Error("simple dialect must reject paths")
+	}
+}
+
+func TestConcreteDialect(t *testing.T) {
+	e := mustExpr(t, DialectConcrete, "t:grid/jobs/completed")
+	if !e.Matches(path("grid", "jobs", "completed")) {
+		t.Error("concrete path should match exactly")
+	}
+	for _, p := range []Path{path("grid"), path("grid", "jobs"), path("grid", "jobs", "completed", "x")} {
+		if e.Matches(p) {
+			t.Errorf("concrete expression matched %v", p)
+		}
+	}
+	cp, ok := e.ConcretePath()
+	if !ok || !cp.Equal(path("grid", "jobs", "completed")) {
+		t.Errorf("ConcretePath = %v %v", cp, ok)
+	}
+}
+
+func TestFullDialect(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []Path
+		no   []Path
+	}{
+		{"t:grid/*/completed",
+			[]Path{path("grid", "jobs", "completed"), path("grid", "tasks", "completed")},
+			[]Path{path("grid", "completed"), path("grid", "a", "b", "completed")}},
+		{"t:grid//completed",
+			[]Path{path("grid", "completed"), path("grid", "jobs", "completed"), path("grid", "a", "b", "completed")},
+			[]Path{path("grid"), path("other", "completed")}},
+		{"t:grid//.",
+			[]Path{path("grid"), path("grid", "jobs"), path("grid", "jobs", "completed")},
+			[]Path{path("other"), NewPath("urn:other", "grid")}},
+		{"*",
+			[]Path{path("grid"), NewPath("urn:other", "x"), NewPath("", "y")},
+			[]Path{path("grid", "jobs")}},
+		{"t:*",
+			[]Path{path("grid"), path("other")},
+			[]Path{path("grid", "jobs")}},
+		{"//completed",
+			[]Path{NewPath("", "completed"), NewPath("", "a", "completed"), NewPath("urn:x", "q", "completed")},
+			[]Path{NewPath("", "completed", "extra")}},
+		{"t:grid/jobs",
+			[]Path{path("grid", "jobs")},
+			[]Path{path("grid"), path("grid", "jobs", "x")}},
+		{"t:grid/.",
+			[]Path{path("grid")},
+			[]Path{path("grid", "jobs")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			e := mustExpr(t, DialectFull, tc.expr)
+			for _, p := range tc.yes {
+				if !e.Matches(p) {
+					t.Errorf("%s should match %v", tc.expr, p)
+				}
+			}
+			for _, p := range tc.no {
+				if e.Matches(p) {
+					t.Errorf("%s should NOT match %v", tc.expr, p)
+				}
+			}
+		})
+	}
+}
+
+func TestFullDialectErrors(t *testing.T) {
+	bad := []string{"", "  ", "t:a/x:b", "x:a", "t:", "t:a/9bad", "t:./a", "/"}
+	for _, expr := range bad {
+		if _, err := ParseExpression(DialectFull, expr, tns); err == nil {
+			t.Errorf("full dialect accepted %q", expr)
+		}
+	}
+}
+
+func TestUnknownDialect(t *testing.T) {
+	_, err := ParseExpression("urn:bogus:dialect", "t:a", tns)
+	if err == nil {
+		t.Fatal("unknown dialect accepted")
+	}
+	var ude *UnknownDialectError
+	if !asUnknownDialect(err, &ude) {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func asUnknownDialect(err error, target **UnknownDialectError) bool {
+	if e, ok := err.(*UnknownDialectError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestIsConcrete(t *testing.T) {
+	if !mustExpr(t, DialectFull, "t:a/b").IsConcrete() {
+		t.Error("t:a/b is concrete")
+	}
+	for _, expr := range []string{"t:a/*", "t:a//b", "t:a//.", "*"} {
+		if mustExpr(t, DialectFull, expr).IsConcrete() {
+			t.Errorf("%s misreported as concrete", expr)
+		}
+		if _, ok := mustExpr(t, DialectFull, expr).ConcretePath(); ok {
+			t.Errorf("%s ConcretePath should fail", expr)
+		}
+	}
+}
+
+func TestMatchesZeroPath(t *testing.T) {
+	if mustExpr(t, DialectFull, "*").Matches(Path{}) {
+		t.Error("zero path should never match")
+	}
+}
+
+func TestSpaceAddContainsTopics(t *testing.T) {
+	s := NewSpace()
+	s.Add(path("grid", "jobs", "completed"))
+	s.Add(path("grid", "jobs", "failed"))
+	s.Add(path("grid"))
+	s.Add(NewPath("urn:other", "misc"))
+
+	if !s.Contains(path("grid", "jobs", "completed")) || !s.Contains(path("grid")) {
+		t.Error("added topics missing")
+	}
+	// Intermediate nodes exist structurally but are not topics unless added.
+	if s.Contains(path("grid", "jobs")) {
+		t.Error("intermediate node misreported as topic")
+	}
+	all := s.Topics()
+	if len(all) != 4 {
+		t.Fatalf("Topics() = %v", all)
+	}
+	// Deterministic order: namespaces sorted, then depth-first by name.
+	if all[0].String() != "{urn:other}misc" {
+		t.Errorf("order[0] = %v", all[0])
+	}
+	// Adding a zero path is a no-op.
+	s.Add(Path{})
+	if len(s.Topics()) != 4 {
+		t.Error("zero path was added")
+	}
+}
+
+func TestSpaceExpandAndSupports(t *testing.T) {
+	s := NewSpace()
+	s.Add(path("grid", "jobs", "completed"))
+	s.Add(path("grid", "jobs", "failed"))
+	s.Add(path("weather", "alerts"))
+
+	e := mustExpr(t, DialectFull, "t:grid/jobs/*")
+	got := s.Expand(e)
+	if len(got) != 2 {
+		t.Fatalf("Expand = %v", got)
+	}
+	if !s.Supports(e) {
+		t.Error("Supports should be true")
+	}
+	if s.Supports(mustExpr(t, DialectFull, "t:nonexistent//.")) {
+		t.Error("Supports should be false for unmatched expression")
+	}
+}
+
+func TestTopicSetElement(t *testing.T) {
+	s := NewSpace()
+	s.Add(path("grid", "jobs", "completed"))
+	s.Add(path("grid"))
+	el := s.TopicSetElement()
+	if el.Name != xmldom.N(NS, "TopicSet") {
+		t.Fatalf("root = %v", el.Name)
+	}
+	out := xmldom.Marshal(el)
+	if !strings.Contains(out, "grid") || !strings.Contains(out, "completed") {
+		t.Errorf("TopicSet missing nodes: %s", out)
+	}
+	// grid is a topic; jobs (intermediate) is not flagged.
+	grid := el.Child(xmldom.N("urn:topics:test", "grid"))
+	if grid == nil || grid.AttrValue(xmldom.N(NS, "topic")) != "true" {
+		t.Error("grid should be flagged as topic")
+	}
+	jobs := grid.Child(xmldom.N("urn:topics:test", "jobs"))
+	if jobs == nil {
+		t.Fatal("jobs node missing")
+	}
+	if jobs.AttrValue(xmldom.N(NS, "topic")) == "true" {
+		t.Error("intermediate jobs node should not be flagged")
+	}
+}
+
+func TestSpaceConcurrency(t *testing.T) {
+	s := NewSpace()
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			for j := 0; j < 50; j++ {
+				s.Add(path("root", string(rune('a'+i)), string(rune('a'+j%26))))
+				s.Topics()
+				s.Contains(path("root"))
+			}
+			done <- true
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if len(s.Topics()) == 0 {
+		t.Error("no topics after concurrent adds")
+	}
+}
+
+func TestExpressionString(t *testing.T) {
+	e := mustExpr(t, DialectFull, "t:a//b")
+	if !strings.Contains(e.String(), "Full") || !strings.Contains(e.Raw(), "t:a//b") {
+		t.Errorf("String = %q Raw = %q", e.String(), e.Raw())
+	}
+}

@@ -1,0 +1,237 @@
+// Package transport provides transport-independent SOAP message exchange
+// with two bindings: an in-memory loopback and HTTP.
+//
+// Transport independence is one of the evolutionary shifts the paper's
+// Table 3 records (CORBA and JMS are RPC-bound, OGSI is HTTP-bound, and
+// the WS-* specifications are "transport independent"). The spec packages
+// therefore program against the Client and Handler interfaces only; tests
+// and benchmarks run over the loopback, while the daemons and examples
+// bind the same services to HTTP.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+)
+
+// Handler processes one inbound SOAP envelope. A nil response with nil
+// error means the exchange is one-way (notification deliveries).
+// Returning a *soap.Fault as the error produces a fault envelope on the
+// wire; any other error becomes a generic receiver fault.
+type Handler interface {
+	ServeSOAP(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error)
+
+// ServeSOAP implements Handler.
+func (f HandlerFunc) ServeSOAP(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	return f(ctx, req)
+}
+
+// Client sends SOAP envelopes to endpoint addresses.
+type Client interface {
+	// Call performs a request-response exchange. A SOAP fault in the
+	// response is returned as a *soap.Fault error.
+	Call(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error)
+	// Send performs a one-way exchange (fire a notification). Transport
+	// errors and faults are reported; an empty response is success.
+	Send(ctx context.Context, addr string, req *soap.Envelope) error
+}
+
+// ErrNoEndpoint reports a send to an unregistered loopback address or an
+// unreachable HTTP endpoint.
+var ErrNoEndpoint = errors.New("transport: no endpoint at address")
+
+// faultOrError converts a handler error into a fault envelope so every
+// binding produces identical wire behaviour.
+func faultOrError(err error, v soap.Version) *soap.Envelope {
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		f = &soap.Fault{Code: soap.FaultReceiver, Reason: err.Error()}
+	}
+	return f.Envelope(v)
+}
+
+// responseError turns a fault response envelope into an error.
+func responseError(env *soap.Envelope) (*soap.Envelope, error) {
+	if env == nil {
+		return nil, nil
+	}
+	if f, ok := soap.AsFault(env); ok {
+		return env, f
+	}
+	return env, nil
+}
+
+// --- Loopback binding ---
+
+// Loopback is an in-memory transport: a registry of address → Handler.
+// Exchanges are synchronous function calls, which makes it both the unit-
+// test substrate and the "RPC, intranet-scale" simulation used when the
+// benchmark harness compares the WS stacks against the CORBA-era baselines.
+type Loopback struct {
+	mu        sync.RWMutex
+	endpoints map[string]Handler
+}
+
+// NewLoopback returns an empty loopback network.
+func NewLoopback() *Loopback {
+	return &Loopback{endpoints: map[string]Handler{}}
+}
+
+// Register binds a handler to an address. Registering nil removes the
+// binding (simulates a dead consumer for failure-injection tests).
+func (l *Loopback) Register(addr string, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if h == nil {
+		delete(l.endpoints, addr)
+		return
+	}
+	l.endpoints[addr] = h
+}
+
+// Lookup returns the handler bound to addr.
+func (l *Loopback) Lookup(addr string) (Handler, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.endpoints[addr]
+	return h, ok
+}
+
+// Call implements Client. The envelope is serialised and re-parsed so that
+// loopback exchanges exercise the same wire format as HTTP ones — format
+// bugs cannot hide behind shared pointers.
+func (l *Loopback) Call(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error) {
+	h, ok := l.Lookup(addr)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, addr)
+	}
+	wire, err := soap.ParseBytes(req.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("transport: request serialisation: %w", err)
+	}
+	resp, err := h.ServeSOAP(ctx, wire)
+	if err != nil {
+		return responseError(faultOrError(err, req.Version))
+	}
+	if resp == nil {
+		return nil, nil
+	}
+	back, err := soap.ParseBytes(resp.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("transport: response serialisation: %w", err)
+	}
+	return responseError(back)
+}
+
+// Send implements Client.
+func (l *Loopback) Send(ctx context.Context, addr string, req *soap.Envelope) error {
+	_, err := l.Call(ctx, addr, req)
+	return err
+}
+
+// --- HTTP binding ---
+
+// NewHTTPHandler exposes a SOAP Handler at an HTTP endpoint. Faults map to
+// HTTP 500 per the SOAP HTTP binding; one-way exchanges return 202.
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		env, err := soap.ParseBytes(body)
+		if err != nil {
+			writeEnvelope(w, faultOrError(soap.Faultf(soap.FaultSender, "malformed envelope: %v", err), soap.V11), http.StatusBadRequest)
+			return
+		}
+		resp, err := h.ServeSOAP(r.Context(), env)
+		if err != nil {
+			writeEnvelope(w, faultOrError(err, env.Version), http.StatusInternalServerError)
+			return
+		}
+		if resp == nil {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		status := http.StatusOK
+		if _, isFault := soap.AsFault(resp); isFault {
+			status = http.StatusInternalServerError
+		}
+		writeEnvelope(w, resp, status)
+	})
+}
+
+func writeEnvelope(w http.ResponseWriter, env *soap.Envelope, status int) {
+	w.Header().Set("Content-Type", env.Version.ContentType())
+	w.WriteHeader(status)
+	w.Write(env.Marshal())
+}
+
+// HTTPClient sends envelopes over HTTP.
+type HTTPClient struct {
+	// HC is the underlying client; http.DefaultClient when nil.
+	HC *http.Client
+}
+
+func (c *HTTPClient) client() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// Call implements Client over HTTP POST.
+func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error) {
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		return nil, fmt.Errorf("transport: address %q is not an HTTP endpoint", addr)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(req.Marshal()))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", req.Version.ContentType())
+	hreq.Header.Set("SOAPAction", `""`)
+	hresp, err := c.client().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNoEndpoint, addr, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusAccepted || hresp.ContentLength == 0 {
+		return nil, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil, nil
+	}
+	env, err := soap.ParseBytes(body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad response from %s (HTTP %d): %w", addr, hresp.StatusCode, err)
+	}
+	return responseError(env)
+}
+
+// Send implements Client.
+func (c *HTTPClient) Send(ctx context.Context, addr string, req *soap.Envelope) error {
+	_, err := c.Call(ctx, addr, req)
+	return err
+}

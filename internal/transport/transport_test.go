@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		resp := soap.New(req.Version)
+		resp.AddBody(xmldom.Elem("urn:t", "Echo", req.FirstBody().Text()))
+		return resp, nil
+	})
+}
+
+func request(text string) *soap.Envelope {
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Input", text))
+	return env
+}
+
+func TestLoopbackCall(t *testing.T) {
+	lb := NewLoopback()
+	lb.Register("svc://echo", echoHandler())
+	resp, err := lb.Call(context.Background(), "svc://echo", request("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.FirstBody().Text(); got != "hello" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestLoopbackUnknownAddress(t *testing.T) {
+	lb := NewLoopback()
+	_, err := lb.Call(context.Background(), "svc://nope", request("x"))
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("err = %v, want ErrNoEndpoint", err)
+	}
+	if err := lb.Send(context.Background(), "svc://nope", request("x")); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("send err = %v", err)
+	}
+}
+
+func TestLoopbackDeregister(t *testing.T) {
+	lb := NewLoopback()
+	lb.Register("svc://a", echoHandler())
+	lb.Register("svc://a", nil)
+	if _, ok := lb.Lookup("svc://a"); ok {
+		t.Error("deregistered endpoint still present")
+	}
+}
+
+func TestLoopbackFaultsBecomeErrors(t *testing.T) {
+	lb := NewLoopback()
+	lb.Register("svc://faulty", HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		return nil, soap.Faultf(soap.FaultSender, "bad input")
+	}))
+	resp, err := lb.Call(context.Background(), "svc://faulty", request("x"))
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+	if f.Code != soap.FaultSender || !strings.Contains(f.Reason, "bad input") {
+		t.Errorf("fault = %+v", f)
+	}
+	// The fault envelope is also returned for callers that inspect it.
+	if resp == nil {
+		t.Error("fault envelope should accompany the error")
+	}
+}
+
+func TestLoopbackGenericErrorsBecomeReceiverFaults(t *testing.T) {
+	lb := NewLoopback()
+	lb.Register("svc://broken", HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		return nil, errors.New("disk on fire")
+	}))
+	_, err := lb.Call(context.Background(), "svc://broken", request("x"))
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != soap.FaultReceiver {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoopbackOneWay(t *testing.T) {
+	var delivered atomic.Int32
+	lb := NewLoopback()
+	lb.Register("svc://sink", HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		delivered.Add(1)
+		return nil, nil
+	}))
+	if err := lb.Send(context.Background(), "svc://sink", request("n")); err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != 1 {
+		t.Error("notification not delivered")
+	}
+}
+
+func TestLoopbackExercisesWireFormat(t *testing.T) {
+	// The handler must see a re-parsed envelope, not the caller's pointer.
+	orig := request("x")
+	lb := NewLoopback()
+	lb.Register("svc://check", HandlerFunc(func(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		if req == orig || req.FirstBody() == orig.FirstBody() {
+			t.Error("handler received caller's envelope pointer")
+		}
+		return nil, nil
+	}))
+	lb.Call(context.Background(), "svc://check", orig)
+}
+
+func TestHTTPBindingRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	defer srv.Close()
+	c := &HTTPClient{}
+	resp, err := c.Call(context.Background(), srv.URL, request("over http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.FirstBody().Text(); got != "over http" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestHTTPBindingFault(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		return nil, soap.Faultf(soap.FaultSender, "nope")
+	})))
+	defer srv.Close()
+	c := &HTTPClient{}
+	_, err := c.Call(context.Background(), srv.URL, request("x"))
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Reason != "nope" {
+		t.Errorf("err = %v", err)
+	}
+	// Wire-level: the status must be 500 per the SOAP HTTP binding.
+	hr, _ := http.Post(srv.URL, "text/xml", strings.NewReader(string(request("x").Marshal())))
+	if hr.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", hr.StatusCode)
+	}
+	hr.Body.Close()
+}
+
+func TestHTTPBindingOneWay(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(HandlerFunc(func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+		return nil, nil
+	})))
+	defer srv.Close()
+	c := &HTTPClient{}
+	if err := c.Send(context.Background(), srv.URL, request("fire and forget")); err != nil {
+		t.Fatal(err)
+	}
+	// Wire-level 202.
+	hr, _ := http.Post(srv.URL, "text/xml", strings.NewReader(string(request("x").Marshal())))
+	if hr.StatusCode != http.StatusAccepted {
+		t.Errorf("status = %d, want 202", hr.StatusCode)
+	}
+	hr.Body.Close()
+}
+
+func TestHTTPBindingRejectsGet(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	defer srv.Close()
+	hr, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", hr.StatusCode)
+	}
+}
+
+func TestHTTPBindingMalformedRequest(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	defer srv.Close()
+	hr, err := http.Post(srv.URL, "text/xml", strings.NewReader("this is not xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", hr.StatusCode)
+	}
+}
+
+func TestHTTPClientBadAddress(t *testing.T) {
+	c := &HTTPClient{}
+	if _, err := c.Call(context.Background(), "svc://not-http", request("x")); err == nil {
+		t.Error("non-HTTP address accepted")
+	}
+	if _, err := c.Call(context.Background(), "http://127.0.0.1:1", request("x")); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("unreachable endpoint err = %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package workload generates synthetic notification streams for the
+// benchmark harness: parameterised event payloads over a topic
+// distribution, standing in for the Grid traces (job status, monitoring,
+// audit events) the paper's introduction motivates but never publishes.
+// The generator is deterministic for a given seed, so benchmark runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+// Size classes for payloads, roughly matching small status pings, typical
+// job-event documents, and bulky result summaries.
+type Size int
+
+const (
+	// Small is a two-field status event (~120 bytes of XML).
+	Small Size = iota
+	// Medium is a job document with a dozen fields (~1 KiB).
+	Medium
+	// Large embeds a result table (~10 KiB).
+	Large
+)
+
+// String names the size class.
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// NS is the namespace of generated events.
+const NS = "urn:workload:grid"
+
+// Config parameterises a generator.
+type Config struct {
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Size selects the payload class.
+	Size Size
+	// TopicFanout is the number of distinct leaf topics events spread
+	// over (default 8); all share the root "cluster/jobs".
+	TopicFanout int
+	// HotTopicBias is the fraction (0..1) of events on the first topic —
+	// a skewed distribution approximating one chatty job (default 0.5).
+	HotTopicBias float64
+}
+
+// Generator produces a deterministic event stream.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	seq int
+	tps []topics.Path
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.TopicFanout <= 0 {
+		cfg.TopicFanout = 8
+	}
+	if cfg.HotTopicBias <= 0 || cfg.HotTopicBias > 1 {
+		cfg.HotTopicBias = 0.5
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	states := []string{"submitted", "running", "completed", "failed", "suspended", "resumed", "migrated", "archived"}
+	for i := 0; i < cfg.TopicFanout; i++ {
+		g.tps = append(g.tps, topics.NewPath(NS, "cluster", "jobs", states[i%len(states)]+fmt.Sprint(i/len(states))))
+	}
+	return g
+}
+
+// Topics returns the topic set the generator publishes on.
+func (g *Generator) Topics() []topics.Path {
+	out := make([]topics.Path, len(g.tps))
+	copy(out, g.tps)
+	return out
+}
+
+// Event is one generated notification.
+type Event struct {
+	Topic   topics.Path
+	Payload *xmldom.Element
+}
+
+// Next produces the next event in the stream.
+func (g *Generator) Next() Event {
+	g.seq++
+	tp := g.tps[0]
+	if g.rng.Float64() >= g.cfg.HotTopicBias {
+		tp = g.tps[g.rng.Intn(len(g.tps))]
+	}
+	return Event{Topic: tp, Payload: g.payload(tp)}
+}
+
+// Batch produces n consecutive events.
+func (g *Generator) Batch(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func (g *Generator) payload(tp topics.Path) *xmldom.Element {
+	jobID := fmt.Sprintf("job-%06d", g.rng.Intn(1_000_000))
+	e := xmldom.Elem(NS, "JobEvent",
+		xmldom.Elem(NS, "seq", fmt.Sprint(g.seq)),
+		xmldom.Elem(NS, "job", jobID),
+		xmldom.Elem(NS, "state", tp.Segments[len(tp.Segments)-1]),
+	)
+	if g.cfg.Size == Small {
+		return e
+	}
+	e.Append(xmldom.Elem(NS, "submitTime", "2006-02-01T00:00:00Z"))
+	e.Append(xmldom.Elem(NS, "host", fmt.Sprintf("node-%03d.cluster", g.rng.Intn(512))))
+	e.Append(xmldom.Elem(NS, "queue", []string{"batch", "interactive", "gpu"}[g.rng.Intn(3)]))
+	e.Append(xmldom.Elem(NS, "user", fmt.Sprintf("user%02d", g.rng.Intn(50))))
+	res := xmldom.Elem(NS, "resources",
+		xmldom.Elem(NS, "cpuSeconds", fmt.Sprint(g.rng.Intn(100000))),
+		xmldom.Elem(NS, "memMB", fmt.Sprint(g.rng.Intn(65536))),
+		xmldom.Elem(NS, "diskMB", fmt.Sprint(g.rng.Intn(1<<20))),
+		xmldom.Elem(NS, "exitCode", fmt.Sprint(g.rng.Intn(3))),
+	)
+	e.Append(res)
+	if g.cfg.Size == Medium {
+		return e
+	}
+	table := xmldom.NewElement(xmldom.N(NS, "resultSummary"))
+	for i := 0; i < 100; i++ {
+		table.Append(xmldom.Elem(NS, "row",
+			xmldom.Elem(NS, "k", fmt.Sprintf("metric-%d", i)),
+			xmldom.Elem(NS, "v", fmt.Sprint(g.rng.Float64()*1000)),
+		))
+	}
+	e.Append(table)
+	return e
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(Config{Seed: 42, Size: Medium})
+	b := New(Config{Seed: 42, Size: Medium})
+	for i := 0; i < 50; i++ {
+		ea, eb := a.Next(), b.Next()
+		if !ea.Topic.Equal(eb.Topic) || !ea.Payload.Equal(eb.Payload) {
+			t.Fatalf("stream diverged at %d", i)
+		}
+	}
+	c := New(Config{Seed: 7, Size: Medium})
+	same := true
+	a2 := New(Config{Seed: 42, Size: Medium})
+	for i := 0; i < 20; i++ {
+		if !a2.Next().Payload.Equal(c.Next().Payload) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSizeClassesOrdered(t *testing.T) {
+	sizes := map[Size]int{}
+	for _, s := range []Size{Small, Medium, Large} {
+		g := New(Config{Seed: 1, Size: s})
+		sizes[s] = len(xmldom.Marshal(g.Next().Payload))
+	}
+	if !(sizes[Small] < sizes[Medium] && sizes[Medium] < sizes[Large]) {
+		t.Errorf("size ordering violated: %v", sizes)
+	}
+	if sizes[Large] < 5000 {
+		t.Errorf("large payload only %d bytes", sizes[Large])
+	}
+}
+
+func TestTopicDistribution(t *testing.T) {
+	g := New(Config{Seed: 3, TopicFanout: 4, HotTopicBias: 0.9})
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[g.Next().Topic.String()]++
+	}
+	hot := g.Topics()[0].String()
+	if counts[hot] < 800 {
+		t.Errorf("hot topic got %d/1000 with 0.9 bias", counts[hot])
+	}
+	if len(counts) < 2 {
+		t.Error("no spread across topics")
+	}
+}
+
+func TestTopicsWithinAdvertisedSet(t *testing.T) {
+	g := New(Config{Seed: 5, TopicFanout: 6})
+	allowed := map[string]bool{}
+	for _, tp := range g.Topics() {
+		allowed[tp.String()] = true
+	}
+	if len(allowed) != 6 {
+		t.Fatalf("fanout = %d", len(allowed))
+	}
+	for _, ev := range g.Batch(200) {
+		if !allowed[ev.Topic.String()] {
+			t.Fatalf("event on unadvertised topic %s", ev.Topic)
+		}
+	}
+}
+
+func TestBatchAdvancesSequence(t *testing.T) {
+	g := New(Config{Seed: 9, Size: Small})
+	evs := g.Batch(3)
+	if len(evs) != 3 {
+		t.Fatal("batch size wrong")
+	}
+	s1 := evs[0].Payload.ChildText(xmldom.N(NS, "seq"))
+	s3 := evs[2].Payload.ChildText(xmldom.N(NS, "seq"))
+	if s1 != "1" || s3 != "3" {
+		t.Errorf("sequence = %s..%s", s1, s3)
+	}
+}

@@ -1,0 +1,86 @@
+package wsa
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldom"
+)
+
+type genEPR struct{ E *EndpointReference }
+
+func (genEPR) Generate(r *rand.Rand, _ int) reflect.Value {
+	v := []Version{V200303, V200408, V200508}[r.Intn(3)]
+	e := NewEPR(v, fmt.Sprintf("svc://host-%d/path", r.Intn(100)))
+	for i := 0; i < r.Intn(3); i++ {
+		e.AddReferenceParameter(xmldom.Elem("urn:ids", fmt.Sprintf("Param%d", i), fmt.Sprint(r.Intn(1000))))
+	}
+	return reflect.ValueOf(genEPR{E: e})
+}
+
+// Property: Element/ParseEPR round-trips address, version and identity
+// parameters through serialisation.
+func TestPropertyEPRRoundTrip(t *testing.T) {
+	f := func(ge genEPR) bool {
+		el := ge.E.Element(xmldom.N("urn:w", "Ref"))
+		back, err := ParseEPR(xmldom.MustParse(xmldom.Marshal(el)))
+		if err != nil {
+			return false
+		}
+		if back.Version != ge.E.Version || back.Address != ge.E.Address {
+			return false
+		}
+		a, b := ge.E.IdentityParameters(), back.IdentityParameters()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Convert preserves identity parameters for every version pair,
+// and converting back restores the original container semantics.
+func TestPropertyConvertPreservesIdentity(t *testing.T) {
+	versions := []Version{V200303, V200408, V200508}
+	f := func(ge genEPR, toIdx uint8) bool {
+		to := versions[int(toIdx)%3]
+		conv := ge.E.Convert(to)
+		if conv.Version != to || conv.Address != ge.E.Address {
+			return false
+		}
+		a, b := ge.E.IdentityParameters(), conv.IdentityParameters()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if strings.TrimSpace(a[i].Text()) != strings.TrimSpace(b[i].Text()) {
+				return false
+			}
+		}
+		// Container placement honours the target version.
+		if !to.SupportsReferenceParameters() && len(conv.ReferenceParameters) > 0 {
+			return false
+		}
+		if !to.SupportsReferenceProperties() && len(conv.ReferenceProperties) > 0 {
+			return false
+		}
+		// Round trip back preserves count.
+		back := conv.Convert(ge.E.Version)
+		return len(back.IdentityParameters()) == len(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

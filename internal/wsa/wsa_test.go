@@ -1,0 +1,223 @@
+package wsa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+func TestVersionNamespaces(t *testing.T) {
+	if V200303.NS() != NS200303 || V200408.NS() != NS200408 || V200508.NS() != NS200508 {
+		t.Fatal("namespace mapping wrong")
+	}
+	for _, v := range []Version{V200303, V200408, V200508} {
+		got, ok := VersionForNS(v.NS())
+		if !ok || got != v {
+			t.Errorf("VersionForNS(%s) = %v %v", v.NS(), got, ok)
+		}
+		if v.Anonymous() == "" || !strings.Contains(v.Anonymous(), "anonymous") {
+			t.Errorf("%v anonymous = %q", v, v.Anonymous())
+		}
+	}
+	if _, ok := VersionForNS("urn:other"); ok {
+		t.Error("unknown namespace should not map")
+	}
+}
+
+func TestReferenceContainerSupport(t *testing.T) {
+	// The evolution the paper tracks: 2003/03 has only properties, 2004/08
+	// both, 2005/08 only parameters.
+	if V200303.SupportsReferenceParameters() {
+		t.Error("2003/03 should not support ReferenceParameters")
+	}
+	if !V200303.SupportsReferenceProperties() {
+		t.Error("2003/03 should support ReferenceProperties")
+	}
+	if !V200408.SupportsReferenceParameters() || !V200408.SupportsReferenceProperties() {
+		t.Error("2004/08 should support both containers")
+	}
+	if !V200508.SupportsReferenceParameters() {
+		t.Error("2005/08 should support ReferenceParameters")
+	}
+	if V200508.SupportsReferenceProperties() {
+		t.Error("2005/08 should not support ReferenceProperties")
+	}
+}
+
+func subIDParam(id string) *xmldom.Element {
+	return xmldom.Elem("urn:sub", "SubscriptionID", id)
+}
+
+func TestEPRRoundTrip(t *testing.T) {
+	for _, v := range []Version{V200303, V200408, V200508} {
+		epr := NewEPR(v, "http://example.org/consumer")
+		epr.AddReferenceParameter(subIDParam("sub-42"))
+		wrapper := xmldom.N("urn:test", "NotifyTo")
+		el := epr.Element(wrapper)
+		if el.Name != wrapper {
+			t.Errorf("wrapper name = %v", el.Name)
+		}
+		// Serialise and re-parse to exercise namespace handling.
+		out := xmldom.Marshal(el)
+		back, err := ParseEPR(xmldom.MustParse(out))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if back.Version != v {
+			t.Errorf("version detect = %v, want %v", back.Version, v)
+		}
+		if back.Address != "http://example.org/consumer" {
+			t.Errorf("address = %q", back.Address)
+		}
+		params := back.IdentityParameters()
+		if len(params) != 1 || strings.TrimSpace(params[0].Text()) != "sub-42" {
+			t.Errorf("%v: identity params = %v", v, params)
+		}
+		// Container placement follows the version.
+		if v == V200303 && len(back.ReferenceParameters) != 0 {
+			t.Error("2003/03 EPR should use ReferenceProperties")
+		}
+		if v != V200303 && len(back.ReferenceProperties) != 0 {
+			t.Errorf("%v EPR should use ReferenceParameters", v)
+		}
+	}
+}
+
+func TestParseEPRErrors(t *testing.T) {
+	if _, err := ParseEPR(nil); err == nil {
+		t.Error("nil element should error")
+	}
+	if _, err := ParseEPR(xmldom.Elem("urn:x", "EPR")); err == nil {
+		t.Error("EPR without Address should error")
+	}
+}
+
+func TestParseEPRPreservesExtras(t *testing.T) {
+	el := xmldom.MustParse(`<Ref xmlns:wsa="` + NS200408 + `">
+	  <wsa:Address>http://x</wsa:Address>
+	  <wsa:PortType>tns:Thing</wsa:PortType>
+	</Ref>`)
+	epr, err := ParseEPR(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epr.Extra) != 1 || epr.Extra[0].Name.Local != "PortType" {
+		t.Errorf("extras = %v", epr.Extra)
+	}
+	// Extras survive re-rendering.
+	re := epr.Element(xmldom.N("urn:x", "Ref"))
+	if re.Find(xmldom.N(NS200408, "PortType")) == nil {
+		t.Error("PortType lost in re-render")
+	}
+}
+
+func TestConvertMigratesContainers(t *testing.T) {
+	// WSN 1.0 (2003/03, ReferenceProperties) -> WSE 08/2004 (2004/08,
+	// ReferenceParameters): the exact mediation §V.4 requires.
+	old := NewEPR(V200303, "http://mgr")
+	old.AddReferenceParameter(subIDParam("abc"))
+	if len(old.ReferenceProperties) != 1 {
+		t.Fatal("setup: param should land in properties for 2003/03")
+	}
+	converted := old.Convert(V200408)
+	if converted.Version != V200408 {
+		t.Fatalf("version = %v", converted.Version)
+	}
+	if len(converted.ReferenceParameters) != 1 || len(converted.ReferenceProperties) != 0 {
+		t.Errorf("containers after convert: props=%d params=%d",
+			len(converted.ReferenceProperties), len(converted.ReferenceParameters))
+	}
+	if strings.TrimSpace(converted.ReferenceParameters[0].Text()) != "abc" {
+		t.Error("identity content lost")
+	}
+	// Reverse direction.
+	back := converted.Convert(V200303)
+	if len(back.ReferenceProperties) != 1 || len(back.ReferenceParameters) != 0 {
+		t.Error("reverse conversion containers wrong")
+	}
+	// Same-version conversion is the identity.
+	if old.Convert(V200303) != old {
+		t.Error("same-version Convert should return receiver")
+	}
+	// Conversion is non-destructive.
+	if len(old.ReferenceProperties) != 1 {
+		t.Error("Convert mutated original")
+	}
+}
+
+func TestMessageHeadersRoundTrip(t *testing.T) {
+	for _, v := range []Version{V200303, V200408, V200508} {
+		h := &MessageHeaders{
+			Version:   v,
+			To:        "http://svc/endpoint",
+			Action:    "urn:spec:Subscribe",
+			MessageID: "uuid:123",
+			RelatesTo: "uuid:122",
+			ReplyTo:   NewEPR(v, v.Anonymous()),
+		}
+		h.Echoed = append(h.Echoed, subIDParam("s1"))
+		env := soap.New(soap.V11)
+		h.Apply(env)
+		env.AddBody(xmldom.Elem("urn:b", "Op"))
+
+		back, err := soap.ParseBytes(env.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		got, ok := ParseHeaders(back)
+		if !ok {
+			t.Fatalf("%v: headers not detected", v)
+		}
+		if got.Version != v {
+			t.Errorf("version = %v, want %v", got.Version, v)
+		}
+		if got.To != h.To || got.Action != h.Action || got.MessageID != h.MessageID || got.RelatesTo != h.RelatesTo {
+			t.Errorf("%v: fields = %+v", v, got)
+		}
+		if got.ReplyTo == nil || got.ReplyTo.Address != v.Anonymous() {
+			t.Errorf("%v: replyTo = %+v", v, got.ReplyTo)
+		}
+		if len(got.Echoed) != 1 || strings.TrimSpace(got.Echoed[0].Text()) != "s1" {
+			t.Errorf("%v: echoed = %v", v, got.Echoed)
+		}
+	}
+}
+
+func TestParseHeadersAbsent(t *testing.T) {
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:b", "Op"))
+	if _, ok := ParseHeaders(env); ok {
+		t.Error("headers detected in envelope without addressing")
+	}
+}
+
+func TestDestinationEPR(t *testing.T) {
+	epr := NewEPR(V200408, "http://sink")
+	epr.AddReferenceParameter(subIDParam("id-9"))
+	h := DestinationEPR(epr, "urn:notify", "uuid:7")
+	if h.To != "http://sink" || h.Action != "urn:notify" || h.MessageID != "uuid:7" {
+		t.Errorf("headers = %+v", h)
+	}
+	if len(h.Echoed) != 1 {
+		t.Fatalf("echoed = %d, want 1", len(h.Echoed))
+	}
+	// Echo is a copy — mutating it must not affect the EPR.
+	h.Echoed[0].AppendText("mutated")
+	if strings.Contains(epr.ReferenceParameters[0].Text(), "mutated") {
+		t.Error("echoed header shares structure with EPR")
+	}
+}
+
+func TestMixedVersionDetectionPrefersNewest(t *testing.T) {
+	// A 2005/08 message whose body mentions an old namespace elsewhere
+	// must still be detected as 2005/08.
+	env := soap.New(soap.V11)
+	env.AddHeader(xmldom.Elem(NS200508, "Action", "urn:a"))
+	env.AddBody(xmldom.Elem("urn:b", "Op"))
+	h, ok := ParseHeaders(env)
+	if !ok || h.Version != V200508 {
+		t.Errorf("detected %v %v", h, ok)
+	}
+}

@@ -1,0 +1,370 @@
+// Package wsbrk implements the WS-BrokeredNotification specification: a
+// NotificationBroker standing between notification producers and
+// consumers.
+//
+// The paper's §V.5 contrasts the two spec families here: WS-Notification
+// defines publisher registration and demand-based publishing, while
+// WS-Eventing defines no broker role at all (though one can be assembled
+// from an event sink glued to an event source — which is exactly what the
+// WS-Messenger core in internal/core does). A demand-based publisher only
+// publishes while consumers are interested; the broker tracks demand and
+// pauses or resumes its upstream subscription to the publisher
+// accordingly.
+package wsbrk
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// NS is the WS-BrokeredNotification namespace (1.3 era).
+const NS = "http://docs.oasis-open.org/wsn/br-2"
+
+func init() { xmldom.RegisterPrefix(NS, "wsbrk") }
+
+// Action URIs.
+const (
+	ActionRegisterPublisher   = NS + "/RegisterPublisher"
+	ActionDestroyRegistration = NS + "/DestroyRegistration"
+)
+
+// RegistrationIDName is the reference parameter naming a publisher
+// registration.
+var RegistrationIDName = xmldom.N(NS, "RegistrationId")
+
+// Config configures a broker.
+type Config struct {
+	// ProducerAddress is the broker's NotificationProducer endpoint
+	// (consumers Subscribe here).
+	ProducerAddress string
+	// ManagerAddress is the broker's subscription manager endpoint.
+	ManagerAddress string
+	// IngestAddress is where publishers send Notify messages and
+	// registration requests.
+	IngestAddress string
+	// Client is the transport for upstream (publisher) management calls
+	// and downstream deliveries.
+	Client transport.Client
+	// RequireRegistration, when set, rejects Notify messages from
+	// unregistered publishers — the policy knob WS-BrokeredNotification
+	// leaves to deployments.
+	RequireRegistration bool
+	// Producer configures the embedded NotificationProducer; Address,
+	// ManagerAddress and Client are overwritten from the fields above.
+	Producer wsnt.ProducerConfig
+}
+
+// registration is one RegisterPublisher result.
+type registration struct {
+	id        string
+	publisher *wsa.EndpointReference
+	topics    []topics.Path
+	demand    bool
+	// upstream is the broker's subscription at the publisher, present for
+	// demand-based registrations.
+	upstream *wsnt.Handle
+	paused   bool
+}
+
+// Broker is a WS-BrokeredNotification NotificationBroker.
+type Broker struct {
+	cfg      Config
+	producer *wsnt.Producer
+	sub      *wsnt.Subscriber
+
+	mu     sync.Mutex
+	nextID int
+	regs   map[string]*registration
+}
+
+// New builds a broker.
+func New(cfg Config) *Broker {
+	pc := cfg.Producer
+	pc.Version = wsnt.V1_3
+	pc.Address = cfg.ProducerAddress
+	pc.ManagerAddress = cfg.ManagerAddress
+	pc.Client = cfg.Client
+	b := &Broker{
+		cfg:      cfg,
+		producer: wsnt.NewProducer(pc),
+		sub:      &wsnt.Subscriber{Client: cfg.Client, Version: wsnt.V1_3},
+		regs:     map[string]*registration{},
+	}
+	return b
+}
+
+// Producer exposes the embedded NotificationProducer.
+func (b *Broker) Producer() *wsnt.Producer { return b.producer }
+
+// RegistrationCount reports live publisher registrations.
+func (b *Broker) RegistrationCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.regs)
+}
+
+// ProducerHandler serves consumer-side Subscribe/GetCurrentMessage and
+// recomputes publisher demand after each subscription change.
+func (b *Broker) ProducerHandler() transport.Handler {
+	inner := b.producer.ProducerHandler()
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		resp, err := inner.ServeSOAP(ctx, env)
+		b.RecomputeDemand(ctx)
+		return resp, err
+	})
+}
+
+// ManagerHandler serves subscription management and recomputes demand.
+func (b *Broker) ManagerHandler() transport.Handler {
+	inner := b.producer.ManagerHandler()
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		resp, err := inner.ServeSOAP(ctx, env)
+		b.RecomputeDemand(ctx)
+		return resp, err
+	})
+}
+
+// IngestHandler serves the publisher-facing endpoint: Notify deliveries,
+// RegisterPublisher and DestroyRegistration.
+func (b *Broker) IngestHandler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body == nil {
+			return nil, soap.Faultf(soap.FaultSender, "wsbrk: empty body")
+		}
+		switch body.Name {
+		case xmldom.N(NS, "RegisterPublisher"):
+			return b.handleRegister(ctx, env, body)
+		case xmldom.N(NS, "DestroyRegistration"):
+			return b.handleDestroyRegistration(env)
+		}
+		if body.Name.Local == "Notify" {
+			return nil, b.handleNotify(ctx, env, body)
+		}
+		return nil, soap.Faultf(soap.FaultSender, "wsbrk: unexpected message %v", body.Name)
+	})
+}
+
+// handleNotify republishes incoming notifications to the broker's own
+// subscribers — the decoupling role of §III.
+func (b *Broker) handleNotify(ctx context.Context, _ *soap.Envelope, body *xmldom.Element) error {
+	if b.cfg.RequireRegistration && b.RegistrationCount() == 0 {
+		f := soap.Faultf(soap.FaultSender, "broker requires publisher registration")
+		f.Subcode = xmldom.N(NS, "PublisherRegistrationRejectedFault")
+		return f
+	}
+	msgs, _, err := wsnt.ParseNotify(body)
+	if err != nil {
+		return soap.Faultf(soap.FaultSender, "wsbrk: %v", err)
+	}
+	for _, m := range msgs {
+		if m.Payload == nil {
+			continue
+		}
+		b.producer.Publish(ctx, m.Topic, m.Payload)
+	}
+	return nil
+}
+
+func (b *Broker) handleRegister(ctx context.Context, env *soap.Envelope, body *xmldom.Element) (*soap.Envelope, error) {
+	reg := &registration{}
+	if pr := body.Child(xmldom.N(NS, "PublisherReference")); pr != nil {
+		epr, err := wsa.ParseEPR(pr)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "wsbrk: bad PublisherReference: %v", err)
+		}
+		reg.publisher = epr
+	}
+	for _, te := range body.ChildrenNamed(xmldom.N(NS, "Topic")) {
+		p, err := topics.ParsePath(strings.TrimSpace(te.Text()), te.ScopeBindings())
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "wsbrk: bad Topic: %v", err)
+		}
+		reg.topics = append(reg.topics, p)
+	}
+	if d := body.ChildText(xmldom.N(NS, "Demand")); d == "true" || d == "1" {
+		reg.demand = true
+	}
+	if reg.demand && reg.publisher == nil {
+		f := soap.Faultf(soap.FaultSender, "demand-based registration requires a PublisherReference")
+		f.Subcode = xmldom.N(NS, "InvalidProducerPropertiesExpressionFault")
+		return nil, f
+	}
+
+	b.mu.Lock()
+	b.nextID++
+	reg.id = fmt.Sprintf("reg-%d", b.nextID)
+	b.regs[reg.id] = reg
+	b.mu.Unlock()
+
+	// Demand-based publishers: the broker subscribes to the publisher with
+	// its own ingest endpoint as the consumer, then pauses until demand
+	// appears.
+	if reg.demand {
+		req := &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, b.cfg.IngestAddress),
+		}
+		h, err := b.sub.Subscribe(ctx, reg.publisher.Address, req)
+		if err != nil {
+			b.mu.Lock()
+			delete(b.regs, reg.id)
+			b.mu.Unlock()
+			return nil, soap.Faultf(soap.FaultReceiver, "wsbrk: cannot subscribe to publisher: %v", err)
+		}
+		reg.upstream = h
+		b.RecomputeDemand(ctx)
+	}
+
+	epr := wsa.NewEPR(wsa.V200508, b.cfg.IngestAddress)
+	epr.AddReferenceParameter(xmldom.Elem(RegistrationIDName.Space, RegistrationIDName.Local, reg.id))
+	out := soap.New(env.Version)
+	out.AddBody(xmldom.Elem(NS, "RegisterPublisherResponse",
+		epr.Element(xmldom.N(NS, "PublisherRegistrationReference"))))
+	return out, nil
+}
+
+func (b *Broker) handleDestroyRegistration(env *soap.Envelope) (*soap.Envelope, error) {
+	id := ""
+	if h := env.Header(RegistrationIDName); h != nil {
+		id = strings.TrimSpace(h.Text())
+	}
+	b.mu.Lock()
+	reg, ok := b.regs[id]
+	delete(b.regs, id)
+	b.mu.Unlock()
+	if !ok {
+		f := soap.Faultf(soap.FaultSender, "unknown registration %q", id)
+		f.Subcode = xmldom.N(NS, "ResourceUnknownFault")
+		return nil, f
+	}
+	if reg.upstream != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5e9)
+		defer cancel()
+		_ = b.sub.Unsubscribe(ctx, reg.upstream)
+	}
+	out := soap.New(env.Version)
+	out.AddBody(xmldom.NewElement(xmldom.N(NS, "DestroyRegistrationResponse")))
+	return out, nil
+}
+
+// RecomputeDemand pauses or resumes upstream subscriptions of demand-based
+// registrations according to current subscriber interest.
+func (b *Broker) RecomputeDemand(ctx context.Context) {
+	b.mu.Lock()
+	regs := make([]*registration, 0, len(b.regs))
+	for _, r := range b.regs {
+		if r.demand && r.upstream != nil {
+			regs = append(regs, r)
+		}
+	}
+	b.mu.Unlock()
+	for _, r := range regs {
+		want := b.hasDemand(r)
+		b.mu.Lock()
+		paused := r.paused
+		b.mu.Unlock()
+		switch {
+		case want && paused:
+			if err := b.sub.Resume(ctx, r.upstream); err == nil {
+				b.mu.Lock()
+				r.paused = false
+				b.mu.Unlock()
+			}
+		case !want && !paused:
+			if err := b.sub.Pause(ctx, r.upstream); err == nil {
+				b.mu.Lock()
+				r.paused = true
+				b.mu.Unlock()
+			}
+		}
+	}
+}
+
+// hasDemand evaluates subscriber interest in a registration's topics; a
+// registration without topics is interesting whenever any subscriber
+// exists.
+func (b *Broker) hasDemand(r *registration) bool {
+	if len(r.topics) == 0 {
+		return b.producer.SubscriptionCount() > 0
+	}
+	for _, tp := range r.topics {
+		if b.producer.HasTopicDemand(tp) {
+			return true
+		}
+	}
+	return false
+}
+
+// Paused reports whether the registration's upstream subscription is
+// currently paused (probe hook for the demand-based publisher behaviour).
+func (b *Broker) Paused(regID string) (bool, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.regs[regID]
+	if !ok {
+		return false, false
+	}
+	return r.paused, true
+}
+
+// --- Client helpers ---
+
+// RegisterPublisher registers a publisher at a broker's ingest endpoint.
+func RegisterPublisher(ctx context.Context, client transport.Client, brokerIngest string,
+	publisher *wsa.EndpointReference, demand bool, regTopics ...topics.Path) (*wsa.EndpointReference, error) {
+	body := xmldom.NewElement(xmldom.N(NS, "RegisterPublisher"))
+	if publisher != nil {
+		body.Append(publisher.Element(xmldom.N(NS, "PublisherReference")))
+	}
+	for _, tp := range regTopics {
+		te := xmldom.Elem(NS, "Topic", "tns:"+strings.Join(tp.Segments, "/"))
+		te.SetAttr(xmldom.N("", "Dialect"), topics.DialectConcrete)
+		te.DeclarePrefix("tns", tp.Namespace)
+		body.Append(te)
+	}
+	if demand {
+		body.Append(xmldom.Elem(NS, "Demand", "true"))
+	}
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: brokerIngest, Action: ActionRegisterPublisher}
+	h.Apply(env)
+	env.AddBody(body)
+	resp, err := client.Call(ctx, brokerIngest, env)
+	if err != nil {
+		return nil, err
+	}
+	ref := resp.FirstBody().Child(xmldom.N(NS, "PublisherRegistrationReference"))
+	if ref == nil {
+		return nil, fmt.Errorf("wsbrk: response missing PublisherRegistrationReference")
+	}
+	return wsa.ParseEPR(ref)
+}
+
+// DestroyRegistration removes a publisher registration.
+func DestroyRegistration(ctx context.Context, client transport.Client, reg *wsa.EndpointReference) error {
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(reg, ActionDestroyRegistration, "")
+	h.Apply(env)
+	env.AddBody(xmldom.NewElement(xmldom.N(NS, "DestroyRegistration")))
+	_, err := client.Call(ctx, reg.Address, env)
+	return err
+}
+
+// RegistrationID extracts the registration id from a registration EPR.
+func RegistrationID(reg *wsa.EndpointReference) string {
+	for _, p := range reg.IdentityParameters() {
+		if p.Name == RegistrationIDName {
+			return strings.TrimSpace(p.Text())
+		}
+	}
+	return ""
+}

@@ -1,0 +1,293 @@
+package wsbrk
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+type fixture struct {
+	lb        *transport.Loopback
+	broker    *Broker
+	publisher *wsnt.Producer // the upstream event source
+	consumer  *wsnt.Consumer
+	sub       *wsnt.Subscriber
+}
+
+func newFixture(t *testing.T, requireReg bool) *fixture {
+	t.Helper()
+	lb := transport.NewLoopback()
+	b := New(Config{
+		ProducerAddress:     "svc://broker",
+		ManagerAddress:      "svc://broker-subs",
+		IngestAddress:       "svc://broker-ingest",
+		Client:              lb,
+		RequireRegistration: requireReg,
+	})
+	lb.Register("svc://broker", b.ProducerHandler())
+	lb.Register("svc://broker-subs", b.ManagerHandler())
+	lb.Register("svc://broker-ingest", b.IngestHandler())
+
+	pub := wsnt.NewProducer(wsnt.ProducerConfig{
+		Version: wsnt.V1_3,
+		Address: "svc://publisher",
+		Client:  lb,
+	})
+	lb.Register("svc://publisher", pub.ProducerHandler())
+
+	consumer := &wsnt.Consumer{}
+	lb.Register("svc://consumer", consumer)
+	return &fixture{lb: lb, broker: b, publisher: pub, consumer: consumer,
+		sub: &wsnt.Subscriber{Client: lb, Version: wsnt.V1_3}}
+}
+
+var grid = topics.NewPath("urn:grid", "jobs")
+
+func event(s string) *xmldom.Element {
+	return xmldom.Elem("urn:grid", "Ev", xmldom.Elem("urn:grid", "v", s))
+}
+
+// publishViaBroker makes the publisher send a Notify to the broker ingest,
+// as a real decoupled producer would.
+func (f *fixture) publishViaBroker(t *testing.T, payload *xmldom.Element) error {
+	t.Helper()
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://broker-ingest",
+		Action: wsnt.V1_3.ActionNotify()}
+	h.Apply(env)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+		{Topic: grid, Payload: payload},
+	}))
+	return f.lb.Send(context.Background(), "svc://broker-ingest", env)
+}
+
+func TestBrokerDecouplesProducersAndConsumers(t *testing.T) {
+	f := newFixture(t, false)
+	// Consumer subscribes at the broker, never meeting the publisher.
+	_, err := f.sub.Subscribe(context.Background(), "svc://broker", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://consumer"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.publishViaBroker(t, event("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if f.consumer.Count() != 1 {
+		t.Fatalf("consumer received %d", f.consumer.Count())
+	}
+	got := f.consumer.Received()[0]
+	if got.Payload.ChildText(xmldom.N("urn:grid", "v")) != "hello" {
+		t.Error("payload lost through broker")
+	}
+	if !got.Topic.Equal(grid) {
+		t.Errorf("topic lost: %v", got.Topic)
+	}
+}
+
+func TestRequireRegistrationRejectsAnonymousPublish(t *testing.T) {
+	f := newFixture(t, true)
+	if err := f.publishViaBroker(t, event("x")); err == nil {
+		t.Fatal("unregistered publish accepted")
+	}
+	// After registration it goes through.
+	_, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://publisher"), false, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.publishViaBroker(t, event("y")); err != nil {
+		t.Fatalf("registered publish rejected: %v", err)
+	}
+}
+
+func TestRegisterAndDestroyRegistration(t *testing.T) {
+	f := newFixture(t, false)
+	reg, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://publisher"), false, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.broker.RegistrationCount() != 1 {
+		t.Error("registration not recorded")
+	}
+	if RegistrationID(reg) == "" {
+		t.Error("registration id missing from EPR")
+	}
+	if err := DestroyRegistration(context.Background(), f.lb, reg); err != nil {
+		t.Fatal(err)
+	}
+	if f.broker.RegistrationCount() != 0 {
+		t.Error("registration not destroyed")
+	}
+	if err := DestroyRegistration(context.Background(), f.lb, reg); err == nil {
+		t.Error("double destroy accepted")
+	}
+}
+
+func TestDemandBasedPublisher(t *testing.T) {
+	f := newFixture(t, false)
+	// Demand registration: the broker subscribes at the publisher and
+	// pauses immediately (no subscribers yet).
+	reg, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://publisher"), true, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regID := RegistrationID(reg)
+	if paused, ok := f.broker.Paused(regID); !ok || !paused {
+		t.Fatalf("upstream should start paused (paused=%v ok=%v)", paused, ok)
+	}
+	if f.publisher.SubscriptionCount() != 1 {
+		t.Fatal("broker did not subscribe at publisher")
+	}
+	// While paused, publisher events do not reach the broker.
+	f.publisher.Publish(context.Background(), grid, event("lost"))
+	if f.consumer.Count() != 0 {
+		t.Error("event delivered while paused")
+	}
+	// A consumer subscribing on the topic creates demand → resume.
+	h, err := f.sub.Subscribe(context.Background(), "svc://broker", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://consumer"),
+		TopicExpression:   "tns:jobs", TopicDialect: topics.DialectSimple,
+		TopicNS: map[string]string{"tns": "urn:grid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused, _ := f.broker.Paused(regID); paused {
+		t.Fatal("upstream still paused despite demand")
+	}
+	f.publisher.Publish(context.Background(), grid, event("wanted"))
+	if f.consumer.Count() != 1 {
+		t.Fatalf("consumer received %d after resume", f.consumer.Count())
+	}
+	// Unsubscribe removes demand → pause again.
+	if err := f.sub.Unsubscribe(context.Background(), h); err != nil {
+		t.Fatal(err)
+	}
+	if paused, _ := f.broker.Paused(regID); !paused {
+		t.Error("upstream not re-paused after demand vanished")
+	}
+}
+
+func TestDemandIgnoresUnrelatedTopics(t *testing.T) {
+	f := newFixture(t, false)
+	reg, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://publisher"), true, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subscriber on a different topic creates no demand for this
+	// publisher.
+	_, err = f.sub.Subscribe(context.Background(), "svc://broker", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, "svc://consumer"),
+		TopicExpression:   "tns:weather", TopicDialect: topics.DialectSimple,
+		TopicNS: map[string]string{"tns": "urn:grid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused, _ := f.broker.Paused(RegistrationID(reg)); !paused {
+		t.Error("unrelated subscription created demand")
+	}
+}
+
+func TestDemandRegistrationNeedsPublisherReference(t *testing.T) {
+	f := newFixture(t, false)
+	_, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest", nil, true, grid)
+	if err == nil {
+		t.Error("demand registration without publisher accepted")
+	}
+}
+
+func TestBrokerFanOut(t *testing.T) {
+	f := newFixture(t, false)
+	consumers := make([]*wsnt.Consumer, 5)
+	for i := range consumers {
+		consumers[i] = &wsnt.Consumer{}
+		addr := "svc://c" + string(rune('0'+i))
+		f.lb.Register(addr, consumers[i])
+		_, err := f.sub.Subscribe(context.Background(), "svc://broker", &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, addr),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.publishViaBroker(t, event("fan"))
+	for i, c := range consumers {
+		if c.Count() != 1 {
+			t.Errorf("consumer %d received %d", i, c.Count())
+		}
+	}
+}
+
+func TestDestroyRegistrationUnsubscribesUpstream(t *testing.T) {
+	f := newFixture(t, false)
+	reg, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://publisher"), true, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.publisher.SubscriptionCount() != 1 {
+		t.Fatal("no upstream subscription")
+	}
+	if err := DestroyRegistration(context.Background(), f.lb, reg); err != nil {
+		t.Fatal(err)
+	}
+	if f.publisher.SubscriptionCount() != 0 {
+		t.Error("upstream subscription survived registration destruction")
+	}
+}
+
+func TestIngestRejectsNonNotifyBodies(t *testing.T) {
+	f := newFixture(t, false)
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:x", "RandomRequest"))
+	if err := f.lb.Send(context.Background(), "svc://broker-ingest", env); err == nil {
+		t.Error("non-Notify body accepted at ingest")
+	}
+	// Empty body too.
+	if err := f.lb.Send(context.Background(), "svc://broker-ingest", soap.New(soap.V11)); err == nil {
+		t.Error("empty body accepted at ingest")
+	}
+}
+
+func TestRegisterPublisherBadTopicFaults(t *testing.T) {
+	f := newFixture(t, false)
+	env := soap.New(soap.V11)
+	body := xmldom.Elem(NS, "RegisterPublisher",
+		xmldom.Elem(NS, "Topic", "un:declared/prefix"))
+	env.AddBody(body)
+	if _, err := f.lb.Call(context.Background(), "svc://broker-ingest", env); err == nil {
+		t.Error("undeclared topic prefix accepted")
+	}
+}
+
+func TestDemandSubscribeFailureRollsBackRegistration(t *testing.T) {
+	f := newFixture(t, false)
+	// Publisher address does not exist: the demand registration must fail
+	// and not leave a half-created registration behind.
+	_, err := RegisterPublisher(context.Background(), f.lb, "svc://broker-ingest",
+		wsa.NewEPR(wsa.V200508, "svc://no-such-publisher"), true, grid)
+	if err == nil {
+		t.Fatal("registration against dead publisher accepted")
+	}
+	if f.broker.RegistrationCount() != 0 {
+		t.Error("failed registration left behind")
+	}
+}
+
+func TestPausedQueryUnknownRegistration(t *testing.T) {
+	f := newFixture(t, false)
+	if _, ok := f.broker.Paused("reg-nope"); ok {
+		t.Error("unknown registration reported")
+	}
+}

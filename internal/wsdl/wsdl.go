@@ -1,0 +1,236 @@
+// Package wsdl generates WSDL 1.1 service descriptions for the
+// notification services in this repository.
+//
+// The paper's §III grounds Web-services interoperability in WSDL ("Web
+// Service Description Language defines valid XML document structures for
+// message exchanges to enable the interoperability feature of Web
+// services"), and §VI observation 6 is that interoperability moved to
+// "the more coarse-grained service interfaces" level. This package makes
+// those interfaces concrete: given a spec version it emits the portType,
+// messages, binding and service sections a 2006-era toolkit would consume,
+// and the HTTP daemon serves them on `?wsdl`.
+package wsdl
+
+import (
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// WSDL 1.1 namespaces.
+const (
+	NS     = "http://schemas.xmlsoap.org/wsdl/"
+	NSSOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+)
+
+func init() {
+	xmldom.RegisterPrefix(NS, "wsdl")
+	xmldom.RegisterPrefix(NSSOAP, "wsdlsoap")
+}
+
+// Operation describes one portType operation.
+type Operation struct {
+	Name   string
+	Action string // WS-Addressing action URI of the input message
+	OneWay bool   // no output message (notifications, SubscriptionEnd)
+}
+
+// Definition is a simplified WSDL document model.
+type Definition struct {
+	// TargetNamespace of the service.
+	TargetNamespace string
+	// ServiceName and PortName label the service section.
+	ServiceName string
+	PortName    string
+	// Address is the SOAP endpoint location.
+	Address string
+	// Operations of the portType.
+	Operations []Operation
+}
+
+// Element renders the wsdl:definitions document.
+func (d *Definition) Element() *xmldom.Element {
+	defs := xmldom.NewElement(xmldom.N(NS, "definitions"))
+	defs.SetAttr(xmldom.N("", "targetNamespace"), d.TargetNamespace)
+
+	portType := xmldom.NewElement(xmldom.N(NS, "portType"))
+	portType.SetAttr(xmldom.N("", "name"), d.ServiceName+"PortType")
+	binding := xmldom.NewElement(xmldom.N(NS, "binding"))
+	binding.SetAttr(xmldom.N("", "name"), d.ServiceName+"Binding")
+	binding.SetAttr(xmldom.N("", "type"), "tns:"+d.ServiceName+"PortType")
+	binding.DeclarePrefix("tns", d.TargetNamespace)
+	sb := xmldom.NewElement(xmldom.N(NSSOAP, "binding"))
+	sb.SetAttr(xmldom.N("", "style"), "document")
+	sb.SetAttr(xmldom.N("", "transport"), "http://schemas.xmlsoap.org/soap/http")
+	binding.Append(sb)
+
+	for _, op := range d.Operations {
+		// Messages.
+		in := xmldom.NewElement(xmldom.N(NS, "message"))
+		in.SetAttr(xmldom.N("", "name"), op.Name+"Request")
+		defs.Append(in)
+		if !op.OneWay {
+			out := xmldom.NewElement(xmldom.N(NS, "message"))
+			out.SetAttr(xmldom.N("", "name"), op.Name+"Response")
+			defs.Append(out)
+		}
+		// portType operation.
+		pop := xmldom.NewElement(xmldom.N(NS, "operation"))
+		pop.SetAttr(xmldom.N("", "name"), op.Name)
+		input := xmldom.NewElement(xmldom.N(NS, "input"))
+		input.SetAttr(xmldom.N("", "message"), "tns:"+op.Name+"Request")
+		input.SetAttr(xmldom.N("", "wsaAction"), op.Action)
+		pop.Append(input)
+		if !op.OneWay {
+			output := xmldom.NewElement(xmldom.N(NS, "output"))
+			output.SetAttr(xmldom.N("", "message"), "tns:"+op.Name+"Response")
+			pop.Append(output)
+		}
+		portType.Append(pop)
+		// Binding operation.
+		bop := xmldom.NewElement(xmldom.N(NS, "operation"))
+		bop.SetAttr(xmldom.N("", "name"), op.Name)
+		sop := xmldom.NewElement(xmldom.N(NSSOAP, "operation"))
+		sop.SetAttr(xmldom.N("", "soapAction"), op.Action)
+		bop.Append(sop)
+		binding.Append(bop)
+	}
+	defs.Append(portType)
+	defs.Append(binding)
+
+	service := xmldom.NewElement(xmldom.N(NS, "service"))
+	service.SetAttr(xmldom.N("", "name"), d.ServiceName)
+	port := xmldom.NewElement(xmldom.N(NS, "port"))
+	port.SetAttr(xmldom.N("", "name"), d.PortName)
+	port.SetAttr(xmldom.N("", "binding"), "tns:"+d.ServiceName+"Binding")
+	addr := xmldom.NewElement(xmldom.N(NSSOAP, "address"))
+	addr.SetAttr(xmldom.N("", "location"), d.Address)
+	port.Append(addr)
+	service.Append(port)
+	defs.Append(service)
+	return defs
+}
+
+// Document renders the WSDL as an XML document string.
+func (d *Definition) Document() string {
+	return `<?xml version="1.0" encoding="utf-8"?>` + "\n" + xmldom.MarshalIndent(d.Element())
+}
+
+// ForWSESource describes a WS-Eventing event source at the given version.
+func ForWSESource(v wse.Version, address string) *Definition {
+	d := &Definition{
+		TargetNamespace: v.NS(),
+		ServiceName:     "EventSource",
+		PortName:        "EventSourcePort",
+		Address:         address,
+		Operations: []Operation{
+			{Name: "Subscribe", Action: v.ActionSubscribe()},
+		},
+	}
+	if !v.SeparateManager() {
+		d.Operations = append(d.Operations, wseManagerOps(v)...)
+	}
+	return d
+}
+
+// ForWSEManager describes a WS-Eventing subscription manager.
+func ForWSEManager(v wse.Version, address string) *Definition {
+	return &Definition{
+		TargetNamespace: v.NS(),
+		ServiceName:     "SubscriptionManager",
+		PortName:        "SubscriptionManagerPort",
+		Address:         address,
+		Operations:      wseManagerOps(v),
+	}
+}
+
+func wseManagerOps(v wse.Version) []Operation {
+	ops := []Operation{
+		{Name: "Renew", Action: v.ActionRenew()},
+		{Name: "Unsubscribe", Action: v.ActionUnsubscribe()},
+	}
+	if v.SupportsGetStatus() {
+		ops = append(ops, Operation{Name: "GetStatus", Action: v.ActionGetStatus()})
+	}
+	if v.SupportsPull() {
+		ops = append(ops, Operation{Name: "Pull", Action: v.ActionPull()})
+	}
+	return ops
+}
+
+// ForWSESink describes an event sink (one-way operations only).
+func ForWSESink(v wse.Version, address string) *Definition {
+	return &Definition{
+		TargetNamespace: v.NS(),
+		ServiceName:     "EventSink",
+		PortName:        "EventSinkPort",
+		Address:         address,
+		Operations: []Operation{
+			{Name: "Notification", Action: v.NS() + "/Notification", OneWay: true},
+			{Name: "SubscriptionEnd", Action: v.ActionSubscriptionEnd(), OneWay: true},
+		},
+	}
+}
+
+// ForWSNProducer describes a WS-BaseNotification producer.
+func ForWSNProducer(v wsnt.Version, address string) *Definition {
+	return &Definition{
+		TargetNamespace: v.NS(),
+		ServiceName:     "NotificationProducer",
+		PortName:        "NotificationProducerPort",
+		Address:         address,
+		Operations: []Operation{
+			{Name: "Subscribe", Action: v.ActionSubscribe()},
+			{Name: "GetCurrentMessage", Action: v.ActionGetCurrentMessage()},
+		},
+	}
+}
+
+// ForWSNManager describes the WSN subscription manager: native operations
+// for 1.3, the WSRF vocabulary for 1.0 (the Table 2 mapping rendered as
+// an interface).
+func ForWSNManager(v wsnt.Version, address string) *Definition {
+	d := &Definition{
+		TargetNamespace: v.NS(),
+		ServiceName:     "SubscriptionManager",
+		PortName:        "SubscriptionManagerPort",
+		Address:         address,
+		Operations: []Operation{
+			{Name: "PauseSubscription", Action: v.ActionPause()},
+			{Name: "ResumeSubscription", Action: v.ActionResume()},
+		},
+	}
+	if v.SupportsNativeManagement() {
+		d.Operations = append(d.Operations,
+			Operation{Name: "Renew", Action: v.ActionRenew()},
+			Operation{Name: "Unsubscribe", Action: v.ActionUnsubscribe()},
+		)
+	} else {
+		d.Operations = append(d.Operations,
+			Operation{Name: "GetResourcePropertyDocument", Action: "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd/GetResourcePropertyDocument"},
+			Operation{Name: "SetTerminationTime", Action: "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd/SetTerminationTime"},
+			Operation{Name: "Destroy", Action: "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd/Destroy"},
+		)
+	}
+	return d
+}
+
+// ForBroker describes the WS-Messenger front door: the union of both
+// families' entry operations, which is precisely what makes it a
+// dual-specification broker.
+func ForBroker(address string) *Definition {
+	return &Definition{
+		TargetNamespace: "urn:ws-messenger",
+		ServiceName:     "WSMessenger",
+		PortName:        "WSMessengerPort",
+		Address:         address,
+		Operations: []Operation{
+			{Name: "SubscribeWSE", Action: wse.V200408.ActionSubscribe()},
+			{Name: "SubscribeWSE01", Action: wse.V200401.ActionSubscribe()},
+			{Name: "SubscribeWSN", Action: wsnt.V1_3.ActionSubscribe()},
+			{Name: "SubscribeWSN10", Action: wsnt.V1_0.ActionSubscribe()},
+			{Name: "Notify", Action: wsnt.V1_3.ActionNotify(), OneWay: true},
+			{Name: "GetCurrentMessage", Action: wsnt.V1_3.ActionGetCurrentMessage()},
+		},
+	}
+}

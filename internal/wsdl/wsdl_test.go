@@ -1,0 +1,140 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// parse re-reads a generated document and returns the definitions root.
+func parse(t *testing.T, d *Definition) *xmldom.Element {
+	t.Helper()
+	doc := d.Document()
+	root, err := xmldom.ParseString(doc)
+	if err != nil {
+		t.Fatalf("generated WSDL does not parse: %v\n%s", err, doc)
+	}
+	if root.Name != xmldom.N(NS, "definitions") {
+		t.Fatalf("root = %v", root.Name)
+	}
+	return root
+}
+
+func opNames(root *xmldom.Element) map[string]bool {
+	out := map[string]bool{}
+	for _, pt := range root.ChildrenNamed(xmldom.N(NS, "portType")) {
+		for _, op := range pt.ChildrenNamed(xmldom.N(NS, "operation")) {
+			out[op.AttrValue(xmldom.N("", "name"))] = true
+		}
+	}
+	return out
+}
+
+func TestWSESourceWSDLPerVersion(t *testing.T) {
+	// 1/2004: the source is its own manager, so management ops appear on
+	// the source portType. 8/2004: Subscribe only.
+	old := parse(t, ForWSESource(wse.V200401, "http://x/source"))
+	ops01 := opNames(old)
+	for _, want := range []string{"Subscribe", "Renew", "Unsubscribe"} {
+		if !ops01[want] {
+			t.Errorf("1/2004 source missing %s", want)
+		}
+	}
+	if ops01["GetStatus"] || ops01["Pull"] {
+		t.Error("1/2004 source must not advertise GetStatus/Pull")
+	}
+	newer := parse(t, ForWSESource(wse.V200408, "http://x/source"))
+	ops08 := opNames(newer)
+	if !ops08["Subscribe"] || ops08["Renew"] {
+		t.Errorf("8/2004 source ops = %v", ops08)
+	}
+	mgr := parse(t, ForWSEManager(wse.V200408, "http://x/mgr"))
+	mops := opNames(mgr)
+	for _, want := range []string{"Renew", "Unsubscribe", "GetStatus", "Pull"} {
+		if !mops[want] {
+			t.Errorf("8/2004 manager missing %s", want)
+		}
+	}
+}
+
+func TestWSNManagerWSDLShowsTable2Mapping(t *testing.T) {
+	// 1.0 advertises the WSRF vocabulary; 1.3 the native one.
+	m10 := opNames(parse(t, ForWSNManager(wsnt.V1_0, "http://x/m")))
+	if !m10["SetTerminationTime"] || !m10["Destroy"] || m10["Renew"] {
+		t.Errorf("1.0 manager ops = %v", m10)
+	}
+	m13 := opNames(parse(t, ForWSNManager(wsnt.V1_3, "http://x/m")))
+	if !m13["Renew"] || !m13["Unsubscribe"] || m13["Destroy"] {
+		t.Errorf("1.3 manager ops = %v", m13)
+	}
+	// Pause/Resume in both.
+	if !m10["PauseSubscription"] || !m13["ResumeSubscription"] {
+		t.Error("pause/resume missing")
+	}
+}
+
+func TestSinkOperationsAreOneWay(t *testing.T) {
+	root := parse(t, ForWSESink(wse.V200408, "http://x/sink"))
+	for _, pt := range root.ChildrenNamed(xmldom.N(NS, "portType")) {
+		for _, op := range pt.ChildrenNamed(xmldom.N(NS, "operation")) {
+			if op.Child(xmldom.N(NS, "output")) != nil {
+				t.Errorf("sink operation %s has an output", op.AttrValue(xmldom.N("", "name")))
+			}
+		}
+	}
+}
+
+func TestBrokerWSDLUnionOfSpecs(t *testing.T) {
+	root := parse(t, ForBroker("http://x/"))
+	ops := opNames(root)
+	for _, want := range []string{"SubscribeWSE", "SubscribeWSE01", "SubscribeWSN", "SubscribeWSN10", "Notify"} {
+		if !ops[want] {
+			t.Errorf("broker WSDL missing %s", want)
+		}
+	}
+	// Action URIs from both families appear.
+	doc := ForBroker("http://x/").Document()
+	if !strings.Contains(doc, wse.NS200408) || !strings.Contains(doc, wsnt.NS1_3) {
+		t.Error("broker WSDL missing family namespaces")
+	}
+}
+
+func TestServiceSectionAddresses(t *testing.T) {
+	d := ForWSNProducer(wsnt.V1_3, "http://example.org/producer")
+	root := parse(t, d)
+	svc := root.Child(xmldom.N(NS, "service"))
+	if svc == nil {
+		t.Fatal("service missing")
+	}
+	port := svc.Child(xmldom.N(NS, "port"))
+	addr := port.Child(xmldom.N(NSSOAP, "address"))
+	if addr.AttrValue(xmldom.N("", "location")) != "http://example.org/producer" {
+		t.Errorf("address = %q", addr.AttrValue(xmldom.N("", "location")))
+	}
+	// Binding uses document/literal over HTTP.
+	binding := root.Child(xmldom.N(NS, "binding"))
+	sb := binding.Child(xmldom.N(NSSOAP, "binding"))
+	if sb.AttrValue(xmldom.N("", "style")) != "document" {
+		t.Error("binding style should be document")
+	}
+}
+
+func TestMessagesDeclaredForEveryOperation(t *testing.T) {
+	d := ForWSEManager(wse.V200408, "http://x")
+	root := parse(t, d)
+	msgs := map[string]bool{}
+	for _, m := range root.ChildrenNamed(xmldom.N(NS, "message")) {
+		msgs[m.AttrValue(xmldom.N("", "name"))] = true
+	}
+	for _, op := range d.Operations {
+		if !msgs[op.Name+"Request"] {
+			t.Errorf("missing %sRequest message", op.Name)
+		}
+		if !op.OneWay && !msgs[op.Name+"Response"] {
+			t.Errorf("missing %sResponse message", op.Name)
+		}
+	}
+}

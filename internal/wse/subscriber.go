@@ -1,0 +1,151 @@
+package wse
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// Handle is the subscriber's grip on a created subscription: the manager
+// endpoint (with the identifier embedded for 8/2004) and the id.
+type Handle struct {
+	Version Version
+	Manager *wsa.EndpointReference
+	ID      string
+	Expires time.Time
+}
+
+// Subscriber is the client-side role that creates and manages
+// subscriptions on behalf of event sinks — the architectural separation
+// both specs converged on (Fig. 1 of the paper).
+type Subscriber struct {
+	// Client is the transport used for requests.
+	Client transport.Client
+	// Version is the spec version to speak.
+	Version Version
+}
+
+func (s *Subscriber) send(ctx context.Context, addr, action string, body *xmldom.Element, extraHeaders ...*xmldom.Element) (*soap.Envelope, error) {
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: s.Version.WSAVersion(), To: addr, Action: action,
+		MessageID: fmt.Sprintf("urn:uuid:wse-req-%d", time.Now().UnixNano())}
+	h.Apply(env)
+	for _, hd := range extraHeaders {
+		env.AddHeader(hd)
+	}
+	env.AddBody(body)
+	return s.Client.Call(ctx, addr, env)
+}
+
+// managed sends a management request addressed by the handle: for 8/2004
+// the manager EPR's identity parameters (including wse:Identifier) are
+// echoed as headers; for 1/2004 the id rides in the body, which the
+// message builders already arranged.
+func (s *Subscriber) managed(ctx context.Context, h *Handle, action string, body *xmldom.Element) (*soap.Envelope, error) {
+	env := soap.New(soap.V11)
+	hd := wsa.DestinationEPR(h.Manager, action, fmt.Sprintf("urn:uuid:wse-req-%d", time.Now().UnixNano()))
+	hd.Apply(env)
+	env.AddBody(body)
+	return s.Client.Call(ctx, h.Manager.Address, env)
+}
+
+// Subscribe creates a subscription at the event source.
+func (s *Subscriber) Subscribe(ctx context.Context, sourceAddr string, req *SubscribeRequest) (*Handle, error) {
+	if req.Mode != "" && s.Version == V200401 {
+		// 1/2004 has no Delivery extension point — non-push modes cannot
+		// even be expressed in its subscribe message.
+		return nil, FaultDeliveryModeUnavailable(s.Version, req.Mode)
+	}
+	resp, err := s.send(ctx, sourceAddr, s.Version.ActionSubscribe(), req.Element(s.Version))
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil || resp.FirstBody() == nil {
+		return nil, fmt.Errorf("wse: empty subscribe response")
+	}
+	sr, _, err := ParseSubscribeResponse(resp.FirstBody())
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{Version: s.Version, ID: sr.ID}
+	if sr.Manager != nil {
+		h.Manager = sr.Manager
+	} else {
+		// 1/2004: the source is the manager and the id is a bare element.
+		h.Manager = wsa.NewEPR(s.Version.WSAVersion(), sourceAddr)
+	}
+	if sr.Expires != "" {
+		if t, err := xsdt.ParseDateTime(sr.Expires); err == nil {
+			h.Expires = t
+		}
+	}
+	return h, nil
+}
+
+// Renew extends the subscription; expires is a raw duration/dateTime or
+// empty for source-chooses. The granted expiry updates the handle.
+func (s *Subscriber) Renew(ctx context.Context, h *Handle, expires string) (time.Time, error) {
+	resp, err := s.managed(ctx, h, s.Version.ActionRenew(), NewRenew(s.Version, h.ID, expires))
+	if err != nil {
+		return time.Time{}, err
+	}
+	granted := resp.FirstBody().ChildText(xmldom.N(s.Version.NS(), "Expires"))
+	if granted == "" {
+		h.Expires = time.Time{}
+		return time.Time{}, nil
+	}
+	t, err := xsdt.ParseDateTime(granted)
+	if err != nil {
+		return time.Time{}, err
+	}
+	h.Expires = t
+	return t, nil
+}
+
+// GetStatus queries the subscription's current expiry (8/2004 only).
+func (s *Subscriber) GetStatus(ctx context.Context, h *Handle) (time.Time, error) {
+	if !s.Version.SupportsGetStatus() {
+		return time.Time{}, fmt.Errorf("wse: GetStatus is not defined in %v", s.Version)
+	}
+	resp, err := s.managed(ctx, h, s.Version.ActionGetStatus(), NewGetStatus(s.Version))
+	if err != nil {
+		return time.Time{}, err
+	}
+	granted := resp.FirstBody().ChildText(xmldom.N(s.Version.NS(), "Expires"))
+	if granted == "" {
+		return time.Time{}, nil
+	}
+	return xsdt.ParseDateTime(granted)
+}
+
+// Unsubscribe ends the subscription.
+func (s *Subscriber) Unsubscribe(ctx context.Context, h *Handle) error {
+	_, err := s.managed(ctx, h, s.Version.ActionUnsubscribe(), NewUnsubscribe(s.Version, h.ID))
+	return err
+}
+
+// Pull retrieves up to max queued notifications from a pull-mode
+// subscription (8/2004 only).
+func (s *Subscriber) Pull(ctx context.Context, h *Handle, max int) ([]*xmldom.Element, error) {
+	if !s.Version.SupportsPull() {
+		return nil, fmt.Errorf("wse: Pull is not defined in %v", s.Version)
+	}
+	resp, err := s.managed(ctx, h, s.Version.ActionPull(), NewPull(s.Version, max))
+	if err != nil {
+		return nil, err
+	}
+	ns := s.Version.NS()
+	var out []*xmldom.Element
+	for _, m := range resp.FirstBody().ChildrenNamed(xmldom.N(ns, "Message")) {
+		if len(m.ChildElements()) > 0 {
+			out = append(out, m.ChildElements()[0])
+		}
+	}
+	return out, nil
+}

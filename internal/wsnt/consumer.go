@@ -1,0 +1,120 @@
+package wsnt
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsrf"
+	"repro/internal/xmldom"
+)
+
+// Received is one notification as seen by a consumer.
+type Received struct {
+	// Payload is the message content.
+	Payload *xmldom.Element
+	// Topic is set for wrapped deliveries that carried one.
+	Topic topics.Path
+	// Wrapped reports whether the message arrived inside a Notify.
+	Wrapped bool
+	// SubscriptionID identifies the subscription (1.3 wrapped form only).
+	SubscriptionID string
+}
+
+// Consumer is a WS-BaseNotification NotificationConsumer: it accepts both
+// the wrapped Notify form and raw messages (§V.3 "Message encapsulation"),
+// plus WSRF TerminationNotifications. It implements transport.Handler.
+type Consumer struct {
+	// OnNotify is called for each notification.
+	OnNotify func(r Received)
+	// OnTermination is called when a WSRF TerminationNotification arrives.
+	OnTermination func(reason string)
+
+	mu           sync.Mutex
+	received     []Received
+	terminations []string
+}
+
+// ServeSOAP implements transport.Handler.
+func (c *Consumer) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil {
+		return nil, nil
+	}
+	// WSRF termination notice (the 1.0 SubscriptionEnd analogue).
+	if body.Name == xmldom.N(wsrf.NSRL, "TerminationNotification") {
+		reason := body.ChildText(xmldom.N(wsrf.NSRL, "TerminationReason"))
+		c.mu.Lock()
+		c.terminations = append(c.terminations, reason)
+		cb := c.OnTermination
+		c.mu.Unlock()
+		if cb != nil {
+			cb(reason)
+		}
+		return nil, nil
+	}
+	// Wrapped Notify of either version.
+	if body.Name.Local == "Notify" && (body.Name.Space == NS1_0 || body.Name.Space == NS1_3) {
+		msgs, v, err := ParseNotify(body)
+		if err != nil {
+			return nil, nil
+		}
+		for _, m := range msgs {
+			r := Received{Payload: m.Payload, Topic: m.Topic, Wrapped: true}
+			if m.SubscriptionReference != nil {
+				for _, p := range m.SubscriptionReference.IdentityParameters() {
+					if p.Name == v.SubscriptionIDName() {
+						r.SubscriptionID = trimmed(p)
+					}
+				}
+			}
+			c.record(r)
+		}
+		return nil, nil
+	}
+	// Raw message: the body itself is the payload.
+	c.record(Received{Payload: body})
+	return nil, nil
+}
+
+func trimmed(el *xmldom.Element) string { return strings.TrimSpace(el.Text()) }
+
+func (c *Consumer) record(r Received) {
+	c.mu.Lock()
+	c.received = append(c.received, r)
+	cb := c.OnNotify
+	c.mu.Unlock()
+	if cb != nil {
+		cb(r)
+	}
+}
+
+// Received returns a snapshot of delivered notifications.
+func (c *Consumer) Received() []Received {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Received, len(c.received))
+	copy(out, c.received)
+	return out
+}
+
+// Count reports how many notifications arrived.
+func (c *Consumer) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.received)
+}
+
+// Terminations returns the termination notices seen.
+func (c *Consumer) Terminations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.terminations))
+	copy(out, c.terminations)
+	return out
+}
+
+var _ transport.Handler = (*Consumer)(nil)

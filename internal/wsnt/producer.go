@@ -1,0 +1,607 @@
+package wsnt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/soap"
+	"repro/internal/sublease"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsrf"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// ProducerConfig configures a notification producer.
+type ProducerConfig struct {
+	// Version selects which WS-BaseNotification release to speak.
+	Version Version
+	// Address is the producer endpoint (Subscribe, GetCurrentMessage).
+	Address string
+	// ManagerAddress is the subscription manager endpoint; defaults to
+	// Address.
+	ManagerAddress string
+	// Client delivers notifications.
+	Client transport.Client
+	// Clock is injectable for tests.
+	Clock func() time.Time
+	// DefaultExpiry is granted when InitialTerminationTime is omitted;
+	// zero grants indefinite subscriptions.
+	DefaultExpiry time.Duration
+	// MaxExpiry caps grants; zero means no cap.
+	MaxExpiry time.Duration
+	// Properties is the producer's resource-properties document, the
+	// target of ProducerProperties filters.
+	Properties *xmldom.Element
+	// Topics is the supported topic space. When FixedTopicSet is true,
+	// subscriptions whose topic expression matches nothing in the space
+	// are rejected with TopicNotSupportedFault.
+	Topics        *topics.Space
+	FixedTopicSet bool
+	// FailureLimit drops a subscription after this many consecutive
+	// delivery failures (default 3).
+	FailureLimit int
+}
+
+func (c *ProducerConfig) withDefaults() ProducerConfig {
+	out := *c
+	if out.ManagerAddress == "" {
+		out.ManagerAddress = out.Address
+	}
+	if out.Clock == nil {
+		out.Clock = time.Now
+	}
+	if out.FailureLimit <= 0 {
+		out.FailureLimit = 3
+	}
+	if out.Topics == nil {
+		out.Topics = topics.NewSpace()
+	}
+	return out
+}
+
+// subscription is the lease payload.
+type subscription struct {
+	consumer  *wsa.EndpointReference
+	flt       filter.All
+	useRaw    bool
+	topicExpr string
+
+	mu       sync.Mutex
+	failures int
+}
+
+// Producer is a WS-BaseNotification NotificationProducer plus its
+// subscription manager.
+type Producer struct {
+	cfg     ProducerConfig
+	store   *sublease.Store
+	msgID   uint64
+	mu      sync.Mutex
+	current map[string]*xmldom.Element // last message per concrete topic
+	wsrfSvc *wsrf.Service
+}
+
+// NewProducer builds a producer.
+func NewProducer(cfg ProducerConfig) *Producer {
+	p := &Producer{cfg: cfg.withDefaults(), current: map[string]*xmldom.Element{}}
+	p.store = sublease.NewStore(
+		sublease.WithClock(p.cfg.Clock),
+		sublease.WithIDPrefix("wsnt"),
+		sublease.WithEndObserver(p.onLeaseEnd),
+	)
+	p.wsrfSvc = &wsrf.Service{
+		Provider:    wsrfProvider{p},
+		Clock:       p.cfg.Clock,
+		IDExtractor: p.subscriptionIDFromEnvelope,
+	}
+	return p
+}
+
+// Version returns the spec version.
+func (p *Producer) Version() Version { return p.cfg.Version }
+
+// Address returns the producer endpoint address.
+func (p *Producer) Address() string { return p.cfg.Address }
+
+// ManagerAddress returns the subscription manager address.
+func (p *Producer) ManagerAddress() string { return p.cfg.ManagerAddress }
+
+// SubscriptionCount reports live subscriptions.
+func (p *Producer) SubscriptionCount() int { return len(p.store.Active()) }
+
+// Store exposes the lease store (scavenger wiring).
+func (p *Producer) Store() *sublease.Store { return p.store }
+
+// TopicSpace returns the producer's topic space.
+func (p *Producer) TopicSpace() *topics.Space { return p.cfg.Topics }
+
+func (p *Producer) nextMessageID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgID++
+	return fmt.Sprintf("urn:uuid:wsnt-msg-%d", p.msgID)
+}
+
+func (p *Producer) subscriptionIDFromEnvelope(env *soap.Envelope) string {
+	if h := env.Header(p.cfg.Version.SubscriptionIDName()); h != nil {
+		return strings.TrimSpace(h.Text())
+	}
+	return ""
+}
+
+// ProducerHandler returns the handler for the producer endpoint:
+// Subscribe and GetCurrentMessage.
+func (p *Producer) ProducerHandler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body == nil {
+			return nil, FaultSubscribeCreationFailed(p.cfg.Version, "empty body")
+		}
+		ns := p.cfg.Version.NS()
+		switch body.Name {
+		case xmldom.N(ns, "Subscribe"):
+			return p.handleSubscribe(env)
+		case xmldom.N(ns, "GetCurrentMessage"):
+			return p.handleGetCurrentMessage(env)
+		}
+		if p.cfg.ManagerAddress == p.cfg.Address {
+			return p.handleManagement(ctx, env)
+		}
+		return nil, FaultUnsupportedOperation(p.cfg.Version, body.Name.Local)
+	})
+}
+
+// ManagerHandler returns the subscription manager handler. For 1.0 this is
+// a WSRF service (plus the required pause/resume); for 1.3 it exposes the
+// native Renew/Unsubscribe/Pause/Resume operations.
+func (p *Producer) ManagerHandler() transport.Handler {
+	return transport.HandlerFunc(p.handleManagement)
+}
+
+func (p *Producer) handleSubscribe(env *soap.Envelope) (*soap.Envelope, error) {
+	v := p.cfg.Version
+	req, reqVer, err := ParseSubscribe(env.FirstBody())
+	if err != nil {
+		return nil, FaultSubscribeCreationFailed(v, err.Error())
+	}
+	if reqVer != v {
+		return nil, FaultSubscribeCreationFailed(v,
+			fmt.Sprintf("subscribe uses %v, this producer speaks %v", reqVer, v))
+	}
+	if req.ConsumerReference == nil {
+		return nil, FaultSubscribeCreationFailed(v, "missing ConsumerReference")
+	}
+	if v.RequiresTopic() && req.TopicExpression == "" {
+		return nil, FaultSubscribeCreationFailed(v,
+			"WS-Notification 1.0 requires a TopicExpression in every subscription")
+	}
+
+	flt, err := req.BuildFilter(v)
+	if err != nil {
+		return nil, FaultInvalidFilter(v, err.Error())
+	}
+
+	// Topic support check against the advertised topic space.
+	if req.TopicExpression != "" && p.cfg.FixedTopicSet {
+		dialect := req.TopicDialect
+		if dialect == "" {
+			dialect = topics.DialectConcrete
+		}
+		te, err := topics.ParseExpression(dialect, req.TopicExpression, req.TopicNS)
+		if err != nil {
+			return nil, FaultInvalidFilter(v, err.Error())
+		}
+		if !p.cfg.Topics.Supports(te) {
+			return nil, FaultTopicNotSupported(v, req.TopicExpression)
+		}
+	}
+
+	expires, err := p.grantExpiry(req.InitialTerminationTime)
+	if err != nil {
+		return nil, FaultUnacceptableTerminationTime(v, err.Error())
+	}
+
+	sub := &subscription{
+		consumer:  req.ConsumerReference,
+		flt:       flt,
+		useRaw:    req.UseRaw,
+		topicExpr: req.TopicExpression,
+	}
+	lease := p.store.Create(sub, expires)
+
+	now := p.cfg.Clock()
+	resp := &SubscribeResponse{
+		SubscriptionReference: wsa.NewEPR(v.WSAVersion(), p.cfg.ManagerAddress),
+		ID:                    lease.ID,
+		CurrentTime:           xsdt.FormatDateTime(now),
+	}
+	if !expires.IsZero() {
+		resp.TerminationTime = xsdt.FormatDateTime(expires)
+	}
+	out := soap.New(env.Version)
+	p.replyHeaders(env, v.ActionSubscribeResponse()).Apply(out)
+	out.AddBody(resp.Element(v))
+	return out, nil
+}
+
+// grantExpiry resolves a raw InitialTerminationTime. Version 1.0 accepts
+// only absolute dateTimes — the Table 1 row "Specify subscription
+// expiration using duration" is No until 1.3.
+func (p *Producer) grantExpiry(raw string) (time.Time, error) {
+	now := p.cfg.Clock()
+	raw = strings.TrimSpace(raw)
+	var t time.Time
+	switch {
+	case raw == "":
+	case xsdt.LooksLikeDuration(raw):
+		if !p.cfg.Version.SupportsDurationExpiry() {
+			return time.Time{}, fmt.Errorf("duration expirations require version 1.3, got %q", raw)
+		}
+		d, err := xsdt.ParseDuration(raw)
+		if err != nil {
+			return time.Time{}, err
+		}
+		t = d.AddTo(now)
+	default:
+		var err error
+		t, err = xsdt.ParseDateTime(raw)
+		if err != nil {
+			return time.Time{}, err
+		}
+	}
+	if t.IsZero() && p.cfg.DefaultExpiry > 0 {
+		t = now.Add(p.cfg.DefaultExpiry)
+	}
+	if !t.IsZero() && p.cfg.MaxExpiry > 0 {
+		if limit := now.Add(p.cfg.MaxExpiry); t.After(limit) {
+			t = limit
+		}
+	}
+	return t, nil
+}
+
+func (p *Producer) replyHeaders(req *soap.Envelope, action string) *wsa.MessageHeaders {
+	h := &wsa.MessageHeaders{Version: p.cfg.Version.WSAVersion(), Action: action, MessageID: p.nextMessageID()}
+	if in, ok := wsa.ParseHeaders(req); ok {
+		h.RelatesTo = in.MessageID
+	}
+	return h
+}
+
+func (p *Producer) handleGetCurrentMessage(env *soap.Envelope) (*soap.Envelope, error) {
+	v := p.cfg.Version
+	ns := v.NS()
+	body := env.FirstBody()
+	te := body.Child(xmldom.N(ns, "Topic"))
+	if te == nil {
+		return nil, FaultSubscribeCreationFailed(v, "GetCurrentMessage requires a Topic")
+	}
+	dialect := te.AttrValue(xmldom.N("", "Dialect"))
+	if dialect == "" {
+		dialect = topics.DialectConcrete
+	}
+	expr, err := topics.ParseExpression(dialect, strings.TrimSpace(te.Text()), te.ScopeBindings())
+	if err != nil {
+		return nil, FaultInvalidFilter(v, err.Error())
+	}
+	cp, ok := expr.ConcretePath()
+	if !ok {
+		return nil, FaultInvalidFilter(v, "GetCurrentMessage requires a concrete topic")
+	}
+	p.mu.Lock()
+	msg := p.current[cp.String()]
+	p.mu.Unlock()
+	if msg == nil {
+		return nil, FaultNoCurrentMessage(v, cp.String())
+	}
+	out := soap.New(env.Version)
+	p.replyHeaders(env, v.NS()+"/GetCurrentMessageResponse").Apply(out)
+	out.AddBody(xmldom.Elem(ns, "GetCurrentMessageResponse", msg.Clone()))
+	return out, nil
+}
+
+func (p *Producer) handleManagement(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	v := p.cfg.Version
+	ns := v.NS()
+	body := env.FirstBody()
+	if body == nil {
+		return nil, FaultSubscribeCreationFailed(v, "empty body")
+	}
+	id := p.subscriptionIDFromEnvelope(env)
+	switch body.Name {
+	case xmldom.N(ns, "PauseSubscription"):
+		if err := p.store.Pause(id); err != nil {
+			return nil, FaultUnknownSubscription(v, id)
+		}
+		out := soap.New(env.Version)
+		p.replyHeaders(env, ns+"/PauseSubscriptionResponse").Apply(out)
+		out.AddBody(xmldom.NewElement(xmldom.N(ns, "PauseSubscriptionResponse")))
+		return out, nil
+
+	case xmldom.N(ns, "ResumeSubscription"):
+		if err := p.store.Resume(id); err != nil {
+			return nil, FaultUnknownSubscription(v, id)
+		}
+		out := soap.New(env.Version)
+		p.replyHeaders(env, ns+"/ResumeSubscriptionResponse").Apply(out)
+		out.AddBody(xmldom.NewElement(xmldom.N(ns, "ResumeSubscriptionResponse")))
+		return out, nil
+
+	case xmldom.N(ns, "Renew"):
+		if !v.SupportsNativeManagement() {
+			// Table 2: 1.0 renews through WSRF SetTerminationTime only.
+			return nil, FaultUnsupportedOperation(v, "Renew")
+		}
+		raw := body.ChildText(xmldom.N(ns, "TerminationTime"))
+		expires, err := p.grantExpiry(raw)
+		if err != nil {
+			return nil, FaultUnacceptableTerminationTime(v, err.Error())
+		}
+		granted, err := p.store.Renew(id, expires)
+		if err != nil {
+			return nil, FaultUnknownSubscription(v, id)
+		}
+		out := soap.New(env.Version)
+		p.replyHeaders(env, ns+"/RenewResponse").Apply(out)
+		resp := xmldom.NewElement(xmldom.N(ns, "RenewResponse"))
+		if !granted.IsZero() {
+			resp.Append(xmldom.Elem(ns, "TerminationTime", xsdt.FormatDateTime(granted)))
+		}
+		resp.Append(xmldom.Elem(ns, "CurrentTime", xsdt.FormatDateTime(p.cfg.Clock())))
+		out.AddBody(resp)
+		return out, nil
+
+	case xmldom.N(ns, "Unsubscribe"):
+		if !v.SupportsNativeManagement() {
+			// Table 2: 1.0 unsubscribes through WSRF Destroy only.
+			return nil, FaultUnsupportedOperation(v, "Unsubscribe")
+		}
+		if err := p.store.Cancel(id, sublease.EndCancelled); err != nil {
+			return nil, FaultUnknownSubscription(v, id)
+		}
+		out := soap.New(env.Version)
+		p.replyHeaders(env, ns+"/UnsubscribeResponse").Apply(out)
+		out.AddBody(xmldom.NewElement(xmldom.N(ns, "UnsubscribeResponse")))
+		return out, nil
+	}
+
+	// WSRF operations: the 1.0 path (and 1.3's optional composition —
+	// this implementation keeps it enabled only where required).
+	if wsrf.Handles(env) {
+		if !v.RequiresWSRF() {
+			return nil, FaultUnsupportedOperation(v,
+				body.Name.Local+" (WSRF is optional in 1.3 and not composed here)")
+		}
+		return p.wsrfSvc.ServeSOAP(context.Background(), env)
+	}
+	return nil, FaultUnsupportedOperation(v, body.Name.Local)
+}
+
+// Publish delivers a payload on a topic to every matching subscription and
+// records it as the topic's current message. It returns the number of
+// deliveries attempted.
+func (p *Producer) Publish(ctx context.Context, topic topics.Path, payload *xmldom.Element) (int, error) {
+	if !topic.IsZero() {
+		p.cfg.Topics.Add(topic)
+		p.mu.Lock()
+		p.current[topic.String()] = payload.Clone()
+		p.mu.Unlock()
+	}
+	msg := filter.Message{Topic: topic, Payload: payload, ProducerProperties: p.cfg.Properties}
+	var firstErr error
+	delivered := 0
+	for _, sn := range p.store.Deliverable() {
+		sub := sn.Data.(*subscription)
+		ok, err := sub.flt.Accepts(msg)
+		if err != nil || !ok {
+			continue
+		}
+		delivered++
+		if err := p.deliver(ctx, sn.ID, sub, topic, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return delivered, firstErr
+}
+
+// PublishBatch wraps several messages into one Notify per subscriber —
+// the efficiency case for the wrapped mode (§V.3 "Delivery mode").
+func (p *Producer) PublishBatch(ctx context.Context, topic topics.Path, payloads []*xmldom.Element) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	if !topic.IsZero() {
+		p.cfg.Topics.Add(topic)
+		p.mu.Lock()
+		p.current[topic.String()] = payloads[len(payloads)-1].Clone()
+		p.mu.Unlock()
+	}
+	v := p.cfg.Version
+	var firstErr error
+	delivered := 0
+	for _, sn := range p.store.Deliverable() {
+		sub := sn.Data.(*subscription)
+		var accepted []*xmldom.Element
+		for _, pl := range payloads {
+			ok, err := sub.flt.Accepts(filter.Message{Topic: topic, Payload: pl, ProducerProperties: p.cfg.Properties})
+			if err == nil && ok {
+				accepted = append(accepted, pl)
+			}
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		delivered++
+		var err error
+		if sub.useRaw {
+			for _, pl := range accepted {
+				if e := p.send(ctx, sn.ID, sub, pl.Clone()); e != nil && err == nil {
+					err = e
+				}
+			}
+		} else {
+			msgs := make([]*NotificationMessage, len(accepted))
+			for i, pl := range accepted {
+				msgs[i] = p.notificationMessage(sn.ID, topic, pl)
+			}
+			err = p.send(ctx, sn.ID, sub, NotifyElement(v, msgs))
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return delivered, firstErr
+}
+
+func (p *Producer) notificationMessage(subID string, topic topics.Path, payload *xmldom.Element) *NotificationMessage {
+	v := p.cfg.Version
+	nm := &NotificationMessage{Topic: topic, Payload: payload.Clone()}
+	if v == V1_3 {
+		ref := wsa.NewEPR(v.WSAVersion(), p.cfg.ManagerAddress)
+		ref.AddReferenceParameter(xmldom.Elem(v.NS(), "SubscriptionId", subID))
+		nm.SubscriptionReference = ref
+		nm.ProducerReference = wsa.NewEPR(v.WSAVersion(), p.cfg.Address)
+	}
+	return nm
+}
+
+// deliver sends one message: raw payload or single-entry Notify, per the
+// subscription's policy (§V.3 "Message encapsulation").
+func (p *Producer) deliver(ctx context.Context, subID string, sub *subscription, topic topics.Path, payload *xmldom.Element) error {
+	if sub.useRaw {
+		return p.send(ctx, subID, sub, payload.Clone())
+	}
+	return p.send(ctx, subID, sub, NotifyElement(p.cfg.Version, []*NotificationMessage{
+		p.notificationMessage(subID, topic, payload),
+	}))
+}
+
+func (p *Producer) send(ctx context.Context, subID string, sub *subscription, body *xmldom.Element) error {
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(sub.consumer, p.cfg.Version.ActionNotify(), p.nextMessageID())
+	h.Apply(env)
+	env.AddBody(body)
+	err := p.cfg.Client.Send(ctx, sub.consumer.Address, env)
+	sub.mu.Lock()
+	if err == nil {
+		sub.failures = 0
+		sub.mu.Unlock()
+		return nil
+	}
+	sub.failures++
+	drop := sub.failures >= p.cfg.FailureLimit
+	sub.mu.Unlock()
+	if drop {
+		p.store.Cancel(subID, sublease.EndDeliveryFailure)
+	}
+	return err
+}
+
+// HasTopicDemand reports whether any live, unpaused subscription would
+// accept messages on the given topic, judged by topic filters alone
+// (content filters depend on payloads that do not exist yet). A
+// subscription without a topic filter demands everything. The notification
+// broker uses this to drive demand-based publishers (§V.5).
+func (p *Producer) HasTopicDemand(topic topics.Path) bool {
+	for _, sn := range p.store.Deliverable() {
+		sub := sn.Data.(*subscription)
+		demand := true
+		for _, f := range sub.flt {
+			if tf, ok := f.(filter.Topic); ok {
+				demand = tf.Expr.Matches(topic)
+				break
+			}
+		}
+		if demand {
+			return true
+		}
+	}
+	return false
+}
+
+// Shutdown ends all subscriptions (1.0 consumers receive WSRF
+// TerminationNotifications).
+func (p *Producer) Shutdown() { p.store.Shutdown() }
+
+// Scavenge expires lapsed subscriptions.
+func (p *Producer) Scavenge() int { return p.store.Scavenge() }
+
+// onLeaseEnd sends the WSRF TerminationNotification — the WSN analogue of
+// SubscriptionEnd (Table 2) — to the consumer. Only 1.0 composes WSRF, so
+// 1.3 subscriptions end silently, exactly the gap the paper's Table 1
+// lower rows record.
+func (p *Producer) onLeaseEnd(sn sublease.Snapshot, reason sublease.EndReason) {
+	if !p.cfg.Version.RequiresWSRF() {
+		return
+	}
+	sub, ok := sn.Data.(*subscription)
+	if !ok {
+		return
+	}
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(sub.consumer, wsrf.ActionTerminationNotice, p.nextMessageID())
+	h.Apply(env)
+	env.AddBody(wsrf.NewTerminationNotification(p.cfg.Clock(), string(reason)))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = p.cfg.Client.Send(ctx, sub.consumer.Address, env)
+}
+
+// --- WSRF resource adapter (1.0 subscriptions are WS-Resources) ---
+
+type wsrfProvider struct{ p *Producer }
+
+func (wp wsrfProvider) Resource(id string) (wsrf.Resource, error) {
+	if _, err := wp.p.store.Get(id); err != nil {
+		return nil, err
+	}
+	return &subResource{p: wp.p, id: id}, nil
+}
+
+type subResource struct {
+	p  *Producer
+	id string
+}
+
+// PropertyDocument renders the subscription's resource properties — what
+// a 1.0 subscriber reads instead of calling GetStatus (Table 2).
+func (r *subResource) PropertyDocument() (*xmldom.Element, error) {
+	sn, err := r.p.store.Get(r.id)
+	if err != nil {
+		return nil, err
+	}
+	sub := sn.Data.(*subscription)
+	ns := r.p.cfg.Version.NS()
+	doc := xmldom.NewElement(xmldom.N(ns, "SubscriptionProperties"))
+	doc.Append(xmldom.Elem(ns, "CreationTime", xsdt.FormatDateTime(sn.CreatedAt)))
+	if !sn.Expires.IsZero() {
+		doc.Append(xmldom.Elem(ns, "TerminationTime", xsdt.FormatDateTime(sn.Expires)))
+	}
+	if sub.topicExpr != "" {
+		doc.Append(xmldom.Elem(ns, "TopicExpression", sub.topicExpr))
+	}
+	status := "Active"
+	if sn.Paused {
+		status = "Paused"
+	}
+	doc.Append(xmldom.Elem(ns, "Status", status))
+	doc.Append(xmldom.Elem(ns, "ConsumerReference", sub.consumer.Address))
+	return doc, nil
+}
+
+// SetTerminationTime implements renew-via-WSRF.
+func (r *subResource) SetTerminationTime(t time.Time) (time.Time, error) {
+	return r.p.store.Renew(r.id, t)
+}
+
+// Destroy implements unsubscribe-via-WSRF.
+func (r *subResource) Destroy() error {
+	return r.p.store.Cancel(r.id, sublease.EndCancelled)
+}

@@ -1,0 +1,247 @@
+package wsnt
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/xmldom"
+)
+
+// PullPointService implements the WS-Notification 1.3 PullPoint interface:
+// CreatePullPoint mints a pull point; each pull point is "treated as a
+// regular push event consumer from a publisher's perspective" (§V.3) —
+// notifications delivered to it queue up until the real consumer drains
+// them with GetMessages. This is how consumers behind firewalls receive
+// events, the scenario the paper highlights for pull delivery.
+//
+// The service lives at one factory address; individual pull points are
+// addressed by a PullPointId reference parameter.
+type PullPointService struct {
+	// Address is the factory/service endpoint.
+	Address string
+	// QueueCap bounds each pull point's queue (default 1024, drop-oldest).
+	QueueCap int
+
+	mu     sync.Mutex
+	nextID int
+	points map[string]*pullPoint
+}
+
+type pullPoint struct {
+	mu      sync.Mutex
+	queue   []*xmldom.Element
+	dropped int
+}
+
+// PullPointIDName is the reference parameter naming a pull point.
+var PullPointIDName = xmldom.N(NS1_3, "PullPointId")
+
+// NewPullPointService builds an empty service.
+func NewPullPointService(address string) *PullPointService {
+	return &PullPointService{Address: address, QueueCap: 1024, points: map[string]*pullPoint{}}
+}
+
+// Count reports the number of live pull points.
+func (s *PullPointService) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// ServeSOAP implements transport.Handler: CreatePullPoint, GetMessages and
+// DestroyPullPoint requests, plus Notify/raw deliveries addressed to a
+// pull point (which are enqueued).
+func (s *PullPointService) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil {
+		return nil, soap.Faultf(soap.FaultSender, "pullpoint: empty body")
+	}
+	switch body.Name {
+	case xmldom.N(NS1_3, "CreatePullPoint"):
+		return s.create(env)
+	case xmldom.N(NS1_3, "GetMessages"):
+		return s.getMessages(env, body)
+	case xmldom.N(NS1_3, "DestroyPullPoint"):
+		return s.destroy(env)
+	}
+	// Anything else is a delivery to the addressed pull point.
+	pp, err := s.lookup(env)
+	if err != nil {
+		return nil, err
+	}
+	var payloads []*xmldom.Element
+	if body.Name == xmldom.N(NS1_3, "Notify") || body.Name == xmldom.N(NS1_0, "Notify") {
+		// Store complete NotificationMessages so GetMessages can return
+		// them with topics intact.
+		msgs, _, _ := ParseNotify(body)
+		for _, m := range msgs {
+			payloads = append(payloads, notifySingle(m))
+		}
+	} else {
+		payloads = append(payloads, body.Clone())
+	}
+	pp.mu.Lock()
+	for _, pl := range payloads {
+		if len(pp.queue) >= s.queueCap() {
+			pp.queue = pp.queue[1:]
+			pp.dropped++
+		}
+		pp.queue = append(pp.queue, pl)
+	}
+	pp.mu.Unlock()
+	return nil, nil
+}
+
+func notifySingle(m *NotificationMessage) *xmldom.Element {
+	return NotifyElement(V1_3, []*NotificationMessage{m})
+}
+
+func (s *PullPointService) queueCap() int {
+	if s.QueueCap <= 0 {
+		return 1024
+	}
+	return s.QueueCap
+}
+
+func (s *PullPointService) create(env *soap.Envelope) (*soap.Envelope, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("pp-%d", s.nextID)
+	s.points[id] = &pullPoint{}
+	s.mu.Unlock()
+
+	epr := wsa.NewEPR(wsa.V200508, s.Address)
+	epr.AddReferenceParameter(xmldom.Elem(PullPointIDName.Space, PullPointIDName.Local, id))
+	out := soap.New(env.Version)
+	out.AddBody(xmldom.Elem(NS1_3, "CreatePullPointResponse",
+		epr.Element(xmldom.N(NS1_3, "PullPoint"))))
+	return out, nil
+}
+
+func (s *PullPointService) lookup(env *soap.Envelope) (*pullPoint, error) {
+	id := ""
+	if h := env.Header(PullPointIDName); h != nil {
+		id = strings.TrimSpace(h.Text())
+	}
+	s.mu.Lock()
+	pp := s.points[id]
+	s.mu.Unlock()
+	if pp == nil {
+		f := soap.Faultf(soap.FaultSender, "unknown pull point %q", id)
+		f.Subcode = xmldom.N(NS1_3, "UnableToGetMessagesFault")
+		return nil, f
+	}
+	return pp, nil
+}
+
+func (s *PullPointService) getMessages(env *soap.Envelope, body *xmldom.Element) (*soap.Envelope, error) {
+	pp, err := s.lookup(env)
+	if err != nil {
+		return nil, err
+	}
+	max := 0
+	if m := body.ChildText(xmldom.N(NS1_3, "MaximumNumber")); m != "" {
+		max, _ = strconv.Atoi(m)
+	}
+	pp.mu.Lock()
+	n := len(pp.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	batch := pp.queue[:n:n]
+	pp.queue = append([]*xmldom.Element(nil), pp.queue[n:]...)
+	pp.mu.Unlock()
+
+	out := soap.New(env.Version)
+	resp := xmldom.NewElement(xmldom.N(NS1_3, "GetMessagesResponse"))
+	for _, m := range batch {
+		resp.Append(m)
+	}
+	out.AddBody(resp)
+	return out, nil
+}
+
+func (s *PullPointService) destroy(env *soap.Envelope) (*soap.Envelope, error) {
+	id := ""
+	if h := env.Header(PullPointIDName); h != nil {
+		id = strings.TrimSpace(h.Text())
+	}
+	s.mu.Lock()
+	_, ok := s.points[id]
+	delete(s.points, id)
+	s.mu.Unlock()
+	if !ok {
+		f := soap.Faultf(soap.FaultSender, "unknown pull point %q", id)
+		f.Subcode = xmldom.N(NS1_3, "UnableToDestroyPullPointFault")
+		return nil, f
+	}
+	out := soap.New(env.Version)
+	out.AddBody(xmldom.NewElement(xmldom.N(NS1_3, "DestroyPullPointResponse")))
+	return out, nil
+}
+
+var _ transport.Handler = (*PullPointService)(nil)
+
+// --- Client helpers ---
+
+// CreatePullPoint asks the factory for a new pull point EPR.
+func CreatePullPoint(ctx context.Context, client transport.Client, factoryAddr string) (*wsa.EndpointReference, error) {
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: factoryAddr, Action: V1_3.ActionCreatePullPoint()}
+	h.Apply(env)
+	env.AddBody(xmldom.NewElement(xmldom.N(NS1_3, "CreatePullPoint")))
+	resp, err := client.Call(ctx, factoryAddr, env)
+	if err != nil {
+		return nil, err
+	}
+	ppEl := resp.FirstBody().Child(xmldom.N(NS1_3, "PullPoint"))
+	if ppEl == nil {
+		return nil, fmt.Errorf("wsnt: CreatePullPointResponse missing PullPoint")
+	}
+	return wsa.ParseEPR(ppEl)
+}
+
+// GetMessages drains up to max messages (0 = all) from a pull point.
+// Wrapped entries are unwrapped to their NotificationMessages.
+func GetMessages(ctx context.Context, client transport.Client, pp *wsa.EndpointReference, max int) ([]*NotificationMessage, error) {
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(pp, V1_3.ActionGetMessages(), "")
+	h.Apply(env)
+	req := xmldom.NewElement(xmldom.N(NS1_3, "GetMessages"))
+	if max > 0 {
+		req.Append(xmldom.Elem(NS1_3, "MaximumNumber", strconv.Itoa(max)))
+	}
+	env.AddBody(req)
+	resp, err := client.Call(ctx, pp.Address, env)
+	if err != nil {
+		return nil, err
+	}
+	var out []*NotificationMessage
+	for _, child := range resp.FirstBody().ChildElements() {
+		if child.Name.Local == "Notify" {
+			msgs, _, err := ParseNotify(child)
+			if err == nil {
+				out = append(out, msgs...)
+			}
+			continue
+		}
+		out = append(out, &NotificationMessage{Payload: child})
+	}
+	return out, nil
+}
+
+// DestroyPullPoint removes a pull point.
+func DestroyPullPoint(ctx context.Context, client transport.Client, pp *wsa.EndpointReference) error {
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(pp, V1_3.ActionDestroyPullPoint(), "")
+	h.Apply(env)
+	env.AddBody(xmldom.NewElement(xmldom.N(NS1_3, "DestroyPullPoint")))
+	_, err := client.Call(ctx, pp.Address, env)
+	return err
+}

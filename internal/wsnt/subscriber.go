@@ -1,0 +1,181 @@
+package wsnt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsrf"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// Handle is the subscriber's grip on a created WS-Notification
+// subscription.
+type Handle struct {
+	Version               Version
+	SubscriptionReference *wsa.EndpointReference
+	ID                    string
+	TerminationTime       time.Time
+}
+
+// Subscriber is the client-side role creating and managing subscriptions.
+// For 1.0 the management operations route through WSRF (Table 2); the
+// methods below pick the right wire operation per version so callers write
+// version-independent code.
+type Subscriber struct {
+	Client  transport.Client
+	Version Version
+}
+
+func (s *Subscriber) request(ctx context.Context, addr, action string, body *xmldom.Element) (*soap.Envelope, error) {
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: s.Version.WSAVersion(), To: addr, Action: action,
+		MessageID: fmt.Sprintf("urn:uuid:wsnt-req-%d", time.Now().UnixNano())}
+	h.Apply(env)
+	env.AddBody(body)
+	return s.Client.Call(ctx, addr, env)
+}
+
+func (s *Subscriber) managed(ctx context.Context, h *Handle, action string, body *xmldom.Element) (*soap.Envelope, error) {
+	env := soap.New(soap.V11)
+	hd := wsa.DestinationEPR(h.SubscriptionReference, action,
+		fmt.Sprintf("urn:uuid:wsnt-req-%d", time.Now().UnixNano()))
+	hd.Apply(env)
+	env.AddBody(body)
+	return s.Client.Call(ctx, h.SubscriptionReference.Address, env)
+}
+
+// Subscribe creates a subscription at the producer.
+func (s *Subscriber) Subscribe(ctx context.Context, producerAddr string, req *SubscribeRequest) (*Handle, error) {
+	resp, err := s.request(ctx, producerAddr, s.Version.ActionSubscribe(), req.Element(s.Version))
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil || resp.FirstBody() == nil {
+		return nil, fmt.Errorf("wsnt: empty subscribe response")
+	}
+	sr, _, err := ParseSubscribeResponse(resp.FirstBody())
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{Version: s.Version, SubscriptionReference: sr.SubscriptionReference, ID: sr.ID}
+	if sr.TerminationTime != "" {
+		if t, err := xsdt.ParseDateTime(sr.TerminationTime); err == nil {
+			h.TerminationTime = t
+		}
+	}
+	return h, nil
+}
+
+// Renew extends the subscription. For 1.3 it uses the native Renew
+// operation; for 1.0 it must go through WSRF SetTerminationTime, and the
+// expiry must be an absolute dateTime.
+func (s *Subscriber) Renew(ctx context.Context, h *Handle, expires string) (time.Time, error) {
+	if s.Version.SupportsNativeManagement() {
+		body := xmldom.NewElement(xmldom.N(s.Version.NS(), "Renew"))
+		if expires != "" {
+			body.Append(xmldom.Elem(s.Version.NS(), "TerminationTime", expires))
+		}
+		resp, err := s.managed(ctx, h, s.Version.ActionRenew(), body)
+		if err != nil {
+			return time.Time{}, err
+		}
+		granted := resp.FirstBody().ChildText(xmldom.N(s.Version.NS(), "TerminationTime"))
+		if granted == "" {
+			h.TerminationTime = time.Time{}
+			return time.Time{}, nil
+		}
+		t, err := xsdt.ParseDateTime(granted)
+		if err == nil {
+			h.TerminationTime = t
+		}
+		return t, err
+	}
+	// 1.0: WSRF SetTerminationTime.
+	var abs time.Time
+	if expires != "" {
+		var err error
+		abs, err = xsdt.ParseDateTime(expires)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("wsnt 1.0 renews need an absolute dateTime: %w", err)
+		}
+	}
+	env := wsrf.NewSetTerminationTime(h.SubscriptionReference, "", abs)
+	resp, err := s.Client.Call(ctx, h.SubscriptionReference.Address, env)
+	if err != nil {
+		return time.Time{}, err
+	}
+	t, err := wsrf.ParseSetTerminationTimeResponse(resp)
+	if err == nil {
+		h.TerminationTime = t
+	}
+	return t, err
+}
+
+// Unsubscribe ends the subscription: native in 1.3, WSRF Destroy in 1.0.
+func (s *Subscriber) Unsubscribe(ctx context.Context, h *Handle) error {
+	if s.Version.SupportsNativeManagement() {
+		_, err := s.managed(ctx, h, s.Version.ActionUnsubscribe(),
+			xmldom.NewElement(xmldom.N(s.Version.NS(), "Unsubscribe")))
+		return err
+	}
+	_, err := s.Client.Call(ctx, h.SubscriptionReference.Address,
+		wsrf.NewDestroy(h.SubscriptionReference, ""))
+	return err
+}
+
+// Status queries the subscription state. 1.0 (and any WSRF-composed
+// deployment) reads the resource-properties document; 1.3 as implemented
+// here has no native status operation, mirroring Table 2.
+func (s *Subscriber) Status(ctx context.Context, h *Handle) (*xmldom.Element, error) {
+	resp, err := s.Client.Call(ctx, h.SubscriptionReference.Address,
+		wsrf.NewGetResourcePropertyDocument(h.SubscriptionReference, ""))
+	if err != nil {
+		return nil, err
+	}
+	b := resp.FirstBody()
+	if b == nil || len(b.ChildElements()) == 0 {
+		return nil, fmt.Errorf("wsnt: empty property document response")
+	}
+	return b.ChildElements()[0], nil
+}
+
+// Pause suspends delivery.
+func (s *Subscriber) Pause(ctx context.Context, h *Handle) error {
+	_, err := s.managed(ctx, h, s.Version.ActionPause(),
+		xmldom.NewElement(xmldom.N(s.Version.NS(), "PauseSubscription")))
+	return err
+}
+
+// Resume re-enables delivery.
+func (s *Subscriber) Resume(ctx context.Context, h *Handle) error {
+	_, err := s.managed(ctx, h, s.Version.ActionResume(),
+		xmldom.NewElement(xmldom.N(s.Version.NS(), "ResumeSubscription")))
+	return err
+}
+
+// GetCurrentMessage fetches the last message published on a topic.
+func (s *Subscriber) GetCurrentMessage(ctx context.Context, producerAddr, topicExpr, dialect string, ns map[string]string) (*xmldom.Element, error) {
+	body := xmldom.NewElement(xmldom.N(s.Version.NS(), "GetCurrentMessage"))
+	te := xmldom.Elem(s.Version.NS(), "Topic", topicExpr)
+	if dialect != "" {
+		te.SetAttr(xmldom.N("", "Dialect"), dialect)
+	}
+	for p, uri := range ns {
+		te.DeclarePrefix(p, uri)
+	}
+	body.Append(te)
+	resp, err := s.request(ctx, producerAddr, s.Version.ActionGetCurrentMessage(), body)
+	if err != nil {
+		return nil, err
+	}
+	b := resp.FirstBody()
+	if b == nil || len(b.ChildElements()) == 0 {
+		return nil, fmt.Errorf("wsnt: empty GetCurrentMessage response")
+	}
+	return b.ChildElements()[0], nil
+}

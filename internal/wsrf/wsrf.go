@@ -1,0 +1,275 @@
+// Package wsrf implements the slice of the WS-Resource Framework that
+// WS-Notification 1.0 depends on: WS-ResourceProperties queries and
+// WS-ResourceLifetime management.
+//
+// Before version 1.3, WS-Notification had no Renew/Unsubscribe/GetStatus
+// operations of its own — a subscription was a WS-Resource, so a
+// subscriber managed it with GetResourceProperties (status),
+// SetTerminationTime (renew), Destroy (unsubscribe) and learned of its end
+// through a TerminationNotification (Table 2 of the paper). This package
+// provides those operations generically so the wsnt package can expose
+// subscriptions (and producers) as resources, and so the comparison probes
+// can demonstrate the WSRF fallback paths that Table 2 documents.
+package wsrf
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// Namespaces (OASIS WSRF 1.2 draft era, matching WSN 1.0's dependencies).
+const (
+	// NSRP is the WS-ResourceProperties namespace.
+	NSRP = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd"
+	// NSRL is the WS-ResourceLifetime namespace.
+	NSRL = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd"
+)
+
+// WS-Addressing action URIs for the operations.
+const (
+	ActionGetResourceProperty = NSRP + "/GetResourceProperty"
+	ActionGetResourceProps    = NSRP + "/GetResourcePropertyDocument"
+	ActionSetTerminationTime  = NSRL + "/SetTerminationTime"
+	ActionDestroy             = NSRL + "/Destroy"
+	ActionTerminationNotice   = NSRL + "/TerminationNotification"
+)
+
+func init() {
+	xmldom.RegisterPrefix(NSRP, "wsrp")
+	xmldom.RegisterPrefix(NSRL, "wsrl")
+}
+
+// ResourceIDHeader is the reference parameter/property header that
+// identifies which resource a request addresses. The wsnt package puts the
+// subscription id in it.
+var ResourceIDHeader = xmldom.N(NSRL, "ResourceID")
+
+// Resource is what a WSRF service manages: a property document, a
+// termination time, and destruction.
+type Resource interface {
+	// PropertyDocument returns the resource-properties document root.
+	PropertyDocument() (*xmldom.Element, error)
+	// SetTerminationTime reschedules destruction; zero means "never".
+	// It returns the granted time.
+	SetTerminationTime(t time.Time) (time.Time, error)
+	// Destroy removes the resource immediately.
+	Destroy() error
+}
+
+// Provider resolves resource ids to resources.
+type Provider interface {
+	Resource(id string) (Resource, error)
+}
+
+// ErrResourceUnknown is the canonical unknown-resource failure; it maps to
+// the ResourceUnknownFault subcode on the wire.
+var ErrResourceUnknown = soap.Faultf(soap.FaultSender, "resource unknown")
+
+func init() {
+	ErrResourceUnknown.Subcode = xmldom.N(NSRL, "ResourceUnknownFault")
+}
+
+// Service dispatches WSRF requests against a Provider. It implements
+// transport.Handler semantics via ServeSOAP.
+type Service struct {
+	Provider Provider
+	// Clock is injectable for tests; time.Now when nil.
+	Clock func() time.Time
+	// IDExtractor overrides how the addressed resource id is recovered
+	// from a request; the default reads the wsrl:ResourceID header. The
+	// wsnt package points this at its SubscriptionId reference property.
+	IDExtractor func(*soap.Envelope) string
+}
+
+func (s *Service) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// resourceID extracts the addressed resource from the echoed reference
+// parameters.
+func resourceID(env *soap.Envelope) string {
+	if h := env.Header(ResourceIDHeader); h != nil {
+		return strings.TrimSpace(h.Text())
+	}
+	return ""
+}
+
+// Handles reports whether the body element is a WSRF request this service
+// understands — used by composite endpoints that front several protocols.
+func Handles(env *soap.Envelope) bool {
+	b := env.FirstBody()
+	if b == nil {
+		return false
+	}
+	switch b.Name {
+	case xmldom.N(NSRP, "GetResourcePropertyDocument"),
+		xmldom.N(NSRP, "GetResourceProperty"),
+		xmldom.N(NSRL, "SetTerminationTime"),
+		xmldom.N(NSRL, "Destroy"):
+		return true
+	}
+	return false
+}
+
+// ServeSOAP dispatches one WSRF request.
+func (s *Service) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil {
+		return nil, soap.Faultf(soap.FaultSender, "wsrf: empty request body")
+	}
+	extract := s.IDExtractor
+	if extract == nil {
+		extract = resourceID
+	}
+	res, err := s.Provider.Resource(extract(env))
+	if err != nil {
+		return nil, ErrResourceUnknown
+	}
+	switch body.Name {
+	case xmldom.N(NSRP, "GetResourcePropertyDocument"):
+		doc, err := res.PropertyDocument()
+		if err != nil {
+			return nil, err
+		}
+		resp := soap.New(env.Version)
+		resp.AddBody(xmldom.Elem(NSRP, "GetResourcePropertyDocumentResponse", doc))
+		return resp, nil
+
+	case xmldom.N(NSRP, "GetResourceProperty"):
+		doc, err := res.PropertyDocument()
+		if err != nil {
+			return nil, err
+		}
+		want := strings.TrimSpace(body.Text())
+		// The QName in content cannot be prefix-resolved after parsing, so
+		// we match on the local part — sufficient for the property
+		// vocabularies in this repository, which never collide on locals.
+		local := want
+		if i := strings.LastIndex(want, ":"); i >= 0 {
+			local = want[i+1:]
+		}
+		resp := soap.New(env.Version)
+		out := xmldom.NewElement(xmldom.N(NSRP, "GetResourcePropertyResponse"))
+		for _, c := range doc.ChildElements() {
+			if c.Name.Local == local {
+				out.Append(c.Clone())
+			}
+		}
+		resp.AddBody(out)
+		return resp, nil
+
+	case xmldom.N(NSRL, "SetTerminationTime"):
+		var requested time.Time
+		rt := body.Child(xmldom.N(NSRL, "RequestedTerminationTime"))
+		if rt != nil {
+			txt := strings.TrimSpace(rt.Text())
+			if txt != "" {
+				requested, err = xsdt.ParseDateTime(txt)
+				if err != nil {
+					return nil, soap.Faultf(soap.FaultSender, "wsrf: bad RequestedTerminationTime: %v", err)
+				}
+			}
+		}
+		granted, err := res.SetTerminationTime(requested)
+		if err != nil {
+			return nil, err
+		}
+		resp := soap.New(env.Version)
+		grantedText := ""
+		if !granted.IsZero() {
+			grantedText = xsdt.FormatDateTime(granted)
+		}
+		resp.AddBody(xmldom.Elem(NSRL, "SetTerminationTimeResponse",
+			xmldom.Elem(NSRL, "NewTerminationTime", grantedText),
+			xmldom.Elem(NSRL, "CurrentTime", xsdt.FormatDateTime(s.now())),
+		))
+		return resp, nil
+
+	case xmldom.N(NSRL, "Destroy"):
+		if err := res.Destroy(); err != nil {
+			return nil, err
+		}
+		resp := soap.New(env.Version)
+		resp.AddBody(xmldom.NewElement(xmldom.N(NSRL, "DestroyResponse")))
+		return resp, nil
+	}
+	return nil, soap.Faultf(soap.FaultSender, "wsrf: unknown request %v", body.Name)
+}
+
+// --- Client-side request builders ---
+
+// addressed builds an envelope with addressing headers and the ResourceID
+// reference parameter.
+func addressed(epr *wsa.EndpointReference, action, resourceID string, body *xmldom.Element) *soap.Envelope {
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(epr, action, "")
+	if resourceID != "" {
+		h.Echoed = append(h.Echoed, xmldom.Elem(ResourceIDHeader.Space, ResourceIDHeader.Local, resourceID))
+	}
+	h.Apply(env)
+	env.AddBody(body)
+	return env
+}
+
+// NewGetResourcePropertyDocument builds the query for the whole document.
+func NewGetResourcePropertyDocument(epr *wsa.EndpointReference, resourceID string) *soap.Envelope {
+	return addressed(epr, ActionGetResourceProps, resourceID,
+		xmldom.NewElement(xmldom.N(NSRP, "GetResourcePropertyDocument")))
+}
+
+// NewGetResourceProperty builds the single-property query.
+func NewGetResourceProperty(epr *wsa.EndpointReference, resourceID, propertyQName string) *soap.Envelope {
+	return addressed(epr, ActionGetResourceProperty, resourceID,
+		xmldom.Elem(NSRP, "GetResourceProperty", propertyQName))
+}
+
+// NewSetTerminationTime builds the renew-equivalent request; zero time
+// requests an indefinite lifetime.
+func NewSetTerminationTime(epr *wsa.EndpointReference, resourceID string, t time.Time) *soap.Envelope {
+	tt := ""
+	if !t.IsZero() {
+		tt = xsdt.FormatDateTime(t)
+	}
+	return addressed(epr, ActionSetTerminationTime, resourceID,
+		xmldom.Elem(NSRL, "SetTerminationTime",
+			xmldom.Elem(NSRL, "RequestedTerminationTime", tt)))
+}
+
+// NewDestroy builds the unsubscribe-equivalent request.
+func NewDestroy(epr *wsa.EndpointReference, resourceID string) *soap.Envelope {
+	return addressed(epr, ActionDestroy, resourceID,
+		xmldom.NewElement(xmldom.N(NSRL, "Destroy")))
+}
+
+// NewTerminationNotification builds the notice a WS-Resource sends when it
+// is destroyed — WSN 1.0's substitute for WS-Eventing's SubscriptionEnd.
+func NewTerminationNotification(terminated time.Time, reason string) *xmldom.Element {
+	el := xmldom.Elem(NSRL, "TerminationNotification",
+		xmldom.Elem(NSRL, "TerminationTime", xsdt.FormatDateTime(terminated)))
+	if reason != "" {
+		el.Append(xmldom.Elem(NSRL, "TerminationReason", reason))
+	}
+	return el
+}
+
+// ParseSetTerminationTimeResponse extracts the granted termination time.
+func ParseSetTerminationTimeResponse(env *soap.Envelope) (time.Time, error) {
+	b := env.FirstBody()
+	if b == nil || b.Name != xmldom.N(NSRL, "SetTerminationTimeResponse") {
+		return time.Time{}, soap.Faultf(soap.FaultSender, "wsrf: not a SetTerminationTimeResponse")
+	}
+	txt := b.ChildText(xmldom.N(NSRL, "NewTerminationTime"))
+	if txt == "" {
+		return time.Time{}, nil
+	}
+	return xsdt.ParseDateTime(txt)
+}

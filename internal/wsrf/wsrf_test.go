@@ -1,0 +1,233 @@
+package wsrf
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/xmldom"
+	"repro/internal/xsdt"
+)
+
+// memResource is an in-memory WS-Resource for tests.
+type memResource struct {
+	props     *xmldom.Element
+	term      time.Time
+	destroyed bool
+}
+
+func (r *memResource) PropertyDocument() (*xmldom.Element, error) { return r.props.Clone(), nil }
+
+func (r *memResource) SetTerminationTime(t time.Time) (time.Time, error) {
+	r.term = t
+	return t, nil
+}
+
+func (r *memResource) Destroy() error {
+	r.destroyed = true
+	return nil
+}
+
+type memProvider map[string]*memResource
+
+func (p memProvider) Resource(id string) (Resource, error) {
+	r, ok := p[id]
+	if !ok || r.destroyed {
+		return nil, errors.New("unknown")
+	}
+	return r, nil
+}
+
+func fixture() (*Service, memProvider, *wsa.EndpointReference, *transport.Loopback) {
+	res := &memResource{props: xmldom.MustParse(
+		`<props xmlns="urn:p"><Status>Active</Status><Topic>grid/jobs</Topic><Topic>grid/alerts</Topic></props>`)}
+	prov := memProvider{"r1": res}
+	svc := &Service{Provider: prov, Clock: func() time.Time {
+		return time.Date(2006, 2, 1, 12, 0, 0, 0, time.UTC)
+	}}
+	lb := transport.NewLoopback()
+	lb.Register("svc://mgr", svc)
+	epr := wsa.NewEPR(wsa.V200303, "svc://mgr")
+	return svc, prov, epr, lb
+}
+
+func TestGetResourcePropertyDocument(t *testing.T) {
+	_, _, epr, lb := fixture()
+	resp, err := lb.Call(context.Background(), "svc://mgr", NewGetResourcePropertyDocument(epr, "r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := resp.FirstBody()
+	if body.Name != xmldom.N(NSRP, "GetResourcePropertyDocumentResponse") {
+		t.Fatalf("body = %v", body.Name)
+	}
+	doc := body.ChildElements()[0]
+	if doc.ChildText(xmldom.N("urn:p", "Status")) != "Active" {
+		t.Errorf("status = %q", doc.ChildText(xmldom.N("urn:p", "Status")))
+	}
+}
+
+func TestGetResourceProperty(t *testing.T) {
+	_, _, epr, lb := fixture()
+	resp, err := lb.Call(context.Background(), "svc://mgr", NewGetResourceProperty(epr, "r1", "p:Topic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.FirstBody().ChildElements()
+	if len(got) != 2 {
+		t.Fatalf("matched %d properties, want 2", len(got))
+	}
+	for _, el := range got {
+		if el.Name.Local != "Topic" {
+			t.Errorf("wrong property %v", el.Name)
+		}
+	}
+}
+
+func TestSetTerminationTime(t *testing.T) {
+	_, prov, epr, lb := fixture()
+	want := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	resp, err := lb.Call(context.Background(), "svc://mgr", NewSetTerminationTime(epr, "r1", want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := ParseSetTerminationTimeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted.Equal(want) {
+		t.Errorf("granted = %v, want %v", granted, want)
+	}
+	if !prov["r1"].term.Equal(want) {
+		t.Errorf("resource term = %v", prov["r1"].term)
+	}
+	// CurrentTime is present and parseable.
+	ct := resp.FirstBody().ChildText(xmldom.N(NSRL, "CurrentTime"))
+	if _, err := xsdt.ParseDateTime(ct); err != nil {
+		t.Errorf("CurrentTime = %q: %v", ct, err)
+	}
+}
+
+func TestSetTerminationTimeIndefinite(t *testing.T) {
+	_, _, epr, lb := fixture()
+	resp, err := lb.Call(context.Background(), "svc://mgr", NewSetTerminationTime(epr, "r1", time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := ParseSetTerminationTimeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted.IsZero() {
+		t.Errorf("granted = %v, want zero", granted)
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	_, prov, epr, lb := fixture()
+	resp, err := lb.Call(context.Background(), "svc://mgr", NewDestroy(epr, "r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FirstBody().Name != xmldom.N(NSRL, "DestroyResponse") {
+		t.Errorf("body = %v", resp.FirstBody().Name)
+	}
+	if !prov["r1"].destroyed {
+		t.Error("resource not destroyed")
+	}
+	// Subsequent requests fault with ResourceUnknownFault.
+	_, err = lb.Call(context.Background(), "svc://mgr", NewDestroy(epr, "r1"))
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Subcode.Local != "ResourceUnknownFault" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownResource(t *testing.T) {
+	_, _, epr, lb := fixture()
+	_, err := lb.Call(context.Background(), "svc://mgr", NewGetResourcePropertyDocument(epr, "missing"))
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Subcode.Local != "ResourceUnknownFault" {
+		t.Errorf("err = %v", err)
+	}
+	// Missing ResourceID header behaves the same.
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.NewElement(xmldom.N(NSRP, "GetResourcePropertyDocument")))
+	_, err = lb.Call(context.Background(), "svc://mgr", env)
+	if !errors.As(err, &f) {
+		t.Errorf("no-id err = %v", err)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	_, _, epr, lb := fixture()
+	env := soap.New(soap.V11)
+	h := wsa.DestinationEPR(epr, "urn:whatever", "")
+	h.Echoed = append(h.Echoed, xmldom.Elem(NSRL, "ResourceID", "r1"))
+	h.Apply(env)
+	env.AddBody(xmldom.NewElement(xmldom.N("urn:other", "Strange")))
+	_, err := lb.Call(context.Background(), "svc://mgr", env)
+	if err == nil {
+		t.Error("unknown operation accepted")
+	}
+}
+
+func TestHandles(t *testing.T) {
+	env := NewDestroy(wsa.NewEPR(wsa.V200303, "svc://x"), "r1")
+	parsed, _ := soap.ParseBytes(env.Marshal())
+	if !Handles(parsed) {
+		t.Error("Destroy not recognised")
+	}
+	other := soap.New(soap.V11)
+	other.AddBody(xmldom.Elem("urn:x", "Subscribe"))
+	if Handles(other) {
+		t.Error("non-WSRF request recognised")
+	}
+	if Handles(soap.New(soap.V11)) {
+		t.Error("empty body recognised")
+	}
+}
+
+func TestTerminationNotification(t *testing.T) {
+	ts := time.Date(2006, 2, 1, 13, 0, 0, 0, time.UTC)
+	el := NewTerminationNotification(ts, "lease expired")
+	if el.Name != xmldom.N(NSRL, "TerminationNotification") {
+		t.Fatalf("name = %v", el.Name)
+	}
+	if el.ChildText(xmldom.N(NSRL, "TerminationReason")) != "lease expired" {
+		t.Error("reason missing")
+	}
+	got, err := xsdt.ParseDateTime(el.ChildText(xmldom.N(NSRL, "TerminationTime")))
+	if err != nil || !got.Equal(ts) {
+		t.Errorf("time = %v %v", got, err)
+	}
+	// Reason is optional.
+	el2 := NewTerminationNotification(ts, "")
+	if el2.Child(xmldom.N(NSRL, "TerminationReason")) != nil {
+		t.Error("empty reason should be omitted")
+	}
+}
+
+func TestParseSetTerminationTimeResponseErrors(t *testing.T) {
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:x", "Wrong"))
+	if _, err := ParseSetTerminationTimeResponse(env); err == nil {
+		t.Error("wrong body accepted")
+	}
+}
+
+func TestBadRequestedTerminationTime(t *testing.T) {
+	_, _, epr, lb := fixture()
+	env := addressed(epr, ActionSetTerminationTime, "r1",
+		xmldom.Elem(NSRL, "SetTerminationTime",
+			xmldom.Elem(NSRL, "RequestedTerminationTime", "not-a-date")))
+	_, err := lb.Call(context.Background(), "svc://mgr", env)
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != soap.FaultSender {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePreservesPrefixDecls(t *testing.T) {
+	root := MustParse(`<f xmlns:m="urn:market" xmlns="urn:def">//m:price &gt; 80</f>`)
+	b := root.ScopeBindings()
+	if b["m"] != "urn:market" {
+		t.Errorf("m = %q", b["m"])
+	}
+	if b[""] != "urn:def" {
+		t.Errorf("default = %q", b[""])
+	}
+}
+
+func TestScopeBindingsInheritAndShadow(t *testing.T) {
+	root := MustParse(`<a xmlns:p="urn:outer"><b><c xmlns:p="urn:inner"/></b></a>`)
+	b := root.ChildElements()[0]
+	c := b.ChildElements()[0]
+	if got := b.ScopeBindings()["p"]; got != "urn:outer" {
+		t.Errorf("b scope p = %q", got)
+	}
+	if got := c.ScopeBindings()["p"]; got != "urn:inner" {
+		t.Errorf("c scope p = %q", got)
+	}
+}
+
+func TestMarshalReEmitsPrefixDecls(t *testing.T) {
+	f := Elem("urn:spec", "Filter", "//m:price > 80")
+	f.DeclarePrefix("m", "urn:market")
+	out := Marshal(f)
+	if !strings.Contains(out, `xmlns:m="urn:market"`) {
+		t.Fatalf("declaration lost: %s", out)
+	}
+	back := MustParse(out)
+	if back.ScopeBindings()["m"] != "urn:market" {
+		t.Error("binding not recoverable after round trip")
+	}
+	if strings.TrimSpace(back.Text()) != "//m:price > 80" {
+		t.Errorf("content = %q", back.Text())
+	}
+}
+
+func TestMarshalDeclCollidesWithSerializerPrefix(t *testing.T) {
+	// The content declares prefix "tc" for urn:one while an element in
+	// urn:two would also like "tc" via the registry.
+	RegisterPrefix("urn:decl:two", "tc")
+	root := Elem("urn:decl:two", "outer", Elem("", "Filter", "tc:x"))
+	root.ChildElements()[0].DeclarePrefix("tc", "urn:decl:one")
+	out := Marshal(root)
+	back := MustParse(out)
+	inner := back.ChildElements()[0]
+	if inner.ScopeBindings()["tc"] != "urn:decl:one" {
+		t.Errorf("inner tc = %q in %s", inner.ScopeBindings()["tc"], out)
+	}
+	if back.Name != N("urn:decl:two", "outer") {
+		t.Errorf("outer name corrupted: %v", back.Name)
+	}
+}
+
+func TestMarshalDeclSameBindingNotDuplicated(t *testing.T) {
+	root := Elem("", "a", Elem("", "b"))
+	root.DeclarePrefix("m", "urn:m")
+	root.ChildElements()[0].DeclarePrefix("m", "urn:m")
+	out := Marshal(root)
+	if strings.Count(out, `xmlns:m=`) != 1 {
+		t.Errorf("redundant redeclaration: %s", out)
+	}
+}
+
+func TestCloneCopiesDecls(t *testing.T) {
+	e := Elem("", "f", "m:x")
+	e.DeclarePrefix("m", "urn:m")
+	cp := e.Clone()
+	if cp.ScopeBindings()["m"] != "urn:m" {
+		t.Error("clone lost decls")
+	}
+	cp.DeclarePrefix("m", "urn:other")
+	if e.ScopeBindings()["m"] != "urn:m" {
+		t.Error("clone decls alias original")
+	}
+}
+
+func TestDeclarePrefixReplaces(t *testing.T) {
+	e := NewElement(N("", "x"))
+	e.DeclarePrefix("p", "urn:1")
+	e.DeclarePrefix("p", "urn:2")
+	if len(e.Decls) != 1 || e.ScopeBindings()["p"] != "urn:2" {
+		t.Errorf("decls = %v", e.Decls)
+	}
+}
+
+func TestRoundTripFilterThroughEnvelopeScope(t *testing.T) {
+	// A filter nested in a larger message keeps its binding even when the
+	// envelope itself uses generated prefixes.
+	doc := MustParse(`<e:Env xmlns:e="urn:env"><e:Body>` +
+		`<s:Subscribe xmlns:s="urn:spec"><s:Filter xmlns:m="urn:market">boolean(//m:q)</s:Filter></s:Subscribe>` +
+		`</e:Body></e:Env>`)
+	out := Marshal(doc)
+	back := MustParse(out)
+	f := back.Find(N("urn:spec", "Filter"))
+	if f == nil {
+		t.Fatal("filter lost")
+	}
+	if f.ScopeBindings()["m"] != "urn:market" {
+		t.Errorf("filter binding = %q\n%s", f.ScopeBindings()["m"], out)
+	}
+}

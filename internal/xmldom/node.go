@@ -1,0 +1,428 @@
+// Package xmldom implements a small, namespace-aware XML document object
+// model used as the substrate for all SOAP and WS-* message plumbing in this
+// repository.
+//
+// The model is deliberately minimal: elements, attributes and character
+// data. Namespaces are resolved at parse time, so every element and
+// attribute carries its full namespace URI rather than a prefix. Prefixes
+// are re-synthesised at serialisation time from a preferred-prefix registry,
+// which keeps comparisons and filtering logic prefix-independent — the
+// property the WS-Messenger mediation layer depends on (two messages that
+// differ only in prefix choice are the same message).
+package xmldom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Name identifies an XML element or attribute by namespace URI and local
+// name. Prefixes are intentionally absent: they are a serialisation detail.
+type Name struct {
+	Space string // namespace URI, empty for no namespace
+	Local string // local part
+}
+
+// N is shorthand for constructing a Name.
+func N(space, local string) Name { return Name{Space: space, Local: local} }
+
+// String renders the name in Clark notation ({uri}local), the conventional
+// prefix-free spelling.
+func (n Name) String() string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+// Attr is a single attribute. Namespace declarations (xmlns, xmlns:*) are
+// never stored as attributes; they are reconstructed when serialising.
+type Attr struct {
+	Name  Name
+	Value string
+}
+
+// Node is implemented by the two node kinds that can appear in element
+// content: *Element and Text.
+type Node interface {
+	nodeKind() string
+}
+
+// Text is character data appearing in element content.
+type Text string
+
+func (Text) nodeKind() string { return "text" }
+
+// Element is an XML element: a name, attributes, and ordered child nodes.
+// Parent links are maintained by the mutator methods and by the parser so
+// XPath axes (parent, ancestor) work.
+//
+// Decls records the namespace prefixes declared on this element. Element
+// and attribute names never need it (they carry resolved URIs), but
+// QNames and XPath expressions in *content* — filter expressions, topic
+// paths, fault subcodes — are resolved against the in-scope declarations,
+// so the parser preserves them and the serialiser re-emits them.
+type Element struct {
+	Name     Name
+	Attrs    []Attr
+	Children []Node
+	Decls    []PrefixDecl
+	parent   *Element
+}
+
+// PrefixDecl is one xmlns declaration ("" prefix = default namespace).
+type PrefixDecl struct {
+	Prefix string
+	URI    string
+}
+
+// DeclarePrefix records a prefix binding on the element for QNames used in
+// its content.
+func (e *Element) DeclarePrefix(prefix, uri string) *Element {
+	for i := range e.Decls {
+		if e.Decls[i].Prefix == prefix {
+			e.Decls[i].URI = uri
+			return e
+		}
+	}
+	e.Decls = append(e.Decls, PrefixDecl{Prefix: prefix, URI: uri})
+	return e
+}
+
+// ScopeBindings returns the prefix bindings in scope at this element,
+// nearest declaration winning. The default namespace is under key "".
+func (e *Element) ScopeBindings() map[string]string {
+	var chain []*Element
+	for cur := e; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	out := map[string]string{}
+	for i := len(chain) - 1; i >= 0; i-- {
+		for _, d := range chain[i].Decls {
+			out[d.Prefix] = d.URI
+		}
+	}
+	return out
+}
+
+func (*Element) nodeKind() string { return "element" }
+
+// NewElement returns an element with the given name and no content.
+func NewElement(name Name) *Element { return &Element{Name: name} }
+
+// Elem is a convenience constructor: namespace, local name, then any mix of
+// *Element, Text, string (converted to Text), and Attr children.
+func Elem(space, local string, content ...any) *Element {
+	e := NewElement(N(space, local))
+	for _, c := range content {
+		switch v := c.(type) {
+		case *Element:
+			e.Append(v)
+		case Text:
+			e.AppendText(string(v))
+		case string:
+			e.AppendText(v)
+		case Attr:
+			e.SetAttr(v.Name, v.Value)
+		case []*Element:
+			for _, ch := range v {
+				e.Append(ch)
+			}
+		case nil:
+			// skip — lets callers build optional content inline
+		default:
+			panic(fmt.Sprintf("xmldom.Elem: unsupported content type %T", c))
+		}
+	}
+	return e
+}
+
+// Parent returns the element's parent, or nil for a root element.
+func (e *Element) Parent() *Element { return e.parent }
+
+// Append adds child as the last child node and claims parentage of it.
+func (e *Element) Append(child *Element) *Element {
+	child.parent = e
+	e.Children = append(e.Children, child)
+	return e
+}
+
+// AppendText adds character data as the last child node. Empty strings are
+// ignored so that builders can pass optional text unconditionally.
+func (e *Element) AppendText(s string) *Element {
+	if s != "" {
+		e.Children = append(e.Children, Text(s))
+	}
+	return e
+}
+
+// AppendNode adds an arbitrary node, claiming parentage for elements.
+func (e *Element) AppendNode(n Node) *Element {
+	if el, ok := n.(*Element); ok {
+		el.parent = e
+	}
+	e.Children = append(e.Children, n)
+	return e
+}
+
+// RemoveChild removes the first occurrence of child from the child list,
+// clearing its parent link. It reports whether the child was found.
+func (e *Element) RemoveChild(child *Element) bool {
+	for i, n := range e.Children {
+		if n == Node(child) {
+			e.Children = append(e.Children[:i], e.Children[i+1:]...)
+			child.parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// SetAttr sets (or replaces) an attribute value.
+func (e *Element) SetAttr(name Name, value string) *Element {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+	return e
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (e *Element) Attr(name Name) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrValue returns the attribute value, or "" when absent.
+func (e *Element) AttrValue(name Name) string {
+	v, _ := e.Attr(name)
+	return v
+}
+
+// Text returns the concatenation of all descendant character data, the
+// XPath string-value of the element.
+func (e *Element) Text() string {
+	var sb strings.Builder
+	e.writeText(&sb)
+	return sb.String()
+}
+
+func (e *Element) writeText(sb *strings.Builder) {
+	for _, n := range e.Children {
+		switch v := n.(type) {
+		case Text:
+			sb.WriteString(string(v))
+		case *Element:
+			v.writeText(sb)
+		}
+	}
+}
+
+// ChildElements returns the element children, in document order.
+func (e *Element) ChildElements() []*Element {
+	var out []*Element
+	for _, n := range e.Children {
+		if el, ok := n.(*Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Child returns the first child element with the given name, or nil.
+func (e *Element) Child(name Name) *Element {
+	for _, n := range e.Children {
+		if el, ok := n.(*Element); ok && el.Name == name {
+			return el
+		}
+	}
+	return nil
+}
+
+// ChildLocal returns the first child element whose local name matches,
+// regardless of namespace. Mediation uses this to cope with the two specs
+// placing equivalent content under different namespaces.
+func (e *Element) ChildLocal(local string) *Element {
+	for _, n := range e.Children {
+		if el, ok := n.(*Element); ok && el.Name.Local == local {
+			return el
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all child elements with the given name.
+func (e *Element) ChildrenNamed(name Name) []*Element {
+	var out []*Element
+	for _, n := range e.Children {
+		if el, ok := n.(*Element); ok && el.Name == name {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// ChildText returns the trimmed text of the first child with the given
+// name, or "" if the child is absent.
+func (e *Element) ChildText(name Name) string {
+	c := e.Child(name)
+	if c == nil {
+		return ""
+	}
+	return strings.TrimSpace(c.Text())
+}
+
+// Find returns the first descendant element (depth-first, document order)
+// with the given name, or nil. The receiver itself is not considered.
+func (e *Element) Find(name Name) *Element {
+	for _, n := range e.Children {
+		el, ok := n.(*Element)
+		if !ok {
+			continue
+		}
+		if el.Name == name {
+			return el
+		}
+		if found := el.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// FindAll returns every descendant element with the given name in document
+// order.
+func (e *Element) FindAll(name Name) []*Element {
+	var out []*Element
+	var walk func(*Element)
+	walk = func(cur *Element) {
+		for _, n := range cur.Children {
+			if el, ok := n.(*Element); ok {
+				if el.Name == name {
+					out = append(out, el)
+				}
+				walk(el)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Clone returns a deep copy of the element with a nil parent. The copy
+// shares no structure with the original, so mediation can rewrite messages
+// without mutating what the transport layer may still be delivering.
+func (e *Element) Clone() *Element {
+	cp := &Element{Name: e.Name}
+	if len(e.Attrs) > 0 {
+		cp.Attrs = make([]Attr, len(e.Attrs))
+		copy(cp.Attrs, e.Attrs)
+	}
+	if len(e.Decls) > 0 {
+		cp.Decls = make([]PrefixDecl, len(e.Decls))
+		copy(cp.Decls, e.Decls)
+	}
+	for _, n := range e.Children {
+		switch v := n.(type) {
+		case Text:
+			cp.Children = append(cp.Children, v)
+		case *Element:
+			child := v.Clone()
+			child.parent = cp
+			cp.Children = append(cp.Children, child)
+		}
+	}
+	return cp
+}
+
+// Equal reports deep structural equality: same names, same attribute sets
+// (order-insensitive), same child sequences with whitespace-insensitive
+// text comparison. This is the canonical-equivalence test used throughout
+// the test suite and by the mediation round-trip properties.
+func (e *Element) Equal(other *Element) bool {
+	if e == nil || other == nil {
+		return e == other
+	}
+	if e.Name != other.Name {
+		return false
+	}
+	if !attrsEqual(e.Attrs, other.Attrs) {
+		return false
+	}
+	a, b := normalChildren(e), normalChildren(other)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch av := a[i].(type) {
+		case Text:
+			bv, ok := b[i].(Text)
+			if !ok || string(av) != string(bv) {
+				return false
+			}
+		case *Element:
+			bv, ok := b[i].(*Element)
+			if !ok || !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normalChildren collapses adjacent text nodes, trims them, and drops
+// whitespace-only runs, yielding the canonical child sequence.
+func normalChildren(e *Element) []Node {
+	var out []Node
+	var pending strings.Builder
+	flush := func() {
+		if s := strings.TrimSpace(pending.String()); s != "" {
+			out = append(out, Text(s))
+		}
+		pending.Reset()
+	}
+	for _, n := range e.Children {
+		switch v := n.(type) {
+		case Text:
+			pending.WriteString(string(v))
+		case *Element:
+			flush()
+			out = append(out, v)
+		}
+	}
+	flush()
+	return out
+}
+
+func attrsEqual(a, b []Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := make([]Attr, len(a)), make([]Attr, len(b))
+	copy(as, a)
+	copy(bs, b)
+	less := func(s []Attr) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].Name.Space != s[j].Name.Space {
+				return s[i].Name.Space < s[j].Name.Space
+			}
+			return s[i].Name.Local < s[j].Name.Local
+		}
+	}
+	sort.Slice(as, less(as))
+	sort.Slice(bs, less(bs))
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

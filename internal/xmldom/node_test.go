@@ -1,0 +1,357 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNameString(t *testing.T) {
+	if got := N("", "local").String(); got != "local" {
+		t.Errorf("no-namespace name = %q, want %q", got, "local")
+	}
+	if got := N("urn:x", "local").String(); got != "{urn:x}local" {
+		t.Errorf("name = %q, want %q", got, "{urn:x}local")
+	}
+}
+
+func TestElemBuilder(t *testing.T) {
+	e := Elem("urn:a", "root",
+		Attr{Name: N("", "id"), Value: "42"},
+		Elem("urn:a", "child", "hello"),
+		"tail",
+	)
+	if e.Name != N("urn:a", "root") {
+		t.Fatalf("root name = %v", e.Name)
+	}
+	if v := e.AttrValue(N("", "id")); v != "42" {
+		t.Errorf("attr id = %q, want 42", v)
+	}
+	c := e.Child(N("urn:a", "child"))
+	if c == nil {
+		t.Fatal("child not found")
+	}
+	if c.Text() != "hello" {
+		t.Errorf("child text = %q", c.Text())
+	}
+	if c.Parent() != e {
+		t.Error("child parent link not set")
+	}
+	if e.Text() != "hellotail" {
+		t.Errorf("root text = %q", e.Text())
+	}
+}
+
+func TestElemBuilderNilContentSkipped(t *testing.T) {
+	e := Elem("", "r", nil, Elem("", "c"))
+	if len(e.ChildElements()) != 1 {
+		t.Fatalf("children = %d, want 1", len(e.ChildElements()))
+	}
+}
+
+func TestElemBuilderPanicsOnBadContent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported content type")
+		}
+	}()
+	Elem("", "r", 3.14)
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	e := NewElement(N("", "e"))
+	e.SetAttr(N("", "a"), "1")
+	e.SetAttr(N("", "a"), "2")
+	if len(e.Attrs) != 1 || e.AttrValue(N("", "a")) != "2" {
+		t.Errorf("attrs = %v, want single a=2", e.Attrs)
+	}
+}
+
+func TestAttrMissing(t *testing.T) {
+	e := NewElement(N("", "e"))
+	if _, ok := e.Attr(N("", "nope")); ok {
+		t.Error("Attr reported presence of missing attribute")
+	}
+	if e.AttrValue(N("", "nope")) != "" {
+		t.Error("AttrValue of missing attribute should be empty")
+	}
+}
+
+func TestChildHelpers(t *testing.T) {
+	root := Elem("urn:a", "root",
+		Elem("urn:a", "x", "one"),
+		Elem("urn:b", "x", "two"),
+		Elem("urn:a", "y", "three"),
+		Elem("urn:a", "x", "four"),
+	)
+	if c := root.Child(N("urn:b", "x")); c == nil || c.Text() != "two" {
+		t.Errorf("Child(urn:b x) = %v", c)
+	}
+	if c := root.ChildLocal("y"); c == nil || c.Text() != "three" {
+		t.Errorf("ChildLocal(y) = %v", c)
+	}
+	xs := root.ChildrenNamed(N("urn:a", "x"))
+	if len(xs) != 2 || xs[0].Text() != "one" || xs[1].Text() != "four" {
+		t.Errorf("ChildrenNamed = %v", xs)
+	}
+	if got := root.ChildText(N("urn:a", "y")); got != "three" {
+		t.Errorf("ChildText = %q", got)
+	}
+	if got := root.ChildText(N("urn:a", "missing")); got != "" {
+		t.Errorf("ChildText missing = %q", got)
+	}
+}
+
+func TestFindAndFindAll(t *testing.T) {
+	root := MustParse(`<r xmlns:a="urn:a"><m><a:t>1</a:t></m><a:t>2</a:t><m><m><a:t>3</a:t></m></m></r>`)
+	target := N("urn:a", "t")
+	if f := root.Find(target); f == nil || f.Text() != "1" {
+		t.Errorf("Find = %v, want first t", f)
+	}
+	all := root.FindAll(target)
+	if len(all) != 3 {
+		t.Fatalf("FindAll found %d, want 3", len(all))
+	}
+	for i, want := range []string{"1", "2", "3"} {
+		if all[i].Text() != want {
+			t.Errorf("FindAll[%d] = %q, want %q", i, all[i].Text(), want)
+		}
+	}
+}
+
+func TestRemoveChild(t *testing.T) {
+	a := Elem("", "a")
+	b := Elem("", "b")
+	root := Elem("", "root", a, b)
+	if !root.RemoveChild(a) {
+		t.Fatal("RemoveChild returned false for present child")
+	}
+	if a.Parent() != nil {
+		t.Error("removed child still has a parent")
+	}
+	if len(root.ChildElements()) != 1 || root.ChildElements()[0] != b {
+		t.Error("remaining children wrong")
+	}
+	if root.RemoveChild(a) {
+		t.Error("RemoveChild returned true for absent child")
+	}
+}
+
+func TestCloneIsDeepAndDetached(t *testing.T) {
+	orig := Elem("urn:a", "root",
+		Attr{Name: N("", "k"), Value: "v"},
+		Elem("urn:a", "child", "text"),
+	)
+	cp := orig.Clone()
+	if !orig.Equal(cp) {
+		t.Fatal("clone not equal to original")
+	}
+	if cp.Parent() != nil {
+		t.Error("clone should have nil parent")
+	}
+	cp.ChildElements()[0].AppendText("mutated")
+	if orig.ChildElements()[0].Text() != "text" {
+		t.Error("mutating clone affected original")
+	}
+	cp2 := orig.Clone()
+	cp2.SetAttr(N("", "k"), "other")
+	if orig.AttrValue(N("", "k")) != "v" {
+		t.Error("mutating clone attrs affected original")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want bool
+	}{
+		{"identical", `<a>x</a>`, `<a>x</a>`, true},
+		{"prefixes differ, namespaces same", `<p:a xmlns:p="urn:n"/>`, `<q:a xmlns:q="urn:n"/>`, true},
+		{"whitespace-insensitive", "<a>\n  <b/>\n</a>", `<a><b/></a>`, true},
+		{"attr order-insensitive", `<a x="1" y="2"/>`, `<a y="2" x="1"/>`, true},
+		{"text differs", `<a>x</a>`, `<a>y</a>`, false},
+		{"name differs", `<a/>`, `<b/>`, false},
+		{"namespace differs", `<a xmlns="urn:1"/>`, `<a xmlns="urn:2"/>`, false},
+		{"attr value differs", `<a x="1"/>`, `<a x="2"/>`, false},
+		{"extra child", `<a><b/></a>`, `<a><b/><b/></a>`, false},
+		{"child order matters", `<a><b/><c/></a>`, `<a><c/><b/></a>`, false},
+		{"adjacent text collapsed", `<a>xy</a>`, `<a>x<!--c-->y</a>`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := MustParse(tc.a), MustParse(tc.b)
+			if got := a.Equal(b); got != tc.want {
+				t.Errorf("Equal(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	var a *Element
+	if !a.Equal(nil) {
+		t.Error("nil.Equal(nil) should be true")
+	}
+	if a.Equal(NewElement(N("", "x"))) {
+		t.Error("nil.Equal(non-nil) should be false")
+	}
+}
+
+func TestParseResolvesNamespaces(t *testing.T) {
+	root := MustParse(`<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/">
+	  <s:Body><n xmlns="urn:inner" attr="v"/></s:Body></s:Envelope>`)
+	if root.Name != N("http://schemas.xmlsoap.org/soap/envelope/", "Envelope") {
+		t.Fatalf("root = %v", root.Name)
+	}
+	body := root.Child(N("http://schemas.xmlsoap.org/soap/envelope/", "Body"))
+	if body == nil {
+		t.Fatal("Body not found")
+	}
+	n := body.Child(N("urn:inner", "n"))
+	if n == nil {
+		t.Fatal("inner element namespace not resolved")
+	}
+	// Unprefixed attributes have no namespace even under a default xmlns.
+	if v := n.AttrValue(N("", "attr")); v != "v" {
+		t.Errorf("attr = %q", v)
+	}
+}
+
+func TestParseDropsNamespaceDeclAttrs(t *testing.T) {
+	root := MustParse(`<a xmlns="urn:d" xmlns:p="urn:p" p:x="1"/>`)
+	if len(root.Attrs) != 1 {
+		t.Fatalf("attrs = %v, want only p:x", root.Attrs)
+	}
+	if root.Attrs[0].Name != N("urn:p", "x") {
+		t.Errorf("attr name = %v", root.Attrs[0].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "<a>", "<a></b>", "not xml at all <"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseSetsParents(t *testing.T) {
+	root := MustParse(`<a><b><c/></b></a>`)
+	b := root.ChildElements()[0]
+	c := b.ChildElements()[0]
+	if b.Parent() != root || c.Parent() != b {
+		t.Error("parent links not established by parser")
+	}
+	if root.Parent() != nil {
+		t.Error("root parent should be nil")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a/>`,
+		`<a>text</a>`,
+		`<a x="1"><b xmlns="urn:n">mixed <c/> content</b></a>`,
+		`<p:a xmlns:p="urn:p" p:attr="&lt;&amp;&quot;">x &amp; y</p:a>`,
+		`<a><b/><b>2</b><c xmlns="urn:c"><d/></c></a>`,
+	}
+	for _, d := range docs {
+		orig := MustParse(d)
+		out := Marshal(orig)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v\nserialised: %s", d, err, out)
+		}
+		if !orig.Equal(back) {
+			t.Errorf("round trip changed document:\n in: %s\nout: %s", d, out)
+		}
+	}
+}
+
+func TestMarshalUsesPreferredPrefix(t *testing.T) {
+	RegisterPrefix("urn:test:pref", "tp")
+	out := Marshal(Elem("urn:test:pref", "x"))
+	if !strings.Contains(out, "tp:x") || !strings.Contains(out, `xmlns:tp="urn:test:pref"`) {
+		t.Errorf("preferred prefix not used: %s", out)
+	}
+}
+
+func TestMarshalGeneratedPrefixesDistinct(t *testing.T) {
+	e := Elem("urn:unreg:1", "a", Elem("urn:unreg:2", "b", Elem("urn:unreg:1", "c")))
+	out := Marshal(e)
+	back := MustParse(out)
+	if !e.Equal(back) {
+		t.Errorf("generated prefixes broke round trip: %s", out)
+	}
+}
+
+func TestMarshalEscaping(t *testing.T) {
+	e := Elem("", "a", Attr{Name: N("", "v"), Value: `a"b<c&d` + "\n\t"}, `x<y&z>`)
+	out := Marshal(e)
+	back := MustParse(out)
+	if back.AttrValue(N("", "v")) != `a"b<c&d`+"\n\t" {
+		t.Errorf("attr escaping round trip failed: %q", back.AttrValue(N("", "v")))
+	}
+	if back.Text() != `x<y&z>` {
+		t.Errorf("text escaping round trip failed: %q", back.Text())
+	}
+}
+
+func TestMarshalIndentRoundTrip(t *testing.T) {
+	orig := MustParse(`<a><b>text</b><c><d/></c></a>`)
+	out := MarshalIndent(orig)
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("MarshalIndent should end with newline")
+	}
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if !orig.Equal(back) {
+		t.Errorf("indent round trip changed document:\n%s", out)
+	}
+}
+
+func TestMarshalSiblingNamespaceScopes(t *testing.T) {
+	// Two siblings in the same namespace should each get a declaration
+	// (scope is restored between them) and still round-trip.
+	e := Elem("", "root", Elem("urn:s", "a"), Elem("urn:s", "b"))
+	out := Marshal(e)
+	back := MustParse(out)
+	if !e.Equal(back) {
+		t.Errorf("sibling scopes broke round trip: %s", out)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("<unclosed>")
+}
+
+func TestCleanTextAndInvalidCharSerialisation(t *testing.T) {
+	if CleanText("plain") != "plain" {
+		t.Error("clean strings must pass through unchanged")
+	}
+	dirty := "a\x00b\x12c\td\ne"
+	want := "a�b�c\td\ne"
+	if got := CleanText(dirty); got != want {
+		t.Errorf("CleanText = %q, want %q", got, want)
+	}
+	// Serialising an element with unrepresentable characters still yields
+	// well-formed XML that re-parses to the sanitised text.
+	e := Elem("", "x", dirty, Attr{Name: N("", "a"), Value: "v\x01w"})
+	back, err := ParseString(Marshal(e))
+	if err != nil {
+		t.Fatalf("sanitised output does not parse: %v", err)
+	}
+	if back.Text() != want {
+		t.Errorf("text = %q, want %q", back.Text(), want)
+	}
+	if back.AttrValue(N("", "a")) != "v�w" {
+		t.Errorf("attr = %q", back.AttrValue(N("", "a")))
+	}
+}

@@ -1,0 +1,94 @@
+package xmldom
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNoElement is returned when the input contains no root element.
+var ErrNoElement = errors.New("xmldom: document has no root element")
+
+// Parse reads one XML document from r and returns its root element.
+// Namespace prefixes are resolved by encoding/xml; the resulting tree
+// carries only namespace URIs. Comments, processing instructions and
+// directives are discarded.
+func Parse(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var stack []*Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldom: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(N(t.Name.Space, t.Name.Local))
+			for _, a := range t.Attr {
+				if isNamespaceDecl(a.Name) {
+					// Prefixes are a serialisation detail for *names*, but
+					// QNames in content are resolved against them, so the
+					// declarations themselves are preserved.
+					prefix := a.Name.Local
+					if a.Name.Space == "" { // xmlns="..."
+						prefix = ""
+					}
+					el.DeclarePrefix(prefix, a.Value)
+					continue
+				}
+				el.Attrs = append(el.Attrs, Attr{Name: N(a.Name.Space, a.Name.Local), Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmldom: multiple root elements")
+				}
+				root = el
+			} else {
+				stack[len(stack)-1].Append(el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmldom: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Children = append(stack[len(stack)-1].Children, Text(string(t)))
+			}
+		}
+	}
+	if root == nil {
+		return nil, ErrNoElement
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmldom: unexpected end of input inside element")
+	}
+	return root, nil
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Element, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error. For tests and fixed fixtures only.
+func MustParse(s string) *Element {
+	el, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return el
+}
+
+func isNamespaceDecl(n xml.Name) bool {
+	// encoding/xml reports xmlns="..." as {Space:"", Local:"xmlns"} and
+	// xmlns:p="..." as {Space:"xmlns", Local:"p"}.
+	return n.Local == "xmlns" || n.Space == "xmlns"
+}

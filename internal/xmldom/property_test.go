@@ -1,0 +1,97 @@
+package xmldom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genTree builds a random element tree with bounded depth and fan-out,
+// drawing names and text from pools that include namespaced and
+// non-namespaced names plus characters needing escaping.
+func genTree(r *rand.Rand, depth int) *Element {
+	spaces := []string{"", "urn:a", "urn:b", "http://example.org/ns"}
+	locals := []string{"alpha", "beta", "gamma", "delta", "x"}
+	texts := []string{"", "plain", "with <angle>", "amp & quote \"", "  spaced  ", "日本語"}
+
+	e := NewElement(N(spaces[r.Intn(len(spaces))], locals[r.Intn(len(locals))]))
+	for i := 0; i < r.Intn(3); i++ {
+		e.SetAttr(N(spaces[r.Intn(len(spaces))], locals[r.Intn(len(locals))]), texts[r.Intn(len(texts))])
+	}
+	if depth > 0 {
+		for i := 0; i < r.Intn(4); i++ {
+			if r.Intn(2) == 0 {
+				e.Append(genTree(r, depth-1))
+			} else {
+				e.AppendText(texts[r.Intn(len(texts))])
+			}
+		}
+	}
+	return e
+}
+
+// treeValue lets testing/quick generate element trees.
+type treeValue struct{ El *Element }
+
+func (treeValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(treeValue{El: genTree(r, 3)})
+}
+
+// Property: Marshal then Parse yields a canonically equal tree.
+func TestPropertyMarshalParseRoundTrip(t *testing.T) {
+	f := func(tv treeValue) bool {
+		out := Marshal(tv.El)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Logf("parse error: %v for %s", err, out)
+			return false
+		}
+		return tv.El.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MarshalIndent is semantics-preserving too.
+func TestPropertyMarshalIndentRoundTrip(t *testing.T) {
+	f := func(tv treeValue) bool {
+		back, err := ParseString(MarshalIndent(tv.El))
+		return err == nil && tv.El.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone produces an Equal tree whose mutation never affects the
+// original.
+func TestPropertyCloneIndependence(t *testing.T) {
+	f := func(tv treeValue) bool {
+		cp := tv.El.Clone()
+		if !tv.El.Equal(cp) {
+			return false
+		}
+		before := Marshal(tv.El)
+		cp.SetAttr(N("urn:mut", "mutated"), "yes")
+		cp.Append(NewElement(N("urn:mut", "extra")))
+		return Marshal(tv.El) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is reflexive and symmetric on generated trees.
+func TestPropertyEqualReflexiveSymmetric(t *testing.T) {
+	f := func(a, b treeValue) bool {
+		if !a.El.Equal(a.El) {
+			return false
+		}
+		return a.El.Equal(b.El) == b.El.Equal(a.El)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

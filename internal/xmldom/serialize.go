@@ -1,0 +1,309 @@
+package xmldom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// preferredPrefixes maps well-known namespace URIs to the prefixes the WS-*
+// specifications conventionally use, so serialised envelopes look like the
+// examples in the specs. Unknown namespaces get generated ns1, ns2, ...
+// prefixes. The registry is extended by the spec packages at init time.
+var (
+	prefixMu          sync.RWMutex
+	preferredPrefixes = map[string]string{
+		"http://www.w3.org/2001/XMLSchema":          "xsd",
+		"http://www.w3.org/2001/XMLSchema-instance": "xsi",
+	}
+)
+
+// RegisterPrefix records the conventional prefix for a namespace URI.
+// Later registrations win; collisions on the prefix are resolved at
+// serialisation time by falling back to generated prefixes.
+func RegisterPrefix(uri, prefix string) {
+	prefixMu.Lock()
+	defer prefixMu.Unlock()
+	preferredPrefixes[uri] = prefix
+}
+
+func preferredPrefix(uri string) (string, bool) {
+	prefixMu.RLock()
+	defer prefixMu.RUnlock()
+	p, ok := preferredPrefixes[uri]
+	return p, ok
+}
+
+// Marshal serialises the element as a standalone XML document fragment.
+// Every namespace in scope is declared on the element that first uses it.
+func Marshal(e *Element) string {
+	var sb strings.Builder
+	w := &writer{sb: &sb, scope: map[string]string{"": ""}, used: map[string]bool{"": true}}
+	w.element(e)
+	return sb.String()
+}
+
+// MarshalIndent serialises with two-space indentation, for logs, examples
+// and golden files. Text content suppresses indentation inside its parent
+// so mixed content is not corrupted.
+func MarshalIndent(e *Element) string {
+	var sb strings.Builder
+	w := &writer{sb: &sb, scope: map[string]string{"": ""}, used: map[string]bool{"": true}, indent: true}
+	w.element(e)
+	return strings.TrimPrefix(sb.String(), "\n") + "\n"
+}
+
+type writer struct {
+	sb     *strings.Builder
+	scope  map[string]string // namespace URI -> prefix currently in scope
+	used   map[string]bool   // prefixes currently bound
+	nextNS int
+	indent bool
+	depth  int
+}
+
+func (w *writer) element(e *Element) {
+	// Collect namespaces this element introduces.
+	type decl struct{ prefix, uri string }
+	var decls []decl
+	saveScope := map[string]string{}
+	savePrefix := map[string]bool{}
+
+	bind := func(uri string) string {
+		if uri == "" {
+			return ""
+		}
+		if p, ok := w.scope[uri]; ok {
+			return p
+		}
+		p, ok := preferredPrefix(uri)
+		if !ok || p == "" || w.used[p] {
+			for {
+				w.nextNS++
+				p = fmt.Sprintf("ns%d", w.nextNS)
+				if !w.used[p] {
+					break
+				}
+			}
+		}
+		if _, saved := saveScope[uri]; !saved {
+			saveScope[uri] = w.scope[uri]
+		}
+		if _, saved := savePrefix[p]; !saved {
+			savePrefix[p] = w.used[p]
+		}
+		w.scope[uri] = p
+		w.used[p] = true
+		decls = append(decls, decl{prefix: p, uri: uri})
+		return p
+	}
+
+	// Re-emit explicit prefix declarations first, so content QNames keep
+	// resolving and element/attribute name binding can reuse them. Default-
+	// namespace declarations ("" prefix) are not re-emitted: they would
+	// change the meaning of the unprefixed names this serialiser produces.
+	for _, d := range e.Decls {
+		if d.Prefix == "" || d.URI == "" {
+			continue
+		}
+		if cur, ok := w.scope[d.URI]; ok && cur == d.Prefix {
+			continue // identical binding already in scope
+		}
+		// Shadow any URI currently bound to this prefix.
+		for uri, p := range w.scope {
+			if p == d.Prefix && uri != d.URI {
+				if _, saved := saveScope[uri]; !saved {
+					saveScope[uri] = w.scope[uri]
+				}
+				delete(w.scope, uri)
+			}
+		}
+		if _, saved := saveScope[d.URI]; !saved {
+			saveScope[d.URI] = w.scope[d.URI]
+		}
+		if _, saved := savePrefix[d.Prefix]; !saved {
+			savePrefix[d.Prefix] = w.used[d.Prefix]
+		}
+		w.scope[d.URI] = d.Prefix
+		w.used[d.Prefix] = true
+		decls = append(decls, decl{prefix: d.Prefix, uri: d.URI})
+	}
+
+	elemPrefix := bind(e.Name.Space)
+	attrPrefixes := make([]string, len(e.Attrs))
+	for i, a := range e.Attrs {
+		attrPrefixes[i] = bind(a.Name.Space)
+	}
+
+	if w.indent {
+		w.writeIndent()
+	}
+	w.sb.WriteByte('<')
+	w.writeQName(elemPrefix, e.Name.Local)
+	sort.Slice(decls, func(i, j int) bool { return decls[i].prefix < decls[j].prefix })
+	for _, d := range decls {
+		w.sb.WriteString(" xmlns:")
+		w.sb.WriteString(d.prefix)
+		w.sb.WriteString(`="`)
+		escapeAttr(w.sb, d.uri)
+		w.sb.WriteByte('"')
+	}
+	for i, a := range e.Attrs {
+		w.sb.WriteByte(' ')
+		w.writeQName(attrPrefixes[i], a.Name.Local)
+		w.sb.WriteString(`="`)
+		escapeAttr(w.sb, a.Value)
+		w.sb.WriteByte('"')
+	}
+
+	if len(e.Children) == 0 {
+		w.sb.WriteString("/>")
+	} else {
+		w.sb.WriteByte('>')
+		hasText := false
+		for _, n := range e.Children {
+			if t, ok := n.(Text); ok && strings.TrimSpace(string(t)) != "" {
+				hasText = true
+				break
+			}
+		}
+		childIndent := w.indent && !hasText
+		w.depth++
+		for _, n := range e.Children {
+			switch v := n.(type) {
+			case Text:
+				if childIndent && strings.TrimSpace(string(v)) == "" {
+					continue
+				}
+				escapeText(w.sb, string(v))
+			case *Element:
+				save := w.indent
+				w.indent = childIndent
+				w.element(v)
+				w.indent = save
+			}
+		}
+		w.depth--
+		if childIndent {
+			w.writeIndent()
+		}
+		w.sb.WriteString("</")
+		w.writeQName(elemPrefix, e.Name.Local)
+		w.sb.WriteByte('>')
+	}
+
+	// Restore the scope this element perturbed.
+	for uri, old := range saveScope {
+		if old == "" {
+			delete(w.scope, uri)
+		} else {
+			w.scope[uri] = old
+		}
+	}
+	for p, old := range savePrefix {
+		if !old {
+			delete(w.used, p)
+		}
+	}
+}
+
+func (w *writer) writeIndent() {
+	w.sb.WriteByte('\n')
+	for i := 0; i < w.depth; i++ {
+		w.sb.WriteString("  ")
+	}
+}
+
+func (w *writer) writeQName(prefix, local string) {
+	if prefix != "" {
+		w.sb.WriteString(prefix)
+		w.sb.WriteByte(':')
+	}
+	w.sb.WriteString(local)
+}
+
+// validXMLRune reports whether a rune is representable in XML 1.0
+// (production [2] Char). Control characters other than tab/LF/CR, the
+// noncharacters U+FFFE/U+FFFF and invalid runes are not.
+func validXMLRune(r rune) bool {
+	switch {
+	case r == '\t' || r == '\n' || r == '\r':
+		return true
+	case r >= 0x20 && r <= 0xD7FF:
+		return true
+	case r >= 0xE000 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0x10FFFF:
+		return true
+	}
+	return false
+}
+
+// CleanText replaces characters that XML 1.0 cannot represent with the
+// Unicode replacement character — what this serialiser emits for them.
+// Callers that need to predict the wire form of arbitrary strings (fault
+// reasons from errors, user-supplied ids) can apply it themselves.
+func CleanText(s string) string {
+	clean := true
+	for _, r := range s {
+		if !validXMLRune(r) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		if validXMLRune(r) {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteRune('�')
+		}
+	}
+	return sb.String()
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for _, r := range s {
+		if !validXMLRune(r) {
+			sb.WriteRune('�')
+			continue
+		}
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for _, r := range s {
+		if !validXMLRune(r) {
+			sb.WriteRune('�')
+			continue
+		}
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\n':
+			sb.WriteString("&#10;")
+		case '\t':
+			sb.WriteString("&#9;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package xpath implements an XPath 1.0 subset evaluator over xmldom trees.
+//
+// Both WS-Eventing and WS-Notification use XPath as their content-filter
+// dialect ("any expression that evaluates to a Boolean", §V.3 of the paper,
+// with XPath 1.0 the default in WS-Eventing and the MessageContent dialect
+// in WS-Notification). The subset covers the expression class those filters
+// need: full location paths with the common axes, predicates, the four
+// value types with standard coercions, and the XPath 1.0 core function
+// library. Not implemented: namespace axis, comment()/processing-instruction()
+// node tests (our DOM discards those node kinds), and variable references.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokLiteral  // quoted string
+	tokName     // NCName or QName (may be operator name, disambiguated by parser context)
+	tokStar     // *
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokDot      // .
+	tokDotDot   // ..
+	tokAt       // @
+	tokComma    // ,
+	tokColonColon
+	tokSlash         // /
+	tokSlashSlash    // //
+	tokPipe          // |
+	tokPlus          // +
+	tokMinus         // -
+	tokEq            // =
+	tokNeq           // !=
+	tokLt            // <
+	tokLte           // <=
+	tokGt            // >
+	tokGte           // >=
+	tokNameColonStar // prefix:*
+	tokMultiply      // * in operator position
+	tokOpName        // and / or / div / mod in operator position
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// operandFollows implements the XPath 1.0 lexical disambiguation rule
+// (§3.7): after no token, or after '@', '::', '(', '[', ',' or an operator,
+// the next '*' is a wildcard and the next NCName is a name test or function
+// name; otherwise '*' is the multiply operator and "and"/"or"/"div"/"mod"
+// are operator names.
+func operandFollows(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	switch toks[len(toks)-1].kind {
+	case tokAt, tokColonColon, tokLParen, tokLBracket, tokComma,
+		tokSlash, tokSlashSlash, tokPipe, tokPlus, tokMinus,
+		tokEq, tokNeq, tokLt, tokLte, tokGt, tokGte,
+		tokMultiply, tokOpName:
+		return true
+	}
+	return false
+}
+
+// lex tokenises the whole expression up front; XPath expressions in
+// subscription filters are short, so there is no need to stream.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '@':
+			toks = append(toks, token{tokAt, "@", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("xpath: unexpected '!' at offset %d", i)
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokLte, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokGte, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '/':
+			if i+1 < n && src[i+1] == '/' {
+				toks = append(toks, token{tokSlashSlash, "//", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSlash, "/", i})
+				i++
+			}
+		case c == ':':
+			if i+1 < n && src[i+1] == ':' {
+				toks = append(toks, token{tokColonColon, "::", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("xpath: unexpected ':' at offset %d", i)
+			}
+		case c == '*':
+			if operandFollows(toks) {
+				toks = append(toks, token{tokStar, "*", i})
+			} else {
+				toks = append(toks, token{tokMultiply, "*", i})
+			}
+			i++
+		case c == '.':
+			if i+1 < n && src[i+1] == '.' {
+				toks = append(toks, token{tokDotDot, "..", i})
+				i += 2
+			} else if i+1 < n && isDigit(src[i+1]) {
+				start := i
+				i++
+				for i < n && isDigit(src[i]) {
+					i++
+				}
+				toks = append(toks, token{tokNumber, src[start:i], start})
+			} else {
+				toks = append(toks, token{tokDot, ".", i})
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := strings.IndexByte(src[i+1:], quote)
+			if j < 0 {
+				return nil, fmt.Errorf("xpath: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{tokLiteral, src[i+1 : i+1+j], i})
+			i += j + 2
+		case isDigit(c):
+			start := i
+			for i < n && isDigit(src[i]) {
+				i++
+			}
+			if i < n && src[i] == '.' {
+				i++
+				for i < n && isDigit(src[i]) {
+					i++
+				}
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case isNameStart(rune(c)):
+			start := i
+			i = scanNCName(src, i)
+			name := src[start:i]
+			// QName or prefix:* forms. A "::" after the name is an axis
+			// specifier, so a single ':' must be a QName separator.
+			if i < n && src[i] == ':' && !(i+1 < n && src[i+1] == ':') {
+				if i+1 < n && src[i+1] == '*' {
+					toks = append(toks, token{tokNameColonStar, name + ":*", start})
+					i += 2
+					break
+				}
+				if i+1 < n && isNameStart(rune(src[i+1])) {
+					j := scanNCName(src, i+1)
+					name = src[start:j]
+					i = j
+				} else {
+					return nil, fmt.Errorf("xpath: malformed QName at offset %d", start)
+				}
+			}
+			kind := tokName
+			switch name {
+			case "and", "or", "div", "mod":
+				if !operandFollows(toks) {
+					kind = tokOpName
+				}
+			}
+			toks = append(toks, token{kind, name, start})
+		default:
+			return nil, fmt.Errorf("xpath: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// scanNCName advances past an NCName starting at i and returns the index
+// just after it. ASCII fast path; multi-byte runes are accepted wholesale
+// via unicode classes.
+func scanNCName(src string, i int) int {
+	for i < len(src) {
+		r := rune(src[i])
+		size := 1
+		if r >= 0x80 {
+			for _, rr := range src[i:] {
+				r = rr
+				break
+			}
+			size = len(string(r))
+		}
+		if !isNameChar(r) {
+			break
+		}
+		i += size
+	}
+	return i
+}

@@ -1,0 +1,106 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldom"
+)
+
+// genDoc builds a random document of <e>/<f> elements with val attributes.
+type genDoc struct{ El *xmldom.Element }
+
+func (genDoc) Generate(r *rand.Rand, _ int) reflect.Value {
+	var build func(depth int) *xmldom.Element
+	build = func(depth int) *xmldom.Element {
+		names := []string{"e", "f", "g"}
+		el := xmldom.NewElement(xmldom.N("", names[r.Intn(len(names))]))
+		el.SetAttr(xmldom.N("", "val"), fmt.Sprint(r.Intn(100)))
+		if depth > 0 {
+			for i := 0; i < r.Intn(4); i++ {
+				el.Append(build(depth - 1))
+			}
+		}
+		return el
+	}
+	root := xmldom.NewElement(xmldom.N("", "root"))
+	for i := 0; i < 1+r.Intn(4); i++ {
+		root.Append(build(2))
+	}
+	return reflect.ValueOf(genDoc{El: root})
+}
+
+func countElements(e *xmldom.Element) int {
+	n := 1
+	for _, c := range e.ChildElements() {
+		n += countElements(c)
+	}
+	return n
+}
+
+// Property: count(//*) equals the true element count.
+func TestPropertyCountAllElements(t *testing.T) {
+	expr := MustCompile("count(//*)")
+	f := func(d genDoc) bool {
+		r, err := expr.Eval(d.El)
+		return err == nil && int(r.Number()) == countElements(d.El)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: not(X) is the negation of boolean(X) for arbitrary path filters.
+func TestPropertyNotInverts(t *testing.T) {
+	exprs := []string{"//e", "//f[@val > 50]", "//g/e", "//missing", "//e[@val < 10]"}
+	f := func(d genDoc, idx uint) bool {
+		src := exprs[idx%uint(len(exprs))]
+		pos := MustCompile("boolean(" + src + ")")
+		neg := MustCompile("not(" + src + ")")
+		pr, err1 := pos.Eval(d.El)
+		nr, err2 := neg.Eval(d.El)
+		return err1 == nil && err2 == nil && pr.Bool() == !nr.Bool()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a union is no smaller than either operand and no larger than
+// the sum, and // is monotone: //e ⊆ //* .
+func TestPropertyUnionBounds(t *testing.T) {
+	eAll := MustCompile("//*")
+	eE := MustCompile("//e")
+	eF := MustCompile("//f")
+	eU := MustCompile("//e | //f")
+	f := func(d genDoc) bool {
+		all, _ := eAll.Eval(d.El)
+		ce, _ := eE.Eval(d.El)
+		cf, _ := eF.Eval(d.El)
+		cu, _ := eU.Eval(d.El)
+		if cu.Count() > ce.Count()+cf.Count() || cu.Count() < ce.Count() || cu.Count() < cf.Count() {
+			return false
+		}
+		return ce.Count() <= all.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predicates filter — //e[@val > N] count is non-increasing in N.
+func TestPropertyPredicateMonotone(t *testing.T) {
+	f := func(d genDoc, n uint8) bool {
+		lo := MustCompile(fmt.Sprintf("count(//e[@val > %d])", int(n)%100))
+		hi := MustCompile(fmt.Sprintf("count(//e[@val > %d])", int(n)%100+10))
+		rl, _ := lo.Eval(d.El)
+		rh, _ := hi.Eval(d.El)
+		return rh.Number() <= rl.Number()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

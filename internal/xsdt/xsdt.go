@@ -1,0 +1,229 @@
+// Package xsdt implements the XML Schema dateTime and duration lexical
+// forms used by subscription expirations.
+//
+// Table 1 of the paper tracks exactly this capability: WS-Eventing always
+// allowed "absolute time or duration" expirations, WS-Notification 1.0
+// allowed only absolute time, and WS-Notification 1.3 adopted durations.
+// The spec packages use this package to parse whichever form a subscriber
+// sends and to gate the duration form by spec version.
+package xsdt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Duration is an XSD duration: calendar components (years, months, days)
+// that need date arithmetic plus an exact sub-day component.
+type Duration struct {
+	Negative bool
+	Years    int
+	Months   int
+	Days     int
+	Clock    time.Duration // hours, minutes, (fractional) seconds
+}
+
+// IsZero reports an all-zero duration.
+func (d Duration) IsZero() bool {
+	return d.Years == 0 && d.Months == 0 && d.Days == 0 && d.Clock == 0
+}
+
+// AddTo applies the duration to an instant using calendar arithmetic for
+// the Y/M/D part, as XSD requires.
+func (d Duration) AddTo(t time.Time) time.Time {
+	sign := 1
+	if d.Negative {
+		sign = -1
+	}
+	t = t.AddDate(sign*d.Years, sign*d.Months, sign*d.Days)
+	return t.Add(time.Duration(sign) * d.Clock)
+}
+
+// String renders the canonical lexical form (P...T...).
+func (d Duration) String() string {
+	var sb strings.Builder
+	if d.Negative {
+		sb.WriteByte('-')
+	}
+	sb.WriteByte('P')
+	if d.Years != 0 {
+		fmt.Fprintf(&sb, "%dY", d.Years)
+	}
+	if d.Months != 0 {
+		fmt.Fprintf(&sb, "%dM", d.Months)
+	}
+	if d.Days != 0 {
+		fmt.Fprintf(&sb, "%dD", d.Days)
+	}
+	if d.Clock != 0 {
+		sb.WriteByte('T')
+		c := d.Clock
+		if h := c / time.Hour; h > 0 {
+			fmt.Fprintf(&sb, "%dH", h)
+			c -= h * time.Hour
+		}
+		if m := c / time.Minute; m > 0 {
+			fmt.Fprintf(&sb, "%dM", m)
+			c -= m * time.Minute
+		}
+		if c > 0 {
+			secs := float64(c) / float64(time.Second)
+			s := strconv.FormatFloat(secs, 'f', -1, 64)
+			fmt.Fprintf(&sb, "%sS", s)
+		}
+	}
+	if sb.Len() == 1 || (d.Negative && sb.Len() == 2) {
+		sb.WriteString("T0S") // canonical zero
+	}
+	return sb.String()
+}
+
+// FromGoDuration converts an exact Go duration (no calendar components).
+func FromGoDuration(gd time.Duration) Duration {
+	d := Duration{}
+	if gd < 0 {
+		d.Negative = true
+		gd = -gd
+	}
+	d.Clock = gd
+	return d
+}
+
+// ParseDuration parses the XSD duration lexical form, e.g. "PT5M",
+// "P1DT12H", "P1Y2M3DT4H5M6.5S", "-P30D".
+func ParseDuration(s string) (Duration, error) {
+	orig := s
+	var d Duration
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "-") {
+		d.Negative = true
+		s = s[1:]
+	}
+	if !strings.HasPrefix(s, "P") {
+		return Duration{}, fmt.Errorf("xsdt: duration %q must start with 'P'", orig)
+	}
+	s = s[1:]
+	if s == "" {
+		return Duration{}, fmt.Errorf("xsdt: duration %q has no components", orig)
+	}
+	datePart, timePart := s, ""
+	if i := strings.Index(s, "T"); i >= 0 {
+		datePart, timePart = s[:i], s[i+1:]
+		if timePart == "" {
+			return Duration{}, fmt.Errorf("xsdt: duration %q has 'T' but no time components", orig)
+		}
+	}
+	// Date components: Y, M, D in order.
+	rest := datePart
+	seen := map[byte]bool{}
+	order := "YMD"
+	lastIdx := -1
+	for rest != "" {
+		numEnd := 0
+		for numEnd < len(rest) && rest[numEnd] >= '0' && rest[numEnd] <= '9' {
+			numEnd++
+		}
+		if numEnd == 0 || numEnd == len(rest) {
+			return Duration{}, fmt.Errorf("xsdt: malformed duration %q", orig)
+		}
+		n, err := strconv.Atoi(rest[:numEnd])
+		if err != nil {
+			return Duration{}, fmt.Errorf("xsdt: malformed duration %q: %v", orig, err)
+		}
+		unit := rest[numEnd]
+		idx := strings.IndexByte(order, unit)
+		if idx < 0 || seen[unit] || idx <= lastIdx {
+			return Duration{}, fmt.Errorf("xsdt: bad component order in duration %q", orig)
+		}
+		seen[unit] = true
+		lastIdx = idx
+		switch unit {
+		case 'Y':
+			d.Years = n
+		case 'M':
+			d.Months = n
+		case 'D':
+			d.Days = n
+		}
+		rest = rest[numEnd+1:]
+	}
+	// Time components: H, M, S in order; S may be fractional.
+	rest = timePart
+	seenT := map[byte]bool{}
+	orderT := "HMS"
+	lastIdx = -1
+	for rest != "" {
+		numEnd := 0
+		for numEnd < len(rest) && (rest[numEnd] >= '0' && rest[numEnd] <= '9' || rest[numEnd] == '.') {
+			numEnd++
+		}
+		if numEnd == 0 || numEnd == len(rest) {
+			return Duration{}, fmt.Errorf("xsdt: malformed duration %q", orig)
+		}
+		unit := rest[numEnd]
+		idx := strings.IndexByte(orderT, unit)
+		if idx < 0 || seenT[unit] || idx <= lastIdx {
+			return Duration{}, fmt.Errorf("xsdt: bad time component order in duration %q", orig)
+		}
+		seenT[unit] = true
+		lastIdx = idx
+		if unit == 'S' {
+			f, err := strconv.ParseFloat(rest[:numEnd], 64)
+			if err != nil {
+				return Duration{}, fmt.Errorf("xsdt: bad seconds in duration %q", orig)
+			}
+			d.Clock += time.Duration(f * float64(time.Second))
+		} else {
+			if strings.Contains(rest[:numEnd], ".") {
+				return Duration{}, fmt.Errorf("xsdt: fractional %c in duration %q", unit, orig)
+			}
+			n, err := strconv.Atoi(rest[:numEnd])
+			if err != nil {
+				return Duration{}, fmt.Errorf("xsdt: malformed duration %q", orig)
+			}
+			switch unit {
+			case 'H':
+				d.Clock += time.Duration(n) * time.Hour
+			case 'M':
+				d.Clock += time.Duration(n) * time.Minute
+			}
+		}
+		rest = rest[numEnd+1:]
+	}
+	if d.IsZero() && !strings.Contains(orig, "0") {
+		return Duration{}, fmt.Errorf("xsdt: duration %q has no components", orig)
+	}
+	return d, nil
+}
+
+// FormatDateTime renders an instant in the XSD dateTime UTC form.
+func FormatDateTime(t time.Time) string {
+	return t.UTC().Format("2006-01-02T15:04:05Z")
+}
+
+// ParseDateTime parses XSD dateTime, accepting 'Z', numeric offsets and
+// fractional seconds.
+func ParseDateTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	layouts := []string{
+		"2006-01-02T15:04:05Z07:00",
+		"2006-01-02T15:04:05.999999999Z07:00",
+		"2006-01-02T15:04:05",
+		"2006-01-02T15:04:05.999999999",
+	}
+	for _, l := range layouts {
+		if t, err := time.Parse(l, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("xsdt: cannot parse dateTime %q", s)
+}
+
+// LooksLikeDuration reports whether a lexical value is in duration form —
+// how receivers distinguish the two expiration styles on the wire.
+func LooksLikeDuration(s string) bool {
+	s = strings.TrimSpace(s)
+	return strings.HasPrefix(s, "P") || strings.HasPrefix(s, "-P")
+}

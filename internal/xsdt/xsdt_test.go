@@ -1,0 +1,164 @@
+package xsdt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"PT5M", Duration{Clock: 5 * time.Minute}},
+		{"PT30S", Duration{Clock: 30 * time.Second}},
+		{"PT1.5S", Duration{Clock: 1500 * time.Millisecond}},
+		{"PT2H", Duration{Clock: 2 * time.Hour}},
+		{"P1D", Duration{Days: 1}},
+		{"P1DT12H", Duration{Days: 1, Clock: 12 * time.Hour}},
+		{"P1Y2M3DT4H5M6S", Duration{Years: 1, Months: 2, Days: 3, Clock: 4*time.Hour + 5*time.Minute + 6*time.Second}},
+		{"-P30D", Duration{Negative: true, Days: 30}},
+		{"P0D", Duration{}},
+		{"PT0S", Duration{}},
+	}
+	for _, tc := range cases {
+		got, err := ParseDuration(tc.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseDuration(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseDurationErrors(t *testing.T) {
+	bad := []string{"", "P", "PT", "5M", "PT5", "P5", "PT5X", "P1M2Y", "PT1S2H", "PT1.5H", "P-5D", "Pfive", "PT5M3M"}
+	for _, s := range bad {
+		if _, err := ParseDuration(s); err == nil {
+			t.Errorf("ParseDuration(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestDurationAddTo(t *testing.T) {
+	base := time.Date(2006, 2, 28, 12, 0, 0, 0, time.UTC) // paper-era date
+	d, _ := ParseDuration("P1M")
+	if got := d.AddTo(base); got != time.Date(2006, 3, 28, 12, 0, 0, 0, time.UTC) {
+		t.Errorf("P1M AddTo = %v", got)
+	}
+	d2, _ := ParseDuration("PT36H")
+	if got := d2.AddTo(base); got != base.Add(36*time.Hour) {
+		t.Errorf("PT36H AddTo = %v", got)
+	}
+	d3, _ := ParseDuration("-P1D")
+	if got := d3.AddTo(base); got != base.AddDate(0, 0, -1) {
+		t.Errorf("-P1D AddTo = %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"PT5M", "PT5M"},
+		{"P1DT12H", "P1DT12H"},
+		{"P1Y2M3DT4H5M6S", "P1Y2M3DT4H5M6S"},
+		{"PT1.5S", "PT1.5S"},
+		{"-P30D", "-P30D"},
+		{"P0D", "PT0S"}, // canonical zero
+	}
+	for _, tc := range cases {
+		d, err := ParseDuration(tc.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.in, err)
+		}
+		if got := d.String(); got != tc.want {
+			t.Errorf("String(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Property: String then ParseDuration round-trips for durations built from
+// non-negative components.
+func TestPropertyDurationRoundTrip(t *testing.T) {
+	f := func(y, m, dd uint8, secs uint32) bool {
+		d := Duration{Years: int(y % 50), Months: int(m % 12), Days: int(dd % 31),
+			Clock: time.Duration(secs%86400) * time.Second}
+		back, err := ParseDuration(d.String())
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddTo then subtracting the clock part restores the date shift.
+func TestPropertyAddToMonotone(t *testing.T) {
+	base := time.Date(2005, 6, 15, 8, 30, 0, 0, time.UTC)
+	f := func(days uint8, secs uint16) bool {
+		d := Duration{Days: int(days), Clock: time.Duration(secs) * time.Second}
+		if d.IsZero() {
+			return d.AddTo(base).Equal(base)
+		}
+		return d.AddTo(base).After(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateTimeRoundTrip(t *testing.T) {
+	ts := time.Date(2006, 2, 17, 23, 59, 59, 0, time.UTC)
+	s := FormatDateTime(ts)
+	if s != "2006-02-17T23:59:59Z" {
+		t.Errorf("FormatDateTime = %q", s)
+	}
+	back, err := ParseDateTime(s)
+	if err != nil || !back.Equal(ts) {
+		t.Errorf("ParseDateTime(%q) = %v, %v", s, back, err)
+	}
+}
+
+func TestParseDateTimeVariants(t *testing.T) {
+	good := []string{
+		"2006-02-17T23:59:59Z",
+		"2006-02-17T23:59:59+05:00",
+		"2006-02-17T23:59:59.25Z",
+		"2006-02-17T23:59:59",
+	}
+	for _, s := range good {
+		if _, err := ParseDateTime(s); err != nil {
+			t.Errorf("ParseDateTime(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "not-a-date", "2006-02-17", "23:59:59"}
+	for _, s := range bad {
+		if _, err := ParseDateTime(s); err == nil {
+			t.Errorf("ParseDateTime(%q) succeeded", s)
+		}
+	}
+}
+
+func TestLooksLikeDuration(t *testing.T) {
+	if !LooksLikeDuration("PT5M") || !LooksLikeDuration("-P1D") || !LooksLikeDuration("  PT1H") {
+		t.Error("duration forms not detected")
+	}
+	if LooksLikeDuration("2006-02-17T23:59:59Z") || LooksLikeDuration("") {
+		t.Error("non-durations misdetected")
+	}
+}
+
+func TestFromGoDuration(t *testing.T) {
+	d := FromGoDuration(90 * time.Minute)
+	if d.Negative || d.Clock != 90*time.Minute {
+		t.Errorf("FromGoDuration = %+v", d)
+	}
+	if d.String() != "PT1H30M" {
+		t.Errorf("String = %q", d.String())
+	}
+	n := FromGoDuration(-time.Second)
+	if !n.Negative || n.Clock != time.Second {
+		t.Errorf("negative FromGoDuration = %+v", n)
+	}
+}
