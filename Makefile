@@ -1,18 +1,25 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race bench comparison examples outputs clean
+.PHONY: all build test vet race check bench comparison examples outputs clean
 
-all: build test
+all: check
 
 build:
 	go build ./...
-	go vet ./...
 
 test:
 	go test ./...
 
+vet:
+	go vet ./...
+
 race:
 	go test -race ./...
+
+# Full pre-merge gate: compile, vet, tests, and the race detector over
+# the concurrency-heavy packages (the full -race sweep stays in `race`).
+check: build vet test
+	go test -race ./internal/dispatch ./internal/core
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -7,12 +7,18 @@
 // consumer receives all events on a channel". Events are untyped ("Anys").
 // In-process function calls stand in for the ORB's RPC, matching the
 // "RPC, intranet-scale" row of Table 3.
+//
+// Fan-out runs through the shared dispatch engine: every consumer is a
+// residual (match-all) subscriber — the Event Service's "no filtering"
+// is simply the degenerate case of the engine's topic index.
 package corbaevent
 
 import (
 	"errors"
-	"sort"
+	"fmt"
 	"sync"
+
+	"repro/internal/dispatch"
 )
 
 // Event is the untyped CORBA "Any".
@@ -24,81 +30,73 @@ var ErrDisconnected = errors.New("corbaevent: disconnected")
 // Channel is an EventChannel: every event pushed (or pulled in from pull
 // suppliers) reaches every connected consumer, unfiltered.
 type Channel struct {
+	eng *dispatch.Engine
+
 	mu            sync.Mutex
 	nextID        int
-	pushConsumers map[int]func(Event)
-	pullProxies   map[int]*PullConsumer
 	pullSuppliers map[int]func() (Event, bool)
 }
 
 // NewChannel builds an empty channel.
 func NewChannel() *Channel {
 	return &Channel{
-		pushConsumers: map[int]func(Event){},
-		pullProxies:   map[int]*PullConsumer{},
+		eng:           dispatch.New(dispatch.Config{}),
 		pullSuppliers: map[int]func() (Event, bool){},
 	}
 }
 
-// ConnectPushConsumer attaches a push-model consumer; the returned
-// function disconnects it.
-func (c *Channel) ConnectPushConsumer(fn func(Event)) (disconnect func()) {
+func (c *Channel) nextConsumerID(kind string) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	id := c.nextID
-	c.pushConsumers[id] = fn
-	return func() {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		delete(c.pushConsumers, id)
-	}
+	return fmt.Sprintf("%s-%d", kind, c.nextID)
 }
 
-// PullConsumer is a pull-model consumer proxy: events buffer here until
-// pulled.
+// ConnectPushConsumer attaches a push-model consumer; the returned
+// function disconnects it. Delivery is synchronous, in connection order.
+func (c *Channel) ConnectPushConsumer(fn func(Event)) (disconnect func()) {
+	id := c.nextConsumerID("push")
+	_ = c.eng.Subscribe(dispatch.Sub{
+		ID:   id,
+		Mode: dispatch.Sync,
+		Deliver: func(batch []dispatch.Message) error {
+			fn(batch[0].Payload.(Event))
+			return nil
+		},
+		FailureLimit: -1,
+	})
+	return func() { c.eng.Unsubscribe(id) }
+}
+
+// PullConsumer is a pull-model consumer proxy: events buffer at the
+// channel until pulled.
 type PullConsumer struct {
-	ch           *Channel
-	id           int
-	mu           sync.Mutex
-	queue        []Event
-	disconnected bool
+	ch *Channel
+	id string
 }
 
 // ConnectPullConsumer attaches a pull-model consumer proxy.
 func (c *Channel) ConnectPullConsumer() *PullConsumer {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	p := &PullConsumer{ch: c, id: c.nextID}
-	c.pullProxies[p.id] = p
+	p := &PullConsumer{ch: c, id: c.nextConsumerID("pull")}
+	_ = c.eng.Subscribe(dispatch.Sub{ID: p.id, Mode: dispatch.Pull})
 	return p
 }
 
 // TryPull returns the next buffered event without blocking.
 func (p *PullConsumer) TryPull() (Event, bool, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.disconnected {
+	msgs, err := p.ch.eng.Pull(p.id, 1)
+	if err != nil {
 		return nil, false, ErrDisconnected
 	}
-	if len(p.queue) == 0 {
+	if len(msgs) == 0 {
 		return nil, false, nil
 	}
-	ev := p.queue[0]
-	p.queue = p.queue[1:]
-	return ev, true, nil
+	return msgs[0].Payload.(Event), true, nil
 }
 
-// Disconnect detaches the proxy.
+// Disconnect detaches the proxy, discarding anything still buffered.
 func (p *PullConsumer) Disconnect() {
-	p.mu.Lock()
-	p.disconnected = true
-	p.queue = nil
-	p.mu.Unlock()
-	p.ch.mu.Lock()
-	delete(p.ch.pullProxies, p.id)
-	p.ch.mu.Unlock()
+	p.ch.eng.Unsubscribe(p.id)
 }
 
 // ConnectPullSupplier attaches a pull-model supplier: the channel polls it
@@ -117,33 +115,9 @@ func (c *Channel) ConnectPullSupplier(fn func() (Event, bool)) (disconnect func(
 }
 
 // Push delivers one event from a push supplier to every consumer — no
-// filter ever applies.
+// filter ever applies (every consumer is a match-all subscriber).
 func (c *Channel) Push(ev Event) {
-	c.mu.Lock()
-	fns := make([]func(Event), 0, len(c.pushConsumers))
-	ids := make([]int, 0, len(c.pushConsumers))
-	for id := range c.pushConsumers {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		fns = append(fns, c.pushConsumers[id])
-	}
-	proxies := make([]*PullConsumer, 0, len(c.pullProxies))
-	for _, p := range c.pullProxies {
-		proxies = append(proxies, p)
-	}
-	c.mu.Unlock()
-	for _, fn := range fns {
-		fn(ev)
-	}
-	for _, p := range proxies {
-		p.mu.Lock()
-		if !p.disconnected {
-			p.queue = append(p.queue, ev)
-		}
-		p.mu.Unlock()
-	}
+	c.eng.Dispatch(dispatch.Message{Payload: ev})
 }
 
 // PollSuppliers drains every pull supplier once, pushing whatever they
@@ -172,8 +146,7 @@ func (c *Channel) PollSuppliers() int {
 }
 
 // ConsumerCount reports connected consumers of both models.
-func (c *Channel) ConsumerCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pushConsumers) + len(c.pullProxies)
-}
+func (c *Channel) ConsumerCount() int { return c.eng.Count() }
+
+// Stats exposes the channel's dispatch counters.
+func (c *Channel) Stats() dispatch.Stats { return c.eng.Stats() }

@@ -3,9 +3,10 @@ package corbanotify
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dispatch"
 )
 
 // The 13 QoS properties the CORBA Notification Service specification
@@ -95,13 +96,18 @@ func (q QoS) str(name, def string) string {
 // ErrDisconnected is returned by operations on disconnected proxies.
 var ErrDisconnected = errors.New("corbanotify: disconnected")
 
-// Channel is a notification channel with per-channel default QoS.
+// Channel is a notification channel with per-channel default QoS. Fan-out
+// runs through the shared dispatch engine; the proxies translate the
+// service's QoS vocabulary (MaxEventsPerConsumer, DiscardPolicy,
+// MaximumBatchSize, suspend/resume) into engine subscriber options and
+// keep only what is spec-specific: ETCL filters, per-event Timeout and
+// OrderPolicy pull selection.
 type Channel struct {
+	eng *dispatch.Engine
+
 	mu     sync.Mutex
 	qos    QoS
 	nextID int
-	push   map[int]*PushProxy
-	pull   map[int]*PullProxy
 	clock  func() time.Time
 }
 
@@ -114,11 +120,17 @@ func NewChannel(qos QoS) (*Channel, error) {
 		qos = QoS{}
 	}
 	return &Channel{
+		eng:   dispatch.New(dispatch.Config{}),
 		qos:   qos,
-		push:  map[int]*PushProxy{},
-		pull:  map[int]*PullProxy{},
 		clock: time.Now,
 	}, nil
+}
+
+func (c *Channel) nextProxyID(kind string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return fmt.Sprintf("%s-%d", kind, c.nextID)
 }
 
 // WithClock injects a time source (tests).
@@ -140,16 +152,13 @@ func (c *Channel) QoSValue(name string) (any, bool) {
 // Table 3 lists for the Notification Service: while suspended, matching
 // events buffer (bounded by MaxEventsPerConsumer) and flush on resume.
 type PushProxy struct {
-	id        int
-	ch        *Channel
-	filter    *Filter
-	qos       QoS
-	handler   func([]*StructuredEvent)
+	id     string
+	ch     *Channel
+	filter *Filter
+	qos    QoS
+
 	mu        sync.Mutex
-	batch     []*StructuredEvent
 	suspended bool
-	pending   []*StructuredEvent
-	closed    bool
 	// Discarded counts suspension-buffer overflow drops.
 	Discarded int
 }
@@ -159,6 +168,7 @@ func (p *PushProxy) SuspendConnection() {
 	p.mu.Lock()
 	p.suspended = true
 	p.mu.Unlock()
+	p.ch.eng.Pause(p.id)
 }
 
 // ResumeConnection re-enables delivery and flushes the buffered events in
@@ -166,17 +176,8 @@ func (p *PushProxy) SuspendConnection() {
 func (p *PushProxy) ResumeConnection() {
 	p.mu.Lock()
 	p.suspended = false
-	pending := p.pending
-	p.pending = nil
-	h := p.handler
-	closed := p.closed
 	p.mu.Unlock()
-	if closed || h == nil {
-		return
-	}
-	for _, ev := range pending {
-		h([]*StructuredEvent{ev})
-	}
+	p.ch.eng.Resume(p.id)
 }
 
 // Suspended reports the connection state.
@@ -193,37 +194,50 @@ func (c *Channel) ConnectPushConsumer(f *Filter, qos QoS, fn func([]*StructuredE
 	if err := ValidateQoS(qos); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	p := &PushProxy{id: c.nextID, ch: c, filter: f, qos: qos, handler: fn}
-	c.push[p.id] = p
+	p := &PushProxy{id: c.nextProxyID("push"), ch: c, filter: f, qos: qos}
+	_ = c.eng.Subscribe(dispatch.Sub{
+		ID: p.id,
+		Filter: func(m dispatch.Message) (bool, error) {
+			return f.Matches(m.Payload.(*StructuredEvent)), nil
+		},
+		Prepare: func(m dispatch.Message) dispatch.Message {
+			return dispatch.Message{Payload: m.Payload.(*StructuredEvent).clone()}
+		},
+		Mode:  dispatch.Sync,
+		Batch: p.effective(QoSMaximumBatchSize, 1),
+		Deliver: func(batch []dispatch.Message) error {
+			evs := make([]*StructuredEvent, len(batch))
+			for i, m := range batch {
+				evs[i] = m.Payload.(*StructuredEvent)
+			}
+			fn(evs)
+			return nil
+		},
+		// Suspension buffers under MaxEventsPerConsumer, dropping the
+		// oldest on overflow.
+		PauseBuffer: true,
+		QueueCap:    p.effective(QoSMaxEventsPerConsumer, 0),
+		Overflow:    dispatch.DropOldest,
+		OnDrop: func(n int) {
+			p.mu.Lock()
+			p.Discarded += n
+			p.mu.Unlock()
+		},
+		FailureLimit: -1,
+	})
 	return p, nil
 }
 
 // Disconnect detaches the proxy, flushing any partial batch.
 func (p *PushProxy) Disconnect() {
 	p.Flush()
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
-	p.ch.mu.Lock()
-	delete(p.ch.push, p.id)
-	p.ch.mu.Unlock()
+	p.ch.eng.Unsubscribe(p.id)
 }
 
 // Flush delivers a partially filled batch immediately (pacing-interval
 // expiry in the real service).
 func (p *PushProxy) Flush() {
-	p.mu.Lock()
-	batch := p.batch
-	p.batch = nil
-	closed := p.closed
-	handler := p.handler
-	p.mu.Unlock()
-	if !closed && len(batch) > 0 && handler != nil {
-		handler(batch)
-	}
+	p.ch.eng.FlushBatch(p.id)
 }
 
 func (p *PushProxy) effective(name string, def int) int {
@@ -237,39 +251,53 @@ func (p *PushProxy) effective(name string, def int) int {
 // PullProxy is a pull-model consumer connection: events queue under the
 // MaxEventsPerConsumer / DiscardPolicy / OrderPolicy QoS until pulled.
 type PullProxy struct {
-	id     int
+	id     string
 	ch     *Channel
 	filter *Filter
 	qos    QoS
 	mu     sync.Mutex
-	queue  []*StructuredEvent
-	closed bool
 	// Discarded counts events dropped by the discard policy.
 	Discarded int
 }
 
-// ConnectPullConsumer attaches a pull consumer proxy.
+// ConnectPullConsumer attaches a pull consumer proxy: the engine buffers
+// matched events under the proxy's discard policy until pulled.
 func (c *Channel) ConnectPullConsumer(f *Filter, qos QoS) (*PullProxy, error) {
 	if err := ValidateQoS(qos); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	p := &PullProxy{id: c.nextID, ch: c, filter: f, qos: qos}
-	c.pull[p.id] = p
+	p := &PullProxy{id: c.nextProxyID("pull"), ch: c, filter: f, qos: qos}
+	ovf := dispatch.DropOldest // FifoDiscard
+	if p.effectiveStr(QoSDiscardPolicy, DiscardFifo) == DiscardLifo {
+		ovf = dispatch.DropNewest
+	}
+	_ = c.eng.Subscribe(dispatch.Sub{
+		ID: p.id,
+		Filter: func(m dispatch.Message) (bool, error) {
+			return f.Matches(m.Payload.(*StructuredEvent)), nil
+		},
+		// Clone per consumer and stamp the attach time the per-event
+		// Timeout QoS is measured from.
+		Prepare: func(m dispatch.Message) dispatch.Message {
+			cp := m.Payload.(*StructuredEvent).clone()
+			cp.VariableHeader["X-AttachedAt"] = c.clock().UnixMilli()
+			return dispatch.Message{Payload: cp}
+		},
+		Mode:     dispatch.Pull,
+		QueueCap: p.effective(QoSMaxEventsPerConsumer, 0),
+		Overflow: ovf,
+		OnDrop: func(n int) {
+			p.mu.Lock()
+			p.Discarded += n
+			p.mu.Unlock()
+		},
+	})
 	return p, nil
 }
 
-// Disconnect detaches the proxy.
+// Disconnect detaches the proxy, discarding anything still queued.
 func (p *PullProxy) Disconnect() {
-	p.mu.Lock()
-	p.closed = true
-	p.queue = nil
-	p.mu.Unlock()
-	p.ch.mu.Lock()
-	delete(p.ch.pull, p.id)
-	p.ch.mu.Unlock()
+	p.ch.eng.Unsubscribe(p.id)
 }
 
 func (p *PullProxy) effective(name string, def int) int {
@@ -290,42 +318,45 @@ func (p *PullProxy) effectiveStr(name, def string) string {
 // TryPull returns the next queued unexpired event, honouring OrderPolicy.
 func (p *PullProxy) TryPull() (*StructuredEvent, bool, error) {
 	now := p.ch.clock()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, false, ErrDisconnected
-	}
-	// Drop expired events (per-event Timeout variable header, millis).
-	kept := p.queue[:0]
-	for _, ev := range p.queue {
-		if timedOut(ev, now) {
-			continue
+	priority := p.effectiveStr(QoSOrderPolicy, OrderFifo) == OrderPriority
+	taken, err := p.ch.eng.PullEdit(p.id, func(msgs []dispatch.Message) []dispatch.PullDecision {
+		ds := make([]dispatch.PullDecision, len(msgs))
+		// Drop expired events (per-event Timeout variable header, millis).
+		live := make([]int, 0, len(msgs))
+		for i, m := range msgs {
+			if timedOut(m.Payload.(*StructuredEvent), now) {
+				ds[i] = dispatch.Discard
+				continue
+			}
+			live = append(live, i)
 		}
-		kept = append(kept, ev)
-	}
-	p.queue = kept
-	if len(p.queue) == 0 {
-		return nil, false, nil
-	}
-	idx := 0
-	if p.effectiveStr(QoSOrderPolicy, OrderFifo) == OrderPriority {
-		for i, ev := range p.queue {
-			if ev.Priority() > p.queue[idx].Priority() {
-				_ = i
-				idx = i
+		if len(live) == 0 {
+			return ds
+		}
+		idx := live[0]
+		if priority {
+			for _, i := range live {
+				if msgs[i].Payload.(*StructuredEvent).Priority() >
+					msgs[idx].Payload.(*StructuredEvent).Priority() {
+					idx = i
+				}
 			}
 		}
+		ds[idx] = dispatch.Take
+		return ds
+	})
+	if err != nil {
+		return nil, false, ErrDisconnected
 	}
-	ev := p.queue[idx]
-	p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
-	return ev, true, nil
+	if len(taken) == 0 {
+		return nil, false, nil
+	}
+	return taken[0].Payload.(*StructuredEvent), true, nil
 }
 
 // QueueLen reports queued events.
 func (p *PullProxy) QueueLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
+	return p.ch.eng.QueueLen(p.id)
 }
 
 // timedOut evaluates the per-event Timeout header: the event's age since
@@ -357,99 +388,11 @@ func timedOut(ev *StructuredEvent, now time.Time) bool {
 // Push delivers a structured event through every proxy whose filter
 // matches. It returns how many proxies accepted it.
 func (c *Channel) Push(ev *StructuredEvent) int {
-	c.mu.Lock()
-	pushes := make([]*PushProxy, 0, len(c.push))
-	ids := make([]int, 0, len(c.push))
-	for id := range c.push {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		pushes = append(pushes, c.push[id])
-	}
-	pulls := make([]*PullProxy, 0, len(c.pull))
-	for _, p := range c.pull {
-		pulls = append(pulls, p)
-	}
-	now := c.clock()
-	c.mu.Unlock()
-
-	accepted := 0
-	for _, p := range pushes {
-		if !p.filter.Matches(ev) {
-			continue
-		}
-		accepted++
-		cp := ev.clone()
-		// Suspended connections buffer instead of delivering.
-		p.mu.Lock()
-		if p.suspended && !p.closed {
-			maxQ := p.effective(QoSMaxEventsPerConsumer, 0)
-			if maxQ > 0 && len(p.pending) >= maxQ {
-				p.pending = p.pending[1:]
-				p.Discarded++
-			}
-			p.pending = append(p.pending, cp)
-			p.mu.Unlock()
-			continue
-		}
-		p.mu.Unlock()
-		batchSize := p.effective(QoSMaximumBatchSize, 1)
-		if batchSize <= 1 {
-			p.mu.Lock()
-			h := p.handler
-			closed := p.closed
-			p.mu.Unlock()
-			if !closed && h != nil {
-				h([]*StructuredEvent{cp})
-			}
-			continue
-		}
-		p.mu.Lock()
-		p.batch = append(p.batch, cp)
-		var full []*StructuredEvent
-		if len(p.batch) >= batchSize {
-			full = p.batch
-			p.batch = nil
-		}
-		h := p.handler
-		closed := p.closed
-		p.mu.Unlock()
-		if !closed && full != nil && h != nil {
-			h(full)
-		}
-	}
-	for _, p := range pulls {
-		if !p.filter.Matches(ev) {
-			continue
-		}
-		accepted++
-		cp := ev.clone()
-		cp.VariableHeader["X-AttachedAt"] = now.UnixMilli()
-		maxQ := p.effective(QoSMaxEventsPerConsumer, 0)
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			continue
-		}
-		if maxQ > 0 && len(p.queue) >= maxQ {
-			if p.effectiveStr(QoSDiscardPolicy, DiscardFifo) == DiscardLifo {
-				p.Discarded++
-				p.mu.Unlock()
-				continue // drop the newest (this one)
-			}
-			p.queue = p.queue[1:] // drop the oldest
-			p.Discarded++
-		}
-		p.queue = append(p.queue, cp)
-		p.mu.Unlock()
-	}
-	return accepted
+	return c.eng.Dispatch(dispatch.Message{Payload: ev})
 }
 
 // ConsumerCount reports connected proxies of both models.
-func (c *Channel) ConsumerCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.push) + len(c.pull)
-}
+func (c *Channel) ConsumerCount() int { return c.eng.Count() }
+
+// Stats exposes the channel's dispatch counters.
+func (c *Channel) Stats() dispatch.Stats { return c.eng.Stats() }

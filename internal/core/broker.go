@@ -14,9 +14,12 @@
 //
 // Accepted notifications flow through a pluggable backend
 // (repro/internal/backend), so existing publish/subscribe systems can be
-// wrapped behind the WS front doors. Delivery runs through per-subscriber
-// ordered queues drained by dedicated workers, keeping one slow consumer
-// from stalling the rest.
+// wrapped behind the WS front doors. Fan-out and delivery run through the
+// shared dispatch engine (repro/internal/dispatch): a sharded subscriber
+// registry with a topic index, per-subscriber bounded queues drained by a
+// shared worker pool, and broker-side pull buffers — keeping one slow
+// consumer from stalling the rest. This layer keeps only what is
+// WS-specific: mediation, SOAP rendering and the lease store.
 package core
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/dispatch"
 	"repro/internal/filter"
 	"repro/internal/mediation"
 	"repro/internal/soap"
@@ -110,43 +114,35 @@ type Stats struct {
 	Mediations uint64 // deliveries whose outgoing spec differed from the incoming one
 }
 
-// subState is the broker-side record of one subscription.
+// subState is the broker-side record of one subscription: the canonical
+// subscribe, its compiled filter and the delivery plan. Queues, failure
+// counts and pull buffers live in the dispatch engine.
 type subState struct {
 	canon *mediation.Subscribe
 	flt   filter.All
 	plan  mediation.DeliveryPlan
-
-	mu        sync.Mutex
-	closed    bool
-	failures  int
-	pullQueue []*xmldom.Element
-	wrapBuf   []mediation.Notification
-
-	ch chan queued
 }
 
-type queued struct {
-	n      mediation.Notification
-	origin mediation.Dialect
+// fanMsg is the dispatch payload: the notification body plus the
+// publishing spec family (for the mediation counter).
+type fanMsg struct {
+	payload *xmldom.Element
+	origin  string
 }
 
 // Broker is the WS-Messenger broker.
 type Broker struct {
-	cfg   Config
-	store *sublease.Store
+	cfg    Config
+	store  *sublease.Store
+	engine *dispatch.Engine
 
 	mu      sync.Mutex
 	current map[string]*xmldom.Element // last message per topic
 	space   *topics.Space              // topics observed, advertised as a TopicSet
-	msgID   uint64
 
+	msgID      atomic.Uint64
 	published  atomic.Uint64
-	delivered  atomic.Uint64
-	dropped    atomic.Uint64
-	failures   atomic.Uint64
 	mediations atomic.Uint64
-
-	inflight sync.WaitGroup
 
 	cancelBackend func()
 	wsrfSvc       *wsrf.Service
@@ -155,6 +151,11 @@ type Broker struct {
 // New builds a broker and wires it to its backend.
 func New(cfg Config) (*Broker, error) {
 	b := &Broker{cfg: cfg.withDefaults(), current: map[string]*xmldom.Element{}, space: topics.NewSpace()}
+	b.engine = dispatch.New(dispatch.Config{
+		QueueCap:     b.cfg.QueueDepth,
+		FailureLimit: b.cfg.FailureLimit,
+		Clock:        b.cfg.Clock,
+	})
 	b.store = sublease.NewStore(
 		sublease.WithClock(b.cfg.Clock),
 		sublease.WithIDPrefix("wsm"),
@@ -185,22 +186,25 @@ func (b *Broker) SubscriptionCount() int { return len(b.store.Active()) }
 // Store exposes the lease store for scavenger wiring.
 func (b *Broker) Store() *sublease.Store { return b.store }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. Delivery counters come from the dispatch
+// engine; Published and Mediations are broker-level concepts.
 func (b *Broker) Stats() Stats {
+	es := b.engine.Stats()
 	return Stats{
 		Published:  b.published.Load(),
-		Delivered:  b.delivered.Load(),
-		Dropped:    b.dropped.Load(),
-		Failures:   b.failures.Load(),
+		Delivered:  es.Delivered,
+		Dropped:    es.Dropped,
+		Failures:   es.Failed,
 		Mediations: b.mediations.Load(),
 	}
 }
 
+// DispatchStats exposes the raw engine counters (including Matched) for
+// monitoring and benchmarks.
+func (b *Broker) DispatchStats() dispatch.Stats { return b.engine.Stats() }
+
 func (b *Broker) nextMessageID() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.msgID++
-	return fmt.Sprintf("urn:uuid:wsm-%d", b.msgID)
+	return fmt.Sprintf("urn:uuid:wsm-%d", b.msgID.Add(1))
 }
 
 // Publish is the broker's local (non-SOAP) publishing API, used by
@@ -221,166 +225,51 @@ func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin stri
 	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin})
 }
 
-// fanOut is the backend fan-in: route one message to every matching
-// subscriber in its own specification.
+// fanOut is the backend fan-in: hand one message to the dispatch engine,
+// which indexes candidates by topic, runs each candidate's full filter and
+// delivers per the subscriber's mode.
 func (b *Broker) fanOut(msg backend.Message) {
-	n := mediation.Notification{Topic: msg.Topic, Payload: msg.Payload}
-	fm := filter.Message{Topic: msg.Topic, Payload: msg.Payload, ProducerProperties: b.cfg.Properties}
-	for _, sn := range b.store.Deliverable() {
-		st := sn.Data.(*subState)
-		ok, err := st.flt.Accepts(fm)
-		if err != nil || !ok {
-			continue
-		}
-		if msg.Origin != "" && msg.Origin != st.canon.Origin.Family.String() {
-			b.mediations.Add(1)
-		}
-		if st.canon.PullMode {
-			st.mu.Lock()
-			if len(st.pullQueue) >= b.cfg.PullQueueCap {
-				st.pullQueue = st.pullQueue[1:]
-				b.dropped.Add(1)
-			}
-			st.pullQueue = append(st.pullQueue, msg.Payload.Clone())
-			st.mu.Unlock()
-			b.delivered.Add(1)
-			continue
-		}
-		if st.canon.WrapMode {
-			st.mu.Lock()
-			st.wrapBuf = append(st.wrapBuf, mediation.Notification{Topic: n.Topic, Payload: n.Payload.Clone()})
-			var batch []mediation.Notification
-			if len(st.wrapBuf) >= b.cfg.WrapBatchSize {
-				batch = st.wrapBuf
-				st.wrapBuf = nil
-			}
-			st.mu.Unlock()
-			if batch != nil {
-				b.deliverWrapped(sn.ID, st, batch)
-			}
-			continue
-		}
-		if b.cfg.SyncDelivery {
-			b.deliverOne(sn.ID, st, queued{n: n})
-			continue
-		}
-		b.inflight.Add(1)
-		if !st.enqueue(queued{n: n}) {
-			b.inflight.Done()
-			b.dropped.Add(1)
-		}
-	}
+	b.engine.Dispatch(dispatch.Message{
+		Topic:   msg.Topic,
+		Payload: fanMsg{payload: msg.Payload, origin: msg.Origin},
+	})
 }
 
-func (st *subState) enqueue(q queued) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
-		return false
-	}
-	select {
-	case st.ch <- q:
-		return true
-	default:
-		return false
-	}
-}
-
-func (st *subState) closeQueue() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if !st.closed {
-		st.closed = true
-		if st.ch != nil {
-			close(st.ch)
-		}
-	}
-}
-
-// worker drains one subscriber's queue in order.
-func (b *Broker) worker(id string, st *subState) {
-	for q := range st.ch {
-		b.deliverOne(id, st, q)
-		b.inflight.Done()
-	}
-}
-
-func (b *Broker) deliverOne(id string, st *subState, q queued) {
-	env := mediation.Render(q.n, st.canon.Consumer, st.plan, b.nextMessageID())
+// send renders one notification in the subscriber's spec and posts it.
+func (b *Broker) send(st *subState, n mediation.Notification) error {
+	env := mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	err := b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
-	cancel()
-	st.mu.Lock()
-	if err == nil {
-		st.failures = 0
-		st.mu.Unlock()
-		b.delivered.Add(1)
-		return
-	}
-	st.failures++
-	drop := st.failures >= b.cfg.FailureLimit
-	st.mu.Unlock()
-	b.failures.Add(1)
-	if drop {
-		b.store.Cancel(id, sublease.EndDeliveryFailure)
-	}
+	defer cancel()
+	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
 }
 
-// deliverWrapped sends one batched envelope to a WSE wrapped-mode
-// subscriber, with the same failure accounting as single deliveries.
-func (b *Broker) deliverWrapped(id string, st *subState, batch []mediation.Notification) {
+// sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
+func (b *Broker) sendWrapped(st *subState, batch []mediation.Notification) error {
 	env := mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	err := b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
-	cancel()
-	st.mu.Lock()
-	if err == nil {
-		st.failures = 0
-		st.mu.Unlock()
-		b.delivered.Add(uint64(len(batch)))
-		return
-	}
-	st.failures++
-	drop := st.failures >= b.cfg.FailureLimit
-	st.mu.Unlock()
-	b.failures.Add(1)
-	if drop {
-		b.store.Cancel(id, sublease.EndDeliveryFailure)
-	}
+	defer cancel()
+	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
 }
 
 // FlushWrapped forces out every partially filled wrapped-mode batch.
-func (b *Broker) FlushWrapped() {
-	for _, sn := range b.store.Deliverable() {
-		st := sn.Data.(*subState)
-		if !st.canon.WrapMode {
-			continue
-		}
-		st.mu.Lock()
-		batch := st.wrapBuf
-		st.wrapBuf = nil
-		st.mu.Unlock()
-		if len(batch) > 0 {
-			b.deliverWrapped(sn.ID, st, batch)
-		}
-	}
-}
+func (b *Broker) FlushWrapped() { b.engine.FlushBatches() }
 
 // Flush forces out partial wrapped batches and blocks until every queued
 // delivery has been attempted. Callers must not publish concurrently with
 // Flush.
 func (b *Broker) Flush() {
 	b.FlushWrapped()
-	b.inflight.Wait()
+	b.engine.Quiesce()
 }
 
 // Scavenge expires lapsed subscriptions.
 func (b *Broker) Scavenge() int { return b.store.Scavenge() }
 
 // Shutdown terminates every subscription (emitting end notices per the
-// subscriber's spec) and closes the backend.
+// subscriber's spec), stops the dispatch workers and closes the backend.
 func (b *Broker) Shutdown() {
 	b.store.Shutdown()
+	b.engine.Close()
 	if b.cancelBackend != nil {
 		b.cancelBackend()
 	}
@@ -388,7 +277,7 @@ func (b *Broker) Shutdown() {
 }
 
 // register creates the broker-side state for a canonical subscription.
-// The subState is completed inside the store's creation lock so no
+// The dispatch registration happens inside the store's creation lock so no
 // concurrent fan-out can observe a half-initialised subscription.
 func (b *Broker) register(canon *mediation.Subscribe, flt filter.All, expires time.Time) *sublease.Lease {
 	st := &subState{canon: canon, flt: flt}
@@ -400,12 +289,109 @@ func (b *Broker) register(canon *mediation.Subscribe, flt filter.All, expires ti
 	}
 	return b.store.CreateFunc(func(id string) any {
 		st.plan.SubscriptionID = id
-		if !b.cfg.SyncDelivery && !canon.PullMode {
-			st.ch = make(chan queued, b.cfg.QueueDepth)
-			go b.worker(id, st)
-		}
+		b.attach(id, st, false, expires)
 		return st
 	}, expires)
+}
+
+// selectorFor derives the topic-index placement from the compiled filter
+// chain: a topic filter indexes by its expression's concrete prefix,
+// anything else stays on the residual list.
+func selectorFor(flt filter.All) dispatch.Selector {
+	for _, f := range flt {
+		if tf, ok := f.(filter.Topic); ok {
+			return dispatch.ForExpression(tf.Expr)
+		}
+	}
+	return dispatch.MatchAll()
+}
+
+// attach registers a subscription with the dispatch engine, mapping the
+// canonical delivery options onto an engine mode: WSE pull mode becomes a
+// broker-side Pull buffer (drop-oldest at PullQueueCap), WSE wrapped mode
+// becomes Sync batching at WrapBatchSize, SyncDelivery delivers inline,
+// and everything else runs through a bounded drop-newest queue drained by
+// the shared worker pool.
+func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time) {
+	clone := func(m dispatch.Message) dispatch.Message {
+		fm := m.Payload.(fanMsg)
+		return dispatch.Message{Topic: m.Topic, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin}}
+	}
+	sub := dispatch.Sub{
+		ID:       id,
+		Selector: selectorFor(st.flt),
+		Filter: func(m dispatch.Message) (bool, error) {
+			fm := m.Payload.(fanMsg)
+			ok, err := st.flt.Accepts(filter.Message{
+				Topic:              m.Topic,
+				Payload:            fm.payload,
+				ProducerProperties: b.cfg.Properties,
+			})
+			if err != nil || !ok {
+				return false, err
+			}
+			if fm.origin != "" && fm.origin != st.canon.Origin.Family.String() {
+				b.mediations.Add(1)
+			}
+			return true, nil
+		},
+		FailureLimit: b.cfg.FailureLimit,
+		OnEvict: func(id string) {
+			b.store.Cancel(id, sublease.EndDeliveryFailure)
+		},
+		Paused:   paused,
+		Deadline: expires,
+	}
+	switch {
+	case st.canon.PullMode:
+		sub.Mode = dispatch.Pull
+		sub.QueueCap = b.cfg.PullQueueCap
+		sub.Overflow = dispatch.DropOldest
+		sub.Prepare = clone
+	case st.canon.WrapMode:
+		sub.Mode = dispatch.Sync
+		sub.Batch = b.cfg.WrapBatchSize
+		sub.Prepare = clone
+		sub.Deliver = func(batch []dispatch.Message) error {
+			ns := make([]mediation.Notification, len(batch))
+			for i, m := range batch {
+				ns[i] = mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload}
+			}
+			return b.sendWrapped(st, ns)
+		}
+	default:
+		if b.cfg.SyncDelivery {
+			sub.Mode = dispatch.Sync
+		} else {
+			sub.Mode = dispatch.Queued
+			sub.QueueCap = b.cfg.QueueDepth
+			sub.Overflow = dispatch.DropNewest
+		}
+		sub.Deliver = func(batch []dispatch.Message) error {
+			m := batch[0]
+			return b.send(st, mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload})
+		}
+	}
+	_ = b.engine.Subscribe(sub)
+}
+
+// cancelSubscription ends a lease by explicit request. The store does not
+// fire the end observer for EndCancelled (no end notice is owed), so the
+// engine detach happens here.
+func (b *Broker) cancelSubscription(id string) error {
+	err := b.store.Cancel(id, sublease.EndCancelled)
+	b.engine.Unsubscribe(id)
+	return err
+}
+
+// renewSubscription extends a lease and mirrors the new deadline into the
+// engine's soft-state expiry check.
+func (b *Broker) renewSubscription(id string, t time.Time) (time.Time, error) {
+	granted, err := b.store.Renew(id, t)
+	if err == nil {
+		b.engine.SetDeadline(id, granted)
+	}
+	return granted, err
 }
 
 // grantExpiry resolves a raw expiration per the origin dialect's rules:
@@ -440,7 +426,7 @@ func (b *Broker) onLeaseEnd(sn sublease.Snapshot, reason sublease.EndReason) {
 	if !ok {
 		return
 	}
-	st.closeQueue()
+	b.engine.Unsubscribe(sn.ID)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	switch st.canon.Origin.Family {
@@ -555,9 +541,9 @@ func (r *brokerSubResource) PropertyDocument() (*xmldom.Element, error) {
 }
 
 func (r *brokerSubResource) SetTerminationTime(t time.Time) (time.Time, error) {
-	return r.b.store.Renew(r.id, t)
+	return r.b.renewSubscription(r.id, t)
 }
 
 func (r *brokerSubResource) Destroy() error {
-	return r.b.store.Cancel(r.id, sublease.EndCancelled)
+	return r.b.cancelSubscription(r.id)
 }

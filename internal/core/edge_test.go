@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -158,6 +159,49 @@ func TestPullQueueOverflowAtBroker(t *testing.T) {
 	}
 	if b.Stats().Dropped != 3 {
 		t.Errorf("dropped = %d, want 3", b.Stats().Dropped)
+	}
+}
+
+// TestPullQueueOverflowKeepsNewestInOrder is the regression test for the
+// old `pullQueue = pullQueue[1:]` overflow path: pushing far past
+// PullQueueCap must keep exactly the newest cap messages, in publish
+// order, without unbounded slice growth behind the scenes (covered at the
+// ring level by TestRingDropOldestBounded in internal/dispatch).
+func TestPullQueueOverflowKeepsNewestInOrder(t *testing.T) {
+	const cap = 4
+	lb := transport.NewLoopback()
+	b, err := New(Config{Address: "svc://x", Client: lb, SyncDelivery: true, PullQueueCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register("svc://x", b.FrontHandler())
+	s := &wse.Subscriber{Client: lb, Version: wse.V200408}
+	h, err := s.Subscribe(context.Background(), "svc://x", &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://sink"),
+		Mode:     wse.V200408.DeliveryModePull(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10 * cap
+	for i := 0; i < total; i++ {
+		b.Publish(grid, event(fmt.Sprintf("m%03d", i)))
+	}
+	msgs, err := s.Pull(context.Background(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != cap {
+		t.Fatalf("pulled %d messages, want %d", len(msgs), cap)
+	}
+	for i, m := range msgs {
+		want := fmt.Sprintf("m%03d", total-cap+i)
+		if got := m.ChildText(xmldom.N("urn:grid", "val")); got != want {
+			t.Errorf("survivor %d = %q, want %q (reordered or stale)", i, got, want)
+		}
+	}
+	if got := b.Stats().Dropped; got != total-cap {
+		t.Errorf("dropped = %d, want %d", got, total-cap)
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/mediation"
 	"repro/internal/soap"
-	"repro/internal/sublease"
 	"repro/internal/topics"
 	"repro/internal/transport"
 	"repro/internal/wsa"
@@ -271,7 +270,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if err != nil {
 				return nil, wse.FaultUnsupportedExpirationType(v)
 			}
-			granted, err := b.store.Renew(id, expires)
+			granted, err := b.renewSubscription(id, expires)
 			if err != nil {
 				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
 			}
@@ -298,7 +297,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			out.AddBody(xmldom.Elem(ns, "GetStatusResponse", xmldom.Elem(ns, "Expires", expText)))
 			return out, nil
 		case "Unsubscribe":
-			if err := b.store.Cancel(id, sublease.EndCancelled); err != nil {
+			if err := b.cancelSubscription(id); err != nil {
 				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
 			}
 			b.applyReply(out, env, v.WSAVersion(), v.ActionUnsubscribeResponse())
@@ -308,27 +307,21 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if !v.SupportsPull() {
 				return nil, wse.FaultInvalidMessage(v, "Pull is not defined in "+v.String())
 			}
-			sn, err := b.store.Get(id)
-			if err != nil {
+			if _, err := b.store.Get(id); err != nil {
 				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
 			}
-			st := sn.Data.(*subState)
 			max := 0
 			if m := body.ChildText(xmldom.N(ns, "MaxElements")); m != "" {
 				fmt.Sscanf(m, "%d", &max)
 			}
-			st.mu.Lock()
-			n := len(st.pullQueue)
-			if max > 0 && max < n {
-				n = max
+			batch, err := b.engine.Pull(id, max)
+			if err != nil {
+				return nil, wse.FaultInvalidMessage(v, "unknown subscription "+id)
 			}
-			batch := st.pullQueue[:n:n]
-			st.pullQueue = append([]*xmldom.Element(nil), st.pullQueue[n:]...)
-			st.mu.Unlock()
 			b.applyReply(out, env, v.WSAVersion(), v.ActionPullResponse())
 			resp := xmldom.NewElement(xmldom.N(ns, "PullResponse"))
 			for _, m := range batch {
-				resp.Append(xmldom.Elem(ns, "Message", m))
+				resp.Append(xmldom.Elem(ns, "Message", m.Payload.(fanMsg).payload))
 			}
 			out.AddBody(resp)
 			return out, nil
@@ -343,6 +336,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if err := b.store.Pause(id); err != nil {
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
+			b.engine.Pause(id)
 			b.applyReply(out, env, v.WSAVersion(), ns+"/PauseSubscriptionResponse")
 			out.AddBody(xmldom.NewElement(xmldom.N(ns, "PauseSubscriptionResponse")))
 			return out, nil
@@ -350,6 +344,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if err := b.store.Resume(id); err != nil {
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
+			b.engine.Resume(id)
 			b.applyReply(out, env, v.WSAVersion(), ns+"/ResumeSubscriptionResponse")
 			out.AddBody(xmldom.NewElement(xmldom.N(ns, "ResumeSubscriptionResponse")))
 			return out, nil
@@ -361,7 +356,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if err != nil {
 				return nil, wsnt.FaultUnacceptableTerminationTime(v, err.Error())
 			}
-			granted, err := b.store.Renew(id, expires)
+			granted, err := b.renewSubscription(id, expires)
 			if err != nil {
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
@@ -377,7 +372,7 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			if !v.SupportsNativeManagement() {
 				return nil, wsnt.FaultUnsupportedOperation(v, "Unsubscribe")
 			}
-			if err := b.store.Cancel(id, sublease.EndCancelled); err != nil {
+			if err := b.cancelSubscription(id); err != nil {
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
 			b.applyReply(out, env, v.WSAVersion(), ns+"/UnsubscribeResponse")

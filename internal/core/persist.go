@@ -168,10 +168,7 @@ func (b *Broker) RestoreSubscriptions(r io.Reader) (int, error) {
 		}); err != nil {
 			return restored, err
 		}
-		if !b.cfg.SyncDelivery && !canon.PullMode {
-			st.ch = make(chan queued, b.cfg.QueueDepth)
-			go b.worker(ps.ID, st)
-		}
+		b.attach(ps.ID, st, ps.Paused, ps.Expires)
 		restored++
 	}
 	return restored, nil

@@ -1,0 +1,569 @@
+package dispatch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/topics"
+)
+
+// Config configures an Engine. The zero value is usable: shard and worker
+// counts derive from GOMAXPROCS, queues default to 256 slots and eviction
+// to 3 consecutive failures.
+type Config struct {
+	// Shards is the registry stripe count (default: GOMAXPROCS rounded
+	// up to a power of two, minimum 4).
+	Shards int
+	// Workers sizes the shared pool draining Queued subscribers
+	// (default: 4×GOMAXPROCS; deliveries may block on I/O). Workers
+	// start lazily with the first Queued subscriber.
+	Workers int
+	// QueueCap is the default Queued ring bound (default 256).
+	QueueCap int
+	// FailureLimit is the default consecutive-failure eviction threshold
+	// (default 3; subscribers can override, negative disables).
+	FailureLimit int
+	// Clock is the deadline time source (default time.Now).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.FailureLimit == 0 {
+		c.FailureLimit = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// sub is the engine-side record of one subscriber.
+type sub struct {
+	id   string
+	seq  uint64 // registration order, drives deterministic fan-out order
+	opts Sub
+
+	deadline atomic.Int64 // unix nanos, 0 = none
+	paused   atomic.Bool
+	closed   atomic.Bool
+
+	mu        sync.Mutex
+	q         ring // Queued ring / Pull buffer / pause buffer
+	accounted int  // queued messages currently counted in Engine.wg
+	batch     []Message
+	scheduled bool
+	failures  int
+	evicted   bool
+}
+
+// queueCap resolves the subscriber's effective queue bound.
+func (s *sub) queueCap(e *Engine) int {
+	if s.opts.QueueCap > 0 {
+		return s.opts.QueueCap
+	}
+	if s.opts.Mode == Queued {
+		return e.cfg.QueueCap
+	}
+	return 0 // pull/pause buffers default to unbounded
+}
+
+// Engine is the sharded dispatch engine.
+type Engine struct {
+	cfg Config
+	reg *registry
+	seq atomic.Uint64
+
+	published atomic.Uint64
+	matched   atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	failed    atomic.Uint64
+
+	wg sync.WaitGroup // queued deliveries not yet attempted
+
+	runMu   sync.Mutex
+	runCond *sync.Cond
+	runQ    []*sub
+	started bool
+	closing bool
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.reg = newRegistry(e.cfg.Shards)
+	e.runCond = sync.NewCond(&e.runMu)
+	return e
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Published: e.published.Load(),
+		Matched:   e.matched.Load(),
+		Delivered: e.delivered.Load(),
+		Dropped:   e.dropped.Load(),
+		Failed:    e.failed.Load(),
+	}
+}
+
+// Count reports registered subscribers.
+func (e *Engine) Count() int { return e.reg.count() }
+
+// Subscribe registers a subscriber.
+func (e *Engine) Subscribe(o Sub) error {
+	if o.ID == "" {
+		return ErrUnknownSub
+	}
+	s := &sub{id: o.ID, opts: o, seq: e.seq.Add(1)}
+	if o.Paused {
+		s.paused.Store(true)
+	}
+	if !o.Deadline.IsZero() {
+		s.deadline.Store(o.Deadline.UnixNano())
+	}
+	if !e.reg.add(s) {
+		return ErrDuplicateSub
+	}
+	if o.Mode == Queued {
+		e.startWorkers()
+	}
+	return nil
+}
+
+// Unsubscribe removes a subscriber, discarding anything still queued for
+// it (counted as dropped). It reports whether the id was registered.
+func (e *Engine) Unsubscribe(id string) bool {
+	s := e.reg.remove(id)
+	if s == nil {
+		return false
+	}
+	s.closed.Store(true)
+	s.mu.Lock()
+	n := s.q.len()
+	s.q.reset()
+	acc := s.accounted
+	s.accounted = 0
+	s.batch = nil
+	s.mu.Unlock()
+	if n > 0 {
+		e.dropped.Add(uint64(n))
+	}
+	for i := 0; i < acc; i++ {
+		e.wg.Done()
+	}
+	return true
+}
+
+// SetDeadline updates a subscriber's soft-state expiry; zero clears it.
+func (e *Engine) SetDeadline(id string, t time.Time) {
+	if s := e.reg.lookup(id); s != nil {
+		if t.IsZero() {
+			s.deadline.Store(0)
+		} else {
+			s.deadline.Store(t.UnixNano())
+		}
+	}
+}
+
+// Pause suspends a subscriber: with PauseBuffer its matched messages queue
+// until Resume, without it they skip the subscriber entirely.
+func (e *Engine) Pause(id string) {
+	if s := e.reg.lookup(id); s != nil {
+		s.paused.Store(true)
+	}
+}
+
+// Resume re-enables delivery, flushing a PauseBuffer subscriber's backlog:
+// inline (on the calling goroutine, in arrival order) for Sync
+// subscribers, through the worker pool for Queued ones.
+func (e *Engine) Resume(id string) {
+	s := e.reg.lookup(id)
+	if s == nil {
+		return
+	}
+	s.paused.Store(false)
+	if !s.opts.PauseBuffer {
+		return
+	}
+	switch s.opts.Mode {
+	case Sync:
+		for {
+			s.mu.Lock()
+			m, ok := s.q.pop()
+			s.mu.Unlock()
+			if !ok {
+				return
+			}
+			e.deliverSync(s, m)
+		}
+	case Queued:
+		s.mu.Lock()
+		add := s.q.len() - s.accounted
+		s.accounted = s.q.len()
+		sched := !s.scheduled && s.q.len() > 0
+		if sched {
+			s.scheduled = true
+		}
+		s.mu.Unlock()
+		if add > 0 {
+			e.wg.Add(add)
+		}
+		if sched {
+			e.schedule(s)
+		}
+	}
+}
+
+// Dispatch routes one message: index candidates, filter, deliver per each
+// matching subscriber's mode. It returns how many subscribers matched.
+func (e *Engine) Dispatch(m Message) int {
+	e.published.Add(1)
+	cands := e.reg.candidates(m.Topic)
+	matched := 0
+	var now time.Time
+	for _, s := range cands {
+		if s.closed.Load() {
+			continue
+		}
+		if dl := s.deadline.Load(); dl != 0 {
+			if now.IsZero() {
+				now = e.cfg.Clock()
+			}
+			if !now.Before(time.Unix(0, dl)) {
+				continue
+			}
+		}
+		if s.paused.Load() && !s.opts.PauseBuffer {
+			continue
+		}
+		if s.opts.Filter != nil {
+			ok, err := s.opts.Filter(m)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		matched++
+		e.matched.Add(1)
+		dm := m
+		if s.opts.Prepare != nil {
+			dm = s.opts.Prepare(m)
+		}
+		e.accept(s, dm)
+	}
+	return matched
+}
+
+// accept hands one matched message to a subscriber per its mode.
+func (e *Engine) accept(s *sub, m Message) {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		e.dropped.Add(1)
+		return
+	}
+	buffering := s.opts.Mode == Pull ||
+		(s.paused.Load() && s.opts.PauseBuffer) ||
+		s.opts.Mode == Queued
+	if !buffering {
+		s.mu.Unlock()
+		e.deliverSync(s, m)
+		return
+	}
+	track := s.opts.Mode == Queued && !s.paused.Load()
+	stored, evicted := s.q.push(m, s.queueCap(e), s.opts.Overflow)
+	dropped := 0
+	if !stored || evicted {
+		dropped = 1
+	}
+	if track {
+		switch {
+		case stored && !evicted:
+			s.accounted++
+			e.wg.Add(1)
+		case evicted && s.accounted < s.q.len():
+			// Evicted an untracked (pause-era) message but stored a
+			// tracked one: net +1 tracked.
+			s.accounted++
+			e.wg.Add(1)
+		}
+	}
+	sched := false
+	if track && stored && !s.scheduled {
+		s.scheduled = true
+		sched = true
+	}
+	onDrop := s.opts.OnDrop
+	s.mu.Unlock()
+	if dropped > 0 {
+		e.dropped.Add(uint64(dropped))
+		if onDrop != nil {
+			onDrop(dropped)
+		}
+	}
+	if sched {
+		e.schedule(s)
+	}
+}
+
+// deliverSync delivers inline, honouring wrap-mode batching.
+func (e *Engine) deliverSync(s *sub, m Message) {
+	if s.opts.Batch > 1 {
+		s.mu.Lock()
+		s.batch = append(s.batch, m)
+		var full []Message
+		if len(s.batch) >= s.opts.Batch {
+			full = s.batch
+			s.batch = nil
+		}
+		s.mu.Unlock()
+		if full != nil {
+			e.deliverBatch(s, full)
+		}
+		return
+	}
+	e.deliverBatch(s, []Message{m})
+}
+
+// deliverBatch attempts one delivery and runs the consecutive-failure
+// eviction accounting. No engine locks are held across Deliver, so
+// consumers may re-enter the engine.
+func (e *Engine) deliverBatch(s *sub, batch []Message) {
+	if s.closed.Load() {
+		e.dropped.Add(uint64(len(batch)))
+		return
+	}
+	if s.opts.Deliver == nil {
+		e.dropped.Add(uint64(len(batch)))
+		return
+	}
+	if err := s.opts.Deliver(batch); err == nil {
+		e.delivered.Add(uint64(len(batch)))
+		s.mu.Lock()
+		s.failures = 0
+		s.mu.Unlock()
+		return
+	}
+	e.failed.Add(uint64(len(batch)))
+	limit := s.opts.FailureLimit
+	if limit == 0 {
+		limit = e.cfg.FailureLimit
+	}
+	if limit <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.failures++
+	evict := s.failures >= limit && !s.evicted
+	if evict {
+		s.evicted = true
+	}
+	s.mu.Unlock()
+	if evict {
+		e.Unsubscribe(s.id)
+		if s.opts.OnEvict != nil {
+			s.opts.OnEvict(s.id)
+		}
+	}
+}
+
+// FlushBatch delivers a subscriber's partially filled Sync batch.
+func (e *Engine) FlushBatch(id string) {
+	if s := e.reg.lookup(id); s != nil {
+		e.flushBatch(s)
+	}
+}
+
+// FlushBatches delivers every subscriber's partially filled Sync batch, in
+// registration order.
+func (e *Engine) FlushBatches() {
+	e.reg.forEach(func(s *sub) {
+		if s.opts.Batch > 1 {
+			e.flushBatch(s)
+		}
+	})
+}
+
+func (e *Engine) flushBatch(s *sub) {
+	s.mu.Lock()
+	batch := s.batch
+	s.batch = nil
+	s.mu.Unlock()
+	if len(batch) > 0 {
+		e.deliverBatch(s, batch)
+	}
+}
+
+// Quiesce blocks until every queued delivery has been attempted. Callers
+// must not dispatch concurrently.
+func (e *Engine) Quiesce() { e.wg.Wait() }
+
+// QueueLen reports a subscriber's buffered message count.
+func (e *Engine) QueueLen(id string) int {
+	s := e.reg.lookup(id)
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.len()
+}
+
+// Pull removes and returns up to max buffered messages (all of them when
+// max <= 0) from a Pull subscriber, oldest first.
+func (e *Engine) Pull(id string, max int) ([]Message, error) {
+	return e.PullEdit(id, func(msgs []Message) []PullDecision {
+		n := len(msgs)
+		if max > 0 && max < n {
+			n = max
+		}
+		ds := make([]PullDecision, len(msgs))
+		for i := 0; i < n; i++ {
+			ds[i] = Take
+		}
+		return ds
+	})
+}
+
+// PullEdit lets the spec layer apply its own pull policy (priority order,
+// per-event expiry) atomically: fn sees the buffered messages in FIFO
+// order and returns a per-message decision. Taken messages return in queue
+// order and count as delivered; discarded ones count as dropped. fn runs
+// under the subscriber's lock and must not re-enter the engine. Non-Pull
+// subscribers yield no messages.
+func (e *Engine) PullEdit(id string, fn func([]Message) []PullDecision) ([]Message, error) {
+	s := e.reg.lookup(id)
+	if s == nil {
+		return nil, ErrUnknownSub
+	}
+	if s.opts.Mode != Pull {
+		return nil, nil
+	}
+	s.mu.Lock()
+	msgs := s.q.snapshot()
+	ds := fn(msgs)
+	var taken, kept []Message
+	discarded := 0
+	for i, m := range msgs {
+		d := Keep
+		if i < len(ds) {
+			d = ds[i]
+		}
+		switch d {
+		case Take:
+			taken = append(taken, m)
+		case Discard:
+			discarded++
+		default:
+			kept = append(kept, m)
+		}
+	}
+	if len(taken) > 0 || discarded > 0 {
+		s.q.replace(kept)
+	}
+	s.mu.Unlock()
+	if discarded > 0 {
+		e.dropped.Add(uint64(discarded))
+	}
+	if len(taken) > 0 {
+		e.delivered.Add(uint64(len(taken)))
+	}
+	return taken, nil
+}
+
+// Candidates returns the ids the topic index cannot rule out for a
+// message on topic, in registration order — introspection for tests and
+// monitoring.
+func (e *Engine) Candidates(topic topics.Path) []string {
+	cands := e.reg.candidates(topic)
+	out := make([]string, len(cands))
+	for i, s := range cands {
+		out[i] = s.id
+	}
+	return out
+}
+
+// Close stops the worker pool once its run queue drains. In-flight
+// deliveries finish; subsequent Queued messages would wait forever, so
+// unsubscribe (or Quiesce) before closing.
+func (e *Engine) Close() {
+	e.runMu.Lock()
+	e.closing = true
+	e.runCond.Broadcast()
+	e.runMu.Unlock()
+}
+
+func (e *Engine) startWorkers() {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.started || e.closing {
+		return
+	}
+	e.started = true
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.worker()
+	}
+}
+
+func (e *Engine) schedule(s *sub) {
+	e.runMu.Lock()
+	e.runQ = append(e.runQ, s)
+	e.runCond.Signal()
+	e.runMu.Unlock()
+}
+
+// worker drains scheduled subscribers. A subscriber is on the run queue at
+// most once (the scheduled flag), and only the worker holding it pops its
+// ring, so per-subscriber order is preserved without per-subscriber
+// goroutines.
+func (e *Engine) worker() {
+	for {
+		e.runMu.Lock()
+		for len(e.runQ) == 0 && !e.closing {
+			e.runCond.Wait()
+		}
+		if len(e.runQ) == 0 {
+			e.runMu.Unlock()
+			return
+		}
+		s := e.runQ[0]
+		e.runQ = e.runQ[1:]
+		e.runMu.Unlock()
+		e.drain(s)
+	}
+}
+
+func (e *Engine) drain(s *sub) {
+	for {
+		s.mu.Lock()
+		if s.paused.Load() && s.opts.PauseBuffer {
+			// Paused mid-drain: leave the backlog for Resume.
+			s.scheduled = false
+			s.mu.Unlock()
+			return
+		}
+		m, ok := s.q.pop()
+		if !ok {
+			s.scheduled = false
+			s.mu.Unlock()
+			return
+		}
+		tracked := s.accounted > 0
+		if tracked {
+			s.accounted--
+		}
+		s.mu.Unlock()
+		e.deliverSync(s, m)
+		if tracked {
+			e.wg.Done()
+		}
+	}
+}

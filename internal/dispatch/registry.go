@@ -1,0 +1,253 @@
+package dispatch
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/topics"
+)
+
+// Selector places a subscriber in the topic index. The index is a
+// candidate pre-filter, not the acceptance test: it must never exclude a
+// subscriber whose full filter could match, so anything that cannot be
+// keyed precisely (wildcards before any concrete name, namespace-agnostic
+// expressions, content-only filters) lands on the residual list.
+type Selector struct {
+	kind selKind
+	key  string
+}
+
+type selKind int
+
+const (
+	selResidual selKind = iota
+	selExact
+	selPrefix
+)
+
+// MatchAll returns the residual selector: the subscriber is a candidate
+// for every message. This is the zero Selector.
+func MatchAll() Selector { return Selector{} }
+
+// ExactTopic indexes the subscriber under one concrete topic: it is a
+// candidate only for messages published exactly on p.
+func ExactTopic(p topics.Path) Selector {
+	if p.IsZero() {
+		return Selector{}
+	}
+	return Selector{kind: selExact, key: p.String()}
+}
+
+// TopicPrefix indexes the subscriber under a topic-tree prefix: it is a
+// candidate for messages on p and every descendant of p.
+func TopicPrefix(p topics.Path) Selector {
+	if p.IsZero() {
+		return Selector{}
+	}
+	return Selector{kind: selPrefix, key: p.String()}
+}
+
+// ForExpression classifies a compiled WS-Topics expression. Expressions
+// that name a single concrete topic index exactly; expressions with a
+// concrete leading path followed by wildcards index as a prefix;
+// everything else (leading wildcard or descendant step, namespace-agnostic
+// expressions, nil) is residual. The classification is a superset: the
+// expression itself must still run as the subscriber's filter.
+func ForExpression(e *topics.Expression) Selector {
+	if e == nil {
+		return Selector{}
+	}
+	prefix, exact, ok := e.IndexPrefix()
+	if !ok || prefix.Namespace == "" {
+		// A namespace-free expression matches paths in ANY namespace
+		// (topics.Expression.Matches), so no namespace-qualified key can
+		// cover it.
+		return Selector{}
+	}
+	if exact {
+		return ExactTopic(prefix)
+	}
+	return TopicPrefix(prefix)
+}
+
+// shard is one stripe of the registry. Subscribers are assigned to shards
+// by id hash, so registration churn spreads across stripes instead of
+// serialising on one registry mutex.
+type shard struct {
+	mu       sync.RWMutex
+	byID     map[string]*sub
+	exact    map[string][]*sub
+	prefix   map[string][]*sub
+	residual []*sub
+}
+
+type registry struct {
+	shards []*shard
+}
+
+func newRegistry(n int) *registry {
+	if n <= 0 {
+		n = defaultShards()
+	}
+	r := &registry{shards: make([]*shard, n)}
+	for i := range r.shards {
+		r.shards[i] = &shard{
+			byID:   map[string]*sub{},
+			exact:  map[string][]*sub{},
+			prefix: map[string][]*sub{},
+		}
+	}
+	return r
+}
+
+// defaultShards derives the stripe count from GOMAXPROCS, rounded up to a
+// power of two (cheap masking-friendly modulo, stable under small
+// GOMAXPROCS changes).
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+func (r *registry) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[int(h.Sum32())%len(r.shards)]
+}
+
+// add registers s; it reports false on a duplicate id.
+func (r *registry) add(s *sub) bool {
+	sh := r.shardFor(s.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.byID[s.id]; dup {
+		return false
+	}
+	sh.byID[s.id] = s
+	switch s.opts.Selector.kind {
+	case selExact:
+		sh.exact[s.opts.Selector.key] = append(sh.exact[s.opts.Selector.key], s)
+	case selPrefix:
+		sh.prefix[s.opts.Selector.key] = append(sh.prefix[s.opts.Selector.key], s)
+	default:
+		sh.residual = append(sh.residual, s)
+	}
+	return true
+}
+
+// remove deregisters the id, returning the removed subscriber.
+func (r *registry) remove(id string) *sub {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(sh.byID, id)
+	switch s.opts.Selector.kind {
+	case selExact:
+		sh.exact[s.opts.Selector.key] = cut(sh.exact[s.opts.Selector.key], s)
+		if len(sh.exact[s.opts.Selector.key]) == 0 {
+			delete(sh.exact, s.opts.Selector.key)
+		}
+	case selPrefix:
+		sh.prefix[s.opts.Selector.key] = cut(sh.prefix[s.opts.Selector.key], s)
+		if len(sh.prefix[s.opts.Selector.key]) == 0 {
+			delete(sh.prefix, s.opts.Selector.key)
+		}
+	default:
+		sh.residual = cut(sh.residual, s)
+	}
+	return s
+}
+
+func cut(list []*sub, s *sub) []*sub {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func (r *registry) lookup(id string) *sub {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.byID[id]
+}
+
+func (r *registry) count() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.byID)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// prefixKeys returns the index keys of p and every ancestor of p, shortest
+// first: "{ns}a", "{ns}a/b", ..., up to p.String().
+func prefixKeys(p topics.Path) []string {
+	keys := make([]string, len(p.Segments))
+	key := ""
+	if p.Namespace != "" {
+		key = "{" + p.Namespace + "}"
+	}
+	for i, seg := range p.Segments {
+		if i > 0 {
+			key += "/"
+		}
+		key += seg
+		keys[i] = key
+	}
+	return keys
+}
+
+// candidates collects the subscribers the index cannot rule out for a
+// message on topic, in registration order. Zero-topic messages reach only
+// the residual list: an indexed subscriber's topic filter could never
+// match a message without a topic.
+func (r *registry) candidates(topic topics.Path) []*sub {
+	keys := prefixKeys(topic)
+	var out []*sub
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		if len(keys) > 0 {
+			out = append(out, sh.exact[keys[len(keys)-1]]...)
+			for _, k := range keys {
+				out = append(out, sh.prefix[k]...)
+			}
+		}
+		out = append(out, sh.residual...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// forEach visits every subscriber in registration order.
+func (r *registry) forEach(fn func(*sub)) {
+	var all []*sub
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, s := range sh.byID {
+			all = append(all, s)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, s := range all {
+		fn(s)
+	}
+}

@@ -1,0 +1,96 @@
+package dispatch
+
+// ring is a FIFO message buffer backed by a circular slice. A bounded ring
+// (cap > 0) never grows past cap, so overflow is O(1) and drop-oldest does
+// not leak the backing array the way `q = q[1:]` does; an unbounded ring
+// (cap <= 0) doubles on demand. Popped slots are zeroed so the ring never
+// pins delivered payloads.
+type ring struct {
+	buf  []Message
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+// push appends m, honouring cap and the overflow policy. It reports
+// whether m was stored and whether an existing message was evicted.
+func (r *ring) push(m Message, cap int, ovf Overflow) (stored, evicted bool) {
+	if cap > 0 && r.n >= cap {
+		if ovf == DropNewest {
+			return false, false
+		}
+		r.pop() // DropOldest: evict the head to make room
+		evicted = true
+	}
+	if r.n == len(r.buf) {
+		r.grow(cap)
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+	return true, evicted
+}
+
+func (r *ring) grow(cap int) {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	if cap > 0 && size > cap {
+		size = cap
+	}
+	next := make([]Message, size)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// pop removes and returns the oldest message.
+func (r *ring) pop() (Message, bool) {
+	if r.n == 0 {
+		return Message{}, false
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = Message{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m, true
+}
+
+// snapshot copies the queued messages in FIFO order.
+func (r *ring) snapshot() []Message {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]Message, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// replace resets the ring contents to msgs (FIFO order), reusing the
+// backing slice when it fits.
+func (r *ring) replace(msgs []Message) {
+	for i := range r.buf {
+		r.buf[i] = Message{}
+	}
+	r.head, r.n = 0, 0
+	for _, m := range msgs {
+		if r.n == len(r.buf) {
+			r.grow(0)
+		}
+		r.buf[r.n] = m
+		r.n++
+	}
+}
+
+// reset empties the ring, zeroing every slot.
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = Message{}
+	}
+	r.head, r.n = 0, 0
+}

@@ -1,0 +1,117 @@
+package dispatch
+
+import "testing"
+
+func msgs(vals ...int) []Message {
+	out := make([]Message, len(vals))
+	for i, v := range vals {
+		out[i] = Message{Payload: v}
+	}
+	return out
+}
+
+func drain(r *ring) []int {
+	var out []int
+	for {
+		m, ok := r.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, m.Payload.(int))
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	var r ring
+	for _, m := range msgs(1, 2, 3, 4, 5) {
+		if stored, evicted := r.push(m, 0, DropNewest); !stored || evicted {
+			t.Fatalf("unbounded push: stored=%v evicted=%v", stored, evicted)
+		}
+	}
+	if got := drain(&r); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("FIFO order broken: %v", got)
+	}
+}
+
+func TestRingDropNewest(t *testing.T) {
+	var r ring
+	for i := 1; i <= 5; i++ {
+		r.push(Message{Payload: i}, 3, DropNewest)
+	}
+	got := drain(&r)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestRingDropOldestBounded is the regression test for the broker's old
+// `pullQueue = pullQueue[1:]` overflow: pushing far past the cap must
+// neither grow the backing array nor reorder the survivors.
+func TestRingDropOldestBounded(t *testing.T) {
+	const cap = 8
+	var r ring
+	evictions := 0
+	for i := 1; i <= 10*cap; i++ {
+		stored, evicted := r.push(Message{Payload: i}, cap, DropOldest)
+		if !stored {
+			t.Fatalf("drop-oldest must always store the new message (i=%d)", i)
+		}
+		if evicted {
+			evictions++
+		}
+	}
+	if len(r.buf) > cap {
+		t.Fatalf("backing array grew past cap: len=%d cap=%d", len(r.buf), cap)
+	}
+	if evictions != 9*cap {
+		t.Fatalf("evictions=%d want %d", evictions, 9*cap)
+	}
+	got := drain(&r)
+	if len(got) != cap {
+		t.Fatalf("survivors=%d want %d", len(got), cap)
+	}
+	for i, v := range got {
+		if want := 9*cap + i + 1; v != want {
+			t.Fatalf("survivor %d = %d, want %d (reordered)", i, v, want)
+		}
+	}
+}
+
+func TestRingPopZeroesSlot(t *testing.T) {
+	var r ring
+	r.push(Message{Payload: "pinned"}, 4, DropNewest)
+	r.pop()
+	for i, m := range r.buf {
+		if m.Payload != nil {
+			t.Fatalf("slot %d still pins payload %v after pop", i, m.Payload)
+		}
+	}
+}
+
+func TestRingReplaceAndReset(t *testing.T) {
+	var r ring
+	for _, m := range msgs(1, 2, 3, 4) {
+		r.push(m, 0, DropNewest)
+	}
+	r.pop() // head moves, contents wrap on replace reuse
+	r.replace(msgs(7, 8))
+	if got := drain(&r); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("replace broken: %v", got)
+	}
+	r.push(Message{Payload: 9}, 0, DropNewest)
+	r.reset()
+	if r.len() != 0 {
+		t.Fatalf("reset left %d messages", r.len())
+	}
+	for i, m := range r.buf {
+		if m.Payload != nil {
+			t.Fatalf("reset left slot %d pinned: %v", i, m.Payload)
+		}
+	}
+}

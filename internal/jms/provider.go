@@ -6,13 +6,24 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/topics"
 )
+
+// topicNS is the namespace topic destinations are indexed under in the
+// provider's dispatch engine.
+const topicNS = "urn:jms"
 
 // Provider is the in-process JMS-style provider: a registry of queues
 // (point-to-point) and topics (publish/subscribe), with an append-only
 // journal standing in for the persistent store behind Persistent-mode
-// deliveries.
+// deliveries. Topic fan-out runs through one shared dispatch engine:
+// every subscriber indexes under its topic name, so publishing touches
+// only that topic's subscribers regardless of how many topics the
+// provider hosts.
 type Provider struct {
+	eng     *dispatch.Engine
 	mu      sync.Mutex
 	queues  map[string]*Queue
 	topics  map[string]*Topic
@@ -24,6 +35,7 @@ type Provider struct {
 // NewProvider builds an empty provider.
 func NewProvider() *Provider {
 	return &Provider{
+		eng:    dispatch.New(dispatch.Config{}),
 		queues: map[string]*Queue{},
 		topics: map[string]*Topic{},
 		clock:  time.Now,
@@ -166,7 +178,10 @@ func (q *Queue) Len() int {
 
 // --- Publish/subscribe topics ---
 
-// Topic is a publish/subscribe destination.
+// Topic is a publish/subscribe destination. Delivery runs through the
+// provider's dispatch engine: each subscriber indexes under the topic
+// name, durable subscribers buffer while deactivated via the engine's
+// pause buffer (bounded at durableBufferCap, drop-oldest).
 type Topic struct {
 	name     string
 	provider *Provider
@@ -176,16 +191,64 @@ type Topic struct {
 	durable  map[string]*TopicSub
 }
 
-// TopicSub is one subscription on a topic.
+// durableBufferCap bounds a deactivated durable subscriber's buffer.
+const durableBufferCap = 4096
+
+// TopicSub is one subscription on a topic. For durable subscriptions the
+// selector and handler can change across reactivations, so the dispatch
+// closures read them under mu.
 type TopicSub struct {
-	id       int
-	name     string // durable name, "" for non-durable
+	engID string
+	name  string // durable name, "" for non-durable
+
+	mu       sync.Mutex
 	selector *Selector
 	handler  func(Message)
 	active   bool
-	buffer   []Message // durable offline buffer
-	maxBuf   int
 	dropped  int
+}
+
+// path returns the topic's index key in the provider's dispatch engine.
+func (t *Topic) path() topics.Path {
+	return topics.Path{Namespace: topicNS, Segments: []string{t.name}}
+}
+
+// subscribeEngine registers sub with the provider's engine, indexed under
+// this topic.
+func (t *Topic) subscribeEngine(sub *TopicSub, paused bool) {
+	_ = t.provider.eng.Subscribe(dispatch.Sub{
+		ID:       sub.engID,
+		Selector: dispatch.ExactTopic(t.path()),
+		Filter: func(m dispatch.Message) (bool, error) {
+			sub.mu.Lock()
+			sel := sub.selector
+			sub.mu.Unlock()
+			return sel == nil || sel.Matches(m.Payload.(Message)), nil
+		},
+		Prepare: func(m dispatch.Message) dispatch.Message {
+			return dispatch.Message{Topic: m.Topic, Payload: m.Payload.(Message).clone()}
+		},
+		Mode: dispatch.Sync,
+		Deliver: func(batch []dispatch.Message) error {
+			sub.mu.Lock()
+			h := sub.handler
+			sub.mu.Unlock()
+			if h != nil {
+				h(batch[0].Payload.(Message))
+			}
+			return nil
+		},
+		PauseBuffer: true,
+		Paused:      paused,
+		QueueCap:    durableBufferCap,
+		Overflow:    dispatch.DropOldest,
+		OnDrop: func(n int) {
+			sub.mu.Lock()
+			sub.dropped += n
+			sub.mu.Unlock()
+		},
+		FailureLimit: -1,
+	})
 }
 
 // Name returns the topic name.
@@ -194,14 +257,20 @@ func (t *Topic) Name() string { return t.name }
 // Subscribe registers a non-durable subscriber; cancel removes it.
 func (t *Topic) Subscribe(sel *Selector, fn func(Message)) (cancel func()) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.nextID++
 	id := t.nextID
-	t.subs[id] = &TopicSub{id: id, selector: sel, handler: fn, active: true}
+	sub := &TopicSub{
+		engID:    fmt.Sprintf("topic/%s#%d", t.name, id),
+		selector: sel, handler: fn, active: true,
+	}
+	t.subs[id] = sub
+	t.mu.Unlock()
+	t.subscribeEngine(sub, false)
 	return func() {
 		t.mu.Lock()
-		defer t.mu.Unlock()
 		delete(t.subs, id)
+		t.mu.Unlock()
+		t.provider.eng.Unsubscribe(sub.engID)
 	}
 }
 
@@ -210,25 +279,27 @@ func (t *Topic) Subscribe(sel *Selector, fn func(Message)) (cancel func()) {
 // reactivation — the durability QoS of Table 3.
 func (t *Topic) SubscribeDurable(name string, sel *Selector, fn func(Message)) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	sub, ok := t.durable[name]
 	if !ok {
-		t.nextID++
-		sub = &TopicSub{id: t.nextID, name: name, maxBuf: 4096}
+		sub = &TopicSub{engID: fmt.Sprintf("topic/%s/durable/%s", t.name, name), name: name}
 		t.durable[name] = sub
 	}
+	t.mu.Unlock()
+	sub.mu.Lock()
 	if sub.active {
+		sub.mu.Unlock()
 		return fmt.Errorf("jms: durable subscriber %q already active", name)
 	}
 	sub.selector = sel
 	sub.handler = fn
 	sub.active = true
-	// Replay the offline buffer in order.
-	buf := sub.buffer
-	sub.buffer = nil
-	for _, m := range buf {
-		fn(m)
+	sub.mu.Unlock()
+	if !ok {
+		t.subscribeEngine(sub, false)
+		return nil
 	}
+	// Reactivation: the engine replays the offline buffer in order.
+	t.provider.eng.Resume(sub.engID)
 	return nil
 }
 
@@ -236,24 +307,30 @@ func (t *Topic) SubscribeDurable(name string, sel *Selector, fn func(Message)) e
 // returns.
 func (t *Topic) Deactivate(name string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	sub, ok := t.durable[name]
+	t.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("jms: no durable subscriber %q", name)
 	}
+	sub.mu.Lock()
 	sub.active = false
 	sub.handler = nil
+	sub.mu.Unlock()
+	t.provider.eng.Pause(sub.engID)
 	return nil
 }
 
 // UnsubscribeDurable removes a durable subscription entirely.
 func (t *Topic) UnsubscribeDurable(name string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.durable[name]; !ok {
+	sub, ok := t.durable[name]
+	if !ok {
+		t.mu.Unlock()
 		return fmt.Errorf("jms: no durable subscriber %q", name)
 	}
 	delete(t.durable, name)
+	t.mu.Unlock()
+	t.provider.eng.Unsubscribe(sub.engID)
 	return nil
 }
 
@@ -273,49 +350,7 @@ func (t *Topic) Publish(m Message) error {
 	if !h.Expiration.IsZero() && now.After(h.Expiration) {
 		return nil
 	}
-	t.mu.Lock()
-	type target struct {
-		fn func(Message)
-		m  Message
-	}
-	var targets []target
-	deliver := func(sub *TopicSub) {
-		if sub.selector != nil && !sub.selector.Matches(m) {
-			return
-		}
-		cp := m.clone()
-		if sub.active && sub.handler != nil {
-			targets = append(targets, target{sub.handler, cp})
-			return
-		}
-		if sub.name != "" { // durable, offline: buffer
-			if len(sub.buffer) >= sub.maxBuf {
-				sub.buffer = sub.buffer[1:]
-				sub.dropped++
-			}
-			sub.buffer = append(sub.buffer, cp)
-		}
-	}
-	ids := make([]int, 0, len(t.subs))
-	for id := range t.subs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		deliver(t.subs[id])
-	}
-	names := make([]string, 0, len(t.durable))
-	for n := range t.durable {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		deliver(t.durable[n])
-	}
-	t.mu.Unlock()
-	for _, tg := range targets {
-		tg.fn(tg.m)
-	}
+	t.provider.eng.Dispatch(dispatch.Message{Topic: t.path(), Payload: m})
 	return nil
 }
 
@@ -325,9 +360,11 @@ func (t *Topic) SubscriberCount() int {
 	defer t.mu.Unlock()
 	n := len(t.subs)
 	for _, d := range t.durable {
+		d.mu.Lock()
 		if d.active {
 			n++
 		}
+		d.mu.Unlock()
 	}
 	return n
 }

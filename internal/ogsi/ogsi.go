@@ -18,8 +18,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/soap"
 	"repro/internal/sublease"
+	"repro/internal/topics"
 	"repro/internal/transport"
 	"repro/internal/xmldom"
 	"repro/internal/xsdt"
@@ -43,11 +45,29 @@ type Source struct {
 	mu    sync.Mutex
 	sdes  map[string]*xmldom.Element
 	store *sublease.Store
+	eng   *dispatch.Engine
 }
 
 type ogsiSub struct {
 	serviceDataName string
 	sinkAddr        string
+}
+
+// sdeEvent is the dispatch payload for one SDE change: the request
+// context, the new value and the per-call success counter (incremented in
+// Deliver, which runs synchronously on the SetServiceData goroutine).
+type sdeEvent struct {
+	ctx    context.Context
+	name   string
+	value  *xmldom.Element
+	pushed *int
+}
+
+// sdePath is the topic a service data element indexes under: subscribers
+// name exactly one SDE, so every subscription sits in an exact bucket and
+// a change touches only that element's subscribers.
+func sdePath(name string) topics.Path {
+	return topics.Path{Namespace: NS, Segments: []string{name}}
 }
 
 // NewSource builds a source.
@@ -56,12 +76,43 @@ func NewSource(address string, client transport.Client, clock func() time.Time) 
 		clock = time.Now
 	}
 	s := &Source{Address: address, Client: client, Clock: clock, sdes: map[string]*xmldom.Element{}}
-	s.store = sublease.NewStore(sublease.WithClock(clock), sublease.WithIDPrefix("ogsi"))
+	s.eng = dispatch.New(dispatch.Config{Clock: clock})
+	s.store = sublease.NewStore(
+		sublease.WithClock(clock),
+		sublease.WithIDPrefix("ogsi"),
+		sublease.WithEndObserver(func(sn sublease.Snapshot, _ sublease.EndReason) {
+			s.eng.Unsubscribe(sn.ID)
+		}),
+	)
 	return s
 }
 
 // SubscriptionCount reports live subscriptions.
 func (s *Source) SubscriptionCount() int { return len(s.store.Active()) }
+
+// subscribe registers the lease with the dispatch engine.
+func (s *Source) subscribe(id, name, sink string, expires time.Time) {
+	_ = s.eng.Subscribe(dispatch.Sub{
+		ID:       id,
+		Selector: dispatch.ExactTopic(sdePath(name)),
+		Mode:     dispatch.Sync,
+		Deadline: expires,
+		Deliver: func(batch []dispatch.Message) error {
+			ev := batch[0].Payload.(*sdeEvent)
+			env := soap.New(soap.V11)
+			env.AddBody(xmldom.Elem(NS, "deliverNotification",
+				xmldom.Elem(NS, "serviceDataName", ev.name),
+				xmldom.Elem(NS, "value", ev.value.Clone()),
+			))
+			if err := s.Client.Send(ev.ctx, sink, env); err != nil {
+				return err
+			}
+			*ev.pushed++
+			return nil
+		},
+		FailureLimit: -1,
+	})
+}
 
 // SetServiceData updates a service data element and pushes its new value
 // to every live subscriber of that name — the OGSI change-notification
@@ -71,20 +122,10 @@ func (s *Source) SetServiceData(ctx context.Context, name string, value *xmldom.
 	s.sdes[name] = value.Clone()
 	s.mu.Unlock()
 	pushed := 0
-	for _, sn := range s.store.Deliverable() {
-		sub := sn.Data.(*ogsiSub)
-		if sub.serviceDataName != name {
-			continue
-		}
-		env := soap.New(soap.V11)
-		env.AddBody(xmldom.Elem(NS, "deliverNotification",
-			xmldom.Elem(NS, "serviceDataName", name),
-			xmldom.Elem(NS, "value", value.Clone()),
-		))
-		if err := s.Client.Send(ctx, sub.sinkAddr, env); err == nil {
-			pushed++
-		}
-	}
+	s.eng.Dispatch(dispatch.Message{
+		Topic:   sdePath(name),
+		Payload: &sdeEvent{ctx: ctx, name: name, value: value, pushed: &pushed},
+	})
 	return pushed
 }
 
@@ -125,6 +166,7 @@ func (s *Source) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelop
 			expires = t
 		}
 		lease := s.store.Create(&ogsiSub{serviceDataName: name, sinkAddr: sink}, expires)
+		s.subscribe(lease.ID, name, sink, expires)
 		out := soap.New(env.Version)
 		out.AddBody(xmldom.Elem(NS, "subscribeResponse",
 			xmldom.Elem(NS, "subscriptionHandle", lease.ID)))
@@ -141,6 +183,7 @@ func (s *Source) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelop
 		if err != nil {
 			return nil, soap.Faultf(soap.FaultSender, "ogsi: unknown subscription %q", id)
 		}
+		s.eng.SetDeadline(id, granted)
 		out := soap.New(env.Version)
 		out.AddBody(xmldom.Elem(NS, "terminationTimeSet",
 			xmldom.Elem(NS, "terminationTime", xsdt.FormatDateTime(granted))))
@@ -151,6 +194,8 @@ func (s *Source) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelop
 		if err := s.store.Cancel(id, sublease.EndCancelled); err != nil {
 			return nil, soap.Faultf(soap.FaultSender, "ogsi: unknown subscription %q", id)
 		}
+		// EndCancelled does not fire the end observer.
+		s.eng.Unsubscribe(id)
 		out := soap.New(env.Version)
 		out.AddBody(xmldom.NewElement(xmldom.N(NS, "destroyResponse")))
 		return out, nil

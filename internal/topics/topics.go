@@ -381,6 +381,33 @@ func (e *Expression) ConcretePath() (Path, bool) {
 	return Path{Namespace: e.Namespace, Segments: segs}, true
 }
 
+// IndexPrefix reports the longest leading run of concrete names in the
+// expression, for use as a topic-index key. exact is true when the
+// expression matches only that exact path (all segments concrete, modulo a
+// trailing '.'); otherwise the expression matches only topics at or below
+// the prefix. ok is false when the expression has no concrete leading
+// name (e.g. "*", "//a") and therefore cannot be indexed by prefix.
+func (e *Expression) IndexPrefix() (prefix Path, exact, ok bool) {
+	var names []string
+	exact = true
+	for i := 0; i < len(e.segs); i++ {
+		s := e.segs[i]
+		if s.kind == segName {
+			names = append(names, s.name)
+			continue
+		}
+		if s.kind == segSelf && i == len(e.segs)-1 {
+			break // trailing '.' names the node already reached
+		}
+		exact = false
+		break
+	}
+	if len(names) == 0 {
+		return Path{}, false, false
+	}
+	return Path{Namespace: e.Namespace, Segments: names}, exact, true
+}
+
 // Space is a topic space: the set of topics a producer supports, organised
 // as a forest per namespace. It is safe for concurrent use. Producers
 // advertise it as a WS-Topics TopicSet resource document; brokers use it to
