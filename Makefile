@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test vet race check bench comparison examples outputs clean
+.PHONY: all build test vet race check fmt-check golden bench bench-smoke ci comparison examples outputs goldens clean
 
 all: check
 
@@ -21,8 +21,29 @@ race:
 check: build vet test
 	go test -race ./internal/dispatch ./internal/core
 
+# Fail when any file needs gofmt; print the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required on:"; echo "$$out"; exit 1; fi
+
+# Wire-format golden probes only (the lint job's fast regression gate).
+golden:
+	go test ./internal/probes -run Golden
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# Non-blocking CI smoke: run every benchmark once so bench code cannot
+# bit-rot, and publish a machine-readable BENCH_*.json baseline.
+bench-smoke:
+	go test -bench=. -benchtime=1x ./... > bench_smoke.txt
+	go run ./cmd/benchjson -o BENCH_ci.json < bench_smoke.txt
+
+# Mirror of .github/workflows/ci.yml: the blocking jobs (check, fmt-check,
+# golden) then the non-blocking bench smoke (its failure is reported but
+# does not fail `make ci`).
+ci: check fmt-check golden
+	-$(MAKE) bench-smoke
 
 # Regenerate the paper's tables and figures with probe verification.
 comparison:

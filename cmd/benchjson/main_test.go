@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkFanout/wse-sync-8         	       1	     52100 ns/op	   12345 B/op	     210 allocs/op
+BenchmarkFanout/wsn-sync-8         	       1	     61000 ns/op
+--- BENCH: BenchmarkNoisy
+    bench_test.go:10: log line that must be ignored
+PASS
+ok  	repro	0.123s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "bench-v1" || rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if rep.CPU != "Example CPU @ 2.00GHz" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFanout/wse-sync-8" || b.Pkg != "repro" || b.Runs != 1 {
+		t.Fatalf("benchmark: %+v", b)
+	}
+	if b.NsPerOp != 52100 || b.BytesPerOp != 12345 || b.AllocsPerOp != 210 {
+		t.Fatalf("metrics: %+v", b)
+	}
+	if rep.Benchmarks[1].BytesPerOp != 0 {
+		t.Fatalf("missing -benchmem fields must stay zero: %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \trepro\t0.1s\n")); err == nil {
+		t.Fatal("want error on benchmark-free input (bit-rot detection)")
+	}
+}

@@ -1,0 +1,181 @@
+// Package ci pins the continuous-integration pipeline itself: the GitHub
+// workflow must stay structurally valid YAML, every `make` target it
+// invokes must exist, and the local `make ci` mirror must keep covering
+// the workflow's blocking jobs. The checks are deliberately structural
+// (stdlib only — no YAML parser) but strict enough that the classes of
+// breakage that silently disable CI (tabs, renamed targets, a dropped
+// job) fail a plain `go test ./...`.
+package ci
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func readWorkflow(t *testing.T) (string, []string) {
+	t.Helper()
+	path := filepath.Join(repoRoot(t), ".github", "workflows", "ci.yml")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("workflow missing: %v", err)
+	}
+	text := string(raw)
+	return text, strings.Split(strings.TrimRight(text, "\n"), "\n")
+}
+
+// TestWorkflowYAMLStructure rejects the YAML mistakes GitHub rejects:
+// tab indentation, odd indent widths, and indent jumps deeper than one
+// level at a time.
+func TestWorkflowYAMLStructure(t *testing.T) {
+	_, lines := readWorkflow(t)
+	prevIndent := 0
+	for i, line := range lines {
+		n := i + 1
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.Contains(line, "\t") {
+			t.Errorf("line %d: tab character (YAML forbids tab indentation)", n)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if indent%2 != 0 {
+			t.Errorf("line %d: indent %d is not a multiple of 2", n, indent)
+		}
+		if indent > prevIndent+2 {
+			t.Errorf("line %d: indent jumps from %d to %d", n, prevIndent, indent)
+		}
+		// A list item's keys may sit two deeper than the dash introduces.
+		if strings.HasPrefix(strings.TrimSpace(line), "- ") {
+			indent += 2
+		}
+		prevIndent = indent
+	}
+}
+
+// TestWorkflowRequiredShape pins the jobs and settings the PR gate
+// depends on.
+func TestWorkflowRequiredShape(t *testing.T) {
+	text, _ := readWorkflow(t)
+	for _, want := range []string{
+		"on:",
+		"push:",
+		"pull_request:",
+		"jobs:",
+		"  check:",
+		"  lint:",
+		"  bench-smoke:",
+		"uses: actions/checkout@",
+		"uses: actions/setup-go@",
+		"go-version-file: go.mod",
+		"cache: true",         // module/build caching on every job
+		"run: make check",     // the tier-1 gate
+		"run: make fmt-check", // gofmt -l, fail on diff
+		"run: make golden",    // wire-format golden probes
+		"run: make bench-smoke",
+		"uses: actions/upload-artifact@",
+		"path: BENCH_ci.json",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("workflow lacks %q", want)
+		}
+	}
+	// The bench job must be non-blocking: continue-on-error inside the
+	// bench-smoke job body.
+	benchIdx := strings.Index(text, "bench-smoke:\n")
+	if benchIdx < 0 || !strings.Contains(text[benchIdx:], "continue-on-error: true") {
+		t.Error("bench-smoke job must set continue-on-error: true")
+	}
+}
+
+var makeRunRE = regexp.MustCompile(`run:\s*make\s+([A-Za-z0-9_-]+)`)
+
+// makefileTargets parses target names and the `ci` target's prerequisite
+// list out of the Makefile.
+func makefileTargets(t *testing.T) (targets map[string]bool, ciPrereqs []string) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets = map[string]bool{}
+	targetRE := regexp.MustCompile(`^([A-Za-z0-9_-]+):(.*)$`)
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := targetRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		targets[m[1]] = true
+		if m[1] == "ci" {
+			ciPrereqs = strings.Fields(m[2])
+		}
+	}
+	return targets, ciPrereqs
+}
+
+// TestWorkflowTargetsExist cross-checks every `run: make <target>` line
+// against the Makefile so a target rename cannot break CI silently.
+func TestWorkflowTargetsExist(t *testing.T) {
+	text, _ := readWorkflow(t)
+	targets, _ := makefileTargets(t)
+	matches := makeRunRE.FindAllStringSubmatch(text, -1)
+	if len(matches) == 0 {
+		t.Fatal("workflow invokes no make targets")
+	}
+	for _, m := range matches {
+		if !targets[m[1]] {
+			t.Errorf("workflow runs `make %s` but the Makefile has no such target", m[1])
+		}
+	}
+}
+
+// TestMakeCIMirrorsWorkflow requires the local `make ci` target to cover
+// every blocking make target the workflow runs.
+func TestMakeCIMirrorsWorkflow(t *testing.T) {
+	targets, prereqs := makefileTargets(t)
+	if !targets["ci"] {
+		t.Fatal("Makefile lacks a ci target")
+	}
+	have := map[string]bool{}
+	for _, p := range prereqs {
+		have[p] = true
+	}
+	for _, want := range []string{"check", "fmt-check", "golden"} {
+		if !have[want] {
+			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
+		}
+	}
+}
+
+// TestGoldenTargetRunsProbes keeps `make golden` pointed at the probe
+// package's golden tests.
+func TestGoldenTargetRunsProbes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "go test ./internal/probes -run Golden"
+	if !strings.Contains(string(raw), want) {
+		t.Errorf("Makefile golden target must run %q", want)
+	}
+}

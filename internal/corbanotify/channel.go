@@ -44,6 +44,16 @@ const (
 	DiscardLifo   = "LifoDiscard" // drop newest on overflow
 )
 
+// EventReliability / ConnectionReliability values. BestEffort (the
+// default) permits loss; Persistent engages the reliable-delivery layer:
+// Persistent EventReliability retries failed pushes before dead-lettering,
+// Persistent ConnectionReliability adds a circuit breaker that buffers
+// instead of hammering an unresponsive consumer.
+const (
+	ReliabilityBestEffort = "BestEffort"
+	ReliabilityPersistent = "Persistent"
+)
+
 // QoS is a property map. Implemented semantics: Priority (delivery order
 // under PriorityOrder), Timeout (event expiry), MaxEventsPerConsumer +
 // DiscardPolicy (bounded queues), OrderPolicy, MaximumBatchSize (sequence
@@ -111,7 +121,13 @@ type Channel struct {
 	clock  func() time.Time
 }
 
-// NewChannel builds a channel after validating its QoS.
+// channelDLQCap bounds the channel's dead-letter queue.
+const channelDLQCap = 1024
+
+// NewChannel builds a channel after validating its QoS. The channel-level
+// DiscardPolicy doubles as the dead-letter queue's overflow policy:
+// FifoDiscard (default) rotates the oldest letters out, LifoDiscard
+// rejects new ones.
 func NewChannel(qos QoS) (*Channel, error) {
 	if err := ValidateQoS(qos); err != nil {
 		return nil, err
@@ -119,11 +135,33 @@ func NewChannel(qos QoS) (*Channel, error) {
 	if qos == nil {
 		qos = QoS{}
 	}
+	ovf := dispatch.DropOldest // FifoDiscard
+	if qos.str(QoSDiscardPolicy, DiscardFifo) == DiscardLifo {
+		ovf = dispatch.DropNewest
+	}
 	return &Channel{
-		eng:   dispatch.New(dispatch.Config{}),
+		eng: dispatch.New(dispatch.Config{
+			DLQCap:      channelDLQCap,
+			DLQOverflow: ovf,
+		}),
 		qos:   qos,
 		clock: time.Now,
 	}, nil
+}
+
+// DeadLetterCount reports buffered dead letters.
+func (c *Channel) DeadLetterCount() int { return c.eng.DLQLen() }
+
+// DeadLetters copies up to max dead letters (all when max <= 0) without
+// removing them.
+func (c *Channel) DeadLetters(max int) []dispatch.DeadLetter {
+	return c.eng.DeadLetters(max)
+}
+
+// ReplayDeadLetters redrives up to max dead letters (all when max <= 0)
+// through their proxies, returning how many were requeued.
+func (c *Channel) ReplayDeadLetters(max int) int {
+	return c.eng.ReplayDeadLetters(max)
 }
 
 func (c *Channel) nextProxyID(kind string) string {
@@ -226,6 +264,69 @@ func (c *Channel) ConnectPushConsumer(f *Filter, qos QoS, fn func([]*StructuredE
 		FailureLimit: -1,
 	})
 	return p, nil
+}
+
+// ConnectReliablePushConsumer attaches a push consumer whose callback can
+// fail, engaging the reliability QoS: with EventReliability "Persistent"
+// failed pushes retry (three attempts, backed off) before dead-lettering
+// into the channel DLQ; with ConnectionReliability "Persistent" a circuit
+// breaker opens after repeated failures, buffering events (bounded by
+// MaxEventsPerConsumer) until a cool-down probe finds the consumer
+// healthy again. BestEffort on either axis skips that mechanism — a
+// best-effort failure dead-letters after its single attempt.
+func (c *Channel) ConnectReliablePushConsumer(f *Filter, qos QoS, fn func([]*StructuredEvent) error) (*PushProxy, error) {
+	if err := ValidateQoS(qos); err != nil {
+		return nil, err
+	}
+	p := &PushProxy{id: c.nextProxyID("push"), ch: c, filter: f, qos: qos}
+	sub := dispatch.Sub{
+		ID: p.id,
+		Filter: func(m dispatch.Message) (bool, error) {
+			return f.Matches(m.Payload.(*StructuredEvent)), nil
+		},
+		Prepare: func(m dispatch.Message) dispatch.Message {
+			return dispatch.Message{Payload: m.Payload.(*StructuredEvent).clone()}
+		},
+		Mode:  dispatch.Sync,
+		Batch: p.effective(QoSMaximumBatchSize, 1),
+		Deliver: func(batch []dispatch.Message) error {
+			evs := make([]*StructuredEvent, len(batch))
+			for i, m := range batch {
+				evs[i] = m.Payload.(*StructuredEvent)
+			}
+			return fn(evs)
+		},
+		PauseBuffer: true,
+		QueueCap:    p.effective(QoSMaxEventsPerConsumer, 0),
+		Overflow:    dispatch.DropOldest,
+		OnDrop: func(n int) {
+			p.mu.Lock()
+			p.Discarded += n
+			p.mu.Unlock()
+		},
+		FailureLimit: -1,
+	}
+	if p.effectiveStr(QoSEventReliability, ReliabilityBestEffort) == ReliabilityPersistent {
+		sub.Retry = &dispatch.RetryPolicy{MaxAttempts: 3}
+	}
+	if p.effectiveStr(QoSConnectionReliability, ReliabilityBestEffort) == ReliabilityPersistent {
+		sub.Breaker = &dispatch.BreakerPolicy{}
+	}
+	_ = c.eng.Subscribe(sub)
+	return p, nil
+}
+
+// BreakerState reports the proxy's circuit breaker state; ok is false
+// without Persistent ConnectionReliability.
+func (p *PushProxy) BreakerState() (state dispatch.BreakerState, ok bool) {
+	return p.ch.eng.BreakerState(p.id)
+}
+
+func (p *PushProxy) effectiveStr(name, def string) string {
+	if v, ok := p.qos[name].(string); ok {
+		return v
+	}
+	return p.ch.qos.str(name, def)
 }
 
 // Disconnect detaches the proxy, flushing any partial batch.

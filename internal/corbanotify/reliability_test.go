@@ -1,0 +1,124 @@
+package corbanotify
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dispatch"
+)
+
+func ev(typ string) *StructuredEvent {
+	e := NewStructuredEvent("test", typ, typ)
+	return e
+}
+
+// TestPersistentEventReliabilityRetriesThenDeadLetters maps the
+// EventReliability QoS onto the reliable-delivery layer: Persistent
+// consumers get three attempts per event, then the event dead-letters
+// into the channel DLQ for replay instead of being lost.
+func TestPersistentEventReliabilityRetriesThenDeadLetters(t *testing.T) {
+	c, err := NewChannel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	down := true
+	attempts := 0
+	var got []string
+	_, err = c.ConnectReliablePushConsumer(nil, QoS{
+		QoSEventReliability: ReliabilityPersistent,
+	}, func(evs []*StructuredEvent) error {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if down {
+			return errors.New("consumer down")
+		}
+		for _, e := range evs {
+			got = append(got, e.EventName)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := c.Push(ev("alpha")); n != 1 {
+		t.Fatalf("push matched %d", n)
+	}
+	c.Push(ev("beta"))
+
+	mu.Lock()
+	if attempts != 6 { // 3 attempts per event
+		t.Fatalf("attempts = %d, want 6", attempts)
+	}
+	mu.Unlock()
+	if n := c.DeadLetterCount(); n != 2 {
+		t.Fatalf("DeadLetterCount = %d, want 2", n)
+	}
+	letters := c.DeadLetters(0)
+	if letters[0].Attempts != 3 || letters[0].Reason != "consumer down" {
+		t.Fatalf("letter = %+v", letters[0])
+	}
+
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	if n := c.ReplayDeadLetters(0); n != 2 {
+		t.Fatalf("replayed %d, want 2", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("replayed events = %v", got)
+	}
+}
+
+// TestPersistentConnectionReliabilityOpensBreaker maps the
+// ConnectionReliability QoS onto the circuit breaker: after the failure
+// window fills, the proxy's breaker opens and further events buffer
+// instead of dead-lettering. BestEffort proxies have no breaker at all.
+func TestPersistentConnectionReliabilityOpensBreaker(t *testing.T) {
+	c, err := NewChannel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.ConnectReliablePushConsumer(nil, QoS{
+		QoSConnectionReliability: ReliabilityPersistent,
+	}, func([]*StructuredEvent) error {
+		return errors.New("down")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default breaker window is 8: eight single-attempt failures open it.
+	for i := 0; i < 8; i++ {
+		c.Push(ev("x"))
+	}
+	if state, ok := p.BreakerState(); !ok || state != dispatch.BreakerOpen {
+		t.Fatalf("breaker = %v (ok=%v), want open", state, ok)
+	}
+	if n := c.DeadLetterCount(); n != 8 {
+		t.Fatalf("DeadLetterCount = %d, want 8", n)
+	}
+	// Open breaker: events buffer, the DLQ stays put, the proxy survives.
+	for i := 0; i < 3; i++ {
+		c.Push(ev("y"))
+	}
+	if n := c.DeadLetterCount(); n != 8 {
+		t.Fatalf("DLQ grew to %d while breaker open", n)
+	}
+	if c.ConsumerCount() != 1 {
+		t.Fatalf("proxy evicted: %d consumers", c.ConsumerCount())
+	}
+
+	// BestEffort: no breaker to report.
+	be, err := c.ConnectReliablePushConsumer(nil, nil, func([]*StructuredEvent) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.BreakerState(); ok {
+		t.Fatal("best-effort proxy reported a breaker")
+	}
+}

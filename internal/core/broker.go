@@ -75,8 +75,23 @@ type Config struct {
 	// WrapBatchSize is the WSE wrapped-mode batch size (default 10).
 	WrapBatchSize int
 	// FailureLimit drops a subscriber after this many consecutive
-	// delivery failures (default 3).
+	// delivery failures (default 3). Ignored for subscriptions governed
+	// by a circuit Breaker, which pauses instead and evicts only after
+	// BreakerPolicy.MaxTrips.
 	FailureLimit int
+	// Retry is the per-subscription delivery retry policy (nil = one
+	// attempt, no retry). The policy's per-attempt Timeout rides the
+	// delivery context into the transport client.
+	Retry *dispatch.RetryPolicy
+	// Breaker attaches a circuit breaker to every subscription: failing
+	// consumers are paused (their messages keep buffering) and probed
+	// after a cool-down instead of being evicted outright.
+	Breaker *dispatch.BreakerPolicy
+	// DeadLetterCap bounds the broker's dead-letter queue, which captures
+	// notifications that exhaust their retries so operators can inspect
+	// and replay them (default 1024; negative disables — terminal
+	// failures are then counted and discarded, the pre-DLQ behaviour).
+	DeadLetterCap int
 }
 
 func (c *Config) withDefaults() Config {
@@ -102,16 +117,23 @@ func (c *Config) withDefaults() Config {
 	if out.FailureLimit <= 0 {
 		out.FailureLimit = 3
 	}
+	if out.DeadLetterCap == 0 {
+		out.DeadLetterCap = 1024
+	}
+	if out.DeadLetterCap < 0 {
+		out.DeadLetterCap = 0
+	}
 	return out
 }
 
 // Stats are the broker's monotonic counters.
 type Stats struct {
-	Published  uint64 // notifications accepted from publishers
-	Delivered  uint64 // notifications handed to the transport successfully
-	Dropped    uint64 // queue-overflow drops
-	Failures   uint64 // transport delivery failures
-	Mediations uint64 // deliveries whose outgoing spec differed from the incoming one
+	Published    uint64 // notifications accepted from publishers
+	Delivered    uint64 // notifications handed to the transport successfully
+	Dropped      uint64 // queue-overflow drops
+	Failures     uint64 // notifications whose delivery terminally failed (dead-lettered or not)
+	DeadLettered uint64 // terminally failed notifications captured for replay
+	Mediations   uint64 // deliveries whose outgoing spec differed from the incoming one
 }
 
 // subState is the broker-side record of one subscription: the canonical
@@ -155,6 +177,10 @@ func New(cfg Config) (*Broker, error) {
 		QueueCap:     b.cfg.QueueDepth,
 		FailureLimit: b.cfg.FailureLimit,
 		Clock:        b.cfg.Clock,
+		Retry:        b.cfg.Retry,
+		Breaker:      b.cfg.Breaker,
+		DLQCap:       b.cfg.DeadLetterCap,
+		DLQOverflow:  dispatch.DropOldest, // keep the newest failure evidence
 	})
 	b.store = sublease.NewStore(
 		sublease.WithClock(b.cfg.Clock),
@@ -187,15 +213,18 @@ func (b *Broker) SubscriptionCount() int { return len(b.store.Active()) }
 func (b *Broker) Store() *sublease.Store { return b.store }
 
 // Stats snapshots the counters. Delivery counters come from the dispatch
-// engine; Published and Mediations are broker-level concepts.
+// engine; Published and Mediations are broker-level concepts. Failures
+// counts every terminally failed delivery — including the dead-lettered
+// ones, which are additionally broken out in DeadLettered.
 func (b *Broker) Stats() Stats {
 	es := b.engine.Stats()
 	return Stats{
-		Published:  b.published.Load(),
-		Delivered:  es.Delivered,
-		Dropped:    es.Dropped,
-		Failures:   es.Failed,
-		Mediations: b.mediations.Load(),
+		Published:    b.published.Load(),
+		Delivered:    es.Delivered,
+		Dropped:      es.Dropped,
+		Failures:     es.Failed + es.DeadLettered,
+		DeadLettered: es.DeadLettered,
+		Mediations:   b.mediations.Load(),
 	}
 }
 
@@ -236,18 +265,26 @@ func (b *Broker) fanOut(msg backend.Message) {
 }
 
 // send renders one notification in the subscriber's spec and posts it.
-func (b *Broker) send(st *subState, n mediation.Notification) error {
+// The context arrives from the dispatch engine carrying the retry
+// policy's per-attempt timeout; without one a 10s default applies.
+func (b *Broker) send(ctx context.Context, st *subState, n mediation.Notification) error {
 	env := mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+	}
 	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
 }
 
 // sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
-func (b *Broker) sendWrapped(st *subState, batch []mediation.Notification) error {
+func (b *Broker) sendWrapped(ctx context.Context, st *subState, batch []mediation.Notification) error {
 	env := mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+	}
 	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
 }
 
@@ -264,6 +301,37 @@ func (b *Broker) Flush() {
 
 // Scavenge expires lapsed subscriptions.
 func (b *Broker) Scavenge() int { return b.store.Scavenge() }
+
+// --- Reliable-delivery operator surface ---
+
+// DeadLetterCount reports buffered dead letters.
+func (b *Broker) DeadLetterCount() int { return b.engine.DLQLen() }
+
+// DeadLetters copies up to max buffered dead letters (all when max <= 0)
+// without removing them — the operator inspection API.
+func (b *Broker) DeadLetters(max int) []dispatch.DeadLetter {
+	return b.engine.DeadLetters(max)
+}
+
+// DrainDeadLetters removes and returns up to max dead letters (all when
+// max <= 0), oldest first.
+func (b *Broker) DrainDeadLetters(max int) []dispatch.DeadLetter {
+	return b.engine.DrainDeadLetters(max)
+}
+
+// ReplayDeadLetters redrives up to max dead letters (all when max <= 0)
+// through their subscriptions' delivery paths — the "consumer recovered,
+// requeue the backlog" operation. Letters whose subscription has since
+// ended are discarded. It returns how many were requeued.
+func (b *Broker) ReplayDeadLetters(max int) int {
+	return b.engine.ReplayDeadLetters(max)
+}
+
+// BreakerState reports a subscription's circuit breaker state; ok is
+// false when the id is unknown or the broker runs without breakers.
+func (b *Broker) BreakerState(id string) (state dispatch.BreakerState, ok bool) {
+	return b.engine.BreakerState(id)
+}
 
 // Shutdown terminates every subscription (emitting end notices per the
 // subscriber's spec), stops the dispatch workers and closes the backend.
@@ -352,12 +420,12 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 		sub.Mode = dispatch.Sync
 		sub.Batch = b.cfg.WrapBatchSize
 		sub.Prepare = clone
-		sub.Deliver = func(batch []dispatch.Message) error {
+		sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 			ns := make([]mediation.Notification, len(batch))
 			for i, m := range batch {
 				ns[i] = mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload}
 			}
-			return b.sendWrapped(st, ns)
+			return b.sendWrapped(ctx, st, ns)
 		}
 	default:
 		if b.cfg.SyncDelivery {
@@ -367,9 +435,9 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 			sub.QueueCap = b.cfg.QueueDepth
 			sub.Overflow = dispatch.DropNewest
 		}
-		sub.Deliver = func(batch []dispatch.Message) error {
+		sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 			m := batch[0]
-			return b.send(st, mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload})
+			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload})
 		}
 	}
 	_ = b.engine.Subscribe(sub)
@@ -499,6 +567,7 @@ func (r brokerSelfResource) PropertyDocument() (*xmldom.Element, error) {
 	doc.Append(xmldom.Elem(ns, "Published", fmt.Sprint(st.Published)))
 	doc.Append(xmldom.Elem(ns, "Delivered", fmt.Sprint(st.Delivered)))
 	doc.Append(xmldom.Elem(ns, "Mediations", fmt.Sprint(st.Mediations)))
+	doc.Append(xmldom.Elem(ns, "DeadLetters", fmt.Sprint(r.b.DeadLetterCount())))
 	return doc, nil
 }
 

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/xmldom"
+)
+
+// flakySink is a consumer endpoint that can be taken down and brought
+// back: while down every delivery faults, once up it records payloads in
+// arrival order.
+type flakySink struct {
+	mu   sync.Mutex
+	down bool
+	got  []string
+}
+
+func (s *flakySink) setDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+func (s *flakySink) received() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.got...)
+}
+
+func (s *flakySink) ServeSOAP(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, errors.New("consumer down")
+	}
+	if body := req.FirstBody(); body != nil {
+		s.got = append(s.got, body.ChildText(xmldom.N("urn:grid", "val")))
+	}
+	return nil, nil
+}
+
+// TestBrokerDeadLetterReplayRoundTrip is the DLQ round trip through the
+// real broker: subscribe over the wire, deliver to a down consumer until
+// the retry budget is spent, inspect the captured dead letters, bring the
+// consumer back, and replay — every message must arrive, in order.
+func TestBrokerDeadLetterReplayRoundTrip(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.Retry = &dispatch.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+		// Keep the subscription alive through the outage: replay needs a
+		// registered target (the default limit of 3 would evict it).
+		c.FailureLimit = 10
+	})
+	sink := &flakySink{down: true}
+	f.lb.Register("svc://flaky", sink)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://flaky"),
+	})
+
+	for _, v := range []string{"a", "b", "c"} {
+		f.publishWSE(t, grid, event(v))
+	}
+
+	if n := f.broker.DeadLetterCount(); n != 3 {
+		t.Fatalf("DeadLetterCount = %d, want 3", n)
+	}
+	letters := f.broker.DeadLetters(0)
+	if len(letters) != 3 || letters[0].Attempts != 2 {
+		t.Fatalf("letters = %+v", letters)
+	}
+	st := f.broker.Stats()
+	if st.DeadLettered != 3 || st.Failures != 3 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Consumer recovers: the replay must redrive the backlog in order.
+	sink.setDown(false)
+	if n := f.broker.ReplayDeadLetters(0); n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	got := sink.received()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("replayed payloads = %v", got)
+	}
+	if n := f.broker.DeadLetterCount(); n != 0 {
+		t.Fatalf("DLQ not drained: %d", n)
+	}
+	// Conservation at the engine level: replays are fresh matches.
+	es := f.broker.DispatchStats()
+	if es.Matched != es.Delivered+es.Dropped+es.Failed+es.DeadLettered {
+		t.Fatalf("conservation violated: %+v", es)
+	}
+}
+
+// TestBrokerBreakerPausesDelivery verifies the circuit breaker at broker
+// level: once the failure window fills, the subscription's breaker opens
+// and further notifications buffer instead of burning retries against a
+// dead consumer — and without evicting the subscription.
+func TestBrokerBreakerPausesDelivery(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.Breaker = &dispatch.BreakerPolicy{Window: 4, FailureRate: 0.5, Cooldown: time.Hour}
+	})
+	sink := &flakySink{down: true}
+	f.lb.Register("svc://flaky", sink)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://flaky"),
+	})
+
+	for i := 0; i < 4; i++ {
+		f.publishWSE(t, grid, event("x"))
+	}
+	letters := f.broker.DeadLetters(0)
+	if len(letters) != 4 {
+		t.Fatalf("dead letters = %d, want 4 (window filling)", len(letters))
+	}
+	state, ok := f.broker.BreakerState(letters[0].SubID)
+	if !ok || state != dispatch.BreakerOpen {
+		t.Fatalf("breaker = %v (ok=%v), want open", state, ok)
+	}
+
+	// Open breaker: new notifications pause into the buffer, the DLQ does
+	// not grow, and the subscription survives.
+	for i := 0; i < 3; i++ {
+		f.publishWSE(t, grid, event("y"))
+	}
+	if n := f.broker.DeadLetterCount(); n != 4 {
+		t.Fatalf("DLQ grew to %d while breaker open", n)
+	}
+	if n := f.broker.SubscriptionCount(); n != 1 {
+		t.Fatalf("subscription evicted: count = %d", n)
+	}
+}

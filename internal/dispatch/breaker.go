@@ -1,0 +1,198 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerPolicy configures a per-subscription circuit breaker. The breaker
+// watches the outcomes of delivery cycles (post-retry, so one observation
+// per message or Sync batch, not per attempt) over a sliding window:
+//
+//	closed    — deliveries flow. Once Window outcomes are recorded, a
+//	            failure fraction ≥ FailureRate trips the breaker open.
+//	open      — delivery pauses: matched messages keep buffering in the
+//	            subscriber's ring (they are NOT failed, dropped or
+//	            dead-lettered), and nothing is attempted until Cooldown
+//	            elapses.
+//	half-open — after Cooldown one probe delivery is allowed. Success
+//	            closes the breaker (and clears the trip count); failure
+//	            re-opens it for another Cooldown.
+//
+// This replaces the blunt consecutive-failure eviction for subscriptions
+// that carry a breaker: eviction is retained only as the terminal state,
+// after MaxTrips open transitions without an intervening recovery.
+type BreakerPolicy struct {
+	// Window is the sliding outcome window (default 8). The breaker never
+	// trips before a full window of observations has accumulated since
+	// the last state change.
+	Window int
+	// FailureRate in (0,1] is the failure fraction over the window that
+	// opens the breaker (default 0.5).
+	FailureRate float64
+	// Cooldown is the open-state pause before the half-open probe
+	// (default 1s).
+	Cooldown time.Duration
+	// MaxTrips evicts the subscription after this many open transitions
+	// without a successful close in between — the terminal state. 0 means
+	// never evict: the breaker pauses and probes forever.
+	MaxTrips int
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Window <= 0 {
+		p.Window = 8
+	}
+	if p.FailureRate <= 0 || p.FailureRate > 1 {
+		p.FailureRate = 0.5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+	return p
+}
+
+// BreakerState is a circuit breaker state, exposed for monitoring.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: deliveries flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen pauses delivery until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen has one probe delivery in flight.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the per-subscription state machine. Its mutex is a leaf: no
+// breaker method takes engine or subscriber locks.
+type breaker struct {
+	pol BreakerPolicy
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // outcome ring, true = failure
+	wi       int    // next write index
+	wn       int    // outcomes recorded since last state change (≤ len)
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	trips    int // opens since the last successful close
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	pol = pol.withDefaults()
+	return &breaker{pol: pol, window: make([]bool, pol.Window)}
+}
+
+// resetWindow clears the sliding window (state changes start fresh).
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.wi, b.wn, b.fails = 0, 0, 0
+}
+
+// State reports the current state without transitioning it.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// pausing reports whether matched messages should buffer instead of being
+// attempted: true in open (even past cool-down — the transition happens in
+// allow, on the delivery path) and half-open (a probe is in flight).
+func (b *breaker) pausing() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerClosed
+}
+
+// allow asks permission for a delivery cycle. In the closed state it always
+// grants. In the open state it grants exactly one caller once the cool-down
+// has elapsed, moving to half-open (that caller's delivery is the probe);
+// everyone else is refused until the probe's outcome is recorded.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.pol.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: probe already in flight
+		return false
+	}
+}
+
+// retryAt returns when the open breaker becomes probeable (zero when not
+// open) — the engine arms its re-dispatch timer off this.
+func (b *breaker) retryAt() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return time.Time{}
+	}
+	return b.openedAt.Add(b.pol.Cooldown)
+}
+
+// record feeds one delivery-cycle outcome in. It reports whether this
+// outcome opened the breaker and whether the subscription has reached the
+// terminal eviction state.
+func (b *breaker) record(ok bool, now time.Time) (opened, evict bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if ok {
+			b.state = BreakerClosed
+			b.trips = 0
+			b.resetWindow()
+			return false, false
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.trips++
+		b.resetWindow()
+		return true, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
+	case BreakerClosed:
+		if b.window[b.wi] && b.wn >= len(b.window) {
+			b.fails--
+		}
+		b.window[b.wi] = !ok
+		if !ok {
+			b.fails++
+		}
+		b.wi = (b.wi + 1) % len(b.window)
+		if b.wn < len(b.window) {
+			b.wn++
+		}
+		if b.wn >= len(b.window) &&
+			float64(b.fails) >= b.pol.FailureRate*float64(len(b.window)) {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+			b.resetWindow()
+			return true, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
+		}
+		return false, false
+	default: // open: outcome from a cycle that raced the trip; ignore
+		return false, false
+	}
+}

@@ -1,0 +1,111 @@
+package dispatch_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/dispatch/faulty"
+)
+
+// TestChaosFaultyConsumers is the reliable-delivery acceptance test: with
+// 30% of consumers fault-injected (half fail fast, half hang past the
+// per-attempt timeout), concurrent publishing must deliver 100% of
+// messages to every healthy subscriber, dead-letter — not lose — the
+// rest, and satisfy the counter conservation law at quiescence:
+//
+//	Matched == Delivered + Dropped + Failed + DeadLettered
+//
+// Run under -race by `make check` / CI.
+func TestChaosFaultyConsumers(t *testing.T) {
+	const (
+		subs       = 20
+		faultySubs = 6 // 30%: 3 fail-fast + 3 hang
+		msgs       = 150
+		publishers = 5 // must divide msgs
+	)
+	e := dispatch.New(dispatch.Config{
+		Sleep:    func(time.Duration) {},
+		DLQCap:   faultySubs*msgs + 1,
+		QueueCap: msgs + 1, // no overflow drops: every loss must be a dead letter
+	})
+	defer e.Close()
+
+	counts := make([]atomic.Uint64, subs)
+	for i := 0; i < subs; i++ {
+		i := i
+		sub := dispatch.Sub{
+			ID:           fmt.Sprintf("sub-%02d", i),
+			Mode:         dispatch.Queued,
+			FailureLimit: -1,
+			Retry: &dispatch.RetryPolicy{
+				MaxAttempts: 2,
+				Jitter:      0.3,
+				Seed:        uint64(i),
+			},
+		}
+		switch {
+		case i < 3: // fail-fast consumers
+			inj := faulty.New(faulty.Script{FailAlways: true}, nil)
+			sub.DeliverCtx = inj.DeliverCtx
+		case i < faultySubs: // hung consumers, reined in by the attempt timeout
+			inj := faulty.New(faulty.Script{FailAlways: true, Hang: time.Minute}, nil)
+			sub.DeliverCtx = inj.DeliverCtx
+			sub.Retry.Timeout = 2 * time.Millisecond
+		default: // healthy
+			sub.Deliver = func([]dispatch.Message) error {
+				counts[i].Add(1)
+				return nil
+			}
+		}
+		if err := e.Subscribe(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := 0; m < msgs/publishers; m++ {
+				e.Dispatch(dispatch.Message{Payload: p*msgs/publishers + m})
+			}
+		}()
+	}
+	wg.Wait()
+	e.Quiesce()
+
+	for i := faultySubs; i < subs; i++ {
+		if got := counts[i].Load(); got != msgs {
+			t.Errorf("healthy sub-%02d received %d/%d", i, got, msgs)
+		}
+	}
+	if e.Count() != subs {
+		t.Errorf("subscriptions = %d, want %d (no evictions)", e.Count(), subs)
+	}
+	st := e.Stats()
+	if st.Matched != uint64(subs*msgs) {
+		t.Errorf("matched = %d, want %d", st.Matched, subs*msgs)
+	}
+	if st.DeadLettered != uint64(faultySubs*msgs) {
+		t.Errorf("dead-lettered = %d, want %d (faulty consumers' messages must not be lost)",
+			st.DeadLettered, faultySubs*msgs)
+	}
+	if st.Failed != 0 || st.Dropped != 0 {
+		t.Errorf("failed = %d, dropped = %d, want 0/0", st.Failed, st.Dropped)
+	}
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Errorf("conservation violated: %+v", st)
+	}
+	if st.Retries != uint64(faultySubs*msgs) {
+		t.Errorf("retries = %d, want %d (one retry per faulty message)", st.Retries, faultySubs*msgs)
+	}
+	if n := e.DLQLen(); n != faultySubs*msgs {
+		t.Errorf("DLQLen = %d, want %d", n, faultySubs*msgs)
+	}
+}

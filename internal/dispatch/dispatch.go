@@ -34,6 +34,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -96,21 +97,40 @@ const (
 	Discard
 )
 
-// Stats is a snapshot of the engine's monotonic counters. At quiescence,
-// with no unsubscribed-mid-flight messages and no partial batches,
-// Matched == Delivered + Dropped + Failed.
+// Stats is a snapshot of the engine's monotonic counters. The conservation
+// law: at quiescence, with no unsubscribed-mid-flight messages and no
+// partial batches,
+//
+//	Matched == Delivered + Dropped + Failed + DeadLettered
+//
+// — every matched message reaches exactly one terminal counter (a replayed
+// dead letter counts as a fresh match, so replay preserves the law).
+// Retries and BreakerTrips are observability counters outside the law.
 type Stats struct {
 	// Published counts Dispatch calls.
 	Published uint64
-	// Matched counts (message, subscriber) pairs that passed the filter.
+	// Matched counts (message, subscriber) pairs that passed the filter,
+	// plus requeued dead letters.
 	Matched uint64
 	// Delivered counts messages handed over successfully (per message,
-	// also inside batches; pull messages count when pulled).
+	// also inside batches; pull messages count when pulled), possibly
+	// after retries.
 	Delivered uint64
 	// Dropped counts overflow, eviction and PullEdit discards.
 	Dropped uint64
-	// Failed counts messages whose Deliver returned an error.
+	// Failed counts messages whose delivery cycle terminally failed
+	// without being captured in the dead-letter queue (DLQ disabled, or
+	// full under DropNewest overflow).
 	Failed uint64
+	// DeadLettered counts messages captured in the DLQ after exhausting
+	// their retries.
+	DeadLettered uint64
+	// Retries counts failed attempts that were retried (per attempt, not
+	// per message).
+	Retries uint64
+	// BreakerTrips counts closed→open and half-open→open transitions
+	// across all subscriptions.
+	BreakerTrips uint64
 }
 
 // Sub describes one subscriber at registration time.
@@ -132,9 +152,24 @@ type Sub struct {
 	// Mode selects the delivery path.
 	Mode Mode
 	// Deliver hands a batch (length 1 unless Batch > 1) to the consumer.
-	// Required for Sync and Queued modes. It is never called with
-	// internal locks held.
+	// Required for Sync and Queued modes (unless DeliverCtx is set). It
+	// is never called with internal locks held.
 	Deliver func(batch []Message) error
+	// DeliverCtx is the context-aware delivery hook, preferred over
+	// Deliver when both are set. The context carries the retry policy's
+	// per-attempt timeout; transports should honour its cancellation so a
+	// hung consumer cannot pin a delivery goroutine.
+	DeliverCtx func(ctx context.Context, batch []Message) error
+	// Retry configures delivery retries with backoff for this
+	// subscription (nil inherits the engine default; the zero policy
+	// means a single attempt, no retry).
+	Retry *RetryPolicy
+	// Breaker attaches a circuit breaker: instead of eviction after
+	// FailureLimit consecutive failures, delivery pauses (messages keep
+	// buffering) when the failure rate trips the breaker, resumes via
+	// half-open probes, and evicts only after BreakerPolicy.MaxTrips.
+	// Nil inherits the engine default.
+	Breaker *BreakerPolicy
 	// Batch > 1 accumulates Sync deliveries into batches of this size
 	// (flush partials with FlushBatch/FlushBatches).
 	Batch int

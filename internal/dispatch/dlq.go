@@ -1,0 +1,162 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// DeadLetter is one message that exhausted its delivery retries. The
+// message is captured verbatim (post-Prepare), so a replay re-enters the
+// subscriber's delivery path without re-running Filter or Prepare.
+type DeadLetter struct {
+	// SubID is the subscriber the delivery was destined for.
+	SubID string
+	// Msg is the undeliverable message.
+	Msg Message
+	// Attempts is how many delivery attempts the cycle made.
+	Attempts int
+	// Reason is the terminal attempt's error text.
+	Reason string
+	// At is the engine-clock time the message was dead-lettered.
+	At time.Time
+}
+
+// dlq is the engine's bounded dead-letter buffer: a circular ring of
+// DeadLetter records with a configurable overflow policy.
+type dlq struct {
+	mu   sync.Mutex
+	buf  []DeadLetter
+	head int
+	n    int
+	cap  int
+	ovf  Overflow
+}
+
+func newDLQ(cap int, ovf Overflow) *dlq {
+	if cap <= 0 {
+		return nil
+	}
+	return &dlq{buf: make([]DeadLetter, cap), cap: cap, ovf: ovf}
+}
+
+// push stores one letter, honouring the overflow policy. It reports
+// whether the letter was stored (false only under DropNewest overflow).
+func (q *dlq) push(dl DeadLetter) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n >= q.cap {
+		if q.ovf == DropNewest {
+			return false
+		}
+		// DropOldest: rotate the oldest letter out to make room.
+		q.buf[q.head] = DeadLetter{}
+		q.head = (q.head + 1) % q.cap
+		q.n--
+	}
+	q.buf[(q.head+q.n)%q.cap] = dl
+	q.n++
+	return true
+}
+
+func (q *dlq) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// peek copies up to max letters (all when max <= 0), oldest first, without
+// removing them.
+func (q *dlq) peek(max int) []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.n
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]DeadLetter, n)
+	for i := 0; i < n; i++ {
+		out[i] = q.buf[(q.head+i)%q.cap]
+	}
+	return out
+}
+
+// drain removes and returns up to max letters (all when max <= 0), oldest
+// first.
+func (q *dlq) drain(max int) []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.n
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]DeadLetter, n)
+	for i := 0; i < n; i++ {
+		out[i] = q.buf[q.head]
+		q.buf[q.head] = DeadLetter{}
+		q.head = (q.head + 1) % q.cap
+	}
+	q.n -= n
+	return out
+}
+
+// DLQLen reports how many dead letters are buffered (0 when the DLQ is
+// disabled).
+func (e *Engine) DLQLen() int {
+	if e.dlq == nil {
+		return 0
+	}
+	return e.dlq.len()
+}
+
+// DeadLetters copies up to max buffered dead letters (all when max <= 0),
+// oldest first, without removing them — the operator inspection API.
+func (e *Engine) DeadLetters(max int) []DeadLetter {
+	if e.dlq == nil {
+		return nil
+	}
+	return e.dlq.peek(max)
+}
+
+// DrainDeadLetters removes and returns up to max dead letters (all when
+// max <= 0), oldest first.
+func (e *Engine) DrainDeadLetters(max int) []DeadLetter {
+	if e.dlq == nil {
+		return nil
+	}
+	return e.dlq.drain(max)
+}
+
+// Requeue re-injects dead letters into their subscribers' delivery paths
+// (after the consumer recovered, say). Each requeued letter counts as a
+// fresh match — the counter conservation law stays exact because the
+// replayed message re-reaches one of the four terminal counters. Letters
+// whose subscriber is no longer registered are skipped (and lost: their
+// terminal accounting already happened when they were dead-lettered). It
+// returns how many letters were requeued.
+func (e *Engine) Requeue(letters []DeadLetter) int {
+	n := 0
+	for _, dl := range letters {
+		s := e.reg.lookup(dl.SubID)
+		if s == nil {
+			continue
+		}
+		e.matched.Add(1)
+		e.accept(s, dl.Msg)
+		n++
+	}
+	return n
+}
+
+// ReplayDeadLetters drains up to max dead letters and requeues them — the
+// operator "consumer is back, redrive the backlog" API. Letters for
+// unregistered subscribers are discarded. It returns how many letters were
+// requeued.
+func (e *Engine) ReplayDeadLetters(max int) int {
+	return e.Requeue(e.DrainDeadLetters(max))
+}

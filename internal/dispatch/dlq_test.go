@@ -1,0 +1,145 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDeadLetterCaptureAndReplay(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}, DLQCap: 8})
+	healthy := false
+	var got []int
+	e.Subscribe(Sub{
+		ID:           "s",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Retry:        &RetryPolicy{MaxAttempts: 2},
+		Deliver: func(batch []Message) error {
+			if !healthy {
+				return errors.New("consumer down")
+			}
+			got = append(got, batch[0].Payload.(int))
+			return nil
+		},
+	})
+	for i := 1; i <= 3; i++ {
+		e.Dispatch(Message{Payload: i})
+	}
+	if n := e.DLQLen(); n != 3 {
+		t.Fatalf("DLQLen = %d, want 3", n)
+	}
+	letters := e.DeadLetters(0)
+	if len(letters) != 3 || letters[0].SubID != "s" || letters[0].Attempts != 2 {
+		t.Fatalf("letters = %+v", letters)
+	}
+	if letters[0].Reason != "consumer down" {
+		t.Fatalf("reason = %q", letters[0].Reason)
+	}
+	// Peek must not remove.
+	if n := e.DLQLen(); n != 3 {
+		t.Fatalf("peek drained the DLQ: %d", n)
+	}
+	st := e.Stats()
+	if st.DeadLettered != 3 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Consumer recovers: replay redrives the backlog in order.
+	healthy = true
+	if n := e.ReplayDeadLetters(0); n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("replay order: %v", got)
+	}
+	if n := e.DLQLen(); n != 0 {
+		t.Fatalf("DLQ not drained: %d", n)
+	}
+	st = e.Stats()
+	// Replayed letters are fresh matches: 3 original + 3 replays.
+	if st.Matched != 6 || st.Delivered != 3 || st.DeadLettered != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+func TestDLQBoundedDropOldest(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}, DLQCap: 2, DLQOverflow: DropOldest})
+	e.Subscribe(Sub{
+		ID:           "s",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Deliver:      func([]Message) error { return errors.New("down") },
+	})
+	for i := 1; i <= 4; i++ {
+		e.Dispatch(Message{Payload: i})
+	}
+	letters := e.DeadLetters(0)
+	if len(letters) != 2 {
+		t.Fatalf("kept %d letters", len(letters))
+	}
+	// DropOldest keeps the newest failure evidence.
+	if letters[0].Msg.Payload.(int) != 3 || letters[1].Msg.Payload.(int) != 4 {
+		t.Fatalf("letters = %v, %v", letters[0].Msg.Payload, letters[1].Msg.Payload)
+	}
+	// All four were dead-lettered at their terminal moment; rotation does
+	// not rewrite history.
+	if st := e.Stats(); st.DeadLettered != 4 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDLQDropNewestCountsFailed(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}, DLQCap: 2}) // zero DLQOverflow = DropNewest
+	e.Subscribe(Sub{
+		ID:           "s",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Deliver:      func([]Message) error { return errors.New("down") },
+	})
+	for i := 1; i <= 4; i++ {
+		e.Dispatch(Message{Payload: i})
+	}
+	st := e.Stats()
+	if st.DeadLettered != 2 || st.Failed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+func TestReplaySkipsUnsubscribed(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}, DLQCap: 8})
+	for _, id := range []string{"a", "b"} {
+		id := id
+		e.Subscribe(Sub{
+			ID:           id,
+			Mode:         Sync,
+			FailureLimit: -1,
+			Deliver:      func([]Message) error { return fmt.Errorf("%s down", id) },
+		})
+	}
+	e.Dispatch(Message{Payload: 1})
+	if n := e.DLQLen(); n != 2 {
+		t.Fatalf("DLQLen = %d", n)
+	}
+	e.Unsubscribe("a")
+	// a's letter is discarded, b's is requeued (and fails again → back in
+	// the DLQ).
+	if n := e.ReplayDeadLetters(0); n != 1 {
+		t.Fatalf("replayed %d, want 1", n)
+	}
+	letters := e.DeadLetters(0)
+	if len(letters) != 1 || letters[0].SubID != "b" {
+		t.Fatalf("letters = %+v", letters)
+	}
+	st := e.Stats()
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}

@@ -23,10 +23,33 @@ type Config struct {
 	// QueueCap is the default Queued ring bound (default 256).
 	QueueCap int
 	// FailureLimit is the default consecutive-failure eviction threshold
-	// (default 3; subscribers can override, negative disables).
+	// (default 3; subscribers can override, negative disables). It applies
+	// only to subscribers without a circuit breaker — a breaker replaces
+	// eviction with pause/probe, evicting only after BreakerPolicy.MaxTrips.
 	FailureLimit int
 	// Clock is the deadline time source (default time.Now).
 	Clock func() time.Time
+	// Retry is the default per-subscription retry policy (nil = no
+	// retries; subscribers override with Sub.Retry).
+	Retry *RetryPolicy
+	// Breaker is the default per-subscription circuit breaker policy
+	// (nil = no breaker; subscribers override with Sub.Breaker).
+	Breaker *BreakerPolicy
+	// DLQCap bounds the engine's dead-letter queue. 0 disables the DLQ:
+	// messages exhausting their retries count as Failed instead of being
+	// captured.
+	DLQCap int
+	// DLQOverflow selects what a full DLQ does with a new dead letter:
+	// DropNewest (the zero value) rejects it — the letter counts as
+	// Failed instead — while DropOldest rotates the oldest letter out so
+	// the newest failure evidence is kept.
+	DLQOverflow Overflow
+	// Sleep runs retry backoff waits (default time.Sleep; tests inject a
+	// recorder or no-op).
+	Sleep func(time.Duration)
+	// After schedules the breaker cool-down re-dispatch (default
+	// time.AfterFunc; tests inject a manual trigger).
+	After func(time.Duration, func())
 }
 
 func (c Config) withDefaults() Config {
@@ -42,26 +65,36 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.After == nil {
+		c.After = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+	}
 	return c
 }
 
 // sub is the engine-side record of one subscriber.
 type sub struct {
-	id   string
-	seq  uint64 // registration order, drives deterministic fan-out order
-	opts Sub
+	id        string
+	seq       uint64 // registration order, drives deterministic fan-out order
+	opts      Sub
+	retry     RetryPolicy // resolved (defaults applied); MaxAttempts ≥ 1
+	brk       *breaker    // nil when the subscription has no breaker
+	jitterKey uint64      // per-subscriber backoff jitter key
 
 	deadline atomic.Int64 // unix nanos, 0 = none
 	paused   atomic.Bool
 	closed   atomic.Bool
 
-	mu        sync.Mutex
-	q         ring // Queued ring / Pull buffer / pause buffer
-	accounted int  // queued messages currently counted in Engine.wg
-	batch     []Message
-	scheduled bool
-	failures  int
-	evicted   bool
+	mu         sync.Mutex
+	q          ring // Queued ring / Pull buffer / pause buffer / breaker buffer
+	accounted  int  // queued messages currently counted in Engine.wg
+	batch      []Message
+	scheduled  bool
+	timerArmed bool // a breaker cool-down re-dispatch is pending
+	failures   int
+	evicted    bool
 }
 
 // queueCap resolves the subscriber's effective queue bound.
@@ -80,12 +113,16 @@ type Engine struct {
 	cfg Config
 	reg *registry
 	seq atomic.Uint64
+	dlq *dlq // nil when Config.DLQCap is 0
 
-	published atomic.Uint64
-	matched   atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
-	failed    atomic.Uint64
+	published    atomic.Uint64
+	matched      atomic.Uint64
+	delivered    atomic.Uint64
+	dropped      atomic.Uint64
+	failed       atomic.Uint64
+	deadLettered atomic.Uint64
+	retries      atomic.Uint64
+	breakerTrips atomic.Uint64
 
 	wg sync.WaitGroup // queued deliveries not yet attempted
 
@@ -101,17 +138,21 @@ func New(cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults()}
 	e.reg = newRegistry(e.cfg.Shards)
 	e.runCond = sync.NewCond(&e.runMu)
+	e.dlq = newDLQ(e.cfg.DLQCap, e.cfg.DLQOverflow)
 	return e
 }
 
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Published: e.published.Load(),
-		Matched:   e.matched.Load(),
-		Delivered: e.delivered.Load(),
-		Dropped:   e.dropped.Load(),
-		Failed:    e.failed.Load(),
+		Published:    e.published.Load(),
+		Matched:      e.matched.Load(),
+		Delivered:    e.delivered.Load(),
+		Dropped:      e.dropped.Load(),
+		Failed:       e.failed.Load(),
+		DeadLettered: e.deadLettered.Load(),
+		Retries:      e.retries.Load(),
+		BreakerTrips: e.breakerTrips.Load(),
 	}
 }
 
@@ -123,7 +164,23 @@ func (e *Engine) Subscribe(o Sub) error {
 	if o.ID == "" {
 		return ErrUnknownSub
 	}
-	s := &sub{id: o.ID, opts: o, seq: e.seq.Add(1)}
+	s := &sub{id: o.ID, opts: o, seq: e.seq.Add(1), jitterKey: hashKey(o.ID)}
+	rp := o.Retry
+	if rp == nil {
+		rp = e.cfg.Retry
+	}
+	if rp != nil {
+		s.retry = rp.withDefaults()
+	} else {
+		s.retry = RetryPolicy{}.withDefaults()
+	}
+	bp := o.Breaker
+	if bp == nil {
+		bp = e.cfg.Breaker
+	}
+	if bp != nil {
+		s.brk = newBreaker(*bp)
+	}
 	if o.Paused {
 		s.paused.Store(true)
 	}
@@ -133,10 +190,21 @@ func (e *Engine) Subscribe(o Sub) error {
 	if !e.reg.add(s) {
 		return ErrDuplicateSub
 	}
-	if o.Mode == Queued {
+	// Breaker-paused Sync backlogs flush through the worker pool too.
+	if o.Mode == Queued || s.brk != nil {
 		e.startWorkers()
 	}
 	return nil
+}
+
+// BreakerState reports a subscription's circuit breaker state; ok is false
+// when the id is unknown or the subscription has no breaker.
+func (e *Engine) BreakerState(id string) (state BreakerState, ok bool) {
+	s := e.reg.lookup(id)
+	if s == nil || s.brk == nil {
+		return BreakerClosed, false
+	}
+	return s.brk.State(), true
 }
 
 // Unsubscribe removes a subscriber, discarding anything still queued for
@@ -196,6 +264,20 @@ func (e *Engine) Resume(id string) {
 	}
 	switch s.opts.Mode {
 	case Sync:
+		if s.brk != nil {
+			// Route the backlog through the worker pool so breaker
+			// gating (pause, cool-down, probe) applies to the flush.
+			s.mu.Lock()
+			sched := !s.scheduled && s.q.len() > 0
+			if sched {
+				s.scheduled = true
+			}
+			s.mu.Unlock()
+			if sched {
+				e.schedule(s)
+			}
+			return
+		}
 		for {
 			s.mu.Lock()
 			m, ok := s.q.pop()
@@ -270,9 +352,14 @@ func (e *Engine) accept(s *sub, m Message) {
 		e.dropped.Add(1)
 		return
 	}
+	// A Sync subscriber with an open (or probing) breaker buffers into its
+	// ring instead of delivering inline — and keeps buffering while a
+	// flushed backlog is still draining, to preserve FIFO order.
+	gatedSync := s.opts.Mode == Sync && s.brk != nil &&
+		(s.brk.pausing() || s.q.len() > 0)
 	buffering := s.opts.Mode == Pull ||
 		(s.paused.Load() && s.opts.PauseBuffer) ||
-		s.opts.Mode == Queued
+		s.opts.Mode == Queued || gatedSync
 	if !buffering {
 		s.mu.Unlock()
 		e.deliverSync(s, m)
@@ -297,7 +384,7 @@ func (e *Engine) accept(s *sub, m Message) {
 		}
 	}
 	sched := false
-	if track && stored && !s.scheduled {
+	if (track || gatedSync) && stored && !s.scheduled {
 		s.scheduled = true
 		sched = true
 	}
@@ -333,26 +420,56 @@ func (e *Engine) deliverSync(s *sub, m Message) {
 	e.deliverBatch(s, []Message{m})
 }
 
-// deliverBatch attempts one delivery and runs the consecutive-failure
-// eviction accounting. No engine locks are held across Deliver, so
-// consumers may re-enter the engine.
+// deliverBatch runs one delivery cycle — the retry loop with per-attempt
+// timeouts — then the terminal accounting: success resets the failure
+// state; exhaustion dead-letters the batch (or counts it Failed when the
+// DLQ is disabled or full under DropNewest) and feeds the subscriber's
+// circuit breaker or, absent one, the consecutive-failure eviction
+// counter. No engine locks are held across Deliver, so consumers may
+// re-enter the engine.
 func (e *Engine) deliverBatch(s *sub, batch []Message) {
 	if s.closed.Load() {
 		e.dropped.Add(uint64(len(batch)))
 		return
 	}
-	if s.opts.Deliver == nil {
+	if s.opts.Deliver == nil && s.opts.DeliverCtx == nil {
 		e.dropped.Add(uint64(len(batch)))
 		return
 	}
-	if err := s.opts.Deliver(batch); err == nil {
+	attempts, err := e.attemptCycle(s, batch)
+	if err == nil {
 		e.delivered.Add(uint64(len(batch)))
 		s.mu.Lock()
 		s.failures = 0
 		s.mu.Unlock()
+		if s.brk != nil {
+			s.brk.record(true, e.cfg.Clock())
+		}
 		return
 	}
-	e.failed.Add(uint64(len(batch)))
+	stored := 0
+	if e.dlq != nil && !s.closed.Load() {
+		at := e.cfg.Clock()
+		for _, m := range batch {
+			if e.dlq.push(DeadLetter{SubID: s.id, Msg: m, Attempts: attempts, Reason: err.Error(), At: at}) {
+				stored++
+			}
+		}
+	}
+	e.deadLettered.Add(uint64(stored))
+	e.failed.Add(uint64(len(batch) - stored))
+	if s.brk != nil {
+		opened, evict := s.brk.record(false, e.cfg.Clock())
+		if opened {
+			e.breakerTrips.Add(1)
+		}
+		if evict {
+			e.evict(s)
+		} else if opened {
+			e.armBreakerTimer(s)
+		}
+		return
+	}
 	limit := s.opts.FailureLimit
 	if limit == 0 {
 		limit = e.cfg.FailureLimit
@@ -362,17 +479,59 @@ func (e *Engine) deliverBatch(s *sub, batch []Message) {
 	}
 	s.mu.Lock()
 	s.failures++
-	evict := s.failures >= limit && !s.evicted
-	if evict {
-		s.evicted = true
-	}
+	doEvict := s.failures >= limit
 	s.mu.Unlock()
-	if evict {
-		e.Unsubscribe(s.id)
-		if s.opts.OnEvict != nil {
-			s.opts.OnEvict(s.id)
-		}
+	if doEvict {
+		e.evict(s)
 	}
+}
+
+// evict removes a subscription terminally (at most once), firing OnEvict.
+func (e *Engine) evict(s *sub) {
+	s.mu.Lock()
+	already := s.evicted
+	s.evicted = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	e.Unsubscribe(s.id)
+	if s.opts.OnEvict != nil {
+		s.opts.OnEvict(s.id)
+	}
+}
+
+// armBreakerTimer schedules a re-dispatch of the subscriber's buffered
+// backlog for when its open breaker becomes probeable. At most one timer
+// is pending per subscriber.
+func (e *Engine) armBreakerTimer(s *sub) {
+	at := s.brk.retryAt()
+	if at.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	if s.timerArmed || s.closed.Load() || s.q.len() == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.timerArmed = true
+	s.mu.Unlock()
+	d := at.Sub(e.cfg.Clock())
+	if d < 0 {
+		d = 0
+	}
+	e.cfg.After(d, func() {
+		s.mu.Lock()
+		s.timerArmed = false
+		sched := !s.scheduled && s.q.len() > 0 && !s.closed.Load()
+		if sched {
+			s.scheduled = true
+		}
+		s.mu.Unlock()
+		if sched {
+			e.schedule(s)
+		}
+	})
 }
 
 // FlushBatch delivers a subscriber's partially filled Sync batch.
@@ -549,6 +708,55 @@ func (e *Engine) drain(s *sub) {
 			s.scheduled = false
 			s.mu.Unlock()
 			return
+		}
+		if s.q.len() == 0 {
+			s.scheduled = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		// Ask the breaker before popping — and only when there is work,
+		// so a half-open probe grant is never consumed without a probe.
+		// An open breaker leaves the backlog buffered and re-arms the
+		// cool-down timer.
+		if s.brk != nil && !s.brk.allow(e.cfg.Clock()) {
+			s.mu.Lock()
+			s.scheduled = false
+			s.mu.Unlock()
+			e.armBreakerTimer(s)
+			return
+		}
+		s.mu.Lock()
+		if s.brk != nil && s.opts.Batch > 1 {
+			// Breaker subscribers flush wrap-mode batches directly: a
+			// half-open probe must produce a recordable outcome, which a
+			// message parked in the deliverSync batch accumulator would
+			// not. Short batches flush partial, like FlushBatch.
+			n := s.opts.Batch
+			if l := s.q.len(); l < n {
+				n = l
+			}
+			batch := make([]Message, 0, n)
+			tracked := 0
+			for i := 0; i < n; i++ {
+				m, ok := s.q.pop()
+				if !ok {
+					break
+				}
+				if s.accounted > 0 {
+					s.accounted--
+					tracked++
+				}
+				batch = append(batch, m)
+			}
+			s.mu.Unlock()
+			if len(batch) > 0 {
+				e.deliverBatch(s, batch)
+			}
+			for i := 0; i < tracked; i++ {
+				e.wg.Done()
+			}
+			continue
 		}
 		m, ok := s.q.pop()
 		if !ok {

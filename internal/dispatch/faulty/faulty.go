@@ -1,0 +1,128 @@
+// Package faulty is the fault-injection harness for the dispatch engine's
+// reliable-delivery layer: it wraps a Deliver (or DeliverCtx) function in
+// an Injector that fails, hangs or slows delivery attempts on a
+// deterministic schedule. Tests compose it with retry policies, circuit
+// breakers and the dead-letter queue to script consumer misbehaviour —
+// "consumer fails its first 3 attempts then recovers", "every 5th call
+// hangs past the attempt timeout" — without timing races: the schedule is
+// keyed on the attempt counter, never on wall-clock randomness.
+package faulty
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+// ErrInjected is the error every injected failure returns (wrapped with
+// nothing, so errors.Is works on dead-letter reasons via string match and
+// on live errors directly).
+var ErrInjected = errors.New("faulty: injected failure")
+
+// Script is the deterministic misbehaviour schedule, evaluated against the
+// injector's 1-based attempt counter.
+type Script struct {
+	// FailFirst fails attempts 1..FailFirst — the "consumer down, then
+	// recovers" shape retry and breaker recovery tests need.
+	FailFirst int
+	// FailEvery fails every Nth attempt after FailFirst (0 disables) —
+	// a steady-state flaky consumer.
+	FailEvery int
+	// FailAlways fails every attempt — a permanently dead consumer.
+	FailAlways bool
+	// Hang, when > 0, makes failing attempts block for this duration
+	// instead of returning ErrInjected immediately (or until the attempt
+	// context is cancelled, whichever is first) — the slow-loris consumer
+	// that per-attempt timeouts exist for.
+	Hang time.Duration
+	// SlowEvery delays every Nth successful attempt by Slow (0 disables)
+	// — jitter for goodput measurements without failures.
+	SlowEvery int
+	// Slow is the delay SlowEvery applies.
+	Slow time.Duration
+}
+
+// Injector wraps a delivery function with a Script.
+type Injector struct {
+	script Script
+	next   func(ctx context.Context, batch []dispatch.Message) error
+
+	calls    atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New builds an Injector in front of a context-aware delivery function.
+// next may be nil for a sink (successful attempts deliver to nowhere).
+func New(script Script, next func(ctx context.Context, batch []dispatch.Message) error) *Injector {
+	return &Injector{script: script, next: next}
+}
+
+// Wrap builds an Injector in front of a plain Deliver function.
+func Wrap(script Script, next func(batch []dispatch.Message) error) *Injector {
+	if next == nil {
+		return New(script, nil)
+	}
+	return New(script, func(_ context.Context, batch []dispatch.Message) error {
+		return next(batch)
+	})
+}
+
+// Calls reports how many attempts the injector has seen.
+func (i *Injector) Calls() uint64 { return i.calls.Load() }
+
+// Failures reports how many attempts the injector failed.
+func (i *Injector) Failures() uint64 { return i.failures.Load() }
+
+// shouldFail evaluates the schedule for 1-based attempt n.
+func (i *Injector) shouldFail(n uint64) bool {
+	if i.script.FailAlways {
+		return true
+	}
+	if n <= uint64(i.script.FailFirst) {
+		return true
+	}
+	if i.script.FailEvery > 0 && (n-uint64(i.script.FailFirst))%uint64(i.script.FailEvery) == 0 {
+		return true
+	}
+	return false
+}
+
+// DeliverCtx is the context-aware delivery hook (dispatch.Sub.DeliverCtx).
+func (i *Injector) DeliverCtx(ctx context.Context, batch []dispatch.Message) error {
+	n := i.calls.Add(1)
+	if i.shouldFail(n) {
+		i.failures.Add(1)
+		if i.script.Hang > 0 {
+			t := time.NewTimer(i.script.Hang)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		}
+		return ErrInjected
+	}
+	if i.script.SlowEvery > 0 && n%uint64(i.script.SlowEvery) == 0 && i.script.Slow > 0 {
+		t := time.NewTimer(i.script.Slow)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
+	}
+	if i.next == nil {
+		return nil
+	}
+	return i.next(ctx, batch)
+}
+
+// Deliver is the plain delivery hook (dispatch.Sub.Deliver) for callers
+// that do not thread contexts; hangs run to completion.
+func (i *Injector) Deliver(batch []dispatch.Message) error {
+	return i.DeliverCtx(context.Background(), batch)
+}

@@ -1,0 +1,65 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+func TestScriptSchedule(t *testing.T) {
+	inj := New(Script{FailFirst: 2, FailEvery: 3}, nil)
+	var got []bool
+	for n := 1; n <= 11; n++ {
+		err := inj.Deliver(nil)
+		got = append(got, err == nil)
+	}
+	// Attempts 1,2 fail (FailFirst), then every 3rd after: 5, 8, 11.
+	want := []bool{false, false, true, true, false, true, true, false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attempt %d ok=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if inj.Calls() != 11 || inj.Failures() != 5 {
+		t.Fatalf("calls=%d failures=%d", inj.Calls(), inj.Failures())
+	}
+}
+
+func TestInjectedFailureError(t *testing.T) {
+	inj := New(Script{FailAlways: true}, nil)
+	if err := inj.Deliver(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHangHonoursContext(t *testing.T) {
+	inj := New(Script{FailAlways: true, Hang: time.Minute}, nil)
+	cause := errors.New("attempt deadline")
+	ctx, cancel := context.WithTimeoutCause(context.Background(), 5*time.Millisecond, cause)
+	defer cancel()
+	start := time.Now()
+	err := inj.DeliverCtx(ctx, nil)
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("hang ignored the context")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the context cause", err)
+	}
+}
+
+func TestSuccessPassesThrough(t *testing.T) {
+	delivered := 0
+	inj := New(Script{}, func(_ context.Context, batch []dispatch.Message) error {
+		delivered += len(batch)
+		return nil
+	})
+	if err := inj.Deliver([]dispatch.Message{{Payload: 1}, {Payload: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+}

@@ -1,0 +1,162 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrDeliveryTimeout reports an attempt that exceeded RetryPolicy.Timeout.
+// It is the error recorded against the attempt (and, if the attempt was the
+// last, against the dead letter).
+var ErrDeliveryTimeout = errors.New("dispatch: delivery attempt timed out")
+
+// RetryPolicy configures per-subscription delivery retries. A delivery
+// "cycle" is the full sequence of attempts for one message (or one Sync
+// batch); the engine's terminal counters (Delivered / Failed /
+// DeadLettered) account cycles, never individual attempts — attempt
+// failures that will be retried show up only in Stats.Retries.
+//
+// Backoff before attempt n+1 is BaseDelay·Multiplier^(n-1), capped at
+// MaxDelay, then shrunk by a deterministic jitter: the delay is multiplied
+// by 1 − Jitter·u where u ∈ [0,1) is derived (splitmix64) from Seed, the
+// subscriber identity and the attempt number. Equal inputs always yield
+// equal delays, so backoff schedules are exactly reproducible in tests
+// while still de-synchronising real fleets that use distinct Seeds.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of delivery attempts per cycle
+	// (including the first). Values < 1 behave as 1: no retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter in [0,1] is the maximum fraction shaved off each delay by
+	// the deterministic jitter (0 = exact exponential schedule).
+	Jitter float64
+	// Timeout bounds each individual attempt. For DeliverCtx subscribers
+	// it arrives as a context deadline; for plain Deliver the engine
+	// abandons the attempt after Timeout (the delivery goroutine is left
+	// to finish in the background — a truly hung consumer leaks it, which
+	// is why transports should honour the context instead). 0 = no bound.
+	Timeout time.Duration
+	// Seed perturbs the jitter stream (deterministic; default 0).
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// splitmix64 is the SplitMix64 mixer — a tiny, well-distributed hash used
+// to derive the deterministic jitter fraction.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashKey folds a subscriber id into a jitter key.
+func hashKey(id string) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a 64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// delay computes the backoff taken after failed attempt number `attempt`
+// (1-based). The policy must already have defaults applied.
+func (p RetryPolicy) delay(attempt int, key uint64) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		u := float64(splitmix64(p.Seed^key^uint64(attempt))>>11) / float64(1<<53)
+		d *= 1 - p.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// deliverOnce runs a single delivery attempt under the policy's timeout.
+func (e *Engine) deliverOnce(s *sub, batch []Message, timeout time.Duration) error {
+	if s.opts.DeliverCtx != nil {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeoutCause(ctx, timeout, ErrDeliveryTimeout)
+			defer cancel()
+		}
+		err := s.opts.DeliverCtx(ctx, batch)
+		if err != nil && ctx.Err() != nil && context.Cause(ctx) == ErrDeliveryTimeout {
+			return ErrDeliveryTimeout
+		}
+		return err
+	}
+	if timeout <= 0 {
+		return s.opts.Deliver(batch)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.opts.Deliver(batch) }()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return ErrDeliveryTimeout
+	}
+}
+
+// attemptCycle runs the full retry cycle for one delivery. It returns the
+// number of attempts made and the terminal error (nil on success).
+// Backoff sleeps run on the calling goroutine through Config.Sleep — a
+// worker for Queued subscribers, the publisher for Sync ones.
+func (e *Engine) attemptCycle(s *sub, batch []Message) (int, error) {
+	pol := s.retry
+	var err error
+	for a := 1; ; a++ {
+		err = e.deliverOnce(s, batch, pol.Timeout)
+		if err == nil {
+			return a, nil
+		}
+		if a >= pol.MaxAttempts || s.closed.Load() {
+			return a, err
+		}
+		e.retries.Add(1)
+		e.cfg.Sleep(pol.delay(a, s.jitterKey))
+		if s.closed.Load() {
+			return a, err
+		}
+	}
+}

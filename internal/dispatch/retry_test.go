@@ -1,0 +1,164 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    60 * time.Millisecond,
+		Multiplier:  2,
+	}.withDefaults()
+	key := hashKey("sub-a")
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		60 * time.Millisecond, // capped
+		60 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.delay(i+1, key); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Jitter:      0.5,
+		Seed:        42,
+	}.withDefaults()
+	keyA, keyB := hashKey("a"), hashKey("b")
+	for attempt := 1; attempt <= 3; attempt++ {
+		d1 := p.delay(attempt, keyA)
+		d2 := p.delay(attempt, keyA)
+		if d1 != d2 {
+			t.Fatalf("jitter not deterministic: %v vs %v", d1, d2)
+		}
+		base := p.delay(attempt, keyA)
+		full := RetryPolicy{MaxAttempts: 4, BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay}.withDefaults().delay(attempt, keyA)
+		if base > full || base < full/2 {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", attempt, base, full/2, full)
+		}
+	}
+	// Different subscribers get different schedules (de-synchronisation).
+	if p.delay(1, keyA) == p.delay(1, keyB) {
+		t.Error("distinct keys produced identical jitter (possible but wildly unlikely)")
+	}
+}
+
+func TestRetryDeliversAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	var mu sync.Mutex
+	e := New(Config{Sleep: func(d time.Duration) {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+	}})
+	calls := 0
+	e.Subscribe(Sub{
+		ID:   "flaky",
+		Mode: Sync,
+		Retry: &RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    8 * time.Millisecond,
+		},
+		Deliver: func([]Message) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	})
+	e.Dispatch(Message{Payload: 1})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	st := e.Stats()
+	if st.Delivered != 1 || st.Failed != 0 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoffs = %v", slept)
+	}
+}
+
+func TestRetryExhaustionWithoutDLQCountsFailed(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}})
+	calls := 0
+	e.Subscribe(Sub{
+		ID:           "dead",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Retry:        &RetryPolicy{MaxAttempts: 3},
+		Deliver:      func([]Message) error { calls++; return errors.New("down") },
+	})
+	e.Dispatch(Message{Payload: 1})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	st := e.Stats()
+	if st.Failed != 1 || st.DeadLettered != 0 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPerAttemptTimeoutViaContext(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}})
+	var got []error
+	e.Subscribe(Sub{
+		ID:           "hung",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Retry:        &RetryPolicy{MaxAttempts: 2, Timeout: 5 * time.Millisecond},
+		DeliverCtx: func(ctx context.Context, _ []Message) error {
+			<-ctx.Done()
+			got = append(got, context.Cause(ctx))
+			return ctx.Err()
+		},
+	})
+	e.Dispatch(Message{Payload: 1})
+	if len(got) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(got))
+	}
+	for _, err := range got {
+		if !errors.Is(err, ErrDeliveryTimeout) {
+			t.Fatalf("cause = %v, want ErrDeliveryTimeout", err)
+		}
+	}
+	if st := e.Stats(); st.Failed != 1 || st.Retries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPerAttemptTimeoutOnPlainDeliver(t *testing.T) {
+	e := New(Config{Sleep: func(time.Duration) {}})
+	release := make(chan struct{})
+	e.Subscribe(Sub{
+		ID:           "hung-plain",
+		Mode:         Sync,
+		FailureLimit: -1,
+		Retry:        &RetryPolicy{MaxAttempts: 1, Timeout: 5 * time.Millisecond},
+		Deliver: func([]Message) error {
+			<-release // hangs past the timeout
+			return nil
+		},
+	})
+	e.Dispatch(Message{Payload: 1})
+	close(release)
+	if st := e.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -32,14 +32,36 @@ type Provider struct {
 	closed  bool
 }
 
+// providerDLQCap bounds the provider's dead-letter queue; DropOldest keeps
+// the newest failure evidence when a consumer stays down.
+const providerDLQCap = 1024
+
 // NewProvider builds an empty provider.
 func NewProvider() *Provider {
 	return &Provider{
-		eng:    dispatch.New(dispatch.Config{}),
+		eng: dispatch.New(dispatch.Config{
+			DLQCap:      providerDLQCap,
+			DLQOverflow: dispatch.DropOldest,
+		}),
 		queues: map[string]*Queue{},
 		topics: map[string]*Topic{},
 		clock:  time.Now,
 	}
+}
+
+// DeadLetterCount reports buffered dead letters across all topics.
+func (p *Provider) DeadLetterCount() int { return p.eng.DLQLen() }
+
+// DeadLetters copies up to max dead letters (all when max <= 0) without
+// removing them.
+func (p *Provider) DeadLetters(max int) []dispatch.DeadLetter {
+	return p.eng.DeadLetters(max)
+}
+
+// ReplayDeadLetters redrives up to max dead letters (all when max <= 0)
+// through their subscriptions, returning how many were requeued.
+func (p *Provider) ReplayDeadLetters(max int) int {
+	return p.eng.ReplayDeadLetters(max)
 }
 
 // WithClock injects a time source (tests).
@@ -201,11 +223,19 @@ type TopicSub struct {
 	engID string
 	name  string // durable name, "" for non-durable
 
-	mu       sync.Mutex
-	selector *Selector
-	handler  func(Message)
-	active   bool
-	dropped  int
+	// Reliability policy, fixed at first registration. A breaker on a
+	// durable subscriber composes with the pause buffer: an open breaker
+	// pauses delivery into the same ring that buffers while deactivated,
+	// so no message is lost across either kind of outage.
+	retry   *dispatch.RetryPolicy
+	breaker *dispatch.BreakerPolicy
+
+	mu         sync.Mutex
+	selector   *Selector
+	handler    func(Message)
+	handlerErr func(Message) error // reliable variant; wins over handler
+	active     bool
+	dropped    int
 }
 
 // path returns the topic's index key in the provider's dispatch engine.
@@ -232,12 +262,19 @@ func (t *Topic) subscribeEngine(sub *TopicSub, paused bool) {
 		Deliver: func(batch []dispatch.Message) error {
 			sub.mu.Lock()
 			h := sub.handler
+			he := sub.handlerErr
 			sub.mu.Unlock()
+			m := batch[0].Payload.(Message)
+			if he != nil {
+				return he(m)
+			}
 			if h != nil {
-				h(batch[0].Payload.(Message))
+				h(m)
 			}
 			return nil
 		},
+		Retry:       sub.retry,
+		Breaker:     sub.breaker,
 		PauseBuffer: true,
 		Paused:      paused,
 		QueueCap:    durableBufferCap,
@@ -292,6 +329,7 @@ func (t *Topic) SubscribeDurable(name string, sel *Selector, fn func(Message)) e
 	}
 	sub.selector = sel
 	sub.handler = fn
+	sub.handlerErr = nil
 	sub.active = true
 	sub.mu.Unlock()
 	if !ok {
@@ -301,6 +339,64 @@ func (t *Topic) SubscribeDurable(name string, sel *Selector, fn func(Message)) e
 	// Reactivation: the engine replays the offline buffer in order.
 	t.provider.eng.Resume(sub.engID)
 	return nil
+}
+
+// ReliableOpts carries the reliability policy of a reliable durable
+// subscription.
+type ReliableOpts struct {
+	Retry   *dispatch.RetryPolicy
+	Breaker *dispatch.BreakerPolicy
+}
+
+// SubscribeDurableReliable registers (or reactivates) a durable subscriber
+// whose handler can fail. Failed deliveries retry per opts.Retry, then
+// dead-letter into the provider's DLQ; a breaker (opts.Breaker) pauses
+// delivery into the same bounded buffer used while the subscriber is
+// deactivated, probing again after the cool-down. The policy is fixed at
+// first registration; later reactivations may swap selector and handler
+// but not the policy.
+func (t *Topic) SubscribeDurableReliable(name string, sel *Selector, opts ReliableOpts, fn func(Message) error) error {
+	t.mu.Lock()
+	sub, ok := t.durable[name]
+	if !ok {
+		sub = &TopicSub{
+			engID:   fmt.Sprintf("topic/%s/durable/%s", t.name, name),
+			name:    name,
+			retry:   opts.Retry,
+			breaker: opts.Breaker,
+		}
+		t.durable[name] = sub
+	}
+	t.mu.Unlock()
+	sub.mu.Lock()
+	if sub.active {
+		sub.mu.Unlock()
+		return fmt.Errorf("jms: durable subscriber %q already active", name)
+	}
+	sub.selector = sel
+	sub.handler = nil
+	sub.handlerErr = fn
+	sub.active = true
+	sub.mu.Unlock()
+	if !ok {
+		t.subscribeEngine(sub, false)
+		return nil
+	}
+	t.provider.eng.Resume(sub.engID)
+	return nil
+}
+
+// DurableBreakerState reports the named durable subscriber's circuit
+// breaker state; ok is false when the subscriber is unknown or has no
+// breaker.
+func (t *Topic) DurableBreakerState(name string) (state dispatch.BreakerState, ok bool) {
+	t.mu.Lock()
+	sub, found := t.durable[name]
+	t.mu.Unlock()
+	if !found {
+		return 0, false
+	}
+	return t.provider.eng.BreakerState(sub.engID)
 }
 
 // Deactivate disconnects a durable subscriber; publishes buffer until it
@@ -315,6 +411,7 @@ func (t *Topic) Deactivate(name string) error {
 	sub.mu.Lock()
 	sub.active = false
 	sub.handler = nil
+	sub.handlerErr = nil
 	sub.mu.Unlock()
 	t.provider.eng.Pause(sub.engID)
 	return nil

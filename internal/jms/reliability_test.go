@@ -1,0 +1,149 @@
+package jms
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+// TestDurableReliableRetryAndDeadLetter drives the reliable durable
+// subscriber through an outage: retries per message, dead-lettering into
+// the provider DLQ, and an in-order replay once the handler recovers.
+func TestDurableReliableRetryAndDeadLetter(t *testing.T) {
+	p := NewProvider()
+	topic := p.Topic("audit")
+
+	var mu sync.Mutex
+	down := true
+	var got []string
+	err := topic.SubscribeDurableReliable("ledger", nil, ReliableOpts{
+		Retry: &dispatch.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	}, func(m Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			return errors.New("ledger down")
+		}
+		got = append(got, m.Headers().MessageID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		m := NewTextMessage("entry")
+		if err := topic.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.Headers().MessageID)
+	}
+
+	if n := p.DeadLetterCount(); n != 3 {
+		t.Fatalf("DeadLetterCount = %d, want 3", n)
+	}
+	letters := p.DeadLetters(0)
+	if letters[0].Attempts != 2 || letters[0].Reason != "ledger down" {
+		t.Fatalf("letter = %+v", letters[0])
+	}
+
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	if n := p.ReplayDeadLetters(0); n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("handler saw %d messages", len(got))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("replay order: got %v, want %v", got, ids)
+		}
+	}
+}
+
+// TestDurableBreakerPausesIntoDurableBuffer pins the interplay between
+// the circuit breaker and the durable pause buffer: an open breaker
+// buffers into the same ring that holds messages while the subscriber is
+// deactivated, and the cool-down probe drains it once the handler is
+// healthy again.
+func TestDurableBreakerPausesIntoDurableBuffer(t *testing.T) {
+	p := NewProvider()
+	topic := p.Topic("metrics")
+
+	var mu sync.Mutex
+	down := true
+	var got int
+	err := topic.SubscribeDurableReliable("collector", nil, ReliableOpts{
+		Breaker: &dispatch.BreakerPolicy{Window: 2, FailureRate: 1, Cooldown: 10 * time.Millisecond},
+	}, func(Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			return errors.New("collector down")
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures fill the window and open the breaker; both messages
+	// dead-letter (single attempt, no retry policy).
+	topic.Publish(NewTextMessage("a"))
+	topic.Publish(NewTextMessage("b"))
+	if state, ok := topic.DurableBreakerState("collector"); !ok || state != dispatch.BreakerOpen {
+		t.Fatalf("breaker = %v (ok=%v), want open", state, ok)
+	}
+	if n := p.DeadLetterCount(); n != 2 {
+		t.Fatalf("DeadLetterCount = %d, want 2", n)
+	}
+
+	// While open, publishes buffer — the DLQ must not grow.
+	for i := 0; i < 4; i++ {
+		topic.Publish(NewTextMessage("buffered"))
+	}
+	if n := p.DeadLetterCount(); n != 2 {
+		t.Fatalf("DLQ grew to %d while breaker open", n)
+	}
+
+	// Recover: the cool-down probe closes the breaker and drains the
+	// buffered backlog.
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("buffered backlog not drained after recovery: got %d/4", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if state, ok := topic.DurableBreakerState("collector"); !ok || state != dispatch.BreakerClosed {
+		t.Fatalf("breaker = %v (ok=%v), want closed after recovery", state, ok)
+	}
+	// The two dead letters replay into the now-healthy handler too.
+	if n := p.ReplayDeadLetters(0); n != 2 {
+		t.Fatalf("replayed %d, want 2", n)
+	}
+	p.eng.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 6 {
+		t.Fatalf("handler saw %d messages, want 6", got)
+	}
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+// TestHTTPHandlerRejectsOversizedBody pins the MaxBytesReader guard: a
+// request past the envelope cap gets 413, not a truncated parse error.
+func TestHTTPHandlerRejectsOversizedBody(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	defer srv.Close()
+
+	big := bytes.Repeat([]byte("x"), maxEnvelopeBytes+1)
+	resp, err := http.Post(srv.URL, soap.V11.ContentType(), bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHTTPHandlerHonoursRequestCancellation pins the bugfix: a handler
+// outliving its request context must not write a response to the departed
+// client.
+func TestHTTPHandlerHonoursRequestCancellation(t *testing.T) {
+	release := make(chan struct{})
+	served := make(chan error, 1)
+	h := HandlerFunc(func(ctx context.Context, _ *soap.Envelope) (*soap.Envelope, error) {
+		<-release
+		// Give the server a moment to surface the client's departure.
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Second):
+		}
+		served <- ctx.Err()
+		resp := soap.New(soap.V11)
+		resp.AddBody(xmldom.Elem("urn:t", "Late", "too late"))
+		return resp, nil
+	})
+	srv := httptest.NewServer(NewHTTPHandler(h))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Ping", "hi"))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL, bytes.NewReader(env.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", soap.V11.ContentType())
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		done <- err
+	}()
+
+	// Abandon the exchange while the handler is still working, then let
+	// the handler finish against a dead request context.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("client call succeeded after cancellation")
+	}
+	close(release)
+	if err := <-served; err == nil {
+		t.Fatal("handler context survived client cancellation")
+	}
+}
+
+// TestHTTPClientDefaultTimeout verifies HTTPClient.Timeout bounds an
+// exchange whose caller context has no deadline of its own, and that a
+// caller deadline wins when present.
+func TestHTTPClientDefaultTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Ping", "hi"))
+
+	// Default timeout applies: a hanging server fails the exchange. The
+	// handler blocks on a test-owned channel (closed before server
+	// shutdown) because a dropped client alone does not unblock it.
+	stop := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-stop
+	}))
+	defer hang.Close()
+	defer close(stop)
+	c := &HTTPClient{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	err := c.Send(context.Background(), hang.URL, env)
+	if err == nil {
+		t.Fatal("send to hanging server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("default timeout did not bound the exchange (%v)", elapsed)
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+
+	// A caller deadline shorter than the hang also wins (no double wrap).
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	long := &HTTPClient{Timeout: time.Hour}
+	start = time.Now()
+	if err := long.Send(ctx, hang.URL, env); err == nil {
+		t.Fatal("send with caller deadline succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("caller deadline ignored (%v)", elapsed)
+	}
+
+	// Healthy exchanges still complete under the default timeout.
+	if err := c.Send(context.Background(), srv.URL, env); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,9 +18,14 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/soap"
 )
+
+// maxEnvelopeBytes bounds inbound and outbound SOAP bodies. Anything
+// larger is a hostile or broken peer, not a notification.
+const maxEnvelopeBytes = 16 << 20
 
 // Handler processes one inbound SOAP envelope. A nil response with nil
 // error means the exchange is one-way (notification deliveries).
@@ -145,14 +150,23 @@ func (l *Loopback) Send(ctx context.Context, addr string, req *soap.Envelope) er
 
 // NewHTTPHandler exposes a SOAP Handler at an HTTP endpoint. Faults map to
 // HTTP 500 per the SOAP HTTP binding; one-way exchanges return 202.
+// Request bodies are capped via http.MaxBytesReader (oversized requests
+// get 413 and a closed connection, not a silently truncated parse), and a
+// request context that dies mid-exchange aborts without writing a
+// response the peer will never read.
 func NewHTTPHandler(h Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
 		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, "SOAP envelope exceeds size limit", http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
@@ -162,6 +176,11 @@ func NewHTTPHandler(h Handler) http.Handler {
 			return
 		}
 		resp, err := h.ServeSOAP(r.Context(), env)
+		if cerr := r.Context().Err(); cerr != nil {
+			// Client gone (disconnect or deadline): any bytes written now
+			// are wasted and a 500 would mislabel the handler's work.
+			return
+		}
 		if err != nil {
 			writeEnvelope(w, faultOrError(err, env.Version), http.StatusInternalServerError)
 			return
@@ -188,6 +207,10 @@ func writeEnvelope(w http.ResponseWriter, env *soap.Envelope, status int) {
 type HTTPClient struct {
 	// HC is the underlying client; http.DefaultClient when nil.
 	HC *http.Client
+	// Timeout bounds an exchange when the caller's context carries no
+	// deadline of its own (the retry layer's per-attempt timeouts always
+	// win). Zero means no default bound.
+	Timeout time.Duration
 }
 
 func (c *HTTPClient) client() *http.Client {
@@ -201,6 +224,11 @@ func (c *HTTPClient) client() *http.Client {
 func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error) {
 	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
 		return nil, fmt.Errorf("transport: address %q is not an HTTP endpoint", addr)
+	}
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(req.Marshal()))
 	if err != nil {
@@ -216,7 +244,7 @@ func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) 
 	if hresp.StatusCode == http.StatusAccepted || hresp.ContentLength == 0 {
 		return nil, nil
 	}
-	body, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxEnvelopeBytes))
 	if err != nil {
 		return nil, err
 	}
