@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test vet race check fmt-check golden bench bench-smoke ci comparison examples outputs goldens clean
+.PHONY: all build test vet race check fmt-check golden bench bench-smoke metrics-race metrics-smoke ci comparison examples outputs goldens clean
 
 all: check
 
@@ -19,7 +19,7 @@ race:
 # Full pre-merge gate: compile, vet, tests, and the race detector over
 # the concurrency-heavy packages (the full -race sweep stays in `race`).
 check: build vet test
-	go test -race ./internal/dispatch ./internal/core
+	go test -race ./internal/dispatch ./internal/core ./internal/obs
 
 # Fail when any file needs gofmt; print the offenders.
 fmt-check:
@@ -39,10 +39,36 @@ bench-smoke:
 	go test -bench=. -benchtime=1x ./... > bench_smoke.txt
 	go run ./cmd/benchjson -o BENCH_ci.json < bench_smoke.txt
 
+# Race the metric-bearing packages: the scrape path (CounterFunc/GaugeFunc
+# closures) runs concurrently with dispatch, so these three must stay clean
+# under the detector.
+metrics-race:
+	go test -race ./internal/obs ./internal/dispatch ./internal/core
+
+# End-to-end observability smoke: boot the real broker binary, poll until
+# /metrics answers, require the core series and a healthy /healthz, then
+# shut it down. Everything runs in one shell so the trap reliably reaps
+# the background broker.
+METRICS_SMOKE_ADDR ?= 127.0.0.1:18891
+
+metrics-smoke:
+	go build -o wsmessenger-smoke ./cmd/wsmessenger
+	@set -e; ./wsmessenger-smoke -listen $(METRICS_SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -f wsmessenger-smoke metrics_smoke.txt' EXIT; \
+	ok=0; i=0; while [ $$i -lt 50 ]; do \
+		if curl -fsS "http://$(METRICS_SMOKE_ADDR)/metrics" -o metrics_smoke.txt 2>/dev/null; then ok=1; break; fi; \
+		i=$$((i+1)); sleep 0.1; done; \
+	[ $$ok -eq 1 ] || { echo "metrics-smoke: /metrics never answered"; exit 1; }; \
+	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket; do \
+		grep -q "$$series" metrics_smoke.txt || { echo "metrics-smoke: /metrics lacks $$series"; exit 1; }; done; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$(METRICS_SMOKE_ADDR)/healthz"); \
+	[ "$$code" = "200" ] || { echo "metrics-smoke: /healthz returned $$code, want 200"; exit 1; }; \
+	echo "metrics-smoke: OK"
+
 # Mirror of .github/workflows/ci.yml: the blocking jobs (check, fmt-check,
-# golden) then the non-blocking bench smoke (its failure is reported but
-# does not fail `make ci`).
-ci: check fmt-check golden
+# golden, metrics-race, metrics-smoke) then the non-blocking bench smoke
+# (its failure is reported but does not fail `make ci`).
+ci: check fmt-check golden metrics-race metrics-smoke
 	-$(MAKE) bench-smoke
 
 # Regenerate the paper's tables and figures with probe verification.

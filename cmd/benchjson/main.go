@@ -27,6 +27,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric units (e.g. the latency
+	// percentile snapshots p50-ns/p95-ns/p99-ns the observability
+	// benchmarks emit), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -101,6 +105,12 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			// A custom b.ReportMetric unit.
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
 		}
 	}
 	return b, seen

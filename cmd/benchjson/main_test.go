@@ -11,6 +11,7 @@ pkg: repro
 cpu: Example CPU @ 2.00GHz
 BenchmarkFanout/wse-sync-8         	       1	     52100 ns/op	   12345 B/op	     210 allocs/op
 BenchmarkFanout/wsn-sync-8         	       1	     61000 ns/op
+BenchmarkMediationLatency-8        	     100	      9000 ns/op	      2.0 deliveries/op	   8500 p95-ns
 --- BENCH: BenchmarkNoisy
     bench_test.go:10: log line that must be ignored
 PASS
@@ -28,7 +29,7 @@ func TestParse(t *testing.T) {
 	if rep.CPU != "Example CPU @ 2.00GHz" {
 		t.Fatalf("cpu = %q", rep.CPU)
 	}
-	if len(rep.Benchmarks) != 2 {
+	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
 	}
 	b := rep.Benchmarks[0]
@@ -40,6 +41,13 @@ func TestParse(t *testing.T) {
 	}
 	if rep.Benchmarks[1].BytesPerOp != 0 {
 		t.Fatalf("missing -benchmem fields must stay zero: %+v", rep.Benchmarks[1])
+	}
+	if rep.Benchmarks[1].Metrics != nil {
+		t.Fatalf("no custom units, no Metrics map: %+v", rep.Benchmarks[1])
+	}
+	m := rep.Benchmarks[2].Metrics
+	if m["deliveries/op"] != 2.0 || m["p95-ns"] != 8500 {
+		t.Fatalf("custom ReportMetric units not captured: %+v", m)
 	}
 }
 

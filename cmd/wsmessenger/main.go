@@ -16,7 +16,10 @@
 //	                   GetCurrentMessage
 //	POST /manage     — Renew, GetStatus, Unsubscribe, Pull,
 //	                   Pause/ResumeSubscription, WSRF operations
-//	GET  /healthz    — liveness + stats
+//	GET  /metrics    — Prometheus text exposition (lifecycle counters,
+//	                   queue/breaker/DLQ gauges, latency histograms)
+//	GET  /healthz    — liveness: 503 while any circuit breaker is open or
+//	                   the dead-letter queue is past its watermark
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wsdl"
 )
@@ -40,6 +44,8 @@ func main() {
 	scavenge := flag.Duration("scavenge", 30*time.Second, "subscription scavenge interval")
 	queueDepth := flag.Int("queue", 256, "per-subscriber delivery queue depth")
 	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
+	dlqWatermark := flag.Int("dlq-watermark", core.DefaultDLQWatermark,
+		"dead-letter depth at which /healthz reports degraded")
 	flag.Parse()
 
 	base := *external
@@ -50,11 +56,17 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker")
 	broker, err := core.New(core.Config{
 		Address:        base + "/",
 		ManagerAddress: base + "/manage",
-		Client:         &transport.HTTPClient{HC: &http.Client{Timeout: 15 * time.Second}},
-		QueueDepth:     *queueDepth,
+		Client: &transport.HTTPClient{
+			HC:  &http.Client{Timeout: 15 * time.Second},
+			Obs: obs.NewTransportMetrics(reg, "broker"),
+		},
+		QueueDepth: *queueDepth,
+		Obs:        rec,
 	})
 	if err != nil {
 		log.Fatalf("wsmessenger: %v", err)
@@ -73,7 +85,8 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	front := transport.NewHTTPHandler(broker.FrontHandler())
+	frontTM := obs.NewTransportMetrics(reg, "front") // inbound faults + 413s
+	front := transport.NewHTTPHandlerObs(broker.FrontHandler(), frontTM)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodGet && r.URL.RawQuery == "wsdl" {
 			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
@@ -82,12 +95,9 @@ func main() {
 		}
 		front.ServeHTTP(w, r)
 	})
-	mux.Handle("/manage", transport.NewHTTPHandler(broker.ManagerHandler()))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		st := broker.Stats()
-		fmt.Fprintf(w, "ok\nsubscriptions=%d published=%d delivered=%d dropped=%d failures=%d mediations=%d\n",
-			broker.SubscriptionCount(), st.Published, st.Delivered, st.Dropped, st.Failures, st.Mediations)
-	})
+	mux.Handle("/manage", transport.NewHTTPHandlerObs(broker.ManagerHandler(), frontTM))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", obs.HealthHandler(broker.HealthChecks(*dlqWatermark)))
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/topics"
 	"repro/internal/transport"
@@ -198,14 +199,23 @@ func cmdListen(args []string) {
 	listen := fs.String("listen", ":8892", "listen address for the sink endpoint")
 	fs.Parse(args)
 
+	// The sink carries its own observability surface so long-running
+	// listeners can be scraped like the broker: notification counts ride
+	// the transport series, health is a plain liveness check.
+	reg := obs.NewRegistry()
+	received := reg.Counter("wsm_sink_notifications_total",
+		"Notifications received by the sink.", obs.L("component", "sink"))
+
 	// One handler understands both spec families' deliveries.
 	wseSink := &wse.Sink{OnNotify: func(n wse.Notification) {
+		received.Inc()
 		fmt.Printf("[notification] topic=%s payload=%s", n.Topic, xmldom.Marshal(n.Payload))
 		fmt.Println()
 	}, OnEnd: func(end *wse.SubscriptionEnd) {
 		fmt.Printf("[subscription-end] id=%s status=%s reason=%s\n", end.ID, end.Status, end.Reason)
 	}}
 	wsnSink := &wsnt.Consumer{OnNotify: func(r wsnt.Received) {
+		received.Inc()
 		fmt.Printf("[notify] topic=%s wrapped=%v payload=%s", r.Topic, r.Wrapped, xmldom.Marshal(r.Payload))
 		fmt.Println()
 	}, OnTermination: func(reason string) {
@@ -219,8 +229,14 @@ func cmdListen(args []string) {
 		}
 		return wseSink.ServeSOAP(ctx, env)
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", transport.NewHTTPHandlerObs(both, obs.NewTransportMetrics(reg, "sink")))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", obs.HealthHandler(func() []obs.HealthCheck {
+		return []obs.HealthCheck{{Name: "sink", OK: true}}
+	}))
 	log.Printf("wsnotify: sink listening on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, transport.NewHTTPHandler(both)))
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }
 
 func cmdPublish(ctx context.Context, client transport.Client, args []string) {

@@ -84,14 +84,17 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"jobs:",
 		"  check:",
 		"  lint:",
+		"  metrics:",
 		"  bench-smoke:",
 		"uses: actions/checkout@",
 		"uses: actions/setup-go@",
 		"go-version-file: go.mod",
-		"cache: true",         // module/build caching on every job
-		"run: make check",     // the tier-1 gate
-		"run: make fmt-check", // gofmt -l, fail on diff
-		"run: make golden",    // wire-format golden probes
+		"cache: true",             // module/build caching on every job
+		"run: make check",         // the tier-1 gate
+		"run: make fmt-check",     // gofmt -l, fail on diff
+		"run: make golden",        // wire-format golden probes
+		"run: make metrics-race",  // -race over obs/dispatch/core
+		"run: make metrics-smoke", // live /metrics + /healthz scrape
 		"run: make bench-smoke",
 		"uses: actions/upload-artifact@",
 		"path: BENCH_ci.json",
@@ -160,7 +163,7 @@ func TestMakeCIMirrorsWorkflow(t *testing.T) {
 	for _, p := range prereqs {
 		have[p] = true
 	}
-	for _, want := range []string{"check", "fmt-check", "golden"} {
+	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke"} {
 		if !have[want] {
 			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 )
 
 // The 13 QoS properties the CORBA Notification Service specification
@@ -129,6 +130,13 @@ const channelDLQCap = 1024
 // FifoDiscard (default) rotates the oldest letters out, LifoDiscard
 // rejects new ones.
 func NewChannel(qos QoS) (*Channel, error) {
+	return NewChannelObs(qos, nil)
+}
+
+// NewChannelObs builds a channel whose dispatch engine reports lifecycle
+// metrics and sampled traces through rec (nil disables instrumentation).
+// One recorder serves one channel.
+func NewChannelObs(qos QoS, rec *obs.Recorder) (*Channel, error) {
 	if err := ValidateQoS(qos); err != nil {
 		return nil, err
 	}
@@ -143,6 +151,7 @@ func NewChannel(qos QoS) (*Channel, error) {
 		eng: dispatch.New(dispatch.Config{
 			DLQCap:      channelDLQCap,
 			DLQOverflow: ovf,
+			Obs:         rec,
 		}),
 		qos:   qos,
 		clock: time.Now,

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/filter"
 	"repro/internal/mediation"
+	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/sublease"
 	"repro/internal/topics"
@@ -92,6 +93,13 @@ type Config struct {
 	// and replay them (default 1024; negative disables — terminal
 	// failures are then counted and discarded, the pre-DLQ behaviour).
 	DeadLetterCap int
+	// Obs instruments the broker: lifecycle counters and gauges are bound
+	// to the dispatch engine, per-stage latency histograms and sampled
+	// message traces ride the delivery path, and the broker adds
+	// per-operation and mediation-render timings. One recorder serves one
+	// broker (the engine binding panics on reuse); nil disables
+	// instrumentation at the cost of a nil check.
+	Obs *obs.Recorder
 }
 
 func (c *Config) withDefaults() Config {
@@ -168,6 +176,9 @@ type Broker struct {
 
 	cancelBackend func()
 	wsrfSvc       *wsrf.Service
+
+	// renderSec times mediation rendering (nil when Config.Obs is nil).
+	renderSec *obs.Histogram
 }
 
 // New builds a broker and wires it to its backend.
@@ -181,7 +192,13 @@ func New(cfg Config) (*Broker, error) {
 		Breaker:      b.cfg.Breaker,
 		DLQCap:       b.cfg.DeadLetterCap,
 		DLQOverflow:  dispatch.DropOldest, // keep the newest failure evidence
+		Obs:          b.cfg.Obs,
 	})
+	if rec := b.cfg.Obs; rec != nil {
+		b.renderSec = rec.Registry().Histogram("wsm_mediation_render_seconds",
+			"Time spent rendering notifications into the subscriber's spec.",
+			nil, obs.L("component", rec.Component()))
+	}
 	b.store = sublease.NewStore(
 		sublease.WithClock(b.cfg.Clock),
 		sublease.WithIDPrefix("wsm"),
@@ -268,7 +285,9 @@ func (b *Broker) fanOut(msg backend.Message) {
 // The context arrives from the dispatch engine carrying the retry
 // policy's per-attempt timeout; without one a 10s default applies.
 func (b *Broker) send(ctx context.Context, st *subState, n mediation.Notification) error {
-	env := mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
+	env := b.timeRender(func() *soap.Envelope {
+		return mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
+	})
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
@@ -279,13 +298,29 @@ func (b *Broker) send(ctx context.Context, st *subState, n mediation.Notificatio
 
 // sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
 func (b *Broker) sendWrapped(ctx context.Context, st *subState, batch []mediation.Notification) error {
-	env := mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
+	env := b.timeRender(func() *soap.Envelope {
+		return mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
+	})
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
 		defer cancel()
 	}
 	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+}
+
+// timeRender runs one mediation render, feeding its duration into the
+// wsm_mediation_render_seconds histogram when instrumentation is on —
+// the per-delivery cost of the paper's mediation layer, measured apart
+// from the network send it precedes.
+func (b *Broker) timeRender(render func() *soap.Envelope) *soap.Envelope {
+	if b.renderSec == nil {
+		return render()
+	}
+	t0 := b.cfg.Obs.Now()
+	env := render()
+	b.renderSec.Observe(b.cfg.Obs.Now().Sub(t0))
+	return env
 }
 
 // FlushWrapped forces out every partially filled wrapped-mode batch.
@@ -331,6 +366,33 @@ func (b *Broker) ReplayDeadLetters(max int) int {
 // false when the id is unknown or the broker runs without breakers.
 func (b *Broker) BreakerState(id string) (state dispatch.BreakerState, ok bool) {
 	return b.engine.BreakerState(id)
+}
+
+// OpenBreakerCount reports how many subscriptions currently sit behind an
+// open circuit breaker.
+func (b *Broker) OpenBreakerCount() int { return b.engine.OpenBreakers() }
+
+// DefaultDLQWatermark is the dead-letter depth at which HealthChecks
+// reports the broker degraded, unless overridden.
+const DefaultDLQWatermark = 512
+
+// HealthChecks returns a check function for obs.HealthHandler: the broker
+// is degraded while any circuit breaker is open (a consumer is down and
+// its backlog is growing) or while the dead-letter queue holds at least
+// dlqWatermark letters (<=0 means DefaultDLQWatermark).
+func (b *Broker) HealthChecks(dlqWatermark int) func() []obs.HealthCheck {
+	if dlqWatermark <= 0 {
+		dlqWatermark = DefaultDLQWatermark
+	}
+	return func() []obs.HealthCheck {
+		open := b.engine.OpenBreakers()
+		dlq := b.engine.DLQLen()
+		return []obs.HealthCheck{
+			{Name: "breakers", OK: open == 0, Detail: fmt.Sprintf("%d open", open)},
+			{Name: "dlq", OK: dlq < dlqWatermark,
+				Detail: fmt.Sprintf("%d buffered, watermark %d", dlq, dlqWatermark)},
+		}
+	}
 }
 
 // Shutdown terminates every subscription (emitting end notices per the
@@ -568,6 +630,16 @@ func (r brokerSelfResource) PropertyDocument() (*xmldom.Element, error) {
 	doc.Append(xmldom.Elem(ns, "Delivered", fmt.Sprint(st.Delivered)))
 	doc.Append(xmldom.Elem(ns, "Mediations", fmt.Sprint(st.Mediations)))
 	doc.Append(xmldom.Elem(ns, "DeadLetters", fmt.Sprint(r.b.DeadLetterCount())))
+	if rec := r.b.cfg.Obs; rec != nil {
+		// Delivery-latency percentiles as a resource property, so WSRF
+		// GetResourceProperty clients see the same numbers /metrics serves.
+		snap := rec.StageSnapshot(obs.StageDeliver)
+		lat := xmldom.NewElement(xmldom.N(ns, "DeliveryLatency"))
+		lat.Append(xmldom.Elem(ns, "P50", snap.Quantile(0.50).String()))
+		lat.Append(xmldom.Elem(ns, "P95", snap.Quantile(0.95).String()))
+		lat.Append(xmldom.Elem(ns, "P99", snap.Quantile(0.99).String()))
+		doc.Append(lat)
+	}
 	return doc, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/mediation"
+	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/topics"
 	"repro/internal/transport"
@@ -77,13 +78,35 @@ func (b *Broker) ManagerHandler() transport.Handler {
 	})
 }
 
+// opDone starts timing one front-door operation and returns its completion
+// hook. The spec-version label is supplied at completion because some
+// handlers only learn the dialect mid-flight (raw publishes). On an
+// uninstrumented broker both halves are no-ops.
+func (b *Broker) opDone(op string) func(spec string) {
+	rec := b.cfg.Obs
+	if rec == nil {
+		return func(string) {}
+	}
+	start := rec.Now()
+	return func(spec string) {
+		rec.Registry().Histogram("wsm_op_seconds",
+			"Front-door SOAP operation handling latency by operation and spec version.",
+			nil,
+			obs.L("component", rec.Component()), obs.L("op", op), obs.L("spec", spec),
+		).Observe(rec.Now().Sub(start))
+	}
+}
+
 // handlePublish accepts a published notification in either family and
 // routes it through the backend.
 func (b *Broker) handlePublish(env *soap.Envelope) error {
+	done := b.opDone("Notify")
 	ns, d, err := mediation.ParseIncoming(env)
 	if err != nil {
+		done("unknown")
 		return soap.Faultf(soap.FaultSender, "ws-messenger: %v", err)
 	}
+	defer func() { done(d.String()) }()
 	for _, n := range ns {
 		if err := b.publish(n.Topic, n.Payload, d.Family.String()); err != nil {
 			return soap.Faultf(soap.FaultReceiver, "ws-messenger: backend: %v", err)
@@ -95,6 +118,8 @@ func (b *Broker) handlePublish(env *soap.Envelope) error {
 // handleSubscribe accepts a subscribe of either family, creates the
 // canonical subscription and answers in the requester's dialect.
 func (b *Broker) handleSubscribe(env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
+	done := b.opDone("Subscribe")
+	defer func() { done(d.String()) }()
 	var canon *mediation.Subscribe
 	switch d.Family {
 	case mediation.FamilyWSE:
@@ -190,6 +215,8 @@ func (b *Broker) applyReply(out, in *soap.Envelope, wv wsa.Version, action strin
 }
 
 func (b *Broker) handleGetCurrentMessage(env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
+	done := b.opDone("GetCurrentMessage")
+	defer func() { done(d.String()) }()
 	v := d.WSN
 	if d.Family != mediation.FamilyWSN {
 		return nil, soap.Faultf(soap.FaultSender, "ws-messenger: GetCurrentMessage is a WS-Notification operation")
@@ -257,6 +284,8 @@ func (b *Broker) subscriptionID(env *soap.Envelope, d mediation.Dialect) string 
 
 func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d mediation.Dialect) (*soap.Envelope, error) {
 	body := env.FirstBody()
+	done := b.opDone(body.Name.Local)
+	defer func() { done(d.String()) }()
 	id := b.subscriptionID(env, d)
 	out := soap.New(env.Version)
 

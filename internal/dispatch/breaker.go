@@ -123,21 +123,23 @@ func (b *breaker) pausing() bool {
 // allow asks permission for a delivery cycle. In the closed state it always
 // grants. In the open state it grants exactly one caller once the cool-down
 // has elapsed, moving to half-open (that caller's delivery is the probe);
-// everyone else is refused until the probe's outcome is recorded.
-func (b *breaker) allow(now time.Time) bool {
+// everyone else is refused until the probe's outcome is recorded. probe
+// reports that this grant performed the open → half-open transition, so
+// the caller can count the state change.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if now.Sub(b.openedAt) >= b.pol.Cooldown {
 			b.state = BreakerHalfOpen
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default: // half-open: probe already in flight
-		return false
+		return false, false
 	}
 }
 
@@ -153,9 +155,10 @@ func (b *breaker) retryAt() time.Time {
 }
 
 // record feeds one delivery-cycle outcome in. It reports whether this
-// outcome opened the breaker and whether the subscription has reached the
-// terminal eviction state.
-func (b *breaker) record(ok bool, now time.Time) (opened, evict bool) {
+// outcome opened the breaker, whether it closed it (a successful half-open
+// probe), and whether the subscription has reached the terminal eviction
+// state.
+func (b *breaker) record(ok bool, now time.Time) (opened, closed, evict bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -164,13 +167,13 @@ func (b *breaker) record(ok bool, now time.Time) (opened, evict bool) {
 			b.state = BreakerClosed
 			b.trips = 0
 			b.resetWindow()
-			return false, false
+			return false, true, false
 		}
 		b.state = BreakerOpen
 		b.openedAt = now
 		b.trips++
 		b.resetWindow()
-		return true, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
+		return true, false, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
 	case BreakerClosed:
 		if b.window[b.wi] && b.wn >= len(b.window) {
 			b.fails--
@@ -189,10 +192,10 @@ func (b *breaker) record(ok bool, now time.Time) (opened, evict bool) {
 			b.openedAt = now
 			b.trips++
 			b.resetWindow()
-			return true, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
+			return true, false, b.pol.MaxTrips > 0 && b.trips >= b.pol.MaxTrips
 		}
-		return false, false
+		return false, false, false
 	default: // open: outcome from a cycle that raced the trip; ignore
-		return false, false
+		return false, false, false
 	}
 }

@@ -74,9 +74,9 @@ func TestBreakerStateMachine(t *testing.T) {
 				var opened, evict bool
 				switch st.record {
 				case "ok":
-					opened, evict = b.record(true, now)
+					opened, _, evict = b.record(true, now)
 				case "fail":
-					opened, evict = b.record(false, now)
+					opened, _, evict = b.record(false, now)
 				default:
 					// Cool-down expiry is observed through allow, the
 					// delivery-path gate.
@@ -116,13 +116,13 @@ func TestBreakerAllowGrantsSingleProbe(t *testing.T) {
 	if b.State() != BreakerOpen {
 		t.Fatal("breaker should be open")
 	}
-	if b.allow(now.Add(500 * time.Millisecond)) {
+	if ok, _ := b.allow(now.Add(500 * time.Millisecond)); ok {
 		t.Fatal("allow before cooldown")
 	}
-	if !b.allow(now.Add(time.Second)) {
+	if ok, probe := b.allow(now.Add(time.Second)); !ok || !probe {
 		t.Fatal("first caller after cooldown must get the probe")
 	}
-	if b.allow(now.Add(time.Second)) {
+	if ok, _ := b.allow(now.Add(time.Second)); ok {
 		t.Fatal("second caller must wait for the probe outcome")
 	}
 }

@@ -1,7 +1,9 @@
 package dispatch_test
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/dispatch/faulty"
+	"repro/internal/obs"
 )
 
 // TestChaosFaultyConsumers is the reliable-delivery acceptance test: with
@@ -27,10 +30,13 @@ func TestChaosFaultyConsumers(t *testing.T) {
 		msgs       = 150
 		publishers = 5 // must divide msgs
 	)
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "chaos", obs.RecorderConfig{SampleEvery: 3})
 	e := dispatch.New(dispatch.Config{
 		Sleep:    func(time.Duration) {},
 		DLQCap:   faultySubs*msgs + 1,
 		QueueCap: msgs + 1, // no overflow drops: every loss must be a dead letter
+		Obs:      rec,
 	})
 	defer e.Close()
 
@@ -107,5 +113,35 @@ func TestChaosFaultyConsumers(t *testing.T) {
 	}
 	if n := e.DLQLen(); n != faultySubs*msgs {
 		t.Errorf("DLQLen = %d, want %d", n, faultySubs*msgs)
+	}
+
+	// The scrape-time metric series must agree exactly with Stats at
+	// quiescence — they sample the same atomics, so any disagreement is a
+	// torn read or a double count.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for series, want := range map[string]uint64{
+		"wsm_published_total":     st.Published,
+		"wsm_matched_total":       st.Matched,
+		"wsm_delivered_total":     st.Delivered,
+		"wsm_dropped_total":       st.Dropped,
+		"wsm_failed_total":        st.Failed,
+		"wsm_dead_letters_total":  st.DeadLettered,
+		"wsm_retries_total":       st.Retries,
+		"wsm_breaker_trips_total": st.BreakerTrips,
+	} {
+		line := fmt.Sprintf("%s{component=\"chaos\"} %d\n", series, want)
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics disagree with Stats: want %q", strings.TrimSpace(line))
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("wsm_dlq_depth{component=\"chaos\"} %d\n", faultySubs*msgs)) {
+		t.Errorf("wsm_dlq_depth disagrees with DLQLen %d", faultySubs*msgs)
+	}
+	if !strings.Contains(text, "wsm_queue_depth{component=\"chaos\"} 0\n") {
+		t.Error("wsm_queue_depth nonzero at quiescence")
 	}
 }

@@ -54,6 +54,11 @@ var ErrDuplicateSub = errors.New("dispatch: duplicate subscriber id")
 type Message struct {
 	Topic   topics.Path
 	Payload any
+
+	// tid links the message to its lifecycle trace when the observability
+	// recorder sampled it at publish (0 = untraced). The engine restores it
+	// across Prepare hooks, which build fresh Message values.
+	tid uint64
 }
 
 // Mode selects a subscriber's delivery path.

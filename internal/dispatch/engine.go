@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topics"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	// After schedules the breaker cool-down re-dispatch (default
 	// time.AfterFunc; tests inject a manual trigger).
 	After func(time.Duration, func())
+	// Obs, when set, records per-stage latency histograms, breaker
+	// transitions and sampled lifecycle traces, and surfaces the engine's
+	// counters and gauges as scrape-time series. Nil disables all of it at
+	// the cost of a nil check on the dispatch path.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +145,24 @@ func New(cfg Config) *Engine {
 	e.reg = newRegistry(e.cfg.Shards)
 	e.runCond = sync.NewCond(&e.runMu)
 	e.dlq = newDLQ(e.cfg.DLQCap, e.cfg.DLQOverflow)
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.BindEngine(
+			func() obs.EngineStats {
+				s := e.Stats()
+				return obs.EngineStats{
+					Published: s.Published, Matched: s.Matched,
+					Delivered: s.Delivered, Dropped: s.Dropped,
+					Failed: s.Failed, DeadLettered: s.DeadLettered,
+					Retries: s.Retries, Trips: s.BreakerTrips,
+				}
+			},
+			obs.EngineGauges{
+				Subscribers:  e.Count,
+				QueuedTotal:  e.QueuedTotal,
+				OpenBreakers: e.OpenBreakers,
+				DLQDepth:     e.DLQLen,
+			})
+	}
 	return e
 }
 
@@ -158,6 +182,32 @@ func (e *Engine) Stats() Stats {
 
 // Count reports registered subscribers.
 func (e *Engine) Count() int { return e.reg.count() }
+
+// QueuedTotal reports the messages currently buffered across every
+// subscriber ring (queued, pull, pause and breaker buffers). It walks the
+// registry taking each subscriber's lock briefly — a monitoring call, not
+// a hot-path one.
+func (e *Engine) QueuedTotal() int {
+	total := 0
+	e.reg.forEach(func(s *sub) {
+		s.mu.Lock()
+		total += s.q.len()
+		s.mu.Unlock()
+	})
+	return total
+}
+
+// OpenBreakers reports how many subscriptions currently have a non-closed
+// (open or half-open) circuit breaker.
+func (e *Engine) OpenBreakers() int {
+	open := 0
+	e.reg.forEach(func(s *sub) {
+		if s.brk != nil && s.brk.State() != BreakerClosed {
+			open++
+		}
+	})
+	return open
+}
 
 // Subscribe registers a subscriber.
 func (e *Engine) Subscribe(o Sub) error {
@@ -309,8 +359,18 @@ func (e *Engine) Resume(id string) {
 // matching subscriber's mode. It returns how many subscribers matched.
 func (e *Engine) Dispatch(m Message) int {
 	e.published.Add(1)
+	rec := e.cfg.Obs
+	var t0 time.Time
+	if rec != nil {
+		// Dispatch-level timing is always on (one clock pair per publish);
+		// the per-subscriber stage timings below ride only on messages the
+		// recorder sampled into a trace, so fan-out hot paths stay flat.
+		t0 = rec.Now()
+		m.tid = rec.StartTrace(m.Topic.String())
+	}
 	cands := e.reg.candidates(m.Topic)
 	matched := 0
+	traced := 0
 	var now time.Time
 	for _, s := range cands {
 		if s.closed.Load() {
@@ -338,18 +398,48 @@ func (e *Engine) Dispatch(m Message) int {
 		dm := m
 		if s.opts.Prepare != nil {
 			dm = s.opts.Prepare(m)
+			// Prepare hooks build fresh Message values; re-link the trace.
+			dm.tid = m.tid
+		}
+		if m.tid != 0 {
+			if traced < obs.MaxTraceEvents {
+				traced++
+				rec.TraceEvent(m.tid, "match", s.id, 0, nil)
+			} else {
+				// The trace ring drops everything past MaxTraceEvents, so
+				// on huge fan-outs stop threading the id: the remaining
+				// subscribers skip per-delivery instrumentation instead of
+				// paying for events nobody will see.
+				dm.tid = 0
+			}
 		}
 		e.accept(s, dm)
+	}
+	if rec != nil {
+		rec.ObserveStage(obs.StageDispatch, rec.Now().Sub(t0))
 	}
 	return matched
 }
 
 // accept hands one matched message to a subscriber per its mode.
 func (e *Engine) accept(s *sub, m Message) {
+	rec := e.cfg.Obs
+	var t0 time.Time
+	if m.tid != 0 {
+		// Accept-stage timing only for traced (sampled) messages: the
+		// common case pays nothing beyond the tid check. The stage covers
+		// routing — lock, mode decision, enqueue — not the inline delivery
+		// itself, which deliverBatch times as StageDeliver.
+		t0 = rec.Now()
+	}
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()
 		e.dropped.Add(1)
+		if m.tid != 0 {
+			rec.ObserveStage(obs.StageAccept, rec.Now().Sub(t0))
+			rec.TraceEvent(m.tid, "drop", s.id, 0, nil)
+		}
 		return
 	}
 	// A Sync subscriber with an open (or probing) breaker buffers into its
@@ -362,6 +452,9 @@ func (e *Engine) accept(s *sub, m Message) {
 		s.opts.Mode == Queued || gatedSync
 	if !buffering {
 		s.mu.Unlock()
+		if m.tid != 0 {
+			rec.ObserveStage(obs.StageAccept, rec.Now().Sub(t0))
+		}
 		e.deliverSync(s, m)
 		return
 	}
@@ -390,6 +483,14 @@ func (e *Engine) accept(s *sub, m Message) {
 	}
 	onDrop := s.opts.OnDrop
 	s.mu.Unlock()
+	if m.tid != 0 {
+		rec.ObserveStage(obs.StageAccept, rec.Now().Sub(t0))
+		if stored {
+			rec.TraceEvent(m.tid, "enqueue", s.id, 0, nil)
+		} else {
+			rec.TraceEvent(m.tid, "drop", s.id, 0, nil)
+		}
+	}
 	if dropped > 0 {
 		e.dropped.Add(uint64(dropped))
 		if onDrop != nil {
@@ -436,14 +537,38 @@ func (e *Engine) deliverBatch(s *sub, batch []Message) {
 		e.dropped.Add(uint64(len(batch)))
 		return
 	}
-	attempts, err := e.attemptCycle(s, batch)
+	rec := e.cfg.Obs
+	var tid uint64
+	var t0 time.Time
+	if rec != nil {
+		for _, m := range batch {
+			if m.tid != 0 {
+				tid = m.tid
+				break
+			}
+		}
+		if tid != 0 {
+			t0 = rec.Now()
+		}
+	}
+	attempts, err := e.attemptCycle(s, batch, tid)
+	if tid != 0 {
+		// StageDeliver is the subscriber-visible cycle latency: every
+		// attempt plus the backoff sleeps between them.
+		rec.ObserveStage(obs.StageDeliver, rec.Now().Sub(t0))
+	}
 	if err == nil {
 		e.delivered.Add(uint64(len(batch)))
+		if tid != 0 {
+			rec.TraceEvent(tid, "delivered", s.id, attempts, nil)
+		}
 		s.mu.Lock()
 		s.failures = 0
 		s.mu.Unlock()
 		if s.brk != nil {
-			s.brk.record(true, e.cfg.Clock())
+			if _, closed, _ := s.brk.record(true, e.cfg.Clock()); closed {
+				rec.BreakerTransition("closed")
+			}
 		}
 		return
 	}
@@ -458,10 +583,18 @@ func (e *Engine) deliverBatch(s *sub, batch []Message) {
 	}
 	e.deadLettered.Add(uint64(stored))
 	e.failed.Add(uint64(len(batch) - stored))
+	if tid != 0 {
+		if stored > 0 {
+			rec.TraceEvent(tid, "deadletter", s.id, attempts, err)
+		} else {
+			rec.TraceEvent(tid, "failed", s.id, attempts, err)
+		}
+	}
 	if s.brk != nil {
-		opened, evict := s.brk.record(false, e.cfg.Clock())
+		opened, _, evict := s.brk.record(false, e.cfg.Clock())
 		if opened {
 			e.breakerTrips.Add(1)
+			rec.BreakerTransition("open")
 		}
 		if evict {
 			e.evict(s)
@@ -719,12 +852,18 @@ func (e *Engine) drain(s *sub) {
 		// so a half-open probe grant is never consumed without a probe.
 		// An open breaker leaves the backlog buffered and re-arms the
 		// cool-down timer.
-		if s.brk != nil && !s.brk.allow(e.cfg.Clock()) {
-			s.mu.Lock()
-			s.scheduled = false
-			s.mu.Unlock()
-			e.armBreakerTimer(s)
-			return
+		if s.brk != nil {
+			ok, probe := s.brk.allow(e.cfg.Clock())
+			if probe {
+				e.cfg.Obs.BreakerTransition("half-open")
+			}
+			if !ok {
+				s.mu.Lock()
+				s.scheduled = false
+				s.mu.Unlock()
+				e.armBreakerTimer(s)
+				return
+			}
 		}
 		s.mu.Lock()
 		if s.brk != nil && s.opts.Batch > 1 {

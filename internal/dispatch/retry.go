@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrDeliveryTimeout reports an attempt that exceeded RetryPolicy.Timeout.
@@ -141,12 +143,23 @@ func (e *Engine) deliverOnce(s *sub, batch []Message, timeout time.Duration) err
 // attemptCycle runs the full retry cycle for one delivery. It returns the
 // number of attempts made and the terminal error (nil on success).
 // Backoff sleeps run on the calling goroutine through Config.Sleep — a
-// worker for Queued subscribers, the publisher for Sync ones.
-func (e *Engine) attemptCycle(s *sub, batch []Message) (int, error) {
+// worker for Queued subscribers, the publisher for Sync ones. tid links the
+// cycle to a sampled lifecycle trace (0 = untraced): traced cycles also
+// record per-attempt and backoff stage timings.
+func (e *Engine) attemptCycle(s *sub, batch []Message, tid uint64) (int, error) {
 	pol := s.retry
+	rec := e.cfg.Obs
 	var err error
 	for a := 1; ; a++ {
+		var t0 time.Time
+		if tid != 0 {
+			t0 = rec.Now()
+		}
 		err = e.deliverOnce(s, batch, pol.Timeout)
+		if tid != 0 {
+			rec.ObserveStage(obs.StageAttempt, rec.Now().Sub(t0))
+			rec.TraceEvent(tid, "attempt", s.id, a, err)
+		}
 		if err == nil {
 			return a, nil
 		}
@@ -154,7 +167,11 @@ func (e *Engine) attemptCycle(s *sub, batch []Message) (int, error) {
 			return a, err
 		}
 		e.retries.Add(1)
-		e.cfg.Sleep(pol.delay(a, s.jitterKey))
+		d := pol.delay(a, s.jitterKey)
+		if tid != 0 {
+			rec.ObserveStage(obs.StageBackoff, d)
+		}
+		e.cfg.Sleep(d)
 		if s.closed.Load() {
 			return a, err
 		}

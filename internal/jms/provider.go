@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/topics"
 )
 
@@ -38,10 +39,18 @@ const providerDLQCap = 1024
 
 // NewProvider builds an empty provider.
 func NewProvider() *Provider {
+	return NewProviderObs(nil)
+}
+
+// NewProviderObs builds an empty provider whose dispatch engine reports
+// lifecycle metrics and sampled traces through rec (nil disables
+// instrumentation). One recorder serves one provider.
+func NewProviderObs(rec *obs.Recorder) *Provider {
 	return &Provider{
 		eng: dispatch.New(dispatch.Config{
 			DLQCap:      providerDLQCap,
 			DLQOverflow: dispatch.DropOldest,
+			Obs:         rec,
 		}),
 		queues: map[string]*Queue{},
 		topics: map[string]*Topic{},

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HealthCheck is one named health condition.
+type HealthCheck struct {
+	Name   string
+	OK     bool
+	Detail string // human-readable state, shown either way
+}
+
+// HealthHandler serves a /healthz endpoint: 200 with "ok" when every check
+// passes, 503 with "degraded" when any fails, followed by one line per
+// check either way so operators see which condition flipped.
+func HealthHandler(fn func() []HealthCheck) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		checks := fn()
+		healthy := true
+		for _, c := range checks {
+			if !c.OK {
+				healthy = false
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		if healthy {
+			b.WriteString("ok\n")
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			b.WriteString("degraded\n")
+		}
+		for _, c := range checks {
+			state := "ok"
+			if !c.OK {
+				state = "fail"
+			}
+			fmt.Fprintf(&b, "%s: %s", c.Name, state)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+		_, _ = fmt.Fprint(w, b.String())
+	})
+}

@@ -1,0 +1,497 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// --- histogram percentile math -----------------------------------------
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	// 100 observations spread uniformly over (0, 100ms] against 10ms-wide
+	// buckets: quantiles should land within one bucket width of the exact
+	// value, and the interpolation should be exact at bucket boundaries.
+	bounds := make([]time.Duration, 10)
+	for i := range bounds {
+		bounds[i] = time.Duration(i+1) * 10 * time.Millisecond
+	}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Total != 100 {
+		t.Fatalf("Total = %d, want 100", s.Total)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 50 * time.Millisecond},
+		{0.9, 90 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	} {
+		got := s.Quantile(tc.q)
+		if got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if m := s.Mean(); m != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", m)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	// Everything in the overflow bucket: quantiles clamp to the largest
+	// finite bound rather than inventing an upper edge.
+	h.Observe(time.Second)
+	h.Observe(2 * time.Second)
+	if got := h.Snapshot().Quantile(0.5); got != 10*time.Millisecond {
+		t.Errorf("overflow Quantile = %v, want 10ms", got)
+	}
+	// Negative durations clamp to zero instead of corrupting the sum.
+	h2 := NewHistogram([]time.Duration{time.Millisecond})
+	h2.Observe(-time.Second)
+	s := h2.Snapshot()
+	if s.Sum != 0 || s.Counts[0] != 1 {
+		t.Errorf("negative observation: Sum=%v Counts=%v", s.Sum, s.Counts)
+	}
+	// Out-of-range q clamps.
+	h2.Observe(500 * time.Microsecond)
+	s = h2.Snapshot()
+	if got := s.Quantile(2.0); got != s.Quantile(1.0) {
+		t.Errorf("Quantile(2.0)=%v, want Quantile(1.0)=%v", got, s.Quantile(1.0))
+	}
+}
+
+func TestHistogramQuantileSkewed(t *testing.T) {
+	// 99 fast observations and one slow one: p50 stays in the fast bucket,
+	// p99+ reaches the slow bucket.
+	h := NewHistogram([]time.Duration{time.Millisecond, 100 * time.Millisecond, time.Second})
+	for i := 0; i < 99; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	h.Observe(900 * time.Millisecond)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got > time.Millisecond {
+		t.Errorf("p50 = %v, want <= 1ms", got)
+	}
+	if got := s.Quantile(0.999); got <= 100*time.Millisecond {
+		t.Errorf("p99.9 = %v, want > 100ms", got)
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("nil bounds should adopt DefaultLatencyBuckets")
+	}
+	for i := 1; i < len(DefaultLatencyBuckets); i++ {
+		if DefaultLatencyBuckets[i] <= DefaultLatencyBuckets[i-1] {
+			t.Errorf("DefaultLatencyBuckets not ascending at %d", i)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	s := h.Snapshot()
+	if s.Total != goroutines*per {
+		t.Fatalf("snapshot Total = %d, want %d", s.Total, goroutines*per)
+	}
+}
+
+// --- registry / exposition format --------------------------------------
+
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("wsm_published_total", "Messages published into the engine.",
+		L("component", "broker"))
+	c.Add(42)
+	reg.CounterFunc("wsm_published_total", "Messages published into the engine.",
+		func() uint64 { return 7 }, L("component", "jms"))
+	g := reg.Gauge("wsm_queue_depth", "Messages buffered across subscription queues.",
+		L("component", "broker"))
+	g.Set(13)
+	reg.GaugeFunc("wsm_subscribers", "Registered subscriptions.",
+		func() float64 { return 3 }, L("component", "broker"))
+	h := reg.Histogram("wsm_stage_seconds", "Latency by processing stage.",
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond},
+		L("component", "broker"), L("stage", "deliver"))
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second) // overflow
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := buildGoldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition format drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionShape(t *testing.T) {
+	reg := buildGoldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// Cumulative le buckets: counts must be non-decreasing and the +Inf
+	// bucket must equal _count.
+	for _, want := range []string{
+		`wsm_stage_seconds_bucket{component="broker",stage="deliver",le="0.001"} 1`,
+		`wsm_stage_seconds_bucket{component="broker",stage="deliver",le="0.01"} 3`,
+		`wsm_stage_seconds_bucket{component="broker",stage="deliver",le="0.1"} 4`,
+		`wsm_stage_seconds_bucket{component="broker",stage="deliver",le="+Inf"} 5`,
+		`wsm_stage_seconds_count{component="broker",stage="deliver"} 5`,
+		"# TYPE wsm_stage_seconds histogram",
+		"# TYPE wsm_published_total counter",
+		"# TYPE wsm_queue_depth gauge",
+		`wsm_published_total{component="broker"} 42`,
+		`wsm_published_total{component="jms"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q\nfull output:\n%s", want, text)
+		}
+	}
+	// Each family's HELP/TYPE header must appear exactly once.
+	if n := strings.Count(text, "# TYPE wsm_published_total"); n != 1 {
+		t.Errorf("TYPE header for wsm_published_total appears %d times", n)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := buildGoldenRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wsm_published_total") {
+		t.Error("handler response lacks registered series")
+	}
+}
+
+func TestRegistryGetOrCreateAndConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x", L("k", "v"))
+	b := reg.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict must panic")
+			}
+		}()
+		reg.Gauge("x_total", "x", L("k", "v"))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CounterFunc over an existing counter must panic")
+			}
+		}()
+		reg.CounterFunc("x_total", "x", func() uint64 { return 0 }, L("k", "v"))
+	}()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "esc", L("v", `a"b\c`+"\n"))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{v="a\"b\\c\n"} 0`) {
+		t.Errorf("label escaping wrong:\n%s", buf.String())
+	}
+}
+
+// --- recorder ----------------------------------------------------------
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if tid := r.StartTrace("t"); tid != 0 {
+		t.Errorf("nil StartTrace = %d, want 0", tid)
+	}
+	r.TraceEvent(1, "x", "s", 1, errors.New("e"))
+	r.ObserveStage(StageDeliver, time.Second)
+	r.BreakerTransition("open")
+	r.BindEngine(func() EngineStats { return EngineStats{} }, EngineGauges{})
+	if !r.Now().IsZero() {
+		t.Error("nil Now must be zero")
+	}
+	if s := r.StageSnapshot(StageDeliver); s.Total != 0 {
+		t.Error("nil StageSnapshot must be empty")
+	}
+	if r.Traces() != nil {
+		t.Error("nil Traces must be nil")
+	}
+	if r.Component() != "" || r.Registry() != nil {
+		t.Error("nil accessors must be zero")
+	}
+	var m *TransportMetrics
+	m.ObserveSend(time.Second)
+	m.Fault()
+	m.Oversize()
+	if m.Faults() != 0 || m.Oversizes() != 0 || m.SendSnapshot().Total != 0 || !m.Now().IsZero() {
+		t.Error("nil TransportMetrics accessors must be zero")
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRecorder(NewRegistry(), "test", RecorderConfig{
+		SampleEvery: 4,
+		Clock:       func() time.Time { return now },
+	})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tid := r.StartTrace("topic/a"); tid != 0 {
+			sampled++
+			r.TraceEvent(tid, "delivered", "sub-1", 1, nil)
+		}
+	}
+	if sampled != 25 {
+		t.Errorf("sampled %d of 100 with SampleEvery=4, want 25", sampled)
+	}
+	traces := r.Traces()
+	if len(traces) != 25 {
+		t.Fatalf("ring holds %d traces, want 25", len(traces))
+	}
+	tr := traces[0]
+	if tr.Topic != "topic/a" || len(tr.Events) != 2 ||
+		tr.Events[0].Event != "publish" || tr.Events[1].Event != "delivered" {
+		t.Errorf("trace shape wrong: %+v", tr)
+	}
+}
+
+func TestRecorderStagesAndTransitions(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(reg, "broker")
+	r.ObserveStage(StageDeliver, 3*time.Millisecond)
+	r.ObserveStage(StageDeliver, 7*time.Millisecond)
+	r.ObserveStage(StageDispatch, time.Millisecond)
+	r.BreakerTransition("open")
+	r.BreakerTransition("open")
+	r.BreakerTransition("closed")
+	r.BreakerTransition("bogus") // unknown states are ignored, not registered
+	if got := r.StageSnapshot(StageDeliver).Total; got != 2 {
+		t.Errorf("deliver stage count = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`wsm_breaker_transitions_total{component="broker",to="open"} 2`,
+		`wsm_breaker_transitions_total{component="broker",to="closed"} 1`,
+		`wsm_stage_seconds_count{component="broker",stage="deliver"} 2`,
+		`wsm_stage_seconds_count{component="broker",stage="dispatch"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}
+
+func TestBindEngine(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(reg, "engine")
+	r.BindEngine(
+		func() EngineStats {
+			return EngineStats{Published: 10, Matched: 20, Delivered: 18, Dropped: 1,
+				Failed: 1, DeadLettered: 0, Retries: 5, Trips: 2}
+		},
+		EngineGauges{
+			Subscribers:  func() int { return 4 },
+			QueuedTotal:  func() int { return 9 },
+			OpenBreakers: func() int { return 1 },
+			DLQDepth:     func() int { return 0 },
+		})
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`wsm_published_total{component="engine"} 10`,
+		`wsm_matched_total{component="engine"} 20`,
+		`wsm_delivered_total{component="engine"} 18`,
+		`wsm_retries_total{component="engine"} 5`,
+		`wsm_breaker_trips_total{component="engine"} 2`,
+		`wsm_subscribers{component="engine"} 4`,
+		`wsm_queue_depth{component="engine"} 9`,
+		`wsm_breakers_open{component="engine"} 1`,
+		`wsm_dlq_depth{component="engine"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second BindEngine must panic")
+			}
+		}()
+		r.BindEngine(func() EngineStats { return EngineStats{} }, EngineGauges{})
+	}()
+}
+
+// --- trace ring --------------------------------------------------------
+
+func TestTraceRingRotation(t *testing.T) {
+	ring := NewTraceRing(4)
+	now := time.Unix(0, 0)
+	for id := uint64(1); id <= 8; id++ {
+		ring.start(id, "t", now)
+	}
+	// IDs 1–4 rotated out; events for them must be dropped, not misfiled.
+	ring.event(1, TraceEvent{Event: "late"}, func() time.Time { return now })
+	snap := ring.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(snap))
+	}
+	for _, tr := range snap {
+		if tr.ID < 5 {
+			t.Errorf("stale trace %d survived rotation", tr.ID)
+		}
+		for _, ev := range tr.Events {
+			if ev.Event == "late" {
+				t.Error("stale event misfiled into a rotated slot")
+			}
+		}
+	}
+	// Snapshot is sorted by ID.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].ID > snap[i].ID {
+			t.Error("snapshot not sorted by ID")
+		}
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(g*500 + i + 1)
+				ring.start(id, "t", time.Unix(0, 0))
+				ring.event(id, TraceEvent{Event: "e"}, func() time.Time { return time.Unix(0, 0) })
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(ring.Snapshot()); n != 16 {
+		t.Errorf("ring holds %d, want 16", n)
+	}
+}
+
+// --- health ------------------------------------------------------------
+
+func TestHealthHandler(t *testing.T) {
+	degraded := false
+	h := HealthHandler(func() []HealthCheck {
+		return []HealthCheck{
+			{Name: "breakers", OK: !degraded, Detail: "0 open"},
+			{Name: "dlq", OK: true, Detail: "depth 0 < watermark 512"},
+		}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(buf.String(), "ok\n") {
+		t.Errorf("healthy: status=%d body=%q", resp.StatusCode, buf.String())
+	}
+
+	degraded = true
+	resp, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.HasPrefix(buf.String(), "degraded\n") {
+		t.Errorf("degraded: status=%d body=%q", resp.StatusCode, buf.String())
+	}
+	if !strings.Contains(buf.String(), "breakers: fail") {
+		t.Errorf("degraded body must name the failing check: %q", buf.String())
+	}
+}

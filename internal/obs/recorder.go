@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies a timed segment of the message path.
+type Stage int
+
+const (
+	// StageDispatch covers a whole Dispatch call: match + filter + accept
+	// for every candidate subscription.
+	StageDispatch Stage = iota
+	// StageAccept covers one subscription's accept: prepare + filter +
+	// enqueue (or the synchronous fast path's handoff).
+	StageAccept
+	// StageDeliver covers one delivery cycle end to end, including retries
+	// and backoff sleeps — the subscriber-visible latency.
+	StageDeliver
+	// StageAttempt covers a single delivery attempt (one Deliver call).
+	StageAttempt
+	// StageBackoff covers time spent sleeping between retry attempts.
+	StageBackoff
+
+	stageCount
+)
+
+var stageNames = [stageCount]string{"dispatch", "accept", "deliver", "attempt", "backoff"}
+
+// String names the stage as it appears in the `stage` label.
+func (s Stage) String() string {
+	if s < 0 || s >= stageCount {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// DefaultSampleEvery is the default trace sampling rate: one message in N
+// gets a lifecycle trace and per-stage accept/attempt timings. Dispatch-level
+// timing is always on (one clock pair per publish); the per-delivery timings
+// ride only on sampled messages so the B10 fan-out hot path stays flat.
+const DefaultSampleEvery = 64
+
+// RecorderConfig tunes a Recorder. The zero value is usable.
+type RecorderConfig struct {
+	// SampleEvery traces one message in N (<=0 means DefaultSampleEvery;
+	// 1 traces everything).
+	SampleEvery uint64
+	// TraceCap bounds the recent-trace ring (<=0 means DefaultTraceCap).
+	TraceCap int
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// Recorder is one component's instrumentation handle: per-stage latency
+// histograms, breaker-transition counters and a sampled lifecycle trace
+// ring, all registered under a shared Registry with a `component` label.
+//
+// Every method is safe on a nil receiver and becomes a no-op — callers
+// thread a *Recorder through unconditionally and the disabled path costs
+// one nil check.
+type Recorder struct {
+	component   string
+	reg         *Registry
+	clock       func() time.Time
+	sampleEvery uint64
+	seq         atomic.Uint64
+	stages      [stageCount]*Histogram
+	transitions map[string]*Counter // breaker state name -> counter
+	traces      *TraceRing
+	bound       atomic.Bool
+}
+
+// NewRecorder builds a recorder for one component (e.g. "broker", "jms")
+// registering its series in reg.
+func NewRecorder(reg *Registry, component string, cfg ...RecorderConfig) *Recorder {
+	var c RecorderConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	r := &Recorder{
+		component:   component,
+		reg:         reg,
+		clock:       c.Clock,
+		sampleEvery: c.SampleEvery,
+		traces:      NewTraceRing(c.TraceCap),
+		transitions: map[string]*Counter{},
+	}
+	for st := Stage(0); st < stageCount; st++ {
+		r.stages[st] = reg.Histogram("wsm_stage_seconds",
+			"Latency by processing stage.", nil,
+			L("component", component), L("stage", st.String()))
+	}
+	for _, to := range []string{"open", "half-open", "closed"} {
+		r.transitions[to] = reg.Counter("wsm_breaker_transitions_total",
+			"Circuit-breaker state transitions.",
+			L("component", component), L("to", to))
+	}
+	return r
+}
+
+// Component reports the component label ("" on a nil recorder).
+func (r *Recorder) Component() string {
+	if r == nil {
+		return ""
+	}
+	return r.component
+}
+
+// Registry reports the backing registry (nil on a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Now reads the recorder's clock; the zero time on a nil recorder, so
+// callers can gate their own timing on `t0.IsZero()`.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.clock()
+}
+
+// StartTrace begins a lifecycle trace for a newly published message if it
+// falls in the sample. It returns the trace ID, 0 when unsampled or on a
+// nil recorder — callers pass the ID through the pipeline and every
+// trace-taking method treats 0 as "not traced".
+func (r *Recorder) StartTrace(topic string) uint64 {
+	if r == nil {
+		return 0
+	}
+	n := r.seq.Add(1)
+	if n%r.sampleEvery != 0 {
+		return 0
+	}
+	r.traces.start(n, topic, r.clock())
+	return n
+}
+
+// TraceEvent appends an event to the trace tid (no-op when tid is 0, the
+// recorder is nil, or the trace has rotated out of the ring).
+func (r *Recorder) TraceEvent(tid uint64, event, sub string, attempt int, err error) {
+	if r == nil || tid == 0 {
+		return
+	}
+	ev := TraceEvent{Event: event, Sub: sub, Attempt: attempt}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	r.traces.event(tid, ev, r.clock)
+}
+
+// ObserveStage records one stage duration.
+func (r *Recorder) ObserveStage(st Stage, d time.Duration) {
+	if r == nil || st < 0 || st >= stageCount {
+		return
+	}
+	r.stages[st].Observe(d)
+}
+
+// StageSnapshot captures the histogram for one stage (zero snapshot on a
+// nil recorder).
+func (r *Recorder) StageSnapshot(st Stage) HistogramSnapshot {
+	if r == nil || st < 0 || st >= stageCount {
+		return HistogramSnapshot{}
+	}
+	return r.stages[st].Snapshot()
+}
+
+// BreakerTransition counts a circuit-breaker state change.
+func (r *Recorder) BreakerTransition(to string) {
+	if r == nil {
+		return
+	}
+	if c, ok := r.transitions[to]; ok {
+		c.Inc()
+	}
+}
+
+// Traces snapshots the recent-trace ring (nil on a nil recorder).
+func (r *Recorder) Traces() []Trace {
+	if r == nil {
+		return nil
+	}
+	return r.traces.Snapshot()
+}
+
+// EngineStats mirrors the dispatch engine's lifecycle counters. The obs
+// package cannot import internal/dispatch (dispatch imports obs), so the
+// engine hands its counters over through this struct.
+type EngineStats struct {
+	Published, Matched, Delivered, Dropped uint64
+	Failed, DeadLettered, Retries, Trips   uint64
+}
+
+// EngineGauges samples engine-owned instantaneous state at scrape time.
+type EngineGauges struct {
+	Subscribers  func() int
+	QueuedTotal  func() int
+	OpenBreakers func() int
+	DLQDepth     func() int
+}
+
+// BindEngine surfaces a dispatch engine's counters and gauges as scrape-time
+// sampled series. One recorder binds one engine; a second bind panics
+// (two engines sharing a component label would silently sum into the same
+// series). No-op on a nil recorder.
+func (r *Recorder) BindEngine(stats func() EngineStats, g EngineGauges) {
+	if r == nil {
+		return
+	}
+	if !r.bound.CompareAndSwap(false, true) {
+		panic("obs: BindEngine called twice on recorder " + r.component)
+	}
+	comp := L("component", r.component)
+	counter := func(name, help string, get func(EngineStats) uint64) {
+		r.reg.CounterFunc(name, help, func() uint64 { return get(stats()) }, comp)
+	}
+	counter("wsm_published_total", "Messages published into the engine.",
+		func(s EngineStats) uint64 { return s.Published })
+	counter("wsm_matched_total", "Message-to-subscription matches.",
+		func(s EngineStats) uint64 { return s.Matched })
+	counter("wsm_delivered_total", "Successful deliveries.",
+		func(s EngineStats) uint64 { return s.Delivered })
+	counter("wsm_dropped_total", "Messages dropped by overflow policy.",
+		func(s EngineStats) uint64 { return s.Dropped })
+	counter("wsm_failed_total", "Deliveries that exhausted their handling without dead-lettering.",
+		func(s EngineStats) uint64 { return s.Failed })
+	counter("wsm_dead_letters_total", "Messages routed to the dead-letter queue.",
+		func(s EngineStats) uint64 { return s.DeadLettered })
+	counter("wsm_retries_total", "Redelivery attempts beyond the first.",
+		func(s EngineStats) uint64 { return s.Retries })
+	counter("wsm_breaker_trips_total", "Circuit-breaker trips (closed or half-open to open).",
+		func(s EngineStats) uint64 { return s.Trips })
+	gauge := func(name, help string, fn func() int) {
+		if fn == nil {
+			return
+		}
+		r.reg.GaugeFunc(name, help, func() float64 { return float64(fn()) }, comp)
+	}
+	gauge("wsm_subscribers", "Registered subscriptions.", g.Subscribers)
+	gauge("wsm_queue_depth", "Messages buffered across subscription queues.", g.QueuedTotal)
+	gauge("wsm_breakers_open", "Subscriptions with an open circuit breaker.", g.OpenBreakers)
+	gauge("wsm_dlq_depth", "Dead letters currently held.", g.DLQDepth)
+}
+
+// TransportMetrics instruments an HTTP transport endpoint: send latency,
+// SOAP/HTTP faults and over-limit rejections. Nil-safe like Recorder.
+type TransportMetrics struct {
+	sendSeconds *Histogram
+	faults      *Counter
+	oversize    *Counter
+	clock       func() time.Time
+}
+
+// NewTransportMetrics registers transport series for one component.
+func NewTransportMetrics(reg *Registry, component string) *TransportMetrics {
+	comp := L("component", component)
+	return &TransportMetrics{
+		sendSeconds: reg.Histogram("wsm_transport_send_seconds",
+			"Round-trip latency of outbound SOAP sends.", nil, comp),
+		faults: reg.Counter("wsm_transport_faults_total",
+			"Transport-level send failures (network, HTTP status, fault envelopes).", comp),
+		oversize: reg.Counter("wsm_transport_oversize_total",
+			"Envelopes rejected for exceeding the size limit (413s and over-limit responses).", comp),
+		clock: time.Now,
+	}
+}
+
+// Now reads the metrics clock (zero time on nil).
+func (m *TransportMetrics) Now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.clock()
+}
+
+// ObserveSend records one send round-trip.
+func (m *TransportMetrics) ObserveSend(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.sendSeconds.Observe(d)
+}
+
+// Fault counts a failed send or an inbound handler fault.
+func (m *TransportMetrics) Fault() {
+	if m == nil {
+		return
+	}
+	m.faults.Inc()
+}
+
+// Oversize counts an over-limit rejection (inbound 413 or outbound
+// over-limit response).
+func (m *TransportMetrics) Oversize() {
+	if m == nil {
+		return
+	}
+	m.oversize.Inc()
+}
+
+// Faults reports the fault count (0 on nil).
+func (m *TransportMetrics) Faults() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.faults.Load()
+}
+
+// Oversizes reports the over-limit count (0 on nil).
+func (m *TransportMetrics) Oversizes() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.oversize.Load()
+}
+
+// SendSnapshot captures the send-latency histogram (zero snapshot on nil).
+func (m *TransportMetrics) SendSnapshot() HistogramSnapshot {
+	if m == nil {
+		return HistogramSnapshot{}
+	}
+	return m.sendSeconds.Snapshot()
+}

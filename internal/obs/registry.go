@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// kind discriminates what a series exposes.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels  string // rendered `{k="v",...}` form, "" when unlabelled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// funcs sample external state at scrape time (engine atomics, queue
+	// depths) so hot paths never write registry-owned values twice.
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// family is one metric name: help text, type and its labelled series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Get-or-create lookups are mutex-guarded — callers are
+// expected to resolve their metric handles once, at wiring time, and hold
+// the returned pointers on hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels builds the deterministic `{k="v",...}` suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns (creating on demand) the series for name+labels, checking
+// the family's type. It panics on a type conflict — that is a wiring bug,
+// not a runtime condition.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, k))
+	}
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating on demand) the counter series name+labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.counterFn != nil {
+		panic(fmt.Sprintf("obs: counter %q%s already bound to a sampling func", name, s.labels))
+	}
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time — how engine-owned atomic counters surface without double counting.
+// Re-binding an already-bound series panics: two sources for one series is
+// a wiring bug.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.counter != nil || s.counterFn != nil {
+		panic(fmt.Sprintf("obs: counter %q%s bound twice", name, s.labels))
+	}
+	s.counterFn = fn
+}
+
+// Gauge returns (creating on demand) the gauge series name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.gaugeFn != nil {
+		panic(fmt.Sprintf("obs: gauge %q%s already bound to a sampling func", name, s.labels))
+	}
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time (queue depths,
+// open-breaker counts — anything already owned by another component).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.gauge != nil || s.gaugeFn != nil {
+		panic(fmt.Sprintf("obs: gauge %q%s bound twice", name, s.labels))
+	}
+	s.gaugeFn = fn
+}
+
+// Histogram returns (creating on demand) the histogram series name+labels.
+// bounds applies only on creation (nil = DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func seconds(d time.Duration) string {
+	return formatFloat(d.Seconds())
+}
+
+// WritePrometheus renders every family in registration order (series
+// sorted by label set) in the text exposition format version 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	// Snapshot the series lists under the lock; values are read outside it
+	// (they are atomics or scrape funcs that may take their own locks).
+	type snap struct {
+		f  *family
+		ss []*series
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ss := make([]*series, len(keys))
+		for j, k := range keys {
+			ss[j] = f.series[k]
+		}
+		snaps[i] = snap{f: f, ss: ss}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, sn := range snaps {
+		f := sn.f
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range sn.ss {
+			switch f.kind {
+			case kindCounter:
+				v := uint64(0)
+				if s.counterFn != nil {
+					v = s.counterFn()
+				} else if s.counter != nil {
+					v = s.counter.Load()
+				}
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, v)
+			case kindGauge:
+				if s.gaugeFn != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gaugeFn()))
+				} else if s.gauge != nil {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gauge.Load())
+				}
+			case kindHistogram:
+				if s.hist == nil {
+					continue
+				}
+				hs := s.hist.Snapshot()
+				cum := uint64(0)
+				for i, bound := range hs.Bounds {
+					cum += hs.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						withLabel(s.labels, "le", seconds(bound)), cum)
+				}
+				cum += hs.Counts[len(hs.Bounds)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(hs.Sum.Seconds()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, hs.Total)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLabel splices one extra label into an already-rendered label set.
+func withLabel(rendered, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// Handler serves the registry at an HTTP endpoint (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

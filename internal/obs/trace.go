@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the default size of the recent-trace ring.
+const DefaultTraceCap = 256
+
+// MaxTraceEvents bounds one trace's event list. A message fanning out to
+// thousands of subscribers would otherwise accumulate thousands of events
+// (and their allocations) for a single sampled publish; past the cap the
+// trace keeps its earliest events and drops the rest. Exported so event
+// producers with huge fan-out can stop emitting at the same bound instead
+// of paying a ring round-trip per dropped event.
+const MaxTraceEvents = 64
+
+// TraceEvent is one step in a message's lifecycle.
+type TraceEvent struct {
+	At      time.Time
+	Event   string // publish, match, enqueue, drop, attempt, delivered, failed, deadletter, ...
+	Sub     string // subscription ID, when the event is per-subscription
+	Attempt int    // 1-based attempt number for attempt/terminal events
+	Err     string // failure detail, when any
+}
+
+// Trace is the recorded lifecycle of one sampled message.
+type Trace struct {
+	ID     uint64
+	Topic  string
+	Start  time.Time
+	Events []TraceEvent
+}
+
+// TraceRing is a bounded ring of recent message traces. Slots are addressed
+// by trace ID modulo capacity; a new trace overwrites the slot's previous
+// occupant, and events carrying a rotated-out ID are silently dropped (the
+// slot check makes stale IDs a no-op rather than corruption). The ring is
+// mutex-guarded — it only sees sampled messages, so the lock is off the
+// per-delivery hot path.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []*Trace
+}
+
+// NewTraceRing builds a ring with the given capacity (<=0 means
+// DefaultTraceCap).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceRing{slots: make([]*Trace, capacity)}
+}
+
+// start begins a new trace in the slot for id.
+func (r *TraceRing) start(id uint64, topic string, now time.Time) {
+	t := &Trace{
+		ID:     id,
+		Topic:  topic,
+		Start:  now,
+		Events: []TraceEvent{{At: now, Event: "publish"}},
+	}
+	r.mu.Lock()
+	r.slots[int(id%uint64(len(r.slots)))] = t
+	r.mu.Unlock()
+}
+
+// event appends to the trace for id, if its slot still holds it. The
+// timestamp is taken only once the event is known to be kept — a sampled
+// message fanning out past MaxTraceEvents would otherwise pay a clock
+// read for every dropped event.
+func (r *TraceRing) event(id uint64, ev TraceEvent, clock func() time.Time) {
+	r.mu.Lock()
+	t := r.slots[int(id%uint64(len(r.slots)))]
+	if t != nil && t.ID == id && len(t.Events) < MaxTraceEvents {
+		ev.At = clock()
+		t.Events = append(t.Events, ev)
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot copies out every live trace, oldest-ID first.
+func (r *TraceRing) Snapshot() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.slots))
+	for _, t := range r.slots {
+		if t == nil {
+			continue
+		}
+		c := Trace{ID: t.ID, Topic: t.Topic, Start: t.Start}
+		c.Events = append([]TraceEvent(nil), t.Events...)
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -3,13 +3,16 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/xmldom"
 )
@@ -129,5 +132,118 @@ func TestHTTPClientDefaultTimeout(t *testing.T) {
 	// Healthy exchanges still complete under the default timeout.
 	if err := c.Send(context.Background(), srv.URL, env); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHTTPClientRejectsOversizedResponse is the regression test for the
+// silent-truncation bug: a response past the envelope cap used to be cut
+// at the limit by io.LimitReader and surface as an XML parse error. It
+// must now fail with ErrResponseTooLarge. The cap is lowered via
+// MaxResponseBytes so the test does not stream 16MB.
+func TestHTTPClientRejectsOversizedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", soap.V11.ContentType())
+		// A response that starts as a valid envelope but exceeds the cap:
+		// truncation at the limit would leave a syntactically plausible
+		// prefix, which is exactly how the old code produced confusing
+		// parse errors instead of a size error.
+		w.Write([]byte("<soapenv:Envelope xmlns:soapenv=\"http://schemas.xmlsoap.org/soap/envelope/\"><soapenv:Body>"))
+		w.Write(bytes.Repeat([]byte("y"), 4096))
+		w.Write([]byte("</soapenv:Body></soapenv:Envelope>"))
+	}))
+	defer srv.Close()
+
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Ping", "hi"))
+	c := &HTTPClient{MaxResponseBytes: 1024}
+	_, err := c.Call(context.Background(), srv.URL, env)
+	if err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("err = %v, want ErrResponseTooLarge", err)
+	}
+
+	// The same body under a permissive cap parses fine — the error above is
+	// about size, not content.
+	ok := &HTTPClient{}
+	if _, err := ok.Call(context.Background(), srv.URL, env); err != nil {
+		t.Fatalf("response under the cap failed: %v", err)
+	}
+}
+
+// TestHTTPClientReusesConnections pins drain-before-close: bodies read to
+// EOF return their keep-alive connection to the pool, so a burst of
+// sequential calls should not open one TCP connection per call.
+func TestHTTPClientReusesConnections(t *testing.T) {
+	var mu sync.Mutex
+	conns := map[string]bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns[r.RemoteAddr] = true
+		mu.Unlock()
+		io.Copy(io.Discard, r.Body)
+		resp := soap.New(soap.V11)
+		resp.AddBody(xmldom.Elem("urn:t", "Pong", "ok"))
+		w.Header().Set("Content-Type", soap.V11.ContentType())
+		w.Write(resp.Marshal())
+	}))
+	defer srv.Close()
+
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Ping", "hi"))
+	c := &HTTPClient{HC: &http.Client{Transport: &http.Transport{}}}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Call(context.Background(), srv.URL, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	n := len(conns)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("8 sequential calls used %d connections, want 1 (body not drained before close?)", n)
+	}
+}
+
+// TestTransportMetrics verifies the obs hooks on both sides of the HTTP
+// binding: send latency observed, faults and over-limit rejections counted.
+func TestTransportMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewTransportMetrics(reg, "test")
+
+	srv := httptest.NewServer(NewHTTPHandlerObs(echoHandler(), m))
+	defer srv.Close()
+
+	env := soap.New(soap.V11)
+	env.AddBody(xmldom.Elem("urn:t", "Ping", "hi"))
+	c := &HTTPClient{Obs: m}
+	if _, err := c.Call(context.Background(), srv.URL, env); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SendSnapshot().Total; got != 1 {
+		t.Errorf("send latency observations = %d, want 1", got)
+	}
+
+	// Oversized inbound request counts an oversize.
+	big := bytes.Repeat([]byte("x"), maxEnvelopeBytes+1)
+	resp, err := http.Post(srv.URL, soap.V11.ContentType(), bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := m.Oversizes(); got != 1 {
+		t.Errorf("oversize count = %d, want 1", got)
+	}
+
+	// Unreachable endpoint counts a fault.
+	bad := &HTTPClient{Obs: m, Timeout: 250 * time.Millisecond}
+	if err := bad.Send(context.Background(), "http://127.0.0.1:1/none", env); err == nil {
+		t.Fatal("send to dead endpoint succeeded")
+	}
+	if got := m.Faults(); got == 0 {
+		t.Error("dead-endpoint send did not count a fault")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/soap"
 )
 
@@ -56,6 +57,12 @@ type Client interface {
 // ErrNoEndpoint reports a send to an unregistered loopback address or an
 // unreachable HTTP endpoint.
 var ErrNoEndpoint = errors.New("transport: no endpoint at address")
+
+// ErrResponseTooLarge reports an HTTP response body exceeding the envelope
+// size limit. Earlier revisions silently truncated at the limit and the
+// failure surfaced as a baffling XML parse error deep in the caller; the
+// over-read is now detected and named.
+var ErrResponseTooLarge = errors.New("transport: response exceeds envelope size limit")
 
 // faultOrError converts a handler error into a fault envelope so every
 // binding produces identical wire behaviour.
@@ -155,6 +162,14 @@ func (l *Loopback) Send(ctx context.Context, addr string, req *soap.Envelope) er
 // request context that dies mid-exchange aborts without writing a
 // response the peer will never read.
 func NewHTTPHandler(h Handler) http.Handler {
+	return NewHTTPHandlerObs(h, nil)
+}
+
+// NewHTTPHandlerObs is NewHTTPHandler with transport instrumentation:
+// oversized requests count into the oversize counter, handler faults into
+// the fault counter. A nil *obs.TransportMetrics disables both at the cost
+// of a nil check.
+func NewHTTPHandlerObs(h Handler, m *obs.TransportMetrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
@@ -164,6 +179,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
+				m.Oversize()
 				http.Error(w, "SOAP envelope exceeds size limit", http.StatusRequestEntityTooLarge)
 				return
 			}
@@ -172,6 +188,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 		}
 		env, err := soap.ParseBytes(body)
 		if err != nil {
+			m.Fault()
 			writeEnvelope(w, faultOrError(soap.Faultf(soap.FaultSender, "malformed envelope: %v", err), soap.V11), http.StatusBadRequest)
 			return
 		}
@@ -182,6 +199,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 			return
 		}
 		if err != nil {
+			m.Fault()
 			writeEnvelope(w, faultOrError(err, env.Version), http.StatusInternalServerError)
 			return
 		}
@@ -191,6 +209,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 		}
 		status := http.StatusOK
 		if _, isFault := soap.AsFault(resp); isFault {
+			m.Fault()
 			status = http.StatusInternalServerError
 		}
 		writeEnvelope(w, resp, status)
@@ -211,6 +230,12 @@ type HTTPClient struct {
 	// deadline of its own (the retry layer's per-attempt timeouts always
 	// win). Zero means no default bound.
 	Timeout time.Duration
+	// MaxResponseBytes caps the response body; maxEnvelopeBytes when zero.
+	// A response exceeding the cap fails with ErrResponseTooLarge instead
+	// of being truncated into a parse error.
+	MaxResponseBytes int64
+	// Obs, when set, records send latency and fault/over-limit counts.
+	Obs *obs.TransportMetrics
 }
 
 func (c *HTTPClient) client() *http.Client {
@@ -218,6 +243,23 @@ func (c *HTTPClient) client() *http.Client {
 		return c.HC
 	}
 	return http.DefaultClient
+}
+
+func (c *HTTPClient) maxResponse() int64 {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return maxEnvelopeBytes
+}
+
+// drainClose finishes with a response body so the underlying keep-alive
+// connection can be reused: net/http only returns a connection to the pool
+// once the body is read to EOF. The drain is bounded — a peer still
+// streaming multiples of the envelope limit gets its connection dropped
+// rather than consumed.
+func drainClose(body io.ReadCloser, limit int64) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, limit))
+	body.Close()
 }
 
 // Call implements Client over HTTP POST.
@@ -236,23 +278,40 @@ func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) 
 	}
 	hreq.Header.Set("Content-Type", req.Version.ContentType())
 	hreq.Header.Set("SOAPAction", `""`)
+	limit := c.maxResponse()
+	t0 := c.Obs.Now()
 	hresp, err := c.client().Do(hreq)
 	if err != nil {
+		c.Obs.Fault()
 		return nil, fmt.Errorf("%w: %s: %v", ErrNoEndpoint, addr, err)
 	}
-	defer hresp.Body.Close()
+	// Read to EOF (or the drain bound) before closing so the keep-alive
+	// connection returns to the pool instead of being torn down.
+	defer drainClose(hresp.Body, limit)
 	if hresp.StatusCode == http.StatusAccepted || hresp.ContentLength == 0 {
+		c.Obs.ObserveSend(c.Obs.Now().Sub(t0))
 		return nil, nil
 	}
-	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxEnvelopeBytes))
+	// Read one byte past the limit: a full read of limit+1 bytes proves the
+	// response is oversized, where the old io.LimitReader(body, limit)
+	// silently truncated and handed the parser half an envelope.
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, limit+1))
 	if err != nil {
+		c.Obs.Fault()
 		return nil, err
 	}
+	if int64(len(body)) > limit {
+		c.Obs.Oversize()
+		return nil, fmt.Errorf("%w: %s sent more than %d bytes (HTTP %d)",
+			ErrResponseTooLarge, addr, limit, hresp.StatusCode)
+	}
+	c.Obs.ObserveSend(c.Obs.Now().Sub(t0))
 	if len(bytes.TrimSpace(body)) == 0 {
 		return nil, nil
 	}
 	env, err := soap.ParseBytes(body)
 	if err != nil {
+		c.Obs.Fault()
 		return nil, fmt.Errorf("transport: bad response from %s (HTTP %d): %w", addr, hresp.StatusCode, err)
 	}
 	return responseError(env)

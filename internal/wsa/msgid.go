@@ -1,0 +1,41 @@
+package wsa
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Message-ID generation. wsa:MessageID must be unique per message — the
+// request/reply correlation in all three WS-Addressing versions hangs off
+// it. Deriving IDs from time.Now().UnixNano() (as early revisions did) is
+// not unique: coarse platform clocks and concurrent senders hand two
+// requests the same nanosecond. Instead every ID combines a per-process
+// random nonce with a process-wide atomic counter, so IDs are unique within
+// a process by construction and collide across processes only if the
+// 64-bit nonces collide.
+
+var (
+	msgNonce   = processNonce()
+	msgCounter atomic.Uint64
+)
+
+func processNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unheard of; fall back to a
+		// fixed nonce rather than refusing to send. Uniqueness within the
+		// process still holds via the counter.
+		binary.BigEndian.PutUint64(b[:], 0x77736d657373656e) // "wsmessen"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewMessageID returns a process-unique URN for wsa:MessageID. The prefix
+// names the requesting component (e.g. "wse-req") and appears verbatim in
+// the URN so wire captures stay attributable.
+func NewMessageID(prefix string) string {
+	return fmt.Sprintf("urn:uuid:%s-%s-%d", prefix, msgNonce, msgCounter.Add(1))
+}

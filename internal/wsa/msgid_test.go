@@ -1,0 +1,52 @@
+package wsa
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNewMessageIDUnique is the regression test for the duplicate-MessageID
+// bug: IDs derived from time.Now().UnixNano() collide when concurrent
+// senders (or a coarse clock) land in the same nanosecond. 10k IDs drawn
+// from 10 goroutines must all be distinct.
+func TestNewMessageIDUnique(t *testing.T) {
+	const goroutines, per = 10, 1000
+	ids := make(chan string, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- NewMessageID("wse-req")
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, goroutines*per)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate MessageID %q", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique IDs, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestNewMessageIDShape(t *testing.T) {
+	id := NewMessageID("wsnt-req")
+	if !strings.HasPrefix(id, "urn:uuid:wsnt-req-") {
+		t.Errorf("MessageID %q lacks the urn:uuid:<prefix>- shape", id)
+	}
+	// The process nonce must be present (16 hex chars between prefix and
+	// counter) so IDs from distinct processes do not collide either.
+	rest := strings.TrimPrefix(id, "urn:uuid:wsnt-req-")
+	parts := strings.SplitN(rest, "-", 2)
+	if len(parts) != 2 || len(parts[0]) != 16 {
+		t.Errorf("MessageID %q lacks a 16-hex-char process nonce", id)
+	}
+}

@@ -34,7 +34,7 @@ type Subscriber struct {
 func (s *Subscriber) send(ctx context.Context, addr, action string, body *xmldom.Element, extraHeaders ...*xmldom.Element) (*soap.Envelope, error) {
 	env := soap.New(soap.V11)
 	h := &wsa.MessageHeaders{Version: s.Version.WSAVersion(), To: addr, Action: action,
-		MessageID: fmt.Sprintf("urn:uuid:wse-req-%d", time.Now().UnixNano())}
+		MessageID: wsa.NewMessageID("wse-req")}
 	h.Apply(env)
 	for _, hd := range extraHeaders {
 		env.AddHeader(hd)
@@ -49,7 +49,7 @@ func (s *Subscriber) send(ctx context.Context, addr, action string, body *xmldom
 // message builders already arranged.
 func (s *Subscriber) managed(ctx context.Context, h *Handle, action string, body *xmldom.Element) (*soap.Envelope, error) {
 	env := soap.New(soap.V11)
-	hd := wsa.DestinationEPR(h.Manager, action, fmt.Sprintf("urn:uuid:wse-req-%d", time.Now().UnixNano()))
+	hd := wsa.DestinationEPR(h.Manager, action, wsa.NewMessageID("wse-req"))
 	hd.Apply(env)
 	env.AddBody(body)
 	return s.Client.Call(ctx, h.Manager.Address, env)

@@ -34,7 +34,7 @@ type Subscriber struct {
 func (s *Subscriber) request(ctx context.Context, addr, action string, body *xmldom.Element) (*soap.Envelope, error) {
 	env := soap.New(soap.V11)
 	h := &wsa.MessageHeaders{Version: s.Version.WSAVersion(), To: addr, Action: action,
-		MessageID: fmt.Sprintf("urn:uuid:wsnt-req-%d", time.Now().UnixNano())}
+		MessageID: wsa.NewMessageID("wsnt-req")}
 	h.Apply(env)
 	env.AddBody(body)
 	return s.Client.Call(ctx, addr, env)
@@ -43,7 +43,7 @@ func (s *Subscriber) request(ctx context.Context, addr, action string, body *xml
 func (s *Subscriber) managed(ctx context.Context, h *Handle, action string, body *xmldom.Element) (*soap.Envelope, error) {
 	env := soap.New(soap.V11)
 	hd := wsa.DestinationEPR(h.SubscriptionReference, action,
-		fmt.Sprintf("urn:uuid:wsnt-req-%d", time.Now().UnixNano()))
+		wsa.NewMessageID("wsnt-req"))
 	hd.Apply(env)
 	env.AddBody(body)
 	return s.Client.Call(ctx, h.SubscriptionReference.Address, env)
