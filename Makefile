@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test vet race check fmt-check golden bench bench-smoke metrics-race metrics-smoke ci comparison examples outputs goldens clean
+.PHONY: all build test vet race check fmt-check golden bench bench-fanout bench-smoke metrics-race metrics-smoke ci comparison examples outputs goldens clean
 
 all: check
 
@@ -33,6 +33,12 @@ golden:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Render-once fan-out smoke (B13): one pass over the cached/uncached arms,
+# with the in-benchmark conservation checks (delivered counts, identical
+# wire bytes across arms) acting as the assertions.
+bench-fanout:
+	go test -run '^$$' -bench BenchmarkRenderCacheFanout -benchtime=1x .
+
 # Non-blocking CI smoke: run every benchmark once so bench code cannot
 # bit-rot, and publish a machine-readable BENCH_*.json baseline.
 bench-smoke:
@@ -59,7 +65,7 @@ metrics-smoke:
 		if curl -fsS "http://$(METRICS_SMOKE_ADDR)/metrics" -o metrics_smoke.txt 2>/dev/null; then ok=1; break; fi; \
 		i=$$((i+1)); sleep 0.1; done; \
 	[ $$ok -eq 1 ] || { echo "metrics-smoke: /metrics never answered"; exit 1; }; \
-	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket; do \
+	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket wsm_render_cache_hits_total; do \
 		grep -q "$$series" metrics_smoke.txt || { echo "metrics-smoke: /metrics lacks $$series"; exit 1; }; done; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$(METRICS_SMOKE_ADDR)/healthz"); \
 	[ "$$code" = "200" ] || { echo "metrics-smoke: /healthz returned $$code, want 200"; exit 1; }; \

@@ -96,6 +96,7 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"run: make metrics-race",  // -race over obs/dispatch/core
 		"run: make metrics-smoke", // live /metrics + /healthz scrape
 		"run: make bench-smoke",
+		"run: make bench-fanout", // render-once fan-out smoke (B13)
 		"uses: actions/upload-artifact@",
 		"path: BENCH_ci.json",
 	} {

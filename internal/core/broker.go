@@ -68,6 +68,12 @@ type Config struct {
 	// through per-subscriber queues — deterministic for tests, and the
 	// baseline arm of the delivery-pipeline ablation bench.
 	SyncDelivery bool
+	// DisableRenderCache turns off the per-publish render-template cache,
+	// so every delivery renders and serialises its envelope from scratch.
+	// The raw-bytes transport path and pooled buffers stay active, so this
+	// isolates exactly the template cache — the ablation arm of the
+	// render-once fan-out bench.
+	DisableRenderCache bool
 	// QueueDepth bounds each subscriber's delivery queue (default 256);
 	// overflow drops the newest message and counts it.
 	QueueDepth int
@@ -154,10 +160,65 @@ type subState struct {
 }
 
 // fanMsg is the dispatch payload: the notification body plus the
-// publishing spec family (for the mediation counter).
+// publishing spec family (for the mediation counter) and, when the broker
+// delivers over a raw-bytes transport, the publish's shared render-template
+// cache.
 type fanMsg struct {
 	payload *xmldom.Element
 	origin  string
+	rs      *renderSet
+}
+
+// renderSet is one publish's render-template cache: subscribers whose
+// delivery plans share a mediation.RenderKey share one rendered, serialised
+// envelope and differ only by spliced fields. It lives exactly as long as
+// the dispatch messages that reference it, so there is no invalidation —
+// the next publish starts empty.
+type renderSet struct {
+	mu sync.Mutex
+	m  map[mediation.RenderKey]*mediation.Template
+}
+
+func newRenderSet() *renderSet {
+	return &renderSet{m: map[mediation.RenderKey]*mediation.Template{}}
+}
+
+// template returns the plan's template, building and memoising it on first
+// use. A plan whose envelope cannot be spliced unambiguously (sentinel
+// collision in the payload) memoises nil, so the build is attempted once
+// and every delivery for that key falls back to a fresh render.
+func (rs *renderSet) template(n mediation.Notification, plan mediation.DeliveryPlan) (tpl *mediation.Template, hit bool) {
+	key := mediation.KeyFor(plan)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if tpl, hit = rs.m[key]; hit {
+		return tpl, true
+	}
+	tpl, err := mediation.NewTemplate(n, plan)
+	if err != nil {
+		tpl = nil
+	}
+	rs.m[key] = tpl
+	return tpl, false
+}
+
+// sendBufPool recycles the buffers fan-out serialises envelopes into; one
+// buffer is in flight per concurrent send. Buffers that grew beyond
+// maxPooledSendBuf are dropped so a single giant payload cannot pin memory.
+var sendBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const maxPooledSendBuf = 1 << 20
+
+func getSendBuf() *[]byte { return sendBufPool.Get().(*[]byte) }
+
+func putSendBuf(b *[]byte) {
+	if cap(*b) > maxPooledSendBuf {
+		return
+	}
+	sendBufPool.Put(b)
 }
 
 // Broker is the WS-Messenger broker.
@@ -177,8 +238,17 @@ type Broker struct {
 	cancelBackend func()
 	wsrfSvc       *wsrf.Service
 
+	// rawClient is Config.Client's raw-bytes send path, when it has one.
+	// Non-nil enables pooled serialisation buffers and (unless disabled)
+	// the render-template cache.
+	rawClient transport.BytesClient
+
 	// renderSec times mediation rendering (nil when Config.Obs is nil).
 	renderSec *obs.Histogram
+	// cacheHits/cacheMisses count fan-out deliveries served by stamping a
+	// cached template vs. requiring a render (nil when Config.Obs is nil).
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // New builds a broker and wires it to its backend.
@@ -198,6 +268,17 @@ func New(cfg Config) (*Broker, error) {
 		b.renderSec = rec.Registry().Histogram("wsm_mediation_render_seconds",
 			"Time spent rendering notifications into the subscriber's spec.",
 			nil, obs.L("component", rec.Component()))
+		b.cacheHits = rec.Registry().Counter("wsm_render_cache_hits_total",
+			"Fan-out deliveries served by stamping a cached render template.",
+			obs.L("component", rec.Component()))
+		b.cacheMisses = rec.Registry().Counter("wsm_render_cache_misses_total",
+			"Fan-out deliveries that needed a fresh mediation render: first delivery per render key, uncacheable subscriber EPRs, and splice fallbacks.",
+			obs.L("component", rec.Component()))
+	}
+	if b.cfg.Client != nil {
+		if bc, ok := b.cfg.Client.(transport.BytesClient); ok {
+			b.rawClient = bc
+		}
 	}
 	b.store = sublease.NewStore(
 		sublease.WithClock(b.cfg.Clock),
@@ -273,40 +354,103 @@ func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin stri
 
 // fanOut is the backend fan-in: hand one message to the dispatch engine,
 // which indexes candidates by topic, runs each candidate's full filter and
-// delivers per the subscriber's mode.
+// delivers per the subscriber's mode. When the transport can take raw
+// bytes, the message carries a render-template cache shared by every
+// subscriber it fans out to.
 func (b *Broker) fanOut(msg backend.Message) {
-	b.engine.Dispatch(dispatch.Message{
-		Topic:   msg.Topic,
-		Payload: fanMsg{payload: msg.Payload, origin: msg.Origin},
-	})
+	fm := fanMsg{payload: msg.Payload, origin: msg.Origin}
+	if b.rawClient != nil && !b.cfg.DisableRenderCache {
+		fm.rs = newRenderSet()
+	}
+	b.engine.Dispatch(dispatch.Message{Topic: msg.Topic, Payload: fm})
 }
 
-// send renders one notification in the subscriber's spec and posts it.
-// The context arrives from the dispatch engine carrying the retry
-// policy's per-attempt timeout; without one a 10s default applies.
-func (b *Broker) send(ctx context.Context, st *subState, n mediation.Notification) error {
+// sendCtx applies the default delivery timeout when the dispatch engine's
+// context does not already carry the retry policy's per-attempt deadline.
+func sendCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, 10*time.Second)
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// send posts one notification in the subscriber's spec. With a render set
+// and a cacheable consumer it stamps the publish's shared template into a
+// pooled buffer — render-once fan-out; otherwise it renders afresh.
+func (b *Broker) send(ctx context.Context, st *subState, n mediation.Notification, rs *renderSet) error {
+	ctx, cancel := sendCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	addr := st.canon.Consumer.Address
+	if rs != nil {
+		if mediation.Cacheable(st.canon.Consumer) {
+			if tpl, hit := rs.template(n, st.plan); tpl != nil {
+				if hit {
+					inc(b.cacheHits)
+				} else {
+					inc(b.cacheMisses)
+				}
+				return b.sendStamped(ctx, tpl, addr, st.plan.SubscriptionID)
+			}
+		}
+		inc(b.cacheMisses)
+	}
 	env := b.timeRender(func() *soap.Envelope {
 		return mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
 	})
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
-		defer cancel()
+	return b.sendEnvelope(ctx, addr, env)
+}
+
+// sendStamped splices one subscriber's fields into a cached template and
+// posts the bytes. Retry attempts re-enter here, so each attempt still
+// carries a fresh MessageID, exactly as the render path does.
+func (b *Broker) sendStamped(ctx context.Context, tpl *mediation.Template, addr, subID string) error {
+	buf := getSendBuf()
+	if b.renderSec == nil {
+		*buf = tpl.Stamp((*buf)[:0], addr, b.nextMessageID(), subID)
+	} else {
+		t0 := b.cfg.Obs.Now()
+		*buf = tpl.Stamp((*buf)[:0], addr, b.nextMessageID(), subID)
+		b.renderSec.Observe(b.cfg.Obs.Now().Sub(t0))
 	}
-	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	err := b.rawClient.SendBytes(ctx, addr, soap.V11.ContentType(), *buf)
+	putSendBuf(buf)
+	return err
+}
+
+// sendEnvelope posts a rendered envelope, serialising into a pooled buffer
+// over the raw-bytes transport path when the client supports it.
+func (b *Broker) sendEnvelope(ctx context.Context, addr string, env *soap.Envelope) error {
+	if b.rawClient == nil {
+		return b.cfg.Client.Send(ctx, addr, env)
+	}
+	buf := getSendBuf()
+	*buf = env.AppendMarshal((*buf)[:0])
+	err := b.rawClient.SendBytes(ctx, addr, env.Version.ContentType(), *buf)
+	putSendBuf(buf)
+	return err
 }
 
 // sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
+// Wrapped batches are assembled per subscriber from that subscriber's own
+// queue, so no two subscribers share a batch and there is nothing to
+// cache; the pooled serialisation path still applies.
 func (b *Broker) sendWrapped(ctx context.Context, st *subState, batch []mediation.Notification) error {
 	env := b.timeRender(func() *soap.Envelope {
 		return mediation.RenderWrappedWSE(batch, st.canon.Consumer, st.plan, b.nextMessageID())
 	})
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+	ctx, cancel := sendCtx(ctx)
+	if cancel != nil {
 		defer cancel()
 	}
-	return b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	return b.sendEnvelope(ctx, st.canon.Consumer.Address, env)
 }
 
 // timeRender runs one mediation render, feeding its duration into the
@@ -443,6 +587,9 @@ func selectorFor(flt filter.All) dispatch.Selector {
 // and everything else runs through a bounded drop-newest queue drained by
 // the shared worker pool.
 func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time) {
+	// clone isolates pull-buffer and wrapped-batch copies; the render set
+	// is deliberately dropped — those buffers outlive the publish, and the
+	// modes that use them never stamp from templates anyway.
 	clone := func(m dispatch.Message) dispatch.Message {
 		fm := m.Payload.(fanMsg)
 		return dispatch.Message{Topic: m.Topic, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin}}
@@ -499,7 +646,8 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 		}
 		sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 			m := batch[0]
-			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: m.Payload.(fanMsg).payload})
+			fm := m.Payload.(fanMsg)
+			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: fm.payload}, fm.rs)
 		}
 	}
 	_ = b.engine.Subscribe(sub)

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mediation"
+	"repro/internal/obs"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// captureClient records every delivery's raw bytes. It implements both the
+// envelope and raw-bytes transport interfaces, so it sees exactly what a
+// real wire client would: stamped template bytes on the hot path.
+type captureClient struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	raw    int // deliveries that arrived via SendBytes
+}
+
+func (c *captureClient) Call(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+	return nil, nil
+}
+
+func (c *captureClient) Send(_ context.Context, _ string, env *soap.Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bodies = append(c.bodies, env.Marshal())
+	return nil
+}
+
+func (c *captureClient) SendBytes(_ context.Context, _, _ string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bodies = append(c.bodies, append([]byte(nil), body...))
+	c.raw++
+	return nil
+}
+
+// TestRenderCacheWireBytesMatchFreshRender pins the tentpole identity
+// end-to-end: the bytes a cached (template-stamped) delivery puts on the
+// wire are exactly what mediation.Render would have produced for that
+// subscriber and MessageID — and the hit/miss counters account for both
+// deliveries.
+func TestRenderCacheWireBytesMatchFreshRender(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker", obs.RecorderConfig{SampleEvery: 1})
+	capture := &captureClient{}
+	lb := transport.NewLoopback()
+	b, err := New(Config{
+		Address:        "svc://wsm",
+		ManagerAddress: "svc://wsm-subs",
+		Client:         capture,
+		SyncDelivery:   true,
+		Obs:            rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	lb.Register("svc://wsm", b.FrontHandler())
+	lb.Register("svc://wsm-subs", b.ManagerHandler())
+
+	// Two consumers sharing one render key: within a publish, the first
+	// delivery builds the template (miss), the second stamps it (hit). The
+	// cache lives per publish, so a lone subscriber would never hit.
+	subIDByAddr := map[string]string{}
+	for _, addr := range []string{"svc://wsn-c1", "svc://wsn-c2"} {
+		s := &wsnt.Subscriber{Client: lb, Version: wsnt.V1_3}
+		h, err := s.Subscribe(context.Background(), "svc://wsm", &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, addr),
+			TopicExpression:   "tns:jobs",
+			TopicDialect:      topics.DialectSimple,
+			TopicNS:           map[string]string{"tns": "urn:grid"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subIDByAddr[addr] = h.ID
+	}
+
+	ev := event("a")
+	if err := b.Publish(grid, ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(capture.bodies) != 2 || capture.raw != 2 {
+		t.Fatalf("captured %d bodies (%d raw), want 2 raw", len(capture.bodies), capture.raw)
+	}
+
+	for i, body := range capture.bodies {
+		env, err := soap.ParseBytes(body)
+		if err != nil {
+			t.Fatalf("delivery %d is not parseable SOAP: %v", i, err)
+		}
+		hd, ok := wsa.ParseHeaders(env)
+		if !ok || hd.MessageID == "" || subIDByAddr[hd.To] == "" {
+			t.Fatalf("delivery %d has bad addressing headers: %+v", i, hd)
+		}
+		plan := mediation.DeliveryPlan{
+			Dialect:         mediation.Dialect{Family: mediation.FamilyWSN, WSN: wsnt.V1_3},
+			SubscriptionID:  subIDByAddr[hd.To],
+			ManagerAddress:  "svc://wsm-subs",
+			ProducerAddress: "svc://wsm",
+		}
+		n := mediation.Notification{Topic: grid, Payload: ev}
+		fresh := mediation.Render(n, wsa.NewEPR(wsa.V200508, hd.To), plan, hd.MessageID).Marshal()
+		if string(body) != string(fresh) {
+			t.Errorf("delivery %d differs from a fresh render\n got %s\nwant %s", i, body, fresh)
+		}
+	}
+
+	text := scrape(t, reg)
+	for _, want := range []string{
+		`wsm_render_cache_hits_total{component="broker"} 1`,
+		`wsm_render_cache_misses_total{component="broker"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRenderCacheDisabledCountsNothing: the ablation arm keeps the raw
+// transport path but never consults the cache.
+func TestRenderCacheDisabledCountsNothing(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker", obs.RecorderConfig{SampleEvery: 1})
+	f := newFixture(t, func(c *Config) {
+		c.DisableRenderCache = true
+		c.Obs = rec
+	})
+	defer f.broker.Shutdown()
+	f.subscribeWSN(t, wsnt.V1_3, &wsnt.SubscribeRequest{})
+	f.publishWSN(t, grid, event("a"))
+	f.publishWSN(t, grid, event("b"))
+	if got := f.wsnSink.Count(); got != 2 {
+		t.Fatalf("sink got %d deliveries, want 2", got)
+	}
+	text := scrape(t, reg)
+	for _, want := range []string{
+		`wsm_render_cache_hits_total{component="broker"} 0`,
+		`wsm_render_cache_misses_total{component="broker"} 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRenderCacheUncacheableConsumerFallsBack: an EPR with reference
+// parameters varies the envelope structurally, so those subscribers must
+// bypass the template and still receive their echoed headers.
+func TestRenderCacheUncacheableConsumerFallsBack(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker", obs.RecorderConfig{SampleEvery: 1})
+	f := newFixture(t, func(c *Config) { c.Obs = rec })
+	defer f.broker.Shutdown()
+
+	epr := wsa.NewEPR(wsa.V200408, "svc://wse-sink")
+	epr.AddReferenceParameter(xmldom.Elem("urn:x", "ConsumerToken", "tok-9"))
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{NotifyTo: epr})
+	f.publishWSE(t, grid, event("a"))
+
+	if f.wseSink.Count() != 1 {
+		t.Fatalf("sink got %d deliveries", f.wseSink.Count())
+	}
+	text := scrape(t, reg)
+	if !strings.Contains(text, `wsm_render_cache_misses_total{component="broker"} 1`+"\n") {
+		t.Errorf("uncacheable delivery not counted as a miss:\n%s", text)
+	}
+	if !strings.Contains(text, `wsm_render_cache_hits_total{component="broker"} 0`+"\n") {
+		t.Errorf("unexpected cache hit recorded")
+	}
+}
+
+// checkSink is a SOAP endpoint that verifies every envelope it receives
+// was stamped for *it*: the wsa:To header must be its own address, and for
+// WSN 1.3 the spliced SubscriptionId must be stable. Shared-template
+// cross-stamping under concurrency would trip it immediately.
+type checkSink struct {
+	addr string
+
+	mu     sync.Mutex
+	n      int
+	errs   []string
+	subIDs map[string]struct{}
+	mids   map[string]struct{}
+}
+
+func anyWSAHeader(env *soap.Envelope, local string) string {
+	for _, v := range []wsa.Version{wsa.V200303, wsa.V200408, wsa.V200508} {
+		if t := env.HeaderText(xmldom.N(v.NS(), local)); t != "" {
+			return t
+		}
+	}
+	return ""
+}
+
+func findLocal(e *xmldom.Element, local string) *xmldom.Element {
+	if e.Name.Local == local {
+		return e
+	}
+	for _, c := range e.ChildElements() {
+		if f := findLocal(c, local); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func (s *checkSink) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	to := anyWSAHeader(env, "To")
+	mid := anyWSAHeader(env, "MessageID")
+	var subID string
+	if body := env.FirstBody(); body != nil && body.Name == xmldom.N(wsnt.NS1_3, "Notify") {
+		if el := findLocal(body, "SubscriptionId"); el != nil {
+			subID = strings.TrimSpace(el.Text())
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if to != s.addr {
+		s.errs = append(s.errs, fmt.Sprintf("wsa:To = %q, want %q", to, s.addr))
+	}
+	if mid == "" {
+		s.errs = append(s.errs, "missing MessageID")
+	} else if _, dup := s.mids[mid]; dup {
+		s.errs = append(s.errs, "duplicate MessageID "+mid)
+	} else {
+		if s.mids == nil {
+			s.mids = map[string]struct{}{}
+		}
+		s.mids[mid] = struct{}{}
+	}
+	if subID != "" {
+		if s.subIDs == nil {
+			s.subIDs = map[string]struct{}{}
+		}
+		s.subIDs[subID] = struct{}{}
+	}
+	return nil, nil
+}
+
+// TestRenderCacheConcurrentPublishesNoCrossStamp is the -race companion to
+// the byte-identity test: 16 subscribers in 4 render-key groups, queued
+// delivery (so workers stamp each publish's shared templates
+// concurrently), many concurrent publishes — and every consumer must see
+// only envelopes addressed to itself, with its own subscription id.
+func TestRenderCacheConcurrentPublishesNoCrossStamp(t *testing.T) {
+	lb := transport.NewLoopback()
+	b, err := New(Config{
+		Address:        "svc://wsm",
+		ManagerAddress: "svc://wsm-subs",
+		Client:         lb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	lb.Register("svc://wsm", b.FrontHandler())
+	lb.Register("svc://wsm-subs", b.ManagerHandler())
+
+	topicReq := func() (string, string, map[string]string) {
+		return "tns:jobs", topics.DialectSimple, map[string]string{"tns": "urn:grid"}
+	}
+	var sinks []*checkSink
+	addSink := func() string {
+		addr := fmt.Sprintf("svc://sink-%d", len(sinks))
+		s := &checkSink{addr: addr}
+		sinks = append(sinks, s)
+		lb.Register(addr, s)
+		return addr
+	}
+	for i := 0; i < 4; i++ {
+		for _, v := range []wse.Version{wse.V200401, wse.V200408} {
+			sub := &wse.Subscriber{Client: lb, Version: v}
+			req := &wse.SubscribeRequest{NotifyTo: wsa.NewEPR(v.WSAVersion(), addSink())}
+			if _, err := sub.Subscribe(context.Background(), "svc://wsm", req); err != nil {
+				t.Fatalf("wse %v subscribe: %v", v, err)
+			}
+		}
+		for _, v := range []wsnt.Version{wsnt.V1_0, wsnt.V1_3} {
+			expr, dialect, ns := topicReq()
+			sub := &wsnt.Subscriber{Client: lb, Version: v}
+			req := &wsnt.SubscribeRequest{
+				ConsumerReference: wsa.NewEPR(v.WSAVersion(), addSink()),
+				TopicExpression:   expr, TopicDialect: dialect, TopicNS: ns,
+			}
+			if _, err := sub.Subscribe(context.Background(), "svc://wsm", req); err != nil {
+				t.Fatalf("wsn %v subscribe: %v", v, err)
+			}
+		}
+	}
+
+	const publishers, perPublisher = 4, 10
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				if err := b.Publish(grid, event(fmt.Sprintf("p%d-%d", p, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Flush()
+
+	const wantEach = publishers * perPublisher
+	wsn13SubIDs := map[string]string{}
+	for _, s := range sinks {
+		s.mu.Lock()
+		if s.n != wantEach {
+			t.Errorf("%s received %d envelopes, want %d", s.addr, s.n, wantEach)
+		}
+		for _, e := range s.errs {
+			t.Errorf("%s: %s", s.addr, e)
+		}
+		if len(s.subIDs) > 1 {
+			t.Errorf("%s saw %d distinct subscription ids, want at most 1", s.addr, len(s.subIDs))
+		}
+		for id := range s.subIDs {
+			if other, dup := wsn13SubIDs[id]; dup {
+				t.Errorf("subscription id %q delivered to both %s and %s", id, other, s.addr)
+			}
+			wsn13SubIDs[id] = s.addr
+		}
+		s.mu.Unlock()
+	}
+	if st := b.Stats(); st.Delivered != uint64(wantEach*len(sinks)) {
+		t.Errorf("Delivered = %d, want %d", st.Delivered, wantEach*len(sinks))
+	}
+}

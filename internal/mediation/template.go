@@ -1,0 +1,201 @@
+package mediation
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// Render templates make fan-out cheap: when many subscribers share a
+// delivery dialect, the broker renders and serialises the envelope once,
+// then stamps each subscriber's copy by splicing the per-subscriber fields
+// into the pre-serialised bytes. Only three fields vary between subscribers
+// that share a RenderKey — the wsa:To address, the wsa:MessageID, and (for
+// WSN 1.3 wrapped deliveries) the SubscriptionId reference parameter — so a
+// template is the serialised envelope cut at those three points.
+//
+// The template is built by rendering with sentinel values and locating
+// them in the output. The sentinels contain no characters the serialiser
+// escapes, so they appear verbatim; each must appear exactly once, or the
+// template constructor refuses and the caller falls back to a fresh render
+// (a payload that happens to contain a sentinel is pathological but must
+// not corrupt deliveries). Field values are spliced with
+// xmldom.AppendEscapedText, which matches the serialiser's text escaping
+// byte for byte, so a stamped copy is identical to a fresh Render.
+
+// Sentinel values: unique, escape-free markers for the three splice fields.
+const (
+	sentinelTo    = "urn:x-wsm-splice-to-c9f3a41e7b02"
+	sentinelMsgID = "urn:x-wsm-splice-mid-c9f3a41e7b02"
+	sentinelSubID = "wsm-splice-sid-c9f3a41e7b02"
+)
+
+// RenderKey identifies the set of subscribers that can share one template:
+// everything about the rendered envelope except the three spliced fields.
+// It is a comparable value suitable as a map key.
+type RenderKey struct {
+	Dialect         Dialect
+	UseRaw          bool
+	HasSubID        bool
+	ManagerAddress  string
+	ProducerAddress string
+}
+
+// KeyFor computes the render key for a delivery plan.
+func KeyFor(plan DeliveryPlan) RenderKey {
+	return RenderKey{
+		Dialect:         plan.Dialect,
+		UseRaw:          plan.UseRaw,
+		HasSubID:        plan.SubscriptionID != "",
+		ManagerAddress:  plan.ManagerAddress,
+		ProducerAddress: plan.ProducerAddress,
+	}
+}
+
+// Cacheable reports whether a consumer EPR can be served from a template.
+// Reference properties, reference parameters and metadata extensions are
+// echoed into the rendered envelope as extra headers or EPR children, so
+// they vary the envelope structurally — such subscribers always get a
+// fresh render.
+func Cacheable(consumer *wsa.EndpointReference) bool {
+	return consumer != nil &&
+		consumer.Address != "" &&
+		len(consumer.ReferenceProperties) == 0 &&
+		len(consumer.ReferenceParameters) == 0 &&
+		len(consumer.Extra) == 0
+}
+
+type spliceField int
+
+const (
+	fieldTo spliceField = iota
+	fieldMsgID
+	fieldSubID
+)
+
+// Template is a serialised envelope with recorded splice points. It is
+// immutable after construction and safe for concurrent Stamp calls.
+type Template struct {
+	parts  [][]byte      // len(fields)+1 fixed byte runs
+	fields []spliceField // field spliced after parts[i]
+	fixed  int           // total fixed bytes, for buffer sizing
+}
+
+// wantsSubID reports whether Render embeds the subscription identifier for
+// this plan (WSN 1.3 wrapped deliveries with a manager reference).
+func wantsSubID(plan DeliveryPlan) bool {
+	return plan.Dialect.Family == FamilyWSN &&
+		plan.Dialect.WSN == wsnt.V1_3 &&
+		!plan.UseRaw &&
+		plan.ManagerAddress != "" &&
+		plan.SubscriptionID != ""
+}
+
+// NewTemplate renders the notification once under the plan and compiles the
+// result into a splice template. It returns an error when the output cannot
+// be spliced unambiguously — callers must fall back to Render.
+func NewTemplate(n Notification, plan DeliveryPlan) (*Template, error) {
+	return compile(renderSentinel(n, plan), wantsSubID(plan))
+}
+
+// NewWrappedTemplate is NewTemplate for WSE wrapped-mode batch envelopes.
+func NewWrappedTemplate(batch []Notification, plan DeliveryPlan) (*Template, error) {
+	v := plan.Dialect.WSE
+	consumer := wsa.NewEPR(v.WSAVersion(), sentinelTo)
+	env := RenderWrappedWSE(batch, consumer, plan, sentinelMsgID)
+	return compile(env.Marshal(), false)
+}
+
+func renderSentinel(n Notification, plan DeliveryPlan) []byte {
+	var ver wsa.Version
+	if plan.Dialect.Family == FamilyWSN {
+		ver = plan.Dialect.WSN.WSAVersion()
+	} else {
+		ver = plan.Dialect.WSE.WSAVersion()
+	}
+	consumer := wsa.NewEPR(ver, sentinelTo)
+	if plan.SubscriptionID != "" {
+		plan.SubscriptionID = sentinelSubID
+	}
+	return Render(n, consumer, plan, sentinelMsgID).Marshal()
+}
+
+// compile cuts the serialised envelope at the sentinel occurrences.
+func compile(doc []byte, withSubID bool) (*Template, error) {
+	type slot struct {
+		off   int
+		field spliceField
+	}
+	var slots []slot
+	locate := func(sentinel string, field spliceField) error {
+		if n := bytes.Count(doc, []byte(sentinel)); n != 1 {
+			return fmt.Errorf("mediation: sentinel %q occurs %d times in rendered envelope", sentinel, n)
+		}
+		slots = append(slots, slot{off: bytes.Index(doc, []byte(sentinel)), field: field})
+		return nil
+	}
+	if err := locate(sentinelTo, fieldTo); err != nil {
+		return nil, err
+	}
+	if err := locate(sentinelMsgID, fieldMsgID); err != nil {
+		return nil, err
+	}
+	if withSubID {
+		if err := locate(sentinelSubID, fieldSubID); err != nil {
+			return nil, err
+		}
+	}
+	// Slots in document order; cut the fixed runs between them.
+	for i := 1; i < len(slots); i++ {
+		for j := i; j > 0 && slots[j].off < slots[j-1].off; j-- {
+			slots[j], slots[j-1] = slots[j-1], slots[j]
+		}
+	}
+	t := &Template{}
+	pos := 0
+	sentinelLen := map[spliceField]int{
+		fieldTo:    len(sentinelTo),
+		fieldMsgID: len(sentinelMsgID),
+		fieldSubID: len(sentinelSubID),
+	}
+	for _, s := range slots {
+		part := doc[pos:s.off]
+		t.parts = append(t.parts, part)
+		t.fields = append(t.fields, s.field)
+		t.fixed += len(part)
+		pos = s.off + sentinelLen[s.field]
+	}
+	tail := doc[pos:]
+	t.parts = append(t.parts, tail)
+	t.fixed += len(tail)
+	return t, nil
+}
+
+// FixedSize returns the byte count of the template's fixed runs — a lower
+// bound on a stamped envelope's size, useful for pre-sizing buffers.
+func (t *Template) FixedSize() int { return t.fixed }
+
+// Stamp appends one subscriber's envelope to dst: the template's fixed
+// bytes with the given field values spliced in, escaped exactly as the
+// serialiser would. The result is byte-identical to a fresh Render for the
+// same subscriber. Safe for concurrent use.
+func (t *Template) Stamp(dst []byte, to, messageID, subscriptionID string) []byte {
+	for i, part := range t.parts {
+		dst = append(dst, part...)
+		if i >= len(t.fields) {
+			break
+		}
+		switch t.fields[i] {
+		case fieldTo:
+			dst = xmldom.AppendEscapedText(dst, to)
+		case fieldMsgID:
+			dst = xmldom.AppendEscapedText(dst, messageID)
+		case fieldSubID:
+			dst = xmldom.AppendEscapedText(dst, subscriptionID)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,206 @@
+package mediation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+var allDialects = []Dialect{
+	{Family: FamilyWSE, WSE: wse.V200401},
+	{Family: FamilyWSE, WSE: wse.V200408},
+	{Family: FamilyWSN, WSN: wsnt.V1_0},
+	{Family: FamilyWSN, WSN: wsnt.V1_3},
+}
+
+// templatePlans enumerates every delivery-plan shape the broker produces:
+// all four dialects, raw and wrapped forms, with and without subscription
+// manager references.
+func templatePlans() []DeliveryPlan {
+	var plans []DeliveryPlan
+	for _, d := range allDialects {
+		for _, raw := range []bool{false, true} {
+			if d.Family == FamilyWSE && !raw {
+				continue // WSE deliveries are always raw (§V.3)
+			}
+			plans = append(plans, DeliveryPlan{Dialect: d, UseRaw: raw})
+			plans = append(plans, DeliveryPlan{
+				Dialect:         d,
+				UseRaw:          raw,
+				SubscriptionID:  "sub-1",
+				ManagerAddress:  "svc://broker/manager",
+				ProducerAddress: "svc://broker",
+			})
+		}
+	}
+	return plans
+}
+
+func dialectWSAVersion(d Dialect) wsa.Version {
+	if d.Family == FamilyWSN {
+		return d.WSN.WSAVersion()
+	}
+	return d.WSE.WSAVersion()
+}
+
+// TestStampMatchesRenderAllPlans is the core identity: for every plan shape
+// and both topic forms, a stamped template is byte-for-byte what a fresh
+// Render produces for the same subscriber.
+func TestStampMatchesRenderAllPlans(t *testing.T) {
+	for _, topic := range []topics.Path{{}, grid} {
+		n := Notification{Topic: topic, Payload: payload()}
+		for _, plan := range templatePlans() {
+			tpl, err := NewTemplate(n, plan)
+			if err != nil {
+				t.Fatalf("NewTemplate(%v raw=%v sub=%q): %v", plan.Dialect, plan.UseRaw, plan.SubscriptionID, err)
+			}
+			for i, addr := range []string{"svc://sink-a", "http://h:80/ev?x=1&y=2"} {
+				to := addr
+				mid := "urn:uuid:wsm-42"
+				sid := plan.SubscriptionID
+				if sid != "" && i == 1 {
+					sid = "sub <2> & co" // exercise escaping in the spliced id
+				}
+				freshPlan := plan
+				freshPlan.SubscriptionID = sid
+				consumer := wsa.NewEPR(dialectWSAVersion(plan.Dialect), to)
+				want := string(Render(n, consumer, freshPlan, mid).Marshal())
+				got := string(tpl.Stamp(nil, to, mid, sid))
+				if got != want {
+					t.Errorf("%v raw=%v sub=%q: stamp != render\n got %s\nwant %s",
+						plan.Dialect, plan.UseRaw, sid, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStampMatchesRenderProperty drives the same identity with random
+// subscriber field values, over every dialect.
+func TestStampMatchesRenderProperty(t *testing.T) {
+	for _, d := range allDialects {
+		plan := DeliveryPlan{
+			Dialect:         d,
+			UseRaw:          d.Family == FamilyWSE,
+			SubscriptionID:  "seed",
+			ManagerAddress:  "svc://broker/manager",
+			ProducerAddress: "svc://broker",
+		}
+		n := Notification{Topic: grid, Payload: payload()}
+		tpl, err := NewTemplate(n, plan)
+		if err != nil {
+			t.Fatalf("NewTemplate(%v): %v", d, err)
+		}
+		prop := func(to, mid, sid string) bool {
+			// Empty values never occur on the hot path: consumer addresses
+			// are validated at subscribe time and ids are broker-generated.
+			to, mid, sid = "a"+to, "b"+mid, "c"+sid
+			freshPlan := plan
+			freshPlan.SubscriptionID = sid
+			consumer := wsa.NewEPR(dialectWSAVersion(d), to)
+			want := string(Render(n, consumer, freshPlan, mid).Marshal())
+			return string(tpl.Stamp(nil, to, mid, sid)) == want
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestWrappedTemplateMatchesRender(t *testing.T) {
+	batch := []Notification{
+		{Topic: grid, Payload: payload()},
+		{Payload: xmldom.Elem("urn:grid", "Ev2", "two & <three>")},
+	}
+	for _, v := range []wse.Version{wse.V200401, wse.V200408} {
+		plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: v}, UseRaw: true}
+		tpl, err := NewWrappedTemplate(batch, plan)
+		if err != nil {
+			t.Fatalf("NewWrappedTemplate(%v): %v", v, err)
+		}
+		consumer := wsa.NewEPR(v.WSAVersion(), "svc://batch-sink")
+		want := string(RenderWrappedWSE(batch, consumer, plan, "urn:uuid:wsm-7").Marshal())
+		got := string(tpl.Stamp(nil, "svc://batch-sink", "urn:uuid:wsm-7", ""))
+		if got != want {
+			t.Errorf("%v: wrapped stamp != render\n got %s\nwant %s", v, got, want)
+		}
+	}
+}
+
+// TestTemplateSentinelCollision: a payload that already contains a sentinel
+// makes the splice points ambiguous; the constructor must refuse rather
+// than risk corrupting a delivery.
+func TestTemplateSentinelCollision(t *testing.T) {
+	n := Notification{Payload: xmldom.Elem("urn:grid", "Ev", sentinelTo)}
+	plan := DeliveryPlan{Dialect: Dialect{Family: FamilyWSE, WSE: wse.V200408}, UseRaw: true}
+	if _, err := NewTemplate(n, plan); err == nil {
+		t.Fatal("sentinel collision not detected")
+	}
+	if !strings.Contains(sentinelTo, "urn:x-wsm-splice") {
+		t.Fatal("sentinel renamed without updating collision test")
+	}
+}
+
+func TestCacheable(t *testing.T) {
+	plain := wsa.NewEPR(wsa.V200508, "svc://sink")
+	if !Cacheable(plain) {
+		t.Error("plain EPR should be cacheable")
+	}
+	if Cacheable(nil) {
+		t.Error("nil EPR cacheable")
+	}
+	if Cacheable(wsa.NewEPR(wsa.V200508, "")) {
+		t.Error("empty address cacheable")
+	}
+	withParam := wsa.NewEPR(wsa.V200508, "svc://sink")
+	withParam.AddReferenceParameter(xmldom.Elem("urn:x", "Id", "7"))
+	if Cacheable(withParam) {
+		t.Error("EPR with reference parameters cacheable — its headers vary structurally")
+	}
+	withProp := wsa.NewEPR(wsa.V200303, "svc://sink")
+	withProp.AddReferenceParameter(xmldom.Elem("urn:x", "Id", "7")) // lands in properties at 2003/03
+	if Cacheable(withProp) {
+		t.Error("EPR with reference properties cacheable")
+	}
+	withExtra := wsa.NewEPR(wsa.V200508, "svc://sink")
+	withExtra.Extra = append(withExtra.Extra, xmldom.Elem("urn:x", "Meta"))
+	if Cacheable(withExtra) {
+		t.Error("EPR with metadata extensions cacheable")
+	}
+}
+
+// TestKeyFor: subscribers that may share a template map to equal keys;
+// those that may not, to distinct keys.
+func TestKeyFor(t *testing.T) {
+	base := DeliveryPlan{
+		Dialect:        Dialect{Family: FamilyWSN, WSN: wsnt.V1_3},
+		ManagerAddress: "svc://broker/manager",
+		SubscriptionID: "sub-1",
+	}
+	other := base
+	other.SubscriptionID = "sub-2" // different subscriber, same shape
+	if KeyFor(base) != KeyFor(other) {
+		t.Error("plans differing only in SubscriptionID must share a key")
+	}
+	raw := base
+	raw.UseRaw = true
+	if KeyFor(base) == KeyFor(raw) {
+		t.Error("raw and wrapped plans must not share a key")
+	}
+	noSub := base
+	noSub.SubscriptionID = ""
+	if KeyFor(base) == KeyFor(noSub) {
+		t.Error("plans with and without subscription ids must not share a key")
+	}
+	wse01 := base
+	wse01.Dialect = Dialect{Family: FamilyWSE, WSE: wse.V200401}
+	if KeyFor(base) == KeyFor(wse01) {
+		t.Error("different dialects must not share a key")
+	}
+}

@@ -133,9 +133,21 @@ func (e *Envelope) Element() *xmldom.Element {
 	return env
 }
 
+// xmlDeclaration prefixes every serialised envelope.
+const xmlDeclaration = `<?xml version="1.0" encoding="utf-8"?>`
+
 // Marshal serialises the envelope with an XML declaration.
 func (e *Envelope) Marshal() []byte {
-	return []byte(`<?xml version="1.0" encoding="utf-8"?>` + xmldom.Marshal(e.Element()))
+	return e.AppendMarshal(nil)
+}
+
+// AppendMarshal serialises the envelope with an XML declaration, appending
+// to buf and returning the extended slice. The delivery hot path uses it
+// with pooled buffers so fan-out serialisation allocates nothing beyond
+// the first envelope; the bytes are identical to Marshal's.
+func (e *Envelope) AppendMarshal(buf []byte) []byte {
+	buf = append(buf, xmlDeclaration...)
+	return xmldom.AppendMarshal(buf, e.Element())
 }
 
 // MarshalIndent pretty-prints the envelope for logs and examples.

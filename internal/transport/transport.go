@@ -54,6 +54,21 @@ type Client interface {
 	Send(ctx context.Context, addr string, req *soap.Envelope) error
 }
 
+// BytesClient is the raw-bytes send path, implemented by clients that can
+// put an already-serialised envelope on the wire without re-marshalling
+// it. The broker's render-once fan-out stamps subscriber envelopes
+// directly into bytes; handing those to the envelope-based Send would
+// force a parse or a second marshal per delivery, so the delivery path
+// type-asserts for this interface and sends the bytes as-is. The envelope
+// path remains for callers that have no serialised form.
+type BytesClient interface {
+	// SendBytes performs a one-way exchange with a pre-serialised SOAP
+	// envelope. contentType is the envelope version's MIME type.
+	// Implementations must not retain body after returning: callers
+	// recycle the buffer.
+	SendBytes(ctx context.Context, addr, contentType string, body []byte) error
+}
+
 // ErrNoEndpoint reports a send to an unregistered loopback address or an
 // unreachable HTTP endpoint.
 var ErrNoEndpoint = errors.New("transport: no endpoint at address")
@@ -150,6 +165,34 @@ func (l *Loopback) Call(ctx context.Context, addr string, req *soap.Envelope) (*
 // Send implements Client.
 func (l *Loopback) Send(ctx context.Context, addr string, req *soap.Envelope) error {
 	_, err := l.Call(ctx, addr, req)
+	return err
+}
+
+// SendBytes implements BytesClient: the pre-serialised envelope is parsed
+// once (the same wire-format exercise Call performs) and handed to the
+// bound handler. A fault response becomes the returned error.
+func (l *Loopback) SendBytes(ctx context.Context, addr, _ string, body []byte) error {
+	h, ok := l.Lookup(addr)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoEndpoint, addr)
+	}
+	wire, err := soap.ParseBytes(body)
+	if err != nil {
+		return fmt.Errorf("transport: request serialisation: %w", err)
+	}
+	resp, err := h.ServeSOAP(ctx, wire)
+	if err != nil {
+		_, err = responseError(faultOrError(err, wire.Version))
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	back, err := soap.ParseBytes(resp.Marshal())
+	if err != nil {
+		return fmt.Errorf("transport: response serialisation: %w", err)
+	}
+	_, err = responseError(back)
 	return err
 }
 
@@ -264,6 +307,20 @@ func drainClose(body io.ReadCloser, limit int64) {
 
 // Call implements Client over HTTP POST.
 func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error) {
+	return c.post(ctx, addr, req.Version.ContentType(), req.Marshal())
+}
+
+// SendBytes implements BytesClient: the pre-serialised envelope goes onto
+// the wire as-is — no re-marshal of a message the broker already
+// serialised (the delivery path's double-marshal, now gone).
+func (c *HTTPClient) SendBytes(ctx context.Context, addr, contentType string, body []byte) error {
+	_, err := c.post(ctx, addr, contentType, body)
+	return err
+}
+
+// post is the shared HTTP exchange: POST the payload, enforce the response
+// size limit, parse any response envelope.
+func (c *HTTPClient) post(ctx context.Context, addr, contentType string, payload []byte) (*soap.Envelope, error) {
 	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
 		return nil, fmt.Errorf("transport: address %q is not an HTTP endpoint", addr)
 	}
@@ -272,11 +329,11 @@ func (c *HTTPClient) Call(ctx context.Context, addr string, req *soap.Envelope) 
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 		defer cancel()
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(req.Marshal()))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", req.Version.ContentType())
+	hreq.Header.Set("Content-Type", contentType)
 	hreq.Header.Set("SOAPAction", `""`)
 	limit := c.maxResponse()
 	t0 := c.Obs.Now()

@@ -1,10 +1,11 @@
 package xmldom
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"unicode/utf8"
 )
 
 // preferredPrefixes maps well-known namespace URIs to the prefixes the WS-*
@@ -35,33 +36,104 @@ func preferredPrefix(uri string) (string, bool) {
 	return p, ok
 }
 
+// genPrefixes precomputes the generated namespace prefix names. One WS-*
+// envelope rarely needs more than a handful of undeclared namespaces, so
+// the serialiser's namespace-binding loop normally performs no allocation
+// for prefix names; the strconv fallback covers pathological documents.
+var genPrefixes = [...]string{
+	"ns1", "ns2", "ns3", "ns4", "ns5", "ns6", "ns7", "ns8",
+	"ns9", "ns10", "ns11", "ns12", "ns13", "ns14", "ns15", "ns16",
+}
+
+func genPrefix(n int) string {
+	if n >= 1 && n <= len(genPrefixes) {
+		return genPrefixes[n-1]
+	}
+	return "ns" + strconv.Itoa(n)
+}
+
+// writerPool recycles writers — including their namespace-scope maps and
+// output buffers — across serialisations, so the fan-out hot path does not
+// rebuild them per envelope.
+var writerPool = sync.Pool{New: func() any {
+	return &writer{scope: map[string]string{}, used: map[string]bool{}}
+}}
+
+// maxPooledBuf bounds the buffer capacity a pooled writer retains; one
+// oversized document must not pin its buffer in the pool forever.
+const maxPooledBuf = 1 << 16
+
+func getWriter(dst []byte) *writer {
+	w := writerPool.Get().(*writer)
+	w.out = dst
+	w.scope[""] = ""
+	w.used[""] = true
+	return w
+}
+
+// putWriter resets and pools the writer. The output buffer is retained for
+// reuse only when the caller did not take ownership of it (Marshal copies
+// into a string; AppendMarshal hands the bytes back to its caller and
+// clears w.out first).
+func putWriter(w *writer) {
+	clear(w.scope)
+	clear(w.used)
+	w.nextNS = 0
+	w.indent = false
+	w.depth = 0
+	if cap(w.out) > maxPooledBuf {
+		w.out = nil
+	} else {
+		w.out = w.out[:0]
+	}
+	writerPool.Put(w)
+}
+
 // Marshal serialises the element as a standalone XML document fragment.
 // Every namespace in scope is declared on the element that first uses it.
 func Marshal(e *Element) string {
-	var sb strings.Builder
-	w := &writer{sb: &sb, scope: map[string]string{"": ""}, used: map[string]bool{"": true}}
+	w := getWriter(nil)
 	w.element(e)
-	return sb.String()
+	s := string(w.out)
+	putWriter(w)
+	return s
+}
+
+// AppendMarshal serialises the element, appending to dst and returning the
+// extended slice — the allocation-free form the delivery hot path uses
+// with pooled buffers. The output bytes are identical to Marshal's.
+func AppendMarshal(dst []byte, e *Element) []byte {
+	w := getWriter(dst)
+	w.element(e)
+	out := w.out
+	w.out = nil // caller owns the buffer now
+	putWriter(w)
+	return out
 }
 
 // MarshalIndent serialises with two-space indentation, for logs, examples
 // and golden files. Text content suppresses indentation inside its parent
 // so mixed content is not corrupted.
 func MarshalIndent(e *Element) string {
-	var sb strings.Builder
-	w := &writer{sb: &sb, scope: map[string]string{"": ""}, used: map[string]bool{"": true}, indent: true}
+	w := getWriter(nil)
+	w.indent = true
 	w.element(e)
-	return strings.TrimPrefix(sb.String(), "\n") + "\n"
+	s := string(w.out)
+	putWriter(w)
+	return strings.TrimPrefix(s, "\n") + "\n"
 }
 
 type writer struct {
-	sb     *strings.Builder
+	out    []byte
 	scope  map[string]string // namespace URI -> prefix currently in scope
 	used   map[string]bool   // prefixes currently bound
 	nextNS int
 	indent bool
 	depth  int
 }
+
+func (w *writer) writeString(s string) { w.out = append(w.out, s...) }
+func (w *writer) writeByte(c byte)     { w.out = append(w.out, c) }
 
 func (w *writer) element(e *Element) {
 	// Collect namespaces this element introduces.
@@ -81,7 +153,7 @@ func (w *writer) element(e *Element) {
 		if !ok || p == "" || w.used[p] {
 			for {
 				w.nextNS++
-				p = fmt.Sprintf("ns%d", w.nextNS)
+				p = genPrefix(w.nextNS)
 				if !w.used[p] {
 					break
 				}
@@ -139,28 +211,28 @@ func (w *writer) element(e *Element) {
 	if w.indent {
 		w.writeIndent()
 	}
-	w.sb.WriteByte('<')
+	w.writeByte('<')
 	w.writeQName(elemPrefix, e.Name.Local)
 	sort.Slice(decls, func(i, j int) bool { return decls[i].prefix < decls[j].prefix })
 	for _, d := range decls {
-		w.sb.WriteString(" xmlns:")
-		w.sb.WriteString(d.prefix)
-		w.sb.WriteString(`="`)
-		escapeAttr(w.sb, d.uri)
-		w.sb.WriteByte('"')
+		w.writeString(" xmlns:")
+		w.writeString(d.prefix)
+		w.writeString(`="`)
+		w.out = appendEscapedAttr(w.out, d.uri)
+		w.writeByte('"')
 	}
 	for i, a := range e.Attrs {
-		w.sb.WriteByte(' ')
+		w.writeByte(' ')
 		w.writeQName(attrPrefixes[i], a.Name.Local)
-		w.sb.WriteString(`="`)
-		escapeAttr(w.sb, a.Value)
-		w.sb.WriteByte('"')
+		w.writeString(`="`)
+		w.out = appendEscapedAttr(w.out, a.Value)
+		w.writeByte('"')
 	}
 
 	if len(e.Children) == 0 {
-		w.sb.WriteString("/>")
+		w.writeString("/>")
 	} else {
-		w.sb.WriteByte('>')
+		w.writeByte('>')
 		hasText := false
 		for _, n := range e.Children {
 			if t, ok := n.(Text); ok && strings.TrimSpace(string(t)) != "" {
@@ -176,7 +248,7 @@ func (w *writer) element(e *Element) {
 				if childIndent && strings.TrimSpace(string(v)) == "" {
 					continue
 				}
-				escapeText(w.sb, string(v))
+				w.out = AppendEscapedText(w.out, string(v))
 			case *Element:
 				save := w.indent
 				w.indent = childIndent
@@ -188,9 +260,9 @@ func (w *writer) element(e *Element) {
 		if childIndent {
 			w.writeIndent()
 		}
-		w.sb.WriteString("</")
+		w.writeString("</")
 		w.writeQName(elemPrefix, e.Name.Local)
-		w.sb.WriteByte('>')
+		w.writeByte('>')
 	}
 
 	// Restore the scope this element perturbed.
@@ -209,18 +281,18 @@ func (w *writer) element(e *Element) {
 }
 
 func (w *writer) writeIndent() {
-	w.sb.WriteByte('\n')
+	w.writeByte('\n')
 	for i := 0; i < w.depth; i++ {
-		w.sb.WriteString("  ")
+		w.writeString("  ")
 	}
 }
 
 func (w *writer) writeQName(prefix, local string) {
 	if prefix != "" {
-		w.sb.WriteString(prefix)
-		w.sb.WriteByte(':')
+		w.writeString(prefix)
+		w.writeByte(':')
 	}
-	w.sb.WriteString(local)
+	w.writeString(local)
 }
 
 // validXMLRune reports whether a rune is representable in XML 1.0
@@ -266,44 +338,69 @@ func CleanText(s string) string {
 	return sb.String()
 }
 
-func escapeText(sb *strings.Builder, s string) {
-	for _, r := range s {
-		if !validXMLRune(r) {
-			sb.WriteRune('�')
+const replacement = "�"
+
+// AppendEscapedText appends s to dst with XML text-content escaping,
+// producing exactly the bytes this serialiser emits for the same character
+// data (entity escapes for markup characters, U+FFFD for characters XML
+// cannot represent). The mediation layer's render templates rely on that
+// identity to splice subscriber fields into pre-serialised envelopes
+// byte-for-byte compatibly with a fresh render.
+func AppendEscapedText(dst []byte, s string) []byte {
+	last, i := 0, 0
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		var esc string
+		switch {
+		case r == '&':
+			esc = "&amp;"
+		case r == '<':
+			esc = "&lt;"
+		case r == '>':
+			esc = "&gt;"
+		case !validXMLRune(r) || (r == utf8.RuneError && size == 1):
+			esc = replacement
+		default:
+			i += size
 			continue
 		}
-		switch r {
-		case '&':
-			sb.WriteString("&amp;")
-		case '<':
-			sb.WriteString("&lt;")
-		case '>':
-			sb.WriteString("&gt;")
-		default:
-			sb.WriteRune(r)
-		}
+		dst = append(dst, s[last:i]...)
+		dst = append(dst, esc...)
+		i += size
+		last = i
 	}
+	return append(dst, s[last:]...)
 }
 
-func escapeAttr(sb *strings.Builder, s string) {
-	for _, r := range s {
-		if !validXMLRune(r) {
-			sb.WriteRune('�')
+// appendEscapedAttr appends s with attribute-value escaping (double-quoted
+// form): markup characters plus the whitespace characters that attribute
+// normalisation would otherwise corrupt.
+func appendEscapedAttr(dst []byte, s string) []byte {
+	last, i := 0, 0
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		var esc string
+		switch {
+		case r == '&':
+			esc = "&amp;"
+		case r == '<':
+			esc = "&lt;"
+		case r == '"':
+			esc = "&quot;"
+		case r == '\n':
+			esc = "&#10;"
+		case r == '\t':
+			esc = "&#9;"
+		case !validXMLRune(r) || (r == utf8.RuneError && size == 1):
+			esc = replacement
+		default:
+			i += size
 			continue
 		}
-		switch r {
-		case '&':
-			sb.WriteString("&amp;")
-		case '<':
-			sb.WriteString("&lt;")
-		case '"':
-			sb.WriteString("&quot;")
-		case '\n':
-			sb.WriteString("&#10;")
-		case '\t':
-			sb.WriteString("&#9;")
-		default:
-			sb.WriteRune(r)
-		}
+		dst = append(dst, s[last:i]...)
+		dst = append(dst, esc...)
+		i += size
+		last = i
 	}
+	return append(dst, s[last:]...)
 }

@@ -1,0 +1,121 @@
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func serializeFixture() *Element {
+	root := Elem("urn:a", "root",
+		Attr{Name: N("", "id"), Value: `x"y&z`},
+		Elem("urn:b", "child", "text & <markup>"),
+		Elem("urn:c", "deep",
+			Elem("urn:d", "leaf", "v"),
+			Elem("urn:a", "again", "w")),
+	)
+	root.DeclarePrefix("p", "urn:content")
+	return root
+}
+
+// TestAppendMarshalMatchesMarshal pins the identity the render templates
+// rely on: AppendMarshal produces exactly Marshal's bytes, appended to
+// whatever the caller already buffered.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	e := serializeFixture()
+	want := Marshal(e)
+	if got := string(AppendMarshal(nil, e)); got != want {
+		t.Fatalf("AppendMarshal(nil) = %q, want %q", got, want)
+	}
+	prefix := []byte("<?xml?>")
+	got := AppendMarshal(prefix, e)
+	if string(got) != "<?xml?>"+want {
+		t.Fatalf("AppendMarshal(prefix) = %q, want prefix+%q", got, want)
+	}
+}
+
+// TestMarshalPooledWritersConcurrent hammers the pooled writer path from
+// many goroutines: every serialisation must still be deterministic and
+// scope state must never leak between pooled uses. Run under -race this
+// also proves the pool itself is sound.
+func TestMarshalPooledWritersConcurrent(t *testing.T) {
+	e := serializeFixture()
+	want := Marshal(e)
+	wantIndent := MarshalIndent(e)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := Marshal(e); got != want {
+					errs <- fmt.Errorf("Marshal diverged: %q", got)
+					return
+				}
+				if got := MarshalIndent(e); got != wantIndent {
+					errs <- fmt.Errorf("MarshalIndent diverged: %q", got)
+					return
+				}
+				if got := AppendMarshal(nil, e); string(got) != want {
+					errs <- fmt.Errorf("AppendMarshal diverged: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendEscapedTextMatchesSerializer checks, over random strings, that
+// AppendEscapedText emits exactly the bytes the serialiser produces for
+// the same character data — the byte-identity contract the splice
+// templates depend on.
+func TestAppendEscapedTextMatchesSerializer(t *testing.T) {
+	prop := func(s string) bool {
+		if s == "" {
+			return true // AppendText drops empty strings; nothing to compare
+		}
+		el := Elem("", "t", s)
+		want := Marshal(el)
+		got := "<t>" + string(AppendEscapedText(nil, s)) + "</t>"
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic spot checks: entities, invalid runes, invalid UTF-8.
+	for in, want := range map[string]string{
+		"a&b<c>d":        "a&amp;b&lt;c&gt;d",
+		"plain":          "plain",
+		"\x00ctl":        "�ctl",
+		"bad\xffutf8":    "bad�utf8",
+		"fine\uFFFDrune": "fine\uFFFDrune",
+	} {
+		if got := string(AppendEscapedText(nil, in)); got != want {
+			t.Errorf("AppendEscapedText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestGeneratedPrefixesBeyondTable forces more generated namespace
+// prefixes than the precomputed table holds, covering the strconv
+// fallback.
+func TestGeneratedPrefixesBeyondTable(t *testing.T) {
+	root := NewElement(N("urn:gen:root", "root"))
+	for i := 0; i < 20; i++ {
+		root.Append(NewElement(N(fmt.Sprintf("urn:gen:%d", i), "c")))
+	}
+	out := Marshal(root)
+	for _, want := range []string{"ns1=", "ns16=", "ns17=", "ns21="} {
+		if !strings.Contains(out, "xmlns:"+want) {
+			t.Errorf("output lacks generated prefix %q:\n%s", want, out)
+		}
+	}
+}
