@@ -19,7 +19,17 @@
 //	GET  /metrics    — Prometheus text exposition (lifecycle counters,
 //	                   queue/breaker/DLQ gauges, latency histograms)
 //	GET  /healthz    — liveness: 503 while any circuit breaker is open or
-//	                   the dead-letter queue is past its watermark
+//	                   the dead-letter queue is past its watermark, or —
+//	                   when federated — while a peer link has lapsed
+//	POST /peer       — federation ingest (relayed Notify from peer brokers)
+//
+// Federation: give each broker an identity and point it at its peers —
+//
+//	wsmessenger -listen :8891 -id broker-a -peer http://localhost:8892/
+//	wsmessenger -listen :8892 -id broker-b -peer http://localhost:8891/
+//
+// and every event published at either broker reaches the subscribers of
+// both, exactly once, with loops suppressed by the wsmf:Relay header.
 package main
 
 import (
@@ -30,13 +40,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wsdl"
 )
+
+// peerList collects repeatable -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*p = append(*p, s)
+		}
+	}
+	return nil
+}
 
 func main() {
 	listen := flag.String("listen", ":8891", "HTTP listen address")
@@ -46,6 +72,10 @@ func main() {
 	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
 	dlqWatermark := flag.Int("dlq-watermark", core.DefaultDLQWatermark,
 		"dead-letter depth at which /healthz reports degraded")
+	brokerID := flag.String("id", "", "federation identity; required with -peer")
+	maxHops := flag.Int("max-hops", federation.DefaultMaxHops, "relay hop cap for federated notifications")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer broker front-door URL (repeatable, or comma-separated)")
 	flag.Parse()
 
 	base := *external
@@ -56,20 +86,39 @@ func main() {
 		}
 	}
 
+	if len(peers) > 0 && *brokerID == "" {
+		log.Fatal("wsmessenger: -peer requires -id (the broker's federation identity)")
+	}
+
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(reg, "broker")
+	client := &transport.HTTPClient{
+		HC:  &http.Client{Timeout: 15 * time.Second},
+		Obs: obs.NewTransportMetrics(reg, "broker"),
+	}
 	broker, err := core.New(core.Config{
 		Address:        base + "/",
 		ManagerAddress: base + "/manage",
-		Client: &transport.HTTPClient{
-			HC:  &http.Client{Timeout: 15 * time.Second},
-			Obs: obs.NewTransportMetrics(reg, "broker"),
-		},
-		QueueDepth: *queueDepth,
-		Obs:        rec,
+		Client:         client,
+		QueueDepth:     *queueDepth,
+		BrokerID:       *brokerID,
+		Obs:            rec,
 	})
 	if err != nil {
 		log.Fatalf("wsmessenger: %v", err)
+	}
+	var peering *federation.Peering
+	if *brokerID != "" {
+		peering, err = federation.New(federation.Config{
+			Broker:        broker,
+			Client:        client,
+			IngestAddress: base + "/peer",
+			MaxHops:       *maxHops,
+			Obs:           rec,
+		})
+		if err != nil {
+			log.Fatalf("wsmessenger: %v", err)
+		}
 	}
 	if *stateFile != "" {
 		if f, err := os.Open(*stateFile); err == nil {
@@ -97,12 +146,39 @@ func main() {
 	})
 	mux.Handle("/manage", transport.NewHTTPHandlerObs(broker.ManagerHandler(), frontTM))
 	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/healthz", obs.HealthHandler(broker.HealthChecks(*dlqWatermark)))
+	health := broker.HealthChecks(*dlqWatermark)
+	if peering != nil {
+		mux.Handle("/peer", transport.NewHTTPHandlerObs(peering.IngestHandler(), frontTM))
+		health = obs.CombineChecks(health, peering.HealthChecks())
+	}
+	mux.Handle("/healthz", obs.HealthHandler(health))
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go broker.Store().Run(ctx, *scavenge)
+	if peering != nil {
+		// Peers may still be starting; keep trying until each link is up.
+		for _, remote := range peers {
+			go func(remote string) {
+				for {
+					pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+					_, err := peering.Peer(pctx, remote)
+					cancel()
+					if err == nil {
+						log.Printf("wsmessenger: peered with %s", remote)
+						return
+					}
+					log.Printf("wsmessenger: peer %s: %v (retrying)", remote, err)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(3 * time.Second):
+					}
+				}
+			}(remote)
+		}
+	}
 	go func() {
 		<-ctx.Done()
 		if *stateFile != "" {

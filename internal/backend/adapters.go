@@ -2,13 +2,47 @@ package backend
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/corbanotify"
 	"repro/internal/jms"
+	"repro/internal/mediation"
 	"repro/internal/topics"
 	"repro/internal/xmldom"
 )
+
+// relayProps flattens federation provenance into message-property form —
+// how JMS properties or CORBA filterable data carry metadata — so relay
+// state survives a trip through an external fabric.
+func relayProps(r *mediation.Relay, set func(key, val string)) {
+	if r == nil {
+		return
+	}
+	set("wsmRelayOrigin", r.Origin)
+	set("wsmRelayId", r.ID)
+	set("wsmRelayHops", strconv.Itoa(r.Hops))
+}
+
+// relayFromProps rebuilds the relay from message properties; nil when the
+// message carried none (or damaged ones — a partial relay is worse than
+// none, because it would poison dedup state).
+func relayFromProps(get func(key string) (string, bool)) *mediation.Relay {
+	origin, ok1 := get("wsmRelayOrigin")
+	id, ok2 := get("wsmRelayId")
+	if !ok1 || !ok2 || origin == "" || id == "" {
+		return nil
+	}
+	r := &mediation.Relay{Origin: origin, ID: id}
+	if hs, ok := get("wsmRelayHops"); ok {
+		n, err := strconv.Atoi(hs)
+		if err != nil || n < 0 {
+			return nil
+		}
+		r.Hops = n
+	}
+	return r
+}
 
 // JMS wraps a JMS topic as a WS-Messenger backend: notifications travel as
 // TextMessages whose body is the serialised payload and whose properties
@@ -36,6 +70,7 @@ func (j *JMS) Publish(msg Message) error {
 	if msg.Origin != "" {
 		m.Properties()["wsmOrigin"] = msg.Origin
 	}
+	relayProps(msg.Relay, func(k, v string) { m.Properties()[k] = v })
 	return j.topic.Publish(m)
 }
 
@@ -57,6 +92,10 @@ func (j *JMS) Subscribe(fn func(Message)) (func(), error) {
 		if or, ok := m.Properties()["wsmOrigin"].(string); ok {
 			out.Origin = or
 		}
+		out.Relay = relayFromProps(func(k string) (string, bool) {
+			s, ok := m.Properties()[k].(string)
+			return s, ok
+		})
 		fn(out)
 	})
 	return cancel, nil
@@ -92,6 +131,7 @@ func (c *CORBANotify) Publish(msg Message) error {
 	if msg.Origin != "" {
 		ev.FilterableData["wsmOrigin"] = msg.Origin
 	}
+	relayProps(msg.Relay, func(k, v string) { ev.FilterableData[k] = v })
 	ev.Body = xmldom.Marshal(msg.Payload)
 	c.channel.Push(ev)
 	return nil
@@ -116,6 +156,10 @@ func (c *CORBANotify) Subscribe(fn func(Message)) (func(), error) {
 			if or, ok := ev.FilterableData["wsmOrigin"].(string); ok {
 				out.Origin = or
 			}
+			out.Relay = relayFromProps(func(k string) (string, bool) {
+				s, ok := ev.FilterableData[k].(string)
+				return s, ok
+			})
 			fn(out)
 		}
 	})

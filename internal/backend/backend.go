@@ -16,6 +16,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/mediation"
 	"repro/internal/topics"
 	"repro/internal/xmldom"
 )
@@ -23,11 +24,15 @@ import (
 // Message is the canonical unit the backend moves. Origin is an opaque
 // producer tag (e.g. the spec family a SOAP publish arrived in) carried as
 // message metadata, the way JMS properties or CORBA structured-event
-// headers would carry it.
+// headers would carry it. Relay is the federation provenance of a message
+// that entered through a peer link (or was stamped at first publish by a
+// federated broker); backends must carry it with the message so fan-out
+// can render it back onto the wire.
 type Message struct {
 	Topic   topics.Path
 	Payload *xmldom.Element
 	Origin  string
+	Relay   *mediation.Relay
 }
 
 // Backend is an underlying publish/subscribe fabric.

@@ -85,6 +85,8 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"  check:",
 		"  lint:",
 		"  metrics:",
+		"  cover:",
+		"  fuzz-smoke:",
 		"  bench-smoke:",
 		"uses: actions/checkout@",
 		"uses: actions/setup-go@",
@@ -95,6 +97,8 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"run: make golden",        // wire-format golden probes
 		"run: make metrics-race",  // -race over obs/dispatch/core
 		"run: make metrics-smoke", // live /metrics + /healthz scrape
+		"run: make cover",         // coverage with ratcheted floor
+		"run: make fuzz-smoke",    // bounded fuzz over checked-in corpora
 		"run: make bench-smoke",
 		"run: make bench-fanout", // render-once fan-out smoke (B13)
 		"uses: actions/upload-artifact@",
@@ -104,11 +108,22 @@ func TestWorkflowRequiredShape(t *testing.T) {
 			t.Errorf("workflow lacks %q", want)
 		}
 	}
-	// The bench job must be non-blocking: continue-on-error inside the
-	// bench-smoke job body.
-	benchIdx := strings.Index(text, "bench-smoke:\n")
-	if benchIdx < 0 || !strings.Contains(text[benchIdx:], "continue-on-error: true") {
-		t.Error("bench-smoke job must set continue-on-error: true")
+	// The smoke jobs must be non-blocking: continue-on-error inside each
+	// job body (the fuzz check is bounded by the bench job's position so a
+	// single continue-on-error cannot satisfy both).
+	for _, job := range []string{"fuzz-smoke:\n", "bench-smoke:\n"} {
+		idx := strings.Index(text, job)
+		if idx < 0 {
+			t.Errorf("workflow lacks a %s job", strings.TrimSuffix(job, ":\n"))
+			continue
+		}
+		body := text[idx:]
+		if next := strings.Index(body[len(job):], "\n  bench-smoke:"); next >= 0 {
+			body = body[:len(job)+next]
+		}
+		if !strings.Contains(body, "continue-on-error: true") {
+			t.Errorf("%s job must set continue-on-error: true", strings.TrimSuffix(job, ":\n"))
+		}
 	}
 }
 
@@ -164,7 +179,7 @@ func TestMakeCIMirrorsWorkflow(t *testing.T) {
 	for _, p := range prereqs {
 		have[p] = true
 	}
-	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke"} {
+	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover"} {
 		if !have[want] {
 			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
 		}
@@ -181,5 +196,29 @@ func TestGoldenTargetRunsProbes(t *testing.T) {
 	want := "go test ./internal/probes -run Golden"
 	if !strings.Contains(string(raw), want) {
 		t.Errorf("Makefile golden target must run %q", want)
+	}
+}
+
+// TestCoverAndFuzzTargetsPinned keeps the coverage floor and the fuzz
+// targets wired to what CI expects: the floor variable must exist (so
+// the ratchet is explicit, not buried in a shell one-liner) and the
+// fuzz-smoke target must run both native fuzz targets — `go test`
+// accepts only one -fuzz per invocation, so each needs its own line.
+func TestCoverAndFuzzTargetsPinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"COVER_FLOOR",
+		"-coverprofile",
+		"-fuzz '^FuzzParse$$'",
+		"-fuzz '^FuzzEPRRoundTrip$$'",
+		"-fuzztime $(FUZZTIME)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
 	}
 }

@@ -99,6 +99,12 @@ type Config struct {
 	// and replay them (default 1024; negative disables — terminal
 	// failures are then counted and discarded, the pre-DLQ behaviour).
 	DeadLetterCap int
+	// BrokerID is the broker's federation identity. When set, every locally
+	// published notification is stamped with a wsmf:Relay header naming this
+	// broker as its origin, so peer brokers can suppress loops and dedup.
+	// Empty disables relay stamping — the single-broker deployments every
+	// prior layer was built for pay nothing.
+	BrokerID string
 	// Obs instruments the broker: lifecycle counters and gauges are bound
 	// to the dispatch engine, per-stage latency histograms and sampled
 	// message traces ride the delivery path, and the broker adds
@@ -160,12 +166,15 @@ type subState struct {
 }
 
 // fanMsg is the dispatch payload: the notification body plus the
-// publishing spec family (for the mediation counter) and, when the broker
+// publishing spec family (for the mediation counter), the federation relay
+// provenance (nil outside federated deployments) and, when the broker
 // delivers over a raw-bytes transport, the publish's shared render-template
-// cache.
+// cache. The relay is constant across one publish's whole fan-out, so it
+// bakes into the shared templates without splitting render keys.
 type fanMsg struct {
 	payload *xmldom.Element
 	origin  string
+	relay   *mediation.Relay
 	rs      *renderSet
 }
 
@@ -334,14 +343,28 @@ func (b *Broker) nextMessageID() string {
 	return fmt.Sprintf("urn:uuid:wsm-%d", b.msgID.Add(1))
 }
 
+// BrokerID returns the broker's federation identity ("" when the broker
+// is not federated).
+func (b *Broker) BrokerID() string { return b.cfg.BrokerID }
+
 // Publish is the broker's local (non-SOAP) publishing API, used by
 // embedded deployments, examples and benchmarks. SOAP publishers arrive
 // through the front door instead.
 func (b *Broker) Publish(topic topics.Path, payload *xmldom.Element) error {
-	return b.publish(topic, payload, "")
+	return b.publish(topic, payload, "", nil)
 }
 
-func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin string) error {
+// PublishRelayed republishes a notification that arrived over a peer link,
+// preserving its relay provenance (origin broker, origin message id, hop
+// count — already incremented by the ingest) so local fan-out carries it
+// onward. It is the federation ingest's publishing API; everything else
+// about the publish (topic bookkeeping, backend, fan-out, reliability) is
+// identical to a local publish.
+func (b *Broker) PublishRelayed(topic topics.Path, payload *xmldom.Element, relay *mediation.Relay) error {
+	return b.publish(topic, payload, "", relay)
+}
+
+func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin string, relay *mediation.Relay) error {
 	b.published.Add(1)
 	if !topic.IsZero() {
 		b.mu.Lock()
@@ -349,7 +372,12 @@ func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin stri
 		b.mu.Unlock()
 		b.space.Add(topic)
 	}
-	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin})
+	if relay == nil && b.cfg.BrokerID != "" {
+		// First publish on a federated broker: stamp provenance so peers
+		// can dedup on (origin, id) and cap hops.
+		relay = &mediation.Relay{Origin: b.cfg.BrokerID, ID: b.nextMessageID(), Hops: 0}
+	}
+	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin, Relay: relay})
 }
 
 // fanOut is the backend fan-in: hand one message to the dispatch engine,
@@ -358,7 +386,7 @@ func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin stri
 // bytes, the message carries a render-template cache shared by every
 // subscriber it fans out to.
 func (b *Broker) fanOut(msg backend.Message) {
-	fm := fanMsg{payload: msg.Payload, origin: msg.Origin}
+	fm := fanMsg{payload: msg.Payload, origin: msg.Origin, relay: msg.Relay}
 	if b.rawClient != nil && !b.cfg.DisableRenderCache {
 		fm.rs = newRenderSet()
 	}
@@ -592,7 +620,7 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 	// modes that use them never stamp from templates anyway.
 	clone := func(m dispatch.Message) dispatch.Message {
 		fm := m.Payload.(fanMsg)
-		return dispatch.Message{Topic: m.Topic, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin}}
+		return dispatch.Message{Topic: m.Topic, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin, relay: fm.relay}}
 	}
 	sub := dispatch.Sub{
 		ID:       id,
@@ -647,7 +675,7 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 		sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 			m := batch[0]
 			fm := m.Payload.(fanMsg)
-			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: fm.payload}, fm.rs)
+			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}, fm.rs)
 		}
 	}
 	_ = b.engine.Subscribe(sub)

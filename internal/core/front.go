@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
+	"repro/internal/filter"
 	"repro/internal/mediation"
 	"repro/internal/obs"
 	"repro/internal/soap"
@@ -107,8 +109,12 @@ func (b *Broker) handlePublish(env *soap.Envelope) error {
 		return soap.Faultf(soap.FaultSender, "ws-messenger: %v", err)
 	}
 	defer func() { done(d.String()) }()
+	// A relay header on a front-door publish is deliberately ignored: only
+	// the federation ingest endpoint may republish with preserved
+	// provenance, because honoring it here would let any publisher forge
+	// dedup state. The front door always stamps fresh provenance.
 	for _, n := range ns {
-		if err := b.publish(n.Topic, n.Payload, d.Family.String()); err != nil {
+		if err := b.publish(n.Topic, n.Payload, d.Family.String(), nil); err != nil {
 			return soap.Faultf(soap.FaultReceiver, "ws-messenger: backend: %v", err)
 		}
 	}
@@ -165,6 +171,14 @@ func (b *Broker) handleSubscribe(env *soap.Envelope, d mediation.Dialect) (*soap
 	if err != nil {
 		if d.Family == mediation.FamilyWSE {
 			return nil, wse.FaultFilteringNotSupported(d.WSE, err.Error())
+		}
+		// WS-BaseNotification distinguishes topic faults from filter
+		// faults: an unsupported topic-expression dialect is
+		// TopicNotSupportedFault, while an uncompilable expression in a
+		// supported dialect is InvalidFilterFault.
+		var ude *filter.UnknownDialectError
+		if errors.As(err, &ude) && canon.TopicExpr != "" && ude.Dialect == canon.TopicDialect {
+			return nil, wsnt.FaultTopicNotSupported(d.WSN, canon.TopicExpr)
 		}
 		return nil, wsnt.FaultInvalidFilter(d.WSN, err.Error())
 	}

@@ -1,0 +1,157 @@
+package core
+
+// Persistence under load: SaveSubscriptions is an operator-facing call that
+// runs against a live broker — snapshots race with publishes and renews in
+// any real deployment. This test drives all three concurrently through the
+// queued delivery pipeline (run it under -race), then proves two things:
+// the dispatch counters still satisfy the conservation law at quiescence,
+// and the last snapshot taken mid-storm restores into a working broker.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+)
+
+func TestSnapshotUnderLoadRace(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.SyncDelivery = false // the real queued pipeline, with worker concurrency
+	})
+
+	// A population of both families: unfiltered WSE push subscribers and
+	// topic-filtered WSN subscribers.
+	var wseHandles []*wse.Handle
+	for i := 0; i < 4; i++ {
+		wseHandles = append(wseHandles, f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{Expires: "PT1H"}))
+	}
+	for i := 0; i < 4; i++ {
+		f.subscribeWSN(t, wsnt.V1_3, &wsnt.SubscribeRequest{})
+	}
+
+	// publish mirrors fixture.publishWSN but reports failures with Errorf
+	// (Fatalf must not be called off the test goroutine).
+	publish := func(val string) error {
+		env := soap.New(soap.V11)
+		(&wsa.MessageHeaders{Version: wsa.V200508, To: "svc://wsm",
+			Action: wsnt.V1_3.ActionNotify()}).Apply(env)
+		env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{
+			{Topic: grid, Payload: event(val)},
+		}))
+		return f.lb.Send(context.Background(), "svc://wsm", env)
+	}
+
+	const (
+		publishers   = 3
+		perPublisher = 40
+		renewRounds  = 25
+		snapshotters = 2
+	)
+	var (
+		wg       sync.WaitGroup
+		snapMu   sync.Mutex
+		lastSnap []byte
+	)
+	// Publishers.
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for j := 0; j < perPublisher; j++ {
+				if err := publish(fmt.Sprintf("p%d-%d", p, j)); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	// A renewer cycling the WSE handles against the manager endpoint.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := &wse.Subscriber{Client: f.lb, Version: wse.V200408}
+		for j := 0; j < renewRounds; j++ {
+			h := wseHandles[j%len(wseHandles)]
+			if _, err := s.Renew(context.Background(), h, "PT2H"); err != nil {
+				t.Errorf("renew under load: %v", err)
+			}
+		}
+	}()
+	// Snapshotters racing both of the above.
+	for s := 0; s < snapshotters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var buf bytes.Buffer
+				if err := f.broker.SaveSubscriptions(&buf); err != nil {
+					t.Errorf("snapshot under load: %v", err)
+					return
+				}
+				snapMu.Lock()
+				lastSnap = buf.Bytes()
+				snapMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	f.broker.Flush()
+
+	// Conservation at quiescence: every matched delivery is accounted for.
+	st := f.broker.DispatchStats()
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Errorf("conservation violated after storm: %+v", st)
+	}
+	if want := uint64(publishers * perPublisher); st.Published != want {
+		t.Errorf("published = %d, want %d", st.Published, want)
+	}
+	total := publishers * perPublisher
+	if got := f.wseSink.Count(); got != total*len(wseHandles) {
+		t.Errorf("wse sink received %d, want %d", got, total*len(wseHandles))
+	}
+
+	// The mid-storm snapshot is complete and restores into a broker that
+	// delivers: all 8 subscriptions, filters and formats intact.
+	if lastSnap == nil {
+		t.Fatal("no snapshot captured")
+	}
+	b2, err := New(Config{
+		Address:        "svc://wsm2",
+		ManagerAddress: "svc://wsm2-subs",
+		Client:         f.lb,
+		Clock:          f.clock.now,
+		SyncDelivery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b2.RestoreSubscriptions(bytes.NewReader(lastSnap))
+	if err != nil {
+		t.Fatalf("restore mid-storm snapshot: %v", err)
+	}
+	if n != 8 || b2.SubscriptionCount() != 8 {
+		t.Fatalf("restored %d subscriptions (count %d), want 8", n, b2.SubscriptionCount())
+	}
+	f.lb.Register("svc://wsm2", b2.FrontHandler())
+	f.lb.Register("svc://wsm2-subs", b2.ManagerHandler())
+
+	wseBefore, wsnBefore := f.wseSink.Count(), f.wsnSink.Count()
+	if err := b2.Publish(grid, event("after-restore")); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.wseSink.Count() - wseBefore; got != 4 {
+		t.Errorf("restored broker delivered %d to WSE sinks, want 4", got)
+	}
+	if got := f.wsnSink.Count() - wsnBefore; got != 4 {
+		t.Errorf("restored broker delivered %d to WSN consumers, want 4", got)
+	}
+	st2 := b2.DispatchStats()
+	if st2.Matched != st2.Delivered+st2.Dropped+st2.Failed+st2.DeadLettered {
+		t.Errorf("conservation violated on restored broker: %+v", st2)
+	}
+}

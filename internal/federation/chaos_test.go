@@ -1,0 +1,191 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/dispatch/faulty"
+	"repro/internal/soap"
+	"repro/internal/transport"
+)
+
+// faultyHandler fails inbound SOAP deliveries on a deterministic schedule
+// (an Injector evaluated before the wrapped handler runs), so both
+// subscriber sinks and peer-ingest endpoints can misbehave the way real
+// consumers do. A failed attempt never reaches the inner handler, which is
+// what makes retry safe for the ingest: dedup state only advances on
+// attempts that actually processed the message.
+type faultyHandler struct {
+	inj   *faulty.Injector
+	inner transport.Handler
+}
+
+func newFaultyHandler(script faulty.Script, inner transport.Handler) *faultyHandler {
+	return &faultyHandler{inj: faulty.New(script, nil), inner: inner}
+}
+
+func (f *faultyHandler) ServeSOAP(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	if err := f.inj.DeliverCtx(ctx, nil); err != nil {
+		return nil, err
+	}
+	return f.inner.ServeSOAP(ctx, env)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChainChaosExactlyOnce is the federation chaos test: a 3-broker
+// chain running the real queued delivery pipeline with retry/backoff,
+// where every subscriber sink AND every peer-ingest endpoint fails about
+// 30% of delivery attempts (faulty.Script{FailEvery: 3}). Exactly-once
+// still must hold at every broker — retries must not duplicate relayed
+// messages (dedup only advances on processed attempts) and no relay may
+// loop. Run under -race this also exercises the dedup LRU and link map
+// concurrently from three brokers' worker pools.
+func TestChainChaosExactlyOnce(t *testing.T) {
+	lb := transport.NewLoopback()
+	chaos := faulty.Script{FailEvery: 3} // ~33% of attempts fail
+
+	reliable := func(c *core.Config) {
+		c.SyncDelivery = false
+		c.Retry = &dispatch.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+		c.FailureLimit = 1000 // chaos must not evict anyone
+	}
+	a := newNode(t, lb, "a", reliable, nil)
+	b := newNode(t, lb, "b", reliable, nil)
+	c := newNode(t, lb, "c", reliable, nil)
+	nodes := []*node{a, b, c}
+
+	// Swap every sink and every peer ingest for a fault-injected wrapper.
+	// Loopback.Register replaces in place, so the subscriptions created by
+	// newNode now deliver into the faulty path.
+	for _, n := range nodes {
+		lb.Register("svc://"+n.id+"-sink", newFaultyHandler(chaos, n.sink))
+		lb.Register("svc://"+n.id+"-peer", newFaultyHandler(chaos, n.peering.IngestHandler()))
+	}
+	peer(t, a, b)
+	peer(t, b, a)
+	peer(t, b, c)
+	peer(t, c, b)
+
+	const perBroker = 20
+	var vals []string
+	for _, n := range nodes {
+		for j := 0; j < perBroker; j++ {
+			v := fmt.Sprintf("%s-%d", n.id, j)
+			vals = append(vals, v)
+			if err := n.broker.Publish(gridTopic, event(v)); err != nil {
+				t.Fatalf("publish at %s: %v", n.id, err)
+			}
+		}
+	}
+
+	complete := func() bool {
+		for _, n := range nodes {
+			got := n.sink.counts()
+			for _, v := range vals {
+				if got[v] < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	waitFor(t, 30*time.Second, complete, "every sink to receive every event")
+
+	// Quiesce all pipelines, then assert the strict form: exactly once,
+	// nowhere more.
+	for _, n := range nodes {
+		n.broker.Flush()
+	}
+	time.Sleep(50 * time.Millisecond)
+	assertExactlyOnce(t, nodes, vals)
+
+	// Zero relay loops: nothing may travel further than the chain is long.
+	for _, n := range nodes {
+		for _, d := range n.sink.deliveries() {
+			if d.relay != nil && d.relay.Hops > 2 {
+				t.Errorf("broker %s: delivery %q crossed %d links in a 3-chain — a loop", n.id, d.val, d.relay.Hops)
+			}
+		}
+	}
+
+	// The chaos was real: the injectors must have failed a comparable
+	// share of attempts (sanity check that the test tested something).
+	for _, n := range nodes {
+		if fails := n.broker.DispatchStats().Retries; fails == 0 {
+			t.Errorf("broker %s: no retries recorded — fault injection did not engage", n.id)
+		}
+	}
+}
+
+// TestMeshChaosExactlyOnce runs the same fault storm over a full 3-mesh —
+// the topology where every event has redundant inbound paths, so dedup
+// (not just topology) is what stands between retries and duplicates.
+func TestMeshChaosExactlyOnce(t *testing.T) {
+	lb := transport.NewLoopback()
+	chaos := faulty.Script{FailEvery: 3}
+	reliable := func(c *core.Config) {
+		c.SyncDelivery = false
+		c.Retry = &dispatch.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+		c.FailureLimit = 1000
+	}
+	nodes := []*node{
+		newNode(t, lb, "a", reliable, nil),
+		newNode(t, lb, "b", reliable, nil),
+		newNode(t, lb, "c", reliable, nil),
+	}
+	for _, n := range nodes {
+		lb.Register("svc://"+n.id+"-sink", newFaultyHandler(chaos, n.sink))
+		lb.Register("svc://"+n.id+"-peer", newFaultyHandler(chaos, n.peering.IngestHandler()))
+	}
+	for _, x := range nodes {
+		for _, y := range nodes {
+			if x != y {
+				peer(t, x, y)
+			}
+		}
+	}
+
+	const perBroker = 20
+	var vals []string
+	for _, n := range nodes {
+		for j := 0; j < perBroker; j++ {
+			v := fmt.Sprintf("%s-%d", n.id, j)
+			vals = append(vals, v)
+			if err := n.broker.Publish(gridTopic, event(v)); err != nil {
+				t.Fatalf("publish at %s: %v", n.id, err)
+			}
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, n := range nodes {
+			got := n.sink.counts()
+			for _, v := range vals {
+				if got[v] < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, "every sink to receive every event")
+	for _, n := range nodes {
+		n.broker.Flush()
+	}
+	time.Sleep(50 * time.Millisecond)
+	assertExactlyOnce(t, nodes, vals)
+}

@@ -1,0 +1,386 @@
+// Package federation peers WS-Messenger brokers into a federated event
+// fabric — the horizontal-scaling step the paper's broker architecture
+// (§VII) points at and WS-BrokeredNotification makes possible: a
+// NotificationBroker is itself a NotificationConsumer, so a broker can
+// subscribe to another broker and republish what it receives.
+//
+// A peer link is an ordinary WS-Notification 1.3 subscription issued at
+// the remote broker's front door (wsbrk.PeerSubscribe) whose consumer is
+// the local Peering's ingest endpoint. That choice buys federation the
+// whole existing delivery stack for free: relayed notifications ride the
+// remote broker's sharded dispatch, retry/backoff, circuit breaker, DLQ
+// and render-template cache exactly like any other subscriber's — the
+// wsmf:Relay header is constant across one publish's fan-out, so it bakes
+// into the shared template without splitting render keys.
+//
+// Loop suppression is layered, because any broker graph (chain, star,
+// mesh, accidental cycle) must deliver each event exactly once per local
+// subscriber:
+//
+//  1. origin suppression — a relay whose Origin is this broker is the
+//     broker's own publish echoed back around a cycle; dropped.
+//  2. dedup — a bounded LRU keyed (origin broker, origin message id)
+//     drops re-arrivals over redundant mesh paths.
+//  3. hop cap — relays that have crossed MaxHops links are dropped even
+//     when dedup state has been evicted; the backstop that makes cyclic
+//     topologies safe under any memory bound.
+package federation
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mediation"
+	"repro/internal/obs"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsbrk"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// DefaultMaxHops bounds how many broker-to-broker links a notification may
+// traverse. Eight covers any sane federation diameter; the cap exists for
+// cycles, not for legitimate paths.
+const DefaultMaxHops = 8
+
+// DefaultDedupCap bounds the (origin, message id) LRU.
+const DefaultDedupCap = 4096
+
+// Config wires a Peering to its local broker.
+type Config struct {
+	// Broker is the local broker; it must carry a BrokerID (the federation
+	// identity relays are stamped with).
+	Broker *core.Broker
+	// Client issues peer subscriptions at remote brokers.
+	Client transport.Client
+	// IngestAddress is the externally reachable address of this Peering's
+	// ingest endpoint — the consumer address peer subscriptions carry.
+	IngestAddress string
+	// MaxHops caps relay traversal (default DefaultMaxHops).
+	MaxHops int
+	// DedupCap bounds the dedup LRU (default DefaultDedupCap).
+	DedupCap int
+	// DisableDedup turns layers 1–2 of loop suppression off, leaving only
+	// the hop cap — the ablation knob the cycle-topology test uses to
+	// prove the backstop bounds a loop on its own. Never set in production.
+	DisableDedup bool
+	// Clock is injectable for tests.
+	Clock func() time.Time
+	// Obs registers wsm_peer_* metrics (nil disables).
+	Obs *obs.Recorder
+}
+
+// Link is one established peer relationship: the remote broker's front
+// door plus the subscriptions held there.
+type Link struct {
+	// Remote is the peer broker's front-door address.
+	Remote string
+	// Topics are the subscribed topic sets (empty = everything).
+	Topics []topics.Path
+	// handles are the remote subscriptions, one per topic (one total when
+	// Topics is empty).
+	handles []*wsnt.Handle
+}
+
+// Expires reports the earliest termination time among the link's
+// subscriptions (zero when none expires).
+func (l *Link) Expires() time.Time {
+	var min time.Time
+	for _, h := range l.handles {
+		if h.TerminationTime.IsZero() {
+			continue
+		}
+		if min.IsZero() || h.TerminationTime.Before(min) {
+			min = h.TerminationTime
+		}
+	}
+	return min
+}
+
+// Peering federates one local broker with its peers.
+type Peering struct {
+	cfg Config
+
+	mu    sync.Mutex
+	links map[string]*Link
+	seen  *lruSet
+
+	// ingest outcome counters, one series per result (nil without Obs).
+	relayed, adopted, selfDrops, dupDrops, hopDrops, malformed *obs.Counter
+}
+
+// New builds a Peering over a federated broker.
+func New(cfg Config) (*Peering, error) {
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("federation: Config.Broker is required")
+	}
+	if cfg.Broker.BrokerID() == "" {
+		return nil, fmt.Errorf("federation: broker has no BrokerID; set core.Config.BrokerID before peering")
+	}
+	if cfg.IngestAddress == "" {
+		return nil, fmt.Errorf("federation: Config.IngestAddress is required")
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
+	}
+	if cfg.DedupCap <= 0 {
+		cfg.DedupCap = DefaultDedupCap
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	p := &Peering{cfg: cfg, links: map[string]*Link{}, seen: newLRUSet(cfg.DedupCap)}
+	if rec := cfg.Obs; rec != nil {
+		reg := rec.Registry()
+		mk := func(result string) *obs.Counter {
+			return reg.Counter("wsm_peer_ingest_total",
+				"Notifications arriving on peer links, by ingest outcome.",
+				obs.L("component", rec.Component()), obs.L("result", result))
+		}
+		p.relayed = mk("relayed")
+		p.adopted = mk("adopted")
+		p.selfDrops = mk("self_echo")
+		p.dupDrops = mk("duplicate")
+		p.hopDrops = mk("hop_capped")
+		p.malformed = mk("malformed")
+		reg.GaugeFunc("wsm_peer_links",
+			"Established peer links.",
+			func() float64 { return float64(p.LinkCount()) },
+			obs.L("component", rec.Component()))
+		reg.GaugeFunc("wsm_peer_dedup_entries",
+			"Entries held in the federation dedup LRU.",
+			func() float64 { return float64(p.seen.Len()) },
+			obs.L("component", rec.Component()))
+	}
+	return p, nil
+}
+
+// BrokerID returns the local federation identity.
+func (p *Peering) BrokerID() string { return p.cfg.Broker.BrokerID() }
+
+// LinkCount reports established peer links.
+func (p *Peering) LinkCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links)
+}
+
+// Links snapshots the established peer links, sorted by remote address.
+func (p *Peering) Links() []*Link {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Link, 0, len(p.links))
+	for _, l := range p.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out
+}
+
+// Peer subscribes this broker at a remote broker's front door for the
+// given topic sets (all topics when none given). Re-peering an address
+// that already has a link is an error; Unpeer first.
+func (p *Peering) Peer(ctx context.Context, remote string, topicSet ...topics.Path) (*Link, error) {
+	p.mu.Lock()
+	if _, ok := p.links[remote]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("federation: already peered with %s", remote)
+	}
+	p.mu.Unlock()
+
+	link := &Link{Remote: remote, Topics: topicSet}
+	subscribe := func(tp *topics.Path) error {
+		h, err := wsbrk.PeerSubscribe(ctx, p.cfg.Client, remote, p.cfg.IngestAddress, tp)
+		if err != nil {
+			return err
+		}
+		link.handles = append(link.handles, h)
+		return nil
+	}
+	var err error
+	if len(topicSet) == 0 {
+		err = subscribe(nil)
+	} else {
+		for i := range topicSet {
+			if err = subscribe(&topicSet[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		// Partial failure: release whatever was already subscribed so the
+		// remote does not keep delivering to a link we never established.
+		for _, h := range link.handles {
+			_ = wsbrk.PeerUnsubscribe(ctx, p.cfg.Client, h)
+		}
+		return nil, fmt.Errorf("federation: peer %s: %w", remote, err)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.links[remote]; ok {
+		// Lost a concurrent Peer race; back out ours.
+		for _, h := range link.handles {
+			_ = wsbrk.PeerUnsubscribe(context.Background(), p.cfg.Client, h)
+		}
+		return nil, fmt.Errorf("federation: already peered with %s", remote)
+	}
+	p.links[remote] = link
+	return link, nil
+}
+
+// Unpeer tears down the link to a remote broker, unsubscribing at the
+// remote. Unknown remotes are a no-op.
+func (p *Peering) Unpeer(ctx context.Context, remote string) error {
+	p.mu.Lock()
+	link, ok := p.links[remote]
+	delete(p.links, remote)
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	var first error
+	for _, h := range link.handles {
+		if err := wsbrk.PeerUnsubscribe(ctx, p.cfg.Client, h); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// IngestHandler serves the peer-ingest endpoint: WSN 1.3 Notify deliveries
+// from remote brokers' fan-outs. It is the only endpoint that honors
+// inbound wsmf:Relay headers — the broker's front door deliberately
+// ignores them so publishers cannot forge dedup state.
+func (p *Peering) IngestHandler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		body := env.FirstBody()
+		if body == nil || body.Name.Local != "Notify" {
+			return nil, soap.Faultf(soap.FaultSender, "federation: peer ingest accepts only Notify")
+		}
+		relay, present, err := mediation.ParseRelay(env)
+		if err != nil {
+			// A damaged relay must not be adopted as a fresh publish: its
+			// duplicates would each be re-stamped with distinct identities
+			// and multiply. Count and drop.
+			inc(p.malformed)
+			return nil, nil
+		}
+		msgs, _, err := wsnt.ParseNotify(body)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultSender, "federation: %v", err)
+		}
+		for _, m := range msgs {
+			if m.Payload == nil {
+				continue
+			}
+			if !present {
+				// A peer without federation identity (or a plain producer
+				// pointed at the ingest): adopt the message as a local
+				// publish, stamping this broker's own provenance.
+				inc(p.adopted)
+				_ = p.cfg.Broker.Publish(m.Topic, m.Payload)
+				continue
+			}
+			p.ingest(relay, m.Topic, m.Payload)
+		}
+		return nil, nil
+	})
+}
+
+// ingest applies the three suppression layers to one relayed notification
+// and republishes the survivors locally with the hop count advanced.
+func (p *Peering) ingest(r *mediation.Relay, topic topics.Path, payload *xmldom.Element) {
+	if !p.cfg.DisableDedup {
+		if r.Origin == p.BrokerID() {
+			inc(p.selfDrops)
+			return
+		}
+		if !p.seen.Add(r.Origin + "\x00" + r.ID) {
+			inc(p.dupDrops)
+			return
+		}
+	}
+	hops := r.Hops + 1
+	if hops > p.cfg.MaxHops {
+		inc(p.hopDrops)
+		return
+	}
+	inc(p.relayed)
+	_ = p.cfg.Broker.PublishRelayed(topic, payload,
+		&mediation.Relay{Origin: r.Origin, ID: r.ID, Hops: hops})
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// HealthChecks returns a check function for obs.HealthHandler: the peering
+// is degraded when any link's remote subscription has lapsed (the remote
+// stopped delivering and nothing will re-establish it).
+func (p *Peering) HealthChecks() func() []obs.HealthCheck {
+	return func() []obs.HealthCheck {
+		now := p.cfg.Clock()
+		lapsed := 0
+		links := p.Links()
+		for _, l := range links {
+			if exp := l.Expires(); !exp.IsZero() && exp.Before(now) {
+				lapsed++
+			}
+		}
+		return []obs.HealthCheck{{
+			Name:   "peers",
+			OK:     lapsed == 0,
+			Detail: fmt.Sprintf("%d links, %d lapsed", len(links), lapsed),
+		}}
+	}
+}
+
+// lruSet is a bounded set with least-recently-seen eviction: Add reports
+// whether the key was new, refreshing recency either way. The bound makes
+// dedup state O(cap) regardless of traffic; the hop cap covers the
+// (pathological) case of a loop longer than the eviction horizon.
+type lruSet struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	index map[string]*list.Element
+}
+
+func newLRUSet(cap int) *lruSet {
+	return &lruSet{cap: cap, order: list.New(), index: map[string]*list.Element{}}
+}
+
+// Add inserts the key, evicting the least recently seen entry when full.
+// It returns false when the key was already present (refreshing it).
+func (s *lruSet) Add(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.order.MoveToFront(el)
+		return false
+	}
+	s.index[key] = s.order.PushFront(key)
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.index, oldest.Value.(string))
+	}
+	return true
+}
+
+// Len reports current entries.
+func (s *lruSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

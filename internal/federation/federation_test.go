@@ -1,0 +1,565 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mediation"
+	"repro/internal/obs"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+var gridTopic = topics.Path{Namespace: "urn:grid", Segments: []string{"grid"}}
+
+// event builds a distinguishable payload.
+func event(v string) *xmldom.Element {
+	ev := xmldom.NewElement(xmldom.N("urn:grid", "ev"))
+	ev.Append(xmldom.Elem("urn:grid", "val", v))
+	return ev
+}
+
+// sink is a WSN 1.3 notification consumer that records every delivered
+// value together with its relay provenance.
+type sink struct {
+	mu  sync.Mutex
+	got []delivery
+}
+
+type delivery struct {
+	val   string
+	relay *mediation.Relay // nil when the envelope carried no header
+}
+
+func (s *sink) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	body := env.FirstBody()
+	if body == nil {
+		return nil, fmt.Errorf("sink: empty body")
+	}
+	var relay *mediation.Relay
+	if r, ok, err := mediation.ParseRelay(env); err == nil && ok {
+		relay = r
+	}
+	msgs, _, err := wsnt.ParseNotify(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range msgs {
+		if m.Payload == nil {
+			continue
+		}
+		s.got = append(s.got, delivery{
+			val:   m.Payload.ChildText(xmldom.N("urn:grid", "val")),
+			relay: relay,
+		})
+	}
+	return nil, nil
+}
+
+// counts tallies deliveries per value.
+func (s *sink) counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, d := range s.got {
+		out[d.val]++
+	}
+	return out
+}
+
+func (s *sink) deliveries() []delivery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]delivery(nil), s.got...)
+}
+
+// node is one federated broker on the loopback fabric: broker, peering,
+// one local subscriber sink.
+type node struct {
+	id      string
+	broker  *core.Broker
+	peering *Peering
+	sink    *sink
+}
+
+// newNode builds a broker named id with its peering and one local
+// subscriber on gridTopic. mod tweaks the broker config; pmod the peering
+// config.
+func newNode(t *testing.T, lb *transport.Loopback, id string, mod func(*core.Config), pmod func(*Config)) *node {
+	t.Helper()
+	cfg := core.Config{
+		Address:        "svc://" + id,
+		ManagerAddress: "svc://" + id + "-manage",
+		Client:         lb,
+		SyncDelivery:   true,
+		BrokerID:       id,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	b, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("core.New(%s): %v", id, err)
+	}
+	t.Cleanup(b.Shutdown)
+	lb.Register("svc://"+id, b.FrontHandler())
+	lb.Register("svc://"+id+"-manage", b.ManagerHandler())
+
+	pcfg := Config{Broker: b, Client: lb, IngestAddress: "svc://" + id + "-peer"}
+	if pmod != nil {
+		pmod(&pcfg)
+	}
+	p, err := New(pcfg)
+	if err != nil {
+		t.Fatalf("federation.New(%s): %v", id, err)
+	}
+	lb.Register("svc://"+id+"-peer", p.IngestHandler())
+
+	n := &node{id: id, broker: b, peering: p, sink: &sink{}}
+	lb.Register("svc://"+id+"-sink", n.sink)
+	subscribeSink(t, lb, "svc://"+id, "svc://"+id+"-sink")
+	return n
+}
+
+// subscribeSink creates a WSN 1.3 subscription for gridTopic at a broker's
+// front door.
+func subscribeSink(t *testing.T, client transport.Client, front, consumer string) *wsnt.Handle {
+	t.Helper()
+	sub := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	h, err := sub.Subscribe(context.Background(), front, &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, consumer),
+		TopicExpression:   "tns:grid",
+		TopicDialect:      topics.DialectConcrete,
+		TopicNS:           map[string]string{"tns": "urn:grid"},
+	})
+	if err != nil {
+		t.Fatalf("subscribe %s -> %s: %v", front, consumer, err)
+	}
+	return h
+}
+
+// peer establishes a directed link: local subscribes at remote, so events
+// published at remote flow to local.
+func peer(t *testing.T, local, remote *node) {
+	t.Helper()
+	if _, err := local.peering.Peer(context.Background(), "svc://"+remote.id, gridTopic); err != nil {
+		t.Fatalf("peer %s -> %s: %v", local.id, remote.id, err)
+	}
+}
+
+// assertExactlyOnce checks that every sink saw every value exactly once.
+func assertExactlyOnce(t *testing.T, nodes []*node, vals []string) {
+	t.Helper()
+	for _, n := range nodes {
+		got := n.sink.counts()
+		for _, v := range vals {
+			if got[v] != 1 {
+				t.Errorf("broker %s: value %q delivered %d times, want exactly 1", n.id, v, got[v])
+			}
+		}
+		if len(got) != len(vals) {
+			t.Errorf("broker %s: saw %d distinct values, want %d (%v)", n.id, len(got), len(vals), got)
+		}
+	}
+}
+
+// TestChainExactlyOnce peers three brokers in a chain (A ⇄ B ⇄ C) and
+// publishes at every position: each broker's local subscriber must see
+// each event exactly once, and relay provenance must survive both hops.
+func TestChainExactlyOnce(t *testing.T) {
+	lb := transport.NewLoopback()
+	a := newNode(t, lb, "a", nil, nil)
+	b := newNode(t, lb, "b", nil, nil)
+	c := newNode(t, lb, "c", nil, nil)
+	// Chain: each adjacent pair peers both ways.
+	peer(t, a, b)
+	peer(t, b, a)
+	peer(t, b, c)
+	peer(t, c, b)
+
+	var vals []string
+	for i, n := range []*node{a, b, c} {
+		for j := 0; j < 5; j++ {
+			v := fmt.Sprintf("%s-%d", n.id, j)
+			vals = append(vals, v)
+			if err := n.broker.Publish(gridTopic, event(v)); err != nil {
+				t.Fatalf("publish %d at %s: %v", i, n.id, err)
+			}
+		}
+	}
+	assertExactlyOnce(t, []*node{a, b, c}, vals)
+
+	// Relay provenance: an event published at a arrives at c's sink having
+	// crossed two links, still naming a as its origin.
+	for _, d := range c.sink.deliveries() {
+		if !strings.HasPrefix(d.val, "a-") {
+			continue
+		}
+		if d.relay == nil {
+			t.Fatalf("c sink: delivery %q lost its relay header", d.val)
+		}
+		if d.relay.Origin != "a" || d.relay.Hops != 2 {
+			t.Errorf("c sink: delivery %q relay = {%s %d}, want origin a, hops 2",
+				d.val, d.relay.Origin, d.relay.Hops)
+		}
+	}
+}
+
+// TestMeshExactlyOnce peers three brokers in a full mesh — the topology
+// with redundant paths, where dedup and origin suppression must both fire
+// — and asserts exactly-once delivery everywhere.
+func TestMeshExactlyOnce(t *testing.T) {
+	lb := transport.NewLoopback()
+	nodes := []*node{
+		newNode(t, lb, "a", nil, nil),
+		newNode(t, lb, "b", nil, nil),
+		newNode(t, lb, "c", nil, nil),
+	}
+	for _, x := range nodes {
+		for _, y := range nodes {
+			if x != y {
+				peer(t, x, y)
+			}
+		}
+	}
+
+	var vals []string
+	for _, n := range nodes {
+		for j := 0; j < 10; j++ {
+			v := fmt.Sprintf("%s-%d", n.id, j)
+			vals = append(vals, v)
+			if err := n.broker.Publish(gridTopic, event(v)); err != nil {
+				t.Fatalf("publish at %s: %v", n.id, err)
+			}
+		}
+	}
+	assertExactlyOnce(t, nodes, vals)
+}
+
+// TestStarExactlyOnce routes every leaf through a hub broker.
+func TestStarExactlyOnce(t *testing.T) {
+	lb := transport.NewLoopback()
+	hub := newNode(t, lb, "hub", nil, nil)
+	leaves := []*node{
+		newNode(t, lb, "l1", nil, nil),
+		newNode(t, lb, "l2", nil, nil),
+		newNode(t, lb, "l3", nil, nil),
+	}
+	for _, l := range leaves {
+		peer(t, l, hub)
+		peer(t, hub, l)
+	}
+
+	var vals []string
+	for _, n := range append([]*node{hub}, leaves...) {
+		v := n.id + "-ev"
+		vals = append(vals, v)
+		if err := n.broker.Publish(gridTopic, event(v)); err != nil {
+			t.Fatalf("publish at %s: %v", n.id, err)
+		}
+	}
+	assertExactlyOnce(t, append([]*node{hub}, leaves...), vals)
+}
+
+// TestHopCapBoundsCycle disables dedup on a directed 3-cycle so the only
+// surviving suppression layer is the hop cap, and proves it alone bounds
+// the loop: with MaxHops=5 one publish circulates exactly until the cap,
+// so every sink sees the event exactly twice and traffic stops.
+func TestHopCapBoundsCycle(t *testing.T) {
+	lb := transport.NewLoopback()
+	disable := func(c *Config) { c.DisableDedup = true; c.MaxHops = 5 }
+	a := newNode(t, lb, "a", nil, disable)
+	b := newNode(t, lb, "b", nil, disable)
+	c := newNode(t, lb, "c", nil, disable)
+	// Directed cycle: a's publishes flow to b, b's to c, c's to a.
+	peer(t, b, a)
+	peer(t, c, b)
+	peer(t, a, c)
+
+	if err := a.broker.Publish(gridTopic, event("x")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	// hops 0 (origin fan-out at a), then 1..5 accepted around the cycle,
+	// 6 dropped: two deliveries per sink, then silence.
+	for _, n := range []*node{a, b, c} {
+		if got := n.sink.counts()["x"]; got != 2 {
+			t.Errorf("broker %s: %d deliveries, want exactly 2 (hop cap must bound the loop)", n.id, got)
+		}
+	}
+	// The loop is dead: a second event must behave identically, not
+	// compound with residual traffic.
+	if err := a.broker.Publish(gridTopic, event("y")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if got := c.sink.counts()["y"]; got != 2 {
+		t.Errorf("second event delivered %d times at c, want 2", got)
+	}
+}
+
+// TestIngestAdoptsBareNotify sends a Notify with no relay header at the
+// ingest: the message is adopted as a local publish with this broker's
+// own provenance stamped.
+func TestIngestAdoptsBareNotify(t *testing.T) {
+	lb := transport.NewLoopback()
+	n := newNode(t, lb, "solo", nil, nil)
+
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://solo-peer", Action: wsnt.V1_3.ActionNotify()}
+	h.Apply(env)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{{Topic: gridTopic, Payload: event("bare")}}))
+	if err := lb.Send(context.Background(), "svc://solo-peer", env); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	ds := n.sink.deliveries()
+	if len(ds) != 1 || ds[0].val != "bare" {
+		t.Fatalf("deliveries = %+v, want one %q", ds, "bare")
+	}
+	if ds[0].relay == nil || ds[0].relay.Origin != "solo" || ds[0].relay.Hops != 0 {
+		t.Errorf("adopted notify relay = %+v, want fresh local provenance {solo, hops 0}", ds[0].relay)
+	}
+}
+
+// TestIngestDropsMalformedRelay: a damaged relay header must not be
+// adopted as a fresh publish (its duplicates would multiply under new
+// identities) — the message is counted and dropped.
+func TestIngestDropsMalformedRelay(t *testing.T) {
+	lb := transport.NewLoopback()
+	n := newNode(t, lb, "solo", nil, nil)
+
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://solo-peer", Action: wsnt.V1_3.ActionNotify()}
+	h.Apply(env)
+	bad := xmldom.NewElement(mediation.RelayHeaderName)
+	bad.Append(xmldom.Elem(mediation.RelayNS, "Origin", "evil")) // no Id
+	env.AddHeader(bad)
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{{Topic: gridTopic, Payload: event("bad")}}))
+	if err := lb.Send(context.Background(), "svc://solo-peer", env); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if ds := n.sink.deliveries(); len(ds) != 0 {
+		t.Fatalf("malformed relay was delivered: %+v", ds)
+	}
+}
+
+// TestFrontDoorIgnoresForgedRelay: publishing through the front door with
+// a forged relay header must not poison dedup — the broker stamps its own
+// fresh provenance instead of honoring the forgery.
+func TestFrontDoorIgnoresForgedRelay(t *testing.T) {
+	lb := transport.NewLoopback()
+	n := newNode(t, lb, "solo", nil, nil)
+
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://solo", Action: wsnt.V1_3.ActionNotify()}
+	h.Apply(env)
+	forged := &mediation.Relay{Origin: "forger", ID: "urn:uuid:x", Hops: 99}
+	env.AddHeader(forged.Element())
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{{Topic: gridTopic, Payload: event("forged")}}))
+	if err := lb.Send(context.Background(), "svc://solo", env); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	ds := n.sink.deliveries()
+	if len(ds) != 1 {
+		t.Fatalf("deliveries = %+v, want 1", ds)
+	}
+	if ds[0].relay == nil || ds[0].relay.Origin != "solo" || ds[0].relay.Hops != 0 {
+		t.Errorf("front-door publish carried relay %+v, want fresh {solo, 0}", ds[0].relay)
+	}
+}
+
+// TestUnpeerStopsFlow tears a link down and checks the remote's publishes
+// stop arriving.
+func TestUnpeerStopsFlow(t *testing.T) {
+	lb := transport.NewLoopback()
+	a := newNode(t, lb, "a", nil, nil)
+	b := newNode(t, lb, "b", nil, nil)
+	peer(t, b, a) // b subscribes at a
+
+	if err := a.broker.Publish(gridTopic, event("before")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.sink.counts()["before"]; got != 1 {
+		t.Fatalf("before unpeer: %d deliveries at b, want 1", got)
+	}
+	if err := b.peering.Unpeer(context.Background(), "svc://a"); err != nil {
+		t.Fatalf("unpeer: %v", err)
+	}
+	if n := b.peering.LinkCount(); n != 0 {
+		t.Fatalf("LinkCount after unpeer = %d, want 0", n)
+	}
+	if err := a.broker.Publish(gridTopic, event("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.sink.counts()["after"]; got != 0 {
+		t.Errorf("after unpeer: %d deliveries at b, want 0", got)
+	}
+}
+
+// TestPeerOverHTTP runs the whole peer path — subscription, fan-out,
+// ingest, republish — over real HTTP servers, not the loopback.
+func TestPeerOverHTTP(t *testing.T) {
+	client := &transport.HTTPClient{}
+	newHTTPBroker := func(id string) (*core.Broker, *Peering, *sink, *httptest.Server) {
+		mux := http.NewServeMux()
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		base := srv.URL
+		b, err := core.New(core.Config{
+			Address:        base + "/",
+			ManagerAddress: base + "/manage",
+			Client:         client,
+			SyncDelivery:   true,
+			BrokerID:       id,
+		})
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		t.Cleanup(b.Shutdown)
+		p, err := New(Config{Broker: b, Client: client, IngestAddress: base + "/peer"})
+		if err != nil {
+			t.Fatalf("federation.New: %v", err)
+		}
+		s := &sink{}
+		mux.Handle("/manage", transport.NewHTTPHandler(b.ManagerHandler()))
+		mux.Handle("/peer", transport.NewHTTPHandler(p.IngestHandler()))
+		mux.Handle("/sink", transport.NewHTTPHandler(s))
+		mux.Handle("/", transport.NewHTTPHandler(b.FrontHandler()))
+		return b, p, s, srv
+	}
+
+	brokerA, _, sinkA, srvA := newHTTPBroker("a")
+	_, peeringB, sinkB, srvB := newHTTPBroker("b")
+
+	subscribeSink(t, client, srvA.URL+"/", srvA.URL+"/sink")
+	subscribeSink(t, client, srvB.URL+"/", srvB.URL+"/sink")
+	if _, err := peeringB.Peer(context.Background(), srvA.URL+"/", gridTopic); err != nil {
+		t.Fatalf("peer over http: %v", err)
+	}
+
+	if err := brokerA.Publish(gridTopic, event("http-ev")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if got := sinkA.counts()["http-ev"]; got != 1 {
+		t.Errorf("sink a: %d deliveries, want 1", got)
+	}
+	if got := sinkB.counts()["http-ev"]; got != 1 {
+		t.Errorf("sink b (via peer link): %d deliveries, want 1", got)
+	}
+	ds := sinkB.deliveries()
+	if len(ds) == 1 && (ds[0].relay == nil || ds[0].relay.Origin != "a" || ds[0].relay.Hops != 1) {
+		t.Errorf("relay over http = %+v, want {a, hops 1}", ds[0].relay)
+	}
+}
+
+// TestPeerMetricsAndHealth wires a peering to a recorder and checks the
+// wsm_peer_* series and the /healthz composition.
+func TestPeerMetricsAndHealth(t *testing.T) {
+	lb := transport.NewLoopback()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "fedtest")
+	a := newNode(t, lb, "a", nil, nil)
+	b := newNode(t, lb, "b", func(c *core.Config) { c.Obs = rec }, func(c *Config) { c.Obs = rec })
+	peer(t, b, a)
+
+	if err := a.broker.Publish(gridTopic, event("m1")); err != nil {
+		t.Fatal(err)
+	}
+	// Same event again via a fresh publish gets fresh provenance, so to
+	// exercise the duplicate counter, replay the identical relay directly.
+	env := soap.New(soap.V11)
+	h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://b-peer", Action: wsnt.V1_3.ActionNotify()}
+	h.Apply(env)
+	rel := &mediation.Relay{Origin: "a", ID: "urn:uuid:fixed", Hops: 0}
+	env.AddHeader(rel.Element())
+	env.AddBody(wsnt.NotifyElement(wsnt.V1_3, []*wsnt.NotificationMessage{{Topic: gridTopic, Payload: event("dup")}}))
+	for i := 0; i < 2; i++ {
+		if err := lb.Send(context.Background(), "svc://b-peer", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`wsm_peer_links{component="fedtest"} 1`,
+		`wsm_peer_ingest_total{component="fedtest",result="relayed"} 2`,
+		`wsm_peer_ingest_total{component="fedtest",result="duplicate"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q\n%s", want, text)
+		}
+	}
+
+	checks := obs.CombineChecks(b.broker.HealthChecks(0), b.peering.HealthChecks())()
+	names := map[string]bool{}
+	allOK := true
+	for _, c := range checks {
+		names[c.Name] = true
+		allOK = allOK && c.OK
+	}
+	if !names["breakers"] || !names["dlq"] || !names["peers"] {
+		t.Errorf("combined checks missing a layer: %+v", checks)
+	}
+	if !allOK {
+		t.Errorf("healthy federation reported degraded: %+v", checks)
+	}
+}
+
+// TestHealthLapsedLink makes a peer subscription expire and checks the
+// peers check flips.
+func TestHealthLapsedLink(t *testing.T) {
+	lb := transport.NewLoopback()
+	now := time.Now()
+	clock := func() time.Time { return now }
+	a := newNode(t, lb, "a", func(c *core.Config) {
+		c.Clock = clock
+		c.DefaultExpiry = time.Minute // peer leases at a expire
+	}, nil)
+	b := newNode(t, lb, "b", nil, func(c *Config) { c.Clock = func() time.Time { return now.Add(2 * time.Minute) } })
+	peer(t, b, a)
+
+	checks := b.peering.HealthChecks()()
+	if len(checks) != 1 || checks[0].OK {
+		t.Fatalf("lapsed peer link not reported: %+v", checks)
+	}
+}
+
+func TestLRUSet(t *testing.T) {
+	s := newLRUSet(3)
+	for _, k := range []string{"a", "b", "c"} {
+		if !s.Add(k) {
+			t.Fatalf("first Add(%q) reported duplicate", k)
+		}
+	}
+	if s.Add("a") {
+		t.Fatal("Add(a) again reported new")
+	}
+	// "a" is now most recent; inserting d evicts b (least recent).
+	if !s.Add("d") {
+		t.Fatal("Add(d) reported duplicate")
+	}
+	if !s.Add("b") {
+		t.Fatal("b should have been evicted and re-addable")
+	}
+	if s.Add("a") {
+		t.Fatal("a should have survived eviction (recency refreshed)")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}

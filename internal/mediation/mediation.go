@@ -225,10 +225,15 @@ func (s *Subscribe) BuildFilter() (filter.All, error) {
 	return fs, nil
 }
 
-// Notification is the canonical event: payload plus optional topic.
+// Notification is the canonical event: payload plus optional topic and,
+// on a federated broker, the relay provenance every delivery carries.
 type Notification struct {
 	Topic   topics.Path
 	Payload *xmldom.Element
+	// Relay, when set, is rendered as the wsmf:Relay SOAP header on every
+	// delivery. It is identical for all subscribers of one publish, so it
+	// becomes part of the shared render template rather than a splice slot.
+	Relay *Relay
 }
 
 // ParseIncoming extracts canonical notifications from a publisher's
@@ -304,6 +309,9 @@ type DeliveryPlan struct {
 // relocated between SOAP body and header as §V.4 item 6 requires.
 func Render(n Notification, consumer *wsa.EndpointReference, plan DeliveryPlan, messageID string) *soap.Envelope {
 	env := soap.New(soap.V11)
+	if n.Relay != nil {
+		env.AddHeader(n.Relay.Element())
+	}
 	switch plan.Dialect.Family {
 	case FamilyWSN:
 		v := plan.Dialect.WSN
@@ -342,7 +350,9 @@ func Render(n Notification, consumer *wsa.EndpointReference, plan DeliveryPlan, 
 
 // RenderWrappedWSE produces one batched envelope for a WSE wrapped-mode
 // subscriber, in the same extension format wse.Source uses (the 8/2004
-// spec names the mode but leaves its format undefined).
+// spec names the mode but leaves its format undefined). Batches may mix
+// messages of different relay provenance, so wrapped envelopes carry no
+// wsmf:Relay header — peer links never subscribe in wrapped mode.
 func RenderWrappedWSE(batch []Notification, consumer *wsa.EndpointReference, plan DeliveryPlan, messageID string) *soap.Envelope {
 	v := plan.Dialect.WSE
 	env := soap.New(soap.V11)

@@ -1,0 +1,90 @@
+package mediation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+// Broker federation rides on a single extension SOAP header, wsmf:Relay,
+// carried by every notification a federated broker fans out. The header
+// names the broker where the message was first published (Origin), the
+// publish's message identifier there (Id) and how many broker-to-broker
+// links the message has traversed so far (Hops). Peer ingest endpoints use
+// it for loop suppression: a relay whose Origin is the receiving broker,
+// or whose (Origin, Id) pair has been seen before, is a loop echo and is
+// dropped; a relay past the hop cap is dropped as the backstop for
+// topologies where dedup state has been evicted. Consumers that are not
+// brokers simply ignore the header, so a federated broker's deliveries
+// stay valid WS-Eventing / WS-Notification messages.
+
+// RelayNS is the federation extension namespace.
+const RelayNS = "urn:ws-messenger:federation"
+
+func init() { xmldom.RegisterPrefix(RelayNS, "wsmf") }
+
+// RelayHeaderName is the SOAP header carrying relay provenance.
+var RelayHeaderName = xmldom.N(RelayNS, "Relay")
+
+// Relay is one notification's federation provenance.
+type Relay struct {
+	// Origin identifies the broker where the message was first published.
+	Origin string
+	// ID is the message's identifier at the origin broker — the dedup key
+	// (together with Origin) for exactly-once federation delivery.
+	ID string
+	// Hops counts broker-to-broker links traversed so far; the origin
+	// broker's own fan-out carries 0.
+	Hops int
+}
+
+// Element renders the relay as its wire header.
+func (r *Relay) Element() *xmldom.Element {
+	el := xmldom.NewElement(RelayHeaderName)
+	el.Append(xmldom.Elem(RelayNS, "Origin", r.Origin))
+	el.Append(xmldom.Elem(RelayNS, "Id", r.ID))
+	el.Append(xmldom.Elem(RelayNS, "Hops", strconv.Itoa(r.Hops)))
+	return el
+}
+
+// ParseRelayElement reads a wsmf:Relay header element.
+func ParseRelayElement(el *xmldom.Element) (*Relay, error) {
+	if el == nil || el.Name != RelayHeaderName {
+		return nil, fmt.Errorf("mediation: not a Relay header")
+	}
+	r := &Relay{
+		Origin: strings.TrimSpace(el.ChildText(xmldom.N(RelayNS, "Origin"))),
+		ID:     strings.TrimSpace(el.ChildText(xmldom.N(RelayNS, "Id"))),
+	}
+	if r.Origin == "" || r.ID == "" {
+		return nil, fmt.Errorf("mediation: Relay header lacks Origin or Id")
+	}
+	hops := strings.TrimSpace(el.ChildText(xmldom.N(RelayNS, "Hops")))
+	if hops != "" {
+		n, err := strconv.Atoi(hops)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("mediation: Relay header has bad Hops %q", hops)
+		}
+		r.Hops = n
+	}
+	return r, nil
+}
+
+// ParseRelay extracts the relay header from an envelope; ok is false when
+// the envelope carries none. A malformed header is reported as an error so
+// ingest endpoints can count it rather than silently treating a damaged
+// relay as a fresh publish (which would defeat dedup).
+func ParseRelay(env *soap.Envelope) (r *Relay, ok bool, err error) {
+	h := env.Header(RelayHeaderName)
+	if h == nil {
+		return nil, false, nil
+	}
+	r, err = ParseRelayElement(h)
+	if err != nil {
+		return nil, true, err
+	}
+	return r, true, nil
+}

@@ -13,6 +13,21 @@ type HealthCheck struct {
 	Detail string // human-readable state, shown either way
 }
 
+// CombineChecks merges several check sources into one, concatenating
+// their results in argument order — how a process composed of layers
+// (broker + federation, say) serves a single /healthz.
+func CombineChecks(fns ...func() []HealthCheck) func() []HealthCheck {
+	return func() []HealthCheck {
+		var out []HealthCheck
+		for _, fn := range fns {
+			if fn != nil {
+				out = append(out, fn()...)
+			}
+		}
+		return out
+	}
+}
+
 // HealthHandler serves a /healthz endpoint: 200 with "ok" when every check
 // passes, 503 with "degraded" when any fails, followed by one line per
 // check either way so operators see which condition flipped.

@@ -1,0 +1,98 @@
+package transport_test
+
+// Federation rides on an extension SOAP header (wsmf:Relay) that the
+// transport layer must carry verbatim over both delivery paths: the
+// loopback's serialise/re-parse round trip and the HTTP client's raw-bytes
+// post. A transport that dropped, reordered into the body, or re-namespaced
+// extension headers would silently break loop suppression, so the
+// guarantee gets its own wire-level test here rather than only an
+// end-to-end one in internal/federation.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/mediation"
+	"repro/internal/soap"
+	"repro/internal/transport"
+	"repro/internal/xmldom"
+)
+
+// headerEcho captures the envelopes a transport delivers.
+type headerEcho struct {
+	got []*soap.Envelope
+}
+
+func (h *headerEcho) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	h.got = append(h.got, env)
+	return nil, nil
+}
+
+func relayEnvelope(t *testing.T) (*soap.Envelope, *mediation.Relay) {
+	t.Helper()
+	env := soap.New(soap.V11)
+	r := &mediation.Relay{Origin: "broker-α", ID: "urn:uuid:wsm-42", Hops: 3}
+	env.AddHeader(r.Element())
+	env.AddBody(xmldom.Elem("urn:test", "ev", "x"))
+	return env, r
+}
+
+func assertRelaySurvived(t *testing.T, path string, envs []*soap.Envelope, want *mediation.Relay) {
+	t.Helper()
+	if len(envs) != 1 {
+		t.Fatalf("%s: %d envelopes delivered, want 1", path, len(envs))
+	}
+	got, ok, err := mediation.ParseRelay(envs[0])
+	if err != nil || !ok {
+		t.Fatalf("%s: relay header lost in transit (ok=%v err=%v)", path, ok, err)
+	}
+	if got.Origin != want.Origin || got.ID != want.ID || got.Hops != want.Hops {
+		t.Errorf("%s: relay = %+v, want %+v", path, got, want)
+	}
+}
+
+// TestRelayHeaderSurvivesLoopbackBytes sends the serialised envelope over
+// the loopback's raw-bytes path, which re-parses it before dispatch —
+// exactly what a cached render template's stamped bytes go through.
+func TestRelayHeaderSurvivesLoopbackBytes(t *testing.T) {
+	lb := transport.NewLoopback()
+	sink := &headerEcho{}
+	lb.Register("svc://sink", sink)
+
+	env, want := relayEnvelope(t)
+	if err := lb.SendBytes(context.Background(), "svc://sink", soap.V11.ContentType(), env.Marshal()); err != nil {
+		t.Fatalf("SendBytes: %v", err)
+	}
+	assertRelaySurvived(t, "loopback bytes", sink.got, want)
+}
+
+// TestRelayHeaderSurvivesHTTPBytes posts the bytes through the real HTTP
+// stack: HTTPClient.SendBytes → net/http → NewHTTPHandler parse.
+func TestRelayHeaderSurvivesHTTPBytes(t *testing.T) {
+	sink := &headerEcho{}
+	srv := httptest.NewServer(transport.NewHTTPHandler(sink))
+	defer srv.Close()
+
+	env, want := relayEnvelope(t)
+	c := &transport.HTTPClient{}
+	if err := c.SendBytes(context.Background(), srv.URL, soap.V11.ContentType(), env.Marshal()); err != nil {
+		t.Fatalf("SendBytes: %v", err)
+	}
+	assertRelaySurvived(t, "http bytes", sink.got, want)
+}
+
+// TestRelayHeaderSurvivesEnvelopeSend covers the non-raw path (Client.Send
+// with a parsed envelope) over HTTP for completeness.
+func TestRelayHeaderSurvivesEnvelopeSend(t *testing.T) {
+	sink := &headerEcho{}
+	srv := httptest.NewServer(transport.NewHTTPHandler(sink))
+	defer srv.Close()
+
+	env, want := relayEnvelope(t)
+	c := &transport.HTTPClient{}
+	if err := c.Send(context.Background(), srv.URL, env); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	assertRelaySurvived(t, "http envelope", sink.got, want)
+}

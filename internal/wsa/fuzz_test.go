@@ -1,0 +1,77 @@
+package wsa
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+// FuzzEPRRoundTrip drives ParseEPR with arbitrary XML and asserts the
+// stability property subscriptions depend on: any endpoint reference the
+// parser accepts must survive render → re-parse with its address, detected
+// WS-Addressing version and identity parameters intact. Subscription
+// manager EPRs are persisted and echoed across renew/unsubscribe calls, so
+// a lossy round trip would orphan live subscriptions.
+func FuzzEPRRoundTrip(f *testing.F) {
+	// Seed with the probe envelopes — real subscribe bodies are dense in
+	// EPR elements (NotifyTo, ConsumerReference, EndTo) for the fuzzer to
+	// mutate toward — plus handcrafted EPRs of each version.
+	paths, err := filepath.Glob(filepath.Join("..", "probes", "testdata", "*.xml"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no seed envelopes found: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`<r xmlns:a="http://schemas.xmlsoap.org/ws/2004/08/addressing"><a:Address>http://x/y</a:Address><a:ReferenceParameters><id xmlns="urn:z">7</id></a:ReferenceParameters></r>`)
+	f.Add(`<r xmlns:a="http://schemas.xmlsoap.org/ws/2003/03/addressing"><a:Address>svc://q</a:Address><a:ReferenceProperties><id xmlns="urn:z">7</id></a:ReferenceProperties></r>`)
+	f.Add(`<r xmlns:a="http://www.w3.org/2005/08/addressing"><a:Address>http://h:9/p</a:Address></r>`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		el, err := xmldom.ParseString(input)
+		if err != nil {
+			return
+		}
+		// walk every element: EPRs appear nested inside envelopes.
+		var walk func(e *xmldom.Element)
+		walk = func(e *xmldom.Element) {
+			if epr, err := ParseEPR(e); err == nil {
+				checkRoundTrip(t, epr)
+			}
+			for _, c := range e.ChildElements() {
+				walk(c)
+			}
+		}
+		walk(el)
+	})
+}
+
+func checkRoundTrip(t *testing.T, epr *EndpointReference) {
+	t.Helper()
+	rendered := epr.Element(xmldom.N("urn:fuzz", "EPR"))
+	// The rendered element must itself serialise and re-parse cleanly...
+	re, err := xmldom.ParseString(xmldom.Marshal(rendered))
+	if err != nil {
+		t.Fatalf("rendered EPR does not re-parse: %v\n%s", err, xmldom.Marshal(rendered))
+	}
+	// ...and parse back to the same endpoint reference.
+	back, err := ParseEPR(re)
+	if err != nil {
+		t.Fatalf("rendered EPR rejected by ParseEPR: %v\n%s", err, xmldom.Marshal(rendered))
+	}
+	if back.Address != epr.Address {
+		t.Fatalf("address changed in round trip: %q -> %q", epr.Address, back.Address)
+	}
+	if back.Version != epr.Version {
+		t.Fatalf("version changed in round trip: %v -> %v", epr.Version, back.Version)
+	}
+	if got, want := len(back.IdentityParameters()), len(epr.IdentityParameters()); got != want {
+		t.Fatalf("identity parameters changed in round trip: %d -> %d", want, got)
+	}
+}

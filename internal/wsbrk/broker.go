@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/mediation"
 	"repro/internal/soap"
 	"repro/internal/topics"
 	"repro/internal/transport"
@@ -58,6 +59,11 @@ type Config struct {
 	// unregistered publishers — the policy knob WS-BrokeredNotification
 	// leaves to deployments.
 	RequireRegistration bool
+	// MaxRelayHops, when positive, drops inbound Notify messages whose
+	// wsmf:Relay header records that many broker-to-broker hops or more —
+	// the loop backstop for deployments that chain wsbrk brokers without
+	// the federation layer's dedup.
+	MaxRelayHops int
 	// Producer configures the embedded NotificationProducer; Address,
 	// ManagerAddress and Client are overwritten from the fields above.
 	Producer wsnt.ProducerConfig
@@ -156,11 +162,19 @@ func (b *Broker) IngestHandler() transport.Handler {
 
 // handleNotify republishes incoming notifications to the broker's own
 // subscribers — the decoupling role of §III.
-func (b *Broker) handleNotify(ctx context.Context, _ *soap.Envelope, body *xmldom.Element) error {
+func (b *Broker) handleNotify(ctx context.Context, env *soap.Envelope, body *xmldom.Element) error {
 	if b.cfg.RequireRegistration && b.RegistrationCount() == 0 {
 		f := soap.Faultf(soap.FaultSender, "broker requires publisher registration")
 		f.Subcode = xmldom.N(NS, "PublisherRegistrationRejectedFault")
 		return f
+	}
+	if b.cfg.MaxRelayHops > 0 {
+		if r, ok, err := mediation.ParseRelay(env); err == nil && ok && r.Hops >= b.cfg.MaxRelayHops {
+			// Hop-capped relay: swallow silently rather than faulting, so
+			// the sending broker does not retry a message we will never
+			// accept.
+			return nil
+		}
 	}
 	msgs, _, err := wsnt.ParseNotify(body)
 	if err != nil {
@@ -357,6 +371,33 @@ func DestroyRegistration(ctx context.Context, client transport.Client, reg *wsa.
 	env.AddBody(xmldom.NewElement(xmldom.N(NS, "DestroyRegistration")))
 	_, err := client.Call(ctx, reg.Address, env)
 	return err
+}
+
+// PeerSubscribe issues the broker-to-broker subscription
+// WS-BrokeredNotification builds federation on: a NotificationBroker is
+// itself a NotificationConsumer, so one broker subscribes at another
+// broker's producer endpoint with its own peer-ingest endpoint as the
+// consumer. The subscription is plain WS-Notification 1.3 on the wire —
+// federated delivery therefore rides the remote broker's ordinary fan-out,
+// including its retry/breaker/DLQ reliability machinery and its render
+// cache. A nil or zero topic subscribes to everything the remote carries.
+func PeerSubscribe(ctx context.Context, client transport.Client, remoteProducer, localIngest string, topic *topics.Path) (*wsnt.Handle, error) {
+	sub := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	req := &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, localIngest),
+	}
+	if topic != nil && !topic.IsZero() {
+		req.TopicExpression = "tns:" + strings.Join(topic.Segments, "/")
+		req.TopicDialect = topics.DialectConcrete
+		req.TopicNS = map[string]string{"tns": topic.Namespace}
+	}
+	return sub.Subscribe(ctx, remoteProducer, req)
+}
+
+// PeerUnsubscribe tears a peer link subscription down.
+func PeerUnsubscribe(ctx context.Context, client transport.Client, h *wsnt.Handle) error {
+	sub := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	return sub.Unsubscribe(ctx, h)
 }
 
 // RegistrationID extracts the registration id from a registration EPR.

@@ -1,0 +1,54 @@
+package xmldom
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus feeds every probe envelope in internal/probes/testdata to the
+// fuzzer, so fuzzing starts from real WS-Eventing / WS-Notification wire
+// shapes rather than from empty input.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "probes", "testdata", "*.xml"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no seed envelopes found: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzParse asserts the parser's safety and round-trip properties on
+// arbitrary input: it must never panic, and anything it accepts must
+// serialise to a canonical form the parser accepts again and reproduces
+// byte-for-byte (Marshal∘Parse is a fixpoint after one application). The
+// fixpoint matters beyond hygiene: the render-template cache splices into
+// serialised bytes, so a non-canonical serialisation would make stamped
+// envelopes diverge from fresh renders.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Add("<a/>")
+	f.Add(`<p:a xmlns:p="urn:x" p:at="v">text<p:b/>&amp;tail</p:a>`)
+	f.Add("<a xmlns=\"urn:d\"><b xmlns=\"\"/></a>")
+	f.Fuzz(func(t *testing.T, input string) {
+		el, err := ParseString(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		first := Marshal(el)
+		el2, err := ParseString(first)
+		if err != nil {
+			t.Fatalf("own serialisation rejected: %v\ninput: %q\nserialised: %q", err, input, first)
+		}
+		second := Marshal(el2)
+		if first != second {
+			t.Fatalf("serialisation not a fixpoint:\nfirst:  %q\nsecond: %q", first, second)
+		}
+	})
+}
