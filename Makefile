@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test vet race check fmt-check golden bench bench-fanout bench-smoke metrics-race metrics-smoke cover fuzz-smoke ci comparison examples outputs goldens clean
+.PHONY: all build test vet race check fmt-check golden bench bench-fanout bench-log bench-smoke metrics-race metrics-smoke cover fuzz-smoke crash-smoke ci comparison examples outputs goldens clean
 
 all: check
 
@@ -38,6 +38,11 @@ bench:
 # wire bytes across arms) acting as the assertions.
 bench-fanout:
 	go test -run '^$$' -bench BenchmarkRenderCacheFanout -benchtime=1x .
+
+# Event-log throughput (B15): the durable-ack price list — append under
+# off/async/batch durability, plus the cursor replay path.
+bench-log:
+	go test -run '^$$' -bench BenchmarkEventLog -benchmem .
 
 # Non-blocking CI smoke: run every benchmark once so bench code cannot
 # bit-rot, and publish a machine-readable BENCH_*.json baseline.
@@ -92,11 +97,22 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	go test ./internal/xmldom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	go test ./internal/wsa -run '^$$' -fuzz '^FuzzEPRRoundTrip$$' -fuzztime $(FUZZTIME)
+	go test ./internal/eventlog -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME)
+
+# Kill -9 chaos gate (blocking): SIGKILL a publishing broker child process
+# mid-storm, restart it on the same data dir, repeat CRASH_CYCLES times
+# under the race detector — no acknowledged publish may be lost, and the
+# final cursor replay must be exactly-once and in order.
+CRASH_CYCLES ?= 20
+
+crash-smoke:
+	WSM_CRASH_CYCLES=$(CRASH_CYCLES) go test ./internal/core -run '^TestKill9AckedPublishesSurvive$$' -count=1 -race
 
 # Mirror of .github/workflows/ci.yml: the blocking jobs (check, fmt-check,
-# golden, metrics-race, metrics-smoke, cover) then the non-blocking bench
-# and fuzz smokes (their failure is reported but does not fail `make ci`).
-ci: check fmt-check golden metrics-race metrics-smoke cover
+# golden, metrics-race, metrics-smoke, cover, crash-smoke) then the
+# non-blocking bench and fuzz smokes (their failure is reported but does
+# not fail `make ci`).
+ci: check fmt-check golden metrics-race metrics-smoke cover crash-smoke
 	-$(MAKE) bench-smoke
 	-$(MAKE) fuzz-smoke
 

@@ -70,6 +70,8 @@ func main() {
 	scavenge := flag.Duration("scavenge", 30*time.Second, "subscription scavenge interval")
 	queueDepth := flag.Int("queue", 256, "per-subscriber delivery queue depth")
 	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
+	dataDir := flag.String("data-dir", "", "durable event log directory: every accepted publish is appended (and recovered on boot)")
+	durability := flag.String("durability", "", "event log durability: batch (fsync before ack, the -data-dir default), async, or off")
 	dlqWatermark := flag.Int("dlq-watermark", core.DefaultDLQWatermark,
 		"dead-letter depth at which /healthz reports degraded")
 	brokerID := flag.String("id", "", "federation identity; required with -peer")
@@ -102,10 +104,15 @@ func main() {
 		Client:         client,
 		QueueDepth:     *queueDepth,
 		BrokerID:       *brokerID,
+		DataDir:        *dataDir,
+		Durability:     *durability,
 		Obs:            rec,
 	})
 	if err != nil {
 		log.Fatalf("wsmessenger: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("wsmessenger: event log recovered at %s (head position %d)", *dataDir, broker.LogHead())
 	}
 	var peering *federation.Peering
 	if *brokerID != "" {
@@ -182,14 +189,12 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		if *stateFile != "" {
-			if f, err := os.Create(*stateFile); err == nil {
-				if err := broker.SaveSubscriptions(f); err != nil {
-					log.Printf("wsmessenger: snapshot: %v", err)
-				}
-				f.Close()
-				log.Printf("wsmessenger: subscriptions snapshotted to %s", *stateFile)
-			} else {
+			// Temp file + fsync + atomic rename: a crash mid-save can never
+			// corrupt the previous snapshot.
+			if err := broker.SaveSubscriptionsFile(*stateFile); err != nil {
 				log.Printf("wsmessenger: snapshot: %v", err)
+			} else {
+				log.Printf("wsmessenger: subscriptions snapshotted to %s", *stateFile)
 			}
 			// With a snapshot, subscriptions survive the restart, so no
 			// end notices are sent.

@@ -33,6 +33,10 @@ type Message struct {
 	Payload *xmldom.Element
 	Origin  string
 	Relay   *mediation.Relay
+	// Pos is the message's position in the broker's durable event log
+	// (0 when the broker runs without one). Backends carry it opaquely,
+	// like Origin and Relay.
+	Pos uint64
 }
 
 // Backend is an underlying publish/subscribe fabric.

@@ -86,6 +86,7 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"  lint:",
 		"  metrics:",
 		"  cover:",
+		"  crash-smoke:",
 		"  fuzz-smoke:",
 		"  bench-smoke:",
 		"uses: actions/checkout@",
@@ -98,6 +99,7 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"run: make metrics-race",  // -race over obs/dispatch/core
 		"run: make metrics-smoke", // live /metrics + /healthz scrape
 		"run: make cover",         // coverage with ratcheted floor
+		"run: make crash-smoke",   // kill -9 durable-ack gate
 		"run: make fuzz-smoke",    // bounded fuzz over checked-in corpora
 		"run: make bench-smoke",
 		"run: make bench-fanout", // render-once fan-out smoke (B13)
@@ -179,7 +181,7 @@ func TestMakeCIMirrorsWorkflow(t *testing.T) {
 	for _, p := range prereqs {
 		have[p] = true
 	}
-	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover"} {
+	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover", "crash-smoke"} {
 		if !have[want] {
 			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
 		}
@@ -202,7 +204,7 @@ func TestGoldenTargetRunsProbes(t *testing.T) {
 // TestCoverAndFuzzTargetsPinned keeps the coverage floor and the fuzz
 // targets wired to what CI expects: the floor variable must exist (so
 // the ratchet is explicit, not buried in a shell one-liner) and the
-// fuzz-smoke target must run both native fuzz targets — `go test`
+// fuzz-smoke target must run every native fuzz target — `go test`
 // accepts only one -fuzz per invocation, so each needs its own line.
 func TestCoverAndFuzzTargetsPinned(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
@@ -215,10 +217,41 @@ func TestCoverAndFuzzTargetsPinned(t *testing.T) {
 		"-coverprofile",
 		"-fuzz '^FuzzParse$$'",
 		"-fuzz '^FuzzEPRRoundTrip$$'",
+		"-fuzz '^FuzzDecodeRecord$$'",
 		"-fuzztime $(FUZZTIME)",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Makefile lacks %q", want)
 		}
+	}
+}
+
+// TestCrashSmokeTargetPinned keeps the kill -9 gate honest: the target
+// must run the chaos harness under the race detector with a configurable
+// cycle count defaulting to the 20 cycles the durability claim is made
+// over.
+func TestCrashSmokeTargetPinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"CRASH_CYCLES ?= 20",
+		"WSM_CRASH_CYCLES=$(CRASH_CYCLES)",
+		"-run '^TestKill9AckedPublishesSurvive$$'",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	crashLine := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "WSM_CRASH_CYCLES=") {
+			crashLine = line
+		}
+	}
+	if !strings.Contains(crashLine, "-race") {
+		t.Errorf("crash-smoke must run under -race (got %q)", crashLine)
 	}
 }

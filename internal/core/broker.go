@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/dispatch"
+	"repro/internal/eventlog"
 	"repro/internal/filter"
 	"repro/internal/mediation"
 	"repro/internal/obs"
@@ -99,6 +100,22 @@ type Config struct {
 	// and replay them (default 1024; negative disables — terminal
 	// failures are then counted and discarded, the pre-DLQ behaviour).
 	DeadLetterCap int
+	// DataDir enables the durable append-only event log: every accepted
+	// publish is assigned a monotone LogPos and written (per Durability)
+	// before the publish is acknowledged, and catch-up consumers — pull
+	// points, DLQ replay, recovering federation peers — re-sync from it by
+	// cursor. Empty keeps the pre-log behaviour unless Durability is set,
+	// which opens a memory-only log (cursors without persistence).
+	DataDir string
+	// Durability selects the log's fsync policy: "batch"/"fsync" (group
+	// commit — Append returns only after fsync; the default when DataDir
+	// is set), "async" (background flush every LogFlushInterval-ish tick)
+	// or "off" (OS page cache only).
+	Durability string
+	// LogSegmentBytes / LogRetainSegments tune log rotation and
+	// retention-based compaction (defaults 4 MiB / 8 sealed segments).
+	LogSegmentBytes   int64
+	LogRetainSegments int
 	// BrokerID is the broker's federation identity. When set, every locally
 	// published notification is stamped with a wsmf:Relay header naming this
 	// broker as its origin, so peer brokers can suppress loops and dedup.
@@ -247,6 +264,9 @@ type Broker struct {
 	cancelBackend func()
 	wsrfSvc       *wsrf.Service
 
+	// log is the durable event log (nil when the broker runs without one).
+	log *eventlog.Log
+
 	// rawClient is Config.Client's raw-bytes send path, when it has one.
 	// Non-nil enables pooled serialisation buffers and (unless disabled)
 	// the render-template cache.
@@ -263,6 +283,13 @@ type Broker struct {
 // New builds a broker and wires it to its backend.
 func New(cfg Config) (*Broker, error) {
 	b := &Broker{cfg: cfg.withDefaults(), current: map[string]*xmldom.Element{}, space: topics.NewSpace()}
+	if err := b.openLog(); err != nil {
+		return nil, err
+	}
+	var dlqFetch func(uint64) (dispatch.Message, bool)
+	if b.log != nil {
+		dlqFetch = b.fetchLogged
+	}
 	b.engine = dispatch.New(dispatch.Config{
 		QueueCap:     b.cfg.QueueDepth,
 		FailureLimit: b.cfg.FailureLimit,
@@ -271,6 +298,7 @@ func New(cfg Config) (*Broker, error) {
 		Breaker:      b.cfg.Breaker,
 		DLQCap:       b.cfg.DeadLetterCap,
 		DLQOverflow:  dispatch.DropOldest, // keep the newest failure evidence
+		DLQFetch:     dlqFetch,
 		Obs:          b.cfg.Obs,
 	})
 	if rec := b.cfg.Obs; rec != nil {
@@ -301,6 +329,7 @@ func New(cfg Config) (*Broker, error) {
 	}
 	cancel, err := b.cfg.Backend.Subscribe(b.fanOut)
 	if err != nil {
+		_ = b.CloseLog()
 		return nil, fmt.Errorf("core: backend subscribe: %w", err)
 	}
 	b.cancelBackend = cancel
@@ -377,7 +406,24 @@ func (b *Broker) publish(topic topics.Path, payload *xmldom.Element, origin stri
 		// can dedup on (origin, id) and cap hops.
 		relay = &mediation.Relay{Origin: b.cfg.BrokerID, ID: b.nextMessageID(), Hops: 0}
 	}
-	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin, Relay: relay})
+	var pos uint64
+	if b.log != nil {
+		// Durable-ack: the append (fsynced, under batch durability) must
+		// succeed before the publish is acknowledged — an error here means
+		// the publish was not accepted and the caller must not assume
+		// delivery. The fan-out below happens only for accepted publishes.
+		var err error
+		if pos, err = b.appendToLog(topic, payload, origin, relay); err != nil {
+			return err
+		}
+		if relay != nil && relay.Pos == 0 && relay.Origin == b.cfg.BrokerID {
+			// Locally originated publish: its own LogPos is its origin
+			// position, carried on the wire so peers can cursor against
+			// this broker's log.
+			relay.Pos = pos
+		}
+	}
+	return b.cfg.Backend.Publish(backend.Message{Topic: topic, Payload: payload, Origin: origin, Relay: relay, Pos: pos})
 }
 
 // fanOut is the backend fan-in: hand one message to the dispatch engine,
@@ -390,7 +436,7 @@ func (b *Broker) fanOut(msg backend.Message) {
 	if b.rawClient != nil && !b.cfg.DisableRenderCache {
 		fm.rs = newRenderSet()
 	}
-	b.engine.Dispatch(dispatch.Message{Topic: msg.Topic, Payload: fm})
+	b.engine.Dispatch(dispatch.Message{Topic: msg.Topic, Pos: msg.Pos, Payload: fm})
 }
 
 // sendCtx applies the default delivery timeout when the dispatch engine's
@@ -576,6 +622,7 @@ func (b *Broker) Shutdown() {
 		b.cancelBackend()
 	}
 	b.cfg.Backend.Close()
+	_ = b.CloseLog()
 }
 
 // register creates the broker-side state for a canonical subscription.
@@ -620,7 +667,7 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 	// modes that use them never stamp from templates anyway.
 	clone := func(m dispatch.Message) dispatch.Message {
 		fm := m.Payload.(fanMsg)
-		return dispatch.Message{Topic: m.Topic, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin, relay: fm.relay}}
+		return dispatch.Message{Topic: m.Topic, Pos: m.Pos, Payload: fanMsg{payload: fm.payload.Clone(), origin: fm.origin, relay: fm.relay}}
 	}
 	sub := dispatch.Sub{
 		ID:       id,

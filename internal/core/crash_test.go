@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/wse"
+	"repro/internal/xmldom"
+)
+
+// The kill -9 chaos harness: the headline proof that the durable-ack
+// contract holds under real process death, not just clean shutdown. A
+// child process (this same test binary, re-executed with WSM_CRASH_CHILD
+// set) boots a broker on a shared data dir and publishes a dense sequence,
+// printing "ack <seq>" only after Publish returns — i.e. after the durable
+// append. The parent SIGKILLs it mid-storm, restarts it, and repeats; the
+// child's recovered head must never fall below the highest acked sequence.
+// A final in-process broker then replays the whole log through a real
+// subscription cursor and asserts exactly-once, in-order re-delivery of
+// the dense prefix.
+
+// TestMain re-routes child invocations before the test framework runs.
+func TestMain(m *testing.M) {
+	if os.Getenv("WSM_CRASH_CHILD") == "1" {
+		runCrashChild()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCrashChild() {
+	b, err := New(Config{
+		Address:      "svc://wsm",
+		SyncDelivery: true,
+		DataDir:      os.Getenv("WSM_CRASH_DIR"),
+		Durability:   "batch",
+	})
+	if err != nil {
+		fmt.Printf("boot-error %v\n", err)
+		os.Exit(1)
+	}
+	seq := b.LogHead()
+	fmt.Printf("head %d\n", seq)
+	for {
+		seq++
+		if err := b.Publish(grid, event("v"+strconv.FormatUint(seq, 10))); err != nil {
+			fmt.Printf("publish-error %v\n", err)
+			os.Exit(1)
+		}
+		// The ack line is the contract: printed only after the durable
+		// append. The parent may SIGKILL us at any instant.
+		fmt.Printf("ack %d\n", seq)
+	}
+}
+
+func TestKill9AckedPublishesSurvive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness re-executes the test binary; skipped in -short")
+	}
+	cycles := 5
+	if s := os.Getenv("WSM_CRASH_CYCLES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad WSM_CRASH_CYCLES %q", s)
+		}
+		cycles = n
+	}
+	dir := t.TempDir()
+	var maxAck uint64
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Vary the kill point so cycles die at different storm depths —
+		// mid-batch, right after a rotation, immediately after boot.
+		killAfter := 1 + (cycle*7)%23
+
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "WSM_CRASH_CHILD=1", "WSM_CRASH_DIR="+dir)
+		cmd.Stderr = io.Discard
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		acks := 0
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 2 {
+				t.Fatalf("cycle %d: child said %q", cycle, sc.Text())
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("cycle %d: child said %q", cycle, sc.Text())
+			}
+			switch fields[0] {
+			case "head":
+				if n < maxAck {
+					t.Fatalf("cycle %d: recovered head %d < highest ack %d — acknowledged publish lost",
+						cycle, n, maxAck)
+				}
+			case "ack":
+				if n <= maxAck {
+					t.Fatalf("cycle %d: ack %d not past previous high water %d", cycle, n, maxAck)
+				}
+				maxAck = n
+				acks++
+			default:
+				t.Fatalf("cycle %d: child failed: %q", cycle, sc.Text())
+			}
+			if acks >= killAfter {
+				break
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("cycle %d: reading child: %v", cycle, err)
+		}
+		if acks < killAfter {
+			_ = cmd.Wait()
+			t.Fatalf("cycle %d: child exited after %d acks (wanted %d before kill)", cycle, acks, killAfter)
+		}
+		if err := cmd.Process.Kill(); err != nil { // SIGKILL — no shutdown path runs
+			t.Fatalf("cycle %d: kill: %v", cycle, err)
+		}
+		_ = cmd.Wait()
+	}
+
+	// Final recovery in-process: replay the entire log through a real
+	// subscription cursor and demand exactly-once, in-order delivery.
+	f := logFixture(t, dir)
+	defer f.broker.Shutdown()
+	head := f.broker.LogHead()
+	if head < maxAck {
+		t.Fatalf("final head %d < highest ack %d — acknowledged publish lost", head, maxAck)
+	}
+	h := f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	n, next, err := f.broker.ReplayLog(h.ID, 0, 0)
+	if err != nil || uint64(n) != head || next != head {
+		t.Fatalf("ReplayLog = %d, %d, %v (head %d)", n, next, err, head)
+	}
+	got := f.wseSink.Received()
+	if uint64(len(got)) != head {
+		t.Fatalf("replayed %d deliveries, want %d", len(got), head)
+	}
+	for i, d := range got {
+		want := "v" + strconv.Itoa(i+1)
+		if v := d.Payload.ChildText(xmldom.N("urn:grid", "val")); v != want {
+			t.Fatalf("delivery %d = %q, want %q — duplicate or out-of-order replay", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/topics"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+// logFixture is the standard fixture with a durable event log attached.
+func logFixture(t *testing.T, dir string, mutate ...func(*Config)) *fixture {
+	t.Helper()
+	return newFixture(t, append([]func(*Config){func(c *Config) {
+		c.DataDir = dir
+		c.Durability = "batch"
+	}}, mutate...)...)
+}
+
+func TestPublishAppendsBeforeAck(t *testing.T) {
+	f := logFixture(t, t.TempDir())
+	defer f.broker.Shutdown()
+	if f.broker.LogHead() != 0 {
+		t.Fatalf("fresh log head = %d", f.broker.LogHead())
+	}
+	f.publishWSE(t, grid, event("a"))
+	f.publishWSN(t, grid, event("b"))
+	if f.broker.LogHead() != 2 {
+		t.Fatalf("log head = %d, want 2", f.broker.LogHead())
+	}
+	e, ok := f.broker.Log().Get(1)
+	if !ok || e.Topic != grid.String() {
+		t.Fatalf("entry 1 = %+v, ok=%v", e, ok)
+	}
+	if !strings.Contains(string(e.Body), "<") {
+		t.Fatalf("entry body not XML: %q", e.Body)
+	}
+}
+
+func TestLogSurvivesRestartAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	f := logFixture(t, dir)
+	for _, v := range []string{"a", "b", "c"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	f.broker.Shutdown()
+
+	// A new broker process on the same data dir recovers the log and can
+	// replay it to a fresh subscription from cursor 0.
+	f2 := logFixture(t, dir)
+	defer f2.broker.Shutdown()
+	if f2.broker.LogHead() != 3 {
+		t.Fatalf("recovered head = %d, want 3", f2.broker.LogHead())
+	}
+	h := f2.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	n, next, err := f2.broker.ReplayLog(h.ID, 0, 0)
+	if err != nil || n != 3 || next != 3 {
+		t.Fatalf("ReplayLog = %d, %d, %v", n, next, err)
+	}
+	got := f2.wseSink.Received()
+	if len(got) != 3 || got[0].Payload.ChildText(xmldom.N("urn:grid", "val")) != "a" {
+		t.Fatalf("replayed %d notifications", len(got))
+	}
+	// Resuming from the returned cursor replays nothing new.
+	n, next, err = f2.broker.ReplayLog(h.ID, next, 0)
+	if err != nil || n != 0 || next != 3 {
+		t.Fatalf("second ReplayLog = %d, %d, %v", n, next, err)
+	}
+}
+
+func TestReplayLogAppliesSubscriptionFilter(t *testing.T) {
+	f := logFixture(t, t.TempDir())
+	defer f.broker.Shutdown()
+	other := topics.NewPath("urn:grid", "builds")
+	f.publishWSE(t, grid, event("keep"))
+	f.publishWSE(t, other, event("skip"))
+	f.publishWSE(t, grid, event("keep2"))
+
+	// WSN 1.0 requires a topic expression; the fixture defaults it to
+	// tns:jobs, so the subscription filters on the grid topic only.
+	h := f.subscribeWSN(t, wsnt.V1_0, &wsnt.SubscribeRequest{})
+	n, _, err := f.broker.ReplayLog(h.ID, 0, 0)
+	if err != nil || n != 2 {
+		t.Fatalf("ReplayLog = %d, %v (want 2 filtered)", n, err)
+	}
+	if got := f.wsnSink.Count(); got != 2 {
+		t.Fatalf("consumer got %d, want 2", got)
+	}
+}
+
+func TestDeadLettersSlimAndRehydrate(t *testing.T) {
+	f := logFixture(t, t.TempDir(), func(c *Config) {
+		c.Retry = &dispatch.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+		c.FailureLimit = 10
+	})
+	defer f.broker.Shutdown()
+	sink := &flakySink{down: true}
+	f.lb.Register("svc://flaky", sink)
+	f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{
+		NotifyTo: wsa.NewEPR(wsa.V200408, "svc://flaky"),
+	})
+	for _, v := range []string{"a", "b", "c"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	letters := f.broker.DeadLetters(0)
+	if len(letters) != 3 {
+		t.Fatalf("letters = %d, want 3", len(letters))
+	}
+	for i, dl := range letters {
+		// Slim letters: payload dropped, position retained — the log is
+		// the payload store now.
+		if dl.Msg.Payload != nil {
+			t.Fatalf("letter %d retains a payload copy", i)
+		}
+		if dl.Msg.Pos == 0 {
+			t.Fatalf("letter %d lost its log position", i)
+		}
+	}
+	sink.setDown(false)
+	if n := f.broker.ReplayDeadLetters(0); n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	got := sink.received()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("rehydrated payloads = %v", got)
+	}
+	es := f.broker.DispatchStats()
+	if es.Matched != es.Delivered+es.Dropped+es.Failed+es.DeadLettered {
+		t.Fatalf("conservation violated: %+v", es)
+	}
+}
+
+func TestFetchNewerFrontDoor(t *testing.T) {
+	f := logFixture(t, t.TempDir())
+	defer f.broker.Shutdown()
+	for _, v := range []string{"a", "b", "c", "d"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	entries, next, gap, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", 0, 2)
+	if err != nil || len(entries) != 2 || next != 2 || gap != 0 {
+		t.Fatalf("page 1: %d entries, next=%d gap=%d err=%v", len(entries), next, gap, err)
+	}
+	if entries[0].Pos != 1 || !entries[0].Topic.Equal(grid) {
+		t.Fatalf("entry 1 = %+v", entries[0])
+	}
+	if entries[0].Payload.ChildText(xmldom.N("urn:grid", "val")) != "a" {
+		t.Fatalf("entry 1 payload wrong")
+	}
+	entries, next, _, err = FetchNewer(context.Background(), f.lb, "svc://wsm", "", next, 0)
+	if err != nil || len(entries) != 2 || next != 4 {
+		t.Fatalf("page 2: %d entries, next=%d err=%v", len(entries), next, err)
+	}
+	entries, next, _, err = FetchNewer(context.Background(), f.lb, "svc://wsm", "", next, 0)
+	if err != nil || len(entries) != 0 || next != 4 {
+		t.Fatalf("drained: %d entries, next=%d err=%v", len(entries), next, err)
+	}
+}
+
+func TestFetchNewerOriginSpace(t *testing.T) {
+	f := logFixture(t, t.TempDir(), func(c *Config) { c.BrokerID = "urn:broker:a" })
+	defer f.broker.Shutdown()
+	for _, v := range []string{"a", "b", "c"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	// Cursor in broker-a's own origin space: the same positions, but
+	// entries carry full relay provenance for peer re-ingest.
+	entries, next, _, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "urn:broker:a", 1, 0)
+	if err != nil || len(entries) != 2 || next != 3 {
+		t.Fatalf("origin fetch: %d entries, next=%d err=%v", len(entries), next, err)
+	}
+	for _, e := range entries {
+		if e.Relay == nil || e.Relay.Origin != "urn:broker:a" || e.Relay.Pos == 0 || e.Relay.ID == "" {
+			t.Fatalf("entry lacks relay provenance: %+v", e.Relay)
+		}
+	}
+	// An unknown origin yields nothing and echoes the cursor.
+	entries, next, _, err = FetchNewer(context.Background(), f.lb, "svc://wsm", "urn:broker:zz", 7, 0)
+	if err != nil || len(entries) != 0 || next != 7 {
+		t.Fatalf("unknown origin: %d entries, next=%d err=%v", len(entries), next, err)
+	}
+}
+
+func TestFetchNewerWithoutLogFaults(t *testing.T) {
+	f := newFixture(t) // no log
+	defer f.broker.Shutdown()
+	_, _, _, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", 0, 0)
+	if err == nil {
+		t.Fatal("FetchNewer on a logless broker should fault")
+	}
+}
+
+func TestFetchNewerReportsGap(t *testing.T) {
+	f := logFixture(t, t.TempDir(), func(c *Config) {
+		c.LogSegmentBytes = 256
+		c.LogRetainSegments = 1
+	})
+	defer f.broker.Shutdown()
+	for i := 0; i < 30; i++ {
+		f.publishWSE(t, grid, event("v"+strconv.Itoa(i)))
+	}
+	_, _, gap, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", 0, 0)
+	if err != nil || gap == 0 {
+		t.Fatalf("gap = %d err=%v (want compaction gap)", gap, err)
+	}
+}
+
+// TestSnapshotRestoreWithLogReplay is the full broker-restart story: the
+// subscription snapshot (atomic save) and the event log recover together,
+// the restored subscription replays the log from a cursor, live publishes
+// keep flowing afterwards, and the dispatch conservation law holds over
+// the mixed replayed+live history.
+func TestSnapshotRestoreWithLogReplay(t *testing.T) {
+	root := t.TempDir()
+	state := filepath.Join(root, "subs.json")
+	logDir := filepath.Join(root, "log")
+
+	f := logFixture(t, logDir)
+	h := f.subscribeWSE(t, wse.V200408, &wse.SubscribeRequest{})
+	for _, v := range []string{"a", "b", "c"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	if err := f.broker.SaveSubscriptionsFile(state); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	f.broker.Shutdown()
+
+	// The save must be atomic: exactly the snapshot on disk, no temp
+	// residue a crash-mid-save would have left behind.
+	names, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if e.Name() != "subs.json" && e.Name() != "log" {
+			t.Fatalf("stray file after snapshot: %s", e.Name())
+		}
+	}
+
+	f2 := logFixture(t, logDir)
+	defer f2.broker.Shutdown()
+	sf, err := os.Open(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := f2.broker.RestoreSubscriptions(sf)
+	sf.Close()
+	if err != nil || restored != 1 {
+		t.Fatalf("restore = %d, %v", restored, err)
+	}
+
+	// The restored subscription (same ID) replays the recovered log from
+	// cursor 0, then receives live traffic from the replay cursor onward.
+	n, next, err := f2.broker.ReplayLog(h.ID, 0, 0)
+	if err != nil || n != 3 || next != 3 {
+		t.Fatalf("ReplayLog = %d, %d, %v", n, next, err)
+	}
+	f2.publishWSE(t, grid, event("d"))
+	got := f2.wseSink.Received()
+	if len(got) != 4 {
+		t.Fatalf("deliveries after replay+live = %d, want 4", len(got))
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if v := got[i].Payload.ChildText(xmldom.N("urn:grid", "val")); v != want {
+			t.Fatalf("delivery %d = %q, want %q", i, v, want)
+		}
+	}
+	es := f2.broker.DispatchStats()
+	if es.Matched != es.Delivered+es.Dropped+es.Failed+es.DeadLettered {
+		t.Fatalf("conservation violated across replay+live: %+v", es)
+	}
+}
+
+func TestMemoryOnlyDurabilityKnob(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.Durability = "off" }) // no DataDir
+	defer f.broker.Shutdown()
+	f.publishWSE(t, grid, event("m"))
+	if f.broker.LogHead() != 1 {
+		t.Fatalf("memory-only log head = %d", f.broker.LogHead())
+	}
+}
+
+func TestBadDurabilityRejected(t *testing.T) {
+	_, err := New(Config{Address: "svc://x", DataDir: t.TempDir(), Durability: "paranoid"})
+	if err == nil {
+		t.Fatal("bad durability accepted")
+	}
+}

@@ -30,6 +30,11 @@ func (b *Broker) FrontHandler() transport.Handler {
 		if body == nil {
 			return nil, soap.Faultf(soap.FaultSender, "ws-messenger: empty body")
 		}
+		// FetchNewer must be intercepted before every fallback: the final
+		// arm treats any unrecognised body as a raw publish.
+		if body.Name == fetchNewerName {
+			return b.handleFetchNewer(env, body)
+		}
 		if d, ok := mediation.DetectBody(body); ok {
 			switch body.Name.Local {
 			case "Subscribe":

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/mediation"
@@ -110,6 +112,39 @@ func (b *Broker) SaveSubscriptions(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(state)
+}
+
+// SaveSubscriptionsFile writes the snapshot to path crash-safely: the JSON
+// goes to a temp file in the same directory, is fsynced, then atomically
+// renamed over path (and the directory fsynced so the rename itself is
+// durable). A crash at any instant leaves either the old snapshot or the
+// new one — never a truncated mix.
+func (b *Broker) SaveSubscriptionsFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename lands
+	if err := b.SaveSubscriptions(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // RestoreSubscriptions reloads a snapshot produced by SaveSubscriptions,

@@ -55,6 +55,12 @@ type Message struct {
 	Topic   topics.Path
 	Payload any
 
+	// Pos is the message's position in the broker's durable event log
+	// (0 = unlogged). The engine treats it as opaque metadata except in
+	// one place: a dead letter for a positioned message may drop its
+	// payload and re-read it from the log at replay (Config.DLQFetch).
+	Pos uint64
+
 	// tid links the message to its lifecycle trace when the observability
 	// recorder sampled it at publish (0 = untraced). The engine restores it
 	// across Prepare hooks, which build fresh Message values.

@@ -137,8 +137,9 @@ func (e *Engine) DrainDeadLetters(max int) []DeadLetter {
 // fresh match — the counter conservation law stays exact because the
 // replayed message re-reaches one of the four terminal counters. Letters
 // whose subscriber is no longer registered are skipped (and lost: their
-// terminal accounting already happened when they were dead-lettered). It
-// returns how many letters were requeued.
+// terminal accounting already happened when they were dead-lettered), as
+// are slim letters whose log position has been compacted away. It returns
+// how many letters were requeued.
 func (e *Engine) Requeue(letters []DeadLetter) int {
 	n := 0
 	for _, dl := range letters {
@@ -146,11 +147,45 @@ func (e *Engine) Requeue(letters []DeadLetter) int {
 		if s == nil {
 			continue
 		}
+		m := dl.Msg
+		if m.Payload == nil && m.Pos != 0 {
+			if e.cfg.DLQFetch == nil {
+				continue
+			}
+			fetched, ok := e.cfg.DLQFetch(m.Pos)
+			if !ok {
+				continue // position fell out of the log's retention window
+			}
+			fetched.Pos = m.Pos
+			fetched.tid = m.tid
+			m = fetched
+		}
 		e.matched.Add(1)
-		e.accept(s, dl.Msg)
+		e.accept(s, m)
 		n++
 	}
 	return n
+}
+
+// Inject hands messages straight to one subscriber's delivery path,
+// bypassing Filter and the topic index — the cursor-replay primitive: the
+// caller (the broker replaying its event log after a crash) has already
+// decided these messages belong to this subscriber. Each message counts as
+// a fresh match, so the conservation law holds across replays. It returns
+// how many messages were accepted for delivery (0 with ErrUnknownSub when
+// the subscriber is not registered).
+func (e *Engine) Inject(subID string, msgs []Message) (int, error) {
+	s := e.reg.lookup(subID)
+	if s == nil {
+		return 0, ErrUnknownSub
+	}
+	n := 0
+	for _, m := range msgs {
+		e.matched.Add(1)
+		e.accept(s, m)
+		n++
+	}
+	return n, nil
 }
 
 // ReplayDeadLetters drains up to max dead letters and requeues them — the

@@ -45,6 +45,13 @@ type Config struct {
 	// Failed instead — while DropOldest rotates the oldest letter out so
 	// the newest failure evidence is kept.
 	DLQOverflow Overflow
+	// DLQFetch re-reads a message from the owner's durable event log by
+	// position. When set, dead letters for positioned messages (Pos != 0)
+	// are stored slim — topic and position only, payload dropped — and
+	// rehydrated through this hook at replay time, so the DLQ no longer
+	// pins a copy of every failed payload. A fetch miss (the position was
+	// compacted away) discards the letter at replay.
+	DLQFetch func(pos uint64) (Message, bool)
 	// Sleep runs retry backoff waits (default time.Sleep; tests inject a
 	// recorder or no-op).
 	Sleep func(time.Duration)
@@ -576,6 +583,11 @@ func (e *Engine) deliverBatch(s *sub, batch []Message) {
 	if e.dlq != nil && !s.closed.Load() {
 		at := e.cfg.Clock()
 		for _, m := range batch {
+			if e.cfg.DLQFetch != nil && m.Pos != 0 {
+				// The event log already holds the payload; keep only the
+				// coordinates needed to re-read it at replay.
+				m.Payload = nil
+			}
 			if e.dlq.push(DeadLetter{SubID: s.id, Msg: m, Attempts: attempts, Reason: err.Error(), At: at}) {
 				stored++
 			}

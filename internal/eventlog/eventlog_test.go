@@ -1,0 +1,336 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, prefix string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{Topic: "{urn:t}a", Src: "publish", Body: []byte(fmt.Sprintf("%s-%d", prefix, i))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := openTest(t, Options{Dir: t.TempDir(), Durability: DurabilityBatch})
+	pos, err := l.Append(Record{
+		Topic: "{urn:grid}jobs", Src: "publish", Origin: "broker-a",
+		RelayID: "m1", Hops: 2, OriginPos: 7, Key: "pp-1", Body: []byte("<e/>"),
+	})
+	if err != nil || pos != 1 {
+		t.Fatalf("Append = %d, %v", pos, err)
+	}
+	e, ok := l.Get(1)
+	if !ok {
+		t.Fatal("Get(1) missing")
+	}
+	if e.Topic != "{urn:grid}jobs" || e.Origin != "broker-a" || e.RelayID != "m1" ||
+		e.Hops != 2 || e.OriginPos != 7 || e.Key != "pp-1" || string(e.Body) != "<e/>" {
+		t.Fatalf("round trip mismatch: %+v", e)
+	}
+	if _, ok := l.Get(2); ok {
+		t.Fatal("Get(2) should miss")
+	}
+}
+
+func TestReadAfterPaging(t *testing.T) {
+	l := openTest(t, Options{}) // memory-only
+	appendN(t, l, 10, "e")
+	got, next, gap := l.ReadAfter(0, 4)
+	if len(got) != 4 || next != 4 || gap != 0 {
+		t.Fatalf("page 1: len=%d next=%d gap=%d", len(got), next, gap)
+	}
+	got, next, _ = l.ReadAfter(next, 0)
+	if len(got) != 6 || next != 10 {
+		t.Fatalf("page 2: len=%d next=%d", len(got), next)
+	}
+	if got[0].Pos != 5 || string(got[0].Body) != "e-4" {
+		t.Fatalf("page 2 starts at %d %q", got[0].Pos, got[0].Body)
+	}
+	got, next, _ = l.ReadAfter(next, 0)
+	if len(got) != 0 || next != 10 {
+		t.Fatalf("drained log returned %d entries, next=%d", len(got), next)
+	}
+}
+
+func TestReadAfterFuncFilter(t *testing.T) {
+	l := openTest(t, Options{})
+	for i := 0; i < 6; i++ {
+		key := "a"
+		if i%2 == 1 {
+			key = "b"
+		}
+		if _, err := l.Append(Record{Key: key, Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, next, _ := l.ReadAfterFunc(0, 2, func(e Entry) bool { return e.Key == "b" })
+	if len(got) != 2 || got[0].Pos != 2 || got[1].Pos != 4 {
+		t.Fatalf("filtered page: %+v", got)
+	}
+	// next is the last *matched* pos when max hit: resume must not skip pos 5.
+	if next != 4 {
+		t.Fatalf("next = %d, want 4", next)
+	}
+	got, next, _ = l.ReadAfterFunc(next, 10, func(e Entry) bool { return e.Key == "b" })
+	if len(got) != 1 || got[0].Pos != 6 || next != 6 {
+		t.Fatalf("filtered page 2: %+v next=%d", got, next)
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityBatch, SegmentBytes: 256})
+	appendN(t, l, 20, "x")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTest(t, Options{Dir: dir, Durability: DurabilityBatch, SegmentBytes: 256})
+	st := l2.Stats()
+	if st.Head != 20 {
+		t.Fatalf("recovered head = %d, want 20", st.Head)
+	}
+	if st.Recovered == 0 {
+		t.Fatalf("expected recovered entries, got %+v", st)
+	}
+	// Appends continue the sequence.
+	pos, err := l2.Append(Record{Body: []byte("after")})
+	if err != nil || pos != 21 {
+		t.Fatalf("post-recovery append = %d, %v", pos, err)
+	}
+	got, _, _ := l2.ReadAfter(18, 0)
+	if len(got) != 3 || got[2].Pos != 21 || string(got[2].Body) != "after" {
+		t.Fatalf("post-recovery read: %+v", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityBatch})
+	appendN(t, l, 5, "keep")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentFiles(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments: %v %v", names, err)
+	}
+	path := filepath.Join(dir, names[0])
+	// Simulate a crash mid-write: append half a frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 11)
+	binary.LittleEndian.PutUint32(torn, 400) // claims 400 bytes, delivers 3
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openTest(t, Options{Dir: dir})
+	st := l2.Stats()
+	if st.Head != 5 || st.Recovered != 5 {
+		t.Fatalf("after torn tail: %+v", st)
+	}
+	if st.Truncated != 11 {
+		t.Fatalf("truncated = %d, want 11", st.Truncated)
+	}
+	// The file itself was repaired: closing and reopening again is clean.
+	if pos, err := l2.Append(Record{Body: []byte("resumed")}); err != nil || pos != 6 {
+		t.Fatalf("append after repair = %d, %v", pos, err)
+	}
+}
+
+func TestCorruptMiddleRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityBatch})
+	appendN(t, l, 5, "v")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := segmentFiles(dir)
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff // flip a bit mid-file
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A single-segment log treats even mid-file corruption as the torn
+	// tail of the last segment and truncates; everything before survives.
+	l2 := openTest(t, Options{Dir: dir})
+	st := l2.Stats()
+	if st.Head >= 5 {
+		t.Fatalf("corrupt log kept all entries: %+v", st)
+	}
+	if st.Truncated == 0 {
+		t.Fatalf("expected truncation, got %+v", st)
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityBatch, SegmentBytes: 128, RetainSegments: 2})
+	appendN(t, l, 40, "seg")
+	st := l.Stats()
+	if st.Segments > 3 {
+		t.Fatalf("retention kept %d segments", st.Segments)
+	}
+	if st.First <= 1 {
+		t.Fatalf("compaction never dropped the oldest segment: %+v", st)
+	}
+	// Cursor before the retained window reports the gap.
+	got, next, gap := l.ReadAfter(0, 0)
+	if gap != st.First-1 {
+		t.Fatalf("gap = %d, want %d", gap, st.First-1)
+	}
+	if len(got) == 0 || got[0].Pos != st.First || next != st.Head {
+		t.Fatalf("read after gap: first=%d next=%d", got[0].Pos, next)
+	}
+	names, _ := segmentFiles(dir)
+	if len(names) != st.Segments {
+		t.Fatalf("disk has %d segments, stats say %d", len(names), st.Segments)
+	}
+}
+
+func TestConcurrentAppendBatchDurability(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityBatch, SegmentBytes: 4096})
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	positions := map[uint64]bool{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				pos, err := l.Append(Record{Body: []byte(fmt.Sprintf("w%d-%d", w, i))})
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if l.synced.Load() < pos {
+					t.Errorf("batch append returned before pos %d synced", pos)
+				}
+				mu.Lock()
+				if positions[pos] {
+					t.Errorf("duplicate position %d", pos)
+				}
+				positions[pos] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Head != workers*per {
+		t.Fatalf("head = %d, want %d", st.Head, workers*per)
+	}
+	// Group commit: far fewer fsyncs than appends under contention is the
+	// goal, but single-threaded interleavings can degrade to 1:1; just
+	// assert the sync watermark caught up.
+	if l.synced.Load() != st.Head {
+		t.Fatalf("synced %d != head %d", l.synced.Load(), st.Head)
+	}
+}
+
+func TestAsyncDurabilityFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, Durability: DurabilityAsync, FlushInterval: 5 * time.Millisecond})
+	appendN(t, l, 3, "a")
+	deadline := time.Now().Add(2 * time.Second)
+	for l.synced.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("async flush never synced: %d", l.synced.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.Stats().Fsyncs == 0 {
+		t.Fatal("no fsyncs recorded")
+	}
+}
+
+func TestMemoryOnlyLog(t *testing.T) {
+	l := openTest(t, Options{SegmentBytes: 64, RetainSegments: 1})
+	appendN(t, l, 30, "m")
+	st := l.Stats()
+	if st.Head != 30 {
+		t.Fatalf("head = %d", st.Head)
+	}
+	if st.First <= 1 {
+		t.Fatalf("memory retention never compacted: %+v", st)
+	}
+	if st.Fsyncs != 0 {
+		t.Fatalf("memory log fsynced: %+v", st)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l := openTest(t, Options{Dir: t.TempDir()})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{}); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestParseDurability(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Durability
+		ok   bool
+	}{
+		{"", DurabilityBatch, true},
+		{"batch", DurabilityBatch, true},
+		{"fsync", DurabilityBatch, true},
+		{"ASYNC", DurabilityAsync, true},
+		{"off", DurabilityOff, true},
+		{"none", DurabilityOff, true},
+		{"paranoid", DurabilityBatch, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDurability(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseDurability(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestHooksObserveLatency(t *testing.T) {
+	var appends, fsyncs int
+	l := openTest(t, Options{
+		Dir: t.TempDir(), Durability: DurabilityBatch,
+		OnAppend: func(time.Duration) { appends++ },
+		OnFsync:  func(time.Duration) { fsyncs++ },
+	})
+	appendN(t, l, 3, "h")
+	if appends != 3 || fsyncs == 0 {
+		t.Fatalf("hooks: appends=%d fsyncs=%d", appends, fsyncs)
+	}
+}

@@ -1,0 +1,330 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// On-disk format. A segment file is a sequence of frames:
+//
+//	u32 len   — length of the record bytes that follow the header
+//	u32 crc   — CRC-32 (IEEE) of those record bytes
+//	len bytes — the encoded record
+//
+// and an encoded record is:
+//
+//	u64 pos · i64 atUnixNano ·
+//	str topic · str src · str origin · str relayID · str key ·
+//	u32 hops · u64 originPos · u32 bodyLen · body
+//
+// where str is u32 length + bytes. All integers little-endian. The CRC
+// covers the record bytes only; the length field is validated by bounds
+// (maxFrame) before any allocation, so a corrupt length cannot OOM the
+// decoder, and a frame that fails its CRC or runs past the buffer is a
+// decode error — recovery truncates it when it is the file's tail, refuses
+// the segment otherwise.
+
+const (
+	segmentSuffix = ".wlog"
+	frameHeader   = 8        // u32 len + u32 crc
+	maxFrame      = 64 << 20 // sanity cap against corrupt lengths
+)
+
+// errTorn marks a frame that is structurally incomplete — the shape a
+// crash mid-write leaves behind. Distinct from corruption (bad CRC with a
+// complete frame shape is still torn-tail-eligible: a partially flushed
+// page looks exactly like that).
+var errTorn = errors.New("eventlog: torn frame")
+
+func encodeFrame(e Entry) []byte {
+	rec := encodeRecord(e)
+	buf := make([]byte, frameHeader+len(rec))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(rec))
+	copy(buf[frameHeader:], rec)
+	return buf
+}
+
+func encodeRecord(e Entry) []byte {
+	n := 8 + 8 // pos + at
+	for _, s := range []string{e.Topic, e.Src, e.Origin, e.RelayID, e.Key} {
+		n += 4 + len(s)
+	}
+	n += 4 + 8 // hops + originPos
+	n += 4 + len(e.Body)
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Pos)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
+	for _, s := range []string{e.Topic, e.Src, e.Origin, e.RelayID, e.Key} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Hops))
+	buf = binary.LittleEndian.AppendUint64(buf, e.OriginPos)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Body)))
+	buf = append(buf, e.Body...)
+	return buf
+}
+
+// decodeFrame reads one frame from buf. It returns the entry, the total
+// frame size consumed, and an error: errTorn when buf ends before the
+// frame does or the CRC fails, another error for structural corruption.
+// It never panics, whatever the input — the fuzz target holds it to that.
+func decodeFrame(buf []byte) (Entry, int, error) {
+	if len(buf) < frameHeader {
+		return Entry{}, 0, errTorn
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxFrame {
+		return Entry{}, 0, fmt.Errorf("eventlog: frame length %d exceeds cap", n)
+	}
+	if len(buf) < frameHeader+int(n) {
+		return Entry{}, 0, errTorn
+	}
+	rec := buf[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(rec) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return Entry{}, 0, errTorn
+	}
+	e, err := decodeRecord(rec)
+	if err != nil {
+		return Entry{}, 0, err
+	}
+	return e, frameHeader + int(n), nil
+}
+
+var errShortRecord = errors.New("eventlog: record truncated")
+
+type recReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *recReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = errShortRecord
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *recReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = errShortRecord
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *recReader) str() string {
+	n := r.u32()
+	if r.err != nil || r.off+int(n) > len(r.buf) || int(n) < 0 {
+		r.err = errShortRecord
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *recReader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || r.off+int(n) > len(r.buf) {
+		r.err = errShortRecord
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b
+}
+
+func decodeRecord(rec []byte) (Entry, error) {
+	r := &recReader{buf: rec}
+	var e Entry
+	e.Pos = r.u64()
+	at := int64(r.u64())
+	e.Topic = r.str()
+	e.Src = r.str()
+	e.Origin = r.str()
+	e.RelayID = r.str()
+	e.Key = r.str()
+	e.Hops = int(int32(r.u32()))
+	e.OriginPos = r.u64()
+	e.Body = r.bytes()
+	if r.err != nil {
+		return Entry{}, r.err
+	}
+	if r.off != len(rec) {
+		return Entry{}, fmt.Errorf("eventlog: %d trailing bytes after record", len(rec)-r.off)
+	}
+	if e.Pos == 0 {
+		return Entry{}, errors.New("eventlog: record has position 0")
+	}
+	if e.Hops < 0 {
+		return Entry{}, fmt.Errorf("eventlog: record has negative hops %d", e.Hops)
+	}
+	e.At = time.Unix(0, at)
+	return e, nil
+}
+
+// segment is one log file plus its in-memory entry mirror. Entries are
+// dense — entries[i].Pos == base+i — so position lookup is O(1).
+type segment struct {
+	dir  string
+	base uint64
+	size int64
+
+	entries []Entry
+	file    *os.File // nil when sealed or memory-only
+	sealed  bool
+}
+
+func segmentName(base uint64) string {
+	return fmt.Sprintf("%016x%s", base, segmentSuffix)
+}
+
+func (s *segment) path() string {
+	return filepath.Join(s.dir, segmentName(s.base))
+}
+
+// newSegment creates an empty active segment starting at base. dir == ""
+// makes it memory-only.
+func newSegment(dir string, base uint64) (*segment, error) {
+	s := &segment{dir: dir, base: base}
+	if dir != "" {
+		f, err := os.OpenFile(s.path(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: %w", err)
+		}
+		s.file = f
+	}
+	return s, nil
+}
+
+// openSegment reads an existing segment file. When tail is true a torn
+// frame at the end is truncated from the file (returning the byte count);
+// otherwise torn frames are reported as errors by the caller via the
+// returned truncation count.
+func openSegment(dir, name string, tail bool) (*segment, int64, error) {
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var base uint64
+	if _, err := fmt.Sscanf(name, "%016x"+segmentSuffix, &base); err != nil {
+		return nil, 0, fmt.Errorf("bad segment name: %w", err)
+	}
+	s := &segment{dir: dir, base: base}
+	off := 0
+	for off < len(data) {
+		e, n, err := decodeFrame(data[off:])
+		if err != nil {
+			if errors.Is(err, errTorn) && tail {
+				torn := int64(len(data) - off)
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, 0, fmt.Errorf("truncating torn tail: %w", err)
+				}
+				s.size = int64(off)
+				return s, torn, nil
+			}
+			return nil, 0, err
+		}
+		want := s.base + uint64(len(s.entries))
+		if e.Pos != want {
+			return nil, 0, fmt.Errorf("entry pos %d, want %d", e.Pos, want)
+		}
+		s.entries = append(s.entries, e)
+		off += n
+	}
+	s.size = int64(len(data))
+	return s, 0, nil
+}
+
+// reopenForAppend reattaches the file handle after recovery.
+func (s *segment) reopenForAppend() error {
+	if s.dir == "" || s.file != nil {
+		return nil
+	}
+	f, err := os.OpenFile(s.path(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	s.file = f
+	s.sealed = false
+	return nil
+}
+
+// append writes one pre-encoded frame and mirrors the entry.
+func (s *segment) append(e Entry, frame []byte) error {
+	if s.file != nil {
+		if _, err := s.file.Write(frame); err != nil {
+			return fmt.Errorf("eventlog: append: %w", err)
+		}
+	}
+	s.entries = append(s.entries, e)
+	s.size += int64(len(frame))
+	return nil
+}
+
+// seal fsyncs and closes the file; the segment stays readable via its
+// in-memory mirror.
+func (s *segment) seal() error {
+	s.sealed = true
+	if s.file == nil {
+		return nil
+	}
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("eventlog: seal: %w", err)
+	}
+	if err := s.file.Close(); err != nil {
+		return fmt.Errorf("eventlog: seal: %w", err)
+	}
+	s.file = nil
+	return nil
+}
+
+func (s *segment) close() error {
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+// remove drops the segment's file (compaction).
+func (s *segment) remove() {
+	_ = s.close()
+	if s.dir != "" {
+		_ = os.Remove(s.path())
+	}
+}
+
+// get returns the entry at pos when this segment holds it.
+func (s *segment) get(pos uint64) (Entry, bool) {
+	if pos < s.base || pos >= s.base+uint64(len(s.entries)) {
+		return Entry{}, false
+	}
+	return s.entries[pos-s.base], true
+}
+
+// entriesAfter returns the suffix of entries with Pos > pos.
+func (s *segment) entriesAfter(pos uint64) []Entry {
+	if len(s.entries) == 0 || pos >= s.base+uint64(len(s.entries))-1 {
+		return nil
+	}
+	if pos < s.base {
+		return s.entries
+	}
+	return s.entries[pos-s.base+1:]
+}

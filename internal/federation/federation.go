@@ -108,9 +108,10 @@ func (l *Link) Expires() time.Time {
 type Peering struct {
 	cfg Config
 
-	mu    sync.Mutex
-	links map[string]*Link
-	seen  *lruSet
+	mu        sync.Mutex
+	links     map[string]*Link
+	seen      *lruSet
+	highWater map[string]uint64 // origin broker → highest origin log pos applied
 
 	// ingest outcome counters, one series per result (nil without Obs).
 	relayed, adopted, selfDrops, dupDrops, hopDrops, malformed *obs.Counter
@@ -136,7 +137,7 @@ func New(cfg Config) (*Peering, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	p := &Peering{cfg: cfg, links: map[string]*Link{}, seen: newLRUSet(cfg.DedupCap)}
+	p := &Peering{cfg: cfg, links: map[string]*Link{}, seen: newLRUSet(cfg.DedupCap), highWater: map[string]uint64{}}
 	if rec := cfg.Obs; rec != nil {
 		reg := rec.Registry()
 		mk := func(result string) *obs.Counter {
@@ -296,26 +297,48 @@ func (p *Peering) IngestHandler() transport.Handler {
 }
 
 // ingest applies the three suppression layers to one relayed notification
-// and republishes the survivors locally with the hop count advanced.
-func (p *Peering) ingest(r *mediation.Relay, topic topics.Path, payload *xmldom.Element) {
+// and republishes the survivors locally with the hop count advanced. It
+// reports whether the notification was applied (false = suppressed), and
+// records the origin's high water mark for cursor resync: on apply, and on
+// duplicate drop (a dup means another path already delivered that
+// position). Hop-capped relays record nothing — they were never applied,
+// so a resync must still be able to recover them.
+func (p *Peering) ingest(r *mediation.Relay, topic topics.Path, payload *xmldom.Element) bool {
 	if !p.cfg.DisableDedup {
 		if r.Origin == p.BrokerID() {
 			inc(p.selfDrops)
-			return
+			return false
 		}
 		if !p.seen.Add(r.Origin + "\x00" + r.ID) {
 			inc(p.dupDrops)
-			return
+			p.recordHighWater(r)
+			return false
 		}
 	}
 	hops := r.Hops + 1
 	if hops > p.cfg.MaxHops {
 		inc(p.hopDrops)
-		return
+		return false
 	}
 	inc(p.relayed)
+	// Pos rides along so the local broker's log records the origin
+	// position (OriginPos) — which is what makes origin-space FetchNewer
+	// work transitively across multiple hops.
 	_ = p.cfg.Broker.PublishRelayed(topic, payload,
-		&mediation.Relay{Origin: r.Origin, ID: r.ID, Hops: hops})
+		&mediation.Relay{Origin: r.Origin, ID: r.ID, Hops: hops, Pos: r.Pos})
+	p.recordHighWater(r)
+	return true
+}
+
+func (p *Peering) recordHighWater(r *mediation.Relay) {
+	if r.Pos == 0 || r.Origin == "" {
+		return
+	}
+	p.mu.Lock()
+	if r.Pos > p.highWater[r.Origin] {
+		p.highWater[r.Origin] = r.Pos
+	}
+	p.mu.Unlock()
 }
 
 func inc(c *obs.Counter) {

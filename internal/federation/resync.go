@@ -1,0 +1,89 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Cursor resync is the pull half of federation's reliability story. Peer
+// links push; the event log pulls. Every applied relay records a high
+// water mark (origin broker, origin log position), and after an outage a
+// broker asks any peer "give me everything from origin O newer than my
+// mark" via the FetchNewer front-door operation — bounded catch-up over
+// exactly the window it missed. Dedup makes re-ingest idempotent, so
+// resyncing through a path that overlaps live push traffic is safe.
+
+// HighWater snapshots the per-origin high water marks: for each origin
+// broker, the highest origin-log position this peering has applied (or
+// seen applied via a redundant path). Persist it alongside a subscription
+// snapshot and hand it to RestoreHighWater on the next boot.
+func (p *Peering) HighWater() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.highWater))
+	for origin, pos := range p.highWater {
+		out[origin] = pos
+	}
+	return out
+}
+
+// RestoreHighWater merges a snapshot into the live marks, keeping the
+// maximum per origin (live traffic may already have advanced past an old
+// snapshot).
+func (p *Peering) RestoreHighWater(hw map[string]uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for origin, pos := range hw {
+		if pos > p.highWater[origin] {
+			p.highWater[origin] = pos
+		}
+	}
+}
+
+// Resync pulls missed notifications from a peer broker's event log: for
+// each origin (every known high-water origin when none are named), it
+// pages FetchNewer from this peering's mark in that origin's cursor space
+// and re-ingests the results through the normal suppression layers. It
+// returns how many notifications were newly applied. Origins equal to the
+// local broker are skipped — our own publishes live in our own log.
+func (p *Peering) Resync(ctx context.Context, remote string, origins ...string) (int, error) {
+	if len(origins) == 0 {
+		p.mu.Lock()
+		for origin := range p.highWater {
+			origins = append(origins, origin)
+		}
+		p.mu.Unlock()
+		sort.Strings(origins)
+	}
+	applied := 0
+	for _, origin := range origins {
+		if origin == "" || origin == p.BrokerID() {
+			continue
+		}
+		p.mu.Lock()
+		cursor := p.highWater[origin]
+		p.mu.Unlock()
+		for {
+			entries, next, _, err := core.FetchNewer(ctx, p.cfg.Client, remote, origin, cursor, 0)
+			if err != nil {
+				return applied, fmt.Errorf("federation: resync %s from %s: %w", origin, remote, err)
+			}
+			for _, e := range entries {
+				if e.Relay == nil || e.Payload == nil {
+					continue
+				}
+				if p.ingest(e.Relay, e.Topic, e.Payload) {
+					applied++
+				}
+			}
+			if len(entries) == 0 || next <= cursor {
+				break
+			}
+			cursor = next
+		}
+	}
+	return applied, nil
+}

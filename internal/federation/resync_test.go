@@ -1,0 +1,113 @@
+package federation
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// TestResyncRecoversMissedWindow is the federation outage drill: a peer
+// link drops, the upstream keeps publishing, and the downstream pulls the
+// missed window from the upstream's event log by origin cursor — exactly
+// once, no re-delivery of what already arrived by push.
+func TestResyncRecoversMissedWindow(t *testing.T) {
+	lb := transport.NewLoopback()
+	a := newNode(t, lb, "a", func(c *core.Config) {
+		c.DataDir = t.TempDir()
+		c.Durability = "batch"
+	}, nil)
+	b := newNode(t, lb, "b", func(c *core.Config) {
+		c.DataDir = t.TempDir()
+		c.Durability = "batch"
+	}, nil)
+	peer(t, b, a)
+
+	// Live push phase: b receives a's publishes over the link and records
+	// a's origin positions as its high water mark.
+	for _, v := range []string{"e1", "e2", "e3"} {
+		if err := a.broker.Publish(gridTopic, event(v)); err != nil {
+			t.Fatalf("publish %s: %v", v, err)
+		}
+	}
+	if hw := b.peering.HighWater()["a"]; hw != 3 {
+		t.Fatalf("high water for a = %d, want 3", hw)
+	}
+
+	// Outage: the link drops and a publishes into the void.
+	if err := b.peering.Unpeer(context.Background(), "svc://a"); err != nil {
+		t.Fatalf("unpeer: %v", err)
+	}
+	for _, v := range []string{"e4", "e5"} {
+		if err := a.broker.Publish(gridTopic, event(v)); err != nil {
+			t.Fatalf("publish %s: %v", v, err)
+		}
+	}
+	if got := b.sink.counts(); got["e4"] != 0 || got["e5"] != 0 {
+		t.Fatalf("outage window leaked through: %v", got)
+	}
+
+	// Recovery: pull the missed window from a's log by origin cursor.
+	applied, err := b.peering.Resync(context.Background(), "svc://a")
+	if err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("resync applied %d, want 2", applied)
+	}
+	got := b.sink.counts()
+	for _, v := range []string{"e1", "e2", "e3", "e4", "e5"} {
+		if got[v] != 1 {
+			t.Fatalf("delivery counts after resync: %v (want each exactly once)", got)
+		}
+	}
+	if hw := b.peering.HighWater()["a"]; hw != 5 {
+		t.Fatalf("high water after resync = %d, want 5", hw)
+	}
+
+	// Idempotence: a second resync finds nothing newer.
+	applied, err = b.peering.Resync(context.Background(), "svc://a")
+	if err != nil || applied != 0 {
+		t.Fatalf("second resync = %d, %v (want 0, nil)", applied, err)
+	}
+}
+
+// TestRestoreHighWater proves a snapshot round-trip: marks restored on a
+// fresh peering make Resync skip everything already applied before the
+// restart — and an explicit origin argument scopes the pull.
+func TestRestoreHighWater(t *testing.T) {
+	lb := transport.NewLoopback()
+	a := newNode(t, lb, "a", func(c *core.Config) {
+		c.DataDir = t.TempDir()
+		c.Durability = "batch"
+	}, nil)
+	b := newNode(t, lb, "b", nil, nil)
+	peer(t, b, a)
+
+	for _, v := range []string{"x1", "x2"} {
+		if err := a.broker.Publish(gridTopic, event(v)); err != nil {
+			t.Fatalf("publish %s: %v", v, err)
+		}
+	}
+	snap := b.peering.HighWater()
+	if snap["a"] != 2 {
+		t.Fatalf("snapshot = %v, want a:2", snap)
+	}
+
+	// "Restart": a fresh downstream node restores the snapshot instead of
+	// starting from zero, so only post-snapshot traffic is pulled.
+	c := newNode(t, lb, "c", nil, nil)
+	c.peering.RestoreHighWater(snap)
+	if err := a.broker.Publish(gridTopic, event("x3")); err != nil {
+		t.Fatalf("publish x3: %v", err)
+	}
+	applied, err := c.peering.Resync(context.Background(), "svc://a", "a")
+	if err != nil || applied != 1 {
+		t.Fatalf("resync = %d, %v (want 1 — only the post-snapshot publish)", applied, err)
+	}
+	got := c.sink.counts()
+	if got["x1"] != 0 || got["x2"] != 0 || got["x3"] != 1 {
+		t.Fatalf("restored-cursor deliveries: %v", got)
+	}
+}

@@ -39,6 +39,12 @@ type Relay struct {
 	// Hops counts broker-to-broker links traversed so far; the origin
 	// broker's own fan-out carries 0.
 	Hops int
+	// Pos is the message's position in the origin broker's durable event
+	// log (0 when the origin runs without one). Peer ingest records the
+	// high-water (Origin, Pos) per origin, so a recovering peer re-syncs
+	// by cursor — "give me everything newer than Pos" — instead of
+	// relying on the sender's retry.
+	Pos uint64
 }
 
 // Element renders the relay as its wire header.
@@ -47,6 +53,9 @@ func (r *Relay) Element() *xmldom.Element {
 	el.Append(xmldom.Elem(RelayNS, "Origin", r.Origin))
 	el.Append(xmldom.Elem(RelayNS, "Id", r.ID))
 	el.Append(xmldom.Elem(RelayNS, "Hops", strconv.Itoa(r.Hops)))
+	if r.Pos != 0 {
+		el.Append(xmldom.Elem(RelayNS, "Pos", strconv.FormatUint(r.Pos, 10)))
+	}
 	return el
 }
 
@@ -69,6 +78,13 @@ func ParseRelayElement(el *xmldom.Element) (*Relay, error) {
 			return nil, fmt.Errorf("mediation: Relay header has bad Hops %q", hops)
 		}
 		r.Hops = n
+	}
+	if pos := strings.TrimSpace(el.ChildText(xmldom.N(RelayNS, "Pos"))); pos != "" {
+		n, err := strconv.ParseUint(pos, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mediation: Relay header has bad Pos %q", pos)
+		}
+		r.Pos = n
 	}
 	return r, nil
 }

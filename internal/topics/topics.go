@@ -133,6 +133,35 @@ func ParsePath(s string, ns map[string]string) (Path, error) {
 	return Path{Namespace: space, Segments: segs}, nil
 }
 
+// ParseClark parses the Clark-rooted form String renders — "{ns}a/b", or
+// "a/b" when the namespace is empty — back into a Path. It is the inverse
+// of String for non-zero paths, used where topics round-trip through flat
+// storage (the durable event log's records).
+func ParseClark(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Path{}, fmt.Errorf("topics: empty topic path")
+	}
+	var space string
+	if strings.HasPrefix(s, "{") {
+		i := strings.Index(s, "}")
+		if i < 0 {
+			return Path{}, fmt.Errorf("topics: unterminated namespace in %q", s)
+		}
+		space, s = s[1:i], s[i+1:]
+		if s == "" {
+			return Path{}, fmt.Errorf("topics: namespace without segments")
+		}
+	}
+	segs := strings.Split(s, "/")
+	for i, seg := range segs {
+		if !validNCName(seg) {
+			return Path{}, fmt.Errorf("topics: invalid topic segment %q (position %d)", seg, i)
+		}
+	}
+	return Path{Namespace: space, Segments: segs}, nil
+}
+
 func validNCName(s string) bool {
 	if s == "" {
 		return false

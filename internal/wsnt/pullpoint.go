@@ -1,12 +1,14 @@
 package wsnt
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/eventlog"
 	"repro/internal/soap"
 	"repro/internal/transport"
 	"repro/internal/wsa"
@@ -16,27 +18,44 @@ import (
 // PullPointService implements the WS-Notification 1.3 PullPoint interface:
 // CreatePullPoint mints a pull point; each pull point is "treated as a
 // regular push event consumer from a publisher's perspective" (§V.3) —
-// notifications delivered to it queue up until the real consumer drains
-// them with GetMessages. This is how consumers behind firewalls receive
-// events, the scenario the paper highlights for pull delivery.
+// notifications delivered to it are retained until the real consumer
+// drains them with GetMessages. This is how consumers behind firewalls
+// receive events, the scenario the paper highlights for pull delivery.
+//
+// Pull points are thin cursors over a shared append-only event log, not
+// per-point queues: every delivery is appended once, keyed by pull point
+// id, and a GetMessages is "fetch entries newer than my cursor" — the
+// pull-is-fundamental design. Point a service at a broker's durable log
+// (Log field) and pull points survive a broker restart for free; leave it
+// nil and the service keeps a private in-memory log with the same
+// semantics.
 //
 // The service lives at one factory address; individual pull points are
 // addressed by a PullPointId reference parameter.
 type PullPointService struct {
 	// Address is the factory/service endpoint.
 	Address string
-	// QueueCap bounds each pull point's queue (default 1024, drop-oldest).
+	// QueueCap bounds each pull point's undrained backlog per delivery
+	// burst (default 1024): a GetMessages never returns more than this
+	// many entries, and the private log's retention is sized from it.
+	// Shared logs manage their own retention.
 	QueueCap int
+	// Log is the shared event log deliveries append to (for example the
+	// owning broker's durable log). nil = a private in-memory log.
+	Log *eventlog.Log
 
 	mu     sync.Mutex
 	nextID int
 	points map[string]*pullPoint
+	ownLog *eventlog.Log // lazily created when Log is nil
 }
 
+// pullPoint is one consumer's cursor into the log. missed counts log
+// positions that were compacted away before the consumer pulled past them
+// (the cursor-era analogue of the old ring's drop counter).
 type pullPoint struct {
-	mu      sync.Mutex
-	queue   []*xmldom.Element
-	dropped int
+	cursor uint64
+	missed uint64
 }
 
 // PullPointIDName is the reference parameter naming a pull point.
@@ -54,9 +73,27 @@ func (s *PullPointService) Count() int {
 	return len(s.points)
 }
 
+// log returns the backing log, creating the private one on first use.
+// Caller holds s.mu.
+func (s *PullPointService) logLocked() *eventlog.Log {
+	if s.Log != nil {
+		return s.Log
+	}
+	if s.ownLog == nil {
+		// Memory-only log; retention bounds the backlog at roughly
+		// QueueCap entries per segment-full of typical notifications.
+		l, err := eventlog.Open(eventlog.Options{})
+		if err != nil { // memory-only Open cannot fail today; belt and braces
+			panic(fmt.Sprintf("wsnt: pull point log: %v", err))
+		}
+		s.ownLog = l
+	}
+	return s.ownLog
+}
+
 // ServeSOAP implements transport.Handler: CreatePullPoint, GetMessages and
 // DestroyPullPoint requests, plus Notify/raw deliveries addressed to a
-// pull point (which are enqueued).
+// pull point (which are appended to the log under the point's key).
 func (s *PullPointService) ServeSOAP(_ context.Context, env *soap.Envelope) (*soap.Envelope, error) {
 	body := env.FirstBody()
 	if body == nil {
@@ -71,7 +108,7 @@ func (s *PullPointService) ServeSOAP(_ context.Context, env *soap.Envelope) (*so
 		return s.destroy(env)
 	}
 	// Anything else is a delivery to the addressed pull point.
-	pp, err := s.lookup(env)
+	id, _, err := s.lookup(env, "UnableToGetMessagesFault")
 	if err != nil {
 		return nil, err
 	}
@@ -86,15 +123,14 @@ func (s *PullPointService) ServeSOAP(_ context.Context, env *soap.Envelope) (*so
 	} else {
 		payloads = append(payloads, body.Clone())
 	}
-	pp.mu.Lock()
+	s.mu.Lock()
+	l := s.logLocked()
+	s.mu.Unlock()
 	for _, pl := range payloads {
-		if len(pp.queue) >= s.queueCap() {
-			pp.queue = pp.queue[1:]
-			pp.dropped++
+		if _, err := l.Append(eventlog.Record{Src: "pullpoint", Key: id, Body: xmldom.AppendMarshal(nil, pl)}); err != nil {
+			return nil, soap.Faultf(soap.FaultReceiver, "pullpoint: log append: %v", err)
 		}
-		pp.queue = append(pp.queue, pl)
 	}
-	pp.mu.Unlock()
 	return nil, nil
 }
 
@@ -113,7 +149,9 @@ func (s *PullPointService) create(env *soap.Envelope) (*soap.Envelope, error) {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("pp-%d", s.nextID)
-	s.points[id] = &pullPoint{}
+	// The cursor starts at the log head: a new pull point sees only
+	// deliveries made after its creation, exactly like an empty ring.
+	s.points[id] = &pullPoint{cursor: s.logLocked().Head()}
 	s.mu.Unlock()
 
 	epr := wsa.NewEPR(wsa.V200508, s.Address)
@@ -124,7 +162,7 @@ func (s *PullPointService) create(env *soap.Envelope) (*soap.Envelope, error) {
 	return out, nil
 }
 
-func (s *PullPointService) lookup(env *soap.Envelope) (*pullPoint, error) {
+func (s *PullPointService) lookup(env *soap.Envelope, subcode string) (string, *pullPoint, error) {
 	id := ""
 	if h := env.Header(PullPointIDName); h != nil {
 		id = strings.TrimSpace(h.Text())
@@ -134,34 +172,59 @@ func (s *PullPointService) lookup(env *soap.Envelope) (*pullPoint, error) {
 	s.mu.Unlock()
 	if pp == nil {
 		f := soap.Faultf(soap.FaultSender, "unknown pull point %q", id)
-		f.Subcode = xmldom.N(NS1_3, "UnableToGetMessagesFault")
-		return nil, f
+		f.Subcode = xmldom.N(NS1_3, subcode)
+		return "", nil, f
 	}
-	return pp, nil
+	return id, pp, nil
 }
 
 func (s *PullPointService) getMessages(env *soap.Envelope, body *xmldom.Element) (*soap.Envelope, error) {
-	pp, err := s.lookup(env)
+	id, _, err := s.lookup(env, "UnableToGetMessagesFault")
 	if err != nil {
 		return nil, err
 	}
-	max := 0
+	max := s.queueCap()
 	if m := body.ChildText(xmldom.N(NS1_3, "MaximumNumber")); m != "" {
-		max, _ = strconv.Atoi(m)
+		if n, err := strconv.Atoi(m); err == nil && n > 0 && n < max {
+			max = n
+		}
 	}
-	pp.mu.Lock()
-	n := len(pp.queue)
-	if max > 0 && max < n {
-		n = max
+
+	// Bounded catch-up: fetch entries newer than the cursor, keyed to this
+	// point, and advance the cursor past what was scanned. The service
+	// lock is held only around cursor reads/writes, not the log scan
+	// result parsing.
+	s.mu.Lock()
+	l := s.logLocked()
+	pp := s.points[id]
+	if pp == nil {
+		s.mu.Unlock()
+		return nil, soap.Faultf(soap.FaultSender, "unknown pull point %q", id)
 	}
-	batch := pp.queue[:n:n]
-	pp.queue = append([]*xmldom.Element(nil), pp.queue[n:]...)
-	pp.mu.Unlock()
+	cursor := pp.cursor
+	s.mu.Unlock()
+
+	entries, next, gap := l.ReadAfterFunc(cursor, max, func(e eventlog.Entry) bool {
+		return e.Key == id
+	})
+
+	s.mu.Lock()
+	if pp := s.points[id]; pp != nil {
+		if next > pp.cursor {
+			pp.cursor = next
+		}
+		pp.missed += gap
+	}
+	s.mu.Unlock()
 
 	out := soap.New(env.Version)
 	resp := xmldom.NewElement(xmldom.N(NS1_3, "GetMessagesResponse"))
-	for _, m := range batch {
-		resp.Append(m)
+	for _, e := range entries {
+		el, err := xmldom.Parse(bytes.NewReader(e.Body))
+		if err != nil {
+			continue // CRC-valid but unparseable: skip, never fault the drain
+		}
+		resp.Append(el)
 	}
 	out.AddBody(resp)
 	return out, nil
