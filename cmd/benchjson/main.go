@@ -5,6 +5,16 @@
 // bench-smoke job uses it to keep a machine-readable baseline attached to
 // every run; it exits nonzero when no benchmarks appear at all, which is
 // how benchmark bit-rot (nothing compiled, nothing ran) surfaces.
+//
+// With -gate baseline.json it additionally compares the run against a
+// checked-in baseline: any baseline benchmark missing from the run, any
+// ns/op more than -tolerance percent slower, or any */sec throughput
+// metric more than -tolerance percent lower fails the gate. Repeated
+// results for one benchmark (-count=N) are folded to best-of-N — min
+// ns/op, max throughput — on both sides, so a regression must reproduce
+// in every repeat before it fails the gate. CI's blocking bench-gate job
+// ratchets the fan-out (B13), event-log (B15) and dest-batching (B16)
+// benchmarks this way.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -116,8 +127,113 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, seen
 }
 
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test appends
+// to benchmark names, so baselines recorded on one core count compare
+// against runs on another.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// regression is one gate violation.
+type regression struct {
+	name   string
+	reason string
+}
+
+// aggregate folds a report into one Benchmark per normalized name,
+// taking best-of-N across -count repeats: minimum ns/op (the least
+// scheduler-disturbed run) and maximum for */sec throughput metrics.
+// Gating best against best is what keeps a 25 % tolerance honest on
+// noisy shared hardware — a regression must show in every repeat.
+func aggregate(rep Report) map[string]Benchmark {
+	out := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		name := normalizeName(b.Name)
+		prev, ok := out[name]
+		if !ok {
+			b.Name = name
+			out[name] = b
+			continue
+		}
+		if b.NsPerOp > 0 && (prev.NsPerOp == 0 || b.NsPerOp < prev.NsPerOp) {
+			prev.NsPerOp = b.NsPerOp
+		}
+		for unit, v := range b.Metrics {
+			if strings.HasSuffix(unit, "/sec") && v > prev.Metrics[unit] {
+				if prev.Metrics == nil {
+					prev.Metrics = map[string]float64{}
+				}
+				prev.Metrics[unit] = v
+			}
+		}
+		out[name] = prev
+	}
+	return out
+}
+
+// gate compares the current run against a checked-in baseline. Every
+// benchmark recorded in the baseline must appear in the current run — a
+// missing one means the benchmark silently stopped running, which is
+// itself a failure. ns/op is lower-is-better; custom metrics whose unit
+// ends in "/sec" are higher-is-better throughputs. Either moving past the
+// tolerance fails the gate; everything else is informational.
+func gate(base, cur Report, tolerancePct float64, w io.Writer) []regression {
+	current := aggregate(cur)
+	baseline := aggregate(base)
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regs []regression
+	slack := tolerancePct / 100
+	for _, name := range names {
+		b := baseline[name]
+		c, ok := current[name]
+		if !ok {
+			regs = append(regs, regression{name, "missing from current run"})
+			fmt.Fprintf(w, "MISS  %s: in baseline but not in this run\n", name)
+			continue
+		}
+		if b.NsPerOp > 0 {
+			delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			status := "ok  "
+			if c.NsPerOp > b.NsPerOp*(1+slack) {
+				status = "FAIL"
+				regs = append(regs, regression{name,
+					fmt.Sprintf("ns/op %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)", delta, b.NsPerOp, c.NsPerOp, tolerancePct)})
+			}
+			fmt.Fprintf(w, "%s  %s: ns/op %.0f -> %.0f (%+.1f%%)\n", status, name, b.NsPerOp, c.NsPerOp, delta)
+		}
+		for unit, bv := range b.Metrics {
+			if !strings.HasSuffix(unit, "/sec") || bv <= 0 {
+				continue
+			}
+			cv := c.Metrics[unit]
+			delta := (cv - bv) / bv * 100
+			status := "ok  "
+			if cv < bv*(1-slack) {
+				status = "FAIL"
+				regs = append(regs, regression{name,
+					fmt.Sprintf("%s %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)", unit, delta, bv, cv, tolerancePct)})
+			}
+			fmt.Fprintf(w, "%s  %s: %s %.0f -> %.0f (%+.1f%%)\n", status, name, unit, bv, cv, delta)
+		}
+	}
+	return regs
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gateFile := flag.String("gate", "", "baseline BENCH_*.json to gate against; exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 25, "allowed regression percent in gate mode")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -130,12 +246,38 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *gateFile != "" {
+		raw, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *gateFile, err)
+			os.Exit(1)
+		}
+		if len(base.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s holds no benchmarks\n", *gateFile)
+			os.Exit(1)
+		}
+		regs := gate(base, rep, *tolerance, os.Stdout)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s:\n", len(regs), *gateFile)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s: %s\n", r.name, r.reason)
+			}
+			os.Exit(1)
+		}
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *out == "" {
+		os.Stdout.Write(buf)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -54,5 +55,95 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok  \trepro\t0.1s\n")); err == nil {
 		t.Fatal("want error on benchmark-free input (bit-rot detection)")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFanout/wse-sync-8":  "BenchmarkFanout/wse-sync",
+		"BenchmarkFanout/subs=100-16": "BenchmarkFanout/subs=100",
+		"BenchmarkFanout/wse-sync":    "BenchmarkFanout/wse-sync",
+		"BenchmarkEventLog":           "BenchmarkEventLog",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func gateReport(benches ...Benchmark) Report {
+	return Report{Schema: "bench-v1", Benchmarks: benches}
+}
+
+func TestGateTakesBestOfRepeats(t *testing.T) {
+	base := gateReport(Benchmark{Name: "BenchmarkA-8", NsPerOp: 1000,
+		Metrics: map[string]float64{"notifs/sec": 5000}})
+	// Two of three repeats are badly disturbed; the best repeat is fine.
+	cur := gateReport(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 2600, Metrics: map[string]float64{"notifs/sec": 1900}},
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 1050, Metrics: map[string]float64{"notifs/sec": 4800}},
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 3100, Metrics: map[string]float64{"notifs/sec": 1600}},
+	)
+	if regs := gate(base, cur, 25, io.Discard); len(regs) != 0 {
+		t.Fatalf("best-of-3 within tolerance still flagged: %+v", regs)
+	}
+	// All repeats slow: the regression is real and must fail.
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].NsPerOp = 2000
+	}
+	if regs := gate(base, cur, 25, io.Discard); len(regs) == 0 {
+		t.Fatal("uniform 2x slowdown across repeats passed the gate")
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := gateReport(Benchmark{Name: "BenchmarkA-8", NsPerOp: 1000})
+	cur := gateReport(Benchmark{Name: "BenchmarkA-16", NsPerOp: 1200})
+	if regs := gate(base, cur, 25, io.Discard); len(regs) != 0 {
+		t.Fatalf("20%% slowdown within 25%% tolerance flagged: %+v", regs)
+	}
+}
+
+func TestGateFailsOnSlowdown(t *testing.T) {
+	base := gateReport(Benchmark{Name: "BenchmarkA-8", NsPerOp: 1000})
+	cur := gateReport(Benchmark{Name: "BenchmarkA-8", NsPerOp: 1300})
+	regs := gate(base, cur, 25, io.Discard)
+	if len(regs) != 1 || !strings.Contains(regs[0].reason, "ns/op") {
+		t.Fatalf("30%% slowdown not flagged: %+v", regs)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := gateReport(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkGone-8", NsPerOp: 500},
+	)
+	cur := gateReport(Benchmark{Name: "BenchmarkA-8", NsPerOp: 1000})
+	regs := gate(base, cur, 25, io.Discard)
+	if len(regs) != 1 || regs[0].name != "BenchmarkGone" || !strings.Contains(regs[0].reason, "missing") {
+		t.Fatalf("vanished benchmark not flagged loudly: %+v", regs)
+	}
+}
+
+func TestGateThroughputMetricIsHigherBetter(t *testing.T) {
+	base := gateReport(Benchmark{
+		Name: "BenchmarkB-8", NsPerOp: 100,
+		Metrics: map[string]float64{"notifs/sec": 10000, "entries/send": 20},
+	})
+	// Throughput dropped 40%: fail. ns/op improved; entries/send (no /sec
+	// suffix) halving is informational only.
+	cur := gateReport(Benchmark{
+		Name: "BenchmarkB-8", NsPerOp: 90,
+		Metrics: map[string]float64{"notifs/sec": 6000, "entries/send": 10},
+	})
+	regs := gate(base, cur, 25, io.Discard)
+	if len(regs) != 1 || !strings.Contains(regs[0].reason, "notifs/sec") {
+		t.Fatalf("throughput collapse not flagged (or extra flags): %+v", regs)
+	}
+	// Throughput gain must pass.
+	cur.Benchmarks[0].Metrics["notifs/sec"] = 20000
+	if regs := gate(base, cur, 25, io.Discard); len(regs) != 0 {
+		t.Fatalf("throughput gain flagged: %+v", regs)
 	}
 }

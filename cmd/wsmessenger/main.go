@@ -23,6 +23,13 @@
 //	                   when federated — while a peer link has lapsed
 //	POST /peer       — federation ingest (relayed Notify from peer brokers)
 //
+// Delivery batching: outbound notifications are grouped by destination
+// host and coalesced into multi-NotificationMessage envelopes by async
+// per-host writers over a pooled keep-alive transport. -batch-max caps
+// entries per envelope (1 disables batching), -batch-window bounds the
+// coalescing wait, -dest-queue sizes each writer's queue, and
+// -max-conns-per-host caps outbound sockets per destination.
+//
 // Federation: give each broker an identity and point it at its peers —
 //
 //	wsmessenger -listen :8891 -id broker-a -peer http://localhost:8892/
@@ -69,6 +76,10 @@ func main() {
 	external := flag.String("external", "", "externally visible base URL (default http://<listen>)")
 	scavenge := flag.Duration("scavenge", 30*time.Second, "subscription scavenge interval")
 	queueDepth := flag.Int("queue", 256, "per-subscriber delivery queue depth")
+	batchMax := flag.Int("batch-max", 64, "max notifications coalesced into one delivery envelope (1 disables per-destination batching)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a per-destination writer waits to coalesce before flushing")
+	destQueue := flag.Int("dest-queue", 0, "per-destination writer queue depth (0 = default)")
+	maxConnsPerHost := flag.Int("max-conns-per-host", 0, "outbound connection cap per destination host (0 = pool default)")
 	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
 	dataDir := flag.String("data-dir", "", "durable event log directory: every accepted publish is appended (and recovered on boot)")
 	durability := flag.String("durability", "", "event log durability: batch (fsync before ack, the -data-dir default), async, or off")
@@ -95,7 +106,10 @@ func main() {
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(reg, "broker")
 	client := &transport.HTTPClient{
-		HC:  &http.Client{Timeout: 15 * time.Second},
+		HC: transport.NewPooledHTTPClient(transport.PoolConfig{
+			MaxConnsPerHost: *maxConnsPerHost,
+			Timeout:         15 * time.Second,
+		}),
 		Obs: obs.NewTransportMetrics(reg, "broker"),
 	}
 	broker, err := core.New(core.Config{
@@ -103,6 +117,9 @@ func main() {
 		ManagerAddress: base + "/manage",
 		Client:         client,
 		QueueDepth:     *queueDepth,
+		BatchMax:       *batchMax,
+		BatchWindow:    *batchWindow,
+		DestQueueDepth: *destQueue,
 		BrokerID:       *brokerID,
 		DataDir:        *dataDir,
 		Durability:     *durability,

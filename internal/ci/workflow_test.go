@@ -87,6 +87,8 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"  metrics:",
 		"  cover:",
 		"  crash-smoke:",
+		"  bench-gate:",
+		"  load-smoke:",
 		"  fuzz-smoke:",
 		"  bench-smoke:",
 		"uses: actions/checkout@",
@@ -100,6 +102,8 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"run: make metrics-smoke", // live /metrics + /healthz scrape
 		"run: make cover",         // coverage with ratcheted floor
 		"run: make crash-smoke",   // kill -9 durable-ack gate
+		"run: make bench-gate",    // B13/B15/B16 ratchet vs bench_baseline.json
+		"run: make load-smoke",    // 10k-subscriber -race fan-out with conservation
 		"run: make fuzz-smoke",    // bounded fuzz over checked-in corpora
 		"run: make bench-smoke",
 		"run: make bench-fanout", // render-once fan-out smoke (B13)
@@ -181,9 +185,54 @@ func TestMakeCIMirrorsWorkflow(t *testing.T) {
 	for _, p := range prereqs {
 		have[p] = true
 	}
-	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover", "crash-smoke"} {
+	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover", "crash-smoke", "bench-gate", "load-smoke"} {
 		if !have[want] {
 			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
+		}
+	}
+}
+
+// TestCIPrereqsRunInWorkflow is the reverse pin: every blocking target
+// `make ci` depends on must actually be invoked by the workflow, so the
+// local mirror cannot quietly grow stricter (or stay stuck on a job CI
+// no longer runs) without the two drifting apart being caught.
+func TestCIPrereqsRunInWorkflow(t *testing.T) {
+	text, _ := readWorkflow(t)
+	_, prereqs := makefileTargets(t)
+	if len(prereqs) == 0 {
+		t.Fatal("make ci has no prerequisites")
+	}
+	invoked := map[string]bool{}
+	for _, m := range makeRunRE.FindAllStringSubmatch(text, -1) {
+		invoked[m[1]] = true
+	}
+	for _, p := range prereqs {
+		if !invoked[p] {
+			t.Errorf("make ci depends on %q but the workflow never runs it", p)
+		}
+	}
+}
+
+// TestBlockingJobsHaveNoContinueOnError keeps the new gates blocking: a
+// continue-on-error sneaking into the bench-gate or load-smoke job body
+// would turn the ratchet advisory, which is exactly the failure mode the
+// gate exists to prevent.
+func TestBlockingJobsHaveNoContinueOnError(t *testing.T) {
+	text, _ := readWorkflow(t)
+	jobBody := func(name string) string {
+		idx := strings.Index(text, "  "+name+":\n")
+		if idx < 0 {
+			t.Fatalf("workflow lacks a %s job", name)
+		}
+		body := text[idx+2:]
+		if next := regexp.MustCompile(`\n  [a-z-]+:\n`).FindStringIndex(body); next != nil {
+			body = body[:next[0]]
+		}
+		return body
+	}
+	for _, job := range []string{"check", "lint", "metrics", "cover", "crash-smoke", "bench-gate", "load-smoke"} {
+		if strings.Contains(jobBody(job), "continue-on-error") {
+			t.Errorf("%s job must stay blocking (found continue-on-error)", job)
 		}
 	}
 }
@@ -222,6 +271,72 @@ func TestCoverAndFuzzTargetsPinned(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+}
+
+// TestBenchGateTargetPinned keeps the benchmark ratchet honest: the
+// bench-gate target must rerun all three gated benchmark targets (B13
+// fan-out, B15 event log, B16 dest batching) and feed the combined output
+// through cmd/benchjson against the checked-in baseline with an explicit
+// tolerance.
+func TestBenchGateTargetPinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"BENCH_TOLERANCE ?= 25",
+		"bench-fanout BENCH_COUNT=3 BENCHTIME=30x > bench_gate.txt",
+		"bench-log BENCH_COUNT=3 >> bench_gate.txt",
+		"bench-dest >> bench_gate.txt",
+		"-gate bench_baseline.json -tolerance $(BENCH_TOLERANCE)",
+		"-bench BenchmarkDestBatchFanout",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(repoRoot(t), "bench_baseline.json")); err != nil {
+		t.Errorf("bench_baseline.json must be checked in: %v", err)
+	}
+}
+
+// TestLoadSmokeTargetPinned keeps the load gate at the scale the claim is
+// made over: 10k subscribers across 50 hosts under the race detector.
+func TestLoadSmokeTargetPinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"LOAD_SUBS ?= 10000",
+		"LOAD_HOSTS ?= 50",
+		"WSM_LOAD_SUBS=$(LOAD_SUBS)",
+		"-run '^TestLoadSmoke$$'",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	loadLine := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "WSM_LOAD_SUBS=") {
+			loadLine = line
+		}
+	}
+	if !strings.Contains(loadLine, "-race") {
+		// The go test invocation may wrap; join continuation lines first.
+		joined := strings.ReplaceAll(text, "\\\n", " ")
+		for _, line := range strings.Split(joined, "\n") {
+			if strings.Contains(line, "WSM_LOAD_SUBS=") {
+				loadLine = line
+			}
+		}
+		if !strings.Contains(loadLine, "-race") {
+			t.Errorf("load-smoke must run under -race (got %q)", loadLine)
 		}
 	}
 }

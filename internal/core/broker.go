@@ -24,12 +24,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/destwriter"
 	"repro/internal/dispatch"
 	"repro/internal/eventlog"
 	"repro/internal/filter"
@@ -78,6 +80,22 @@ type Config struct {
 	// QueueDepth bounds each subscriber's delivery queue (default 256);
 	// overflow drops the newest message and counts it.
 	QueueDepth int
+	// BatchMax enables per-destination delivery batching when > 1: queued
+	// subscribers hand up to BatchMax messages per delivery cycle to a
+	// per-destination writer pool (one bounded-queue goroutine per active
+	// host, reaped when idle), which coalesces frame-equal WSN 1.3 wrapped
+	// deliveries into one multi-NotificationMessage envelope per round
+	// trip. Requires a Client with a raw-bytes path (transport.BytesClient)
+	// — without one the knob is ignored. Zero disables (the default).
+	BatchMax int
+	// BatchWindow is how long a destination writer waits after its first
+	// dequeue for more batches to coalesce (zero = purely opportunistic).
+	BatchWindow time.Duration
+	// DestQueueDepth bounds each destination host's writer queue (default
+	// 1024). A full queue blocks the delivery worker until the retry
+	// policy's per-attempt timeout converts the wait into that
+	// subscriber's retry/breaker/DLQ path — bounded memory per slow host.
+	DestQueueDepth int
 	// PullQueueCap bounds WSE pull queues (default 1024).
 	PullQueueCap int
 	// WrapBatchSize is the WSE wrapped-mode batch size (default 10).
@@ -272,6 +290,14 @@ type Broker struct {
 	// the render-template cache.
 	rawClient transport.BytesClient
 
+	// dest is the per-destination writer pool (nil unless Config.BatchMax
+	// > 1 and the client has a raw-bytes path): queued deliveries are
+	// grouped by destination host and coalesced into multi-message
+	// envelopes where the subscriber's dialect allows.
+	dest *destwriter.Pool
+	// destBatchSize observes entries per wire send (nil without Obs).
+	destBatchSize *obs.SizeHistogram
+
 	// renderSec times mediation rendering (nil when Config.Obs is nil).
 	renderSec *obs.Histogram
 	// cacheHits/cacheMisses count fan-out deliveries served by stamping a
@@ -315,6 +341,53 @@ func New(cfg Config) (*Broker, error) {
 	if b.cfg.Client != nil {
 		if bc, ok := b.cfg.Client.(transport.BytesClient); ok {
 			b.rawClient = bc
+		}
+	}
+	if b.cfg.BatchMax > 1 && b.rawClient != nil {
+		b.dest = destwriter.NewPool(destwriter.Config{
+			Send: func(ctx context.Context, addr, contentType string, body []byte) error {
+				return b.rawClient.SendBytes(ctx, addr, contentType, body)
+			},
+			NextMessageID: b.nextMessageID,
+			BatchMax:      b.cfg.BatchMax,
+			BatchWindow:   b.cfg.BatchWindow,
+			QueueDepth:    b.cfg.DestQueueDepth,
+			OnBatchSize: func(n int) {
+				if b.destBatchSize != nil {
+					b.destBatchSize.Observe(uint64(n))
+				}
+			},
+		})
+		if rec := b.cfg.Obs; rec != nil {
+			reg := rec.Registry()
+			comp := obs.L("component", rec.Component())
+			b.destBatchSize = reg.SizeHistogram("wsm_dest_batch_size",
+				"Subscriber deliveries carried per wire send (1 = no coalescing).",
+				nil, comp)
+			reg.GaugeFunc("wsm_dest_active_writers",
+				"Per-destination writer goroutines currently alive.",
+				func() float64 { return float64(b.dest.ActiveWriters()) }, comp)
+			reg.GaugeFunc("wsm_dest_queue_depth",
+				"Batches queued across all destination writers, not yet flushed.",
+				func() float64 { return float64(b.dest.QueueDepth()) }, comp)
+			reg.GaugeFunc("wsm_dest_coalesce_ratio",
+				"Mean subscriber deliveries per wire send since start (0 before the first send).",
+				b.dest.CoalesceRatio, comp)
+			reg.CounterFunc("wsm_dest_envelopes_total",
+				"Coalesced multi-NotificationMessage envelopes put on the wire.",
+				b.dest.Envelopes, comp)
+			reg.CounterFunc("wsm_dest_entries_total",
+				"Subscriber deliveries carried inside coalesced envelopes.",
+				b.dest.CoalescedEntries, comp)
+			reg.CounterFunc("wsm_dest_raw_sends_total",
+				"Envelopes sent individually because their dialect cannot coalesce.",
+				b.dest.RawSends, comp)
+			reg.CounterFunc("wsm_dest_canceled_total",
+				"Batches suppressed because their subscription ended before the flush.",
+				b.dest.Canceled, comp)
+			reg.CounterFunc("wsm_dest_send_errors_total",
+				"Destination writer wire sends that failed.",
+				b.dest.SendErrors, comp)
 		}
 	}
 	b.store = sublease.NewStore(
@@ -512,6 +585,73 @@ func (b *Broker) sendEnvelope(ctx context.Context, addr string, env *soap.Envelo
 	return err
 }
 
+// sendBatch hands one dispatch delivery — up to Batch messages for one
+// subscriber — to the per-destination writer pool. Messages whose cached
+// template is coalescible travel as frames the pool stamps into shared
+// multi-NotificationMessage envelopes (possibly merged with other
+// subscribers bound for the same host); everything else is rendered here
+// and carried as a complete body the pool pipelines over the host's
+// keep-alive connection. The pool may finish a send after this call's
+// context expires, so bodies are freshly allocated, never pooled.
+func (b *Broker) sendBatch(ctx context.Context, st *subState, batch []dispatch.Message) error {
+	ctx, cancel := sendCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	addr := st.canon.Consumer.Address
+	db := &destwriter.Batch{
+		Addr:        addr,
+		ContentType: soap.V11.ContentType(),
+		Live: func() bool {
+			_, err := b.store.Get(st.plan.SubscriptionID)
+			return err == nil
+		},
+		Entries: make([]destwriter.Entry, 0, len(batch)),
+	}
+	cacheable := mediation.Cacheable(st.canon.Consumer)
+	for _, m := range batch {
+		fm := m.Payload.(fanMsg)
+		n := mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}
+		if fm.rs != nil {
+			if cacheable {
+				if tpl, hit := fm.rs.template(n, st.plan); tpl != nil {
+					if hit {
+						inc(b.cacheHits)
+					} else {
+						inc(b.cacheMisses)
+					}
+					if tpl.Coalescible() {
+						db.Entries = append(db.Entries, destwriter.Entry{Frame: tpl, SubID: st.plan.SubscriptionID})
+					} else {
+						db.Entries = append(db.Entries, destwriter.Entry{Body: tpl.Stamp(nil, addr, b.nextMessageID(), st.plan.SubscriptionID)})
+					}
+					continue
+				}
+			}
+			inc(b.cacheMisses)
+		}
+		env := b.timeRender(func() *soap.Envelope {
+			return mediation.Render(n, st.canon.Consumer, st.plan, b.nextMessageID())
+		})
+		db.ContentType = env.Version.ContentType()
+		db.Entries = append(db.Entries, destwriter.Entry{Body: env.AppendMarshal(nil)})
+	}
+	err := b.dest.Deliver(ctx, db)
+	if errors.Is(err, destwriter.ErrCanceled) {
+		// The subscription died between enqueue and flush: nothing went on
+		// the wire, and nothing should have. The engine counts the batch
+		// Delivered rather than pushing a deliberately-cancelled tail into
+		// retry/DLQ; the suppression stays visible via
+		// wsm_dest_canceled_total.
+		return nil
+	}
+	return err
+}
+
+// DestWriter exposes the per-destination writer pool (nil when batching is
+// off) for harnesses and operator surfaces.
+func (b *Broker) DestWriter() *destwriter.Pool { return b.dest }
+
 // sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
 // Wrapped batches are assembled per subscriber from that subscriber's own
 // queue, so no two subscribers share a batch and there is nothing to
@@ -618,6 +758,9 @@ func (b *Broker) HealthChecks(dlqWatermark int) func() []obs.HealthCheck {
 func (b *Broker) Shutdown() {
 	b.store.Shutdown()
 	b.engine.Close()
+	if b.dest != nil {
+		b.dest.Close()
+	}
 	if b.cancelBackend != nil {
 		b.cancelBackend()
 	}
@@ -718,11 +861,25 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 			sub.Mode = dispatch.Queued
 			sub.QueueCap = b.cfg.QueueDepth
 			sub.Overflow = dispatch.DropNewest
+			if b.dest != nil {
+				// Per-destination batching: let the drain hand up to
+				// BatchMax backlogged messages per delivery cycle so the
+				// dest pool can coalesce them (plus whatever other
+				// subscribers queued for the same host) into
+				// multi-message envelopes.
+				sub.Batch = b.cfg.BatchMax
+			}
 		}
-		sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
-			m := batch[0]
-			fm := m.Payload.(fanMsg)
-			return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}, fm.rs)
+		if b.dest != nil {
+			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+				return b.sendBatch(ctx, st, batch)
+			}
+		} else {
+			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+				m := batch[0]
+				fm := m.Payload.(fanMsg)
+				return b.send(ctx, st, mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}, fm.rs)
+			}
 		}
 	}
 	_ = b.engine.Subscribe(sub)

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/obs"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+)
+
+// rawWire records every wire send the dest pool makes and can be told to
+// fail, standing in for the destination hosts of the batching fan-out.
+type rawWire struct {
+	mu       sync.Mutex
+	bodies   [][]byte
+	addrs    []string
+	attempts int
+	fail     error
+}
+
+func (c *rawWire) Call(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+	return nil, nil
+}
+
+func (c *rawWire) Send(_ context.Context, addr string, env *soap.Envelope) error {
+	return c.SendBytes(nil, addr, "", env.Marshal())
+}
+
+func (c *rawWire) SendBytes(_ context.Context, addr, _ string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts++
+	if c.fail != nil {
+		return c.fail
+	}
+	c.bodies = append(c.bodies, append([]byte(nil), body...))
+	c.addrs = append(c.addrs, addr)
+	return nil
+}
+
+func (c *rawWire) sends() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.bodies))
+	copy(out, c.bodies)
+	return out
+}
+
+// wireEntries counts NotificationMessage elements in a serialised Notify.
+func wireEntries(body []byte) int {
+	return bytes.Count(body, []byte("NotificationMessage>")) / 2
+}
+
+// destBroker builds an async broker with per-destination batching on.
+func destBroker(t *testing.T, wire *rawWire, mutate ...func(*Config)) (*Broker, *transport.Loopback) {
+	t.Helper()
+	lb := transport.NewLoopback()
+	cfg := Config{
+		Address:        "svc://wsm",
+		ManagerAddress: "svc://wsm-subs",
+		Client:         wire,
+		BatchMax:       8,
+		BatchWindow:    300 * time.Millisecond,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register("svc://wsm", b.FrontHandler())
+	lb.Register("svc://wsm-subs", b.ManagerHandler())
+	return b, lb
+}
+
+func subscribeShared(t *testing.T, lb *transport.Loopback, addr string) *wsnt.Handle {
+	t.Helper()
+	s := &wsnt.Subscriber{Client: lb, Version: wsnt.V1_3}
+	h, err := s.Subscribe(context.Background(), "svc://wsm", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, addr),
+		TopicExpression:   "tns:jobs",
+		TopicDialect:      topics.DialectSimple,
+		TopicNS:           map[string]string{"tns": "urn:grid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// conserve asserts the dispatch conservation law at whatever the engine's
+// counters currently read.
+func conserve(t *testing.T, b *Broker) dispatch.Stats {
+	t.Helper()
+	st := b.DispatchStats()
+	if st.Matched != st.Delivered+st.Dropped+st.Failed+st.DeadLettered {
+		t.Errorf("conservation violated: Matched=%d Delivered=%d Dropped=%d Failed=%d DeadLettered=%d",
+			st.Matched, st.Delivered, st.Dropped, st.Failed, st.DeadLettered)
+	}
+	return st
+}
+
+// TestDestBatchCoalescesSharedConsumer: two subscriptions on one consumer
+// endpoint, one publish — the dest writer coalesces both deliveries into a
+// single two-entry Notify, the engine still counts two deliveries, and the
+// wsm_dest_* series expose the coalescing.
+func TestDestBatchCoalescesSharedConsumer(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker", obs.RecorderConfig{SampleEvery: 1})
+	wire := &rawWire{}
+	b, lb := destBroker(t, wire, func(c *Config) { c.Obs = rec })
+	defer b.Shutdown()
+
+	h1 := subscribeShared(t, lb, "svc://shared-sink/notify")
+	h2 := subscribeShared(t, lb, "svc://shared-sink/notify")
+	if h1.ID == h2.ID {
+		t.Fatalf("subscriptions share an id: %s", h1.ID)
+	}
+
+	if err := b.Publish(grid, event("a")); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+
+	sends := wire.sends()
+	if len(sends) != 1 {
+		t.Fatalf("wire saw %d envelopes, want 1 coalesced", len(sends))
+	}
+	if n := wireEntries(sends[0]); n != 2 {
+		t.Fatalf("coalesced envelope carries %d entries, want 2:\n%s", n, sends[0])
+	}
+	env, err := soap.ParseBytes(sends[0])
+	if err != nil {
+		t.Fatalf("coalesced envelope is not parseable SOAP: %v", err)
+	}
+	msgs, _, err := wsnt.ParseNotify(env.FirstBody())
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("ParseNotify: %d messages, err %v; want 2", len(msgs), err)
+	}
+
+	pool := b.DestWriter()
+	if pool == nil {
+		t.Fatal("DestWriter is nil with BatchMax set")
+	}
+	if pool.Envelopes() != 1 || pool.CoalescedEntries() != 2 {
+		t.Errorf("pool counters: envelopes=%d entries=%d, want 1/2", pool.Envelopes(), pool.CoalescedEntries())
+	}
+	if r := pool.CoalesceRatio(); r != 2 {
+		t.Errorf("coalesce ratio = %v, want 2", r)
+	}
+	st := conserve(t, b)
+	if st.Matched != 2 || st.Delivered != 2 {
+		t.Errorf("stats: Matched=%d Delivered=%d, want 2/2", st.Matched, st.Delivered)
+	}
+
+	text := scrape(t, reg)
+	for _, want := range []string{
+		`wsm_dest_envelopes_total{component="broker"} 1`,
+		`wsm_dest_entries_total{component="broker"} 2`,
+		`wsm_dest_batch_size_count{component="broker"} 1`,
+		`wsm_dest_batch_size_sum{component="broker"} 2`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestDestBatchDistinctHostsStaySeparate: subscribers on different hosts
+// never share an envelope, and each host gets its own writer.
+func TestDestBatchDistinctHostsStaySeparate(t *testing.T) {
+	wire := &rawWire{}
+	b, lb := destBroker(t, wire, func(c *Config) { c.BatchWindow = 50 * time.Millisecond })
+	defer b.Shutdown()
+
+	for i := 0; i < 3; i++ {
+		subscribeShared(t, lb, fmt.Sprintf("svc://host-%d/notify", i))
+	}
+	if err := b.Publish(grid, event("a")); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+
+	sends := wire.sends()
+	if len(sends) != 3 {
+		t.Fatalf("wire saw %d envelopes, want 3 (one per host)", len(sends))
+	}
+	for i, body := range sends {
+		if n := wireEntries(body); n != 1 {
+			t.Errorf("envelope %d carries %d entries, want 1", i, n)
+		}
+	}
+	st := conserve(t, b)
+	if st.Delivered != 3 {
+		t.Errorf("Delivered = %d, want 3", st.Delivered)
+	}
+}
+
+// TestDestBatchCancelledMidWindowNotDelivered is the mid-window
+// cancellation case: a subscription whose batch is queued but not yet
+// flushed is cancelled; nothing reaches the wire, the suppression counts
+// as delivered (not failed), and the conservation law holds.
+func TestDestBatchCancelledMidWindowNotDelivered(t *testing.T) {
+	wire := &rawWire{}
+	b, lb := destBroker(t, wire, func(c *Config) { c.BatchWindow = 400 * time.Millisecond })
+	defer b.Shutdown()
+
+	h := subscribeShared(t, lb, "svc://doomed-sink/notify")
+	if err := b.Publish(grid, event("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the batch is in the writer's hands (the writer spawns on
+	// first Deliver), then cancel inside the batch window.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.DestWriter().ActiveWriters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never spawned")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.cancelSubscription(h.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	b.Flush()
+
+	if sends := wire.sends(); len(sends) != 0 {
+		t.Fatalf("cancelled subscription still reached the wire: %d envelopes", len(sends))
+	}
+	if got := b.DestWriter().Canceled(); got != 1 {
+		t.Errorf("Canceled = %d, want 1", got)
+	}
+	conserve(t, b)
+}
+
+// TestDestBatchBreakerOpensMidStream: a dead destination fails its batch
+// sends; retry exhaustion dead-letters at batch granularity, the breaker
+// opens, and the conservation law survives the whole episode.
+func TestDestBatchBreakerOpensMidStream(t *testing.T) {
+	wire := &rawWire{fail: errors.New("connection refused")}
+	b, lb := destBroker(t, wire, func(c *Config) {
+		c.BatchWindow = 10 * time.Millisecond
+		c.Retry = &dispatch.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+		c.Breaker = &dispatch.BreakerPolicy{Window: 2, FailureRate: 0.5, Cooldown: 50 * time.Millisecond}
+		c.DeadLetterCap = 100
+	})
+	defer b.Shutdown()
+
+	h := subscribeShared(t, lb, "svc://dead-host/notify")
+	// Each publish+Flush round is at least one failing delivery cycle (the
+	// backlog pops as one batch); two rounds fill the breaker window and
+	// trip it. The third round's payloads arrive against an open breaker:
+	// they buffer, the cool-down probe re-attempts them as a batch, the
+	// probe fails, and the batch routes to the DLQ — "remaining payloads
+	// through retry/DLQ at batch granularity".
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if err := b.Publish(grid, event(fmt.Sprintf("e%d-%d", i, j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Flush()
+	}
+
+	st := conserve(t, b)
+	if st.Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0 (every send failed)", st.Delivered)
+	}
+	if st.Matched != 6 {
+		t.Errorf("Matched = %d, want 6", st.Matched)
+	}
+	if st.DeadLettered != 6 {
+		t.Errorf("DeadLettered = %d, want 6 (every payload routed to the DLQ)", st.DeadLettered)
+	}
+	if state, ok := b.BreakerState(h.ID); !ok || state == dispatch.BreakerClosed {
+		t.Errorf("breaker state = %v (ok=%v), want tripped", state, ok)
+	}
+	if b.DeadLetterCount() != 6 {
+		t.Errorf("DLQ holds %d letters, want 6", b.DeadLetterCount())
+	}
+	wire.mu.Lock()
+	attempts := wire.attempts
+	wire.mu.Unlock()
+	if attempts == 0 {
+		t.Error("no wire attempts recorded")
+	}
+}

@@ -1,0 +1,418 @@
+package destwriter
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mediation"
+	"repro/internal/topics"
+	"repro/internal/wsnt"
+	"repro/internal/xmldom"
+)
+
+var testTopic = topics.NewPath("urn:dw", "t")
+
+func testTemplate(t *testing.T, payloadText string) *mediation.Template {
+	t.Helper()
+	n := mediation.Notification{Topic: testTopic, Payload: xmldom.Elem("urn:dw", "Ev", payloadText)}
+	plan := mediation.DeliveryPlan{
+		Dialect:         mediation.Dialect{Family: mediation.FamilyWSN, WSN: wsnt.V1_3},
+		SubscriptionID:  "seed",
+		ManagerAddress:  "svc://broker/manager",
+		ProducerAddress: "svc://broker",
+	}
+	tpl, err := mediation.NewTemplate(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Coalescible() {
+		t.Fatal("test template not coalescible")
+	}
+	return tpl
+}
+
+// capture is a Send stub recording every wire send.
+type capture struct {
+	mu    sync.Mutex
+	gate  chan struct{} // when non-nil, each send waits for one token
+	err   error
+	addrs []string
+	sends [][]byte
+}
+
+func (c *capture) send(ctx context.Context, addr, ct string, body []byte) error {
+	if c.gate != nil {
+		select {
+		case <-c.gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs = append(c.addrs, addr)
+	c.sends = append(c.sends, append([]byte(nil), body...))
+	return c.err
+}
+
+func (c *capture) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sends)
+}
+
+func (c *capture) body(i int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sends[i]
+}
+
+// entryCount counts NotificationMessage elements in a serialised envelope
+// (open + close tag per entry).
+func entryCount(body []byte) int {
+	return bytes.Count(body, []byte("NotificationMessage>")) / 2
+}
+
+var midSeq atomic.Uint64
+
+func nextMID() string { return fmt.Sprintf("urn:uuid:test-%d", midSeq.Add(1)) }
+
+func newTestPool(c *capture, cfg Config) *Pool {
+	cfg.Send = c.send
+	if cfg.NextMessageID == nil {
+		cfg.NextMessageID = nextMID
+	}
+	return NewPool(cfg)
+}
+
+// TestCoalescesConcurrentBatches: frame-equal batches delivered while the
+// writer's batch window is open land in one envelope on one round trip.
+func TestCoalescesConcurrentBatches(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Deliver(context.Background(), &Batch{
+				Addr:        "http://dest-a:80/sink",
+				ContentType: "application/soap+xml",
+				Entries:     []Entry{{Frame: tpl, SubID: fmt.Sprintf("sub-%d", i)}},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Deliver %d: %v", i, err)
+		}
+	}
+	if got := c.count(); got != 1 {
+		t.Fatalf("wire sends = %d, want 1 coalesced envelope", got)
+	}
+	if got := entryCount(c.body(0)); got != n {
+		t.Fatalf("envelope carries %d entries, want %d\n%s", got, n, c.body(0))
+	}
+	for i := 0; i < n; i++ {
+		want := []byte(fmt.Sprintf("sub-%d", i))
+		if !bytes.Contains(c.body(0), want) {
+			t.Errorf("envelope lacks subscription id %s", want)
+		}
+	}
+	if p.Envelopes() != 1 || p.CoalescedEntries() != n {
+		t.Errorf("counters: envelopes=%d entries=%d, want 1/%d", p.Envelopes(), p.CoalescedEntries(), n)
+	}
+	if r := p.CoalesceRatio(); r != float64(n) {
+		t.Errorf("coalesce ratio %v, want %v", r, float64(n))
+	}
+}
+
+// TestSeparateEnvelopesPerAddress: same host, different consumer paths —
+// one writer, but entries must not merge across addresses (each envelope's
+// wsa:To is its consumer's).
+func TestSeparateEnvelopesPerAddress(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+
+	var wg sync.WaitGroup
+	for _, path := range []string{"/a", "/b"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			if err := p.Deliver(context.Background(), &Batch{
+				Addr:    "http://dest-a:80" + path,
+				Entries: []Entry{{Frame: tpl, SubID: "s" + path}},
+			}); err != nil {
+				t.Errorf("Deliver %s: %v", path, err)
+			}
+		}(path)
+	}
+	wg.Wait()
+	if got := c.count(); got != 2 {
+		t.Fatalf("wire sends = %d, want 2 (distinct addresses)", got)
+	}
+	if p.ActiveWriters() != 1 {
+		t.Errorf("ActiveWriters = %d, want 1 (same host)", p.ActiveWriters())
+	}
+}
+
+// TestRawEntriesSendIndividually: entries without a coalescible frame go
+// out one envelope per entry, verbatim.
+func TestRawEntriesSendIndividually(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{})
+	defer p.Close()
+	body := []byte("<Envelope>raw</Envelope>")
+	err := p.Deliver(context.Background(), &Batch{
+		Addr:    "http://dest-b:80/sink",
+		Entries: []Entry{{Body: body}, {Body: body}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.count(); got != 2 {
+		t.Fatalf("wire sends = %d, want 2 raw", got)
+	}
+	if !bytes.Equal(c.body(0), body) {
+		t.Errorf("raw body altered: %s", c.body(0))
+	}
+	if p.RawSends() != 2 || p.Envelopes() != 0 {
+		t.Errorf("counters: raw=%d envelopes=%d, want 2/0", p.RawSends(), p.Envelopes())
+	}
+}
+
+// TestCancelledBatchSuppressed: Live() == false at flush time suppresses
+// the batch — nothing on the wire, ErrCanceled to the caller.
+func TestCancelledBatchSuppressed(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+	err := p.Deliver(context.Background(), &Batch{
+		Addr:    "http://dest-c:80/sink",
+		Live:    func() bool { return false },
+		Entries: []Entry{{Frame: tpl, SubID: "gone"}},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if c.count() != 0 {
+		t.Fatalf("cancelled batch reached the wire: %d sends", c.count())
+	}
+	if p.Canceled() != 1 {
+		t.Errorf("Canceled() = %d, want 1", p.Canceled())
+	}
+}
+
+// TestSendErrorFansIn: a failed coalesced envelope fails every batch that
+// contributed entries to it.
+func TestSendErrorFansIn(t *testing.T) {
+	c := &capture{err: errors.New("boom")}
+	p := newTestPool(c, Config{BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Deliver(context.Background(), &Batch{
+				Addr:    "http://dest-d:80/sink",
+				Entries: []Entry{{Frame: tpl, SubID: fmt.Sprintf("s%d", i)}},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != "boom" {
+			t.Errorf("Deliver %d: err = %v, want boom", i, err)
+		}
+	}
+	if p.SendErrors() == 0 {
+		t.Error("SendErrors not counted")
+	}
+}
+
+// TestBatchMaxSplitsEnvelopes: more frame-equal entries than BatchMax in
+// one flush round split into ceil(n/max) envelopes.
+func TestBatchMaxSplitsEnvelopes(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchMax: 2, BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+	err := p.Deliver(context.Background(), &Batch{
+		Addr: "http://dest-e:80/sink",
+		Entries: []Entry{
+			{Frame: tpl, SubID: "a"}, {Frame: tpl, SubID: "b"}, {Frame: tpl, SubID: "c"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.count(); got != 2 {
+		t.Fatalf("wire sends = %d, want 2 (BatchMax=2 over 3 entries)", got)
+	}
+	if n := entryCount(c.body(0)) + entryCount(c.body(1)); n != 3 {
+		t.Fatalf("total entries across envelopes = %d, want 3", n)
+	}
+}
+
+// TestBackpressureBlocksThenContextFails: with a full host queue, Deliver
+// blocks and the caller's context deadline converts the wait into an error
+// — the path dispatch's per-attempt timeout takes under sustained pressure.
+func TestBackpressureBlocksThenContextFails(t *testing.T) {
+	c := &capture{gate: make(chan struct{})}
+	p := newTestPool(c, Config{QueueDepth: 1})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+	mk := func() *Batch {
+		return &Batch{Addr: "http://dest-f:80/sink", Entries: []Entry{{Frame: tpl, SubID: "s"}}}
+	}
+	// First batch occupies the writer (gated send); second fills the queue.
+	done1 := make(chan error, 1)
+	go func() { done1 <- p.Deliver(context.Background(), mk()) }()
+	done2 := make(chan error, 1)
+	go func() { done2 <- p.Deliver(context.Background(), mk()) }()
+	// Give both time to enqueue/start.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Deliver(ctx, mk()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue Deliver err = %v, want DeadlineExceeded", err)
+	}
+	close(c.gate) // release all gated sends
+	if err := <-done1; err != nil {
+		t.Fatalf("first Deliver: %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("second Deliver: %v", err)
+	}
+}
+
+// TestIdleReapAndRespawn: a writer reaps after IdleTimeout; the next
+// Deliver spawns a fresh one and succeeds.
+func TestIdleReapAndRespawn(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{IdleTimeout: 20 * time.Millisecond})
+	defer p.Close()
+	tpl := testTemplate(t, "hello")
+	b := func() *Batch {
+		return &Batch{Addr: "http://dest-g:80/sink", Entries: []Entry{{Frame: tpl, SubID: "s"}}}
+	}
+	if err := p.Deliver(context.Background(), b()); err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveWriters() != 1 {
+		t.Fatalf("ActiveWriters = %d, want 1", p.ActiveWriters())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.ActiveWriters() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Deliver(context.Background(), b()); err != nil {
+		t.Fatalf("Deliver after reap: %v", err)
+	}
+	if c.count() != 2 {
+		t.Fatalf("sends = %d, want 2", c.count())
+	}
+}
+
+// TestCloseRejectsAndDrains: Close drains queued batches, and later
+// Delivers fail with ErrClosed.
+func TestCloseRejectsAndDrains(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{})
+	tpl := testTemplate(t, "hello")
+	if err := p.Deliver(context.Background(), &Batch{
+		Addr:    "http://dest-h:80/sink",
+		Entries: []Entry{{Frame: tpl, SubID: "s"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	err := p.Deliver(context.Background(), &Batch{
+		Addr:    "http://dest-h:80/sink",
+		Entries: []Entry{{Frame: tpl, SubID: "s"}},
+	})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Deliver after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestHostOf pins the grouping key.
+func TestHostOf(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"http://h:80/a/b?x=1", "h:80"},
+		{"https://h/a", "h"},
+		{"http://h:8080", "h:8080"},
+		{"svc://sink-1", "sink-1"},
+		{"opaque-address", "opaque-address"},
+		{"http://", "http://"},
+	} {
+		if got := hostOf(tc.in); got != tc.want {
+			t.Errorf("hostOf(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestMixedFramesSeparateEnvelopes: entries whose frames differ (a relayed
+// publish bakes a different head) must not share an envelope even at one
+// address.
+func TestMixedFramesSeparateEnvelopes(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	plain := testTemplate(t, "hello")
+	relayed := func() *mediation.Template {
+		n := mediation.Notification{
+			Topic:   testTopic,
+			Payload: xmldom.Elem("urn:dw", "Ev", "hello"),
+			Relay:   &mediation.Relay{Origin: "bk-x", ID: "m1", Hops: 1},
+		}
+		plan := mediation.DeliveryPlan{
+			Dialect:         mediation.Dialect{Family: mediation.FamilyWSN, WSN: wsnt.V1_3},
+			SubscriptionID:  "seed",
+			ManagerAddress:  "svc://broker/manager",
+			ProducerAddress: "svc://broker",
+		}
+		tpl, err := mediation.NewTemplate(n, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tpl
+	}()
+	err := p.Deliver(context.Background(), &Batch{
+		Addr: "http://dest-i:80/sink",
+		Entries: []Entry{
+			{Frame: plain, SubID: "a"},
+			{Frame: relayed, SubID: "b"},
+			{Frame: plain, SubID: "c"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.count(); got != 2 {
+		t.Fatalf("wire sends = %d, want 2 (plain + relayed frames)", got)
+	}
+}

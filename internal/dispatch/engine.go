@@ -878,11 +878,14 @@ func (e *Engine) drain(s *sub) {
 			}
 		}
 		s.mu.Lock()
-		if s.brk != nil && s.opts.Batch > 1 {
-			// Breaker subscribers flush wrap-mode batches directly: a
-			// half-open probe must produce a recordable outcome, which a
-			// message parked in the deliverSync batch accumulator would
-			// not. Short batches flush partial, like FlushBatch.
+		if s.opts.Batch > 1 {
+			// Batch subscribers flush wrap-mode batches directly from the
+			// backlog: a queued subscriber with Batch > 1 hands up to Batch
+			// messages per delivery cycle (the per-destination writer
+			// coalesces them into one envelope), and a breaker's half-open
+			// probe must produce a recordable outcome, which a message
+			// parked in the deliverSync batch accumulator would not. Short
+			// batches flush partial, like FlushBatch.
 			n := s.opts.Batch
 			if l := s.q.len(); l < n {
 				n = l

@@ -610,3 +610,56 @@ func TestQuiesceAccountsPausedQueued(t *testing.T) {
 	}
 	checkStats(t, e, Stats{Published: 5, Matched: 5, Delivered: 5})
 }
+
+// TestQueuedBatchPopsBacklog: a queued subscriber with Batch > 1 (and no
+// breaker) receives its backlog as multi-message batches — the shape the
+// per-destination writer coalesces into one envelope — while conservation
+// holds at batch granularity.
+func TestQueuedBatchPopsBacklog(t *testing.T) {
+	e := New(Config{})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	var sizes []int
+	var total int
+	e.Subscribe(Sub{
+		ID:    "qb",
+		Mode:  Queued,
+		Batch: 4,
+		Deliver: func(batch []Message) error {
+			once.Do(func() { close(started) })
+			<-block
+			mu.Lock()
+			sizes = append(sizes, len(batch))
+			total += len(batch)
+			mu.Unlock()
+			return nil
+		},
+	})
+	e.Dispatch(Message{Payload: 0})
+	<-started // worker holds the first batch; backlog accumulates
+	for i := 1; i <= 6; i++ {
+		e.Dispatch(Message{Payload: i})
+	}
+	close(block)
+	e.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 7 {
+		t.Fatalf("delivered %d messages, want 7 (sizes %v)", total, sizes)
+	}
+	maxBatch := 0
+	for _, n := range sizes {
+		if n > 4 {
+			t.Fatalf("batch of %d exceeds Batch=4 (sizes %v)", n, sizes)
+		}
+		if n > maxBatch {
+			maxBatch = n
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("backlog never delivered as a batch (sizes %v)", sizes)
+	}
+	checkStats(t, e, Stats{Published: 7, Matched: 7, Delivered: 7})
+}

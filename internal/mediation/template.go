@@ -82,6 +82,14 @@ type Template struct {
 	parts  [][]byte      // len(fields)+1 fixed byte runs
 	fields []spliceField // field spliced after parts[i]
 	fixed  int           // total fixed bytes, for buffer sizing
+
+	// Coalescing segmentation (WSN 1.3 wrapped deliveries only): the
+	// envelope cut at the NotificationMessage element boundaries, so
+	// multiple subscribers' entries can share one envelope frame. nil
+	// when the template is not coalescible.
+	head  *Template // To + MessageID slots, bytes before the entry
+	entry *Template // the NotificationMessage element, SubscriptionId slot
+	tail  []byte    // bytes after the entry (closing Notify/Body/Envelope)
 }
 
 // wantsSubID reports whether Render embeds the subscription identifier for
@@ -123,18 +131,47 @@ func renderSentinel(n Notification, plan DeliveryPlan) []byte {
 	return Render(n, consumer, plan, sentinelMsgID).Marshal()
 }
 
+type spliceSlot struct {
+	off   int
+	field spliceField
+}
+
+func sentinelLen(f spliceField) int {
+	switch f {
+	case fieldTo:
+		return len(sentinelTo)
+	case fieldMsgID:
+		return len(sentinelMsgID)
+	default:
+		return len(sentinelSubID)
+	}
+}
+
+// cut builds a template from a byte run and its in-order slots.
+func cut(doc []byte, slots []spliceSlot) *Template {
+	t := &Template{}
+	pos := 0
+	for _, s := range slots {
+		part := doc[pos:s.off]
+		t.parts = append(t.parts, part)
+		t.fields = append(t.fields, s.field)
+		t.fixed += len(part)
+		pos = s.off + sentinelLen(s.field)
+	}
+	tail := doc[pos:]
+	t.parts = append(t.parts, tail)
+	t.fixed += len(tail)
+	return t
+}
+
 // compile cuts the serialised envelope at the sentinel occurrences.
 func compile(doc []byte, withSubID bool) (*Template, error) {
-	type slot struct {
-		off   int
-		field spliceField
-	}
-	var slots []slot
+	var slots []spliceSlot
 	locate := func(sentinel string, field spliceField) error {
 		if n := bytes.Count(doc, []byte(sentinel)); n != 1 {
 			return fmt.Errorf("mediation: sentinel %q occurs %d times in rendered envelope", sentinel, n)
 		}
-		slots = append(slots, slot{off: bytes.Index(doc, []byte(sentinel)), field: field})
+		slots = append(slots, spliceSlot{off: bytes.Index(doc, []byte(sentinel)), field: field})
 		return nil
 	}
 	if err := locate(sentinelTo, fieldTo); err != nil {
@@ -154,24 +191,60 @@ func compile(doc []byte, withSubID bool) (*Template, error) {
 			slots[j], slots[j-1] = slots[j-1], slots[j]
 		}
 	}
-	t := &Template{}
-	pos := 0
-	sentinelLen := map[spliceField]int{
-		fieldTo:    len(sentinelTo),
-		fieldMsgID: len(sentinelMsgID),
-		fieldSubID: len(sentinelSubID),
+	t := cut(doc, slots)
+	if withSubID {
+		t.segment(doc, slots)
 	}
-	for _, s := range slots {
-		part := doc[pos:s.off]
-		t.parts = append(t.parts, part)
-		t.fields = append(t.fields, s.field)
-		t.fixed += len(part)
-		pos = s.off + sentinelLen[s.field]
-	}
-	tail := doc[pos:]
-	t.parts = append(t.parts, tail)
-	t.fixed += len(tail)
 	return t, nil
+}
+
+// msgLocal is the local name of the per-subscriber element inside a WSN 1.3
+// wrapped Notify body. The wrapper's open tag precedes and its close tag
+// follows any occurrence of the string inside the payload, so the first and
+// last occurrences always locate the wrapper itself.
+const msgLocal = "NotificationMessage"
+
+// segment locates the NotificationMessage element inside the serialised
+// envelope and cuts the template into frame head / entry / frame tail, the
+// shape multi-message coalescing needs. Best-effort: any anomaly (sentinel
+// outside its expected region, unparseable boundaries) leaves the template
+// valid but non-coalescible.
+func (t *Template) segment(doc []byte, slots []spliceSlot) {
+	first := bytes.Index(doc, []byte(msgLocal))
+	last := bytes.LastIndex(doc, []byte(msgLocal))
+	if first < 0 || last <= first {
+		return
+	}
+	msgStart := bytes.LastIndexByte(doc[:first], '<')
+	if msgStart < 0 {
+		return
+	}
+	gt := bytes.IndexByte(doc[last:], '>')
+	if gt < 0 {
+		return
+	}
+	msgEnd := last + gt + 1
+	var headSlots, entrySlots []spliceSlot
+	for _, s := range slots {
+		end := s.off + sentinelLen(s.field)
+		if s.field == fieldSubID {
+			if s.off < msgStart || end > msgEnd {
+				return
+			}
+			entrySlots = append(entrySlots, spliceSlot{off: s.off - msgStart, field: s.field})
+			continue
+		}
+		if end > msgStart {
+			return
+		}
+		headSlots = append(headSlots, s)
+	}
+	if len(entrySlots) != 1 {
+		return
+	}
+	t.head = cut(doc[:msgStart], headSlots)
+	t.entry = cut(doc[msgStart:msgEnd], entrySlots)
+	t.tail = doc[msgEnd:]
 }
 
 // FixedSize returns the byte count of the template's fixed runs — a lower
@@ -198,4 +271,75 @@ func (t *Template) Stamp(dst []byte, to, messageID, subscriptionID string) []byt
 		}
 	}
 	return dst
+}
+
+// Coalescing API. A coalescible template is an envelope cut at the
+// NotificationMessage boundaries: AppendFrameHead writes everything up to
+// the first entry (splicing the shared wsa:To and wsa:MessageID), AppendEntry
+// writes one subscriber's NotificationMessage (splicing its SubscriptionId),
+// and AppendFrameTail closes the envelope. A frame holding a single entry is
+// byte-identical to Stamp for the same field values; multiple entries are
+// namespace-safe because entries from frame-equal templates share the exact
+// prefix environment at the entry boundary, and anything a payload needs
+// beyond it is declared inside the entry subtree itself.
+
+// Coalescible reports whether the template supports multi-message framing.
+func (t *Template) Coalescible() bool { return t != nil && t.entry != nil }
+
+// FrameEqual reports whether two coalescible templates produce byte-identical
+// envelope frames (head fixed runs, slot layout and tail), i.e. whether their
+// entries may legally share one envelope.
+func (t *Template) FrameEqual(o *Template) bool {
+	if t == o {
+		return t.Coalescible()
+	}
+	if !t.Coalescible() || !o.Coalescible() {
+		return false
+	}
+	if !bytes.Equal(t.tail, o.tail) || len(t.head.parts) != len(o.head.parts) {
+		return false
+	}
+	for i := range t.head.parts {
+		if !bytes.Equal(t.head.parts[i], o.head.parts[i]) {
+			return false
+		}
+	}
+	for i := range t.head.fields {
+		if t.head.fields[i] != o.head.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FrameFixedSize returns the fixed byte count of head plus tail, for
+// pre-sizing coalesced buffers. Zero when not coalescible.
+func (t *Template) FrameFixedSize() int {
+	if !t.Coalescible() {
+		return 0
+	}
+	return t.head.fixed + len(t.tail)
+}
+
+// EntryFixedSize returns the fixed byte count of one entry.
+func (t *Template) EntryFixedSize() int {
+	if !t.Coalescible() {
+		return 0
+	}
+	return t.entry.fixed
+}
+
+// AppendFrameHead appends the envelope bytes preceding the first entry.
+func (t *Template) AppendFrameHead(dst []byte, to, messageID string) []byte {
+	return t.head.Stamp(dst, to, messageID, "")
+}
+
+// AppendEntry appends one subscriber's NotificationMessage element.
+func (t *Template) AppendEntry(dst []byte, subscriptionID string) []byte {
+	return t.entry.Stamp(dst, "", "", subscriptionID)
+}
+
+// AppendFrameTail appends the envelope bytes following the last entry.
+func (t *Template) AppendFrameTail(dst []byte) []byte {
+	return append(dst, t.tail...)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/soap"
 	"repro/internal/topics"
 	"repro/internal/wsa"
 	"repro/internal/wse"
@@ -202,5 +203,192 @@ func TestKeyFor(t *testing.T) {
 	wse01.Dialect = Dialect{Family: FamilyWSE, WSE: wse.V200401}
 	if KeyFor(base) == KeyFor(wse01) {
 		t.Error("different dialects must not share a key")
+	}
+}
+
+// coalescePlan is the one plan shape that supports multi-message framing:
+// WSN 1.3 wrapped delivery with a subscription manager reference.
+func coalescePlan(sid string) DeliveryPlan {
+	return DeliveryPlan{
+		Dialect:         Dialect{Family: FamilyWSN, WSN: wsnt.V1_3},
+		SubscriptionID:  sid,
+		ManagerAddress:  "svc://broker/manager",
+		ProducerAddress: "svc://broker",
+	}
+}
+
+// TestCoalescibleOnlyWSN13Wrapped: the coalescing segmentation must appear
+// exactly on WSN 1.3 wrapped plans with a subscription id and nowhere else.
+func TestCoalescibleOnlyWSN13Wrapped(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	for _, plan := range templatePlans() {
+		tpl, err := NewTemplate(n, plan)
+		if err != nil {
+			t.Fatalf("NewTemplate(%v): %v", plan, err)
+		}
+		want := plan.Dialect.Family == FamilyWSN &&
+			plan.Dialect.WSN == wsnt.V1_3 &&
+			!plan.UseRaw && plan.SubscriptionID != ""
+		if got := tpl.Coalescible(); got != want {
+			t.Errorf("%v raw=%v sub=%q: Coalescible=%v want %v",
+				plan.Dialect, plan.UseRaw, plan.SubscriptionID, got, want)
+		}
+	}
+	var nilTpl *Template
+	if nilTpl.Coalescible() {
+		t.Error("nil template reports coalescible")
+	}
+}
+
+// TestSingleEntryFrameMatchesStamp: a coalesced envelope holding one entry
+// must be byte-identical to a plain Stamp — the frame cut loses nothing.
+func TestSingleEntryFrameMatchesStamp(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	tpl, err := NewTemplate(n, coalescePlan("sub-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Coalescible() {
+		t.Fatal("WSN 1.3 wrapped template not coalescible")
+	}
+	to, mid, sid := "http://h:80/ev?x=1&y=2", "urn:uuid:wsm-42", "sub <2> & co"
+	var got []byte
+	got = tpl.AppendFrameHead(got, to, mid)
+	got = tpl.AppendEntry(got, sid)
+	got = tpl.AppendFrameTail(got)
+	want := tpl.Stamp(nil, to, mid, sid)
+	if string(got) != string(want) {
+		t.Errorf("frame+entry+tail != stamp\n got %s\nwant %s", got, want)
+	}
+	if tpl.FrameFixedSize()+tpl.EntryFixedSize() != tpl.FixedSize() {
+		t.Errorf("segment sizes %d+%d != fixed size %d",
+			tpl.FrameFixedSize(), tpl.EntryFixedSize(), tpl.FixedSize())
+	}
+}
+
+// TestCoalescedEnvelopeRoundTrip is the batching correctness property: an
+// envelope coalescing N subscribers' entries (possibly from different
+// payloads whose frames are byte-equal) must parse back into exactly the
+// per-subscriber NotificationMessages a non-batched arm would have sent,
+// byte-compared on the marshalled message payloads.
+func TestCoalescedEnvelopeRoundTrip(t *testing.T) {
+	payloads := []*xmldom.Element{
+		payload(),
+		xmldom.Elem("urn:grid", "Ev2", "two & <three>"),
+		xmldom.Elem("urn:other", "NotificationMessage", "payload named like the wrapper"),
+	}
+	sids := []string{"sub-a", "sub-b", "sub <c> & co"}
+	to, mid := "http://h:80/sink", "urn:uuid:wsm-env-1"
+
+	var tpls []*Template
+	for _, p := range payloads {
+		tpl, err := NewTemplate(Notification{Topic: grid, Payload: p}, coalescePlan("seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tpl.Coalescible() {
+			t.Fatalf("payload %v: not coalescible", p.Name)
+		}
+		tpls = append(tpls, tpl)
+	}
+	for _, other := range tpls[1:] {
+		if !tpls[0].FrameEqual(other) {
+			t.Fatal("same-plan templates must be frame-equal regardless of payload")
+		}
+	}
+
+	var env []byte
+	env = tpls[0].AppendFrameHead(env, to, mid)
+	for i, tpl := range tpls {
+		env = tpl.AppendEntry(env, sids[i])
+	}
+	env = tpls[0].AppendFrameTail(env)
+
+	parsed, err := soap.ParseBytes(env)
+	if err != nil {
+		t.Fatalf("coalesced envelope does not parse: %v\n%s", err, env)
+	}
+	if len(parsed.Body) != 1 {
+		t.Fatalf("envelope body has %d elements, want 1 Notify", len(parsed.Body))
+	}
+	msgs, v, err := wsnt.ParseNotify(parsed.Body[0])
+	if err != nil {
+		t.Fatalf("ParseNotify: %v", err)
+	}
+	if v != wsnt.V1_3 {
+		t.Fatalf("parsed version %v, want 1.3", v)
+	}
+	if len(msgs) != len(payloads) {
+		t.Fatalf("parsed %d messages, want %d", len(msgs), len(payloads))
+	}
+	for i, m := range msgs {
+		// The non-batched arm: what a single-entry envelope to this
+		// subscriber would have carried.
+		var single []byte
+		single = tpls[i].Stamp(single, to, mid, sids[i])
+		sp, err := soap.ParseBytes(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := wsnt.ParseNotify(sp.Body[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != 1 {
+			t.Fatalf("single envelope parsed into %d messages", len(want))
+		}
+		if got, exp := xmldom.Marshal(m.Payload), xmldom.Marshal(want[0].Payload); got != exp {
+			t.Errorf("entry %d payload mismatch\n got %s\nwant %s", i, got, exp)
+		}
+		if m.Topic.String() != want[0].Topic.String() {
+			t.Errorf("entry %d topic %q want %q", i, m.Topic, want[0].Topic)
+		}
+		var gotSid, wantSid string
+		if m.SubscriptionReference != nil {
+			gotSid = xmldom.Marshal(m.SubscriptionReference.Element(xmldom.N("urn:t", "R")))
+		}
+		if want[0].SubscriptionReference != nil {
+			wantSid = xmldom.Marshal(want[0].SubscriptionReference.Element(xmldom.N("urn:t", "R")))
+		}
+		if gotSid != wantSid {
+			t.Errorf("entry %d subscription reference mismatch\n got %s\nwant %s", i, gotSid, wantSid)
+		}
+	}
+}
+
+// TestFrameEqualDiscriminates: any head byte that differs — here the
+// federation relay header, which bakes into the envelope head — must keep
+// frames from merging, while entry-level differences (the subscription
+// manager address lives inside each NotificationMessage) must not.
+func TestFrameEqualDiscriminates(t *testing.T) {
+	n := Notification{Topic: grid, Payload: payload()}
+	a, err := NewTemplate(n, coalescePlan("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayed := n
+	relayed.Relay = &Relay{Origin: "broker-x", ID: "m-1", Hops: 1}
+	b, err := NewTemplate(relayed, coalescePlan("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FrameEqual(b) {
+		t.Error("frames with different relay headers compare equal")
+	}
+	otherPlan := coalescePlan("s")
+	otherPlan.ManagerAddress = "svc://other/manager"
+	c, err := NewTemplate(n, otherPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FrameEqual(c) {
+		t.Error("manager address is entry-level state; frames must still merge")
+	}
+	raw, err := NewTemplate(n, DeliveryPlan{Dialect: Dialect{Family: FamilyWSN, WSN: wsnt.V1_3}, UseRaw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FrameEqual(raw) || raw.FrameEqual(a) {
+		t.Error("non-coalescible template compares frame-equal")
 	}
 }

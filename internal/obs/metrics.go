@@ -190,3 +190,75 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	}
 	return s.Sum / time.Duration(s.Total)
 }
+
+// DefaultSizeBuckets are the bounds used for unitless size histograms
+// (batch sizes, entry counts): powers of two from 1 to 256.
+var DefaultSizeBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// SizeHistogram is a fixed-bucket histogram over unitless sizes (batch
+// entry counts, byte counts) — the same two-atomic-adds observation cost as
+// Histogram, without pretending sizes are durations.
+type SizeHistogram struct {
+	bounds []uint64        // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// NewSizeHistogram builds a size histogram over the given ascending upper
+// bounds (nil means DefaultSizeBuckets).
+func NewSizeHistogram(bounds []uint64) *SizeHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultSizeBuckets
+	}
+	return &SizeHistogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one size.
+func (h *SizeHistogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *SizeHistogram) Count() uint64 { return h.n.Load() }
+
+// Snapshot captures a point-in-time copy (same consistency caveat as
+// Histogram.Snapshot).
+func (h *SizeHistogram) Snapshot() SizeHistogramSnapshot {
+	s := SizeHistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Total += c
+	}
+	return s
+}
+
+// SizeHistogramSnapshot is a point-in-time copy of a SizeHistogram.
+type SizeHistogramSnapshot struct {
+	Bounds []uint64
+	Counts []uint64 // per-bucket counts (not cumulative)
+	Sum    uint64
+	Total  uint64
+}
+
+// Mean reports the average observed size (0 when empty).
+func (s SizeHistogramSnapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Total)
+}

@@ -26,6 +26,7 @@ const (
 	kindCounter kind = iota
 	kindGauge
 	kindHistogram
+	kindSizeHistogram
 )
 
 func (k kind) String() string {
@@ -45,6 +46,7 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	sizes   *SizeHistogram
 	// funcs sample external state at scrape time (engine atomics, queue
 	// depths) so hot paths never write registry-owned values twice.
 	counterFn func() uint64
@@ -182,6 +184,16 @@ func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels .
 	return s.hist
 }
 
+// SizeHistogram returns (creating on demand) the size-histogram series
+// name+labels. bounds applies only on creation (nil = DefaultSizeBuckets).
+func (r *Registry) SizeHistogram(name, help string, bounds []uint64, labels ...Label) *SizeHistogram {
+	s := r.lookup(name, help, kindSizeHistogram, labels)
+	if s.sizes == nil {
+		s.sizes = NewSizeHistogram(bounds)
+	}
+	return s.sizes
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -253,6 +265,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum += hs.Counts[len(hs.Bounds)]
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(hs.Sum.Seconds()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, hs.Total)
+			case kindSizeHistogram:
+				if s.sizes == nil {
+					continue
+				}
+				hs := s.sizes.Snapshot()
+				cum := uint64(0)
+				for i, bound := range hs.Bounds {
+					cum += hs.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						withLabel(s.labels, "le", formatFloat(float64(bound))), cum)
+				}
+				cum += hs.Counts[len(hs.Bounds)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, s.labels, hs.Sum)
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, hs.Total)
 			}
 		}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnCounter tracks connection (and therefore file-descriptor) usage of a
+// pooled HTTP client: every dial and every close is counted, so the number
+// of open sockets is observable at any instant. The load harness's fd
+// regression test and the wsm_dest_conns_open gauge both read it.
+type ConnCounter struct {
+	dials  atomic.Int64
+	closes atomic.Int64
+}
+
+// Dials reports total connections ever opened.
+func (c *ConnCounter) Dials() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.dials.Load()
+}
+
+// Open reports currently open connections (dials minus closes).
+func (c *ConnCounter) Open() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.dials.Load() - c.closes.Load()
+}
+
+// countedConn decrements its counter exactly once on Close — net/http may
+// close a pooled connection from more than one path.
+type countedConn struct {
+	net.Conn
+	cc   *ConnCounter
+	once sync.Once
+}
+
+func (c *countedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { c.cc.closes.Add(1) })
+	return err
+}
+
+// PoolConfig tunes NewPooledHTTPClient. Zero values select defaults chosen
+// for a broker fanning out to a few hundred destination hosts.
+type PoolConfig struct {
+	// MaxIdleConnsPerHost caps idle keep-alive connections kept per host.
+	// Default 8. (http.DefaultClient keeps only 2, which under concurrent
+	// fan-out to one host dials and discards connections continuously.)
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost caps total concurrent connections per host — the
+	// bound that keeps one slow destination from eating file descriptors.
+	// Default 16. (http.DefaultTransport has NO per-host connection cap:
+	// every blocked sender dials another socket, and a 100k-subscriber
+	// fan-out to a stalled host exhausts the fd table. That unbounded
+	// growth is the leak this pool exists to fix.)
+	MaxConnsPerHost int
+	// MaxIdleConns caps idle connections across all hosts. Default 512.
+	MaxIdleConns int
+	// IdleConnTimeout reaps idle connections. Default 30s (down from the
+	// DefaultTransport's 90s: dead destinations release their fds sooner).
+	IdleConnTimeout time.Duration
+	// Timeout is the whole-request bound on the returned client. Zero
+	// means no client-level bound (callers pass context deadlines).
+	Timeout time.Duration
+	// Counter, when non-nil, counts every dial and close.
+	Counter *ConnCounter
+}
+
+func (c PoolConfig) maxIdlePerHost() int {
+	if c.MaxIdleConnsPerHost > 0 {
+		return c.MaxIdleConnsPerHost
+	}
+	return 8
+}
+
+func (c PoolConfig) maxPerHost() int {
+	if c.MaxConnsPerHost > 0 {
+		return c.MaxConnsPerHost
+	}
+	return 16
+}
+
+func (c PoolConfig) maxIdle() int {
+	if c.MaxIdleConns > 0 {
+		return c.MaxIdleConns
+	}
+	return 512
+}
+
+func (c PoolConfig) idleTimeout() time.Duration {
+	if c.IdleConnTimeout > 0 {
+		return c.IdleConnTimeout
+	}
+	return 30 * time.Second
+}
+
+// NewPooledHTTPClient builds an *http.Client whose transport is tuned for
+// many distinct destination hosts: bounded connections per host, a global
+// idle cap, a shortened idle timeout, and optional dial/close accounting.
+// Hand it to HTTPClient.HC (and the destwriter pool's send path) in place
+// of http.DefaultClient.
+func NewPooledHTTPClient(cfg PoolConfig) *http.Client {
+	dialer := &net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}
+	tr := &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			conn, err := dialer.DialContext(ctx, network, addr)
+			if err != nil || cfg.Counter == nil {
+				return conn, err
+			}
+			cfg.Counter.dials.Add(1)
+			return &countedConn{Conn: conn, cc: cfg.Counter}, nil
+		},
+		MaxIdleConns:        cfg.maxIdle(),
+		MaxIdleConnsPerHost: cfg.maxIdlePerHost(),
+		MaxConnsPerHost:     cfg.maxPerHost(),
+		IdleConnTimeout:     cfg.idleTimeout(),
+	}
+	return &http.Client{Transport: tr, Timeout: cfg.Timeout}
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+)
+
+// TestPooledClientBoundsConnsPerHost is the fd-leak regression at unit
+// scale: a burst of concurrent sends to one host must not dial more than
+// MaxConnsPerHost sockets, where the default transport (no per-host cap)
+// dials one per blocked sender.
+func TestPooledClientBoundsConnsPerHost(t *testing.T) {
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	cc := &ConnCounter{}
+	hc := NewPooledHTTPClient(PoolConfig{MaxConnsPerHost: 4, Counter: cc})
+	client := &HTTPClient{HC: hc}
+
+	const burst = 16
+	env := soap.New(soap.V11)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := client.SendBytes(ctx, srv.URL, "text/xml", env.Marshal()); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+	}
+	started.Wait()
+	// Let the transport dial as far as it wants before releasing.
+	time.Sleep(200 * time.Millisecond)
+	if open := cc.Open(); open > 4 {
+		t.Errorf("open connections under burst = %d, want <= MaxConnsPerHost (4)", open)
+	}
+	close(block)
+	wg.Wait()
+	if dials := cc.Dials(); dials > 4 {
+		t.Errorf("total dials = %d, want <= 4 (keep-alive reuse)", dials)
+	}
+}
+
+// TestPooledClientReleasesIdleConns: after the idle timeout, pooled
+// connections close and the open count returns to zero — dead destinations
+// do not pin fds.
+func TestPooledClientReleasesIdleConns(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	cc := &ConnCounter{}
+	hc := NewPooledHTTPClient(PoolConfig{IdleConnTimeout: 50 * time.Millisecond, Counter: cc})
+	client := &HTTPClient{HC: hc}
+	env := soap.New(soap.V11)
+	for i := 0; i < 3; i++ {
+		if err := client.SendBytes(context.Background(), srv.URL, "text/xml", env.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cc.Dials() != 1 {
+		t.Errorf("sequential sends dialled %d times, want 1 (reuse)", cc.Dials())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cc.Open() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle connection never released: %d open", cc.Open())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestConnCounterNilSafe: a nil counter reads as zero everywhere.
+func TestConnCounterNilSafe(t *testing.T) {
+	var cc *ConnCounter
+	if cc.Open() != 0 || cc.Dials() != 0 {
+		t.Error("nil ConnCounter must read zero")
+	}
+}

@@ -1,0 +1,337 @@
+// Package load is the synthetic fan-out load harness: it boots a real
+// broker delivering over real loopback HTTP to subscriptions generated
+// by package workload, measuring throughput, coalescing, connection/fd
+// budgets and the dispatch conservation law. It lives one level below
+// internal/workload so the generator package stays importable from
+// internal/core's own tests without an import cycle.
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/workload"
+	"repro/internal/wsa"
+	"repro/internal/wsnt"
+)
+
+// Config parameterises a synthetic fan-out run: one broker delivering
+// generated events over real HTTP to Subscribers subscriptions spread
+// across Hosts loopback listener hosts. It is the scaled-down stand-in
+// for the paper's "many consumers behind few gateways" deployment shape,
+// and the vehicle for the per-destination batching measurements: the
+// coalesce ratio, the connection/fd budget, the conservation law.
+type Config struct {
+	// Subscribers is the number of subscriptions created (default 500).
+	Subscribers int
+	// Hosts is the number of distinct loopback HTTP hosts the
+	// subscriptions spread over round-robin (default 10). Subscriptions
+	// sharing a host share its notify URL, so their deliveries coalesce.
+	Hosts int
+	// Publishes is the number of events published (default 20). Every
+	// event matches every subscription — the worst-case fan-out.
+	Publishes int
+	// BatchMax enables per-destination batching when > 1 (entries per
+	// coalesced envelope). Zero runs the per-subscriber arm.
+	BatchMax int
+	// BatchWindow is the dest writer's coalescing window (default 2ms
+	// when batching is on).
+	BatchWindow time.Duration
+	// QueueDepth bounds each subscription's dispatch queue (default:
+	// enough to hold every publish, so the load measures delivery, not
+	// drop policy).
+	QueueDepth int
+	// MaxConnsPerHost caps the pooled HTTP client's per-host connections
+	// (default 16) — the fd bound under test.
+	MaxConnsPerHost int
+	// DestLatency is the per-request service time each destination host
+	// spends before acknowledging (default 0: bare loopback). Non-zero
+	// models the consumer processing / WAN round trip the paper's
+	// deployments pay per notification — the cost batching amortises.
+	DestLatency time.Duration
+	// Size selects the generated payload class (default Small).
+	Size workload.Size
+	// SampleEvery is the fd/connection sampling cadence (default 20ms).
+	SampleEvery time.Duration
+	// ProfileDir, when set, writes cpu.pprof and heap.pprof there.
+	ProfileDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 500
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 10
+	}
+	if c.Hosts > c.Subscribers {
+		c.Hosts = c.Subscribers
+	}
+	if c.Publishes <= 0 {
+		c.Publishes = 20
+	}
+	if c.BatchMax > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.Publishes + 16
+	}
+	if c.MaxConnsPerHost <= 0 {
+		c.MaxConnsPerHost = 16
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Result is what a run measured.
+type Result struct {
+	// Engine accounting (the conservation law's terms).
+	Published, Matched, Delivered, Dropped, Failed, DeadLettered uint64
+
+	// Dest-writer accounting (zero in the per-subscriber arm).
+	Envelopes, CoalescedEntries, RawSends, Canceled uint64
+	CoalesceRatio                                   float64
+
+	// Receiver-side ground truth, counted by the destination hosts.
+	WireEnvelopes, WireEntries uint64
+
+	// Connection/fd accounting from the pooled client and /proc.
+	Dials, PeakConns, OpenConnsAfter int64
+	FDsBefore, FDsPeak, FDsAfter     int
+
+	Elapsed time.Duration
+}
+
+// Conserved reports whether the dispatch conservation law held: every
+// matched delivery is accounted delivered, dropped, failed or
+// dead-lettered — nothing lost, nothing double-counted.
+func (r Result) Conserved() bool {
+	return r.Matched == r.Delivered+r.Dropped+r.Failed+r.DeadLettered
+}
+
+// CountFDs reports the process's open file descriptors via /proc/self/fd,
+// or -1 where /proc is unavailable.
+func CountFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// destHost is one loopback listener counting what actually arrived.
+type destHost struct {
+	srv       *http.Server
+	url       string
+	envelopes atomic.Uint64
+	entries   atomic.Uint64
+}
+
+var notifyMarker = []byte("NotificationMessage>")
+
+func startHost(latency time.Duration) (*destHost, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &destHost{url: "http://" + ln.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/notify", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		h.envelopes.Add(1)
+		h.entries.Add(uint64(bytes.Count(body, notifyMarker) / 2))
+		w.WriteHeader(http.StatusAccepted)
+	})
+	h.srv = &http.Server{Handler: mux}
+	go func() { _ = h.srv.Serve(ln) }()
+	return h, nil
+}
+
+// loadTopic is the single topic every load subscription binds to, making
+// each publish a full fan-out.
+var loadTopic = topics.NewPath(workload.NS, "jobs")
+
+// Run executes one synthetic load: boot broker and hosts, subscribe,
+// publish, drain, measure, tear down. The returned result is complete
+// only if err is nil.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	var res Result
+	res.FDsBefore = CountFDs()
+
+	if cfg.ProfileDir != "" {
+		f, err := os.Create(cfg.ProfileDir + "/cpu.pprof")
+		if err != nil {
+			return res, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return res, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	hosts := make([]*destHost, cfg.Hosts)
+	for i := range hosts {
+		h, err := startHost(cfg.DestLatency)
+		if err != nil {
+			return res, err
+		}
+		hosts[i] = h
+		defer h.srv.Close()
+	}
+
+	cc := &transport.ConnCounter{}
+	client := &transport.HTTPClient{HC: transport.NewPooledHTTPClient(transport.PoolConfig{
+		MaxConnsPerHost: cfg.MaxConnsPerHost,
+		Counter:         cc,
+	})}
+	broker, err := core.New(core.Config{
+		Address:        "svc://wsm-load",
+		ManagerAddress: "svc://wsm-load-subs",
+		Client:         client,
+		QueueDepth:     cfg.QueueDepth,
+		BatchMax:       cfg.BatchMax,
+		BatchWindow:    cfg.BatchWindow,
+	})
+	if err != nil {
+		return res, err
+	}
+	var shutdownDone bool
+	shutdown := func() {
+		if !shutdownDone {
+			shutdownDone = true
+			broker.Shutdown()
+		}
+	}
+	defer shutdown()
+
+	// Subscriptions go in through the broker front door: real WSN 1.3
+	// Subscribe envelopes, parsed and mediated like any external client's.
+	lb := transport.NewLoopback()
+	lb.Register("svc://wsm-load", broker.FrontHandler())
+	lb.Register("svc://wsm-load-subs", broker.ManagerHandler())
+	sub := &wsnt.Subscriber{Client: lb, Version: wsnt.V1_3}
+	for i := 0; i < cfg.Subscribers; i++ {
+		_, err := sub.Subscribe(context.Background(), "svc://wsm-load", &wsnt.SubscribeRequest{
+			ConsumerReference: wsa.NewEPR(wsa.V200508, hosts[i%len(hosts)].url+"/notify"),
+			TopicExpression:   "w:jobs",
+			TopicDialect:      topics.DialectConcrete,
+			TopicNS:           map[string]string{"w": workload.NS},
+		})
+		if err != nil {
+			return res, fmt.Errorf("subscribe %d: %w", i, err)
+		}
+	}
+
+	// Sample fds and open connections while the run is hot. The sampler
+	// keeps its own peaks and hands them over after it stops, so no field
+	// of res is ever shared between goroutines.
+	var peakConns atomic.Int64
+	var peakFDs atomic.Int64
+	sampleDone := make(chan struct{})
+	samplerStopped := make(chan struct{})
+	go func() {
+		defer close(samplerStopped)
+		tick := time.NewTicker(cfg.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-tick.C:
+				if n := cc.Open(); n > peakConns.Load() {
+					peakConns.Store(n)
+				}
+				if n := int64(CountFDs()); n > peakFDs.Load() {
+					peakFDs.Store(n)
+				}
+			}
+		}
+	}()
+	defer func() {
+		select {
+		case <-sampleDone:
+		default:
+			close(sampleDone)
+		}
+	}()
+
+	gen := workload.New(workload.Config{Seed: 1, Size: cfg.Size})
+	start := time.Now()
+	for i := 0; i < cfg.Publishes; i++ {
+		ev := gen.Next()
+		if err := broker.Publish(loadTopic, ev.Payload); err != nil {
+			return res, fmt.Errorf("publish %d: %w", i, err)
+		}
+	}
+	broker.Flush()
+	res.Elapsed = time.Since(start)
+
+	close(sampleDone)
+	<-samplerStopped
+	res.PeakConns = peakConns.Load()
+	res.FDsPeak = int(peakFDs.Load())
+	if n := cc.Open(); n > res.PeakConns {
+		res.PeakConns = n
+	}
+	if n := CountFDs(); n > res.FDsPeak {
+		res.FDsPeak = n
+	}
+
+	st := broker.DispatchStats()
+	res.Published, res.Matched = st.Published, st.Matched
+	res.Delivered, res.Dropped = st.Delivered, st.Dropped
+	res.Failed, res.DeadLettered = st.Failed, st.DeadLettered
+	if pool := broker.DestWriter(); pool != nil {
+		res.Envelopes = pool.Envelopes()
+		res.CoalescedEntries = pool.CoalescedEntries()
+		res.RawSends = pool.RawSends()
+		res.Canceled = pool.Canceled()
+		res.CoalesceRatio = pool.CoalesceRatio()
+	}
+	for _, h := range hosts {
+		res.WireEnvelopes += h.envelopes.Load()
+		res.WireEntries += h.entries.Load()
+	}
+	res.Dials = cc.Dials()
+
+	if cfg.ProfileDir != "" {
+		f, err := os.Create(cfg.ProfileDir + "/heap.pprof")
+		if err != nil {
+			return res, err
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return res, err
+		}
+	}
+
+	shutdown()
+	for _, h := range hosts {
+		h.srv.Close()
+	}
+	res.OpenConnsAfter = cc.Open()
+	res.FDsAfter = CountFDs()
+	return res, nil
+}

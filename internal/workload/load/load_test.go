@@ -1,0 +1,120 @@
+package load
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func smokeConfig() Config {
+	return Config{
+		Subscribers: envInt("WSM_LOAD_SUBS", 400),
+		Hosts:       envInt("WSM_LOAD_HOSTS", 8),
+		Publishes:   envInt("WSM_LOAD_PUBLISHES", 10),
+		BatchMax:    envInt("WSM_LOAD_BATCH", 64),
+	}
+}
+
+// TestLoadSmoke is the CI load gate (scaled up by WSM_LOAD_* in the
+// load-smoke job): a full synthetic fan-out over real HTTP, with the
+// dispatch conservation law asserted at exit and the receiver-side counts
+// reconciled against the engine's.
+func TestLoadSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %d subs / %d hosts / %d publishes: delivered=%d envelopes=%d wire-entries=%d ratio=%.1f peak-conns=%d elapsed=%s",
+		cfg.Subscribers, cfg.Hosts, cfg.Publishes,
+		res.Delivered, res.WireEnvelopes, res.WireEntries, res.CoalesceRatio, res.PeakConns, res.Elapsed)
+
+	if !res.Conserved() {
+		t.Errorf("conservation violated: Matched=%d Delivered=%d Dropped=%d Failed=%d DeadLettered=%d",
+			res.Matched, res.Delivered, res.Dropped, res.Failed, res.DeadLettered)
+	}
+	want := uint64(cfg.Subscribers) * uint64(cfg.Publishes)
+	if res.Matched != want {
+		t.Errorf("Matched = %d, want %d (every publish matches every subscription)", res.Matched, want)
+	}
+	if res.Delivered != want {
+		t.Errorf("Delivered = %d, want %d (healthy hosts drop nothing)", res.Delivered, want)
+	}
+	// Receiver-side ground truth: every delivered notification arrived on
+	// the wire exactly once, as an entry of some envelope.
+	if res.WireEntries != res.Delivered {
+		t.Errorf("wire entries = %d, want %d (== Delivered)", res.WireEntries, res.Delivered)
+	}
+	if res.WireEnvelopes > res.WireEntries {
+		t.Errorf("wire envelopes = %d > entries %d", res.WireEnvelopes, res.WireEntries)
+	}
+	if res.CoalesceRatio < 1 {
+		t.Errorf("coalesce ratio = %v, want >= 1", res.CoalesceRatio)
+	}
+}
+
+// TestLoadFDsBounded is the fd-leak regression at load scale: under the
+// batched arm, the pooled client's connection count must stay within
+// Hosts x MaxConnsPerHost no matter how many subscribers fan out — the
+// bound the per-host writer plus the capped transport exist to enforce.
+func TestLoadFDsBounded(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.MaxConnsPerHost = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Errorf("conservation violated: %+v", res)
+	}
+	connBound := int64(cfg.Hosts) * int64(cfg.MaxConnsPerHost)
+	if res.PeakConns > connBound {
+		t.Errorf("peak open connections = %d, want <= hosts*maxConnsPerHost = %d", res.PeakConns, connBound)
+	}
+	if res.Dials > connBound {
+		t.Errorf("total dials = %d, want <= %d (keep-alive reuse holds the bound)", res.Dials, connBound)
+	}
+	if res.FDsBefore >= 0 && res.FDsPeak >= 0 {
+		// Both ends of every loopback connection live in this process, so
+		// the in-process fd budget is two per connection plus one listener
+		// per host plus runtime slack.
+		fdBound := res.FDsBefore + int(connBound)*2 + cfg.Hosts + 64
+		if res.FDsPeak > fdBound {
+			t.Errorf("peak fds = %d, want <= %d (before=%d)", res.FDsPeak, fdBound, res.FDsBefore)
+		}
+	}
+}
+
+// TestLoadPerSubscriberArm sanity-checks the unbatched arm the benchmark
+// compares against: no dest pool, one wire envelope per delivery.
+func TestLoadPerSubscriberArm(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Subscribers = 100
+	cfg.Hosts = 4
+	cfg.Publishes = 5
+	cfg.BatchMax = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Errorf("conservation violated: %+v", res)
+	}
+	if res.Envelopes != 0 || res.CoalescedEntries != 0 {
+		t.Errorf("per-subscriber arm used the dest pool: envelopes=%d entries=%d", res.Envelopes, res.CoalescedEntries)
+	}
+	want := uint64(cfg.Subscribers) * uint64(cfg.Publishes)
+	if res.Delivered != want || res.WireEnvelopes != want || res.WireEntries != want {
+		t.Errorf("delivered=%d wire-envelopes=%d wire-entries=%d, want all %d",
+			res.Delivered, res.WireEnvelopes, res.WireEntries, want)
+	}
+}
