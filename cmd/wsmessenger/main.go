@@ -22,6 +22,10 @@
 //	                   the dead-letter queue is past its watermark, or —
 //	                   when federated — while a peer link has lapsed
 //	POST /peer       — federation ingest (relayed Notify from peer brokers)
+//	POST /ce         — CloudEvents front door: publish (structured, batched
+//	                   or binary mode) and JSON subscription management
+//	GET  /ws         — WebSocket front door: subscribe over the socket,
+//	                   receive matching publishes as CloudEvents JSON
 //
 // Delivery batching: outbound notifications are grouped by destination
 // host and coalesced into multi-NotificationMessage envelopes by async
@@ -85,6 +89,8 @@ func main() {
 	durability := flag.String("durability", "", "event log durability: batch (fsync before ack, the -data-dir default), async, or off")
 	dlqWatermark := flag.Int("dlq-watermark", core.DefaultDLQWatermark,
 		"dead-letter depth at which /healthz reports degraded")
+	cloudEvents := flag.Bool("cloudevents", true, "serve the CloudEvents front door at /ce")
+	webSocket := flag.Bool("ws", true, "serve the WebSocket front door at /ws")
 	brokerID := flag.String("id", "", "federation identity; required with -peer")
 	maxHops := flag.Int("max-hops", federation.DefaultMaxHops, "relay hop cap for federated notifications")
 	var peers peerList
@@ -176,6 +182,12 @@ func main() {
 		health = obs.CombineChecks(health, peering.HealthChecks())
 	}
 	mux.Handle("/healthz", obs.HealthHandler(health))
+	if *cloudEvents {
+		mux.Handle("/ce", broker.CEHandler())
+	}
+	if *webSocket {
+		mux.Handle("/ws", broker.WSHandler())
+	}
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -89,6 +89,7 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"  crash-smoke:",
 		"  bench-gate:",
 		"  load-smoke:",
+		"  interop-smoke:",
 		"  fuzz-smoke:",
 		"  bench-smoke:",
 		"uses: actions/checkout@",
@@ -104,6 +105,7 @@ func TestWorkflowRequiredShape(t *testing.T) {
 		"run: make crash-smoke",   // kill -9 durable-ack gate
 		"run: make bench-gate",    // B13/B15/B16 ratchet vs bench_baseline.json
 		"run: make load-smoke",    // 10k-subscriber -race fan-out with conservation
+		"run: make interop-smoke", // SOAP ↔ CloudEvents ↔ WebSocket front doors
 		"run: make fuzz-smoke",    // bounded fuzz over checked-in corpora
 		"run: make bench-smoke",
 		"run: make bench-fanout", // render-once fan-out smoke (B13)
@@ -185,7 +187,7 @@ func TestMakeCIMirrorsWorkflow(t *testing.T) {
 	for _, p := range prereqs {
 		have[p] = true
 	}
-	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover", "crash-smoke", "bench-gate", "load-smoke"} {
+	for _, want := range []string{"check", "fmt-check", "golden", "metrics-race", "metrics-smoke", "cover", "crash-smoke", "bench-gate", "load-smoke", "interop-smoke"} {
 		if !have[want] {
 			t.Errorf("make ci must depend on %q (got %v)", want, prereqs)
 		}
@@ -230,7 +232,7 @@ func TestBlockingJobsHaveNoContinueOnError(t *testing.T) {
 		}
 		return body
 	}
-	for _, job := range []string{"check", "lint", "metrics", "cover", "crash-smoke", "bench-gate", "load-smoke"} {
+	for _, job := range []string{"check", "lint", "metrics", "cover", "crash-smoke", "bench-gate", "load-smoke", "interop-smoke"} {
 		if strings.Contains(jobBody(job), "continue-on-error") {
 			t.Errorf("%s job must stay blocking (found continue-on-error)", job)
 		}
@@ -288,8 +290,8 @@ func TestBenchGateTargetPinned(t *testing.T) {
 	text := string(raw)
 	for _, want := range []string{
 		"BENCH_TOLERANCE ?= 25",
-		"bench-fanout BENCH_COUNT=3 BENCHTIME=30x > bench_gate.txt",
-		"bench-log BENCH_COUNT=3 >> bench_gate.txt",
+		"bench-fanout BENCH_COUNT=5 BENCHTIME=30x > bench_gate.txt",
+		"bench-log BENCH_COUNT=5 >> bench_gate.txt",
 		"bench-dest >> bench_gate.txt",
 		"-gate bench_baseline.json -tolerance $(BENCH_TOLERANCE)",
 		"-bench BenchmarkDestBatchFanout",
@@ -368,5 +370,34 @@ func TestCrashSmokeTargetPinned(t *testing.T) {
 	}
 	if !strings.Contains(crashLine, "-race") {
 		t.Errorf("crash-smoke must run under -race (got %q)", crashLine)
+	}
+}
+
+// TestInteropSmokeTargetPinned keeps the front-door interop gate honest:
+// the target must drive the end-to-end interop test under the race
+// detector, and the race sweeps must cover the front-door packages the
+// gate exercises (cloudevents parsing, the WebSocket server).
+func TestInteropSmokeTargetPinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"-run '^TestFrontDoorInterop$$'",
+		"./internal/cloudevents ./internal/wspush",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	interopLine := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "TestFrontDoorInterop") {
+			interopLine = line
+		}
+	}
+	if !strings.Contains(interopLine, "-race") {
+		t.Errorf("interop-smoke must run under -race (got %q)", interopLine)
 	}
 }

@@ -1,0 +1,488 @@
+// Package cloudevents implements the CloudEvents 1.0 JSON event format
+// and its HTTP protocol binding — the "modern front door" half of ROADMAP
+// item 3. The paper's five WS-* notification families are one mediation
+// problem; this package extends the same canonical model to the eventing
+// format that won (SNIPPETS.md §2, CAMARA), so a 2004-era WS-Eventing
+// producer can notify a 2026 cloud-native consumer and vice versa.
+//
+// Three content modes of the HTTP binding are supported:
+//
+//   - structured: the whole event travels as one JSON object with
+//     Content-Type application/cloudevents+json;
+//   - batched: a JSON array of events with application/cloudevents-batch+json
+//     (the shape the broker's per-destination coalescing serves the same way
+//     it serves WSN 1.3 multi-NotificationMessage envelopes);
+//   - binary: the event attributes travel as ce-* HTTP headers and the body
+//     is the bare data.
+//
+// The broker's mapping between the two worlds: CloudEvents `type` carries
+// the topic in Clark form, `source` names the producing broker (or the
+// relay origin for federated events), `id` is the delivery MessageID, and
+// the wsmrelay* extension attributes carry the wsmf:Relay provenance so
+// federation dedup holds across protocol boundaries.
+package cloudevents
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+// SpecVersion is the only CloudEvents version this package speaks.
+const SpecVersion = "1.0"
+
+// MIME types of the JSON event format.
+const (
+	// ContentTypeJSON is the structured-mode content type.
+	ContentTypeJSON = "application/cloudevents+json"
+	// ContentTypeBatch is the batched-mode content type.
+	ContentTypeBatch = "application/cloudevents-batch+json"
+)
+
+// Relay extension attribute names (CloudEvents restricts extension names
+// to lowercase alphanumerics). They mirror the wsmf:Relay SOAP header:
+// origin broker, origin message id, hop count and origin log position —
+// everything a federated peer needs to dedup on (origin, id).
+const (
+	ExtRelayOrigin = "wsmrelayorigin"
+	ExtRelayID     = "wsmrelayid"
+	ExtRelayHops   = "wsmrelayhops"
+	ExtRelayPos    = "wsmrelaypos"
+)
+
+// Event is one CloudEvents 1.0 event. Data holds the raw JSON value of the
+// "data" member (so round-trips are byte-faithful for JSON payloads);
+// DataBase64 marks binary payloads carried as data_base64.
+type Event struct {
+	SpecVersion     string
+	ID              string
+	Source          string
+	Type            string
+	Subject         string
+	Time            string // RFC 3339, optional
+	DataContentType string
+	DataSchema      string
+	Data            json.RawMessage // raw JSON value ("data"), or raw bytes when DataBase64
+	DataBase64      bool
+	Extensions      map[string]string
+}
+
+// SetExtension sets one extension attribute, normalising the name to the
+// lowercase form the spec requires.
+func (e *Event) SetExtension(name, value string) {
+	if e.Extensions == nil {
+		e.Extensions = map[string]string{}
+	}
+	e.Extensions[strings.ToLower(name)] = value
+}
+
+// Extension reads one extension attribute ("" when absent).
+func (e *Event) Extension(name string) string {
+	return e.Extensions[strings.ToLower(name)]
+}
+
+// SetRelay records federation provenance as extension attributes.
+func (e *Event) SetRelay(origin, id string, hops int, pos uint64) {
+	e.SetExtension(ExtRelayOrigin, origin)
+	e.SetExtension(ExtRelayID, id)
+	e.SetExtension(ExtRelayHops, strconv.Itoa(hops))
+	if pos > 0 {
+		e.SetExtension(ExtRelayPos, strconv.FormatUint(pos, 10))
+	}
+}
+
+// Relay recovers the federation provenance carried by the wsmrelay*
+// extension attributes; ok is false when the event carries none.
+func (e *Event) Relay() (origin, id string, hops int, pos uint64, ok bool) {
+	origin = e.Extension(ExtRelayOrigin)
+	id = e.Extension(ExtRelayID)
+	if origin == "" || id == "" {
+		return "", "", 0, 0, false
+	}
+	hops, _ = strconv.Atoi(e.Extension(ExtRelayHops))
+	pos, _ = strconv.ParseUint(e.Extension(ExtRelayPos), 10, 64)
+	return origin, id, hops, pos, true
+}
+
+// Valid reports whether the event carries the four REQUIRED attributes.
+func (e *Event) Valid() error {
+	switch {
+	case e.SpecVersion != SpecVersion:
+		return fmt.Errorf("cloudevents: unsupported specversion %q", e.SpecVersion)
+	case e.ID == "":
+		return fmt.Errorf("cloudevents: missing id")
+	case e.Source == "":
+		return fmt.Errorf("cloudevents: missing source")
+	case e.Type == "":
+		return fmt.Errorf("cloudevents: missing type")
+	}
+	return nil
+}
+
+// TypeForTopic renders a topic path as a CloudEvents type attribute (Clark
+// form, the same string FetchNewer and the logs use).
+func TypeForTopic(p topics.Path) string {
+	if p.IsZero() {
+		return "org.wsmessenger.notification"
+	}
+	return p.String()
+}
+
+// TopicForType recovers a topic path from a type attribute. Types that are
+// not Clark-parsable topic paths yield the zero path — the event still
+// publishes, it just matches only topic-less subscriptions.
+func TopicForType(t string) topics.Path {
+	p, err := topics.ParseClark(t)
+	if err != nil {
+		return topics.Path{}
+	}
+	return p
+}
+
+// appendJSONString appends a JSON string literal.
+func appendJSONString(dst []byte, s string) []byte {
+	b, _ := json.Marshal(s)
+	return append(dst, b...)
+}
+
+// AppendJSON appends the event in the JSON event format (structured mode,
+// one object). Member order is fixed — context attributes, extensions in
+// sorted order, then data — so a given event always serialises to the same
+// bytes (the property the broker's render-template cache relies on).
+func (e *Event) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"specversion":`...)
+	dst = appendJSONString(dst, e.SpecVersion)
+	dst = append(dst, `,"id":`...)
+	dst = appendJSONString(dst, e.ID)
+	dst = append(dst, `,"source":`...)
+	dst = appendJSONString(dst, e.Source)
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONString(dst, e.Type)
+	optional := func(name, v string) {
+		if v == "" {
+			return
+		}
+		dst = append(dst, ',', '"')
+		dst = append(dst, name...)
+		dst = append(dst, '"', ':')
+		dst = appendJSONString(dst, v)
+	}
+	optional("subject", e.Subject)
+	optional("time", e.Time)
+	optional("datacontenttype", e.DataContentType)
+	optional("dataschema", e.DataSchema)
+	if len(e.Extensions) > 0 {
+		names := make([]string, 0, len(e.Extensions))
+		for n := range e.Extensions {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			optional(n, e.Extensions[n])
+		}
+	}
+	if e.Data != nil {
+		if e.DataBase64 {
+			dst = append(dst, `,"data_base64":`...)
+			dst = appendJSONString(dst, base64.StdEncoding.EncodeToString(e.Data))
+		} else {
+			dst = append(dst, `,"data":`...)
+			dst = append(dst, e.Data...)
+		}
+	}
+	return append(dst, '}')
+}
+
+// JSON returns the structured-mode serialisation.
+func (e *Event) JSON() []byte { return e.AppendJSON(nil) }
+
+// AppendBatchJSON appends a batched-mode array of events.
+func AppendBatchJSON(dst []byte, events []*Event) []byte {
+	dst = append(dst, '[')
+	for i, e := range events {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = e.AppendJSON(dst)
+	}
+	return append(dst, ']')
+}
+
+// contextNames are the spec-defined context attribute member names; every
+// other top-level string member is an extension attribute.
+var contextNames = map[string]bool{
+	"specversion": true, "id": true, "source": true, "type": true,
+	"subject": true, "time": true, "datacontenttype": true,
+	"dataschema": true, "data": true, "data_base64": true,
+}
+
+// ParseJSON parses one structured-mode event.
+func ParseJSON(raw []byte) (*Event, error) {
+	var members map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &members); err != nil {
+		return nil, fmt.Errorf("cloudevents: %w", err)
+	}
+	return fromMembers(members)
+}
+
+// ParseBatchJSON parses a batched-mode array.
+func ParseBatchJSON(raw []byte) ([]*Event, error) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(raw, &items); err != nil {
+		return nil, fmt.Errorf("cloudevents: batch: %w", err)
+	}
+	out := make([]*Event, 0, len(items))
+	for i, item := range items {
+		ev, err := ParseJSON(item)
+		if err != nil {
+			return nil, fmt.Errorf("cloudevents: batch entry %d: %w", i, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func memberString(members map[string]json.RawMessage, name string) (string, error) {
+	raw, ok := members[name]
+	if !ok {
+		return "", nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return "", fmt.Errorf("cloudevents: %s must be a JSON string", name)
+	}
+	return s, nil
+}
+
+func fromMembers(members map[string]json.RawMessage) (*Event, error) {
+	e := &Event{}
+	for _, f := range []struct {
+		name string
+		dst  *string
+	}{
+		{"specversion", &e.SpecVersion}, {"id", &e.ID}, {"source", &e.Source},
+		{"type", &e.Type}, {"subject", &e.Subject}, {"time", &e.Time},
+		{"datacontenttype", &e.DataContentType}, {"dataschema", &e.DataSchema},
+	} {
+		v, err := memberString(members, f.name)
+		if err != nil {
+			return nil, err
+		}
+		*f.dst = v
+	}
+	if raw, ok := members["data_base64"]; ok {
+		var b64 string
+		if err := json.Unmarshal(raw, &b64); err != nil {
+			return nil, fmt.Errorf("cloudevents: data_base64 must be a JSON string")
+		}
+		data, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("cloudevents: data_base64: %w", err)
+		}
+		e.Data, e.DataBase64 = data, true
+	} else if raw, ok := members["data"]; ok {
+		e.Data = append(json.RawMessage(nil), raw...)
+	}
+	for name, raw := range members {
+		if contextNames[name] {
+			continue
+		}
+		// Extension values may be any JSON type; they canonicalise to their
+		// string form (the HTTP binding transmits them as header strings).
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			var v any
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, fmt.Errorf("cloudevents: extension %s: %w", name, err)
+			}
+			s = fmt.Sprint(v)
+		}
+		e.SetExtension(name, s)
+	}
+	if err := e.Valid(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// --- Binary content mode (ce-* headers) ---
+
+// IsBinaryRequest reports whether an HTTP request uses the binary content
+// mode: a ce-specversion header with a non-CloudEvents content type.
+func IsBinaryRequest(h http.Header) bool {
+	return h.Get("ce-specversion") != ""
+}
+
+// FromBinary decodes a binary-mode event from HTTP headers and body.
+func FromBinary(h http.Header, body []byte) (*Event, error) {
+	e := &Event{
+		SpecVersion:     h.Get("ce-specversion"),
+		ID:              h.Get("ce-id"),
+		Source:          h.Get("ce-source"),
+		Type:            h.Get("ce-type"),
+		Subject:         h.Get("ce-subject"),
+		Time:            h.Get("ce-time"),
+		DataSchema:      h.Get("ce-dataschema"),
+		DataContentType: h.Get("Content-Type"),
+	}
+	for name, vals := range h {
+		ln := strings.ToLower(name)
+		if !strings.HasPrefix(ln, "ce-") || len(vals) == 0 {
+			continue
+		}
+		attr := ln[len("ce-"):]
+		switch attr {
+		case "specversion", "id", "source", "type", "subject", "time", "dataschema":
+			continue
+		}
+		e.SetExtension(attr, vals[0])
+	}
+	if len(body) > 0 {
+		ct := e.DataContentType
+		if isJSONContentType(ct) && json.Valid(body) {
+			e.Data = append(json.RawMessage(nil), bytes.TrimSpace(body)...)
+		} else {
+			e.Data, e.DataBase64 = append([]byte(nil), body...), true
+		}
+	}
+	if err := e.Valid(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// isJSONContentType reports JSON-family media types, whose binary-mode
+// bodies are raw JSON values rather than opaque bytes.
+func isJSONContentType(ct string) bool {
+	if ct == "" {
+		return true // binding default: application/json
+	}
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(strings.ToLower(ct))
+	return ct == "application/json" || strings.HasSuffix(ct, "+json")
+}
+
+// BinaryHeaders renders the event's context attributes as ce-* headers and
+// returns the body and its content type for a binary-mode send.
+func (e *Event) BinaryHeaders() (header map[string]string, contentType string, body []byte) {
+	header = map[string]string{
+		"ce-specversion": e.SpecVersion,
+		"ce-id":          e.ID,
+		"ce-source":      e.Source,
+		"ce-type":        e.Type,
+	}
+	set := func(k, v string) {
+		if v != "" {
+			header[k] = v
+		}
+	}
+	set("ce-subject", e.Subject)
+	set("ce-time", e.Time)
+	set("ce-dataschema", e.DataSchema)
+	for n, v := range e.Extensions {
+		set("ce-"+n, v)
+	}
+	contentType = e.DataContentType
+	if contentType == "" {
+		contentType = "application/json"
+	}
+	return header, contentType, e.Data
+}
+
+// --- XML payload bridge ---
+
+// The broker's canonical notification payload is an XML element. Incoming
+// CloudEvents wrap into a wsmce:Event element (so WSN/WSE subscribers
+// receive well-formed XML carrying the full event), and outgoing
+// deliveries to CloudEvents consumers unwrap it back — a CE→CE round trip
+// through the broker preserves the producer's event. Non-CloudEvents
+// payloads travel to CE consumers as data with datacontenttype
+// application/xml.
+
+// NS is the wrapper namespace.
+const NS = "urn:ws-messenger:cloudevents"
+
+func init() { xmldom.RegisterPrefix(NS, "wsmce") }
+
+// EventName is the wrapper element name.
+var EventName = xmldom.N(NS, "Event")
+
+// WrapXML renders the event as the canonical XML payload element.
+func WrapXML(e *Event) *xmldom.Element {
+	el := xmldom.NewElement(EventName)
+	el.SetAttr(xmldom.N("", "specversion"), e.SpecVersion)
+	el.SetAttr(xmldom.N("", "id"), e.ID)
+	el.SetAttr(xmldom.N("", "source"), e.Source)
+	el.SetAttr(xmldom.N("", "type"), e.Type)
+	attr := func(n, v string) {
+		if v != "" {
+			el.SetAttr(xmldom.N("", n), v)
+		}
+	}
+	attr("subject", e.Subject)
+	attr("time", e.Time)
+	attr("datacontenttype", e.DataContentType)
+	attr("dataschema", e.DataSchema)
+	names := make([]string, 0, len(e.Extensions))
+	for n := range e.Extensions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ext := xmldom.Elem(NS, "Extension", e.Extensions[n])
+		ext.SetAttr(xmldom.N("", "name"), n)
+		el.Append(ext)
+	}
+	if e.Data != nil {
+		if e.DataBase64 {
+			el.Append(xmldom.Elem(NS, "DataBase64", base64.StdEncoding.EncodeToString(e.Data)))
+		} else {
+			el.Append(xmldom.Elem(NS, "Data", string(e.Data)))
+		}
+	}
+	return el
+}
+
+// UnwrapXML recovers the event from a wrapper element produced by WrapXML;
+// ok is false for any other payload.
+func UnwrapXML(el *xmldom.Element) (*Event, bool) {
+	if el == nil || el.Name != EventName {
+		return nil, false
+	}
+	e := &Event{
+		SpecVersion:     el.AttrValue(xmldom.N("", "specversion")),
+		ID:              el.AttrValue(xmldom.N("", "id")),
+		Source:          el.AttrValue(xmldom.N("", "source")),
+		Type:            el.AttrValue(xmldom.N("", "type")),
+		Subject:         el.AttrValue(xmldom.N("", "subject")),
+		Time:            el.AttrValue(xmldom.N("", "time")),
+		DataContentType: el.AttrValue(xmldom.N("", "datacontenttype")),
+		DataSchema:      el.AttrValue(xmldom.N("", "dataschema")),
+	}
+	for _, ext := range el.ChildrenNamed(xmldom.N(NS, "Extension")) {
+		if n := ext.AttrValue(xmldom.N("", "name")); n != "" {
+			e.SetExtension(n, ext.Text())
+		}
+	}
+	if d := el.Child(xmldom.N(NS, "Data")); d != nil {
+		e.Data = json.RawMessage(d.Text())
+	} else if d := el.Child(xmldom.N(NS, "DataBase64")); d != nil {
+		if raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(d.Text())); err == nil {
+			e.Data, e.DataBase64 = raw, true
+		}
+	}
+	if e.Valid() != nil {
+		return nil, false
+	}
+	return e, true
+}

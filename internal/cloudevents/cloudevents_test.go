@@ -1,0 +1,209 @@
+package cloudevents
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+func sampleEvent() *Event {
+	e := &Event{
+		SpecVersion:     SpecVersion,
+		ID:              "urn:uuid:wsm-1",
+		Source:          "http://broker.example/",
+		Type:            "{urn:gridmon}disk/full",
+		Subject:         "node-7",
+		Time:            "2026-08-08T12:00:00Z",
+		DataContentType: "application/json",
+		Data:            json.RawMessage(`{"free":0}`),
+	}
+	e.SetRelay("broker-a", "urn:uuid:wsm-9", 2, 41)
+	return e
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := sampleEvent()
+	raw := e.JSON()
+	if !json.Valid(raw) {
+		t.Fatalf("invalid JSON: %s", raw)
+	}
+	got, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if got.ID != e.ID || got.Source != e.Source || got.Type != e.Type ||
+		got.Subject != e.Subject || got.Time != e.Time ||
+		got.DataContentType != e.DataContentType {
+		t.Fatalf("context attrs mismatch: %+v vs %+v", got, e)
+	}
+	if !bytes.Equal(got.Data, e.Data) || got.DataBase64 {
+		t.Fatalf("data mismatch: %s", got.Data)
+	}
+	origin, id, hops, pos, ok := got.Relay()
+	if !ok || origin != "broker-a" || id != "urn:uuid:wsm-9" || hops != 2 || pos != 41 {
+		t.Fatalf("relay mismatch: %s %s %d %d %v", origin, id, hops, pos, ok)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	e := sampleEvent()
+	a, b := e.JSON(), e.JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("serialisation not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestBinaryDataRoundTrip(t *testing.T) {
+	e := &Event{SpecVersion: SpecVersion, ID: "i", Source: "s", Type: "t",
+		Data: []byte{0x00, 0xFF, 0x10}, DataBase64: true}
+	got, err := ParseJSON(e.JSON())
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if !got.DataBase64 || !bytes.Equal(got.Data, e.Data) {
+		t.Fatalf("data_base64 round trip: %v %v", got.DataBase64, got.Data)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	events := []*Event{sampleEvent(), {SpecVersion: SpecVersion, ID: "b", Source: "s", Type: "t"}}
+	raw := AppendBatchJSON(nil, events)
+	got, err := ParseBatchJSON(raw)
+	if err != nil {
+		t.Fatalf("ParseBatchJSON: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != "urn:uuid:wsm-1" || got[1].ID != "b" {
+		t.Fatalf("batch mismatch: %+v", got)
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	for name, raw := range map[string]string{
+		"not json":       `{`,
+		"missing id":     `{"specversion":"1.0","source":"s","type":"t"}`,
+		"missing source": `{"specversion":"1.0","id":"i","type":"t"}`,
+		"missing type":   `{"specversion":"1.0","id":"i","source":"s"}`,
+		"bad version":    `{"specversion":"0.3","id":"i","source":"s","type":"t"}`,
+		"non-string id":  `{"specversion":"1.0","id":7,"source":"s","type":"t"}`,
+	} {
+		if _, err := ParseJSON([]byte(raw)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestNumericExtensionCanonicalises(t *testing.T) {
+	got, err := ParseJSON([]byte(`{"specversion":"1.0","id":"i","source":"s","type":"t","wsmrelayhops":3}`))
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if got.Extension(ExtRelayHops) != "3" {
+		t.Fatalf("extension = %q, want 3", got.Extension(ExtRelayHops))
+	}
+}
+
+func TestTopicTypeMapping(t *testing.T) {
+	p := topics.NewPath("urn:gridmon", "disk", "full")
+	ct := TypeForTopic(p)
+	if ct != "{urn:gridmon}disk/full" {
+		t.Fatalf("TypeForTopic = %q", ct)
+	}
+	if back := TopicForType(ct); !back.Equal(p) {
+		t.Fatalf("TopicForType = %v, want %v", back, p)
+	}
+	if !TopicForType("com.example.something.odd here").IsZero() {
+		t.Fatal("unparsable type should yield zero topic")
+	}
+	if TypeForTopic(topics.Path{}) == "" {
+		t.Fatal("zero topic needs a non-empty default type")
+	}
+}
+
+func TestBinaryModeRoundTrip(t *testing.T) {
+	e := sampleEvent()
+	hdr, ct, body := e.BinaryHeaders()
+	h := http.Header{}
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	h.Set("Content-Type", ct)
+	if !IsBinaryRequest(h) {
+		t.Fatal("IsBinaryRequest should detect ce-specversion")
+	}
+	got, err := FromBinary(h, body)
+	if err != nil {
+		t.Fatalf("FromBinary: %v", err)
+	}
+	if got.ID != e.ID || got.Type != e.Type || got.Source != e.Source {
+		t.Fatalf("binary round trip: %+v", got)
+	}
+	if got.Extension(ExtRelayOrigin) != "broker-a" {
+		t.Fatalf("extension lost: %+v", got.Extensions)
+	}
+	if !bytes.Equal(got.Data, e.Data) || got.DataBase64 {
+		t.Fatalf("binary data: %v %s", got.DataBase64, got.Data)
+	}
+}
+
+func TestBinaryOpaqueBody(t *testing.T) {
+	h := http.Header{}
+	h.Set("ce-specversion", "1.0")
+	h.Set("ce-id", "i")
+	h.Set("ce-source", "s")
+	h.Set("ce-type", "t")
+	h.Set("Content-Type", "application/octet-stream")
+	got, err := FromBinary(h, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatalf("FromBinary: %v", err)
+	}
+	if !got.DataBase64 || !bytes.Equal(got.Data, []byte{1, 2, 3}) {
+		t.Fatalf("opaque body should be base64 data: %+v", got)
+	}
+}
+
+func TestXMLWrapRoundTrip(t *testing.T) {
+	e := sampleEvent()
+	el := WrapXML(e)
+	// The wrapper must survive serialise/parse (what delivery to a SOAP
+	// subscriber and re-ingest at a federated peer does to it).
+	reparsed, err := xmldom.ParseString(xmldom.Marshal(el))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	got, ok := UnwrapXML(reparsed)
+	if !ok {
+		t.Fatal("UnwrapXML failed")
+	}
+	if got.ID != e.ID || got.Type != e.Type || got.Source != e.Source ||
+		got.Subject != e.Subject || got.DataContentType != e.DataContentType {
+		t.Fatalf("XML round trip: %+v vs %+v", got, e)
+	}
+	if string(got.Data) != string(e.Data) {
+		t.Fatalf("data: %s vs %s", got.Data, e.Data)
+	}
+	if got.Extension(ExtRelayID) != "urn:uuid:wsm-9" {
+		t.Fatalf("extensions: %+v", got.Extensions)
+	}
+}
+
+func TestXMLWrapBinaryData(t *testing.T) {
+	e := &Event{SpecVersion: SpecVersion, ID: "i", Source: "s", Type: "t",
+		Data: []byte{0xDE, 0xAD}, DataBase64: true}
+	got, ok := UnwrapXML(WrapXML(e))
+	if !ok || !got.DataBase64 || !bytes.Equal(got.Data, e.Data) {
+		t.Fatalf("binary XML round trip: %+v %v", got, ok)
+	}
+}
+
+func TestUnwrapRejectsForeign(t *testing.T) {
+	if _, ok := UnwrapXML(xmldom.Elem("urn:other", "Event")); ok {
+		t.Fatal("foreign element must not unwrap")
+	}
+	if _, ok := UnwrapXML(nil); ok {
+		t.Fatal("nil must not unwrap")
+	}
+}

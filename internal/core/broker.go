@@ -26,11 +26,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cloudevents"
 	"repro/internal/destwriter"
 	"repro/internal/dispatch"
 	"repro/internal/eventlog"
@@ -198,6 +200,10 @@ type subState struct {
 	canon *mediation.Subscribe
 	flt   filter.All
 	plan  mediation.DeliveryPlan
+	// local, when set, delivers in-process instead of over a transport —
+	// the WebSocket front door's connection-bound subscriptions. Local
+	// subscriptions are never persisted.
+	local func(ctx context.Context, event []byte) error
 }
 
 // fanMsg is the dispatch payload: the notification body plus the
@@ -290,6 +296,22 @@ type Broker struct {
 	// the render-template cache.
 	rawClient transport.BytesClient
 
+	// ceClient is Config.Client's raw HTTP path for non-SOAP bodies, when
+	// it has one. Nil means the broker cannot deliver CloudEvents over
+	// HTTP and /ce rejects subscription requests up front.
+	ceClient transport.RawSender
+
+	// wsConns tracks live WebSocket front-door connections.
+	wsConns atomic.Int64
+
+	// CloudEvents / WebSocket front-door counters (nil without Obs).
+	cePublished    *obs.Counter
+	ceDeliveries   *obs.Counter
+	ceErrors       *obs.Counter
+	wsConnsTotal   *obs.Counter
+	wsEvents       *obs.Counter
+	wsPingTimeouts *obs.Counter
+
 	// dest is the per-destination writer pool (nil unless Config.BatchMax
 	// > 1 and the client has a raw-bytes path): queued deliveries are
 	// grouped by destination host and coalesced into multi-message
@@ -342,10 +364,58 @@ func New(cfg Config) (*Broker, error) {
 		if bc, ok := b.cfg.Client.(transport.BytesClient); ok {
 			b.rawClient = bc
 		}
+		if rs, ok := b.cfg.Client.(transport.RawSender); ok {
+			b.ceClient = rs
+		}
+	}
+	if rec := b.cfg.Obs; rec != nil {
+		reg := rec.Registry()
+		comp := obs.L("component", rec.Component())
+		b.cePublished = reg.Counter("wsm_ce_published_total",
+			"CloudEvents accepted through the /ce and /ws front doors.", comp)
+		b.ceDeliveries = reg.Counter("wsm_ce_deliveries_total",
+			"CloudEvents wire deliveries (one batched send may carry many events).", comp)
+		b.ceErrors = reg.Counter("wsm_ce_errors_total",
+			"CloudEvents wire deliveries that failed.", comp)
+		reg.GaugeFunc("wsm_ce_subscriptions",
+			"Live CloudEvents HTTP subscriptions (WebSocket-bound ones excluded).",
+			func() float64 {
+				if b.store == nil {
+					return 0 // scraped before New finished wiring
+				}
+				n := 0
+				for _, sn := range b.store.Active() {
+					if st, ok := sn.Data.(*subState); ok &&
+						st.canon.Origin.Family == mediation.FamilyCE && st.local == nil {
+						n++
+					}
+				}
+				return float64(n)
+			}, comp)
+		reg.GaugeFunc("wsm_ws_connections",
+			"Live WebSocket front-door connections.",
+			func() float64 { return float64(b.wsConns.Load()) }, comp)
+		b.wsConnsTotal = reg.Counter("wsm_ws_connections_total",
+			"WebSocket front-door connections ever accepted.", comp)
+		b.wsEvents = reg.Counter("wsm_ws_events_total",
+			"Frames pushed to WebSocket consumers (events and session replies).", comp)
+		b.wsPingTimeouts = reg.Counter("wsm_ws_ping_timeouts_total",
+			"WebSocket connections declared dead after unanswered pings.", comp)
 	}
 	if b.cfg.BatchMax > 1 && b.rawClient != nil {
 		b.dest = destwriter.NewPool(destwriter.Config{
 			Send: func(ctx context.Context, addr, contentType string, body []byte) error {
+				if b.ceClient != nil && strings.HasPrefix(contentType, "application/cloudevents") {
+					// CloudEvents bodies must not ride the SOAP path: the
+					// consumer's 2xx receipt is JSON, not an envelope.
+					err := b.ceClient.SendRaw(ctx, addr, contentType, nil, body)
+					if err != nil {
+						inc(b.ceErrors)
+					} else {
+						inc(b.ceDeliveries)
+					}
+					return err
+				}
 				return b.rawClient.SendBytes(ctx, addr, contentType, body)
 			},
 			NextMessageID: b.nextMessageID,
@@ -652,6 +722,113 @@ func (b *Broker) sendBatch(ctx context.Context, st *subState, batch []dispatch.M
 // off) for harnesses and operator surfaces.
 func (b *Broker) DestWriter() *destwriter.Pool { return b.dest }
 
+// ceSend puts one CloudEvents delivery on the wire through the raw HTTP
+// path, keeping the wsm_ce_* delivery accounting.
+func (b *Broker) ceSend(ctx context.Context, addr, contentType string, header map[string]string, body []byte) error {
+	err := b.ceClient.SendRaw(ctx, addr, contentType, header, body)
+	if err != nil {
+		inc(b.ceErrors)
+	} else {
+		inc(b.ceDeliveries)
+	}
+	return err
+}
+
+// sendCE posts one notification to a CloudEvents HTTP subscriber in its
+// content mode. Structured and batched modes share the publish's render
+// template exactly like SOAP subscribers (the per-delivery splice is the
+// event id for synthesised events, nothing for preserved ones); binary
+// mode renders fresh every time — its attributes travel as headers, which
+// the byte-splicing template cannot carry.
+func (b *Broker) sendCE(ctx context.Context, st *subState, n mediation.Notification, rs *renderSet) error {
+	ctx, cancel := sendCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	addr := st.canon.Consumer.Address
+	if st.plan.CEMode == mediation.CEBinary {
+		header, contentType, body := mediation.RenderCEBinary(n, st.plan, b.nextMessageID())
+		return b.ceSend(ctx, addr, contentType, header, body)
+	}
+	if rs != nil {
+		if mediation.Cacheable(st.canon.Consumer) {
+			if tpl, hit := rs.template(n, st.plan); tpl != nil {
+				if hit {
+					inc(b.cacheHits)
+				} else {
+					inc(b.cacheMisses)
+				}
+				buf := getSendBuf()
+				id := b.nextMessageID()
+				// Stamp routes the id through whichever slot the mode's
+				// template cut (MessageID for structured, SubID for batched).
+				*buf = tpl.Stamp((*buf)[:0], addr, id, id)
+				contentType := cloudevents.ContentTypeJSON
+				if st.plan.CEMode == mediation.CEBatched {
+					contentType = cloudevents.ContentTypeBatch
+				}
+				err := b.ceSend(ctx, addr, contentType, nil, *buf)
+				putSendBuf(buf)
+				return err
+			}
+		}
+		inc(b.cacheMisses)
+	}
+	body, contentType := mediation.RenderCE(n, st.plan, b.nextMessageID())
+	return b.ceSend(ctx, addr, contentType, nil, body)
+}
+
+// sendCEBatch hands a batched-mode CloudEvents delivery to the
+// per-destination writer pool: coalescible frames merge with other
+// subscribers' batched-mode deliveries bound for the same host into one
+// application/cloudevents-batch+json array per round trip — the same
+// coalescing WSN 1.3 multi-NotificationMessage envelopes get.
+func (b *Broker) sendCEBatch(ctx context.Context, st *subState, batch []dispatch.Message) error {
+	ctx, cancel := sendCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	addr := st.canon.Consumer.Address
+	db := &destwriter.Batch{
+		Addr:        addr,
+		ContentType: cloudevents.ContentTypeBatch,
+		Live: func() bool {
+			_, err := b.store.Get(st.plan.SubscriptionID)
+			return err == nil
+		},
+		Entries: make([]destwriter.Entry, 0, len(batch)),
+	}
+	cacheable := mediation.Cacheable(st.canon.Consumer)
+	for _, m := range batch {
+		fm := m.Payload.(fanMsg)
+		n := mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}
+		id := b.nextMessageID()
+		if fm.rs != nil {
+			if cacheable {
+				if tpl, hit := fm.rs.template(n, st.plan); tpl != nil {
+					if hit {
+						inc(b.cacheHits)
+					} else {
+						inc(b.cacheMisses)
+					}
+					// The minted event id rides the entry's SubID channel —
+					// the batched template's only per-entry splice.
+					db.Entries = append(db.Entries, destwriter.Entry{Frame: tpl, SubID: id})
+					continue
+				}
+			}
+			inc(b.cacheMisses)
+		}
+		body, _ := mediation.RenderCE(n, st.plan, id)
+		db.Entries = append(db.Entries, destwriter.Entry{Body: body})
+	}
+	err := b.dest.Deliver(ctx, db)
+	if errors.Is(err, destwriter.ErrCanceled) {
+		return nil // same suppression contract as sendBatch
+	}
+	return err
+}
+
 // sendWrapped posts one batched envelope to a WSE wrapped-mode subscriber.
 // Wrapped batches are assembled per subscriber from that subscriber's own
 // queue, so no two subscribers share a batch and there is nothing to
@@ -778,6 +955,7 @@ func (b *Broker) register(canon *mediation.Subscribe, flt filter.All, expires ti
 		UseRaw:          canon.UseRaw,
 		ManagerAddress:  b.cfg.ManagerAddress,
 		ProducerAddress: b.cfg.Address,
+		CEMode:          canon.CEMode,
 	}
 	return b.store.CreateFunc(func(id string) any {
 		st.plan.SubscriptionID = id
@@ -870,11 +1048,44 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 				sub.Batch = b.cfg.BatchMax
 			}
 		}
-		if b.dest != nil {
+		switch {
+		case st.local != nil:
+			// Connection-bound (WebSocket) subscription: render the
+			// CloudEvents structured body and hand it in-process. The dest
+			// pool never applies — there is no destination host.
+			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+				for _, m := range batch {
+					fm := m.Payload.(fanMsg)
+					n := mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}
+					body, _ := mediation.RenderCE(n, st.plan, b.nextMessageID())
+					if err := st.local(ctx, body); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		case st.canon.Origin.Family == mediation.FamilyCE:
+			if b.dest != nil && st.plan.CEMode == mediation.CEBatched {
+				sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+					return b.sendCEBatch(ctx, st, batch)
+				}
+			} else {
+				sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+					for _, m := range batch {
+						fm := m.Payload.(fanMsg)
+						n := mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}
+						if err := b.sendCE(ctx, st, n, fm.rs); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+			}
+		case b.dest != nil:
 			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 				return b.sendBatch(ctx, st, batch)
 			}
-		} else {
+		default:
 			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
 				m := batch[0]
 				fm := m.Payload.(fanMsg)
@@ -972,6 +1183,10 @@ func (b *Broker) onLeaseEnd(sn sublease.Snapshot, reason sublease.EndReason) {
 		h.Apply(env)
 		env.AddBody(wsrf.NewTerminationNotification(b.cfg.Clock(), string(reason)))
 		_ = b.cfg.Client.Send(ctx, st.canon.Consumer.Address, env)
+	case mediation.FamilyCE:
+		// CloudEvents subscribers get no end notice: the HTTP binding has
+		// no vocabulary for one, and WebSocket-bound subscriptions end with
+		// their connection anyway.
 	}
 }
 

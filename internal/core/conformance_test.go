@@ -13,6 +13,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/wse"
 	"repro/internal/wsnt"
 	"repro/internal/xmldom"
+	"repro/internal/xsdt"
 )
 
 // Abuse classes applied uniformly to every version row.
@@ -181,4 +183,97 @@ func TestSubscribeConformanceMatrix(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestPauseResumeFaultConformance pins the management-fault column of the
+// matrix: WSN 1.3 distinguishes a pause/resume that fails for a known
+// subscription (PauseFailedFault / ResumeFailedFault) from an unknown
+// subscription reference (ResourceUnknownFault), while 1.0's coarser
+// vocabulary answers ResourceUnknownFault for both. The "known but
+// unpausable" state is an expired lease still in the store, reached by
+// advancing an injected clock past the granted expiry.
+func TestPauseResumeFaultConformance(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Now()
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	client := &transport.HTTPClient{HC: &http.Client{Timeout: 5 * time.Second}}
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	broker, err := New(Config{
+		Address:        srv.URL + "/",
+		ManagerAddress: srv.URL + "/manage",
+		Client:         client,
+		SyncDelivery:   true,
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Handle("/", transport.NewHTTPHandler(broker.FrontHandler()))
+	mux.Handle("/manage", transport.NewHTTPHandler(broker.ManagerHandler()))
+	ctx := context.Background()
+	sink := srv.URL + "/sink"
+
+	subscribe := func(v wsnt.Version, expires string) (*wsnt.Subscriber, *wsnt.Handle) {
+		t.Helper()
+		s := &wsnt.Subscriber{Client: client, Version: v}
+		h, err := s.Subscribe(ctx, srv.URL+"/", &wsnt.SubscribeRequest{
+			ConsumerReference:      wsa.NewEPR(v.WSAVersion(), sink),
+			TopicExpression:        "t:jobs",
+			TopicDialect:           topics.DialectConcrete,
+			TopicNS:                map[string]string{"t": confTopicNS},
+			InitialTerminationTime: expires,
+		})
+		if err != nil {
+			t.Fatalf("subscribe %v: %v", v, err)
+		}
+		return s, h
+	}
+	wantFault := func(err error, want xmldom.Name) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("management call succeeded; want fault %s", want.Local)
+		}
+		f, ok := soap.ErrFault(err)
+		if !ok {
+			t.Fatalf("non-fault error: %v", err)
+		}
+		if f.Subcode != want {
+			t.Errorf("fault subcode = %v, want %v (reason: %s)", f.Subcode, want, f.Reason)
+		}
+		if f.Code != soap.FaultSender {
+			t.Errorf("fault code = %v, want Sender", f.Code)
+		}
+	}
+
+	// A live 1.3 subscription pauses and resumes cleanly (control case).
+	s13, h13 := subscribe(wsnt.V1_3, "PT1H")
+	if err := s13.Pause(ctx, h13); err != nil {
+		t.Fatalf("pause live: %v", err)
+	}
+	if err := s13.Resume(ctx, h13); err != nil {
+		t.Fatalf("resume live: %v", err)
+	}
+
+	// A cancelled subscription is unknown, not pause-failed.
+	sGone, hGone := subscribe(wsnt.V1_3, "PT1H")
+	if err := sGone.Unsubscribe(ctx, hGone); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	wantFault(sGone.Pause(ctx, hGone), xmldom.N(wsnt.V1_3.NS(), "ResourceUnknownFault"))
+
+	// 1.0 pins durations to absolute dateTimes (Table 2).
+	s10, h10 := subscribe(wsnt.V1_0, xsdt.FormatDateTime(clock().Add(time.Hour)))
+
+	advance(2 * time.Hour)
+
+	// Expired but still in the store: 1.3 answers with the operation's own
+	// failure fault, 1.0 with its only management fault.
+	wantFault(s13.Pause(ctx, h13), xmldom.N(wsnt.V1_3.NS(), "PauseFailedFault"))
+	wantFault(s13.Resume(ctx, h13), xmldom.N(wsnt.V1_3.NS(), "ResumeFailedFault"))
+	wantFault(s10.Pause(ctx, h10), xmldom.N(wsnt.V1_0.NS(), "ResourceUnknownFault"))
+	wantFault(s10.Resume(ctx, h10), xmldom.N(wsnt.V1_0.NS(), "ResourceUnknownFault"))
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/soap"
 	"repro/internal/topics"
 	"repro/internal/wsa"
 	"repro/internal/wse"
@@ -292,5 +293,111 @@ func TestBadDurabilityRejected(t *testing.T) {
 	_, err := New(Config{Address: "svc://x", DataDir: t.TempDir(), Durability: "paranoid"})
 	if err == nil {
 		t.Fatal("bad durability accepted")
+	}
+}
+
+// TestFetchNewerEdgeCases pins the cursor operation's input validation and
+// boundary behaviour: unparseable cursors/limits fault, MaxEntries 0 means
+// "no preference" (the default page applies), and a cursor already past
+// the head returns an empty page that echoes the cursor.
+func TestFetchNewerEdgeCases(t *testing.T) {
+	f := logFixture(t, t.TempDir())
+	defer f.broker.Shutdown()
+	for _, v := range []string{"a", "b", "c", "d", "e"} {
+		f.publishWSE(t, grid, event(v))
+	}
+	raw := func(cursor, maxEntries string) (*soap.Envelope, error) {
+		env := soap.New(soap.V11)
+		h := &wsa.MessageHeaders{Version: wsa.V200508, To: "svc://wsm", Action: WSMNS + "/FetchNewer"}
+		h.Apply(env)
+		req := xmldom.NewElement(fetchNewerName)
+		if cursor != "" {
+			req.Append(xmldom.Elem(WSMNS, "Cursor", cursor))
+		}
+		if maxEntries != "" {
+			req.Append(xmldom.Elem(WSMNS, "MaxEntries", maxEntries))
+		}
+		env.AddBody(req)
+		return f.lb.Call(context.Background(), "svc://wsm", env)
+	}
+
+	// Negative or unparseable limits (and garbage cursors) fault rather
+	// than being silently coerced.
+	for _, bad := range []struct{ cursor, max string }{
+		{"0", "-3"},
+		{"0", "lots"},
+		{"banana", ""},
+	} {
+		_, err := raw(bad.cursor, bad.max)
+		if err == nil {
+			t.Errorf("cursor=%q max=%q accepted; want fault", bad.cursor, bad.max)
+			continue
+		}
+		if _, ok := soap.ErrFault(err); !ok {
+			t.Errorf("cursor=%q max=%q: non-fault error %v", bad.cursor, bad.max, err)
+		}
+	}
+
+	// MaxEntries 0 keeps the default page size — all five entries fit.
+	resp, err := raw("0", "0")
+	if err != nil {
+		t.Fatalf("MaxEntries 0: %v", err)
+	}
+	got := 0
+	for _, el := range resp.FirstBody().ChildElements() {
+		if el.Name == xmldom.N(WSMNS, "Entry") {
+			got++
+		}
+	}
+	if got != 5 {
+		t.Fatalf("MaxEntries 0 returned %d entries, want 5", got)
+	}
+
+	// A cursor past the head: nothing to serve, cursor echoed, no gap —
+	// the client just polls again later from the same place.
+	entries, next, gap, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", 99, 0)
+	if err != nil || len(entries) != 0 || next != 99 || gap != 0 {
+		t.Fatalf("past-head fetch: %d entries, next=%d gap=%d err=%v", len(entries), next, gap, err)
+	}
+}
+
+// TestFetchNewerResumeAcrossCompaction extends the gap story: after
+// retention compacts the log's tail away, the first page reports the hole
+// once, serves the oldest retained entries right after it, and resuming
+// from the returned cursor pages the remainder without re-reporting the
+// gap — the client sees every retained position exactly once.
+func TestFetchNewerResumeAcrossCompaction(t *testing.T) {
+	f := logFixture(t, t.TempDir(), func(c *Config) {
+		c.LogSegmentBytes = 256
+		c.LogRetainSegments = 2
+	})
+	defer f.broker.Shutdown()
+	const total = 30
+	for i := 0; i < total; i++ {
+		f.publishWSE(t, grid, event("v"+strconv.Itoa(i)))
+	}
+	page1, next, gap, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", 0, 1)
+	if err != nil || gap == 0 || len(page1) != 1 {
+		t.Fatalf("page 1: %d entries, gap=%d err=%v (want 1 entry after a gap)", len(page1), gap, err)
+	}
+	if page1[0].Pos != gap+1 {
+		t.Fatalf("first retained entry at pos %d, want %d (right after the hole)", page1[0].Pos, gap+1)
+	}
+	page2, next2, gap2, err := FetchNewer(context.Background(), f.lb, "svc://wsm", "", next, 0)
+	if err != nil || gap2 != 0 {
+		t.Fatalf("page 2: gap=%d err=%v (gap must not repeat)", gap2, err)
+	}
+	if next2 != total {
+		t.Fatalf("page 2 cursor = %d, want head %d", next2, total)
+	}
+	if got := len(page1) + len(page2); uint64(got) != total-gap {
+		t.Fatalf("retained entries served = %d, want %d (total %d minus gap %d)", got, total-gap, total, gap)
+	}
+	last := uint64(0)
+	for _, e := range append(page1, page2...) {
+		if e.Pos <= last {
+			t.Fatalf("positions not strictly increasing: %d after %d", e.Pos, last)
+		}
+		last = e.Pos
 	}
 }

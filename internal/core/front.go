@@ -10,6 +10,7 @@ import (
 	"repro/internal/mediation"
 	"repro/internal/obs"
 	"repro/internal/soap"
+	"repro/internal/sublease"
 	"repro/internal/topics"
 	"repro/internal/transport"
 	"repro/internal/wsa"
@@ -382,6 +383,12 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 		switch body.Name.Local {
 		case "PauseSubscription":
 			if err := b.store.Pause(id); err != nil {
+				// Unknown id → ResourceUnknownFault; a pause that fails for a
+				// known subscription (e.g. an expired lease) is 1.3's
+				// distinct PauseFailedFault.
+				if v == wsnt.V1_3 && !errors.Is(err, sublease.ErrNotFound) {
+					return nil, wsnt.FaultPauseFailed(v, err.Error())
+				}
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
 			b.engine.Pause(id)
@@ -390,6 +397,9 @@ func (b *Broker) handleManagement(_ context.Context, env *soap.Envelope, d media
 			return out, nil
 		case "ResumeSubscription":
 			if err := b.store.Resume(id); err != nil {
+				if v == wsnt.V1_3 && !errors.Is(err, sublease.ErrNotFound) {
+					return nil, wsnt.FaultResumeFailed(v, err.Error())
+				}
 				return nil, wsnt.FaultUnknownSubscription(v, id)
 			}
 			b.engine.Resume(id)

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloudevents"
+	"repro/internal/obs"
+	"repro/internal/soap"
+	"repro/internal/topics"
+	"repro/internal/transport"
+	"repro/internal/wsa"
+	"repro/internal/wse"
+	"repro/internal/wsnt"
+	"repro/internal/wspush"
+	"repro/internal/xmldom"
+)
+
+// ceSink is an HTTP CloudEvents consumer: it records every delivery's
+// content type and body.
+type ceSink struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	types  []string
+}
+
+func (s *ceSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	s.mu.Lock()
+	s.bodies = append(s.bodies, body)
+	s.types = append(s.types, r.Header.Get("Content-Type"))
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *ceSink) received() ([][]byte, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.bodies...), append([]string(nil), s.types...)
+}
+
+// TestFrontDoorInterop is the modern-front-doors end-to-end story over real
+// HTTP: a WSE 8/2004 SOAP publish reaches a CloudEvents HTTP consumer and a
+// WebSocket consumer; a CloudEvents POST reaches a WSN 1.3 SOAP sink. The
+// dispatch conservation law and the wsm_ce_* / wsm_ws_* metrics cover all
+// three front doors at once.
+func TestFrontDoorInterop(t *testing.T) {
+	client := &transport.HTTPClient{HC: &http.Client{Timeout: 10 * time.Second}}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, "broker")
+
+	sink := &ceSink{}
+	ceSrv := httptest.NewServer(sink)
+	defer ceSrv.Close()
+	wsnConsumer := &wsnt.Consumer{}
+	wsnSrv := httptest.NewServer(transport.NewHTTPHandler(wsnConsumer))
+	defer wsnSrv.Close()
+
+	mux := http.NewServeMux()
+	brokerSrv := httptest.NewServer(mux)
+	defer brokerSrv.Close()
+	broker, err := New(Config{
+		Address:        brokerSrv.URL + "/",
+		ManagerAddress: brokerSrv.URL + "/manage",
+		Client:         client,
+		SyncDelivery:   true,
+		Obs:            rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Handle("/", transport.NewHTTPHandler(broker.FrontHandler()))
+	mux.Handle("/manage", transport.NewHTTPHandler(broker.ManagerHandler()))
+	mux.Handle("/ce", broker.CEHandler())
+	mux.Handle("/ws", broker.WSHandler())
+	mux.Handle("/metrics", reg.Handler())
+
+	ctx := context.Background()
+	topic := topics.NewPath("urn:grid", "jobs")
+
+	// CloudEvents consumer subscribes through the JSON control vocabulary.
+	ctrl := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(brokerSrv.URL+"/ce", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("/ce control: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+	status, out := ctrl(fmt.Sprintf(`{"sink":%q,"topic":"{urn:grid}jobs"}`, ceSrv.URL))
+	if status != http.StatusCreated || out["id"] == "" {
+		t.Fatalf("ce subscribe: status=%d out=%v", status, out)
+	}
+	ceSubID := out["id"].(string)
+
+	// WebSocket consumer subscribes over the socket.
+	wsCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	conn, err := wspush.Dial(wsCtx, brokerSrv.URL+"/ws")
+	if err != nil {
+		t.Fatalf("ws dial: %v", err)
+	}
+	defer conn.Close()
+	readReply := func() wsReply {
+		t.Helper()
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		op, p, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatalf("ws read: %v", err)
+		}
+		if op != wspush.OpText {
+			t.Fatalf("ws read op = %d", op)
+		}
+		var r wsReply
+		if err := json.Unmarshal(p, &r); err != nil {
+			t.Fatalf("ws reply: %v (%q)", err, p)
+		}
+		if r.Action == "error" {
+			t.Fatalf("ws error reply: %s", r.Error)
+		}
+		return r
+	}
+	if err := conn.WriteMessage(wspush.OpText, []byte(`{"action":"subscribe","topic":"{urn:grid}jobs"}`)); err != nil {
+		t.Fatalf("ws subscribe: %v", err)
+	}
+	sub := readReply()
+	if sub.Action != "subscribed" || sub.SID == "" {
+		t.Fatalf("ws subscribe reply: %+v", sub)
+	}
+
+	// WSN 1.3 SOAP consumer subscribes on the classic front door.
+	ns := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
+	if _, err := ns.Subscribe(ctx, brokerSrv.URL+"/", &wsnt.SubscribeRequest{
+		ConsumerReference: wsa.NewEPR(wsa.V200508, wsnSrv.URL),
+		TopicExpression:   "g:jobs",
+		TopicDialect:      topics.DialectConcrete,
+		TopicNS:           map[string]string{"g": "urn:grid"},
+	}); err != nil {
+		t.Fatalf("wsn subscribe: %v", err)
+	}
+
+	// A WSE 8/2004 raw SOAP publish crosses into both modern front doors.
+	env := soap.New(soap.V11)
+	(&wsa.MessageHeaders{Version: wsa.V200408, To: brokerSrv.URL + "/",
+		Action: "urn:test:publish"}).Apply(env)
+	env.AddHeader(xmldom.Elem(wse.TopicHeaderName.Space, wse.TopicHeaderName.Local, topic.String()))
+	env.AddBody(xmldom.Elem("urn:grid", "Ev", xmldom.Elem("urn:grid", "v", "interop")))
+	if err := client.Send(ctx, brokerSrv.URL+"/", env); err != nil {
+		t.Fatalf("wse publish: %v", err)
+	}
+
+	// The CloudEvents HTTP consumer got it in structured mode.
+	bodies, ctypes := sink.received()
+	if len(bodies) != 1 {
+		t.Fatalf("ce sink deliveries = %d, want 1", len(bodies))
+	}
+	if !strings.HasPrefix(ctypes[0], cloudevents.ContentTypeJSON) {
+		t.Errorf("ce delivery content type = %q", ctypes[0])
+	}
+	ev, err := cloudevents.ParseJSON(bodies[0])
+	if err != nil {
+		t.Fatalf("ce delivery not a CloudEvent: %v (%s)", err, bodies[0])
+	}
+	if ev.Type != "{urn:grid}jobs" {
+		t.Errorf("ce delivery type = %q, want {urn:grid}jobs", ev.Type)
+	}
+	if !strings.Contains(string(ev.Data), "interop") {
+		t.Errorf("ce delivery lost the payload: %s", ev.Data)
+	}
+
+	// The WebSocket consumer got the same event as a session frame.
+	frame := readReply()
+	if frame.Action != "event" || frame.SID != sub.SID {
+		t.Fatalf("ws event frame: %+v", frame)
+	}
+	wsEv, err := cloudevents.ParseJSON(frame.Event)
+	if err != nil {
+		t.Fatalf("ws event not a CloudEvent: %v", err)
+	}
+	if wsEv.Type != "{urn:grid}jobs" || !strings.Contains(string(wsEv.Data), "interop") {
+		t.Errorf("ws event = type %q data %s", wsEv.Type, wsEv.Data)
+	}
+
+	// A CloudEvents POST crosses back into the SOAP world (and fans out to
+	// the two modern consumers as well).
+	ceBody := `{"specversion":"1.0","id":"ce-interop-1","source":"urn:test:producer",` +
+		`"type":"{urn:grid}jobs","datacontenttype":"application/json","data":{"n":7}}`
+	resp, err := http.Post(brokerSrv.URL+"/ce", cloudevents.ContentTypeJSON, strings.NewReader(ceBody))
+	if err != nil {
+		t.Fatalf("ce publish: %v", err)
+	}
+	receipt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ce publish status = %d (%s)", resp.StatusCode, receipt)
+	}
+	if !bytes.Contains(receipt, []byte(`"accepted":1`)) && !bytes.Contains(receipt, []byte(`"accepted": 1`)) {
+		t.Errorf("ce publish receipt = %s", receipt)
+	}
+	if got := wsnConsumer.Count(); got != 2 {
+		t.Fatalf("wsn consumer deliveries = %d, want 2 (WSE publish + CE publish)", got)
+	}
+	// CE→CE round trip preserves the producer's own attributes.
+	bodies, _ = sink.received()
+	if len(bodies) != 2 {
+		t.Fatalf("ce sink deliveries = %d, want 2", len(bodies))
+	}
+	ev2, err := cloudevents.ParseJSON(bodies[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.ID != "ce-interop-1" || ev2.Source != "urn:test:producer" {
+		t.Errorf("ce round trip rewrote identity: id=%q source=%q", ev2.ID, ev2.Source)
+	}
+	frame = readReply()
+	if frame.Action != "event" {
+		t.Fatalf("ws second frame: %+v", frame)
+	}
+
+	// Unsubscribe both modern consumers through their own vocabularies.
+	if err := conn.WriteMessage(wspush.OpText,
+		[]byte(`{"action":"unsubscribe","sid":"`+sub.SID+`"}`)); err != nil {
+		t.Fatalf("ws unsubscribe: %v", err)
+	}
+	if r := readReply(); r.Action != "unsubscribed" {
+		t.Fatalf("ws unsubscribe reply: %+v", r)
+	}
+	if status, out := ctrl(fmt.Sprintf(`{"unsubscribe":%q}`, ceSubID)); status != http.StatusOK {
+		t.Fatalf("ce unsubscribe: status=%d out=%v", status, out)
+	}
+
+	// Conservation law across all three front doors.
+	es := broker.DispatchStats()
+	if es.Matched == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if es.Matched != es.Delivered+es.Dropped+es.Failed+es.DeadLettered {
+		t.Fatalf("conservation violated: %+v", es)
+	}
+
+	// The new front doors are observable: scrape the registry.
+	mresp, err := http.Get(brokerSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"wsm_ce_published_total",
+		"wsm_ce_deliveries_total",
+		"wsm_ce_subscriptions",
+		"wsm_ws_connections",
+		"wsm_ws_connections_total",
+		"wsm_ws_events_total",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics exposition lacks %s", want)
+		}
+	}
+	for _, wantNonZero := range []string{"wsm_ce_published_total", "wsm_ws_events_total"} {
+		found := false
+		for _, line := range strings.Split(string(metrics), "\n") {
+			if strings.HasPrefix(line, wantNonZero) && !strings.HasSuffix(line, " 0") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s never incremented", wantNonZero)
+		}
+	}
+}

@@ -82,6 +82,8 @@ type persistedSub struct {
 	UseRaw   bool `json:"useRaw,omitempty"`
 	PullMode bool `json:"pullMode,omitempty"`
 	WrapMode bool `json:"wrapMode,omitempty"`
+	// CEMode is the CloudEvents delivery content mode (FamilyCE only).
+	CEMode string `json:"ceMode,omitempty"`
 }
 
 type persistedState struct {
@@ -97,6 +99,11 @@ func (b *Broker) SaveSubscriptions(w io.Writer) error {
 		if !ok {
 			continue
 		}
+		if st.local != nil {
+			// Connection-bound (WebSocket) subscriptions cannot outlive
+			// their socket; a restarted broker could never deliver to them.
+			continue
+		}
 		c := st.canon
 		state.Subscriptions = append(state.Subscriptions, persistedSub{
 			ID: sn.ID, CreatedAt: sn.CreatedAt, Expires: sn.Expires, Paused: sn.Paused,
@@ -107,6 +114,7 @@ func (b *Broker) SaveSubscriptions(w io.Writer) error {
 			ProducerPropsExpr: c.ProducerPropsExpr, ProducerPropsDialect: c.ProducerPropsDialect,
 			ProducerPropsNS: c.ProducerPropsNS,
 			UseRaw:          c.UseRaw, PullMode: c.PullMode, WrapMode: c.WrapMode,
+			CEMode: c.CEMode,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -184,6 +192,7 @@ func (b *Broker) RestoreSubscriptions(r io.Reader) (int, error) {
 			ProducerPropsExpr: ps.ProducerPropsExpr, ProducerPropsDialect: ps.ProducerPropsDialect,
 			ProducerPropsNS: ps.ProducerPropsNS,
 			UseRaw:          ps.UseRaw, PullMode: ps.PullMode, WrapMode: ps.WrapMode,
+			CEMode: ps.CEMode,
 		}
 		flt, err := canon.BuildFilter()
 		if err != nil {
@@ -196,6 +205,7 @@ func (b *Broker) RestoreSubscriptions(r io.Reader) (int, error) {
 			SubscriptionID:  ps.ID,
 			ManagerAddress:  b.cfg.ManagerAddress,
 			ProducerAddress: b.cfg.Address,
+			CEMode:          canon.CEMode,
 		}
 		if err := b.store.Restore(sublease.Snapshot{
 			ID: ps.ID, CreatedAt: ps.CreatedAt, Expires: ps.Expires,

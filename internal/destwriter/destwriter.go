@@ -329,12 +329,27 @@ func (w *writer) run() {
 			}
 			idle.Reset(w.pool.cfg.idleTimeout())
 		case <-w.pool.quit:
+			// Shutdown drain. An empty queue is not enough to stop: a
+			// Deliver racing Close may have taken a writer reference before
+			// quit closed and still be inside its enqueue select, where the
+			// runtime may pick the `w.ch <- pd` arm even though quit is
+			// closed. Returning on first-empty would strand that batch —
+			// dequeued by nobody, its done channel never signalled, the
+			// conservation law broken. Close sets pool.done under the mutex
+			// before closing quit, so no new references appear after this
+			// point and inflight can only fall; drain until the queue is
+			// empty AND every reference is released. Deliver releases its
+			// reference only after its enqueue resolves, so inflight == 0
+			// implies any enqueued batch is already visible in the channel.
 			for {
 				select {
 				case pd := <-w.ch:
 					w.flush(pd)
 				default:
-					return
+					if w.inflight.Load() == 0 && len(w.ch) == 0 {
+						return
+					}
+					time.Sleep(10 * time.Microsecond)
 				}
 			}
 		case <-idle.C:
@@ -441,6 +456,9 @@ func (w *writer) flush(first *pending) {
 		buf := w.buf[:0]
 		buf = g.frame.AppendFrameHead(buf, g.addr, p.cfg.NextMessageID())
 		for i, sid := range g.subIDs {
+			if i > 0 {
+				buf = g.frame.AppendEntrySep(buf)
+			}
 			buf = g.frames[i].AppendEntry(buf, sid)
 		}
 		buf = g.frame.AppendFrameTail(buf)

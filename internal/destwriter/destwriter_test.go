@@ -3,6 +3,7 @@ package destwriter
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -414,5 +415,165 @@ func TestMixedFramesSeparateEnvelopes(t *testing.T) {
 	}
 	if got := c.count(); got != 2 {
 		t.Fatalf("wire sends = %d, want 2 (plain + relayed frames)", got)
+	}
+}
+
+// ceTemplate builds a batched-mode CloudEvents template (JSON array
+// coalescing with "," separators).
+func ceTemplate(t *testing.T, payloadText string) *mediation.Template {
+	t.Helper()
+	n := mediation.Notification{Topic: testTopic, Payload: xmldom.Elem("urn:dw", "Ev", payloadText)}
+	plan := mediation.DeliveryPlan{
+		Dialect:         mediation.Dialect{Family: mediation.FamilyCE},
+		CEMode:          mediation.CEBatched,
+		ProducerAddress: "svc://broker",
+	}
+	tpl, err := mediation.NewTemplate(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Coalescible() {
+		t.Fatal("CE batched template not coalescible")
+	}
+	return tpl
+}
+
+// TestCEBatchedEntriesCoalesceWithSeparator: CloudEvents batched-mode
+// entries bound for one host share one envelope, and the coalesced body is
+// a well-formed JSON array — the entry separator the XML frames never
+// needed must appear between CE entries.
+func TestCEBatchedEntriesCoalesceWithSeparator(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchWindow: 100 * time.Millisecond})
+	defer p.Close()
+	tpl := ceTemplate(t, "hello")
+	err := p.Deliver(context.Background(), &Batch{
+		Addr:        "http://dest-ce:80/sink",
+		ContentType: "application/cloudevents-batch+json",
+		Entries: []Entry{
+			{Frame: tpl, SubID: "urn:uuid:ev-1"},
+			{Frame: tpl, SubID: "urn:uuid:ev-2"},
+			{Frame: tpl, SubID: "urn:uuid:ev-3"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.count(); got != 1 {
+		t.Fatalf("wire sends = %d, want 1 coalesced array", got)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(c.body(0), &events); err != nil {
+		t.Fatalf("coalesced body is not a JSON array: %v\n%s", err, c.body(0))
+	}
+	if len(events) != 3 {
+		t.Fatalf("array carries %d events, want 3", len(events))
+	}
+	for i, want := range []string{"urn:uuid:ev-1", "urn:uuid:ev-2", "urn:uuid:ev-3"} {
+		if events[i]["id"] != want {
+			t.Fatalf("event %d id = %v, want %s", i, events[i]["id"], want)
+		}
+	}
+	// CE frames must never coalesce with XML frames.
+	if tpl.FrameEqual(testTemplate(t, "hello")) {
+		t.Fatal("CE and WSN frames must not be frame-equal")
+	}
+}
+
+// TestCloseMidWindowDrainsParkedRound pins the batch-window shutdown path:
+// a writer parked in its BatchWindow wait when the pool closes must flush
+// the already-dequeued round, not drop it — the blocked Deliver gets its
+// real result and the send is accounted.
+func TestCloseMidWindowDrainsParkedRound(t *testing.T) {
+	c := &capture{}
+	p := newTestPool(c, Config{BatchWindow: time.Hour}) // park essentially forever
+	tpl := testTemplate(t, "hello")
+	res := make(chan error, 1)
+	go func() {
+		res <- p.Deliver(context.Background(), &Batch{
+			Addr:    "http://dest-w:80/sink",
+			Entries: []Entry{{Frame: tpl, SubID: "s1"}},
+		})
+	}()
+	// Wait until the writer has dequeued the batch and parked in the window.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueDepth() > 0 || p.ActiveWriters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let it enter the window wait
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("Deliver = %v, want nil (flushed on close)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver still blocked after Close — round dropped unaccounted")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+	if c.count() != 1 {
+		t.Fatalf("sends = %d, want 1", c.count())
+	}
+}
+
+// TestCloseDeliverRaceAccountsEveryBatch hammers Deliver against Close:
+// every Deliver must resolve (sent or ErrClosed) — never hang with its
+// batch stranded in a dead writer's queue — and every nil result must be
+// matched by a wire send.
+func TestCloseDeliverRaceAccountsEveryBatch(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		c := &capture{}
+		p := newTestPool(c, Config{})
+		tpl := testTemplate(t, "hello")
+		const n = 8
+		results := make(chan error, n)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				results <- p.Deliver(context.Background(), &Batch{
+					Addr:    fmt.Sprintf("http://dest-r%d:80/sink", i%2),
+					Entries: []Entry{{Frame: tpl, SubID: "s"}},
+				})
+			}(i)
+		}
+		close(start)
+		p.Close()
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatal("a Deliver racing Close never resolved")
+		}
+		close(results)
+		delivered := 0
+		for err := range results {
+			switch err {
+			case nil:
+				delivered++
+			case ErrClosed:
+			default:
+				t.Fatalf("unexpected Deliver error: %v", err)
+			}
+		}
+		sent := 0
+		for i := 0; i < c.count(); i++ {
+			sent += entryCount(c.body(i))
+		}
+		if sent != delivered {
+			t.Fatalf("round %d: %d entries on the wire, %d Delivers reported success", round, sent, delivered)
+		}
 	}
 }

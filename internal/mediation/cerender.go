@@ -1,0 +1,138 @@
+package mediation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cloudevents"
+	"repro/internal/xmldom"
+)
+
+// CloudEvents egress: rendering a canonical notification for a FamilyCE
+// subscriber. The mediation mirrors the SOAP directions — a payload that
+// entered as a CloudEvent (wrapped by cloudevents.WrapXML at the /ce front
+// door) unwraps back to the producer's original event, id included, so a
+// CE→CE round trip through the broker is faithful; any other payload is
+// synthesised into an event whose type carries the topic in Clark form,
+// whose source names this broker, whose id is the delivery MessageID and
+// whose data is the XML payload itself (datacontenttype application/xml).
+// Relay provenance rides as wsmrelay* extension attributes either way, so
+// federation dedup holds across the protocol boundary.
+
+// CEEvent builds the CloudEvents view of a notification under a plan.
+func CEEvent(n Notification, plan DeliveryPlan, messageID string) *cloudevents.Event {
+	ev, ok := cloudevents.UnwrapXML(n.Payload)
+	if !ok {
+		ev = &cloudevents.Event{
+			SpecVersion:     cloudevents.SpecVersion,
+			ID:              messageID,
+			Source:          ceSource(plan),
+			Type:            cloudevents.TypeForTopic(n.Topic),
+			DataContentType: "application/xml",
+		}
+		if n.Payload != nil {
+			// The XML payload travels as a JSON string value.
+			b, _ := json.Marshal(xmldom.Marshal(n.Payload))
+			ev.Data = b
+		}
+	}
+	if n.Relay != nil {
+		ev.SetRelay(n.Relay.Origin, n.Relay.ID, n.Relay.Hops, n.Relay.Pos)
+	}
+	return ev
+}
+
+func ceSource(plan DeliveryPlan) string {
+	if plan.ProducerAddress != "" {
+		return plan.ProducerAddress
+	}
+	return "urn:ws-messenger"
+}
+
+// RenderCE renders one delivery body for a structured- or batched-mode
+// CloudEvents subscriber (the fresh-render path; templates below are the
+// cached one). Batched mode wraps the single event in a one-element array.
+func RenderCE(n Notification, plan DeliveryPlan, messageID string) (body []byte, contentType string) {
+	ev := CEEvent(n, plan, messageID)
+	if plan.CEMode == CEBatched {
+		return cloudevents.AppendBatchJSON(nil, []*cloudevents.Event{ev}), cloudevents.ContentTypeBatch
+	}
+	return ev.JSON(), cloudevents.ContentTypeJSON
+}
+
+// RenderCEBinary renders a binary-mode delivery: ce-* headers plus bare
+// data body. Binary deliveries are never templated — the headers vary.
+func RenderCEBinary(n Notification, plan DeliveryPlan, messageID string) (header map[string]string, contentType string, body []byte) {
+	return CEEvent(n, plan, messageID).BinaryHeaders()
+}
+
+// newCETemplate compiles the CloudEvents render template for a plan. The
+// only per-subscriber field in a synthesised event is its id (the delivery
+// MessageID), so the template is the event JSON cut at the id value;
+// preserved events are fully fixed. Batched mode additionally segments
+// into head "[" / entry / tail "]" with separator "," — the shape the
+// destwriter coalesces, so N subscribers behind one host share one
+// application/cloudevents-batch+json round trip exactly like WSN 1.3
+// multi-NotificationMessage envelopes.
+func newCETemplate(n Notification, plan DeliveryPlan) (*Template, error) {
+	if plan.CEMode == CEBinary {
+		return nil, fmt.Errorf("mediation: binary-mode CloudEvents deliveries are not templated")
+	}
+	// Batched entries are stamped through AppendEntry, whose per-entry
+	// value channel is the SubID field; structured templates are stamped
+	// with the MessageID. The planted sentinel must match the field, since
+	// cut() removes sentinelLen(field) bytes at each slot.
+	sentinel, field := sentinelMsgID, fieldMsgID
+	if plan.CEMode == CEBatched {
+		sentinel, field = sentinelSubID, fieldSubID
+	}
+	ev, preserved := cloudevents.UnwrapXML(n.Payload)
+	if preserved {
+		if n.Relay != nil {
+			ev.SetRelay(n.Relay.Origin, n.Relay.ID, n.Relay.Hops, n.Relay.Pos)
+		}
+	} else {
+		ev = CEEvent(n, plan, sentinel)
+	}
+	doc := ev.AppendJSON(nil)
+
+	// A preserved event keeps its producer-assigned id — no slots — but
+	// must not contain the sentinel anywhere (fresh-render fallback for
+	// that pathological payload); a synthesised one must contain it
+	// exactly once, at the id we planted.
+	occurrences := bytes.Count(doc, []byte(sentinel))
+	var slots []spliceSlot
+	switch {
+	case preserved && occurrences != 0:
+		return nil, fmt.Errorf("mediation: sentinel %q occurs %d times in preserved event", sentinel, occurrences)
+	case !preserved && occurrences != 1:
+		return nil, fmt.Errorf("mediation: sentinel %q occurs %d times in rendered event", sentinel, occurrences)
+	case !preserved:
+		slots = []spliceSlot{{off: bytes.Index(doc, []byte(sentinel)), field: field}}
+	}
+
+	if plan.CEMode != CEBatched {
+		t := cut(doc, slots)
+		t.raw = true
+		return t, nil
+	}
+
+	full := make([]byte, 0, len(doc)+2)
+	full = append(full, '[')
+	full = append(full, doc...)
+	full = append(full, ']')
+	fullSlots := make([]spliceSlot, len(slots))
+	for i, s := range slots {
+		fullSlots[i] = spliceSlot{off: s.off + 1, field: s.field}
+	}
+	t := cut(full, fullSlots)
+	t.raw = true
+	t.sep = []byte{','}
+	t.head = cut(full[:1], nil)
+	t.head.raw = true
+	t.entry = cut(full[1:len(full)-1], slots)
+	t.entry.raw = true
+	t.tail = full[len(full)-1:]
+	return t, nil
+}

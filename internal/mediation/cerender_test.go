@@ -1,0 +1,151 @@
+package mediation
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cloudevents"
+	"repro/internal/topics"
+	"repro/internal/xmldom"
+)
+
+var ceTopic = topics.NewPath("urn:gridmon", "disk", "full")
+
+func cePlan(mode string) DeliveryPlan {
+	return DeliveryPlan{
+		Dialect:         Dialect{Family: FamilyCE},
+		CEMode:          mode,
+		ProducerAddress: "http://broker.example/",
+	}
+}
+
+func TestCEEventSynthesised(t *testing.T) {
+	n := Notification{
+		Topic:   ceTopic,
+		Payload: xmldom.Elem("urn:gridmon", "DiskFull", "node-7"),
+		Relay:   &Relay{Origin: "bk-a", ID: "urn:uuid:wsm-3", Hops: 1, Pos: 9},
+	}
+	ev := CEEvent(n, cePlan(CEStructured), "urn:uuid:wsm-42")
+	if ev.ID != "urn:uuid:wsm-42" || ev.Source != "http://broker.example/" {
+		t.Fatalf("id/source: %q %q", ev.ID, ev.Source)
+	}
+	if ev.Type != "{urn:gridmon}disk/full" {
+		t.Fatalf("type = %q", ev.Type)
+	}
+	if ev.DataContentType != "application/xml" {
+		t.Fatalf("datacontenttype = %q", ev.DataContentType)
+	}
+	var xmlStr string
+	if err := json.Unmarshal(ev.Data, &xmlStr); err != nil {
+		t.Fatalf("data is not a JSON string: %v", err)
+	}
+	if payload, err := xmldom.ParseString(xmlStr); err != nil || payload.Text() != "node-7" {
+		t.Fatalf("data does not round-trip the payload: %v %q", err, xmlStr)
+	}
+	if origin, id, hops, pos, ok := ev.Relay(); !ok || origin != "bk-a" || id != "urn:uuid:wsm-3" || hops != 1 || pos != 9 {
+		t.Fatalf("relay extensions: %s %s %d %d %v", origin, id, hops, pos, ok)
+	}
+}
+
+func TestCEEventPreservesIngressedEvent(t *testing.T) {
+	orig := &cloudevents.Event{
+		SpecVersion: cloudevents.SpecVersion,
+		ID:          "producer-id-7",
+		Source:      "https://producer.example/",
+		Type:        "com.example.created",
+		Data:        json.RawMessage(`{"k":1}`),
+	}
+	n := Notification{Payload: cloudevents.WrapXML(orig)}
+	ev := CEEvent(n, cePlan(CEStructured), "urn:uuid:wsm-42")
+	if ev.ID != "producer-id-7" || ev.Source != orig.Source || ev.Type != orig.Type {
+		t.Fatalf("preserved event mutated: %+v", ev)
+	}
+	if !bytes.Equal(ev.Data, orig.Data) {
+		t.Fatalf("data mutated: %s", ev.Data)
+	}
+}
+
+// TestCETemplateMatchesFreshRender: a stamped CE template must be
+// byte-identical to the fresh RenderCE output for the same message id —
+// the same property the SOAP templates hold.
+func TestCETemplateMatchesFreshRender(t *testing.T) {
+	n := Notification{
+		Topic:   ceTopic,
+		Payload: xmldom.Elem("urn:gridmon", "DiskFull", "node-7"),
+		Relay:   &Relay{Origin: "bk-a", ID: "urn:uuid:wsm-3", Hops: 1},
+	}
+	const mid = "urn:uuid:wsm-99"
+
+	structured := cePlan(CEStructured)
+	tpl, err := NewTemplate(n, structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Coalescible() {
+		t.Fatal("structured template must not be coalescible")
+	}
+	fresh, ct := RenderCE(n, structured, mid)
+	if ct != cloudevents.ContentTypeJSON {
+		t.Fatalf("content type = %q", ct)
+	}
+	if got := tpl.Stamp(nil, "", mid, ""); !bytes.Equal(got, fresh) {
+		t.Fatalf("structured stamp != fresh render:\n%s\n%s", got, fresh)
+	}
+
+	batched := cePlan(CEBatched)
+	btpl, err := NewTemplate(n, batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !btpl.Coalescible() {
+		t.Fatal("batched template must be coalescible")
+	}
+	bfresh, bct := RenderCE(n, batched, mid)
+	if bct != cloudevents.ContentTypeBatch {
+		t.Fatalf("batch content type = %q", bct)
+	}
+	var frame []byte
+	frame = btpl.AppendFrameHead(frame, "http://sink", "ignored")
+	frame = btpl.AppendEntry(frame, mid)
+	frame = btpl.AppendFrameTail(frame)
+	if !bytes.Equal(frame, bfresh) {
+		t.Fatalf("single-entry frame != fresh batched render:\n%s\n%s", frame, bfresh)
+	}
+}
+
+// TestCETemplatePreservedBatched: a preserved (CE-ingressed) event builds a
+// fixed coalescible entry — every subscriber sees the producer's id.
+func TestCETemplatePreservedBatched(t *testing.T) {
+	orig := &cloudevents.Event{
+		SpecVersion: cloudevents.SpecVersion,
+		ID:          "producer-id-7",
+		Source:      "https://producer.example/",
+		Type:        "com.example.created",
+	}
+	n := Notification{Payload: cloudevents.WrapXML(orig)}
+	tpl, err := NewTemplate(n, cePlan(CEBatched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame []byte
+	frame = tpl.AppendFrameHead(frame, "", "")
+	frame = tpl.AppendEntry(frame, "would-be-id")
+	frame = tpl.AppendFrameTail(frame)
+	events, err := cloudevents.ParseBatchJSON(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].ID != "producer-id-7" {
+		t.Fatalf("preserved id lost: %+v", events)
+	}
+}
+
+// TestCETemplateBinaryRefused: binary-mode deliveries carry per-event
+// headers; NewTemplate must refuse so callers take the fresh-render path.
+func TestCETemplateBinaryRefused(t *testing.T) {
+	n := Notification{Topic: ceTopic, Payload: xmldom.Elem("urn:gridmon", "Ev")}
+	if _, err := NewTemplate(n, cePlan(CEBinary)); err == nil {
+		t.Fatal("binary-mode template should be refused")
+	}
+}

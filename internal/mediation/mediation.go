@@ -35,6 +35,11 @@ const (
 	FamilyWSE
 	// FamilyWSN — WS-Notification (either version).
 	FamilyWSN
+	// FamilyCE — CloudEvents 1.0 over HTTP or WebSocket: the modern front
+	// door. It has no SOAP body namespace, so DetectBody never yields it;
+	// CE subscriptions enter through the JSON endpoints and exist only as
+	// a delivery dialect.
+	FamilyCE
 )
 
 // String names the family.
@@ -44,6 +49,8 @@ func (f Family) String() string {
 		return "WS-Eventing"
 	case FamilyWSN:
 		return "WS-Notification"
+	case FamilyCE:
+		return "CloudEvents"
 	}
 	return "unknown"
 }
@@ -62,6 +69,8 @@ func (d Dialect) String() string {
 		return d.WSE.String()
 	case FamilyWSN:
 		return d.WSN.String()
+	case FamilyCE:
+		return "CloudEvents 1.0"
 	}
 	return "unknown"
 }
@@ -117,7 +126,24 @@ type Subscribe struct {
 	PullMode bool
 	// WrapMode: WSE 8/2004 wrapped subscriptions batch at the broker.
 	WrapMode bool
+	// CEMode selects the HTTP-binding content mode for FamilyCE
+	// subscribers: CEStructured, CEBatched or CEBinary.
+	CEMode string
 }
+
+// CloudEvents delivery content modes (FamilyCE subscriptions only).
+const (
+	// CEStructured delivers one application/cloudevents+json object per
+	// notification.
+	CEStructured = "structured"
+	// CEBatched delivers application/cloudevents-batch+json arrays, the
+	// mode the per-destination coalescing serves the same way it serves
+	// WSN 1.3 multi-NotificationMessage envelopes.
+	CEBatched = "batched"
+	// CEBinary delivers binary-mode events: attributes as ce-* headers,
+	// bare data as the body.
+	CEBinary = "binary"
+)
 
 // FromWSE lifts a WS-Eventing subscribe into the canonical model.
 func FromWSE(req *wse.SubscribeRequest, v wse.Version) *Subscribe {
@@ -299,8 +325,11 @@ type DeliveryPlan struct {
 	SubscriptionID string
 	// ManagerAddress names the broker's manager endpoint in references.
 	ManagerAddress string
-	// ProducerAddress names the broker in WSN 1.3 ProducerReferences.
+	// ProducerAddress names the broker in WSN 1.3 ProducerReferences and
+	// as the CloudEvents source attribute for synthesised events.
 	ProducerAddress string
+	// CEMode is the CloudEvents content mode (FamilyCE plans only).
+	CEMode string
 }
 
 // Render produces the delivery envelope for a notification under the plan,

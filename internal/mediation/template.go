@@ -42,6 +42,7 @@ type RenderKey struct {
 	HasSubID        bool
 	ManagerAddress  string
 	ProducerAddress string
+	CEMode          string
 }
 
 // KeyFor computes the render key for a delivery plan.
@@ -52,6 +53,7 @@ func KeyFor(plan DeliveryPlan) RenderKey {
 		HasSubID:        plan.SubscriptionID != "",
 		ManagerAddress:  plan.ManagerAddress,
 		ProducerAddress: plan.ProducerAddress,
+		CEMode:          plan.CEMode,
 	}
 }
 
@@ -83,13 +85,20 @@ type Template struct {
 	fields []spliceField // field spliced after parts[i]
 	fixed  int           // total fixed bytes, for buffer sizing
 
-	// Coalescing segmentation (WSN 1.3 wrapped deliveries only): the
-	// envelope cut at the NotificationMessage element boundaries, so
-	// multiple subscribers' entries can share one envelope frame. nil
-	// when the template is not coalescible.
+	// raw disables XML text escaping when splicing field values — set on
+	// CloudEvents JSON templates, whose splice values (broker-minted
+	// urn:uuid ids) are escape-free in both XML and JSON, and whose
+	// surrounding bytes are JSON, not XML.
+	raw bool
+
+	// Coalescing segmentation (WSN 1.3 wrapped deliveries and CloudEvents
+	// batched mode): the envelope cut at the per-subscriber element
+	// boundaries, so multiple subscribers' entries can share one envelope
+	// frame. nil when the template is not coalescible.
 	head  *Template // To + MessageID slots, bytes before the entry
-	entry *Template // the NotificationMessage element, SubscriptionId slot
-	tail  []byte    // bytes after the entry (closing Notify/Body/Envelope)
+	entry *Template // the per-subscriber element (SubscriptionId / event id slot)
+	tail  []byte    // bytes after the entry (closing Notify/Body/Envelope or "]")
+	sep   []byte    // separator between coalesced entries ("," for JSON arrays)
 }
 
 // wantsSubID reports whether Render embeds the subscription identifier for
@@ -106,6 +115,9 @@ func wantsSubID(plan DeliveryPlan) bool {
 // result into a splice template. It returns an error when the output cannot
 // be spliced unambiguously — callers must fall back to Render.
 func NewTemplate(n Notification, plan DeliveryPlan) (*Template, error) {
+	if plan.Dialect.Family == FamilyCE {
+		return newCETemplate(n, plan)
+	}
 	return compile(renderSentinel(n, plan), wantsSubID(plan))
 }
 
@@ -261,13 +273,19 @@ func (t *Template) Stamp(dst []byte, to, messageID, subscriptionID string) []byt
 		if i >= len(t.fields) {
 			break
 		}
+		var v string
 		switch t.fields[i] {
 		case fieldTo:
-			dst = xmldom.AppendEscapedText(dst, to)
+			v = to
 		case fieldMsgID:
-			dst = xmldom.AppendEscapedText(dst, messageID)
+			v = messageID
 		case fieldSubID:
-			dst = xmldom.AppendEscapedText(dst, subscriptionID)
+			v = subscriptionID
+		}
+		if t.raw {
+			dst = append(dst, v...)
+		} else {
+			dst = xmldom.AppendEscapedText(dst, v)
 		}
 	}
 	return dst
@@ -294,6 +312,9 @@ func (t *Template) FrameEqual(o *Template) bool {
 		return t.Coalescible()
 	}
 	if !t.Coalescible() || !o.Coalescible() {
+		return false
+	}
+	if t.raw != o.raw || !bytes.Equal(t.sep, o.sep) {
 		return false
 	}
 	if !bytes.Equal(t.tail, o.tail) || len(t.head.parts) != len(o.head.parts) {
@@ -337,6 +358,12 @@ func (t *Template) AppendFrameHead(dst []byte, to, messageID string) []byte {
 // AppendEntry appends one subscriber's NotificationMessage element.
 func (t *Template) AppendEntry(dst []byte, subscriptionID string) []byte {
 	return t.entry.Stamp(dst, "", "", subscriptionID)
+}
+
+// AppendEntrySep appends the separator owed between two coalesced entries
+// (empty for XML frames, "," for CloudEvents batch arrays).
+func (t *Template) AppendEntrySep(dst []byte) []byte {
+	return append(dst, t.sep...)
 }
 
 // AppendFrameTail appends the envelope bytes following the last entry.

@@ -13,9 +13,18 @@ import (
 // pooled HTTP client: every dial and every close is counted, so the number
 // of open sockets is observable at any instant. The load harness's fd
 // regression test and the wsm_dest_conns_open gauge both read it.
+//
+// Accounting invariant: a dial is counted only when it succeeds — a failed
+// dial opens no socket, so it must not move Open(). Counting attempts
+// instead of successes would leave Open() permanently inflated by every
+// refused connection (the count could never come back down: there is no
+// conn whose Close would decrement it), which would read as a slow fd leak
+// on any broker with flapping destinations. Failed attempts are tallied
+// separately in DialErrors. Pinned by TestConnCounterFailedDials.
 type ConnCounter struct {
-	dials  atomic.Int64
-	closes atomic.Int64
+	dials      atomic.Int64
+	closes     atomic.Int64
+	dialErrors atomic.Int64
 }
 
 // Dials reports total connections ever opened.
@@ -24,6 +33,14 @@ func (c *ConnCounter) Dials() int64 {
 		return 0
 	}
 	return c.dials.Load()
+}
+
+// DialErrors reports dial attempts that failed (no socket was opened).
+func (c *ConnCounter) DialErrors() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.dialErrors.Load()
 }
 
 // Open reports currently open connections (dials minus closes).
@@ -113,7 +130,13 @@ func NewPooledHTTPClient(cfg PoolConfig) *http.Client {
 		Proxy: http.ProxyFromEnvironment,
 		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
 			conn, err := dialer.DialContext(ctx, network, addr)
-			if err != nil || cfg.Counter == nil {
+			if cfg.Counter == nil {
+				return conn, err
+			}
+			if err != nil {
+				// No socket was opened: count the failure, leave the
+				// open-connection accounting untouched.
+				cfg.Counter.dialErrors.Add(1)
 				return conn, err
 			}
 			cfg.Counter.dials.Add(1)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -92,5 +93,91 @@ func TestConnCounterNilSafe(t *testing.T) {
 	var cc *ConnCounter
 	if cc.Open() != 0 || cc.Dials() != 0 {
 		t.Error("nil ConnCounter must read zero")
+	}
+}
+
+// TestConnCounterFailedDials is the refusing-listener regression for the
+// accounting invariant: dials that fail must not increment the open count
+// (a counted-but-never-closable connection would wedge Open() upward for
+// every refused dial), and the pool must still serve live hosts afterwards.
+func TestConnCounterFailedDials(t *testing.T) {
+	// A listener that is closed immediately: the kernel refuses connections
+	// on the port, but nothing else binds it during the test's lifetime.
+	refusing, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := "http://" + refusing.Addr().String() + "/sink"
+	refusing.Close()
+
+	cc := &ConnCounter{}
+	hc := NewPooledHTTPClient(PoolConfig{MaxConnsPerHost: 4, Counter: cc})
+	client := &HTTPClient{HC: hc}
+	env := soap.New(soap.V11)
+
+	const attempts = 8
+	for i := 0; i < attempts; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := client.SendBytes(ctx, deadAddr, "text/xml", env.Marshal())
+		cancel()
+		if err == nil {
+			t.Fatal("send to refusing listener succeeded")
+		}
+	}
+	if open := cc.Open(); open != 0 {
+		t.Errorf("open connections after %d refused dials = %d, want 0", attempts, open)
+	}
+	if dials := cc.Dials(); dials != 0 {
+		t.Errorf("successful dials after refusals = %d, want 0", dials)
+	}
+	if de := cc.DialErrors(); de < attempts {
+		t.Errorf("dial errors = %d, want >= %d", de, attempts)
+	}
+
+	// The refusals must not have wedged the per-host cap machinery: a live
+	// host served by the same client still works and accounts cleanly.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		if err := client.SendBytes(context.Background(), srv.URL, "text/xml", env.Marshal()); err != nil {
+			t.Fatalf("send to live host after refusals: %v", err)
+		}
+	}
+	if cc.Open() > 1 {
+		t.Errorf("open connections to live host = %d, want <= 1", cc.Open())
+	}
+}
+
+// TestSendRawAnyTwoXX: the raw sender accepts any 2xx and never parses the
+// response body — a CloudEvents consumer replying 200 with a JSON receipt
+// must count as delivered, and extra headers must reach the wire.
+func TestSendRawAnyTwoXX(t *testing.T) {
+	var gotCT, gotCE string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotCT = r.Header.Get("Content-Type")
+		gotCE = r.Header.Get("ce-id")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"accepted":true}`)) // not SOAP; must not be parsed
+	}))
+	defer srv.Close()
+	client := &HTTPClient{}
+	err := client.SendRaw(context.Background(), srv.URL, "application/cloudevents+json",
+		map[string]string{"ce-id": "evt-1"}, []byte(`{"specversion":"1.0"}`))
+	if err != nil {
+		t.Fatalf("SendRaw: %v", err)
+	}
+	if gotCT != "application/cloudevents+json" || gotCE != "evt-1" {
+		t.Fatalf("headers on the wire: Content-Type=%q ce-id=%q", gotCT, gotCE)
+	}
+
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer rejecting.Close()
+	if err := client.SendRaw(context.Background(), rejecting.URL, "application/json", nil, []byte("{}")); err == nil {
+		t.Fatal("4xx must fail the delivery")
 	}
 }

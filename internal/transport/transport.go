@@ -69,6 +69,20 @@ type BytesClient interface {
 	SendBytes(ctx context.Context, addr, contentType string, body []byte) error
 }
 
+// RawSender is the non-SOAP send path for the modern front doors: a
+// CloudEvents delivery is JSON (or bare binary-mode data) with extra
+// protocol headers, any 2xx response is success, and the response body —
+// whatever a cloud-native consumer chooses to reply — must not be parsed
+// as a SOAP envelope. Implemented by HTTPClient; the loopback deliberately
+// does not implement it (its handlers speak SOAP), so a broker without an
+// HTTP-capable client rejects CloudEvents HTTP subscriptions up front.
+type RawSender interface {
+	// SendRaw performs a one-way exchange with an arbitrary payload.
+	// header entries are set on the request after Content-Type.
+	// Implementations must not retain body after returning.
+	SendRaw(ctx context.Context, addr, contentType string, header map[string]string, body []byte) error
+}
+
 // ErrNoEndpoint reports a send to an unregistered loopback address or an
 // unreachable HTTP endpoint.
 var ErrNoEndpoint = errors.New("transport: no endpoint at address")
@@ -378,4 +392,40 @@ func (c *HTTPClient) post(ctx context.Context, addr, contentType string, payload
 func (c *HTTPClient) Send(ctx context.Context, addr string, req *soap.Envelope) error {
 	_, err := c.Call(ctx, addr, req)
 	return err
+}
+
+// SendRaw implements RawSender: POST an arbitrary payload, treat any 2xx
+// as success, never parse the response body. CloudEvents consumers reply
+// with whatever they like (empty, JSON receipts, plain text); only the
+// status code carries the delivery verdict.
+func (c *HTTPClient) SendRaw(ctx context.Context, addr, contentType string, header map[string]string, body []byte) error {
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		return fmt.Errorf("transport: address %q is not an HTTP endpoint", addr)
+	}
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", contentType)
+	for k, v := range header {
+		hreq.Header.Set(k, v)
+	}
+	t0 := c.Obs.Now()
+	hresp, err := c.client().Do(hreq)
+	if err != nil {
+		c.Obs.Fault()
+		return fmt.Errorf("%w: %s: %v", ErrNoEndpoint, addr, err)
+	}
+	defer drainClose(hresp.Body, c.maxResponse())
+	if hresp.StatusCode < 200 || hresp.StatusCode > 299 {
+		c.Obs.Fault()
+		return fmt.Errorf("transport: %s rejected delivery with HTTP %d", addr, hresp.StatusCode)
+	}
+	c.Obs.ObserveSend(c.Obs.Now().Sub(t0))
+	return nil
 }

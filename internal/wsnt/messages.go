@@ -400,6 +400,25 @@ func FaultUnknownSubscription(v Version, id string) *soap.Fault {
 	return f
 }
 
+// FaultPauseFailed reports a PauseSubscription the producer could not
+// honour for a subscription it knows about — the spec's PauseFailedFault,
+// distinct from ResourceUnknownFault, which means the subscription id
+// itself is unknown. WS-BaseNotification 1.3 defines the subcode; callers
+// keep ResourceUnknownFault for missing ids.
+func FaultPauseFailed(v Version, why string) *soap.Fault {
+	f := soap.Faultf(soap.FaultSender, "unable to pause subscription: %s", why)
+	f.Subcode = xmldom.N(v.NS(), "PauseFailedFault")
+	return f
+}
+
+// FaultResumeFailed is PauseFailedFault's counterpart for
+// ResumeSubscription.
+func FaultResumeFailed(v Version, why string) *soap.Fault {
+	f := soap.Faultf(soap.FaultSender, "unable to resume subscription: %s", why)
+	f.Subcode = xmldom.N(v.NS(), "ResumeFailedFault")
+	return f
+}
+
 // FaultUnsupportedOperation reports an operation the version does not
 // define (e.g. wsnt:Renew sent to a 1.0 producer).
 func FaultUnsupportedOperation(v Version, op string) *soap.Fault {

@@ -2,6 +2,7 @@ package wsnt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -318,6 +319,12 @@ func (p *Producer) handleManagement(_ context.Context, env *soap.Envelope) (*soa
 	switch body.Name {
 	case xmldom.N(ns, "PauseSubscription"):
 		if err := p.store.Pause(id); err != nil {
+			// An unknown id is ResourceUnknownFault; a pause that fails for
+			// a subscription the producer does know about (e.g. its lease
+			// just lapsed) is 1.3's distinct PauseFailedFault.
+			if v == V1_3 && !errors.Is(err, sublease.ErrNotFound) {
+				return nil, FaultPauseFailed(v, err.Error())
+			}
 			return nil, FaultUnknownSubscription(v, id)
 		}
 		out := soap.New(env.Version)
@@ -327,6 +334,9 @@ func (p *Producer) handleManagement(_ context.Context, env *soap.Envelope) (*soa
 
 	case xmldom.N(ns, "ResumeSubscription"):
 		if err := p.store.Resume(id); err != nil {
+			if v == V1_3 && !errors.Is(err, sublease.ErrNotFound) {
+				return nil, FaultResumeFailed(v, err.Error())
+			}
 			return nil, FaultUnknownSubscription(v, id)
 		}
 		out := soap.New(env.Version)

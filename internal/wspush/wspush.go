@@ -1,0 +1,413 @@
+// Package wspush is a minimal RFC 6455 WebSocket implementation over the
+// standard library — the push half of the broker's modern front door. A
+// 2026 browser or edge client opens one socket, subscribes to topics, and
+// receives CloudEvents-framed notifications pushed over it; no SOAP, no
+// polling, no inbound connectivity required of the consumer (the mobile /
+// intermittent-consumer scenario the paper's comparison tables could only
+// gesture at).
+//
+// Scope: server handshake + framing (Upgrade), a test/client dialer
+// (Dial), text/binary messages with fragmentation reassembly, and the
+// control frames (ping/pong/close) the broker's liveness machinery rides
+// on. Compression and subprotocol negotiation are deliberately absent.
+package wspush
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Opcodes (RFC 6455 §5.2).
+const (
+	OpContinuation = 0x0
+	OpText         = 0x1
+	OpBinary       = 0x2
+	OpClose        = 0x8
+	OpPing         = 0x9
+	OpPong         = 0xA
+)
+
+// Close status codes (RFC 6455 §7.4.1).
+const (
+	CloseNormal        = 1000
+	CloseGoingAway     = 1001
+	CloseProtocolError = 1002
+	CloseMessageTooBig = 1009
+	CloseInternalError = 1011
+)
+
+// maxMessageBytes bounds one reassembled message. Subscription requests
+// and CloudEvents frames are small; anything larger is hostile.
+const maxMessageBytes = 4 << 20
+
+// maxControlPayload is the RFC 6455 bound on control-frame payloads.
+const maxControlPayload = 125
+
+// wsGUID is the magic handshake constant (RFC 6455 §1.3).
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// ErrNotWebSocket reports an Upgrade request that is not a WebSocket
+// handshake (the HTTP error response has already been written).
+var ErrNotWebSocket = errors.New("wspush: not a WebSocket handshake")
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("wspush: connection closed")
+
+// CloseError carries the peer's close frame.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("wspush: peer closed connection (%d %s)", e.Code, e.Reason)
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Conn is one WebSocket connection. Reads must come from one goroutine;
+// writes are internally serialised and may come from several.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client conns mask outgoing frames, reject masked incoming
+
+	wmu    sync.Mutex
+	closed bool
+
+	// fragmentation reassembly state (reader goroutine only)
+	asmOp int
+	asm   []byte
+}
+
+// Upgrade performs the server half of the WebSocket handshake and hijacks
+// the HTTP connection. On failure it writes the appropriate HTTP error
+// response itself and returns ErrNotWebSocket (wrapped with the cause).
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	fail := func(status int, msg string) (*Conn, error) {
+		http.Error(w, msg, status)
+		return nil, fmt.Errorf("%w: %s", ErrNotWebSocket, msg)
+	}
+	if r.Method != http.MethodGet {
+		return fail(http.StatusMethodNotAllowed, "WebSocket handshake requires GET")
+	}
+	if !headerTokenContains(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return fail(http.StatusBadRequest, "missing Upgrade: websocket")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		return fail(http.StatusUpgradeRequired, "unsupported WebSocket version")
+	}
+	key := strings.TrimSpace(r.Header.Get("Sec-WebSocket-Key"))
+	if key == "" {
+		return fail(http.StatusBadRequest, "missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return fail(http.StatusInternalServerError, "connection cannot be hijacked")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wspush: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: handshake write: %w", err)
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: handshake flush: %w", err)
+	}
+	return &Conn{conn: conn, br: brw.Reader}, nil
+}
+
+func headerTokenContains(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dial opens a client WebSocket connection to a ws:// or http:// URL. TLS
+// endpoints are out of scope (tests and intra-host consumers only).
+func Dial(ctx context.Context, rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("wspush: dial: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("wspush: dial: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("wspush: dial: %w", err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: handshake: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: handshake rejected: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("wspush: bad Sec-WebSocket-Accept %q", got)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Conn{conn: conn, br: br, client: true}, nil
+}
+
+// readFrame reads one frame, unmasking as needed.
+func (c *Conn) readFrame() (fin bool, op int, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	if h[0]&0x70 != 0 {
+		return false, 0, nil, fmt.Errorf("wspush: nonzero RSV bits (no extension negotiated)")
+	}
+	fin = h[0]&0x80 != 0
+	op = int(h[0] & 0x0F)
+	masked := h[1]&0x80 != 0
+	n := int64(h[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = int64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v > maxMessageBytes {
+			return false, 0, nil, fmt.Errorf("wspush: frame of %d bytes exceeds limit", v)
+		}
+		n = int64(v)
+	}
+	if n > maxMessageBytes {
+		return false, 0, nil, fmt.Errorf("wspush: frame of %d bytes exceeds limit", n)
+	}
+	// RFC 6455 §5.1: clients MUST mask, servers MUST NOT.
+	if !c.client && !masked {
+		return false, 0, nil, fmt.Errorf("wspush: client frame not masked")
+	}
+	if c.client && masked {
+		return false, 0, nil, fmt.Errorf("wspush: server frame masked")
+	}
+	var maskKey [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, maskKey[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= maskKey[i&3]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// ReadMessage returns the next complete message: data messages (OpText,
+// OpBinary) are reassembled across continuation frames; control messages
+// (OpClose, OpPing, OpPong) are returned as they arrive, even interleaved
+// inside a fragmented data message. A close frame is also surfaced as a
+// *CloseError for callers that only care about liveness.
+func (c *Conn) ReadMessage() (op int, payload []byte, err error) {
+	for {
+		fin, op, p, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		if op >= 0x8 { // control frame
+			if !fin || len(p) > maxControlPayload {
+				return 0, nil, fmt.Errorf("wspush: malformed control frame")
+			}
+			return op, p, nil
+		}
+		if op == OpContinuation {
+			if c.asmOp == 0 {
+				return 0, nil, fmt.Errorf("wspush: continuation without a message")
+			}
+			c.asm = append(c.asm, p...)
+		} else {
+			if c.asmOp != 0 {
+				return 0, nil, fmt.Errorf("wspush: new data frame inside fragmented message")
+			}
+			c.asmOp = op
+			c.asm = append([]byte(nil), p...)
+		}
+		if len(c.asm) > maxMessageBytes {
+			return 0, nil, fmt.Errorf("wspush: message exceeds %d bytes", maxMessageBytes)
+		}
+		if fin {
+			op, payload = c.asmOp, c.asm
+			c.asmOp, c.asm = 0, nil
+			return op, payload, nil
+		}
+	}
+}
+
+// ParseClose decodes a close frame payload.
+func ParseClose(payload []byte) *CloseError {
+	ce := &CloseError{Code: CloseNormal}
+	if len(payload) >= 2 {
+		ce.Code = int(binary.BigEndian.Uint16(payload[:2]))
+		ce.Reason = string(payload[2:])
+	}
+	return ce
+}
+
+// WriteMessage writes one unfragmented message. Safe for concurrent use.
+func (c *Conn) WriteMessage(op int, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.writeFrame(op, payload)
+}
+
+func (c *Conn) writeFrame(op int, payload []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | byte(op) // FIN always set
+	n := len(payload)
+	i := 2
+	switch {
+	case n <= 125:
+		hdr[1] = byte(n)
+	case n <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(n))
+		i = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(n))
+		i = 10
+	}
+	if !c.client {
+		if _, err := c.conn.Write(hdr[:i]); err != nil {
+			return err
+		}
+		_, err := c.conn.Write(payload)
+		return err
+	}
+	// Client frames are masked (RFC 6455 §5.3).
+	hdr[1] |= 0x80
+	var key [4]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return err
+	}
+	copy(hdr[i:], key[:])
+	i += 4
+	masked := make([]byte, len(payload))
+	for j, b := range payload {
+		masked[j] = b ^ key[j&3]
+	}
+	if _, err := c.conn.Write(hdr[:i]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(masked)
+	return err
+}
+
+// WritePing sends a ping control frame.
+func (c *Conn) WritePing(payload []byte) error { return c.WriteMessage(OpPing, payload) }
+
+// WritePong sends a pong control frame.
+func (c *Conn) WritePong(payload []byte) error { return c.WriteMessage(OpPong, payload) }
+
+// WriteClose sends a close frame with the given status code and reason.
+// It does not close the underlying connection — the closing handshake
+// expects the peer's echo first; callers follow with Close.
+func (c *Conn) WriteClose(code int, reason string) error {
+	if len(reason) > maxControlPayload-2 {
+		reason = reason[:maxControlPayload-2]
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload[:2], uint16(code))
+	copy(payload[2:], reason)
+	return c.WriteMessage(OpClose, payload)
+}
+
+// SetReadDeadline bounds the next read.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Close tears down the underlying connection.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	c.closed = true
+	c.wmu.Unlock()
+	return c.conn.Close()
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }

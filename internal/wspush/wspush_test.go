@@ -1,0 +1,270 @@
+package wspush
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer upgrades and echoes every data message back; pings get pongs
+// from the library user's loop (as the broker's session loop would).
+func echoServer(t *testing.T) (*httptest.Server, *sync.WaitGroup) {
+	t.Helper()
+	var wg sync.WaitGroup
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for {
+				op, p, err := c.ReadMessage()
+				if err != nil {
+					return
+				}
+				switch op {
+				case OpPing:
+					c.WritePong(p)
+				case OpClose:
+					c.WriteClose(CloseNormal, "")
+					return
+				case OpText, OpBinary:
+					if err := c.WriteMessage(op, p); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}))
+	return srv, &wg
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	defer wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, srv.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	msg := []byte(`{"action":"subscribe","topic":"{urn:t}a"}`)
+	if err := c.WriteMessage(OpText, msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	op, p, err := c.ReadMessage()
+	if err != nil || op != OpText || !bytes.Equal(p, msg) {
+		t.Fatalf("echo: op=%d p=%s err=%v", op, p, err)
+	}
+	// Binary frames too.
+	bin := []byte{0, 1, 2, 0xFF}
+	if err := c.WriteMessage(OpBinary, bin); err != nil {
+		t.Fatal(err)
+	}
+	if op, p, err = c.ReadMessage(); err != nil || op != OpBinary || !bytes.Equal(p, bin) {
+		t.Fatalf("binary echo: op=%d err=%v", op, err)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	defer wg.Wait()
+	c, err := Dial(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WritePing([]byte("alive?")); err != nil {
+		t.Fatal(err)
+	}
+	op, p, err := c.ReadMessage()
+	if err != nil || op != OpPong || string(p) != "alive?" {
+		t.Fatalf("pong: op=%d p=%s err=%v", op, p, err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	defer wg.Wait()
+	c, err := Dial(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteClose(CloseNormal, "done"); err != nil {
+		t.Fatal(err)
+	}
+	op, p, err := c.ReadMessage()
+	if err != nil || op != OpClose {
+		t.Fatalf("close echo: op=%d err=%v", op, err)
+	}
+	if ce := ParseClose(p); ce.Code != CloseNormal {
+		t.Fatalf("close code = %d", ce.Code)
+	}
+}
+
+// TestLargeMessage exercises the 16-bit and 64-bit extended length paths.
+func TestLargeMessage(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	defer wg.Wait()
+	c, err := Dial(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, size := range []int{126, 70_000} {
+		msg := bytes.Repeat([]byte("x"), size)
+		if err := c.WriteMessage(OpBinary, msg); err != nil {
+			t.Fatal(err)
+		}
+		op, p, err := c.ReadMessage()
+		if err != nil || op != OpBinary || len(p) != size {
+			t.Fatalf("size %d: op=%d len=%d err=%v", size, op, len(p), err)
+		}
+	}
+}
+
+func TestAcceptKey(t *testing.T) {
+	// RFC 6455 §1.3 worked example.
+	if got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("AcceptKey = %q", got)
+	}
+}
+
+func TestUpgradeRejectsPlainHTTP(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	defer wg.Wait()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET got HTTP %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Upgrade", "websocket")
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Sec-WebSocket-Key", "AQIDBAUGBwgJCgsMDQ4PEA==")
+	req.Header.Set("Sec-WebSocket-Version", "8") // unsupported
+	resp, err = http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("version 8 got HTTP %d, want 426", resp.StatusCode)
+	}
+	if resp.Header.Get("Sec-WebSocket-Version") != "13" {
+		t.Fatal("426 must advertise version 13")
+	}
+}
+
+// TestServerRejectsUnmaskedClientFrames pins the masking rule: a raw
+// unmasked frame from the client side must kill the read with an error.
+func TestServerRejectsUnmaskedClientFrames(t *testing.T) {
+	errs := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_, _, err = c.ReadMessage()
+		errs <- err
+	}))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Bypass WriteMessage's masking: hand-rolled unmasked text frame.
+	c.wmu.Lock()
+	_, err = c.conn.Write([]byte{0x81, 0x02, 'h', 'i'})
+	c.wmu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil || !strings.Contains(err.Error(), "not masked") {
+			t.Fatalf("server read err = %v, want masking violation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never rejected the unmasked frame")
+	}
+}
+
+// TestFragmentedMessageReassembly: continuation frames reassemble, with a
+// control frame interleaved mid-message (legal per RFC 6455 §5.4).
+func TestFragmentedMessageReassembly(t *testing.T) {
+	got := make(chan string, 1)
+	pings := make(chan string, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			op, p, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			switch op {
+			case OpPing:
+				pings <- string(p)
+			case OpText:
+				got <- string(p)
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Hand-rolled masked frames: "hel" (text, no FIN), ping, "lo" (cont, FIN).
+	writeMasked := func(b0 byte, payload string) {
+		key := [4]byte{1, 2, 3, 4}
+		frame := []byte{b0, 0x80 | byte(len(payload))}
+		frame = append(frame, key[:]...)
+		for i := 0; i < len(payload); i++ {
+			frame = append(frame, payload[i]^key[i&3])
+		}
+		if _, err := c.conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeMasked(0x01, "hel")      // text, FIN clear
+	writeMasked(0x89, "mid-ping") // ping, FIN set
+	writeMasked(0x80, "lo")       // continuation, FIN set
+	select {
+	case s := <-got:
+		if s != "hello" {
+			t.Fatalf("reassembled %q, want hello", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never reassembled")
+	}
+	if p := <-pings; p != "mid-ping" {
+		t.Fatalf("interleaved ping = %q", p)
+	}
+}
