@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test vet race check fmt-check golden bench bench-fanout bench-log bench-dest bench-gate bench-smoke load-smoke metrics-race metrics-smoke cover fuzz-smoke crash-smoke interop-smoke ci comparison examples outputs goldens clean
+.PHONY: all build test vet race check fmt-check golden bench bench-fanout bench-log bench-dest bench-pipeline bench-gate bench-smoke load-smoke metrics-race metrics-smoke cover fuzz-smoke crash-smoke interop-smoke ci comparison examples outputs goldens clean
 
 all: check
 
@@ -19,7 +19,7 @@ race:
 # Full pre-merge gate: compile, vet, tests, and the race detector over
 # the concurrency-heavy packages (the full -race sweep stays in `race`).
 check: build vet test
-	go test -race ./internal/dispatch ./internal/core ./internal/obs ./internal/cloudevents ./internal/wspush
+	go test -race ./internal/dispatch ./internal/core ./internal/obs ./internal/cloudevents ./internal/wspush ./internal/destwriter
 
 # Fail when any file needs gofmt; print the offenders.
 fmt-check:
@@ -58,15 +58,26 @@ bench-log:
 bench-dest:
 	go test -run '^$$' -bench BenchmarkDestBatchFanout -benchtime=1x -benchmem .
 
-# Blocking benchmark ratchet: rerun the three gated benchmarks (B13
-# fan-out, B15 event log, B16 dest batching), convert with cmd/benchjson,
-# and fail if any gated figure regresses more than BENCH_TOLERANCE percent
-# against the checked-in bench_baseline.json — or silently stops running.
+# Adaptive pipelining fan-out (B17): serial vs fixed vs adaptive in-flight
+# windows per destination host, against slow / fast / flaky loopback hosts.
+# Conservation and receiver-side per-subscriber ordering are asserted
+# inside every arm; scale with WSM_B17_SUBS / WSM_B17_HOSTS /
+# WSM_B17_PUBLISHES / WSM_B17_WORKERS / WSM_B17_SLOWLAT_US.
+bench-pipeline:
+	go test -run '^$$' -bench BenchmarkPipelinedFanout -benchtime=1x -benchmem .
+
+# Blocking benchmark ratchet: rerun the four gated benchmarks (B13
+# fan-out, B15 event log, B16 dest batching, B17 pipelining), convert with
+# cmd/benchjson, and fail if any gated figure regresses more than
+# BENCH_TOLERANCE percent against the checked-in bench_baseline.json — or
+# silently stops running.
 # The baseline records the stable macro figures (best-of-N): every B13
 # arm, B15's fsync-bound arms (append/batch, batch-parallel, replay —
 # the sub-10µs page-cache arms drift ±30% on shared hardware and are
-# reported but not gated), and both B16 arms. Regenerate it by running
-# these three targets with the same BENCH_COUNT/BENCHTIME through
+# reported but not gated), both B16 arms, and B17's latency-dominated
+# slow-host arms (the fast/flaky arms are CPU- and retry-timing-bound and
+# stay informational). Regenerate it by running these four targets with
+# the same BENCH_COUNT/BENCHTIME through
 # `go run ./cmd/benchjson -o bench_baseline.json` and pruning to that set.
 BENCH_TOLERANCE ?= 25
 
@@ -83,6 +94,7 @@ bench-gate:
 		$(MAKE) bench-fanout BENCH_COUNT=5 BENCHTIME=30x > bench_gate.txt; \
 		$(MAKE) bench-log BENCH_COUNT=5 >> bench_gate.txt; \
 		$(MAKE) bench-dest >> bench_gate.txt; \
+		$(MAKE) bench-pipeline >> bench_gate.txt; \
 		if go run ./cmd/benchjson -gate bench_baseline.json -tolerance $(BENCH_TOLERANCE) < bench_gate.txt; then break; fi; \
 		[ $$n -lt $(BENCH_GATE_TRIES) ] || { echo "bench-gate: regression persisted over $(BENCH_GATE_TRIES) attempts"; exit 1; }; \
 		n=$$((n+1)); sleep 5; \
@@ -109,7 +121,7 @@ bench-smoke:
 # closures) runs concurrently with dispatch, so these three must stay clean
 # under the detector.
 metrics-race:
-	go test -race ./internal/obs ./internal/dispatch ./internal/core ./internal/cloudevents ./internal/wspush
+	go test -race ./internal/obs ./internal/dispatch ./internal/core ./internal/cloudevents ./internal/wspush ./internal/destwriter
 
 # End-to-end observability smoke: boot the real broker binary, poll until
 # /metrics answers, require the core series and a healthy /healthz, then
@@ -125,7 +137,7 @@ metrics-smoke:
 		if curl -fsS "http://$(METRICS_SMOKE_ADDR)/metrics" -o metrics_smoke.txt 2>/dev/null; then ok=1; break; fi; \
 		i=$$((i+1)); sleep 0.1; done; \
 	[ $$ok -eq 1 ] || { echo "metrics-smoke: /metrics never answered"; exit 1; }; \
-	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket wsm_render_cache_hits_total wsm_dest_envelopes_total wsm_dest_active_writers; do \
+	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket wsm_render_cache_hits_total wsm_dest_envelopes_total wsm_dest_active_writers wsm_dest_inflight wsm_dest_window wsm_dispatch_workers; do \
 		grep -q "$$series" metrics_smoke.txt || { echo "metrics-smoke: /metrics lacks $$series"; exit 1; }; done; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$(METRICS_SMOKE_ADDR)/healthz"); \
 	[ "$$code" = "200" ] || { echo "metrics-smoke: /healthz returned $$code, want 200"; exit 1; }; \

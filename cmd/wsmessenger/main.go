@@ -26,6 +26,7 @@
 //	                   or binary mode) and JSON subscription management
 //	GET  /ws         — WebSocket front door: subscribe over the socket,
 //	                   receive matching publishes as CloudEvents JSON
+//	GET  /debug/pprof/ — net/http/pprof profiling surface (only with -pprof)
 //
 // Delivery batching: outbound notifications are grouped by destination
 // host and coalesced into multi-NotificationMessage envelopes by async
@@ -33,6 +34,12 @@
 // entries per envelope (1 disables batching), -batch-window bounds the
 // coalescing wait, -dest-queue sizes each writer's queue, and
 // -max-conns-per-host caps outbound sockets per destination.
+//
+// Delivery pipelining: each destination host runs up to
+// -max-inflight-per-host concurrent sends (clamped to the connection
+// cap); with -adaptive-window (the default) an AIMD controller grows the
+// window on sustained success and halves it on timeouts or 5xx, so slow
+// or flaky hosts back off to the serial writer on their own.
 //
 // Federation: give each broker an identity and point it at its peers —
 //
@@ -49,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +92,10 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a per-destination writer waits to coalesce before flushing")
 	destQueue := flag.Int("dest-queue", 0, "per-destination writer queue depth (0 = default)")
 	maxConnsPerHost := flag.Int("max-conns-per-host", 0, "outbound connection cap per destination host (0 = pool default)")
+	maxInflight := flag.Int("max-inflight-per-host", 4, "concurrent in-flight deliveries per destination host (1 = serial writer; clamped to -max-conns-per-host)")
+	adaptiveWindow := flag.Bool("adaptive-window", true, "govern the per-host in-flight window with AIMD between 1 and -max-inflight-per-host (false pins it at the maximum)")
+	maxWorkers := flag.Int("max-dispatch-workers", 0, "cap on the dynamically scaled delivery worker pool (0 = 8x GOMAXPROCS, at least 32)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints at /debug/pprof/ on the admin mux")
 	stateFile := flag.String("state", "", "subscription snapshot file: restored on start, written on shutdown")
 	dataDir := flag.String("data-dir", "", "durable event log directory: every accepted publish is appended (and recovered on boot)")
 	durability := flag.String("durability", "", "event log durability: batch (fsync before ack, the -data-dir default), async, or off")
@@ -119,17 +131,21 @@ func main() {
 		Obs: obs.NewTransportMetrics(reg, "broker"),
 	}
 	broker, err := core.New(core.Config{
-		Address:        base + "/",
-		ManagerAddress: base + "/manage",
-		Client:         client,
-		QueueDepth:     *queueDepth,
-		BatchMax:       *batchMax,
-		BatchWindow:    *batchWindow,
-		DestQueueDepth: *destQueue,
-		BrokerID:       *brokerID,
-		DataDir:        *dataDir,
-		Durability:     *durability,
-		Obs:            rec,
+		Address:            base + "/",
+		ManagerAddress:     base + "/manage",
+		Client:             client,
+		QueueDepth:         *queueDepth,
+		BatchMax:           *batchMax,
+		BatchWindow:        *batchWindow,
+		DestQueueDepth:     *destQueue,
+		MaxInflightPerHost: *maxInflight,
+		AdaptiveWindow:     *adaptiveWindow,
+		MaxConnsPerHost:    *maxConnsPerHost,
+		MaxDispatchWorkers: *maxWorkers,
+		BrokerID:           *brokerID,
+		DataDir:            *dataDir,
+		Durability:         *durability,
+		Obs:                rec,
 	})
 	if err != nil {
 		log.Fatalf("wsmessenger: %v", err)
@@ -187,6 +203,17 @@ func main() {
 	}
 	if *webSocket {
 		mux.Handle("/ws", broker.WSHandler())
+	}
+	if *pprofFlag {
+		// Explicit registration: the default-mux side effect of importing
+		// net/http/pprof does not reach this private mux, and the handlers
+		// must stay off the wire unless asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("wsmessenger: pprof profiling exposed at %s/debug/pprof/", base)
 	}
 
 	srv := &http.Server{Addr: *listen, Handler: mux}

@@ -278,10 +278,10 @@ func TestCoverAndFuzzTargetsPinned(t *testing.T) {
 }
 
 // TestBenchGateTargetPinned keeps the benchmark ratchet honest: the
-// bench-gate target must rerun all three gated benchmark targets (B13
-// fan-out, B15 event log, B16 dest batching) and feed the combined output
-// through cmd/benchjson against the checked-in baseline with an explicit
-// tolerance.
+// bench-gate target must rerun all four gated benchmark targets (B13
+// fan-out, B15 event log, B16 dest batching, B17 pipelining) and feed the
+// combined output through cmd/benchjson against the checked-in baseline
+// with an explicit tolerance.
 func TestBenchGateTargetPinned(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
 	if err != nil {
@@ -293,8 +293,10 @@ func TestBenchGateTargetPinned(t *testing.T) {
 		"bench-fanout BENCH_COUNT=5 BENCHTIME=30x > bench_gate.txt",
 		"bench-log BENCH_COUNT=5 >> bench_gate.txt",
 		"bench-dest >> bench_gate.txt",
+		"bench-pipeline >> bench_gate.txt",
 		"-gate bench_baseline.json -tolerance $(BENCH_TOLERANCE)",
 		"-bench BenchmarkDestBatchFanout",
+		"-bench BenchmarkPipelinedFanout",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Makefile lacks %q", want)
@@ -399,5 +401,31 @@ func TestInteropSmokeTargetPinned(t *testing.T) {
 	}
 	if !strings.Contains(interopLine, "-race") {
 		t.Errorf("interop-smoke must run under -race (got %q)", interopLine)
+	}
+}
+
+// TestPipelineGatePinned keeps the adaptive-pipelining additions wired
+// into CI: the destination-writer package (in-flight windows, ordering
+// keys, the reap/flight protocol) must ride both race sweeps, and the
+// metrics smoke must require the window and worker gauges the feature
+// exposes.
+func TestPipelineGatePinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"wsm_dest_inflight",
+		"wsm_dest_window",
+		"wsm_dispatch_workers",
+		"-bench BenchmarkPipelinedFanout",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	if n := strings.Count(text, "./internal/destwriter"); n < 2 {
+		t.Errorf("destwriter appears in %d race sweep(s), want both check and metrics-race", n)
 	}
 }

@@ -98,6 +98,28 @@ type Config struct {
 	// policy's per-attempt timeout converts the wait into that
 	// subscriber's retry/breaker/DLQ path — bounded memory per slow host.
 	DestQueueDepth int
+	// MaxInflightPerHost caps concurrent in-flight sends per destination
+	// host: 1 (or zero, the default) keeps the serial writer, higher
+	// values let the writer pipeline flush rounds through up to that many
+	// concurrent senders. Clamped to MaxConnsPerHost.
+	MaxInflightPerHost int
+	// AdaptiveWindow governs the per-host in-flight window with an AIMD
+	// controller inside [1, MaxInflightPerHost] instead of pinning it at
+	// the maximum: additive increase on sustained success, halve on a
+	// send failure.
+	AdaptiveWindow bool
+	// MaxConnsPerHost is the pooled transport's per-host connection
+	// budget (default transport.DefaultMaxConnsPerHost). The destination
+	// writers never hold more in-flight sends to one host than this, so
+	// connection accounting stays exact.
+	MaxConnsPerHost int
+	// MaxDispatchWorkers caps the dispatch engine's dynamically scaled
+	// delivery worker pool (default: the engine's own cap, 8×GOMAXPROCS
+	// and at least 32). Delivery workers spend their lives blocked on the
+	// wire, not the CPU, so deployments fanning out to many slow
+	// destinations raise this well past core count to keep every
+	// destination's in-flight window fed.
+	MaxDispatchWorkers int
 	// PullQueueCap bounds WSE pull queues (default 1024).
 	PullQueueCap int
 	// WrapBatchSize is the WSE wrapped-mode batch size (default 10).
@@ -340,6 +362,7 @@ func New(cfg Config) (*Broker, error) {
 	}
 	b.engine = dispatch.New(dispatch.Config{
 		QueueCap:     b.cfg.QueueDepth,
+		MaxWorkers:   b.cfg.MaxDispatchWorkers,
 		FailureLimit: b.cfg.FailureLimit,
 		Clock:        b.cfg.Clock,
 		Retry:        b.cfg.Retry,
@@ -403,6 +426,10 @@ func New(cfg Config) (*Broker, error) {
 			"WebSocket connections declared dead after unanswered pings.", comp)
 	}
 	if b.cfg.BatchMax > 1 && b.rawClient != nil {
+		connCap := b.cfg.MaxConnsPerHost
+		if connCap <= 0 {
+			connCap = transport.DefaultMaxConnsPerHost
+		}
 		b.dest = destwriter.NewPool(destwriter.Config{
 			Send: func(ctx context.Context, addr, contentType string, body []byte) error {
 				if b.ceClient != nil && strings.HasPrefix(contentType, "application/cloudevents") {
@@ -418,10 +445,13 @@ func New(cfg Config) (*Broker, error) {
 				}
 				return b.rawClient.SendBytes(ctx, addr, contentType, body)
 			},
-			NextMessageID: b.nextMessageID,
-			BatchMax:      b.cfg.BatchMax,
-			BatchWindow:   b.cfg.BatchWindow,
-			QueueDepth:    b.cfg.DestQueueDepth,
+			NextMessageID:      b.nextMessageID,
+			BatchMax:           b.cfg.BatchMax,
+			BatchWindow:        b.cfg.BatchWindow,
+			QueueDepth:         b.cfg.DestQueueDepth,
+			MaxInflightPerHost: b.cfg.MaxInflightPerHost,
+			AdaptiveWindow:     b.cfg.AdaptiveWindow,
+			ConnCap:            connCap,
 			OnBatchSize: func(n int) {
 				if b.destBatchSize != nil {
 					b.destBatchSize.Observe(uint64(n))
@@ -458,6 +488,15 @@ func New(cfg Config) (*Broker, error) {
 			reg.CounterFunc("wsm_dest_send_errors_total",
 				"Destination writer wire sends that failed.",
 				b.dest.SendErrors, comp)
+			reg.GaugeFunc("wsm_dest_inflight",
+				"Pipelined sends currently in flight across destination hosts.",
+				func() float64 { return float64(b.dest.Inflight()) }, comp)
+			reg.GaugeFunc("wsm_dest_window",
+				"Widest current per-host in-flight window (0 with no live writers).",
+				func() float64 { return float64(b.dest.Window()) }, comp)
+			reg.CounterFunc("wsm_dest_window_decreases_total",
+				"AIMD multiplicative decreases of a per-host in-flight window.",
+				b.dest.WindowDecreases, comp)
 		}
 	}
 	b.store = sublease.NewStore(
@@ -672,6 +711,7 @@ func (b *Broker) sendBatch(ctx context.Context, st *subState, batch []dispatch.M
 	db := &destwriter.Batch{
 		Addr:        addr,
 		ContentType: soap.V11.ContentType(),
+		Key:         st.plan.SubscriptionID,
 		Live: func() bool {
 			_, err := b.store.Get(st.plan.SubscriptionID)
 			return err == nil
@@ -792,6 +832,7 @@ func (b *Broker) sendCEBatch(ctx context.Context, st *subState, batch []dispatch
 	db := &destwriter.Batch{
 		Addr:        addr,
 		ContentType: cloudevents.ContentTypeBatch,
+		Key:         st.plan.SubscriptionID,
 		Live: func() bool {
 			_, err := b.store.Get(st.plan.SubscriptionID)
 			return err == nil

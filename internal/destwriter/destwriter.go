@@ -15,6 +15,25 @@
 // and the conservation law Matched == Delivered + Dropped + Failed +
 // DeadLettered is untouched.
 //
+// Pipelining: batching alone still leaves each host exactly one in-flight
+// request, so a host's throughput is bounded by 1/RTT envelopes per second
+// no matter how much is queued. With MaxInflightPerHost > 1 the writer
+// keeps popping and coalescing rounds but hands each round to a concurrent
+// sender slot, up to a per-host window W. W is either pinned at the
+// configured maximum or, with AdaptiveWindow, governed by an AIMD
+// controller: +1 after a full window of consecutive successful sends,
+// halved (floor 1) on any send failure — timeouts, 5xx and refused
+// connections all arrive here as send errors. The window never exceeds the
+// pooled transport's per-host connection budget (ConnCap), so every slot
+// maps to a connection the transport is allowed to open and ConnCounter
+// accounting stays exact.
+//
+// Ordering: batches carrying the same non-empty Key (the subscription id)
+// are never in flight concurrently. A round that would overlap an in-flight
+// key is held back and re-dispatched, in arrival order, when the
+// conflicting flight completes — entries for one subscriber never ride two
+// windows out of order, whatever the window size.
+//
 // Backpressure: each host's queue is bounded. A Deliver into a full queue
 // blocks until space frees or the caller's context expires — and the
 // caller is the dispatch engine's retry layer, whose per-attempt timeout
@@ -56,9 +75,15 @@ type Entry struct {
 // subscriber's consumer address and content type. Live, when non-nil, is
 // consulted at flush time; a false result suppresses the whole batch with
 // ErrCanceled (a subscription cancelled mid-window must not be delivered).
+//
+// Key, when non-empty, is the delivery-order key — typically the
+// subscription id. Batches sharing a Key are flushed in arrival order and
+// never ride two concurrent in-flight windows; an empty Key opts out of
+// the ordering constraint.
 type Batch struct {
 	Addr        string
 	ContentType string
+	Key         string
 	Live        func() bool
 	Entries     []Entry
 }
@@ -84,6 +109,21 @@ type Config struct {
 	IdleTimeout time.Duration
 	// SendTimeout bounds each wire send. Default 10s.
 	SendTimeout time.Duration
+	// MaxInflightPerHost caps concurrent in-flight flush rounds per host.
+	// Default 1: the serial writer, one request on the wire at a time.
+	// Values above ConnCap are clamped to it.
+	MaxInflightPerHost int
+	// AdaptiveWindow, when true, governs each host's in-flight window with
+	// an AIMD controller inside [1, MaxInflightPerHost]: additive increase
+	// after a window of consecutive successful sends, multiplicative
+	// decrease (halve, floor 1) on any send failure. When false the window
+	// is pinned at MaxInflightPerHost.
+	AdaptiveWindow bool
+	// ConnCap is the pooled transport's per-host connection budget. A
+	// window wider than the budget would just queue inside the transport,
+	// so the effective maximum is min(MaxInflightPerHost, ConnCap).
+	// Zero means no clamp.
+	ConnCap int
 	// OnBatchSize, when set, observes the entry count of every envelope
 	// put on the wire (1 for raw sends) — the batch-size histogram hook.
 	OnBatchSize func(entries int)
@@ -117,6 +157,17 @@ func (c Config) sendTimeout() time.Duration {
 	return 10 * time.Second
 }
 
+func (c Config) maxInflight() int {
+	w := c.MaxInflightPerHost
+	if w <= 0 {
+		w = 1
+	}
+	if c.ConnCap > 0 && w > c.ConnCap {
+		w = c.ConnCap
+	}
+	return w
+}
+
 // pending is one queued Batch plus its completion channel.
 type pending struct {
 	b    *Batch
@@ -124,19 +175,31 @@ type pending struct {
 	done chan error
 }
 
-// writer is one host's delivery goroutine.
+// writer is one host's delivery goroutine plus its in-flight window state.
 type writer struct {
 	host    string
 	ch      chan *pending
 	pool    *Pool
-	buf     []byte // envelope scratch, reused across flushes
-	closing bool   // set under pool.mu; enqueuers must spawn a successor
+	closing bool // set under pool.mu; enqueuers must spawn a successor
 
 	// inflight counts Deliver calls that hold a reference to this writer
 	// and may still enqueue. Incremented under pool.mu; a writer only
 	// reaps when it is zero AND the queue is empty, so a reference can
 	// never outlive its writer.
 	inflight atomic.Int64
+
+	// wake is pulsed by completing flights so the run loop re-examines
+	// held batches without polling.
+	wake chan struct{}
+
+	mu     sync.Mutex
+	slot   *sync.Cond     // signalled when a flight completes or the window grows
+	window int            // current AIMD window, in [1, maxInflight]
+	streak int            // consecutive successful sends since the last increase
+	sends  int            // flush rounds currently in flight
+	busy   map[string]int // ordering keys claimed by in-flight rounds
+	held   []*pending     // batches deferred on a key conflict, arrival order
+	heldKy map[string]int // keys present in held, so new rounds queue behind
 }
 
 // Pool owns the per-host writers.
@@ -153,6 +216,9 @@ type Pool struct {
 	rawSends   atomic.Uint64 // envelopes sent without coalescing
 	canceled   atomic.Uint64 // batches suppressed by a Live() == false
 	sendErrors atomic.Uint64 // wire sends that returned an error
+
+	windowDown   atomic.Uint64 // AIMD multiplicative decreases
+	peakInflight atomic.Int64  // max concurrent sends observed on one host
 }
 
 // NewPool builds a pool. Config.Send is required.
@@ -194,7 +260,16 @@ func (p *Pool) writerFor(host string) (*writer, error) {
 	}
 	w := p.host[host]
 	if w == nil || w.closing {
-		w = &writer{host: host, ch: make(chan *pending, p.cfg.queueDepth()), pool: p}
+		w = &writer{
+			host:   host,
+			ch:     make(chan *pending, p.cfg.queueDepth()),
+			pool:   p,
+			wake:   make(chan struct{}, 1),
+			window: 1,
+			busy:   map[string]int{},
+			heldKy: map[string]int{},
+		}
+		w.slot = sync.NewCond(&w.mu)
 		p.host[host] = w
 		p.wg.Add(1)
 		go w.run()
@@ -239,8 +314,8 @@ func (p *Pool) Deliver(ctx context.Context, b *Batch) error {
 	}
 }
 
-// Close stops every writer after draining its queue. Deliver calls racing
-// Close fail with ErrClosed.
+// Close stops every writer after settling its in-flight sends and draining
+// its queue. Deliver calls racing Close fail with ErrClosed.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.done {
@@ -261,13 +336,16 @@ func (p *Pool) ActiveWriters() int {
 }
 
 // QueueDepth reports the total number of queued (not yet flushed) batches
-// across all hosts.
+// across all hosts, including batches held back on an ordering conflict.
 func (p *Pool) QueueDepth() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
 	for _, w := range p.host {
 		n += len(w.ch)
+		w.mu.Lock()
+		n += len(w.held)
+		w.mu.Unlock()
 	}
 	return n
 }
@@ -288,6 +366,48 @@ func (p *Pool) Canceled() uint64 { return p.canceled.Load() }
 // SendErrors reports wire sends that returned an error.
 func (p *Pool) SendErrors() uint64 { return p.sendErrors.Load() }
 
+// Inflight reports flush rounds currently in flight across all hosts —
+// each holds at most one wire request at a time, so this is the pool's
+// in-flight request occupancy.
+func (p *Pool) Inflight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.host {
+		w.mu.Lock()
+		n += w.sends
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// Window reports the widest current per-host in-flight window, 0 when no
+// writer is live. With AdaptiveWindow off this is the configured (clamped)
+// maximum whenever any host is active.
+func (p *Pool) Window() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := 0
+	for _, w := range p.host {
+		w.mu.Lock()
+		cur := w.curWindow()
+		w.mu.Unlock()
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// PeakInflight reports the maximum concurrent in-flight sends ever
+// observed on a single host — proof (or disproof) that the window did
+// real pipelining work.
+func (p *Pool) PeakInflight() int { return int(p.peakInflight.Load()) }
+
+// WindowDecreases reports AIMD multiplicative-decrease events (a window
+// actually shrinking in response to a send failure).
+func (p *Pool) WindowDecreases() uint64 { return p.windowDown.Load() }
+
 // CoalesceRatio reports the mean entries per wire send: 1.0 means no
 // coalescing ever happened, N means N subscriber deliveries per round trip.
 func (p *Pool) CoalesceRatio() float64 {
@@ -298,12 +418,22 @@ func (p *Pool) CoalesceRatio() float64 {
 	return float64(p.entries.Load()+p.rawSends.Load()) / float64(sends)
 }
 
-// tryReap removes w from the pool if no Deliver holds a reference and its
-// queue is empty. Called from w's own goroutine on idle timeout.
+// tryReap removes w from the pool if no Deliver holds a reference, its
+// queue is empty, nothing is held back, and no send is in flight. Called
+// from w's own goroutine on idle timeout. The in-flight condition is what
+// makes reaping safe under pipelining: a flight completes against its
+// writer's window state, so the writer must outlive every flight it
+// launched.
 func (p *Pool) tryReap(w *writer) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if w.inflight.Load() > 0 || len(w.ch) > 0 {
+		return false
+	}
+	w.mu.Lock()
+	quiet := w.sends == 0 && len(w.held) == 0
+	w.mu.Unlock()
+	if !quiet {
 		return false
 	}
 	w.closing = true
@@ -313,50 +443,220 @@ func (p *Pool) tryReap(w *writer) bool {
 	return true
 }
 
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
 func (w *writer) run() {
 	defer w.pool.wg.Done()
 	idle := time.NewTimer(w.pool.cfg.idleTimeout())
 	defer idle.Stop()
 	for {
+		w.dispatchHeld()
 		select {
 		case pd := <-w.ch:
-			w.flush(pd)
-			if !idle.Stop() {
-				select {
-				case <-idle.C:
-				default:
-				}
-			}
-			idle.Reset(w.pool.cfg.idleTimeout())
+			// Wait for a free slot before collecting: the queue keeps
+			// filling meanwhile, so a busy window grows the next round's
+			// coalescing instead of splitting it across tiny flights.
+			w.waitSlot()
+			w.dispatch(w.collect(pd))
+			resetTimer(idle, w.pool.cfg.idleTimeout())
+		case <-w.wake:
+			// A flight completed; loop to re-examine held batches.
 		case <-w.pool.quit:
-			// Shutdown drain. An empty queue is not enough to stop: a
-			// Deliver racing Close may have taken a writer reference before
-			// quit closed and still be inside its enqueue select, where the
-			// runtime may pick the `w.ch <- pd` arm even though quit is
-			// closed. Returning on first-empty would strand that batch —
-			// dequeued by nobody, its done channel never signalled, the
-			// conservation law broken. Close sets pool.done under the mutex
-			// before closing quit, so no new references appear after this
-			// point and inflight can only fall; drain until the queue is
-			// empty AND every reference is released. Deliver releases its
-			// reference only after its enqueue resolves, so inflight == 0
-			// implies any enqueued batch is already visible in the channel.
-			for {
-				select {
-				case pd := <-w.ch:
-					w.flush(pd)
-				default:
-					if w.inflight.Load() == 0 && len(w.ch) == 0 {
-						return
-					}
-					time.Sleep(10 * time.Microsecond)
-				}
-			}
+			w.shutdownDrain()
+			return
 		case <-idle.C:
 			if w.pool.tryReap(w) {
 				return
 			}
 			idle.Reset(w.pool.cfg.idleTimeout())
+		}
+	}
+}
+
+// waitSlot blocks until the host's in-flight count is below the current
+// window. Only the writer goroutine ever waits here; completing flights
+// signal it.
+func (w *writer) waitSlot() {
+	w.mu.Lock()
+	for w.sends >= w.curWindow() {
+		w.slot.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// curWindow returns the effective window. Callers hold w.mu.
+func (w *writer) curWindow() int {
+	if !w.pool.cfg.AdaptiveWindow {
+		return w.pool.cfg.maxInflight()
+	}
+	return w.window
+}
+
+// dispatch hands one collected round to a sender slot, holding back any
+// batch whose ordering key is already in flight (or queued behind one that
+// is). Same-key batches within the flying part stay in one flight, where
+// they are flushed serially in order.
+func (w *writer) dispatch(round []*pending) {
+	w.mu.Lock()
+	var fly []*pending
+	keys := map[string]int{}
+	for _, pd := range round {
+		k := pd.b.Key
+		if k != "" && keys[k] == 0 && (w.busy[k] > 0 || w.heldKy[k] > 0) {
+			w.held = append(w.held, pd)
+			w.heldKy[k]++
+			continue
+		}
+		fly = append(fly, pd)
+		if k != "" {
+			keys[k]++
+		}
+	}
+	w.launchLocked(fly, keys)
+	w.mu.Unlock()
+}
+
+// dispatchHeld re-examines held batches after a flight completes and flies
+// every batch whose key conflict has cleared, as one flight, in order.
+func (w *writer) dispatchHeld() {
+	w.mu.Lock()
+	if len(w.held) == 0 {
+		w.mu.Unlock()
+		return
+	}
+	var fly []*pending
+	keys := map[string]int{}
+	kept := w.held[:0]
+	for _, pd := range w.held {
+		k := pd.b.Key
+		if w.busy[k] > 0 {
+			kept = append(kept, pd)
+			continue
+		}
+		fly = append(fly, pd)
+		keys[k]++
+		w.heldKy[k]--
+		if w.heldKy[k] <= 0 {
+			delete(w.heldKy, k)
+		}
+	}
+	tail := w.held[len(kept):]
+	for i := range tail {
+		tail[i] = nil // release launched entries for GC
+	}
+	w.held = kept
+	w.launchLocked(fly, keys)
+	w.mu.Unlock()
+}
+
+// launchLocked claims a slot (waiting if the window is full) and starts a
+// flight for the given batches. Callers hold w.mu; keys maps each ordering
+// key in fly to its batch count.
+func (w *writer) launchLocked(fly []*pending, keys map[string]int) {
+	if len(fly) == 0 {
+		return
+	}
+	for w.sends >= w.curWindow() {
+		w.slot.Wait()
+	}
+	w.sends++
+	if s := int64(w.sends); s > w.pool.peakInflight.Load() {
+		w.pool.peakInflight.Store(s)
+	}
+	for k, n := range keys {
+		w.busy[k] += n
+	}
+	w.pool.wg.Add(1)
+	go w.flight(fly, keys)
+}
+
+// flight flushes one round on its own goroutine, then releases its slot,
+// its ordering keys, and wakes the writer to re-dispatch held batches.
+func (w *writer) flight(round []*pending, keys map[string]int) {
+	defer w.pool.wg.Done()
+	w.flushRound(round)
+	w.mu.Lock()
+	w.sends--
+	for k, n := range keys {
+		w.busy[k] -= n
+		if w.busy[k] <= 0 {
+			delete(w.busy, k)
+		}
+	}
+	w.slot.Signal()
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// recordSend feeds one wire-send outcome to the AIMD controller.
+func (w *writer) recordSend(err error) {
+	if !w.pool.cfg.AdaptiveWindow {
+		return
+	}
+	max := w.pool.cfg.maxInflight()
+	w.mu.Lock()
+	if err != nil {
+		w.streak = 0
+		if w.window > 1 {
+			w.window /= 2
+			w.pool.windowDown.Add(1)
+		}
+	} else {
+		w.streak++
+		if w.window < max && w.streak >= w.window {
+			w.window++
+			w.streak = 0
+			w.slot.Signal()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// shutdownDrain settles the writer on pool Close: wait for in-flight
+// flights, then flush everything left — held batches first (they arrived
+// earliest), then the queue — serially on the writer goroutine. An empty
+// queue is not enough to stop: a Deliver racing Close may have taken a
+// writer reference before quit closed and still be inside its enqueue
+// select, where the runtime may pick the `w.ch <- pd` arm even though quit
+// is closed. Returning on first-empty would strand that batch — dequeued
+// by nobody, its done channel never signalled, the conservation law
+// broken. Close sets pool.done under the mutex before closing quit, so no
+// new references appear after this point and inflight can only fall; drain
+// until the queue is empty AND every reference is released. Deliver
+// releases its reference only after its enqueue resolves, so inflight == 0
+// implies any enqueued batch is already visible in the channel.
+func (w *writer) shutdownDrain() {
+	w.mu.Lock()
+	for w.sends > 0 {
+		w.slot.Wait()
+	}
+	held := w.held
+	w.held = nil
+	w.heldKy = map[string]int{}
+	w.mu.Unlock()
+	if len(held) > 0 {
+		w.flushRound(held)
+	}
+	for {
+		select {
+		case pd := <-w.ch:
+			w.flushRound(w.collect(pd))
+		default:
+			if w.inflight.Load() == 0 && len(w.ch) == 0 {
+				return
+			}
+			time.Sleep(10 * time.Microsecond)
 		}
 	}
 }
@@ -402,14 +702,19 @@ type group struct {
 	frame       *mediation.Template
 	subIDs      []string
 	frames      []*mediation.Template // per-entry template (same frame, maybe different payload)
-	members     []*pending            // contributing batches, for error fan-in
+	owners      []*pending            // per-entry contributing batch, for error fan-in
 }
 
-// flush sends one collected round: coalescible entries grouped by
+// bufPool recycles envelope scratch buffers across flights: with W
+// concurrent senders per host a single per-writer buffer is no longer safe.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// flushRound sends one collected round: coalescible entries grouped by
 // (address, frame) into multi-NotificationMessage envelopes, everything
 // else sent as-is, each batch's combined result delivered on its channel.
-func (w *writer) flush(first *pending) {
-	round := w.collect(first)
+// Safe to call from flight goroutines and from the writer itself during
+// shutdown; every send outcome feeds the AIMD controller.
+func (w *writer) flushRound(round []*pending) {
 	p := w.pool
 	max := p.cfg.batchMax()
 
@@ -445,40 +750,64 @@ func (w *writer) flush(first *pending) {
 			}
 			g.subIDs = append(g.subIDs, e.SubID)
 			g.frames = append(g.frames, e.Frame)
-			if len(g.members) == 0 || g.members[len(g.members)-1] != pd {
-				g.members = append(g.members, pd)
-			}
+			g.owners = append(g.owners, pd)
 		}
 	}
 
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	ctx := context.Background()
 	for _, g := range groups {
-		buf := w.buf[:0]
+		// Withhold entries whose batch already failed earlier in this
+		// round: the whole batch will be retried, and putting its later
+		// entries on the wire now would land them ahead of the earlier
+		// ones the retry re-sends — a per-subscriber reorder.
+		live := g.subIDs[:0]
+		frames := g.frames[:0]
+		var owners []*pending
+		for i, pd := range g.owners {
+			if pd.err != nil {
+				continue
+			}
+			live = append(live, g.subIDs[i])
+			frames = append(frames, g.frames[i])
+			if len(owners) == 0 || owners[len(owners)-1] != pd {
+				owners = append(owners, pd)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		buf = buf[:0]
 		buf = g.frame.AppendFrameHead(buf, g.addr, p.cfg.NextMessageID())
-		for i, sid := range g.subIDs {
+		for i, sid := range live {
 			if i > 0 {
 				buf = g.frame.AppendEntrySep(buf)
 			}
-			buf = g.frames[i].AppendEntry(buf, sid)
+			buf = frames[i].AppendEntry(buf, sid)
 		}
 		buf = g.frame.AppendFrameTail(buf)
-		w.buf = buf[:0]
 		err := w.send(ctx, g.addr, g.contentType, buf)
 		p.envelopes.Add(1)
-		p.entries.Add(uint64(len(g.subIDs)))
+		p.entries.Add(uint64(len(live)))
 		if p.cfg.OnBatchSize != nil {
-			p.cfg.OnBatchSize(len(g.subIDs))
+			p.cfg.OnBatchSize(len(live))
 		}
 		if err != nil {
 			p.sendErrors.Add(1)
-			for _, pd := range g.members {
+			for _, pd := range owners {
 				if pd.err == nil {
 					pd.err = err
 				}
 			}
 		}
 	}
+	*bp = buf[:0]
+	bufPool.Put(bp)
 	for _, r := range raws {
+		if r.pd.err != nil {
+			continue // earlier send for this batch failed; retry covers it
+		}
 		err := w.send(ctx, r.pd.b.Addr, r.pd.b.ContentType, r.body)
 		p.rawSends.Add(1)
 		if p.cfg.OnBatchSize != nil {
@@ -499,5 +828,7 @@ func (w *writer) flush(first *pending) {
 func (w *writer) send(ctx context.Context, addr, contentType string, body []byte) error {
 	ctx, cancel := context.WithTimeout(ctx, w.pool.cfg.sendTimeout())
 	defer cancel()
-	return w.pool.cfg.Send(ctx, addr, contentType, body)
+	err := w.pool.cfg.Send(ctx, addr, contentType, body)
+	w.recordSend(err)
+	return err
 }

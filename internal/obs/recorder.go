@@ -209,6 +209,7 @@ type EngineGauges struct {
 	QueuedTotal  func() int
 	OpenBreakers func() int
 	DLQDepth     func() int
+	Workers      func() int
 }
 
 // BindEngine surfaces a dispatch engine's counters and gauges as scrape-time
@@ -252,6 +253,7 @@ func (r *Recorder) BindEngine(stats func() EngineStats, g EngineGauges) {
 	gauge("wsm_queue_depth", "Messages buffered across subscription queues.", g.QueuedTotal)
 	gauge("wsm_breakers_open", "Subscriptions with an open circuit breaker.", g.OpenBreakers)
 	gauge("wsm_dlq_depth", "Dead letters currently held.", g.DLQDepth)
+	gauge("wsm_dispatch_workers", "Dispatch worker goroutines currently live.", g.Workers)
 }
 
 // TransportMetrics instruments an HTTP transport endpoint: send latency,

@@ -65,6 +65,13 @@ func (c *countedConn) Close() error {
 	return err
 }
 
+// DefaultMaxConnsPerHost is the per-host connection budget applied when
+// PoolConfig.MaxConnsPerHost is zero. Exported because the destination
+// writer's in-flight window must clamp to the same budget — a window wider
+// than the connection cap would just queue inside the transport while the
+// ConnCounter kept reading full.
+const DefaultMaxConnsPerHost = 16
+
 // PoolConfig tunes NewPooledHTTPClient. Zero values select defaults chosen
 // for a broker fanning out to a few hundred destination hosts.
 type PoolConfig struct {
@@ -102,7 +109,7 @@ func (c PoolConfig) maxPerHost() int {
 	if c.MaxConnsPerHost > 0 {
 		return c.MaxConnsPerHost
 	}
-	return 16
+	return DefaultMaxConnsPerHost
 }
 
 func (c PoolConfig) maxIdle() int {

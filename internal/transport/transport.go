@@ -359,7 +359,19 @@ func (c *HTTPClient) post(ctx context.Context, addr, contentType string, payload
 	// Read to EOF (or the drain bound) before closing so the keep-alive
 	// connection returns to the pool instead of being torn down.
 	defer drainClose(hresp.Body, limit)
+	// A 4xx/5xx with no envelope to explain it is still a failure: an
+	// empty-bodied 500 used to fall through the ContentLength == 0 fast
+	// path and read as a successful delivery, which hid consumer errors
+	// from retry accounting (and starves the AIMD window controller of
+	// the very signal it backs off on).
+	statusErr := func() (*soap.Envelope, error) {
+		c.Obs.Fault()
+		return nil, fmt.Errorf("transport: HTTP %d from %s", hresp.StatusCode, addr)
+	}
 	if hresp.StatusCode == http.StatusAccepted || hresp.ContentLength == 0 {
+		if hresp.StatusCode >= 400 {
+			return statusErr()
+		}
 		c.Obs.ObserveSend(c.Obs.Now().Sub(t0))
 		return nil, nil
 	}
@@ -378,10 +390,18 @@ func (c *HTTPClient) post(ctx context.Context, addr, contentType string, payload
 	}
 	c.Obs.ObserveSend(c.Obs.Now().Sub(t0))
 	if len(bytes.TrimSpace(body)) == 0 {
+		if hresp.StatusCode >= 400 {
+			return statusErr()
+		}
 		return nil, nil
 	}
 	env, err := soap.ParseBytes(body)
 	if err != nil {
+		if hresp.StatusCode >= 400 {
+			// A non-SOAP error page (plain-text 500, proxy HTML): the
+			// status code is the verdict, the parse failure is incidental.
+			return statusErr()
+		}
 		c.Obs.Fault()
 		return nil, fmt.Errorf("transport: bad response from %s (HTTP %d): %w", addr, hresp.StatusCode, err)
 	}

@@ -14,11 +14,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"regexp"
 	"runtime/pprof"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/topics"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -55,6 +59,29 @@ type Config struct {
 	// MaxConnsPerHost caps the pooled HTTP client's per-host connections
 	// (default 16) — the fd bound under test.
 	MaxConnsPerHost int
+	// MaxInflightPerHost caps concurrent in-flight sends per destination
+	// host (default/1 = the serial writer). Only meaningful with
+	// BatchMax > 1.
+	MaxInflightPerHost int
+	// AdaptiveWindow turns on AIMD control of the per-host window.
+	AdaptiveWindow bool
+	// MaxDispatchWorkers caps the engine's dynamic delivery worker pool
+	// (0 = the engine default). Pipelining arms raise it: per-host window
+	// occupancy is bounded by how many workers can block on one host.
+	MaxDispatchWorkers int
+	// FaultEvery makes every Nth request per destination host fail with
+	// a 500 after reading the body — the flaky-consumer arm. Zero
+	// disables injection.
+	FaultEvery int
+	// Retry, when non-nil, is the per-subscription retry policy — the
+	// flaky arms need it so injected faults recover instead of evicting
+	// subscribers.
+	Retry *dispatch.RetryPolicy
+	// CheckOrder makes every destination host parse acknowledged
+	// envelopes and verify that, per subscription, payload sequence
+	// numbers arrive monotonically — the pipelining ordering guarantee,
+	// asserted from the receiver's side of the wire.
+	CheckOrder bool
 	// DestLatency is the per-request service time each destination host
 	// spends before acknowledging (default 0: bare loopback). Non-zero
 	// models the consumer processing / WAN round trip the paper's
@@ -112,6 +139,20 @@ type Result struct {
 	Dials, PeakConns, OpenConnsAfter int64
 	FDsBefore, FDsPeak, FDsAfter     int
 
+	// In-flight window occupancy: PeakInflight is the sampled pool-wide
+	// peak of concurrent sends, PeakWindow the sampled widest per-host
+	// window, PeakHostInflight the writer pool's own record of the most
+	// concurrent sends one host ever held (exact, not sampled).
+	PeakInflight, PeakWindow, PeakHostInflight int
+	// WindowDecreases counts AIMD multiplicative decreases.
+	WindowDecreases uint64
+
+	// Faults is how many requests the destination hosts failed on
+	// purpose; OrderViolations counts acknowledged envelopes whose
+	// per-subscription sequence numbers went backwards (must be 0).
+	Faults          uint64
+	OrderViolations uint64
+
 	Elapsed time.Duration
 }
 
@@ -132,17 +173,90 @@ func CountFDs() int {
 	return len(ents)
 }
 
+// orderTracker verifies, from the receiver's side, that each subscription's
+// payload sequence numbers first arrive in increasing order — the
+// wire-level form of the per-subscriber ordering guarantee. Delivery is
+// at-least-once: a batch that fails mid-round is retried wholesale, so a
+// receiver may legitimately see sequences it already acknowledged replayed
+// (a rewind of duplicates). What must never happen is a sequence it has NOT
+// seen arriving below its high-water mark — that is a genuinely new
+// notification overtaken by a later one, the reordering the in-flight
+// window's Key discipline exists to prevent.
+type orderTracker struct {
+	mu         sync.Mutex
+	last       map[string]int
+	seen       map[string]map[int]bool
+	violations uint64
+}
+
+// Serialized entries carry the SubscriptionId reference parameter before
+// the payload, and every generated payload embeds one <seq> element, so
+// pairing each SubscriptionId with the next seq in document order
+// reconstructs (subscriber, sequence) per entry whatever prefix the
+// marshaller chose.
+var (
+	sidRe = regexp.MustCompile(`SubscriptionId[^>]*>([^<]+)<`)
+	seqRe = regexp.MustCompile(`[<:]seq>([0-9]+)<`)
+)
+
+func (t *orderTracker) observe(body []byte) {
+	sids := sidRe.FindAllSubmatchIndex(body, -1)
+	seqs := seqRe.FindAllSubmatchIndex(body, -1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j := 0
+	for i, sm := range sids {
+		for j < len(seqs) && seqs[j][0] < sm[0] {
+			j++
+		}
+		if j >= len(seqs) {
+			return
+		}
+		if i+1 < len(sids) && seqs[j][0] > sids[i+1][0] {
+			continue // entry without a payload seq; nothing to order
+		}
+		sid := string(body[sm[2]:sm[3]])
+		n, err := strconv.Atoi(string(body[seqs[j][2]:seqs[j][3]]))
+		if err != nil {
+			continue
+		}
+		if t.seen[sid] == nil {
+			if t.seen == nil {
+				t.seen = map[string]map[int]bool{}
+			}
+			t.seen[sid] = map[int]bool{}
+		}
+		if t.seen[sid][n] {
+			continue // retransmission of an already-seen sequence
+		}
+		t.seen[sid][n] = true
+		if last, ok := t.last[sid]; ok && n < last {
+			t.violations++
+		} else if n > t.last[sid] {
+			t.last[sid] = n
+		}
+	}
+}
+
+func (t *orderTracker) count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.violations
+}
+
 // destHost is one loopback listener counting what actually arrived.
 type destHost struct {
 	srv       *http.Server
 	url       string
 	envelopes atomic.Uint64
 	entries   atomic.Uint64
+	requests  atomic.Uint64
+	faults    atomic.Uint64
 }
 
 var notifyMarker = []byte("NotificationMessage>")
 
-func startHost(latency time.Duration) (*destHost, error) {
+func startHost(latency time.Duration, faultEvery int, order *orderTracker) (*destHost, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -157,6 +271,17 @@ func startHost(latency time.Duration) (*destHost, error) {
 		}
 		if latency > 0 {
 			time.Sleep(latency)
+		}
+		if n := h.requests.Add(1); faultEvery > 0 && n%uint64(faultEvery) == 0 {
+			// An injected fault is "not received": nothing is counted and
+			// the sender sees a 5xx, exercising retry and the AIMD
+			// decrease path.
+			h.faults.Add(1)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		if order != nil {
+			order.observe(body)
 		}
 		h.envelopes.Add(1)
 		h.entries.Add(uint64(bytes.Count(body, notifyMarker) / 2))
@@ -191,9 +316,13 @@ func Run(cfg Config) (Result, error) {
 		defer pprof.StopCPUProfile()
 	}
 
+	var order *orderTracker
+	if cfg.CheckOrder {
+		order = &orderTracker{last: map[string]int{}}
+	}
 	hosts := make([]*destHost, cfg.Hosts)
 	for i := range hosts {
-		h, err := startHost(cfg.DestLatency)
+		h, err := startHost(cfg.DestLatency, cfg.FaultEvery, order)
 		if err != nil {
 			return res, err
 		}
@@ -207,12 +336,17 @@ func Run(cfg Config) (Result, error) {
 		Counter:         cc,
 	})}
 	broker, err := core.New(core.Config{
-		Address:        "svc://wsm-load",
-		ManagerAddress: "svc://wsm-load-subs",
-		Client:         client,
-		QueueDepth:     cfg.QueueDepth,
-		BatchMax:       cfg.BatchMax,
-		BatchWindow:    cfg.BatchWindow,
+		Address:            "svc://wsm-load",
+		ManagerAddress:     "svc://wsm-load-subs",
+		Client:             client,
+		QueueDepth:         cfg.QueueDepth,
+		BatchMax:           cfg.BatchMax,
+		BatchWindow:        cfg.BatchWindow,
+		MaxInflightPerHost: cfg.MaxInflightPerHost,
+		AdaptiveWindow:     cfg.AdaptiveWindow,
+		MaxConnsPerHost:    cfg.MaxConnsPerHost,
+		MaxDispatchWorkers: cfg.MaxDispatchWorkers,
+		Retry:              cfg.Retry,
 	})
 	if err != nil {
 		return res, err
@@ -244,11 +378,15 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	// Sample fds and open connections while the run is hot. The sampler
-	// keeps its own peaks and hands them over after it stops, so no field
-	// of res is ever shared between goroutines.
+	// Sample fds, open connections and in-flight window occupancy while
+	// the run is hot. The sampler keeps its own peaks and hands them over
+	// after it stops, so no field of res is ever shared between
+	// goroutines.
 	var peakConns atomic.Int64
 	var peakFDs atomic.Int64
+	var peakInflight atomic.Int64
+	var peakWindow atomic.Int64
+	destPool := broker.DestWriter()
 	sampleDone := make(chan struct{})
 	samplerStopped := make(chan struct{})
 	go func() {
@@ -265,6 +403,14 @@ func Run(cfg Config) (Result, error) {
 				}
 				if n := int64(CountFDs()); n > peakFDs.Load() {
 					peakFDs.Store(n)
+				}
+				if destPool != nil {
+					if n := int64(destPool.Inflight()); n > peakInflight.Load() {
+						peakInflight.Store(n)
+					}
+					if n := int64(destPool.Window()); n > peakWindow.Load() {
+						peakWindow.Store(n)
+					}
 				}
 			}
 		}
@@ -309,10 +455,18 @@ func Run(cfg Config) (Result, error) {
 		res.RawSends = pool.RawSends()
 		res.Canceled = pool.Canceled()
 		res.CoalesceRatio = pool.CoalesceRatio()
+		res.PeakHostInflight = pool.PeakInflight()
+		res.WindowDecreases = pool.WindowDecreases()
 	}
+	res.PeakInflight = int(peakInflight.Load())
+	res.PeakWindow = int(peakWindow.Load())
 	for _, h := range hosts {
 		res.WireEnvelopes += h.envelopes.Load()
 		res.WireEntries += h.entries.Load()
+		res.Faults += h.faults.Load()
+	}
+	if order != nil {
+		res.OrderViolations = order.count()
 	}
 	res.Dials = cc.Dials()
 

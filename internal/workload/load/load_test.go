@@ -21,22 +21,31 @@ func smokeConfig() Config {
 		Hosts:       envInt("WSM_LOAD_HOSTS", 8),
 		Publishes:   envInt("WSM_LOAD_PUBLISHES", 10),
 		BatchMax:    envInt("WSM_LOAD_BATCH", 64),
+		// The daemon's defaults: an adaptive in-flight window over each
+		// per-host writer, so the smoke races the pipelined path.
+		MaxInflightPerHost: envInt("WSM_LOAD_INFLIGHT", 4),
+		AdaptiveWindow:     true,
+		CheckOrder:         true,
 	}
 }
 
 // TestLoadSmoke is the CI load gate (scaled up by WSM_LOAD_* in the
 // load-smoke job): a full synthetic fan-out over real HTTP, with the
-// dispatch conservation law asserted at exit and the receiver-side counts
-// reconciled against the engine's.
+// dispatch conservation law asserted at exit, the receiver-side counts
+// reconciled against the engine's, and per-subscriber delivery order
+// verified at the receivers.
 func TestLoadSmoke(t *testing.T) {
 	cfg := smokeConfig()
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("load: %d subs / %d hosts / %d publishes: delivered=%d envelopes=%d wire-entries=%d ratio=%.1f peak-conns=%d elapsed=%s",
+	t.Logf("load: %d subs / %d hosts / %d publishes: delivered=%d envelopes=%d wire-entries=%d ratio=%.1f peak-conns=%d peak-inflight=%d elapsed=%s",
 		cfg.Subscribers, cfg.Hosts, cfg.Publishes,
-		res.Delivered, res.WireEnvelopes, res.WireEntries, res.CoalesceRatio, res.PeakConns, res.Elapsed)
+		res.Delivered, res.WireEnvelopes, res.WireEntries, res.CoalesceRatio, res.PeakConns, res.PeakHostInflight, res.Elapsed)
+	if res.OrderViolations != 0 {
+		t.Errorf("order violations = %d, want 0 (per-subscriber order must survive pipelining)", res.OrderViolations)
+	}
 
 	if !res.Conserved() {
 		t.Errorf("conservation violated: Matched=%d Delivered=%d Dropped=%d Failed=%d DeadLettered=%d",
