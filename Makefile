@@ -19,7 +19,7 @@ race:
 # Full pre-merge gate: compile, vet, tests, and the race detector over
 # the concurrency-heavy packages (the full -race sweep stays in `race`).
 check: build vet test
-	go test -race ./internal/dispatch ./internal/core ./internal/obs ./internal/cloudevents ./internal/wspush ./internal/destwriter
+	go test -race ./internal/dispatch ./internal/core ./internal/obs ./internal/cloudevents ./internal/wspush ./internal/destwriter ./internal/mqtt
 
 # Fail when any file needs gofmt; print the offenders.
 fmt-check:
@@ -121,7 +121,7 @@ bench-smoke:
 # closures) runs concurrently with dispatch, so these three must stay clean
 # under the detector.
 metrics-race:
-	go test -race ./internal/obs ./internal/dispatch ./internal/core ./internal/cloudevents ./internal/wspush ./internal/destwriter
+	go test -race ./internal/obs ./internal/dispatch ./internal/core ./internal/cloudevents ./internal/wspush ./internal/destwriter ./internal/mqtt
 
 # End-to-end observability smoke: boot the real broker binary, poll until
 # /metrics answers, require the core series and a healthy /healthz, then
@@ -137,7 +137,7 @@ metrics-smoke:
 		if curl -fsS "http://$(METRICS_SMOKE_ADDR)/metrics" -o metrics_smoke.txt 2>/dev/null; then ok=1; break; fi; \
 		i=$$((i+1)); sleep 0.1; done; \
 	[ $$ok -eq 1 ] || { echo "metrics-smoke: /metrics never answered"; exit 1; }; \
-	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket wsm_render_cache_hits_total wsm_dest_envelopes_total wsm_dest_active_writers wsm_dest_inflight wsm_dest_window wsm_dispatch_workers; do \
+	for series in wsm_published_total wsm_delivered_total wsm_subscribers wsm_dlq_depth wsm_breakers_open wsm_stage_seconds_bucket wsm_render_cache_hits_total wsm_dest_envelopes_total wsm_dest_active_writers wsm_dest_inflight wsm_dest_window wsm_dispatch_workers wsm_mqtt_connections wsm_mqtt_subscriptions; do \
 		grep -q "$$series" metrics_smoke.txt || { echo "metrics-smoke: /metrics lacks $$series"; exit 1; }; done; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$(METRICS_SMOKE_ADDR)/healthz"); \
 	[ "$$code" = "200" ] || { echo "metrics-smoke: /healthz returned $$code, want 200"; exit 1; }; \
@@ -165,6 +165,7 @@ fuzz-smoke:
 	go test ./internal/xmldom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	go test ./internal/wsa -run '^$$' -fuzz '^FuzzEPRRoundTrip$$' -fuzztime $(FUZZTIME)
 	go test ./internal/eventlog -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME)
+	go test ./internal/mqtt -run '^$$' -fuzz '^FuzzDecodePacket$$' -fuzztime $(FUZZTIME)
 
 # Kill -9 chaos gate (blocking): SIGKILL a publishing broker child process
 # mid-storm, restart it on the same data dir, repeat CRASH_CYCLES times
@@ -175,11 +176,13 @@ CRASH_CYCLES ?= 20
 crash-smoke:
 	WSM_CRASH_CYCLES=$(CRASH_CYCLES) go test ./internal/core -run '^TestKill9AckedPublishesSurvive$$' -count=1 -race
 
-# Blocking front-door interop smoke: WSE SOAP publish → CloudEvents HTTP
-# consumer + WebSocket consumer, CloudEvents POST → WSN 1.3 SOAP sink,
-# conservation law and wsm_ce_*/wsm_ws_* metrics asserted, under -race.
+# Blocking front-door interop smoke, all four doors: WSE SOAP publish →
+# CloudEvents HTTP consumer + WebSocket consumer + MQTT QoS 1 consumer,
+# CloudEvents POST and MQTT QoS 1 PUBLISH → WSN 1.3 SOAP sink, identity,
+# conservation law and wsm_ce_*/wsm_ws_*/wsm_mqtt_* metrics asserted,
+# under -race, plus the packet-level MQTT QoS conformance matrix.
 interop-smoke:
-	go test -race -run '^TestFrontDoorInterop$$' -count=1 ./internal/core
+	go test -race -run '^TestFrontDoorInterop$$|^TestMQTTQoSConformanceMatrix$$' -count=1 ./internal/core
 
 # Mirror of .github/workflows/ci.yml: the blocking jobs (check, fmt-check,
 # golden, metrics-race, metrics-smoke, cover, crash-smoke, bench-gate,

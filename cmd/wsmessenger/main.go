@@ -28,6 +28,15 @@
 //	                   receive matching publishes as CloudEvents JSON
 //	GET  /debug/pprof/ — net/http/pprof profiling surface (only with -pprof)
 //
+// With -mqtt the broker additionally listens for MQTT 3.1.1 clients on a
+// raw TCP port (for example -mqtt :1883): CONNECT/SUBSCRIBE/PUBLISH at
+// QoS 0, 1 and 2, retained messages, wills and persistent sessions, all
+// riding the same dispatch, retry and conservation machinery as the HTTP
+// doors. MQTT topics map onto WS-Topics paths (namespace
+// urn:ws-messenger:mqtt unless the topic carries a "{ns}" prefix), so
+// MQTT publishers reach SOAP/CloudEvents/WebSocket subscribers and vice
+// versa.
+//
 // Delivery batching: outbound notifications are grouped by destination
 // host and coalesced into multi-NotificationMessage envelopes by async
 // per-host writers over a pooled keep-alive transport. -batch-max caps
@@ -55,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -103,6 +113,7 @@ func main() {
 		"dead-letter depth at which /healthz reports degraded")
 	cloudEvents := flag.Bool("cloudevents", true, "serve the CloudEvents front door at /ce")
 	webSocket := flag.Bool("ws", true, "serve the WebSocket front door at /ws")
+	mqttListen := flag.String("mqtt", "", "MQTT 3.1.1 listen address (for example :1883; empty disables the MQTT front door)")
 	brokerID := flag.String("id", "", "federation identity; required with -peer")
 	maxHops := flag.Int("max-hops", federation.DefaultMaxHops, "relay hop cap for federated notifications")
 	var peers peerList
@@ -220,6 +231,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go broker.Store().Run(ctx, *scavenge)
+	if *mqttListen != "" {
+		ln, err := net.Listen("tcp", *mqttListen)
+		if err != nil {
+			log.Fatalf("wsmessenger: mqtt listen %s: %v", *mqttListen, err)
+		}
+		go func() {
+			<-ctx.Done()
+			ln.Close()
+		}()
+		go func() {
+			if err := broker.ServeMQTT(ln); err != nil && ctx.Err() == nil {
+				log.Printf("wsmessenger: mqtt: %v", err)
+			}
+		}()
+		log.Printf("wsmessenger: MQTT front door at %s", *mqttListen)
+	}
 	if peering != nil {
 		// Peers may still be starting; keep trying until each link is up.
 		for _, remote := range peers {

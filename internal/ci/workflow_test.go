@@ -269,6 +269,7 @@ func TestCoverAndFuzzTargetsPinned(t *testing.T) {
 		"-fuzz '^FuzzParse$$'",
 		"-fuzz '^FuzzEPRRoundTrip$$'",
 		"-fuzz '^FuzzDecodeRecord$$'",
+		"-fuzz '^FuzzDecodePacket$$'",
 		"-fuzztime $(FUZZTIME)",
 	} {
 		if !strings.Contains(text, want) {
@@ -386,7 +387,7 @@ func TestInteropSmokeTargetPinned(t *testing.T) {
 	}
 	text := string(raw)
 	for _, want := range []string{
-		"-run '^TestFrontDoorInterop$$'",
+		"-run '^TestFrontDoorInterop$$|^TestMQTTQoSConformanceMatrix$$'",
 		"./internal/cloudevents ./internal/wspush",
 	} {
 		if !strings.Contains(text, want) {
@@ -427,5 +428,30 @@ func TestPipelineGatePinned(t *testing.T) {
 	}
 	if n := strings.Count(text, "./internal/destwriter"); n < 2 {
 		t.Errorf("destwriter appears in %d race sweep(s), want both check and metrics-race", n)
+	}
+}
+
+// TestMQTTGatePinned keeps the MQTT front door wired into CI: the codec
+// package must ride both race sweeps, the interop gate must drive the
+// packet-level QoS conformance matrix, the fuzz smoke must mutate the
+// decoder, and the metrics smoke must require the door's gauges.
+func TestMQTTGatePinned(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"wsm_mqtt_connections",
+		"wsm_mqtt_subscriptions",
+		"TestMQTTQoSConformanceMatrix",
+		"-fuzz '^FuzzDecodePacket$$'",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Makefile lacks %q", want)
+		}
+	}
+	if n := strings.Count(text, "./internal/mqtt"); n < 3 {
+		t.Errorf("internal/mqtt appears %d time(s), want both race sweeps plus fuzz-smoke", n)
 	}
 }

@@ -226,6 +226,18 @@ type subState struct {
 	// the WebSocket front door's connection-bound subscriptions. Local
 	// subscriptions are never persisted.
 	local func(ctx context.Context, event []byte) error
+	// localRaw, when set, delivers the un-rendered notification in-process
+	// — the MQTT front door's session-bound subscriptions, which do their
+	// own wire framing per QoS level. Like local, never persisted.
+	localRaw func(ctx context.Context, n mediation.Notification) error
+	// pauseBuffer selects buffering pause semantics for this subscription
+	// (persistent MQTT sessions queue while the client is offline; the
+	// WS-Notification default skips paused subscribers).
+	pauseBuffer bool
+	// failureLimit, when nonzero, overrides the broker-wide consecutive-
+	// failure cap (persistent MQTT sessions pass -1: the session deadline,
+	// not delivery failures, decides eviction).
+	failureLimit int
 }
 
 // fanMsg is the dispatch payload: the notification body plus the
@@ -334,6 +346,17 @@ type Broker struct {
 	wsEvents       *obs.Counter
 	wsPingTimeouts *obs.Counter
 
+	// mqtt is the MQTT front door's session registry (nil until ServeMQTT
+	// first runs; counters are nil without Obs).
+	mqtt             *mqttFront
+	mqttConns        atomic.Int64
+	mqttConnsTotal   *obs.Counter
+	mqttPublished    *obs.Counter
+	mqttDeliveries   *obs.Counter
+	mqttDropped      *obs.Counter
+	mqttDupDrops     *obs.Counter
+	mqttKeepaliveTOs *obs.Counter
+
 	// dest is the per-destination writer pool (nil unless Config.BatchMax
 	// > 1 and the client has a raw-bytes path): queued deliveries are
 	// grouped by destination host and coalesced into multi-message
@@ -353,6 +376,7 @@ type Broker struct {
 // New builds a broker and wires it to its backend.
 func New(cfg Config) (*Broker, error) {
 	b := &Broker{cfg: cfg.withDefaults(), current: map[string]*xmldom.Element{}, space: topics.NewSpace()}
+	b.mqtt = newMQTTFront(b)
 	if err := b.openLog(); err != nil {
 		return nil, err
 	}
@@ -401,7 +425,7 @@ func New(cfg Config) (*Broker, error) {
 		b.ceErrors = reg.Counter("wsm_ce_errors_total",
 			"CloudEvents wire deliveries that failed.", comp)
 		reg.GaugeFunc("wsm_ce_subscriptions",
-			"Live CloudEvents HTTP subscriptions (WebSocket-bound ones excluded).",
+			"Live CloudEvents HTTP subscriptions (WebSocket- and MQTT-bound ones excluded).",
 			func() float64 {
 				if b.store == nil {
 					return 0 // scraped before New finished wiring
@@ -409,7 +433,8 @@ func New(cfg Config) (*Broker, error) {
 				n := 0
 				for _, sn := range b.store.Active() {
 					if st, ok := sn.Data.(*subState); ok &&
-						st.canon.Origin.Family == mediation.FamilyCE && st.local == nil {
+						st.canon.Origin.Family == mediation.FamilyCE &&
+						st.local == nil && st.localRaw == nil {
 						n++
 					}
 				}
@@ -424,6 +449,35 @@ func New(cfg Config) (*Broker, error) {
 			"Frames pushed to WebSocket consumers (events and session replies).", comp)
 		b.wsPingTimeouts = reg.Counter("wsm_ws_ping_timeouts_total",
 			"WebSocket connections declared dead after unanswered pings.", comp)
+		reg.GaugeFunc("wsm_mqtt_connections",
+			"Live MQTT front-door connections.",
+			func() float64 { return float64(b.mqttConns.Load()) }, comp)
+		reg.GaugeFunc("wsm_mqtt_subscriptions",
+			"Live MQTT session-bound subscriptions (all QoS levels).",
+			func() float64 {
+				if b.store == nil {
+					return 0 // scraped before New finished wiring
+				}
+				n := 0
+				for _, sn := range b.store.Active() {
+					if st, ok := sn.Data.(*subState); ok && st.localRaw != nil {
+						n++
+					}
+				}
+				return float64(n)
+			}, comp)
+		b.mqttConnsTotal = reg.Counter("wsm_mqtt_connections_total",
+			"MQTT front-door connections ever accepted.", comp)
+		b.mqttPublished = reg.Counter("wsm_mqtt_published_total",
+			"Application messages accepted from MQTT publishers (after QoS 2 dedup).", comp)
+		b.mqttDeliveries = reg.Counter("wsm_mqtt_deliveries_total",
+			"PUBLISH frames written to MQTT consumers (QoS 1/2 retransmits included).", comp)
+		b.mqttDropped = reg.Counter("wsm_mqtt_dropped_total",
+			"QoS 0 deliveries dropped at the session edge (slow or dead consumer).", comp)
+		b.mqttDupDrops = reg.Counter("wsm_mqtt_dup_drops_total",
+			"Inbound QoS 2 PUBLISH duplicates suppressed by the exactly-once dedup set.", comp)
+		b.mqttKeepaliveTOs = reg.Counter("wsm_mqtt_keepalive_timeouts_total",
+			"MQTT connections closed after missing 1.5x the keep-alive interval.", comp)
 	}
 	if b.cfg.BatchMax > 1 && b.rawClient != nil {
 		connCap := b.cfg.MaxConnsPerHost
@@ -1053,8 +1107,12 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 		OnEvict: func(id string) {
 			b.store.Cancel(id, sublease.EndDeliveryFailure)
 		},
-		Paused:   paused,
-		Deadline: expires,
+		Paused:      paused,
+		PauseBuffer: st.pauseBuffer,
+		Deadline:    expires,
+	}
+	if st.failureLimit != 0 {
+		sub.FailureLimit = st.failureLimit
 	}
 	switch {
 	case st.canon.PullMode:
@@ -1090,6 +1148,22 @@ func (b *Broker) attach(id string, st *subState, paused bool, expires time.Time)
 			}
 		}
 		switch {
+		case st.localRaw != nil:
+			// Session-bound (MQTT) subscription: hand the raw notification
+			// in-process; the session layer frames it per the granted QoS.
+			// Pause-buffered persistent sessions replay from here too, so
+			// the payload is cloned defensively by Prepare below only for
+			// pull/wrap modes — the MQTT path treats payloads as read-only.
+			sub.DeliverCtx = func(ctx context.Context, batch []dispatch.Message) error {
+				for _, m := range batch {
+					fm := m.Payload.(fanMsg)
+					n := mediation.Notification{Topic: m.Topic, Payload: fm.payload, Relay: fm.relay}
+					if err := st.localRaw(ctx, n); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
 		case st.local != nil:
 			// Connection-bound (WebSocket) subscription: render the
 			// CloudEvents structured body and hand it in-process. The dest

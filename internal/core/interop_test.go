@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cloudevents"
+	"repro/internal/mqtt"
 	"repro/internal/obs"
 	"repro/internal/soap"
 	"repro/internal/topics"
@@ -48,11 +50,12 @@ func (s *ceSink) received() ([][]byte, []string) {
 	return append([][]byte(nil), s.bodies...), append([]string(nil), s.types...)
 }
 
-// TestFrontDoorInterop is the modern-front-doors end-to-end story over real
-// HTTP: a WSE 8/2004 SOAP publish reaches a CloudEvents HTTP consumer and a
-// WebSocket consumer; a CloudEvents POST reaches a WSN 1.3 SOAP sink. The
-// dispatch conservation law and the wsm_ce_* / wsm_ws_* metrics cover all
-// three front doors at once.
+// TestFrontDoorInterop is the four-front-doors end-to-end story over real
+// sockets: a WSE 8/2004 SOAP publish reaches a CloudEvents HTTP consumer, a
+// WebSocket consumer and an MQTT QoS 1 consumer; a CloudEvents POST and an
+// MQTT QoS 1 PUBLISH each reach the WSN 1.3 SOAP sink and the modern
+// consumers. The dispatch conservation law and the wsm_ce_* / wsm_ws_* /
+// wsm_mqtt_* metrics cover all four front doors at once.
 func TestFrontDoorInterop(t *testing.T) {
 	client := &transport.HTTPClient{HC: &http.Client{Timeout: 10 * time.Second}}
 	reg := obs.NewRegistry()
@@ -83,6 +86,13 @@ func TestFrontDoorInterop(t *testing.T) {
 	mux.Handle("/ce", broker.CEHandler())
 	mux.Handle("/ws", broker.WSHandler())
 	mux.Handle("/metrics", reg.Handler())
+
+	mqttLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mqttLn.Close()
+	go broker.ServeMQTT(mqttLn)
 
 	ctx := context.Background()
 	topic := topics.NewPath("urn:grid", "jobs")
@@ -140,6 +150,32 @@ func TestFrontDoorInterop(t *testing.T) {
 		t.Fatalf("ws subscribe reply: %+v", sub)
 	}
 
+	// MQTT consumer subscribes at QoS 1 over raw TCP.
+	mc, _, err := mqtt.Dial(mqttLn.Addr().String(), mqtt.ConnectOptions{
+		ClientID: "interop-consumer", CleanSession: true,
+	})
+	if err != nil {
+		t.Fatalf("mqtt dial: %v", err)
+	}
+	defer mc.Close()
+	codes, err := mc.Subscribe(mqtt.TopicFilterQoS{Filter: "{urn:grid}jobs", QoS: 1})
+	if err != nil || len(codes) != 1 || codes[0] != 1 {
+		t.Fatalf("mqtt subscribe: codes=%v err=%v", codes, err)
+	}
+	readMQTT := func() mqtt.Message {
+		t.Helper()
+		select {
+		case m, ok := <-mc.Messages():
+			if !ok {
+				t.Fatalf("mqtt consumer died: %v", mc.Err())
+			}
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatal("mqtt consumer: no delivery")
+		}
+		return mqtt.Message{}
+	}
+
 	// WSN 1.3 SOAP consumer subscribes on the classic front door.
 	ns := &wsnt.Subscriber{Client: client, Version: wsnt.V1_3}
 	if _, err := ns.Subscribe(ctx, brokerSrv.URL+"/", &wsnt.SubscribeRequest{
@@ -193,6 +229,15 @@ func TestFrontDoorInterop(t *testing.T) {
 		t.Errorf("ws event = type %q data %s", wsEv.Type, wsEv.Data)
 	}
 
+	// The MQTT consumer got it too, as a QoS 1 PUBLISH it had to PUBACK.
+	mm := readMQTT()
+	if mm.Topic != "{urn:grid}jobs" || mm.QoS != 1 {
+		t.Fatalf("mqtt delivery: topic=%q qos=%d", mm.Topic, mm.QoS)
+	}
+	if !strings.Contains(string(mm.Payload), "interop") {
+		t.Errorf("mqtt delivery lost the payload: %s", mm.Payload)
+	}
+
 	// A CloudEvents POST crosses back into the SOAP world (and fans out to
 	// the two modern consumers as well).
 	ceBody := `{"specversion":"1.0","id":"ce-interop-1","source":"urn:test:producer",` +
@@ -228,8 +273,47 @@ func TestFrontDoorInterop(t *testing.T) {
 	if frame.Action != "event" {
 		t.Fatalf("ws second frame: %+v", frame)
 	}
+	if mm = readMQTT(); !strings.Contains(string(mm.Payload), `"n":7`) {
+		t.Errorf("mqtt second delivery = %s", mm.Payload)
+	}
 
-	// Unsubscribe both modern consumers through their own vocabularies.
+	// An MQTT QoS 1 PUBLISH crosses into all three other doors: PUBACK
+	// from the broker means the common ingress accepted it.
+	mp, _, err := mqtt.Dial(mqttLn.Addr().String(), mqtt.ConnectOptions{
+		ClientID: "interop-producer", CleanSession: true,
+	})
+	if err != nil {
+		t.Fatalf("mqtt producer dial: %v", err)
+	}
+	defer mp.Close()
+	if err := mp.Publish("{urn:grid}jobs", []byte(`{"job":"fan-in"}`), 1, false); err != nil {
+		t.Fatalf("mqtt publish: %v", err)
+	}
+	if got := wsnConsumer.Count(); got != 3 {
+		t.Fatalf("wsn consumer deliveries = %d, want 3 (WSE + CE + MQTT publishes)", got)
+	}
+	bodies, _ = sink.received()
+	if len(bodies) != 3 {
+		t.Fatalf("ce sink deliveries = %d, want 3", len(bodies))
+	}
+	ev3, err := cloudevents.ParseJSON(bodies[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev3.Source != "urn:ws-messenger:mqtt:interop-producer" || ev3.Type != "{urn:grid}jobs" {
+		t.Errorf("mqtt-origin event: source=%q type=%q", ev3.Source, ev3.Type)
+	}
+	if !strings.Contains(string(ev3.Data), "fan-in") {
+		t.Errorf("mqtt-origin event lost the payload: %s", ev3.Data)
+	}
+	if frame = readReply(); frame.Action != "event" {
+		t.Fatalf("ws third frame: %+v", frame)
+	}
+	if mm = readMQTT(); !strings.Contains(string(mm.Payload), "fan-in") {
+		t.Errorf("mqtt third delivery = %s", mm.Payload)
+	}
+
+	// Unsubscribe all modern consumers through their own vocabularies.
 	if err := conn.WriteMessage(wspush.OpText,
 		[]byte(`{"action":"unsubscribe","sid":"`+sub.SID+`"}`)); err != nil {
 		t.Fatalf("ws unsubscribe: %v", err)
@@ -240,8 +324,13 @@ func TestFrontDoorInterop(t *testing.T) {
 	if status, out := ctrl(fmt.Sprintf(`{"unsubscribe":%q}`, ceSubID)); status != http.StatusOK {
 		t.Fatalf("ce unsubscribe: status=%d out=%v", status, out)
 	}
+	if err := mc.Unsubscribe("{urn:grid}jobs"); err != nil {
+		t.Fatalf("mqtt unsubscribe: %v", err)
+	}
+	_ = mc.Disconnect()
+	_ = mp.Disconnect()
 
-	// Conservation law across all three front doors.
+	// Conservation law across all four front doors.
 	es := broker.DispatchStats()
 	if es.Matched == 0 {
 		t.Fatal("no dispatches recorded")
@@ -264,12 +353,20 @@ func TestFrontDoorInterop(t *testing.T) {
 		"wsm_ws_connections",
 		"wsm_ws_connections_total",
 		"wsm_ws_events_total",
+		"wsm_mqtt_connections",
+		"wsm_mqtt_connections_total",
+		"wsm_mqtt_subscriptions",
+		"wsm_mqtt_published_total",
+		"wsm_mqtt_deliveries_total",
 	} {
 		if !bytes.Contains(metrics, []byte(want)) {
 			t.Errorf("metrics exposition lacks %s", want)
 		}
 	}
-	for _, wantNonZero := range []string{"wsm_ce_published_total", "wsm_ws_events_total"} {
+	for _, wantNonZero := range []string{
+		"wsm_ce_published_total", "wsm_ws_events_total",
+		"wsm_mqtt_published_total", "wsm_mqtt_deliveries_total",
+	} {
 		found := false
 		for _, line := range strings.Split(string(metrics), "\n") {
 			if strings.HasPrefix(line, wantNonZero) && !strings.HasSuffix(line, " 0") {

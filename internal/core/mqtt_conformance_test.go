@@ -1,0 +1,468 @@
+package core
+
+// MQTT QoS conformance matrix: the MQTT front door is probed at the packet
+// level — a raw codec connection, no auto-acking client — across QoS 0/1/2
+// × clean/persistent sessions × a connection restart mid-handshake,
+// pinning the exact ack-packet sequence the 3.1.1 spec prescribes for each
+// cell. It is the MQTT analogue of the five-version subscribe conformance
+// matrix: same broker, same dispatch machinery, a different front door's
+// fault and retry vocabulary.
+//
+// The restart column is where the QoS contracts earn their names:
+//
+//	QoS 0  the message is gone (clean) or replayed from the pause buffer
+//	       (persistent) — at most once, never a duplicate
+//	QoS 1  persistent sessions see the same packet id again with DUP=1;
+//	       clean sessions see nothing — at least once, dupes possible
+//	QoS 2  persistent sessions resume at PUBREL without a second PUBLISH
+//	       ([MQTT-4.3.3]); inbound, a DUP re-PUBLISH of an id the broker
+//	       already owns is absorbed by the dedup set — exactly once
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloudevents"
+	"repro/internal/dispatch"
+	"repro/internal/mqtt"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// confMQTT is a packet-level MQTT connection: every inbound packet is read
+// and asserted explicitly, so tests pin exact wire sequences.
+type confMQTT struct {
+	t  *testing.T
+	nc net.Conn
+	c  *mqtt.Conn
+}
+
+// confDial connects and runs the CONNECT/CONNACK handshake, asserting the
+// broker's session-present flag ([MQTT-3.2.2-2]).
+func confDial(t *testing.T, addr, clientID string, clean, wantPresent bool) *confMQTT {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := &confMQTT{t: t, nc: nc, c: mqtt.NewConn(nc)}
+	c.send(&mqtt.Connect{ClientID: clientID, CleanSession: clean})
+	ack, ok := c.read().(*mqtt.Connack)
+	if !ok || ack.Code != mqtt.ConnAccepted {
+		t.Fatalf("handshake: got %#v", ack)
+	}
+	if ack.SessionPresent != wantPresent {
+		t.Fatalf("session present = %v, want %v", ack.SessionPresent, wantPresent)
+	}
+	return c
+}
+
+func (c *confMQTT) send(p mqtt.Packet) {
+	c.t.Helper()
+	if err := c.c.WritePacket(p, 5*time.Second); err != nil {
+		c.t.Fatalf("write %T: %v", p, err)
+	}
+}
+
+func (c *confMQTT) read() mqtt.Packet {
+	c.t.Helper()
+	p, err := c.c.ReadPacket(time.Now().Add(5 * time.Second))
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return p
+}
+
+// expectPublish pins the next packet as a PUBLISH with the given shape.
+func (c *confMQTT) expectPublish(topic string, qos byte, dup bool) *mqtt.Publish {
+	c.t.Helper()
+	p, ok := c.read().(*mqtt.Publish)
+	if !ok {
+		c.t.Fatalf("expected PUBLISH, got %#v", p)
+	}
+	if p.Topic != topic || p.QoS != qos || p.Dup != dup {
+		c.t.Fatalf("PUBLISH topic=%q qos=%d dup=%v, want %q/%d/%v", p.Topic, p.QoS, p.Dup, topic, qos, dup)
+	}
+	if qos == 0 && p.PacketID != 0 {
+		c.t.Fatalf("QoS 0 PUBLISH carries packet id %d", p.PacketID)
+	}
+	if qos > 0 && p.PacketID == 0 {
+		c.t.Fatal("QoS >0 PUBLISH without a packet id")
+	}
+	return p
+}
+
+// expectAck pins the next packet as the given acknowledgement.
+func (c *confMQTT) expectAck(ptype byte, pid uint16) {
+	c.t.Helper()
+	a, ok := c.read().(*mqtt.Ack)
+	if !ok || a.PacketType != ptype || a.PacketID != pid {
+		c.t.Fatalf("expected ack type %d pid %d, got %#v", ptype, pid, a)
+	}
+}
+
+// subscribe pins the SUBSCRIBE → SUBACK exchange with the granted code.
+func (c *confMQTT) subscribe(pid uint16, filter string, qos byte) {
+	c.t.Helper()
+	c.send(&mqtt.Subscribe{PacketID: pid, Filters: []mqtt.TopicFilterQoS{{Filter: filter, QoS: qos}}})
+	sa, ok := c.read().(*mqtt.Suback)
+	if !ok || sa.PacketID != pid || len(sa.Codes) != 1 || sa.Codes[0] != qos {
+		c.t.Fatalf("SUBACK = %#v, want pid %d code %d", sa, pid, qos)
+	}
+}
+
+// expectSilence asserts nothing arrives within d — the sequence is over.
+func (c *confMQTT) expectSilence(d time.Duration) {
+	c.t.Helper()
+	p, err := c.c.ReadPacket(time.Now().Add(d))
+	if err == nil {
+		c.t.Fatalf("expected silence, got %#v", p)
+	}
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		c.t.Fatalf("expected read timeout, got %v", err)
+	}
+}
+
+func (c *confMQTT) disconnect() {
+	c.t.Helper()
+	c.send(mqtt.Disconnect{})
+	c.nc.Close()
+}
+
+func (c *confMQTT) drop() { c.nc.Close() } // abrupt: no DISCONNECT
+
+// TestMQTTQoSConformanceMatrix drives the matrix through one broker over a
+// real TCP listener. Publishes enter through the common CloudEvents
+// ingress, so every cell exercises the full dispatch path — match, filter,
+// retry — not an MQTT-only shortcut.
+func TestMQTTQoSConformanceMatrix(t *testing.T) {
+	reg := obs.NewRegistry()
+	broker, err := New(Config{
+		Address:      "svc://conf/",
+		Client:       &transport.HTTPClient{},
+		SyncDelivery: true,
+		// Fast retries so the restart column's reconnect lands inside the
+		// redelivery window; closed subscriptions abort the cycle early.
+		Retry: &dispatch.RetryPolicy{MaxAttempts: 100, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond},
+		Obs:   obs.NewRecorder(reg, "broker"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go broker.ServeMQTT(ln)
+	addr := ln.Addr().String()
+
+	// publish pushes one event for the arm through the CE ingress; with
+	// SyncDelivery it returns only after the delivery cycle settles, so
+	// arms run it on a goroutine while the test drives the consumer side.
+	publish := func(topic, arm string) chan error {
+		done := make(chan error, 1)
+		path, err := mqtt.PathForTopic(topic)
+		if err != nil {
+			t.Fatalf("path for %q: %v", topic, err)
+		}
+		ev := &cloudevents.Event{
+			SpecVersion: cloudevents.SpecVersion,
+			ID:          "conf-" + strings.ReplaceAll(topic, "/", "-") + "-" + arm,
+			Source:      "urn:conf:producer",
+			Type:        cloudevents.TypeForTopic(path),
+			Data:        json.RawMessage(fmt.Sprintf(`{"arm":%q}`, arm)),
+		}
+		go func() { done <- broker.PublishCE(ev) }()
+		return done
+	}
+	settle := func(done chan error) {
+		t.Helper()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("publish: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("publish never settled")
+		}
+	}
+	// waitGone blocks until the arm's subscription has left the topic
+	// index (clean-session teardown runs on the serve goroutine).
+	waitGone := func(topic string) {
+		t.Helper()
+		path, _ := mqtt.PathForTopic(topic)
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if len(broker.engine.Candidates(path)) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("subscription never cancelled")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// waitPaused blocks until the persistent session's subscription is
+	// pause-buffering (detach pauses the engine before the store).
+	waitPaused := func(clientID string) {
+		t.Helper()
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			paused := true
+			broker.mqtt.mu.Lock()
+			s := broker.mqtt.sessions[clientID]
+			broker.mqtt.mu.Unlock()
+			if s == nil {
+				t.Fatal("persistent session evaporated")
+			}
+			s.mu.Lock()
+			offline := s.conn == nil
+			subs := make([]*mqttSub, 0, len(s.subs))
+			for _, sub := range s.subs {
+				subs = append(subs, sub)
+			}
+			s.mu.Unlock()
+			for _, sub := range subs {
+				sn, err := broker.store.Get(sub.subID)
+				if err != nil || !sn.Paused {
+					paused = false
+				}
+			}
+			if offline && paused && len(subs) > 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session never paused")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	sessions := []struct {
+		name  string
+		clean bool
+	}{{"clean", true}, {"persistent", false}}
+
+	// Steady column: one PUBLISH at the granted QoS, the spec's exact ack
+	// handshake, then wire silence.
+	for _, ses := range sessions {
+		for qos := byte(0); qos <= 2; qos++ {
+			t.Run(fmt.Sprintf("qos%d/%s/steady", qos, ses.name), func(t *testing.T) {
+				topic := fmt.Sprintf("conf/%s/q%d", ses.name, qos)
+				id := fmt.Sprintf("conf-%s-q%d", ses.name, qos)
+				c := confDial(t, addr, id, ses.clean, false)
+				defer c.drop()
+				c.subscribe(1, topic, qos)
+				done := publish(topic, "steady")
+				p := c.expectPublish(topic, qos, false)
+				if !strings.Contains(string(p.Payload), `"arm":"steady"`) {
+					t.Errorf("payload = %s", p.Payload)
+				}
+				switch qos {
+				case 1:
+					c.send(&mqtt.Ack{PacketType: mqtt.PUBACK, PacketID: p.PacketID})
+				case 2:
+					c.send(&mqtt.Ack{PacketType: mqtt.PUBREC, PacketID: p.PacketID})
+					c.expectAck(mqtt.PUBREL, p.PacketID)
+					c.send(&mqtt.Ack{PacketType: mqtt.PUBCOMP, PacketID: p.PacketID})
+				}
+				settle(done)
+				c.expectSilence(150 * time.Millisecond) // exactly one delivery
+				c.send(&mqtt.Unsubscribe{PacketID: 2, Filters: []string{topic}})
+				c.expectAck(mqtt.UNSUBACK, 2)
+				c.disconnect()
+			})
+		}
+	}
+
+	// Restart column: tear the TCP connection mid-contract and pin what
+	// each QoS × session cell does about it.
+	t.Run("qos0/clean/restart", func(t *testing.T) {
+		topic := "conf/restart/q0c"
+		c := confDial(t, addr, "conf-r-q0c", true, false)
+		c.subscribe(1, topic, 0)
+		c.drop()
+		waitGone(topic) // clean teardown cancels the subscription
+		settle(publish(topic, "lost"))
+		// At most once: the message is gone; a reconnect starts empty.
+		c2 := confDial(t, addr, "conf-r-q0c", true, false)
+		defer c2.drop()
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+	t.Run("qos0/persistent/restart", func(t *testing.T) {
+		topic := "conf/restart/q0p"
+		c := confDial(t, addr, "conf-r-q0p", false, false)
+		c.subscribe(1, topic, 0)
+		c.drop()
+		waitPaused("conf-r-q0p")
+		settle(publish(topic, "buffered")) // accept buffers; publish settles
+		// The pause buffer replays on reconnect — after the CONNACK.
+		c2 := confDial(t, addr, "conf-r-q0p", false, true)
+		defer c2.drop()
+		p := c2.expectPublish(topic, 0, false)
+		if !strings.Contains(string(p.Payload), `"arm":"buffered"`) {
+			t.Errorf("payload = %s", p.Payload)
+		}
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+	t.Run("qos1/clean/restart", func(t *testing.T) {
+		topic := "conf/restart/q1c"
+		c := confDial(t, addr, "conf-r-q1c", true, false)
+		c.subscribe(1, topic, 1)
+		done := publish(topic, "unacked")
+		c.expectPublish(topic, 1, false)
+		c.drop() // crash before PUBACK
+		settle(done)
+		// Clean sessions forget in-flight state: no DUP redelivery.
+		c2 := confDial(t, addr, "conf-r-q1c", true, false)
+		defer c2.drop()
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+	t.Run("qos1/persistent/restart", func(t *testing.T) {
+		topic := "conf/restart/q1p"
+		c := confDial(t, addr, "conf-r-q1p", false, false)
+		c.subscribe(1, topic, 1)
+		done := publish(topic, "redelivered")
+		first := c.expectPublish(topic, 1, false)
+		c.drop() // crash before PUBACK
+		// At least once: the same packet id comes back with DUP=1.
+		c2 := confDial(t, addr, "conf-r-q1p", false, true)
+		defer c2.drop()
+		again := c2.expectPublish(topic, 1, true)
+		if again.PacketID != first.PacketID {
+			t.Fatalf("redelivery pid = %d, want %d", again.PacketID, first.PacketID)
+		}
+		c2.send(&mqtt.Ack{PacketType: mqtt.PUBACK, PacketID: again.PacketID})
+		settle(done)
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+	t.Run("qos2/clean/restart", func(t *testing.T) {
+		topic := "conf/restart/q2c"
+		c := confDial(t, addr, "conf-r-q2c", true, false)
+		c.subscribe(1, topic, 2)
+		done := publish(topic, "halfway")
+		p := c.expectPublish(topic, 2, false)
+		c.send(&mqtt.Ack{PacketType: mqtt.PUBREC, PacketID: p.PacketID})
+		c.expectAck(mqtt.PUBREL, p.PacketID)
+		c.drop() // crash before PUBCOMP
+		settle(done)
+		c2 := confDial(t, addr, "conf-r-q2c", true, false)
+		defer c2.drop()
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+	t.Run("qos2/persistent/restart", func(t *testing.T) {
+		topic := "conf/restart/q2p"
+		c := confDial(t, addr, "conf-r-q2p", false, false)
+		c.subscribe(1, topic, 2)
+		done := publish(topic, "resumed")
+		p := c.expectPublish(topic, 2, false)
+		c.send(&mqtt.Ack{PacketType: mqtt.PUBREC, PacketID: p.PacketID})
+		c.expectAck(mqtt.PUBREL, p.PacketID)
+		c.drop() // crash before PUBCOMP
+		// Exactly once: the handshake resumes at PUBREL with the same id —
+		// never a second PUBLISH after PUBREC ([MQTT-4.3.3]).
+		c2 := confDial(t, addr, "conf-r-q2p", false, true)
+		defer c2.drop()
+		c2.expectAck(mqtt.PUBREL, p.PacketID)
+		c2.send(&mqtt.Ack{PacketType: mqtt.PUBCOMP, PacketID: p.PacketID})
+		settle(done)
+		c2.expectSilence(150 * time.Millisecond)
+		c2.disconnect()
+	})
+
+	// Inbound exactly-once: the broker is the receiver of the QoS 2
+	// handshake, and a restart must not double-ingest. A QoS 0 observer
+	// counts what actually reached dispatch.
+	t.Run("inbound-qos2/persistent/restart", func(t *testing.T) {
+		topic := "conf/inbound/persistent"
+		obsClient, _, err := mqtt.Dial(addr, mqtt.ConnectOptions{ClientID: "conf-in-obs-p", CleanSession: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer obsClient.Close()
+		if _, err := obsClient.Subscribe(mqtt.TopicFilterQoS{Filter: topic, QoS: 0}); err != nil {
+			t.Fatal(err)
+		}
+
+		c := confDial(t, addr, "conf-in-p", false, false)
+		c.send(&mqtt.Publish{Topic: topic, Payload: []byte(`{"n":1}`), QoS: 2, PacketID: 7})
+		c.expectAck(mqtt.PUBREC, 7)
+		c.drop() // crash before PUBREL
+		// The sender must resend with DUP=1; the broker already owns id 7,
+		// so the dedup set absorbs it and the handshake completes.
+		c2 := confDial(t, addr, "conf-in-p", false, true)
+		defer c2.drop()
+		c2.send(&mqtt.Publish{Topic: topic, Payload: []byte(`{"n":1}`), QoS: 2, PacketID: 7, Dup: true})
+		c2.expectAck(mqtt.PUBREC, 7)
+		c2.send(&mqtt.Ack{PacketType: mqtt.PUBREL, PacketID: 7})
+		c2.expectAck(mqtt.PUBCOMP, 7)
+		c2.disconnect()
+
+		select {
+		case m := <-obsClient.Messages():
+			if string(m.Payload) != `{"n":1}` {
+				t.Fatalf("observer payload = %s", m.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("observer saw nothing")
+		}
+		select {
+		case m := <-obsClient.Messages():
+			t.Fatalf("exactly-once violated: observer saw a second message %q", m.Payload)
+		case <-time.After(200 * time.Millisecond):
+		}
+	})
+	t.Run("inbound-qos2/clean/restart", func(t *testing.T) {
+		topic := "conf/inbound/clean"
+		obsClient, _, err := mqtt.Dial(addr, mqtt.ConnectOptions{ClientID: "conf-in-obs-c", CleanSession: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer obsClient.Close()
+		if _, err := obsClient.Subscribe(mqtt.TopicFilterQoS{Filter: topic, QoS: 0}); err != nil {
+			t.Fatal(err)
+		}
+
+		c := confDial(t, addr, "conf-in-c", true, false)
+		c.send(&mqtt.Publish{Topic: topic, Payload: []byte(`{"n":1}`), QoS: 2, PacketID: 7})
+		c.expectAck(mqtt.PUBREC, 7)
+		c.drop() // crash before PUBREL
+		// A clean session dropped the dedup state with the connection: the
+		// DUP resend ingests again — QoS 2 degrades to at-least-once when
+		// the publisher refuses session state, which is the spec's bargain.
+		c2 := confDial(t, addr, "conf-in-c", true, false)
+		defer c2.drop()
+		c2.send(&mqtt.Publish{Topic: topic, Payload: []byte(`{"n":1}`), QoS: 2, PacketID: 7, Dup: true})
+		c2.expectAck(mqtt.PUBREC, 7)
+		c2.send(&mqtt.Ack{PacketType: mqtt.PUBREL, PacketID: 7})
+		c2.expectAck(mqtt.PUBCOMP, 7)
+		c2.disconnect()
+
+		for i := 0; i < 2; i++ {
+			select {
+			case m := <-obsClient.Messages():
+				if string(m.Payload) != `{"n":1}` {
+					t.Fatalf("observer payload %d = %s", i, m.Payload)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("observer saw %d messages, want 2", i)
+			}
+		}
+	})
+
+	// Conservation across every cell: nothing dispatched went missing.
+	es := broker.DispatchStats()
+	if es.Matched == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if es.Matched != es.Delivered+es.Dropped+es.Failed+es.DeadLettered {
+		t.Fatalf("conservation violated: %+v", es)
+	}
+}

@@ -99,9 +99,10 @@ func (b *Broker) SaveSubscriptions(w io.Writer) error {
 		if !ok {
 			continue
 		}
-		if st.local != nil {
-			// Connection-bound (WebSocket) subscriptions cannot outlive
-			// their socket; a restarted broker could never deliver to them.
+		if st.local != nil || st.localRaw != nil {
+			// Connection-bound (WebSocket) and session-bound (MQTT)
+			// subscriptions cannot outlive the process; a restarted broker
+			// could never deliver to them.
 			continue
 		}
 		c := st.canon

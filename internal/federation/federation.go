@@ -27,7 +27,6 @@
 package federation
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -35,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lru"
 	"repro/internal/mediation"
 	"repro/internal/obs"
 	"repro/internal/soap"
@@ -110,7 +110,7 @@ type Peering struct {
 
 	mu        sync.Mutex
 	links     map[string]*Link
-	seen      *lruSet
+	seen      *lru.Set
 	highWater map[string]uint64 // origin broker → highest origin log pos applied
 
 	// ingest outcome counters, one series per result (nil without Obs).
@@ -137,7 +137,7 @@ func New(cfg Config) (*Peering, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	p := &Peering{cfg: cfg, links: map[string]*Link{}, seen: newLRUSet(cfg.DedupCap), highWater: map[string]uint64{}}
+	p := &Peering{cfg: cfg, links: map[string]*Link{}, seen: lru.New(cfg.DedupCap), highWater: map[string]uint64{}}
 	if rec := cfg.Obs; rec != nil {
 		reg := rec.Registry()
 		mk := func(result string) *obs.Counter {
@@ -366,44 +366,4 @@ func (p *Peering) HealthChecks() func() []obs.HealthCheck {
 			Detail: fmt.Sprintf("%d links, %d lapsed", len(links), lapsed),
 		}}
 	}
-}
-
-// lruSet is a bounded set with least-recently-seen eviction: Add reports
-// whether the key was new, refreshing recency either way. The bound makes
-// dedup state O(cap) regardless of traffic; the hop cap covers the
-// (pathological) case of a loop longer than the eviction horizon.
-type lruSet struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recent
-	index map[string]*list.Element
-}
-
-func newLRUSet(cap int) *lruSet {
-	return &lruSet{cap: cap, order: list.New(), index: map[string]*list.Element{}}
-}
-
-// Add inserts the key, evicting the least recently seen entry when full.
-// It returns false when the key was already present (refreshing it).
-func (s *lruSet) Add(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.index[key]; ok {
-		s.order.MoveToFront(el)
-		return false
-	}
-	s.index[key] = s.order.PushFront(key)
-	if s.order.Len() > s.cap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.index, oldest.Value.(string))
-	}
-	return true
-}
-
-// Len reports current entries.
-func (s *lruSet) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.order.Len()
 }

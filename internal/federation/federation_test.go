@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"repro/internal/lru"
 	"strings"
 	"sync"
 	"testing"
@@ -540,7 +541,7 @@ func TestHealthLapsedLink(t *testing.T) {
 }
 
 func TestLRUSet(t *testing.T) {
-	s := newLRUSet(3)
+	s := lru.New(3)
 	for _, k := range []string{"a", "b", "c"} {
 		if !s.Add(k) {
 			t.Fatalf("first Add(%q) reported duplicate", k)

@@ -1,0 +1,63 @@
+// Package lru provides a bounded set with least-recently-seen eviction.
+// It backs the federation relay's (origin, id) dedup and the MQTT front
+// door's exactly-once inbound packet-id dedup: both need "have I seen this
+// key recently?" with O(cap) state regardless of traffic.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Set is a bounded set: Add reports whether the key was new, refreshing
+// recency either way, and evicts the least recently seen entry when full.
+type Set struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	index map[string]*list.Element
+}
+
+// New builds an empty set bounded at cap entries.
+func New(cap int) *Set {
+	return &Set{cap: cap, order: list.New(), index: map[string]*list.Element{}}
+}
+
+// Add inserts the key, evicting the least recently seen entry when full.
+// It returns false when the key was already present (refreshing it).
+func (s *Set) Add(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.order.MoveToFront(el)
+		return false
+	}
+	s.index[key] = s.order.PushFront(key)
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.index, oldest.Value.(string))
+	}
+	return true
+}
+
+// Remove drops a key, reporting whether it was present. The MQTT QoS 2
+// release (PUBREL) uses it so completed packet ids can be reused
+// immediately.
+func (s *Set) Remove(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if ok {
+		s.order.Remove(el)
+		delete(s.index, key)
+	}
+	return ok
+}
+
+// Len reports current entries.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

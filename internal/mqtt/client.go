@@ -1,0 +1,354 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a minimal MQTT 3.1.1 client — enough protocol for the interop
+// tests, the QoS conformance matrix and the B18 fan-out benchmark: all
+// three publish QoS levels, subscriptions with granted-QoS codes, and
+// exactly-once inbound handshakes. It is not a reconnecting production
+// client; a broken socket surfaces as an error and the caller redials.
+type Client struct {
+	conn *Conn
+	// AckTimeout bounds each wait for a broker acknowledgement.
+	AckTimeout time.Duration
+
+	mu     sync.Mutex
+	nextID uint16
+	acks   map[uint16]chan Packet
+	err    error
+
+	msgs   chan Message
+	done   chan struct{}
+	closed sync.Once
+
+	recvQ2 map[uint16]bool // inbound QoS 2 packet ids awaiting PUBREL
+}
+
+// Message is one application message received from the broker.
+type Message struct {
+	Topic   string
+	Payload []byte
+	QoS     byte
+	Retain  bool
+	Dup     bool
+}
+
+// ConnectOptions parameterise Dial.
+type ConnectOptions struct {
+	ClientID     string
+	CleanSession bool
+	KeepAlive    uint16
+	Will         *Will
+}
+
+// Dial connects, performs the CONNECT/CONNACK handshake and starts the
+// read loop. sessionPresent echoes the broker's session-state flag.
+func Dial(addr string, opts ConnectOptions) (c *Client, sessionPresent bool, err error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return Handshake(nc, opts)
+}
+
+// Handshake runs the MQTT session handshake over an established network
+// connection (Dial without the dialing — tests use in-memory pipes).
+func Handshake(nc net.Conn, opts ConnectOptions) (c *Client, sessionPresent bool, err error) {
+	conn := NewConn(nc)
+	connect := &Connect{
+		ClientID:     opts.ClientID,
+		CleanSession: opts.CleanSession,
+		KeepAlive:    opts.KeepAlive,
+		Will:         opts.Will,
+	}
+	if err := conn.WritePacket(connect, 10*time.Second); err != nil {
+		nc.Close()
+		return nil, false, err
+	}
+	p, err := conn.ReadPacket(time.Now().Add(10 * time.Second))
+	if err != nil {
+		nc.Close()
+		return nil, false, err
+	}
+	ack, ok := p.(*Connack)
+	if !ok {
+		nc.Close()
+		return nil, false, fmt.Errorf("mqtt: expected CONNACK, got %T", p)
+	}
+	if ack.Code != ConnAccepted {
+		nc.Close()
+		return nil, false, fmt.Errorf("mqtt: connection refused, code %d", ack.Code)
+	}
+	c = &Client{
+		conn:       conn,
+		AckTimeout: 30 * time.Second,
+		acks:       map[uint16]chan Packet{},
+		msgs:       make(chan Message, 256),
+		done:       make(chan struct{}),
+		recvQ2:     map[uint16]bool{},
+	}
+	go c.readLoop()
+	return c, ack.SessionPresent, nil
+}
+
+// Messages returns the inbound application-message stream. The channel
+// closes when the connection dies; consume it promptly — a full buffer
+// blocks the read loop, which is MQTT's natural backpressure.
+func (c *Client) Messages() <-chan Message { return c.msgs }
+
+// Err reports why the read loop stopped (nil while it runs).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	waiters := c.acks
+	c.acks = map[uint16]chan Packet{}
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+	c.closed.Do(func() {
+		close(c.done)
+		close(c.msgs)
+	})
+	c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		p, err := c.conn.ReadPacket(time.Time{})
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch p := p.(type) {
+		case *Publish:
+			c.handlePublish(p)
+		case *Ack:
+			switch p.PacketType {
+			case PUBREL:
+				// Inbound QoS 2 completion: release the id, confirm.
+				c.mu.Lock()
+				delete(c.recvQ2, p.PacketID)
+				c.mu.Unlock()
+				_ = c.conn.WritePacket(&Ack{PacketType: PUBCOMP, PacketID: p.PacketID}, 10*time.Second)
+			default:
+				c.resolve(p.PacketID, p)
+			}
+		case *Suback:
+			c.resolve(p.PacketID, p)
+		case Pingresp:
+			c.resolve(0, p)
+		}
+	}
+}
+
+func (c *Client) handlePublish(p *Publish) {
+	deliver := true
+	switch p.QoS {
+	case 1:
+		defer c.conn.WritePacket(&Ack{PacketType: PUBACK, PacketID: p.PacketID}, 10*time.Second)
+	case 2:
+		c.mu.Lock()
+		if c.recvQ2[p.PacketID] {
+			deliver = false // redelivery of an id we already own
+		} else {
+			c.recvQ2[p.PacketID] = true
+		}
+		c.mu.Unlock()
+		defer c.conn.WritePacket(&Ack{PacketType: PUBREC, PacketID: p.PacketID}, 10*time.Second)
+	}
+	if deliver {
+		select {
+		case c.msgs <- Message{Topic: p.Topic, Payload: p.Payload, QoS: p.QoS, Retain: p.Retain, Dup: p.Dup}:
+		case <-c.done:
+		}
+	}
+}
+
+// resolve hands an acknowledgement to its waiter.
+func (c *Client) resolve(pid uint16, p Packet) {
+	c.mu.Lock()
+	ch := c.acks[pid]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// claimID allocates a packet id with a registered ack channel.
+func (c *Client) claimID() (uint16, chan Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	for i := 0; i < 65535; i++ {
+		c.nextID++
+		if c.nextID == 0 {
+			c.nextID = 1
+		}
+		if _, busy := c.acks[c.nextID]; !busy {
+			ch := make(chan Packet, 2)
+			c.acks[c.nextID] = ch
+			return c.nextID, ch, nil
+		}
+	}
+	return 0, nil, errors.New("mqtt: no free packet ids")
+}
+
+func (c *Client) release(pid uint16) {
+	c.mu.Lock()
+	delete(c.acks, pid)
+	c.mu.Unlock()
+}
+
+// await reads the next ack from ch, failing on timeout or connection loss.
+func (c *Client) await(ch chan Packet) (Packet, error) {
+	t := time.NewTimer(c.AckTimeout)
+	defer t.Stop()
+	select {
+	case p, ok := <-ch:
+		if !ok {
+			return nil, c.Err()
+		}
+		return p, nil
+	case <-t.C:
+		return nil, errors.New("mqtt: timed out waiting for ack")
+	}
+}
+
+// Publish sends one message at the given QoS, blocking until the QoS
+// contract is satisfied (nothing for 0, PUBACK for 1, the full
+// PUBREC/PUBREL/PUBCOMP handshake for 2).
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if qos == 0 {
+		return c.conn.WritePacket(&Publish{Topic: topic, Payload: payload, Retain: retain}, 10*time.Second)
+	}
+	pid, ch, err := c.claimID()
+	if err != nil {
+		return err
+	}
+	defer c.release(pid)
+	pub := &Publish{Topic: topic, Payload: payload, QoS: qos, Retain: retain, PacketID: pid}
+	if err := c.conn.WritePacket(pub, 10*time.Second); err != nil {
+		return err
+	}
+	ack, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	a, ok := ack.(*Ack)
+	if !ok {
+		return fmt.Errorf("mqtt: unexpected %T awaiting publish ack", ack)
+	}
+	if qos == 1 {
+		if a.PacketType != PUBACK {
+			return fmt.Errorf("mqtt: expected PUBACK, got type %d", a.PacketType)
+		}
+		return nil
+	}
+	if a.PacketType != PUBREC {
+		return fmt.Errorf("mqtt: expected PUBREC, got type %d", a.PacketType)
+	}
+	if err := c.conn.WritePacket(&Ack{PacketType: PUBREL, PacketID: pid}, 10*time.Second); err != nil {
+		return err
+	}
+	comp, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	if a, ok := comp.(*Ack); !ok || a.PacketType != PUBCOMP {
+		return fmt.Errorf("mqtt: expected PUBCOMP, got %T", comp)
+	}
+	return nil
+}
+
+// Subscribe registers topic filters and returns the granted-QoS codes.
+func (c *Client) Subscribe(filters ...TopicFilterQoS) ([]byte, error) {
+	pid, ch, err := c.claimID()
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(pid)
+	if err := c.conn.WritePacket(&Subscribe{PacketID: pid, Filters: filters}, 10*time.Second); err != nil {
+		return nil, err
+	}
+	ack, err := c.await(ch)
+	if err != nil {
+		return nil, err
+	}
+	sa, ok := ack.(*Suback)
+	if !ok {
+		return nil, fmt.Errorf("mqtt: expected SUBACK, got %T", ack)
+	}
+	return sa.Codes, nil
+}
+
+// Unsubscribe removes topic filters.
+func (c *Client) Unsubscribe(filters ...string) error {
+	pid, ch, err := c.claimID()
+	if err != nil {
+		return err
+	}
+	defer c.release(pid)
+	if err := c.conn.WritePacket(&Unsubscribe{PacketID: pid, Filters: filters}, 10*time.Second); err != nil {
+		return err
+	}
+	ack, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	if a, ok := ack.(*Ack); !ok || a.PacketType != UNSUBACK {
+		return fmt.Errorf("mqtt: expected UNSUBACK, got %T", ack)
+	}
+	return nil
+}
+
+// Ping round-trips a PINGREQ.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return c.err
+	}
+	ch := make(chan Packet, 1)
+	c.acks[0] = ch
+	c.mu.Unlock()
+	defer c.release(0)
+	if err := c.conn.WritePacket(Pingreq{}, 10*time.Second); err != nil {
+		return err
+	}
+	_, err := c.await(ch)
+	return err
+}
+
+// Disconnect says goodbye gracefully and closes the socket.
+func (c *Client) Disconnect() error {
+	err := c.conn.WritePacket(Disconnect{}, 5*time.Second)
+	c.fail(errors.New("mqtt: client disconnected"))
+	return err
+}
+
+// Close drops the connection without a DISCONNECT (the broker publishes
+// the will, if any) — the conformance tests' "crash" lever.
+func (c *Client) Close() error {
+	c.fail(errors.New("mqtt: connection closed"))
+	return nil
+}

@@ -1,0 +1,349 @@
+package mqtt
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeBroker is the server half of a net.Pipe, scripted packet by packet.
+type fakeBroker struct {
+	t    *testing.T
+	conn *Conn
+}
+
+func (b *fakeBroker) read() Packet {
+	b.t.Helper()
+	p, err := b.conn.ReadPacket(time.Now().Add(5 * time.Second))
+	if err != nil {
+		b.t.Errorf("broker read: %v", err)
+		return nil
+	}
+	return p
+}
+
+func (b *fakeBroker) write(p Packet) {
+	b.t.Helper()
+	if err := b.conn.WritePacket(p, 5*time.Second); err != nil {
+		b.t.Errorf("broker write: %v", err)
+	}
+}
+
+// acceptConnect consumes the CONNECT and answers CONNACK.
+func (b *fakeBroker) acceptConnect(present bool) *Connect {
+	b.t.Helper()
+	p := b.read()
+	c, ok := p.(*Connect)
+	if !ok {
+		b.t.Errorf("broker: expected CONNECT, got %T", p)
+		return nil
+	}
+	b.write(&Connack{SessionPresent: present, Code: ConnAccepted})
+	return c
+}
+
+// pipeClient wires a Client to a fakeBroker over an in-memory pipe. The
+// handshake runs concurrently with the broker's accept.
+func pipeClient(t *testing.T, present bool) (*Client, *fakeBroker, *Connect) {
+	t.Helper()
+	cn, sn := net.Pipe()
+	b := &fakeBroker{t: t, conn: NewConn(sn)}
+	type hs struct {
+		c       *Client
+		present bool
+		err     error
+	}
+	done := make(chan hs, 1)
+	go func() {
+		c, p, err := Handshake(cn, ConnectOptions{ClientID: "pipe-client", CleanSession: true})
+		done <- hs{c, p, err}
+	}()
+	connect := b.acceptConnect(present)
+	h := <-done
+	if h.err != nil {
+		t.Fatalf("handshake: %v", h.err)
+	}
+	if h.present != present {
+		t.Fatalf("sessionPresent = %v, want %v", h.present, present)
+	}
+	t.Cleanup(func() { _ = h.c.Close(); _ = sn.Close() })
+	return h.c, b, connect
+}
+
+func TestClientConnectCarriesOptions(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer sn.Close()
+	b := &fakeBroker{t: t, conn: NewConn(sn)}
+	done := make(chan error, 1)
+	go func() {
+		c, _, err := Handshake(cn, ConnectOptions{
+			ClientID:     "opt-client",
+			CleanSession: true,
+			KeepAlive:    30,
+			Will:         &Will{Topic: "last/words", Payload: []byte("bye"), QoS: 1},
+		})
+		if c != nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	connect := b.acceptConnect(false)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if connect.ClientID != "opt-client" || !connect.CleanSession || connect.KeepAlive != 30 {
+		t.Errorf("connect = %+v", connect)
+	}
+	if connect.Will == nil || connect.Will.Topic != "last/words" || connect.Will.QoS != 1 {
+		t.Errorf("will = %+v", connect.Will)
+	}
+}
+
+func TestClientSubscribePublishQoSLadder(t *testing.T) {
+	c, b, _ := pipeClient(t, false)
+
+	// Subscribe: SUBSCRIBE out, SUBACK back with granted codes.
+	subDone := make(chan []byte, 1)
+	go func() {
+		codes, err := c.Subscribe(TopicFilterQoS{Filter: "a/+", QoS: 1}, TopicFilterQoS{Filter: "b/#", QoS: 2})
+		if err != nil {
+			t.Errorf("subscribe: %v", err)
+		}
+		subDone <- codes
+	}()
+	p := b.read()
+	sub, ok := p.(*Subscribe)
+	if !ok || len(sub.Filters) != 2 || sub.Filters[0].Filter != "a/+" {
+		t.Fatalf("broker got %#v, want 2-filter SUBSCRIBE", p)
+	}
+	b.write(&Suback{PacketID: sub.PacketID, Codes: []byte{1, 2}})
+	if codes := <-subDone; string(codes) != "\x01\x02" {
+		t.Errorf("granted codes = %v", codes)
+	}
+
+	// QoS 0 publish: fire and forget, no ack (the pipe is unbuffered, so
+	// even this write must overlap the broker's read).
+	pubDone := make(chan error, 1)
+	go func() { pubDone <- c.Publish("a/zero", []byte("q0"), 0, false) }()
+	if pub, ok := b.read().(*Publish); !ok || pub.QoS != 0 || pub.PacketID != 0 {
+		t.Fatalf("qos0 publish framed wrong: %+v", pub)
+	}
+	if err := <-pubDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// QoS 1 publish blocks until PUBACK.
+	go func() { pubDone <- c.Publish("a/one", []byte("q1"), 1, true) }()
+	pub1, ok := b.read().(*Publish)
+	if !ok || pub1.QoS != 1 || pub1.PacketID == 0 || !pub1.Retain {
+		t.Fatalf("qos1 publish framed wrong: %+v", pub1)
+	}
+	b.write(&Ack{PacketType: PUBACK, PacketID: pub1.PacketID})
+	if err := <-pubDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// QoS 2 publish runs the full PUBREC/PUBREL/PUBCOMP handshake.
+	go func() { pubDone <- c.Publish("b/two", []byte("q2"), 2, false) }()
+	pub2, ok := b.read().(*Publish)
+	if !ok || pub2.QoS != 2 {
+		t.Fatalf("qos2 publish framed wrong: %+v", pub2)
+	}
+	b.write(&Ack{PacketType: PUBREC, PacketID: pub2.PacketID})
+	rel, ok := b.read().(*Ack)
+	if !ok || rel.PacketType != PUBREL || rel.PacketID != pub2.PacketID {
+		t.Fatalf("expected PUBREL, got %+v", rel)
+	}
+	b.write(&Ack{PacketType: PUBCOMP, PacketID: pub2.PacketID})
+	if err := <-pubDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Ping round trip.
+	pingDone := make(chan error, 1)
+	go func() { pingDone <- c.Ping() }()
+	if _, ok := b.read().(Pingreq); !ok {
+		t.Fatal("expected PINGREQ")
+	}
+	b.write(Pingresp{})
+	if err := <-pingDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsubscribe: UNSUBSCRIBE out, UNSUBACK back.
+	unsubDone := make(chan error, 1)
+	go func() { unsubDone <- c.Unsubscribe("a/+") }()
+	uns, ok := b.read().(*Unsubscribe)
+	if !ok || len(uns.Filters) != 1 || uns.Filters[0] != "a/+" {
+		t.Fatalf("expected UNSUBSCRIBE a/+, got %#v", uns)
+	}
+	b.write(&Ack{PacketType: UNSUBACK, PacketID: uns.PacketID})
+	if err := <-unsubDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful goodbye: DISCONNECT on the wire, then the channel closes.
+	discDone := make(chan error, 1)
+	go func() { discDone <- c.Disconnect() }()
+	if _, ok := b.read().(Disconnect); !ok {
+		t.Fatal("expected DISCONNECT")
+	}
+	if err := <-discDone; err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-c.Messages(); open {
+		t.Error("messages channel still open after disconnect")
+	}
+}
+
+func TestClientInboundQoSAcksAndDedup(t *testing.T) {
+	c, b, _ := pipeClient(t, false)
+
+	// QoS 0 delivery: no ack expected.
+	b.write(&Publish{Topic: "in/zero", Payload: []byte("z")})
+	m := <-c.Messages()
+	if m.Topic != "in/zero" || m.QoS != 0 {
+		t.Errorf("message = %+v", m)
+	}
+
+	// QoS 1 delivery: the client PUBACKs with the broker's id.
+	b.write(&Publish{Topic: "in/one", Payload: []byte("o"), QoS: 1, PacketID: 41})
+	m = <-c.Messages()
+	if m.QoS != 1 {
+		t.Errorf("message = %+v", m)
+	}
+	if a, ok := b.read().(*Ack); !ok || a.PacketType != PUBACK || a.PacketID != 41 {
+		t.Fatalf("expected PUBACK 41, got %+v", a)
+	}
+
+	// QoS 2 delivery: PUBREC, then a DUP redelivery of the same id is
+	// absorbed (exactly once) while still being PUBRECed, then PUBREL
+	// completes with PUBCOMP and releases the id.
+	b.write(&Publish{Topic: "in/two", Payload: []byte("t"), QoS: 2, PacketID: 77})
+	m = <-c.Messages()
+	if m.QoS != 2 || m.Dup {
+		t.Errorf("message = %+v", m)
+	}
+	if a, ok := b.read().(*Ack); !ok || a.PacketType != PUBREC || a.PacketID != 77 {
+		t.Fatalf("expected PUBREC 77, got %+v", a)
+	}
+	b.write(&Publish{Topic: "in/two", Payload: []byte("t"), QoS: 2, PacketID: 77, Dup: true})
+	if a, ok := b.read().(*Ack); !ok || a.PacketType != PUBREC || a.PacketID != 77 {
+		t.Fatalf("expected PUBREC for the redelivery, got %+v", a)
+	}
+	b.write(&Ack{PacketType: PUBREL, PacketID: 77})
+	if a, ok := b.read().(*Ack); !ok || a.PacketType != PUBCOMP || a.PacketID != 77 {
+		t.Fatalf("expected PUBCOMP 77, got %+v", a)
+	}
+	// The id is free again: a fresh PUBLISH under 77 delivers anew.
+	b.write(&Publish{Topic: "in/two", Payload: []byte("t2"), QoS: 2, PacketID: 77})
+	m = <-c.Messages()
+	if string(m.Payload) != "t2" {
+		t.Errorf("payload = %q", m.Payload)
+	}
+	if a, ok := b.read().(*Ack); !ok || a.PacketType != PUBREC {
+		t.Fatalf("expected PUBREC, got %+v", a)
+	}
+
+	select {
+	case m, open := <-c.Messages():
+		if open {
+			t.Errorf("unexpected extra message %+v", m)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestClientHandshakeRefused(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer sn.Close()
+	b := &fakeBroker{t: t, conn: NewConn(sn)}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Handshake(cn, ConnectOptions{ClientID: "refused"})
+		done <- err
+	}()
+	b.read() // CONNECT
+	b.write(&Connack{Code: ConnRefusedNotAuth})
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("err = %v, want connection refused", err)
+	}
+}
+
+func TestClientHandshakeWrongFirstPacket(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer sn.Close()
+	b := &fakeBroker{t: t, conn: NewConn(sn)}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Handshake(cn, ConnectOptions{ClientID: "confused"})
+		done <- err
+	}()
+	b.read() // CONNECT
+	b.write(Pingresp{})
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "CONNACK") {
+		t.Fatalf("err = %v, want expected-CONNACK error", err)
+	}
+}
+
+func TestClientBrokenSocketFailsWaiters(t *testing.T) {
+	c, b, _ := pipeClient(t, true)
+
+	pubDone := make(chan error, 1)
+	go func() { pubDone <- c.Publish("a/b", []byte("x"), 1, false) }()
+	b.read() // PUBLISH — never acked: the broker dies instead
+	b.conn.Close()
+
+	if err := <-pubDone; err == nil {
+		t.Fatal("publish succeeded over a dead socket")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() = nil after connection loss")
+	}
+	if _, open := <-c.Messages(); open {
+		t.Fatal("messages channel still open after connection loss")
+	}
+	// Every API errors fast once the client is dead.
+	if _, err := c.Subscribe(TopicFilterQoS{Filter: "a"}); err == nil {
+		t.Error("subscribe succeeded on a dead client")
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("ping succeeded on a dead client")
+	}
+}
+
+func TestClientDialOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b := &fakeBroker{t: t, conn: NewConn(nc)}
+		b.acceptConnect(false)
+		if b.conn.RemoteAddr() == nil {
+			t.Error("RemoteAddr = nil")
+		}
+		b.read() // DISCONNECT
+		nc.Close()
+	}()
+	c, present, err := Dial(ln.Addr().String(), ConnectOptions{ClientID: "tcp-client", CleanSession: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present {
+		t.Error("sessionPresent on a clean dial")
+	}
+	_ = c.Disconnect()
+
+	if _, _, err := Dial("127.0.0.1:1", ConnectOptions{}); err == nil {
+		t.Error("dial to a closed port succeeded")
+	}
+}

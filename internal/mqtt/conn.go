@@ -1,0 +1,61 @@
+package mqtt
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn frames MQTT packets over a net.Conn: buffered reads, mutex-guarded
+// writes (acks from the read side and deliveries from dispatch workers
+// interleave on one socket), and per-operation deadlines.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+	wb []byte
+}
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReaderSize(c, 4096)}
+}
+
+// ReadPacket reads the next packet. A zero deadline blocks indefinitely.
+func (c *Conn) ReadPacket(deadline time.Time) (Packet, error) {
+	if err := c.c.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	return ReadPacket(c.r)
+}
+
+// WritePacket encodes and writes one packet within timeout. Writes are
+// serialised; a consumer that stops reading stalls the writer until the
+// deadline converts the stall into an error.
+func (c *Conn) WritePacket(p Packet, timeout time.Duration) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	buf, err := AppendPacket(c.wb[:0], p)
+	if err != nil {
+		return err
+	}
+	if cap(buf) <= MaxPacketSize {
+		c.wb = buf // recycle the encode buffer between packets
+	}
+	var dl time.Time
+	if timeout > 0 {
+		dl = time.Now().Add(timeout)
+	}
+	if err := c.c.SetWriteDeadline(dl); err != nil {
+		return err
+	}
+	_, err = c.c.Write(buf)
+	return err
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

@@ -1,0 +1,53 @@
+package mqtt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePacket holds the codec to its contract: arbitrary bytes —
+// truncated variable headers, hostile remaining-length fields, malformed
+// UTF-8 topics — must produce an error or a valid packet, never a panic
+// and never an unbounded allocation. An accepted packet must re-encode to
+// the exact input bytes: the codec's strictness (minimal remaining-length
+// encodings, canonical field order, no trailing garbage) makes the wire
+// form canonical, so decode∘encode is the identity on the accepted set.
+func FuzzDecodePacket(f *testing.F) {
+	// One well-formed frame of every packet type.
+	for _, p := range samplePackets() {
+		raw, err := AppendPacket(nil, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2]) // torn tail
+	}
+	// Classic corruptions the decoder must reject.
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x80, 0x80, 0x80, 0x80, 0x01})            // 5-byte remaining length
+	f.Add([]byte{0xc0, 0x80, 0x00})                              // non-minimal remaining length
+	f.Add(append([]byte{0x30}, appendRemLen(nil, 1<<27)...))     // hostile length claim
+	f.Add([]byte{0x30, 0x03, 0x00, 0x01, 0xff})                  // invalid UTF-8 topic
+	f.Add([]byte{0x30, 0x04, 0x00, 0x02, 0xc3, 0x28})            // overlong-ish UTF-8 pair
+	f.Add([]byte{0x30, 0x03, 0x00, 0x01, '+'})                   // wildcard in topic name
+	f.Add([]byte{0x82, 0x06, 0x00, 0x01, 0x00, 0x01, '#', 0x03}) // subscribe QoS 3
+	f.Add([]byte{0x10, 0x0c, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x04, 0x01, 0x00, 0x00, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendPacket(nil, p)
+		if err != nil {
+			t.Fatalf("accepted packet %#v does not re-encode: %v", p, err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  % x\n out % x\n pkt %#v", data, re, p)
+		}
+		// And the re-encoded frame must decode to the same packet.
+		if _, err := DecodePacket(re); err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+	})
+}

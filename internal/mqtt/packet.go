@@ -1,0 +1,765 @@
+// Package mqtt implements the MQTT 3.1.1 wire protocol (OASIS standard,
+// October 2014): the binary packet codec, the topic-filter language, and
+// the mapping between MQTT topic names and the broker's Clark-form
+// WS-Topics paths. The server session layer that turns this codec into
+// the broker's fourth front door lives in internal/core; a minimal client
+// for tests and benchmarks lives in client.go.
+//
+// The codec is strict where the spec is normative: reserved fixed-header
+// flag bits are checked ([MQTT-2.2.2-1]), remaining-length encodings
+// longer than four bytes or non-minimal are rejected ([MQTT-2.2.3]),
+// strings must be valid UTF-8 without U+0000 ([MQTT-1.5.3]), topic names
+// in PUBLISH packets must not contain wildcards ([MQTT-3.3.2-2]), and
+// QoS 3 is malformed ([MQTT-3.3.1-4]).
+package mqtt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Packet types, fixed-header bits 7-4.
+const (
+	CONNECT     = 1
+	CONNACK     = 2
+	PUBLISH     = 3
+	PUBACK      = 4
+	PUBREC      = 5
+	PUBREL      = 6
+	PUBCOMP     = 7
+	SUBSCRIBE   = 8
+	SUBACK      = 9
+	UNSUBSCRIBE = 10
+	UNSUBACK    = 11
+	PINGREQ     = 12
+	PINGRESP    = 13
+	DISCONNECT  = 14
+)
+
+// CONNACK return codes ([MQTT-3.2.2.3]).
+const (
+	ConnAccepted          = 0
+	ConnRefusedVersion    = 1
+	ConnRefusedIdentifier = 2
+	ConnRefusedServer     = 3
+	ConnRefusedBadAuth    = 4
+	ConnRefusedNotAuth    = 5
+)
+
+// SubackFailure is the SUBACK return code for a rejected filter
+// ([MQTT-3.9.3-2]); the others are the granted QoS (0, 1, 2).
+const SubackFailure = 0x80
+
+// maxRemainingLength is the largest encodable remaining length
+// (four 7-bit groups, [MQTT-2.2.3]).
+const maxRemainingLength = 268435455
+
+// MaxPacketSize caps packets this implementation will read, far below the
+// protocol's 256 MB ceiling — the same defensive bound the WebSocket door
+// applies to frames.
+const MaxPacketSize = 4 << 20
+
+var (
+	errTruncated   = errors.New("mqtt: truncated packet")
+	errBadString   = errors.New("mqtt: malformed UTF-8 string")
+	errReserved    = errors.New("mqtt: reserved fixed-header flags set")
+	errBadRemLen   = errors.New("mqtt: malformed remaining length")
+	errOversize    = errors.New("mqtt: packet exceeds size cap")
+	errTrailing    = errors.New("mqtt: trailing bytes after packet body")
+	errZeroPID     = errors.New("mqtt: packet id must be nonzero")
+	errBadQoS      = errors.New("mqtt: invalid QoS")
+	errWildTopic   = errors.New("mqtt: wildcard characters in topic name")
+	errEmptyTopic  = errors.New("mqtt: empty topic")
+	errNoFilters   = errors.New("mqtt: subscribe/unsubscribe needs at least one filter")
+	errBadProtocol = errors.New("mqtt: unsupported protocol name/level")
+)
+
+// Packet is any decoded MQTT control packet.
+type Packet interface {
+	// Type returns the packet-type nibble.
+	Type() byte
+	// encode appends the packet's full wire form.
+	encode(dst []byte) ([]byte, error)
+}
+
+// Will is a CONNECT packet's will message: published by the server when
+// the connection dies without a DISCONNECT.
+type Will struct {
+	Topic   string
+	Payload []byte
+	QoS     byte
+	Retain  bool
+}
+
+// Connect is the client→server session opener.
+type Connect struct {
+	ClientID     string
+	CleanSession bool
+	KeepAlive    uint16 // seconds; 0 disables the keep-alive timer
+	Will         *Will
+	Username     string
+	HasUsername  bool
+	Password     []byte
+	HasPassword  bool
+}
+
+func (*Connect) Type() byte { return CONNECT }
+
+// Connack is the server→client session acknowledgement.
+type Connack struct {
+	SessionPresent bool
+	Code           byte
+}
+
+func (*Connack) Type() byte { return CONNACK }
+
+// Publish carries one application message in either direction.
+type Publish struct {
+	Dup      bool
+	QoS      byte
+	Retain   bool
+	Topic    string
+	PacketID uint16 // present only for QoS 1 and 2
+	Payload  []byte
+}
+
+func (*Publish) Type() byte { return PUBLISH }
+
+// Ack is the shared shape of the four pure-acknowledgement packets
+// (PUBACK, PUBREC, PUBREL, PUBCOMP) and UNSUBACK.
+type Ack struct {
+	PacketType byte
+	PacketID   uint16
+}
+
+func (a *Ack) Type() byte { return a.PacketType }
+
+// TopicFilterQoS is one SUBSCRIBE entry.
+type TopicFilterQoS struct {
+	Filter string
+	QoS    byte
+}
+
+// Subscribe asks for one or more topic filters.
+type Subscribe struct {
+	PacketID uint16
+	Filters  []TopicFilterQoS
+}
+
+func (*Subscribe) Type() byte { return SUBSCRIBE }
+
+// Suback grants (or refuses) each filter of a SUBSCRIBE.
+type Suback struct {
+	PacketID uint16
+	Codes    []byte
+}
+
+func (*Suback) Type() byte { return SUBACK }
+
+// Unsubscribe removes one or more topic filters.
+type Unsubscribe struct {
+	PacketID uint16
+	Filters  []string
+}
+
+func (*Unsubscribe) Type() byte { return UNSUBSCRIBE }
+
+// Pingreq is the client keep-alive probe.
+type Pingreq struct{}
+
+func (Pingreq) Type() byte { return PINGREQ }
+
+// Pingresp answers a Pingreq.
+type Pingresp struct{}
+
+func (Pingresp) Type() byte { return PINGRESP }
+
+// Disconnect is the client's graceful goodbye (discards the will).
+type Disconnect struct{}
+
+func (Disconnect) Type() byte { return DISCONNECT }
+
+// --- encoding ---
+
+// appendRemLen appends the variable-length remaining-length encoding.
+func appendRemLen(dst []byte, n int) []byte {
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if n == 0 {
+			return dst
+		}
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, p []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p)))
+	return append(dst, p...)
+}
+
+// validString enforces [MQTT-1.5.3]: well-formed UTF-8, no U+0000, and a
+// length that fits the two-byte prefix.
+func validString(s string) bool {
+	return len(s) <= 65535 && utf8.ValidString(s) && !strings.ContainsRune(s, 0)
+}
+
+// frame prefixes a fixed header onto an encoded body.
+func frame(dst []byte, typeAndFlags byte, body []byte) ([]byte, error) {
+	if len(body) > maxRemainingLength {
+		return nil, errOversize
+	}
+	dst = append(dst, typeAndFlags)
+	dst = appendRemLen(dst, len(body))
+	return append(dst, body...), nil
+}
+
+func (p *Connect) encode(dst []byte) ([]byte, error) {
+	for _, s := range []string{p.ClientID, p.Username} {
+		if !validString(s) {
+			return nil, errBadString
+		}
+	}
+	var flags byte
+	if p.CleanSession {
+		flags |= 0x02
+	}
+	if p.Will != nil {
+		if !validString(p.Will.Topic) || p.Will.Topic == "" {
+			return nil, errEmptyTopic
+		}
+		if p.Will.QoS > 2 {
+			return nil, errBadQoS
+		}
+		flags |= 0x04 | p.Will.QoS<<3
+		if p.Will.Retain {
+			flags |= 0x20
+		}
+	}
+	if p.HasPassword {
+		flags |= 0x40
+	}
+	if p.HasUsername {
+		flags |= 0x80
+	}
+	body := appendString(nil, "MQTT")
+	body = append(body, 4, flags)
+	body = binary.BigEndian.AppendUint16(body, p.KeepAlive)
+	body = appendString(body, p.ClientID)
+	if p.Will != nil {
+		body = appendString(body, p.Will.Topic)
+		body = appendBytes(body, p.Will.Payload)
+	}
+	if p.HasUsername {
+		body = appendString(body, p.Username)
+	}
+	if p.HasPassword {
+		body = appendBytes(body, p.Password)
+	}
+	return frame(dst, CONNECT<<4, body)
+}
+
+func (p *Connack) encode(dst []byte) ([]byte, error) {
+	var sp byte
+	if p.SessionPresent {
+		sp = 1
+	}
+	return frame(dst, CONNACK<<4, []byte{sp, p.Code})
+}
+
+func (p *Publish) encode(dst []byte) ([]byte, error) {
+	if err := ValidateTopicName(p.Topic); err != nil {
+		return nil, err
+	}
+	if p.QoS > 2 {
+		return nil, errBadQoS
+	}
+	flags := p.QoS << 1
+	if p.Dup {
+		flags |= 0x08
+	}
+	if p.Retain {
+		flags |= 0x01
+	}
+	body := appendString(nil, p.Topic)
+	if p.QoS > 0 {
+		if p.PacketID == 0 {
+			return nil, errZeroPID
+		}
+		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+	}
+	body = append(body, p.Payload...)
+	return frame(dst, PUBLISH<<4|flags, body)
+}
+
+func (a *Ack) encode(dst []byte) ([]byte, error) {
+	if a.PacketID == 0 {
+		return nil, errZeroPID
+	}
+	flags := byte(0)
+	if a.PacketType == PUBREL {
+		flags = 0x02 // [MQTT-3.6.1-1]
+	}
+	switch a.PacketType {
+	case PUBACK, PUBREC, PUBREL, PUBCOMP, UNSUBACK:
+	default:
+		return nil, fmt.Errorf("mqtt: %d is not an ack packet type", a.PacketType)
+	}
+	body := binary.BigEndian.AppendUint16(nil, a.PacketID)
+	return frame(dst, a.PacketType<<4|flags, body)
+}
+
+func (p *Subscribe) encode(dst []byte) ([]byte, error) {
+	if p.PacketID == 0 {
+		return nil, errZeroPID
+	}
+	if len(p.Filters) == 0 {
+		return nil, errNoFilters
+	}
+	body := binary.BigEndian.AppendUint16(nil, p.PacketID)
+	for _, f := range p.Filters {
+		if _, err := ParseFilter(f.Filter); err != nil {
+			return nil, err
+		}
+		if f.QoS > 2 {
+			return nil, errBadQoS
+		}
+		body = appendString(body, f.Filter)
+		body = append(body, f.QoS)
+	}
+	return frame(dst, SUBSCRIBE<<4|0x02, body)
+}
+
+func (p *Suback) encode(dst []byte) ([]byte, error) {
+	if p.PacketID == 0 {
+		return nil, errZeroPID
+	}
+	body := binary.BigEndian.AppendUint16(nil, p.PacketID)
+	for _, c := range p.Codes {
+		if c > 2 && c != SubackFailure {
+			return nil, fmt.Errorf("mqtt: invalid suback code %#x", c)
+		}
+		body = append(body, c)
+	}
+	return frame(dst, SUBACK<<4, body)
+}
+
+func (p *Unsubscribe) encode(dst []byte) ([]byte, error) {
+	if p.PacketID == 0 {
+		return nil, errZeroPID
+	}
+	if len(p.Filters) == 0 {
+		return nil, errNoFilters
+	}
+	body := binary.BigEndian.AppendUint16(nil, p.PacketID)
+	for _, f := range p.Filters {
+		if _, err := ParseFilter(f); err != nil {
+			return nil, err
+		}
+		body = appendString(body, f)
+	}
+	return frame(dst, UNSUBSCRIBE<<4|0x02, body)
+}
+
+func (Pingreq) encode(dst []byte) ([]byte, error)    { return frame(dst, PINGREQ<<4, nil) }
+func (Pingresp) encode(dst []byte) ([]byte, error)   { return frame(dst, PINGRESP<<4, nil) }
+func (Disconnect) encode(dst []byte) ([]byte, error) { return frame(dst, DISCONNECT<<4, nil) }
+
+// AppendPacket appends the packet's wire form to dst.
+func AppendPacket(dst []byte, p Packet) ([]byte, error) {
+	return p.encode(dst)
+}
+
+// --- decoding ---
+
+// body is a cursor over one packet's variable header + payload.
+type body struct{ b []byte }
+
+func (r *body) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *body) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if len(r.b) < int(n) {
+		return "", errTruncated
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	if !utf8.ValidString(s) || strings.ContainsRune(s, 0) {
+		return "", errBadString
+	}
+	return s, nil
+}
+
+func (r *body) bin() ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < int(n) {
+		return nil, errTruncated
+	}
+	p := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return p, nil
+}
+
+func (r *body) done() error {
+	if len(r.b) != 0 {
+		return errTrailing
+	}
+	return nil
+}
+
+// readRemLen decodes the variable-length remaining length from r,
+// rejecting encodings longer than four bytes and (for strictness)
+// non-minimal ones like 0x80 0x00.
+func readRemLen(r io.ByteReader) (int, error) {
+	n, mul := 0, 1
+	for i := 0; i < 4; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, errTruncated
+		}
+		n += int(b&0x7F) * mul
+		if b&0x80 == 0 {
+			if b == 0 && i > 0 {
+				return 0, errBadRemLen // non-minimal: trailing zero group
+			}
+			return n, nil
+		}
+		mul *= 128
+	}
+	return 0, errBadRemLen
+}
+
+// ReadPacket reads one packet from r, enforcing the size cap.
+func ReadPacket(r *bufio.Reader) (Packet, error) {
+	h, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	n, err := readRemLen(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPacketSize {
+		return nil, errOversize
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, errTruncated
+	}
+	return decodeBody(h, buf)
+}
+
+// DecodePacket decodes exactly one packet from raw bytes, rejecting
+// trailing garbage. It is the fuzz target's entry point and the inverse
+// of AppendPacket.
+func DecodePacket(raw []byte) (Packet, error) {
+	if len(raw) < 2 {
+		return nil, errTruncated
+	}
+	h, rest := raw[0], raw[1:]
+	n, used, err := remLenFromBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPacketSize {
+		return nil, errOversize
+	}
+	rest = rest[used:]
+	if len(rest) < n {
+		return nil, errTruncated
+	}
+	if len(rest) > n {
+		return nil, errTrailing
+	}
+	return decodeBody(h, rest)
+}
+
+// remLenFromBytes decodes the remaining length from a byte slice,
+// returning the value and how many bytes it occupied.
+func remLenFromBytes(p []byte) (n, used int, err error) {
+	mul := 1
+	for i := 0; i < 4; i++ {
+		if i >= len(p) {
+			return 0, 0, errTruncated
+		}
+		b := p[i]
+		n += int(b&0x7F) * mul
+		if b&0x80 == 0 {
+			if b == 0 && i > 0 {
+				return 0, 0, errBadRemLen
+			}
+			return n, i + 1, nil
+		}
+		mul *= 128
+	}
+	return 0, 0, errBadRemLen
+}
+
+func decodeBody(h byte, buf []byte) (Packet, error) {
+	typ, flags := h>>4, h&0x0F
+	r := &body{b: buf}
+	switch typ {
+	case CONNECT:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		return decodeConnect(r)
+	case CONNACK:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		sp, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if sp>>8 > 1 {
+			return nil, fmt.Errorf("mqtt: reserved connack flags %#x", sp>>8)
+		}
+		p := &Connack{SessionPresent: sp>>8 == 1, Code: byte(sp)}
+		if p.Code > ConnRefusedNotAuth {
+			return nil, fmt.Errorf("mqtt: unknown connack code %d", p.Code)
+		}
+		return p, r.done()
+	case PUBLISH:
+		return decodePublish(flags, r)
+	case PUBACK, PUBREC, PUBREL, PUBCOMP, UNSUBACK:
+		want := byte(0)
+		if typ == PUBREL {
+			want = 0x02
+		}
+		if flags != want {
+			return nil, errReserved
+		}
+		pid, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if pid == 0 {
+			return nil, errZeroPID
+		}
+		return &Ack{PacketType: typ, PacketID: pid}, r.done()
+	case SUBSCRIBE:
+		if flags != 0x02 {
+			return nil, errReserved
+		}
+		return decodeSubscribe(r)
+	case SUBACK:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		pid, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if pid == 0 {
+			return nil, errZeroPID
+		}
+		if len(r.b) == 0 {
+			return nil, errNoFilters
+		}
+		codes := append([]byte(nil), r.b...)
+		for _, c := range codes {
+			if c > 2 && c != SubackFailure {
+				return nil, fmt.Errorf("mqtt: invalid suback code %#x", c)
+			}
+		}
+		return &Suback{PacketID: pid, Codes: codes}, nil
+	case UNSUBSCRIBE:
+		if flags != 0x02 {
+			return nil, errReserved
+		}
+		pid, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if pid == 0 {
+			return nil, errZeroPID
+		}
+		var fs []string
+		for len(r.b) > 0 {
+			f, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ParseFilter(f); err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		if len(fs) == 0 {
+			return nil, errNoFilters
+		}
+		return &Unsubscribe{PacketID: pid, Filters: fs}, nil
+	case PINGREQ:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		return Pingreq{}, r.done()
+	case PINGRESP:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		return Pingresp{}, r.done()
+	case DISCONNECT:
+		if flags != 0 {
+			return nil, errReserved
+		}
+		return Disconnect{}, r.done()
+	default:
+		return nil, fmt.Errorf("mqtt: unknown packet type %d", typ)
+	}
+}
+
+func decodeConnect(r *body) (Packet, error) {
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) < 4 {
+		return nil, errTruncated
+	}
+	level, flags := r.b[0], r.b[1]
+	r.b = r.b[2:]
+	if name != "MQTT" || level != 4 {
+		return nil, errBadProtocol
+	}
+	if flags&0x01 != 0 {
+		return nil, errReserved // [MQTT-3.1.2-3]
+	}
+	keepAlive, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	p := &Connect{CleanSession: flags&0x02 != 0, KeepAlive: keepAlive}
+	if p.ClientID, err = r.str(); err != nil {
+		return nil, err
+	}
+	willFlag := flags&0x04 != 0
+	willQoS := flags >> 3 & 0x03
+	willRetain := flags&0x20 != 0
+	if !willFlag && (willQoS != 0 || willRetain) {
+		return nil, errReserved // [MQTT-3.1.2-11,13,15]
+	}
+	if willFlag {
+		if willQoS > 2 {
+			return nil, errBadQoS
+		}
+		w := &Will{QoS: willQoS, Retain: willRetain}
+		if w.Topic, err = r.str(); err != nil {
+			return nil, err
+		}
+		if err := ValidateTopicName(w.Topic); err != nil {
+			return nil, err
+		}
+		if w.Payload, err = r.bin(); err != nil {
+			return nil, err
+		}
+		p.Will = w
+	}
+	if flags&0x80 != 0 {
+		p.HasUsername = true
+		if p.Username, err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	if flags&0x40 != 0 {
+		if !p.HasUsername {
+			return nil, errReserved // [MQTT-3.1.2-22]
+		}
+		p.HasPassword = true
+		if p.Password, err = r.bin(); err != nil {
+			return nil, err
+		}
+	}
+	return p, r.done()
+}
+
+func decodePublish(flags byte, r *body) (Packet, error) {
+	p := &Publish{
+		Dup:    flags&0x08 != 0,
+		QoS:    flags >> 1 & 0x03,
+		Retain: flags&0x01 != 0,
+	}
+	if p.QoS > 2 {
+		return nil, errBadQoS
+	}
+	if p.QoS == 0 && p.Dup {
+		return nil, errReserved // [MQTT-3.3.1-2]
+	}
+	var err error
+	if p.Topic, err = r.str(); err != nil {
+		return nil, err
+	}
+	if err := ValidateTopicName(p.Topic); err != nil {
+		return nil, err
+	}
+	if p.QoS > 0 {
+		if p.PacketID, err = r.u16(); err != nil {
+			return nil, err
+		}
+		if p.PacketID == 0 {
+			return nil, errZeroPID
+		}
+	}
+	p.Payload = append([]byte(nil), r.b...)
+	return p, nil
+}
+
+func decodeSubscribe(r *body) (Packet, error) {
+	pid, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if pid == 0 {
+		return nil, errZeroPID
+	}
+	p := &Subscribe{PacketID: pid}
+	for len(r.b) > 0 {
+		f, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ParseFilter(f); err != nil {
+			return nil, err
+		}
+		if len(r.b) < 1 {
+			return nil, errTruncated
+		}
+		q := r.b[0]
+		r.b = r.b[1:]
+		if q > 2 {
+			return nil, errBadQoS // [MQTT-3.8.3-4]
+		}
+		p.Filters = append(p.Filters, TopicFilterQoS{Filter: f, QoS: q})
+	}
+	if len(p.Filters) == 0 {
+		return nil, errNoFilters // [MQTT-3.8.3-3]
+	}
+	return p, nil
+}

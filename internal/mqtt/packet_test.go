@@ -1,0 +1,207 @@
+package mqtt
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// samplePackets covers every packet type with representative field values.
+func samplePackets() []Packet {
+	return []Packet{
+		&Connect{ClientID: "c1", CleanSession: true, KeepAlive: 60},
+		&Connect{ClientID: "c2", KeepAlive: 10,
+			Will: &Will{Topic: "dead/c2", Payload: []byte("gone"), QoS: 1, Retain: true}},
+		&Connect{ClientID: "c3", HasUsername: true, Username: "u",
+			HasPassword: true, Password: []byte("p")},
+		&Connack{SessionPresent: true, Code: ConnAccepted},
+		&Connack{Code: ConnRefusedIdentifier},
+		&Publish{Topic: "a/b", Payload: []byte("hello")},
+		&Publish{Topic: "a/b", QoS: 1, PacketID: 7, Payload: []byte("x"), Retain: true},
+		&Publish{Topic: "a", QoS: 2, PacketID: 65535, Dup: true},
+		&Publish{Topic: "empty//level", Payload: nil},
+		&Ack{PacketType: PUBACK, PacketID: 1},
+		&Ack{PacketType: PUBREC, PacketID: 2},
+		&Ack{PacketType: PUBREL, PacketID: 3},
+		&Ack{PacketType: PUBCOMP, PacketID: 4},
+		&Ack{PacketType: UNSUBACK, PacketID: 5},
+		&Subscribe{PacketID: 9, Filters: []TopicFilterQoS{
+			{Filter: "a/+/c", QoS: 1}, {Filter: "#", QoS: 2}}},
+		&Suback{PacketID: 9, Codes: []byte{1, SubackFailure}},
+		&Unsubscribe{PacketID: 10, Filters: []string{"a/+/c"}},
+		Pingreq{},
+		Pingresp{},
+		Disconnect{},
+	}
+}
+
+// Every packet survives encode → DecodePacket and encode → ReadPacket with
+// identical fields, and re-encoding the decoded packet reproduces the
+// exact wire bytes.
+func TestPacketRoundTrip(t *testing.T) {
+	for _, p := range samplePackets() {
+		raw, err := AppendPacket(nil, p)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", p, err)
+		}
+		got, err := DecodePacket(raw)
+		if err != nil {
+			t.Fatalf("decode %#v (% x): %v", p, raw, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(p)) {
+			t.Errorf("round trip mismatch:\n in  %#v\n out %#v", p, got)
+		}
+		re, err := AppendPacket(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode %#v: %v", got, err)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Errorf("re-encode of %#v differs:\n in  % x\n out % x", p, raw, re)
+		}
+		// Stream path agrees with the slice path.
+		sp, err := ReadPacket(bufio.NewReader(bytes.NewReader(raw)))
+		if err != nil {
+			t.Fatalf("ReadPacket %#v: %v", p, err)
+		}
+		if !reflect.DeepEqual(normalize(sp), normalize(p)) {
+			t.Errorf("ReadPacket mismatch:\n in  %#v\n out %#v", p, sp)
+		}
+	}
+}
+
+// normalize maps nil and empty byte slices to a canonical form so decoded
+// packets (which materialise empty payloads as non-nil) compare equal to
+// their literals.
+func normalize(p Packet) Packet {
+	switch p := p.(type) {
+	case *Publish:
+		q := *p
+		if len(q.Payload) == 0 {
+			q.Payload = nil
+		}
+		return &q
+	case *Connect:
+		q := *p
+		if q.Will != nil {
+			w := *q.Will
+			if len(w.Payload) == 0 {
+				w.Payload = nil
+			}
+			q.Will = &w
+		}
+		if len(q.Password) == 0 {
+			q.Password = nil
+		}
+		return &q
+	}
+	return p
+}
+
+// Malformed inputs must be rejected with an error, never mis-parsed.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"header only", []byte{0x30}},
+		{"unknown type 0", []byte{0x00, 0x00}},
+		{"unknown type 15", []byte{0xf0, 0x00}},
+		{"remlen five bytes", []byte{0x30, 0x80, 0x80, 0x80, 0x80, 0x01}},
+		{"remlen non-minimal", []byte{0xc0, 0x80, 0x00}},
+		{"remlen truncated", []byte{0x30, 0x80}},
+		{"body truncated", []byte{0x30, 0x05, 0x00, 0x03, 'a'}},
+		{"trailing bytes", []byte{0xc0, 0x00, 0xff}},
+		{"pingreq reserved flags", []byte{0xc1, 0x00}},
+		{"connect reserved flags", []byte{0x11, 0x00}},
+		{"subscribe wrong flags", []byte{0x80, 0x05, 0x00, 0x01, 0x00, 0x01, 'a'}},
+		{"pubrel wrong flags", []byte{0x60, 0x02, 0x00, 0x01}},
+		{"puback zero pid", []byte{0x40, 0x02, 0x00, 0x00}},
+		{"publish qos3", []byte{0x36, 0x05, 0x00, 0x01, 'a', 0x00, 0x01}},
+		{"publish dup at qos0", []byte{0x38, 0x03, 0x00, 0x01, 'a'}},
+		{"publish empty topic", []byte{0x30, 0x02, 0x00, 0x00}},
+		{"publish wildcard topic", []byte{0x30, 0x03, 0x00, 0x01, '#'}},
+		{"publish nul topic", []byte{0x30, 0x03, 0x00, 0x01, 0x00}},
+		{"publish bad utf8 topic", []byte{0x30, 0x03, 0x00, 0x01, 0xff}},
+		{"publish qos1 zero pid", []byte{0x32, 0x05, 0x00, 0x01, 'a', 0x00, 0x00}},
+		{"connect wrong protocol", []byte{0x10, 0x0c, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x05, 0x02, 0x00, 0x00, 0x00, 0x00}},
+		{"connect reserved flag bit", []byte{0x10, 0x0c, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x04, 0x03, 0x00, 0x00, 0x00, 0x00}},
+		{"connect will qos without will", []byte{0x10, 0x0c, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x04, 0x0a, 0x00, 0x00, 0x00, 0x00}},
+		{"connect password without username", []byte{0x10, 0x0e, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x04, 0x42, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+		{"subscribe no filters", []byte{0x82, 0x02, 0x00, 0x01}},
+		{"subscribe qos3", []byte{0x82, 0x06, 0x00, 0x01, 0x00, 0x01, 'a', 0x03}},
+		{"subscribe bad filter", []byte{0x82, 0x07, 0x00, 0x01, 0x00, 0x02, '#', '/', 0x00}},
+		{"unsubscribe no filters", []byte{0xa2, 0x02, 0x00, 0x01}},
+		{"suback bad code", []byte{0x90, 0x03, 0x00, 0x01, 0x03}},
+		{"connack unknown code", []byte{0x20, 0x02, 0x00, 0x06}},
+		{"connack reserved flags", []byte{0x20, 0x02, 0x02, 0x00}},
+	}
+	for _, c := range cases {
+		if p, err := DecodePacket(c.raw); err == nil {
+			t.Errorf("%s: decoded % x as %#v, want error", c.name, c.raw, p)
+		}
+	}
+}
+
+// The remaining-length codec handles the spec's boundary values.
+func TestRemainingLengthBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		wire []byte
+	}{
+		{0, []byte{0x00}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{16383, []byte{0xff, 0x7f}},
+		{16384, []byte{0x80, 0x80, 0x01}},
+		{2097151, []byte{0xff, 0xff, 0x7f}},
+		{2097152, []byte{0x80, 0x80, 0x80, 0x01}},
+		{maxRemainingLength, []byte{0xff, 0xff, 0xff, 0x7f}},
+	}
+	for _, c := range cases {
+		if got := appendRemLen(nil, c.n); !bytes.Equal(got, c.wire) {
+			t.Errorf("appendRemLen(%d) = % x, want % x", c.n, got, c.wire)
+		}
+		n, used, err := remLenFromBytes(c.wire)
+		if err != nil || n != c.n || used != len(c.wire) {
+			t.Errorf("remLenFromBytes(% x) = %d,%d,%v want %d,%d", c.wire, n, used, err, c.n, len(c.wire))
+		}
+	}
+}
+
+// Oversize packets are refused before the body is allocated.
+func TestDecodeOversize(t *testing.T) {
+	raw := append([]byte{0x30}, appendRemLen(nil, MaxPacketSize+1)...)
+	if _, err := DecodePacket(raw); !errors.Is(err, errOversize) {
+		t.Fatalf("got %v, want errOversize", err)
+	}
+	if _, err := ReadPacket(bufio.NewReader(bytes.NewReader(raw))); !errors.Is(err, errOversize) {
+		t.Fatalf("stream: got %v, want errOversize", err)
+	}
+}
+
+// Encoding refuses invalid field values rather than emitting bad frames.
+func TestEncodeRejectsInvalid(t *testing.T) {
+	bad := []Packet{
+		&Publish{Topic: ""},
+		&Publish{Topic: "a/#"},
+		&Publish{Topic: "a", QoS: 3, PacketID: 1},
+		&Publish{Topic: "a", QoS: 1}, // zero pid
+		&Ack{PacketType: PUBACK},     // zero pid
+		&Ack{PacketType: CONNECT, PacketID: 1},
+		&Subscribe{PacketID: 1},
+		&Subscribe{PacketID: 1, Filters: []TopicFilterQoS{{Filter: "a/#/b"}}},
+		&Subscribe{PacketID: 0, Filters: []TopicFilterQoS{{Filter: "a"}}},
+		&Unsubscribe{PacketID: 1},
+		&Suback{PacketID: 1, Codes: []byte{3}},
+		&Connect{ClientID: "c", Will: &Will{Topic: ""}},
+		&Connect{ClientID: "c", Will: &Will{Topic: "t", QoS: 3}},
+	}
+	for _, p := range bad {
+		if raw, err := AppendPacket(nil, p); err == nil {
+			t.Errorf("encoded invalid %#v as % x", p, raw)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package mqtt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topics"
+)
+
+// Topic mapping between the MQTT namespace-less topic strings and the
+// broker's Clark-form WS-Topics paths.
+//
+// An MQTT topic level is almost-but-not-quite an NCName: levels may be
+// empty, start with digits, contain spaces, or contain `+`/`#` as
+// literals is the one thing they may NOT do ([MQTT-4.7.1-2,3] reserves
+// those characters for filters) — while Clark segments must be NCNames.
+// topics.EscapeSegment bridges the alphabets: every MQTT level maps to
+// the NCName that escapes it, and levels come back through
+// topics.UnescapeSegment. Unescaping is refused (the segment stays in
+// escaped form) when it would materialise a `/`, `+`, `#` or U+0000 —
+// characters a Clark-authored segment can smuggle in via `_xHH_` escapes
+// but which must never appear inside a wire-level topic name. That is the
+// wildcard-literal fix this package's round-trip property test pins.
+//
+// The namespace travels in the first level, Clark style: the topic for
+// {urn:grid}jobs/started is "{urn:grid}jobs/started". Topics without a
+// brace prefix live in DefaultNamespace, so plain MQTT deployments never
+// see braces; "{}" selects the empty namespace explicitly.
+
+// DefaultNamespace is the WS-Topics namespace of MQTT topics published
+// without an explicit "{ns}" brace prefix.
+const DefaultNamespace = "urn:ws-messenger:mqtt"
+
+// ValidateTopicName checks a PUBLISH (or will) topic name: non-empty,
+// valid UTF-8 without U+0000, and free of wildcard characters
+// ([MQTT-3.3.2-2], [MQTT-4.7.3-1]).
+func ValidateTopicName(s string) error {
+	if s == "" {
+		return errEmptyTopic
+	}
+	if !validString(s) {
+		return errBadString
+	}
+	if strings.ContainsAny(s, "+#") {
+		return errWildTopic
+	}
+	return nil
+}
+
+// nsEscaper protects the characters that would corrupt a brace prefix
+// embedded in the first topic level: the level separator, the wildcard
+// characters, the closing brace and the escape introducer itself.
+var nsEscaper = strings.NewReplacer(
+	"%", "%25", "/", "%2F", "+", "%2B", "#", "%23", "}", "%7D", "\x00", "%00")
+
+var nsUnescaper = strings.NewReplacer(
+	"%2F", "/", "%2B", "+", "%23", "#", "%7D", "}", "%00", "\x00", "%25", "%")
+
+// levelForSegment renders one Clark segment as an MQTT topic level,
+// refusing to unescape sequences that would produce characters illegal
+// inside a level.
+func levelForSegment(seg string) string {
+	u := topics.UnescapeSegment(seg)
+	if strings.ContainsAny(u, "/+#\x00") {
+		return seg
+	}
+	return u
+}
+
+// TopicForPath renders a Clark-form topic path as the MQTT topic name the
+// front door publishes it under. The inverse of PathForTopic for every
+// path PathForTopic produces.
+func TopicForPath(p topics.Path) (string, error) {
+	if p.IsZero() {
+		return "", errEmptyTopic
+	}
+	levels := make([]string, len(p.Segments))
+	for i, seg := range p.Segments {
+		levels[i] = levelForSegment(seg)
+	}
+	if p.Namespace != DefaultNamespace {
+		levels[0] = "{" + nsEscaper.Replace(p.Namespace) + "}" + levels[0]
+	}
+	name := strings.Join(levels, "/")
+	if err := ValidateTopicName(name); err != nil {
+		return "", fmt.Errorf("mqtt: path %s renders an invalid topic: %w", p, err)
+	}
+	return name, nil
+}
+
+// splitNS strips an optional "{ns}" brace prefix off the first level.
+func splitNS(level0 string) (ns, rest string, err error) {
+	if !strings.HasPrefix(level0, "{") {
+		return DefaultNamespace, level0, nil
+	}
+	i := strings.Index(level0, "}")
+	if i < 0 {
+		return "", "", fmt.Errorf("mqtt: unterminated namespace prefix in %q", level0)
+	}
+	return nsUnescaper.Replace(level0[1:i]), level0[i+1:], nil
+}
+
+// PathForTopic parses an MQTT topic name into the Clark-form path the
+// broker publishes and matches on.
+func PathForTopic(name string) (topics.Path, error) {
+	if err := ValidateTopicName(name); err != nil {
+		return topics.Path{}, err
+	}
+	levels := strings.Split(name, "/")
+	ns, rest, err := splitNS(levels[0])
+	if err != nil {
+		return topics.Path{}, err
+	}
+	segs := make([]string, len(levels))
+	segs[0] = topics.EscapeSegment(rest)
+	for i, lvl := range levels[1:] {
+		segs[i+1] = topics.EscapeSegment(lvl)
+	}
+	return topics.Path{Namespace: ns, Segments: segs}, nil
+}
+
+// Filter is a parsed MQTT topic filter. The optional "{ns}" brace prefix
+// on the first level is split off at parse time, so wildcard validation
+// and matching see pure MQTT levels.
+type Filter struct {
+	raw    string
+	ns     string   // namespace URI; DefaultNamespace without a brace prefix
+	anyNS  bool     // true for the bare "#" firehose filter
+	levels []string // without the brace prefix
+}
+
+// String returns the filter as subscribed.
+func (f Filter) String() string { return f.raw }
+
+// Namespace returns the WS-Topics namespace the filter is scoped to
+// (ignored when the filter is the bare cross-namespace "#").
+func (f Filter) Namespace() string { return f.ns }
+
+// ParseFilter validates a topic filter per [MQTT-4.7.1]: `+` and `#` must
+// occupy an entire level, and `#` only the last one.
+func ParseFilter(s string) (Filter, error) {
+	if s == "" {
+		return Filter{}, errEmptyTopic
+	}
+	if !validString(s) {
+		return Filter{}, errBadString
+	}
+	levels := strings.Split(s, "/")
+	ns, rest, err := splitNS(levels[0])
+	if err != nil {
+		return Filter{}, err
+	}
+	levels[0] = rest
+	for i, lvl := range levels {
+		switch {
+		case lvl == "#":
+			if i != len(levels)-1 {
+				return Filter{}, fmt.Errorf("mqtt: '#' must be the last level in filter %q", s)
+			}
+		case strings.Contains(lvl, "#"):
+			return Filter{}, fmt.Errorf("mqtt: '#' must occupy an entire level in filter %q", s)
+		case lvl != "+" && strings.Contains(lvl, "+"):
+			return Filter{}, fmt.Errorf("mqtt: '+' must occupy an entire level in filter %q", s)
+		}
+	}
+	return Filter{raw: s, ns: ns, anyNS: s == "#", levels: levels}, nil
+}
+
+// Matches reports whether the filter selects a topic name, per the
+// [MQTT-4.7] matching rules, including the rule that wildcards in the
+// first level do not match $-prefixed system topics ([MQTT-4.7.2-1]).
+// Namespaces must agree unless the filter is the bare "#".
+func (f Filter) Matches(topic string) bool {
+	if topic == "" {
+		return false
+	}
+	tl := strings.Split(topic, "/")
+	tns, trest, err := splitNS(tl[0])
+	if err != nil {
+		return false
+	}
+	tl[0] = trest
+	if !f.anyNS && tns != f.ns {
+		return false
+	}
+	if strings.HasPrefix(tl[0], "$") && (f.levels[0] == "+" || f.levels[0] == "#") {
+		return false
+	}
+	for i, lvl := range f.levels {
+		if lvl == "#" {
+			return true
+		}
+		if i >= len(tl) {
+			return false
+		}
+		if lvl != "+" && lvl != tl[i] {
+			return false
+		}
+	}
+	return len(tl) == len(f.levels)
+}
+
+// TopicForFilter maps a wildcard-free filter onto the concrete Clark path
+// it names; ok is false when the filter contains wildcards. Retained-
+// message lookups and the conformance tests use it.
+func TopicForFilter(f Filter) (topics.Path, bool) {
+	for _, lvl := range f.levels {
+		if lvl == "+" || lvl == "#" {
+			return topics.Path{}, false
+		}
+	}
+	p, err := PathForTopic(f.raw)
+	if err != nil {
+		return topics.Path{}, false
+	}
+	return p, true
+}
+
+// ExprForFilter compiles a filter into a WS-Topics Full-dialect
+// expression plus its prefix bindings, so MQTT subscriptions ride the
+// broker's canonical filter machinery and its exact/prefix topic index:
+//
+//	a/b      -> t:a/b          (concrete — exact-topic index)
+//	a/+/c    -> t:a/*/c        (prefix index under a)
+//	a/#      -> t:a//.         (a and every descendant)
+//	+        -> t:*            (any root in the namespace)
+//	#        -> *//.           (every topic, every namespace)
+//
+// where t binds the filter's namespace (DefaultNamespace without a brace
+// prefix). A filter with an explicit empty namespace ("{}a") compiles to
+// a namespace-free expression, which WS-Topics matches in any namespace.
+func ExprForFilter(f Filter) (expr string, ns map[string]string, err error) {
+	nsURI := f.ns
+	deepTail := false
+	var toks []string
+	switch root := f.levels[0]; root {
+	case "#":
+		// "#" as the root consumes the whole filter: every topic at or
+		// below any root. Cross-namespace for the bare firehose filter,
+		// namespace-scoped when written "{ns}#".
+		toks = append(toks, "*")
+		deepTail = true
+		if f.anyNS {
+			nsURI = ""
+		}
+	case "+":
+		toks = append(toks, "*")
+	default:
+		toks = append(toks, topics.EscapeSegment(root))
+	}
+	for _, lvl := range f.levels[1:] {
+		switch lvl {
+		case "#":
+			deepTail = true
+		case "+":
+			toks = append(toks, "*")
+		default:
+			toks = append(toks, topics.EscapeSegment(lvl))
+		}
+	}
+	if nsURI != "" {
+		toks[0] = "t:" + toks[0]
+		ns = map[string]string{"t": nsURI}
+	}
+	expr = strings.Join(toks, "/")
+	if deepTail {
+		expr += "//."
+	}
+	return expr, ns, nil
+}

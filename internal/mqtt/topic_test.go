@@ -1,0 +1,287 @@
+package mqtt
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topics"
+)
+
+func TestPathForTopicRoundTrip(t *testing.T) {
+	cases := []struct {
+		topic string
+		ns    string
+		segs  []string
+	}{
+		{"a/b", DefaultNamespace, []string{"a", "b"}},
+		{"sensors/room 1/temp", DefaultNamespace, []string{"sensors", "room_x20_1", "temp"}},
+		{"{urn:grid}jobs/started", "urn:grid", []string{"jobs", "started"}},
+		{"{}local", "", []string{"local"}},
+		{"a//b", DefaultNamespace, []string{"a", "_x_", "b"}},
+		{"9lives", DefaultNamespace, []string{"_x39_lives"}},
+		{"{urn:odd%2Fns}x", "urn:odd/ns", []string{"x"}},
+	}
+	for _, c := range cases {
+		p, err := PathForTopic(c.topic)
+		if err != nil {
+			t.Fatalf("PathForTopic(%q): %v", c.topic, err)
+		}
+		if p.Namespace != c.ns || !reflect.DeepEqual(p.Segments, c.segs) {
+			t.Errorf("PathForTopic(%q) = {%q %v}, want {%q %v}", c.topic, p.Namespace, p.Segments, c.ns, c.segs)
+		}
+		back, err := TopicForPath(p)
+		if err != nil {
+			t.Fatalf("TopicForPath(%v): %v", p, err)
+		}
+		if back != c.topic {
+			t.Errorf("round trip %q -> %v -> %q", c.topic, p, back)
+		}
+	}
+	for _, bad := range []string{"", "a/+/b", "a/#", "{unterminated", "with\x00nul"} {
+		if p, err := PathForTopic(bad); err == nil {
+			t.Errorf("PathForTopic(%q) = %v, want error", bad, p)
+		}
+	}
+}
+
+// Clark segments that hide wildcard or separator characters behind
+// _xHH_ escapes must stay escaped on the MQTT side — unescaping them
+// would corrupt the wire-level topic structure.
+func TestTopicForPathKeepsDangerousEscapes(t *testing.T) {
+	cases := []struct {
+		seg  string // Clark segment as authored on the WS side
+		want string // MQTT level it renders as
+	}{
+		{"_x2b_", "_x2b_"},     // escapes '+': must not materialise
+		{"_x23_", "_x23_"},     // escapes '#'
+		{"_x2f_", "_x2f_"},     // escapes '/'
+		{"_x0_", "_x0_"},       // escapes NUL
+		{"a_x2b_b", "a_x2b_b"}, // embedded '+'
+		{"_x20_ok", " ok"},     // harmless escape unescapes normally
+		{"_x_", ""},            // empty-level marker round trips
+		{"plain", "plain"},
+	}
+	for _, c := range cases {
+		p := topics.Path{Namespace: DefaultNamespace, Segments: []string{"root", c.seg}}
+		name, err := TopicForPath(p)
+		if err != nil {
+			t.Fatalf("TopicForPath(%v): %v", p, err)
+		}
+		if got := strings.TrimPrefix(name, "root/"); got != c.want {
+			t.Errorf("segment %q rendered as %q, want %q", c.seg, got, c.want)
+		}
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	valid := []string{"a", "a/b", "+", "#", "a/+/c", "a/#", "+/+", "/", "a//b", "$SYS/#", "{urn:x}a/+"}
+	for _, f := range valid {
+		if _, err := ParseFilter(f); err != nil {
+			t.Errorf("ParseFilter(%q): %v", f, err)
+		}
+	}
+	invalid := []string{"", "a/#/b", "#/a", "a+", "+a", "a/b+", "a#", "sport/tennis#", "with\x00nul"}
+	for _, f := range invalid {
+		if _, err := ParseFilter(f); err == nil {
+			t.Errorf("ParseFilter(%q) accepted, want error", f)
+		}
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/+", "a/b", true},
+		{"a/+", "a", false},
+		{"a/+", "a/b/c", false},
+		{"+", "a", true},
+		{"+", "a/b", false},
+		{"#", "a", true},
+		{"#", "a/b/c", true},
+		{"a/#", "a", true}, // [MQTT-4.7.1-2]: parent matches too
+		{"a/#", "a/b/c", true},
+		{"a/#", "b", false},
+		{"+/tennis/#", "sport/tennis/player1", true},
+		{"sport/+", "sport/", true}, // '+' matches an empty level
+		{"+/+", "/finance", true},
+		{"/+", "/finance", true},
+		{"+", "/finance", false},
+		{"#", "$SYS/up", false}, // [MQTT-4.7.2-1]
+		{"+/monitor", "$SYS/monitor", false},
+		{"$SYS/#", "$SYS/up", true},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.filter, err)
+		}
+		if got := f.Matches(c.topic); got != c.want {
+			t.Errorf("Filter(%q).Matches(%q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestTopicForFilter(t *testing.T) {
+	f, _ := ParseFilter("a/b")
+	if p, ok := TopicForFilter(f); !ok || p.String() != "{"+DefaultNamespace+"}a/b" {
+		t.Errorf("TopicForFilter(a/b) = %v, %v", p, ok)
+	}
+	for _, w := range []string{"a/+", "a/#", "#"} {
+		f, _ := ParseFilter(w)
+		if _, ok := TopicForFilter(f); ok {
+			t.Errorf("TopicForFilter(%q) claimed concrete", w)
+		}
+	}
+}
+
+func TestExprForFilterTable(t *testing.T) {
+	cases := []struct {
+		filter string
+		expr   string
+		nsURI  string // "" means no binding map
+	}{
+		{"a/b", "t:a/b", DefaultNamespace},
+		{"a/+/c", "t:a/*/c", DefaultNamespace},
+		{"a/#", "t:a//.", DefaultNamespace},
+		{"+", "t:*", DefaultNamespace},
+		{"#", "*//.", ""},
+		{"{urn:grid}jobs/+", "t:jobs/*", "urn:grid"},
+		{"{urn:grid}#", "t:*//.", "urn:grid"},
+		{"{}a/b", "a/b", ""},
+		{"9lives/+", "t:_x39_lives/*", DefaultNamespace},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.filter, err)
+		}
+		expr, ns, err := ExprForFilter(f)
+		if err != nil {
+			t.Fatalf("ExprForFilter(%q): %v", c.filter, err)
+		}
+		if expr != c.expr {
+			t.Errorf("ExprForFilter(%q) = %q, want %q", c.filter, expr, c.expr)
+		}
+		switch {
+		case c.nsURI == "" && ns != nil:
+			t.Errorf("ExprForFilter(%q) bound %v, want none", c.filter, ns)
+		case c.nsURI != "" && ns["t"] != c.nsURI:
+			t.Errorf("ExprForFilter(%q) bound %v, want t=%q", c.filter, ns, c.nsURI)
+		}
+		// The compiled expression must parse in the Full dialect.
+		if _, err := topics.ParseExpression(topics.DialectFull, expr, ns); err != nil {
+			t.Errorf("compiled expr %q does not parse: %v", expr, err)
+		}
+	}
+}
+
+// Property: for topics and filters in the default namespace, the MQTT
+// string matcher and the compiled WS-Topics expression agree. This is the
+// contract that lets MQTT subscriptions ride the broker's native filter
+// machinery. ($-topics are excluded: [MQTT-4.7.2-1] is enforced by the
+// session layer, not the compiled expression.)
+func TestExprForFilterAgreesWithStringMatcher(t *testing.T) {
+	levels := []string{"a", "b", "c", "", "room 1", "9x"}
+	wilds := []string{"+", "#"}
+	r := rand.New(rand.NewSource(421))
+	genTopic := func() string {
+		n := 1 + r.Intn(4)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = levels[r.Intn(len(levels))]
+		}
+		return strings.Join(parts, "/")
+	}
+	genFilter := func() string {
+		n := 1 + r.Intn(4)
+		parts := make([]string, n)
+		for i := range parts {
+			if r.Intn(3) == 0 {
+				parts[i] = wilds[r.Intn(len(wilds))]
+			} else {
+				parts[i] = levels[r.Intn(len(levels))]
+			}
+		}
+		s := strings.Join(parts, "/")
+		// '#' is only legal as the final level; retry on bad luck.
+		if i := strings.Index(s, "#"); i >= 0 && i != len(s)-1 {
+			return ""
+		}
+		return s
+	}
+	checked := 0
+	for i := 0; i < 4000; i++ {
+		ft := genFilter()
+		topic := genTopic()
+		if ft == "" || topic == "" {
+			continue
+		}
+		f, err := ParseFilter(ft)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", ft, err)
+		}
+		expr, ns, err := ExprForFilter(f)
+		if err != nil {
+			t.Fatalf("ExprForFilter(%q): %v", ft, err)
+		}
+		e, err := topics.ParseExpression(topics.DialectFull, expr, ns)
+		if err != nil {
+			t.Fatalf("ParseExpression(%q): %v", expr, err)
+		}
+		p, err := PathForTopic(topic)
+		if err != nil {
+			t.Fatalf("PathForTopic(%q): %v", topic, err)
+		}
+		if got, want := e.Matches(p), f.Matches(topic); got != want {
+			t.Errorf("filter %q vs topic %q: expr %q matches=%v, string matcher=%v",
+				ft, topic, expr, got, want)
+		}
+		checked++
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}
+
+// Property: TopicForPath inverts PathForTopic for arbitrary valid topics.
+func TestQuickTopicRoundTrip(t *testing.T) {
+	f := func(raw []string) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		clean := make([]string, len(raw))
+		for i, s := range raw {
+			clean[i] = strings.Map(func(r rune) rune {
+				if r == '/' || r == '+' || r == '#' || r == 0 || r == 0xFFFD {
+					return 'x'
+				}
+				return r
+			}, s)
+		}
+		topic := strings.Join(clean, "/")
+		if topic == "" || strings.HasPrefix(topic, "{") || len(topic) > 60000 {
+			return true
+		}
+		p, err := PathForTopic(topic)
+		if err != nil {
+			t.Logf("PathForTopic(%q): %v", topic, err)
+			return false
+		}
+		back, err := TopicForPath(p)
+		if err != nil || back != topic {
+			t.Logf("round trip %q -> %v -> %q (%v)", topic, p, back, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -131,6 +131,53 @@ func TestPropertyConcreteMatchesItself(t *testing.T) {
 	}
 }
 
+// Property: EscapeSegment always yields a valid NCName and UnescapeSegment
+// inverts it — for arbitrary strings, including the MQTT topic-level
+// alphabet (`+`/`#` literals, spaces, digits-first names, empty levels)
+// that motivated the escaping.
+func TestPropertyEscapeSegmentRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		esc := EscapeSegment(s)
+		if !validNCName(esc) {
+			t.Logf("EscapeSegment(%q) = %q is not a valid NCName", s, esc)
+			return false
+		}
+		if got := UnescapeSegment(esc); got != s {
+			t.Logf("UnescapeSegment(EscapeSegment(%q)) = %q", s, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// The cases that found the bug: wildcard literals, the escape
+	// introducer itself, and empty levels.
+	for _, s := range []string{"+", "#", "a+b", "a#", "_x", "_x2b_", "a_x5f_", "", "9temp", "-", ".", "sensor 1", "übung"} {
+		esc := EscapeSegment(s)
+		if !validNCName(esc) {
+			t.Errorf("EscapeSegment(%q) = %q: not a valid NCName", s, esc)
+		}
+		if got := UnescapeSegment(esc); got != s {
+			t.Errorf("round trip %q -> %q -> %q", s, esc, got)
+		}
+	}
+}
+
+// Property: segments that are already plain NCNames without escape
+// sequences pass through both directions untouched.
+func TestPropertyEscapeSegmentPlainNamesStable(t *testing.T) {
+	names := []string{"jobs", "temp", "a", "B-2", "under_score", "dot.ted"}
+	for _, s := range names {
+		if EscapeSegment(s) != s {
+			t.Errorf("EscapeSegment(%q) = %q, want unchanged", s, EscapeSegment(s))
+		}
+		if UnescapeSegment(s) != s {
+			t.Errorf("UnescapeSegment(%q) = %q, want unchanged", s, UnescapeSegment(s))
+		}
+	}
+}
+
 // Property: Space.Expand returns exactly the registered topics the
 // expression matches.
 func TestPropertyExpandConsistent(t *testing.T) {

@@ -11,8 +11,10 @@ package topics
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"unicode/utf8"
 
 	"repro/internal/xmldom"
 )
@@ -179,6 +181,80 @@ func validNCName(s string) bool {
 		}
 	}
 	return true
+}
+
+// EscapeSegment maps an arbitrary string onto a valid NCName so that
+// foreign topic alphabets (MQTT levels, which allow spaces, digits-first
+// names and the `+`/`#` wildcard characters as literals) can live inside
+// Clark-form topic paths. Characters that are invalid at their position —
+// and any `_` that directly precedes an `x`, which would collide with the
+// escape introducer — are replaced by `_x<hex>_` (lowercase hex of the
+// code point). The empty string escapes to the marker "_x_".
+// UnescapeSegment inverts it: UnescapeSegment(EscapeSegment(s)) == s for
+// every s (the round-trip property test pins this).
+func EscapeSegment(s string) string {
+	if s == "" {
+		return "_x_"
+	}
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		esc := false
+		if i == 0 {
+			esc = !(r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'))
+		} else {
+			esc = !(r == '_' || r == '-' || r == '.' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9'))
+		}
+		if r == '_' && i+1 < len(runes) && runes[i+1] == 'x' {
+			esc = true
+		}
+		if esc {
+			fmt.Fprintf(&b, "_x%x_", r)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeSegment decodes the `_x<hex>_` sequences EscapeSegment emits.
+// Sequences that do not parse as an escape (non-hex digits, more than six
+// of them, unterminated) pass through literally, so NCNames authored
+// without EscapeSegment survive unchanged.
+func UnescapeSegment(s string) string {
+	if s == "_x_" {
+		return ""
+	}
+	i := strings.Index(s, "_x")
+	if i < 0 {
+		return s
+	}
+	var b strings.Builder
+	for {
+		b.WriteString(s[:i])
+		rest := s[i+2:]
+		end := strings.IndexByte(rest, '_')
+		ok := end > 0 && end <= 6
+		var r int64
+		if ok {
+			var err error
+			r, err = strconv.ParseInt(rest[:end], 16, 32)
+			ok = err == nil && r >= 0 && r <= 0x10FFFF && utf8.ValidRune(rune(r))
+		}
+		if ok {
+			b.WriteRune(rune(r))
+			s = rest[end+1:]
+		} else {
+			b.WriteString("_x")
+			s = rest
+		}
+		i = strings.Index(s, "_x")
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+	}
 }
 
 // segKind is one element of a compiled full-dialect expression.
